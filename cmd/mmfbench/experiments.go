@@ -1,0 +1,74 @@
+package main
+
+import (
+	"io"
+
+	"repro/internal/eval"
+)
+
+// experimentRunners maps experiment ids to their eval runners. The
+// ids match DESIGN.md's per-experiment index and EXPERIMENTS.md.
+func experimentRunners() map[string]runner {
+	return map[string]runner{
+		"F1": {"Figure 1: coupling architectures", func(w io.Writer) error {
+			_, err := eval.RunF1(w)
+			return err
+		}},
+		"F2": {"Figure 2: overlapping collections / object-document mapping", func(w io.Writer) error {
+			_, err := eval.RunF2(w)
+			return err
+		}},
+		"F3": {"Figure 3: persistent IRS-result buffer", func(w io.Writer) error {
+			_, err := eval.RunF3(w)
+			return err
+		}},
+		"F4": {"Figure 4: derivation schemes on the paper's example", func(w io.Writer) error {
+			_, err := eval.RunF4(w)
+			return err
+		}},
+		"T1": {"Section 4.3: IRS-document granularity", func(w io.Writer) error {
+			_, err := eval.RunT1(w)
+			return err
+		}},
+		"T2": {"Section 4.5.3: mixed-query evaluation strategies", func(w io.Writer) error {
+			_, err := eval.RunT2(w)
+			return err
+		}},
+		"T3": {"Section 4.5.4: operator placement", func(w io.Writer) error {
+			_, err := eval.RunT3(w)
+			return err
+		}},
+		"T4": {"Section 4.6: update propagation policies", func(w io.Writer) error {
+			_, err := eval.RunT4(w)
+			return err
+		}},
+		"T5": {"Sections 2/4.3: redundancy avoidance via derivation", func(w io.Writer) error {
+			_, err := eval.RunT5(w)
+			return err
+		}},
+		"T6": {"Section 4.5: result-file exchange vs direct API", func(w io.Writer) error {
+			_, err := eval.RunT6(w)
+			return err
+		}},
+		"T7": {"Section 3: exchangeable retrieval paradigms", func(w io.Writer) error {
+			_, err := eval.RunT7(w)
+			return err
+		}},
+		"T8": {"Section 6 (open issue): negation across world assumptions", func(w io.Writer) error {
+			_, err := eval.RunT8(w)
+			return err
+		}},
+		"A1": {"Ablation: query-aware dispersion penalty", func(w io.Writer) error {
+			_, err := eval.RunA1(w)
+			return err
+		}},
+		"A2": {"Ablation: scaling with corpus size", func(w io.Writer) error {
+			_, err := eval.RunA2(w)
+			return err
+		}},
+		"X1": {"Section 6 (extension): passage retrieval [SAB93]", func(w io.Writer) error {
+			_, err := eval.RunX1(w)
+			return err
+		}},
+	}
+}

@@ -1,0 +1,65 @@
+// Command mmfbench regenerates every figure and table of the
+// reproduction (see DESIGN.md's per-experiment index). Without flags
+// it runs all experiments; -exp selects one.
+//
+//	mmfbench            # run everything
+//	mmfbench -exp F4    # only the Figure 4 derivation table
+//	mmfbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (F1..F4, T1..T7); empty = all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	runners := experimentRunners()
+	if *list {
+		ids := make([]string, 0, len(runners))
+		for id := range runners {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("%-4s %s\n", id, runners[id].title)
+		}
+		return
+	}
+	if *exp != "" {
+		id := strings.ToUpper(*exp)
+		r, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mmfbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := r.run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mmfbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		return
+	}
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := runners[id].run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mmfbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type runner struct {
+	title string
+	run   func(io.Writer) error
+}

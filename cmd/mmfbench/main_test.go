@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// The runner registry must cover every experiment in DESIGN.md's
+// index and every runner must produce a non-empty table.
+func TestExperimentRunnersComplete(t *testing.T) {
+	runners := experimentRunners()
+	want := []string{"F1", "F2", "F3", "F4", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "A1", "A2", "X1"}
+	if len(runners) != len(want) {
+		t.Errorf("registry has %d runners, want %d", len(runners), len(want))
+	}
+	for _, id := range want {
+		r, ok := runners[id]
+		if !ok {
+			t.Errorf("experiment %s missing from registry", id)
+			continue
+		}
+		if r.title == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+}
+
+// Spot-run the two fastest experiments through the registry to make
+// sure the wiring (not just the eval package) works.
+func TestRunnerWiring(t *testing.T) {
+	runners := experimentRunners()
+	for _, id := range []string{"F4", "A1"} {
+		var sb strings.Builder
+		if err := runners[id].run(&sb); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(sb.String(), "EXP-"+id) {
+			t.Errorf("%s output missing header:\n%s", id, sb.String())
+		}
+	}
+}
+
+var _ io.Writer = (*strings.Builder)(nil)

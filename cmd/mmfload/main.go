@@ -1,0 +1,86 @@
+// Command mmfload loads a DTD and SGML documents into a persistent
+// database directory and (optionally) indexes a collection:
+//
+//	mmfload -db ./data -dtd mmf.dtd doc1.sgm doc2.sgm
+//	mmfload -db ./data -dtd mmf.dtd -collection collPara \
+//	        -spec "ACCESS p FROM p IN PARA;" docs/*.sgm
+//
+// Re-running against the same -db directory appends documents; an
+// existing collection is refreshed with Reindex.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	docirs "repro"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "database directory (required)")
+	dtdPath := flag.String("dtd", "", "DTD file (required)")
+	collName := flag.String("collection", "", "collection to create/refresh")
+	spec := flag.String("spec", "ACCESS p FROM p IN PARA;", "specification query for -collection")
+	textMode := flag.Int("textmode", docirs.ModeFullText, "getText mode (0=full,1=abstract,2=own)")
+	flag.Parse()
+
+	if *dbDir == "" || *dtdPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mmfload -db DIR -dtd FILE [-collection NAME [-spec QUERY]] doc.sgm...")
+		os.Exit(2)
+	}
+	if err := run(*dbDir, *dtdPath, *collName, *spec, *textMode, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "mmfload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbDir, dtdPath, collName, spec string, textMode int, files []string) error {
+	sys, err := docirs.Open(dbDir)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	dtdSrc, err := os.ReadFile(dtdPath)
+	if err != nil {
+		return err
+	}
+	dtd, err := sys.LoadDTD(string(dtdSrc))
+	if err != nil {
+		return err
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		oid, err := sys.LoadDocument(dtd, string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("loaded %s as %s\n", path, oid)
+	}
+	if collName == "" {
+		return nil
+	}
+	coll, err := sys.Collection(collName)
+	if err != nil {
+		coll, err = sys.CreateCollection(collName, spec, docirs.CollectionOptions{TextMode: textMode})
+		if err != nil {
+			return err
+		}
+		n, err := coll.IndexObjects()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collection %s: indexed %d objects\n", collName, n)
+		return nil
+	}
+	added, updated, removed, err := coll.Reindex()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collection %s: %d added, %d refreshed, %d removed\n", collName, added, updated, removed)
+	return nil
+}

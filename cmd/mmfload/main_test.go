@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	docirs "repro"
+)
+
+const testDTD = `
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, PARA+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA)>
+`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadAndReindexFlow(t *testing.T) {
+	dir := t.TempDir()
+	dbDir := filepath.Join(dir, "db")
+	dtdPath := write(t, dir, "mmf.dtd", testDTD)
+	doc1 := write(t, dir, "d1.sgm",
+		`<MMFDOC><LOGBOOK>l<DOCTITLE>t1<ABSTRACT>a<PARA>the www paragraph</MMFDOC>`)
+	doc2 := write(t, dir, "d2.sgm",
+		`<MMFDOC><LOGBOOK>l<DOCTITLE>t2<ABSTRACT>a<PARA>the nii paragraph</MMFDOC>`)
+
+	// First run: creates the collection.
+	if err := run(dbDir, dtdPath, "collPara", "ACCESS p FROM p IN PARA;", 0, []string{doc1}); err != nil {
+		t.Fatal(err)
+	}
+	// Second run: appends a document and reindexes.
+	if err := run(dbDir, dtdPath, "collPara", "", 0, []string{doc2}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := docirs.Open(dbDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	coll, err := sys.Collection("collPara")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.DocCount() != 2 {
+		t.Errorf("DocCount = %d, want 2", coll.DocCount())
+	}
+	hits, err := sys.Search("collPara", "nii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Errorf("nii hits = %v", hits)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := write(t, dir, "mmf.dtd", testDTD)
+	if err := run(filepath.Join(dir, "db1"), filepath.Join(dir, "missing.dtd"), "", "", 0, []string{"x"}); err == nil {
+		t.Error("missing DTD accepted")
+	}
+	if err := run(filepath.Join(dir, "db2"), dtdPath, "", "", 0, []string{filepath.Join(dir, "missing.sgm")}); err == nil {
+		t.Error("missing document accepted")
+	}
+	bad := write(t, dir, "bad.sgm", "<WRONG>")
+	if err := run(filepath.Join(dir, "db3"), dtdPath, "", "", 0, []string{bad}); err == nil {
+		t.Error("invalid document accepted")
+	}
+}

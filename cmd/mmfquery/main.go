@@ -1,0 +1,126 @@
+// Command mmfquery is an interactive shell over a database directory
+// created by mmfload. It accepts:
+//
+//	VQL statements           ACCESS ... FROM ... WHERE ...;
+//	IRS queries              ?collName #and(www nii)
+//	meta commands            .collections  .classes  .stats NAME
+//	                         .plan VQL  .quit
+//
+// VQL statements may reference collection names directly, as in the
+// paper's examples (collPara).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	docirs "repro"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "database directory (required)")
+	flag.Parse()
+	if *dbDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: mmfquery -db DIR")
+		os.Exit(2)
+	}
+	sys, err := docirs.Open(*dbDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmfquery: %v\n", err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+
+	fmt.Println("mmfquery — VQL statements, ?coll IRSQUERY, .collections, .classes, .stats NAME, .quit")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		if quit := execLine(sys, sc.Text(), os.Stdout); quit {
+			return
+		}
+		fmt.Print("> ")
+	}
+}
+
+// execLine executes one shell line, reporting whether the shell
+// should exit.
+func execLine(sys *docirs.System, raw string, out io.Writer) bool {
+	line := strings.TrimSpace(raw)
+	switch {
+	case line == "":
+	case line == ".quit" || line == ".exit":
+		return true
+	case line == ".collections":
+		for _, name := range sys.Coupling().Collections() {
+			coll, err := sys.Collection(name)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(out, "%s  (%d IRS docs, spec: %s)\n", name, coll.DocCount(), coll.SpecQuery())
+		}
+	case line == ".classes":
+		for _, name := range sys.DB().Classes() {
+			fmt.Fprintf(out, "%s (%d instances)\n", name, len(sys.DB().Extent(name, false)))
+		}
+	case strings.HasPrefix(line, ".plan "):
+		plan, err := sys.ExplainQuery(strings.TrimPrefix(line, ".plan "), docirs.StrategyAuto)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprint(out, plan)
+	case strings.HasPrefix(line, ".stats "):
+		name := strings.TrimSpace(strings.TrimPrefix(line, ".stats "))
+		coll, err := sys.Collection(name)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		s := coll.Stats().Snapshot()
+		fmt.Fprintf(out, "IRS searches %d, buffer hits %d, misses %d, derivations %d, ops applied %d, cancelled %d\n",
+			s.IRSSearches, s.BufferHits, s.BufferMisses, s.Derivations, s.OpsApplied, s.OpsCancelled)
+	case strings.HasPrefix(line, "?"):
+		rest := strings.TrimSpace(line[1:])
+		parts := strings.SplitN(rest, " ", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(out, "usage: ?collName IRSQUERY")
+			break
+		}
+		hits, err := sys.Search(parts[0], parts[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		for i, h := range hits {
+			if i >= 10 {
+				fmt.Fprintf(out, "... (%d more)\n", len(hits)-10)
+				break
+			}
+			fmt.Fprintf(out, "%2d. %-10s %.4f\n", i+1, h.ExtID, h.Score)
+		}
+	default:
+		rs, err := sys.Query(line)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintln(out, strings.Join(rs.Columns, " | "))
+		for i, row := range rs.Rows {
+			if i >= 20 {
+				fmt.Fprintf(out, "... (%d more rows)\n", len(rs.Rows)-20)
+				break
+			}
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = v.String()
+			}
+			fmt.Fprintln(out, strings.Join(cells, " | "))
+		}
+		fmt.Fprintf(out, "(%d rows)\n", len(rs.Rows))
+	}
+	return false
+}

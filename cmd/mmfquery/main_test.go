@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	docirs "repro"
+)
+
+const testDTD = `
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, PARA+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA)>
+`
+
+func shellFixture(t *testing.T) *docirs.System {
+	t.Helper()
+	sys, err := docirs.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	dtd, err := sys.LoadDTD(testDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.LoadDocument(dtd,
+		`<MMFDOC><LOGBOOK>l<DOCTITLE>t<ABSTRACT>a<PARA>the www www paragraph<PARA>another one</MMFDOC>`); err != nil {
+		t.Fatal(err)
+	}
+	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", docirs.CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coll.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func exec(t *testing.T, sys *docirs.System, line string) (string, bool) {
+	t.Helper()
+	var sb strings.Builder
+	quit := execLine(sys, line, &sb)
+	return sb.String(), quit
+}
+
+func TestShellMetaCommands(t *testing.T) {
+	sys := shellFixture(t)
+	out, _ := exec(t, sys, ".collections")
+	if !strings.Contains(out, "collPara") || !strings.Contains(out, "2 IRS docs") {
+		t.Errorf(".collections = %q", out)
+	}
+	out, _ = exec(t, sys, ".classes")
+	if !strings.Contains(out, "PARA (2 instances)") {
+		t.Errorf(".classes = %q", out)
+	}
+	out, _ = exec(t, sys, ".stats collPara")
+	if !strings.Contains(out, "IRS searches") {
+		t.Errorf(".stats = %q", out)
+	}
+	out, _ = exec(t, sys, ".stats ghost")
+	if !strings.Contains(out, "error") {
+		t.Errorf(".stats ghost = %q", out)
+	}
+	if _, quit := exec(t, sys, ".quit"); !quit {
+		t.Error(".quit did not quit")
+	}
+	if _, quit := exec(t, sys, ""); quit {
+		t.Error("empty line quit")
+	}
+}
+
+func TestShellIRSQuery(t *testing.T) {
+	sys := shellFixture(t)
+	out, _ := exec(t, sys, "?collPara www")
+	if !strings.Contains(out, "1.") || !strings.Contains(out, "oid") {
+		t.Errorf("IRS query output = %q", out)
+	}
+	out, _ = exec(t, sys, "?collPara")
+	if !strings.Contains(out, "usage") {
+		t.Errorf("malformed ? = %q", out)
+	}
+	out, _ = exec(t, sys, "?ghost www")
+	if !strings.Contains(out, "error") {
+		t.Errorf("ghost collection = %q", out)
+	}
+}
+
+func TestShellVQL(t *testing.T) {
+	sys := shellFixture(t)
+	out, _ := exec(t, sys, `ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.5;`)
+	if !strings.Contains(out, "(1 rows)") {
+		t.Errorf("VQL output = %q", out)
+	}
+	out, _ = exec(t, sys, "garbage input")
+	if !strings.Contains(out, "error") {
+		t.Errorf("garbage = %q", out)
+	}
+}
+
+func TestShellPlan(t *testing.T) {
+	sys := shellFixture(t)
+	out, _ := exec(t, sys, `.plan ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.5;`)
+	if !strings.Contains(out, "strategy=") || !strings.Contains(out, "scan p IN PARA") {
+		t.Errorf(".plan output = %q", out)
+	}
+	out, _ = exec(t, sys, ".plan garbage")
+	if !strings.Contains(out, "error") {
+		t.Errorf(".plan garbage = %q", out)
+	}
+}

@@ -1,0 +1,283 @@
+// Package docirs is the public face of the OODBMS-IRS coupling
+// library — a from-scratch Go reproduction of Volz, Aberer and Böhm,
+// "Applying a Flexible OODBMS-IRS-Coupling to Structured Document
+// Handling" (ICDE 1996).
+//
+// A System bundles the three layers of the paper's architecture:
+//
+//   - an object-oriented database (the VODAK role) storing SGML
+//     documents fragmented into trees of objects,
+//   - an information-retrieval engine (the INQUERY role) holding an
+//     arbitrary number of document collections, and
+//   - the coupling, with the OODBMS as control component: document
+//     collections are defined by VQL specification queries, objects
+//     expose getText/getIRSValue/deriveIRSValue, IRS results are
+//     buffered persistently, and updates propagate under a
+//     configurable policy.
+//
+// Quick start:
+//
+//	sys, _ := docirs.Open("")                      // memory-only
+//	dtd, _ := sys.LoadDTD(workload.MMFDTD)
+//	sys.LoadDocument(dtd, sgmlText)
+//	coll, _ := sys.CreateCollection("collPara",
+//	    "ACCESS p FROM p IN PARA;", docirs.CollectionOptions{})
+//	coll.IndexObjects()
+//	rs, _ := sys.Query(`ACCESS p FROM p IN PARA
+//	    WHERE p -> getIRSValue(collPara, 'WWW') > 0.6;`)
+package docirs
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/irs"
+	"repro/internal/oodb"
+	"repro/internal/sgml"
+	"repro/internal/vql"
+)
+
+// Re-exported types so applications program against one package.
+type (
+	// OID identifies a database object.
+	OID = oodb.OID
+	// Value is a database attribute value.
+	Value = oodb.Value
+	// Collection is the runtime face of a COLLECTION object.
+	Collection = core.Collection
+	// CollectionOptions configures CreateCollection.
+	CollectionOptions = core.Options
+	// PropagationPolicy bounds update-propagation time.
+	PropagationPolicy = core.PropagationPolicy
+	// ResultSet is the output of a VQL query.
+	ResultSet = vql.ResultSet
+	// Strategy selects the mixed-query evaluation strategy.
+	Strategy = vql.Strategy
+	// DTD is a parsed document type definition.
+	DTD = sgml.DTD
+	// SearchResult is one IRS retrieval result.
+	SearchResult = irs.Result
+	// FeedbackOptions tunes Rocchio-style query expansion
+	// (Collection.IRS().ExpandQuery).
+	FeedbackOptions = irs.FeedbackOptions
+)
+
+// Propagation policies (Section 4.6).
+const (
+	PropagateOnQuery     = core.PropagateOnQuery
+	PropagateImmediately = core.PropagateImmediately
+	PropagateManually    = core.PropagateManually
+)
+
+// Mixed-query evaluation strategies (Section 4.5.3).
+const (
+	StrategyAuto        = vql.StrategyAuto
+	StrategyIndependent = vql.StrategyIndependent
+	StrategyIRSFirst    = vql.StrategyIRSFirst
+)
+
+// Text representation modes for getText (Section 4.3).
+const (
+	ModeFullText = docmodel.ModeFullText
+	ModeAbstract = docmodel.ModeAbstract
+	ModeOwnText  = docmodel.ModeOwnText
+)
+
+// System is an assembled coupling instance.
+type System struct {
+	db       *oodb.DB
+	store    *docmodel.Store
+	engine   *irs.Engine
+	coupling *core.Coupling
+}
+
+// Open assembles a system. With dir == "" everything lives in
+// memory; otherwise the database persists under dir (WAL + snapshot)
+// and IRS collections under dir/irs.
+func Open(dir string) (*System, error) {
+	var (
+		db     *oodb.DB
+		engine *irs.Engine
+		err    error
+	)
+	if dir == "" {
+		db, err = oodb.Open("", oodb.Options{})
+		if err != nil {
+			return nil, err
+		}
+		engine = irs.NewEngine()
+	} else {
+		db, err = oodb.Open(dir, oodb.Options{SyncWAL: true})
+		if err != nil {
+			return nil, err
+		}
+		engine, err = irs.NewEngineAt(filepath.Join(dir, "irs"))
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	store, err := docmodel.Open(db)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	coupling, err := core.New(store, engine)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	return &System{db: db, store: store, engine: engine, coupling: coupling}, nil
+}
+
+// Close checkpoints and closes the system (persistent mode saves the
+// IRS collections as well).
+func (s *System) Close() error {
+	if err := s.engine.Save(); err != nil {
+		return err
+	}
+	if err := s.db.Checkpoint(); err != nil && err != oodb.ErrClosed {
+		return err
+	}
+	return s.db.Close()
+}
+
+// DB exposes the object store.
+func (s *System) DB() *oodb.DB { return s.db }
+
+// Store exposes the document framework.
+func (s *System) Store() *docmodel.Store { return s.store }
+
+// Engine exposes the IRS engine.
+func (s *System) Engine() *irs.Engine { return s.engine }
+
+// Coupling exposes the coupling layer.
+func (s *System) Coupling() *core.Coupling { return s.coupling }
+
+// LoadDTD parses DTD text and defines one element-type class per
+// declared element.
+func (s *System) LoadDTD(src string) (*DTD, error) {
+	d, err := sgml.ParseDTD(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.store.LoadDTD(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// LoadDocument parses SGML text against the DTD (with omitted-tag
+// inference) and stores it as a tree of database objects, returning
+// the root object.
+func (s *System) LoadDocument(d *DTD, sgmlText string) (OID, error) {
+	tree, err := sgml.ParseDocument(d, sgmlText, sgml.ParseOptions{Strict: true})
+	if err != nil {
+		return 0, err
+	}
+	return s.store.InsertDocument(d, tree)
+}
+
+// DeleteDocument removes a document (or any element subtree).
+func (s *System) DeleteDocument(root OID) error {
+	return s.store.DeleteDocument(root)
+}
+
+// SetText replaces the raw text of a text-leaf object; the change
+// propagates to affected collections under their policies.
+func (s *System) SetText(leaf OID, text string) error {
+	return s.store.SetText(leaf, text)
+}
+
+// CreateCollection creates a document collection whose members are
+// selected by the VQL specification query.
+func (s *System) CreateCollection(name, specQuery string, opts CollectionOptions) (*Collection, error) {
+	return s.coupling.CreateCollection(name, specQuery, opts)
+}
+
+// Collection looks up a collection by name.
+func (s *System) Collection(name string) (*Collection, error) {
+	return s.coupling.Collection(name)
+}
+
+// DropCollection removes a collection.
+func (s *System) DropCollection(name string) error {
+	return s.coupling.DropCollection(name)
+}
+
+// Query runs a VQL statement (mixed structure/content queries
+// included) with the automatic evaluation strategy. Collection names
+// are pre-bound, so queries reference them directly (collPara in the
+// paper's examples).
+func (s *System) Query(src string) (*ResultSet, error) {
+	return s.coupling.Evaluator().Run(src)
+}
+
+// QueryWithStrategy runs a VQL statement under an explicit
+// evaluation strategy (Section 4.5.3 alternatives).
+func (s *System) QueryWithStrategy(src string, strategy Strategy) (*ResultSet, error) {
+	return s.coupling.Evaluator().RunWithStrategy(src, strategy)
+}
+
+// ExplainQuery returns the execution plan a statement would run
+// under: binding domains, pushed-down predicates ordered by method
+// cost, the chosen evaluation strategy and any IRS prefilters.
+func (s *System) ExplainQuery(src string, strategy Strategy) (string, error) {
+	q, err := vql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	plan, err := s.coupling.Evaluator().PlanQuery(q, strategy)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe(), nil
+}
+
+// Search runs a pure IRS query against a collection, returning
+// object OIDs with retrieval values, best first.
+func (s *System) Search(collection, irsQuery string) ([]SearchResult, error) {
+	col, err := s.coupling.Collection(collection)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := col.GetIRSResult(irsQuery)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SearchResult, 0, len(scores))
+	for oid, v := range scores {
+		out = append(out, SearchResult{ExtID: oid.String(), Score: v})
+	}
+	sortResults(out)
+	return out, nil
+}
+
+// Text returns an object's textual representation under a getText
+// mode.
+func (s *System) Text(oid OID, mode int) string { return s.store.Text(oid, mode) }
+
+// MustOID parses an OID string ("oid42"), panicking on malformed
+// input; convenient in examples and tests.
+func MustOID(str string) OID {
+	oid, err := oodb.ParseOID(str)
+	if err != nil {
+		panic(fmt.Sprintf("docirs: %v", err))
+	}
+	return oid
+}
+
+func sortResults(rs []SearchResult) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			if rs[j].Score > rs[j-1].Score ||
+				(rs[j].Score == rs[j-1].Score && rs[j].ExtID < rs[j-1].ExtID) {
+				rs[j], rs[j-1] = rs[j-1], rs[j]
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package docirs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const quickDTD = `
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, PARA+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA)>
+<!ATTLIST MMFDOC YEAR NUMBER #IMPLIED>
+`
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	dtd, err := sys.LoadDTD(quickDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sys.LoadDocument(dtd, `<MMFDOC YEAR="1994"><LOGBOOK>l<DOCTITLE>t<ABSTRACT>a
+<PARA>the www www www paragraph
+<PARA>the nii nii nii paragraph
+</MMFDOC>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coll.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sys.Query(`ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.5;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	hits, err := sys.Search("collPara", "nii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if got := sys.Text(doc, ModeFullText); !strings.Contains(got, "www") {
+		t.Errorf("Text = %q", got)
+	}
+	if MustOID(hits[0].ExtID) == 0 {
+		t.Error("MustOID failed")
+	}
+}
+
+func TestSystemPersistentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtd, err := sys.LoadDTD(workload.MMFDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := workload.Generate(workload.Config{
+		Docs: 4, SectionsRange: [2]int{1, 2}, ParasRange: [2]int{1, 3},
+		WordsRange: [2]int{5, 10}, Vocabulary: 50,
+		Topics: workload.DefaultTopics(), TopicDocShare: 0.9,
+		TopicParaShare: 0.8, TopicDensity: 3, Seed: 7,
+		YearRange: [2]int{1994, 1995},
+	})
+	for i := range corpus.Docs {
+		if _, err := sys.LoadDocument(dtd, corpus.Docs[i].SGML); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := coll.IndexObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore, err := sys.Search("collPara", "www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	coll2, err := sys2.Collection("collPara")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll2.DocCount() != n {
+		t.Errorf("DocCount after restart = %d, want %d", coll2.DocCount(), n)
+	}
+	hitsAfter, err := sys2.Search("collPara", "www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hitsAfter) != len(hitsBefore) {
+		t.Errorf("hits after restart = %d, want %d", len(hitsAfter), len(hitsBefore))
+	}
+	// Everything still queryable end to end.
+	rs, err := sys2.Query(`ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.45;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) == 0 {
+		t.Error("mixed query empty after restart")
+	}
+}
+
+func TestFacadeAccessorsAndStrategies(t *testing.T) {
+	sys, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Engine() == nil || sys.Coupling() == nil || sys.DB() == nil || sys.Store() == nil {
+		t.Fatal("nil subsystem accessor")
+	}
+	dtd, err := sys.LoadDTD(quickDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sys.LoadDocument(dtd, `<MMFDOC><LOGBOOK>l<DOCTITLE>t<ABSTRACT>a<PARA>the www www www paragraph<PARA>another paragraph</MMFDOC>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coll.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	src := `ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.5;`
+	// Both explicit strategies agree.
+	a, err := sys.QueryWithStrategy(src, StrategyIndependent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.QueryWithStrategy(src, StrategyIRSFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 || len(b.Rows) != 1 {
+		t.Errorf("strategy rows: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	// ExplainQuery renders a plan for each strategy.
+	for _, strat := range []Strategy{StrategyAuto, StrategyIndependent, StrategyIRSFirst} {
+		plan, err := sys.ExplainQuery(src, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(plan, "scan p IN PARA") {
+			t.Errorf("plan (%v) = %q", strat, plan)
+		}
+	}
+	if _, err := sys.ExplainQuery("garbage", StrategyAuto); err == nil {
+		t.Error("ExplainQuery(garbage) succeeded")
+	}
+	// DeleteDocument removes the whole tree and the collection
+	// resynchronizes.
+	if err := sys.DeleteDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Search("collPara", "www"); err != nil {
+		t.Fatal(err)
+	}
+	if coll.DocCount() != 0 {
+		t.Errorf("DocCount after document delete = %d", coll.DocCount())
+	}
+	if sys.DB().ObjectCount() == 0 {
+		t.Error("bookkeeping objects should remain") // COLLECTION + buffer entries
+	}
+}
+
+func TestOpenFailsOnBadDirectory(t *testing.T) {
+	// A file where the directory should be.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("Open over a plain file succeeded")
+	}
+}

@@ -1,0 +1,82 @@
+// Feedback: Section 6 lists relevance feedback among the open
+// "application independent facets". This example runs a query, lets
+// the "user" mark two results relevant, expands the query from their
+// vocabulary (Rocchio-style, irs.Collection.ExpandQuery) and re-runs
+// it — pulling in a document the original query missed entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	docirs "repro"
+)
+
+const dtd = `
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, PARA+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA)>
+`
+
+var issues = []string{
+	// Documents about the web: the first two say "www", the third
+	// only uses related vocabulary ("browser", "mosaic", "hypertext").
+	`<MMFDOC><LOGBOOK>l<DOCTITLE>a<ABSTRACT>x<PARA>the www grows and browsers like mosaic render hypertext</MMFDOC>`,
+	`<MMFDOC><LOGBOOK>l<DOCTITLE>b<ABSTRACT>x<PARA>www servers deliver hypertext to the mosaic browser</MMFDOC>`,
+	`<MMFDOC><LOGBOOK>l<DOCTITLE>c<ABSTRACT>x<PARA>a browser such as mosaic fetches hypertext pages for readers</MMFDOC>`,
+	// Distractors.
+	`<MMFDOC><LOGBOOK>l<DOCTITLE>d<ABSTRACT>x<PARA>soup recipes need fresh vegetables and slow patient cooking</MMFDOC>`,
+	`<MMFDOC><LOGBOOK>l<DOCTITLE>e<ABSTRACT>x<PARA>bread baking wants flour water salt and a warm afternoon</MMFDOC>`,
+}
+
+func main() {
+	sys, err := docirs.Open("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	d, err := sys.LoadDTD(dtd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, src := range issues {
+		if _, err := sys.LoadDocument(d, src); err != nil {
+			log.Fatal(err)
+		}
+	}
+	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", docirs.CollectionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := coll.IndexObjects(); err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(title, query string) []docirs.SearchResult {
+		hits, err := sys.Search("collPara", query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %q:\n", title, query)
+		for _, h := range hits {
+			fmt.Printf("  %.3f  %s\n", h.Score, sys.Text(docirs.MustOID(h.ExtID), docirs.ModeFullText))
+		}
+		fmt.Println()
+		return hits
+	}
+
+	// Initial query: misses document c (it never says "www").
+	hits := show("initial query", "www")
+
+	// The user marks the top two hits relevant; the query expands
+	// with their co-occurring vocabulary.
+	relevant := []string{hits[0].ExtID, hits[1].ExtID}
+	expanded, err := coll.IRS().ExpandQuery("www", relevant,
+		docirs.FeedbackOptions{AddTerms: 3, OriginalWeight: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("after feedback", expanded)
+}

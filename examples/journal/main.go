@@ -1,0 +1,144 @@
+// Journal: the MultiMedia Forum scenario from the paper's
+// introduction. An interactive online journal is stored as SGML in
+// the database; readers reach documents three ways — through an
+// issue's table of contents (structural queries), by following the
+// structure, and by content-based retrieval with "a certain degree
+// of vagueness". Meanwhile "the editorial team may add or modify
+// documents or document components at any time"; the example edits a
+// paragraph and shows the update propagating to the IRS under the
+// on-query policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	docirs "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	sys, err := docirs.Open("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	dtd, err := sys.LoadDTD(workload.MMFDTD)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate a small journal: 12 articles across 1994/1995.
+	cfg := workload.DefaultConfig()
+	cfg.Docs = 12
+	cfg.Seed = 3
+	corpus := workload.Generate(cfg)
+	type article struct {
+		oid  docirs.OID
+		name string
+		year int
+	}
+	var articles []article
+	for i := range corpus.Docs {
+		oid, err := sys.LoadDocument(dtd, corpus.Docs[i].SGML)
+		if err != nil {
+			log.Fatal(err)
+		}
+		articles = append(articles, article{oid, corpus.Docs[i].Name, corpus.Docs[i].Year})
+	}
+
+	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;",
+		docirs.CollectionOptions{Policy: docirs.PropagateOnQuery})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := coll.IndexObjects(); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Access path 1: the issue's table of contents. ---
+	fmt.Println("table of contents, 1994 issue:")
+	rs, err := sys.Query(`ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994';`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rs.Rows {
+		fmt.Printf("  %s — %s\n", row[0], sys.Text(row[0].Ref, docirs.ModeAbstract))
+	}
+
+	// --- Access path 2: content-based retrieval with vagueness. ---
+	fmt.Println("\nreader asks: articles about the web (ranked):")
+	hits, err := sys.Search("collPara", "www web")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, h := range hits {
+		if i >= 5 {
+			break
+		}
+		para := docirs.MustOID(h.ExtID)
+		fmt.Printf("  %.3f  %s…\n", h.Score, clip(sys.Text(para, docirs.ModeFullText), 48))
+	}
+
+	// --- Access path 3: mixed query (the paper's flagship). ---
+	fmt.Println("\n1994 articles with a web-relevant paragraph:")
+	rs, err = sys.Query(`ACCESS DISTINCT d FROM d IN MMFDOC, p IN PARA
+WHERE d -> getAttributeValue('YEAR') = '1994' AND
+p -> getContaining('MMFDOC') == d AND
+p -> getIRSValue(collPara, 'www') > 0.45;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rs.Rows {
+		fmt.Printf("  %s\n", row[0])
+	}
+
+	// --- The editorial team edits a paragraph. ---
+	first := articles[0]
+	paras := paragraphLeaves(sys, first.oid)
+	if len(paras) == 0 {
+		log.Fatal("article has no text leaves")
+	}
+	fmt.Printf("\neditor rewrites a paragraph of %s (%s)…\n", first.name, first.oid)
+	if err := sys.SetText(paras[0], "errata the editors replaced this text with xanadu material"); err != nil {
+		log.Fatal(err)
+	}
+	s := coll.Stats().Snapshot()
+	fmt.Printf("pending IRS propagation: %d logged ops (policy %s defers them)\n",
+		coll.PendingOps(), coll.Policy())
+
+	// The next information-need query forces propagation.
+	hits, err = sys.Search("collPara", "xanadu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2 := coll.Stats().Snapshot()
+	fmt.Printf("query for 'xanadu' found %d paragraph(s); forced flushes %d -> %d, ops applied %d -> %d\n",
+		len(hits), s.ForcedFlushes, s2.ForcedFlushes, s.OpsApplied, s2.OpsApplied)
+}
+
+// paragraphLeaves returns the text-leaf OIDs of the article's
+// paragraphs.
+func paragraphLeaves(sys *docirs.System, article docirs.OID) []docirs.OID {
+	var out []docirs.OID
+	var walk func(oid docirs.OID)
+	walk = func(oid docirs.OID) {
+		if sys.Store().TypeOf(oid) == "PARA" {
+			out = append(out, sys.Store().Children(oid)...)
+			return
+		}
+		for _, k := range sys.Store().Children(oid) {
+			walk(k)
+		}
+	}
+	walk(article)
+	return out
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

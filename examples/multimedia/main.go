@@ -1,0 +1,104 @@
+// Multimedia: Section 5's first scenario. "A practicable approach to
+// facilitate information retrieval from images or other multimedia
+// data in documents ... is having the text fragments as IRS
+// documents that reference the image. The method getText for image
+// objects would return exactly this text."
+//
+// FIGURE elements are EMPTY (they carry only a SRC attribute); the
+// collection's TextFunc returns the sibling CAPTION's text, making
+// images retrievable by caption vocabulary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	docirs "repro"
+)
+
+const dtd = `
+<!ELEMENT REPORT  - - (TITLE, (PARA | FIGBLOCK)+)>
+<!ELEMENT TITLE   - O (#PCDATA)>
+<!ELEMENT PARA    - O (#PCDATA)>
+<!ELEMENT FIGBLOCK - - (FIGURE, CAPTION)>
+<!ELEMENT FIGURE  - O EMPTY>
+<!ELEMENT CAPTION - O (#PCDATA)>
+<!ATTLIST FIGURE SRC CDATA #REQUIRED>
+`
+
+const doc = `<REPORT><TITLE>Sensor survey
+<PARA>this report surveys deployed sensors and their failure modes
+<FIGBLOCK><FIGURE SRC="thermal-map.gif"><CAPTION>thermal map of the reactor cooling loop</CAPTION></FIGBLOCK>
+<PARA>temperatures were sampled hourly during the experiment
+<FIGBLOCK><FIGURE SRC="spectrum.gif"><CAPTION>frequency spectrum of the vibration sensor</CAPTION></FIGBLOCK>
+</REPORT>`
+
+func main() {
+	sys, err := docirs.Open("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	d, err := sys.LoadDTD(dtd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.LoadDocument(d, doc); err != nil {
+		log.Fatal(err)
+	}
+
+	store := sys.Store()
+	db := sys.DB()
+
+	// getText for image objects: the caption text that references
+	// the image (the FIGBLOCK groups them).
+	captionText := func(oid docirs.OID, mode int) string {
+		parent := store.Parent(oid) // the FIGBLOCK
+		for _, sib := range store.Children(parent) {
+			if store.TypeOf(sib) == "CAPTION" {
+				return store.Text(sib, docirs.ModeFullText)
+			}
+		}
+		return ""
+	}
+
+	coll, err := sys.CreateCollection("collImages", "ACCESS f FROM f IN FIGURE;",
+		docirs.CollectionOptions{TextFunc: captionText})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := coll.IndexObjects()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d images by their captions\n\n", n)
+
+	for _, query := range []string{"thermal reactor", "vibration", "sensors"} {
+		hits, err := sys.Search("collImages", query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("image query %-16q ->", query)
+		for _, h := range hits {
+			img := docirs.MustOID(h.ExtID)
+			src, _ := db.Attr(img, "@SRC")
+			fmt.Printf("  %s (%.3f)", src.Str, h.Score)
+		}
+		fmt.Println()
+	}
+
+	// Mixed query: the image's retrieval value is available on the
+	// FIGURE object itself, so structure and content combine as
+	// usual.
+	rs, err := sys.Query(`ACCESS f -> getAttributeValue('SRC')
+FROM f IN FIGURE
+WHERE f -> getIRSValue(collImages, 'thermal') > 0.5;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nimages with getIRSValue(collImages,'thermal') > 0.5:")
+	for _, row := range rs.Rows {
+		fmt.Printf("  %s\n", row[0])
+	}
+}

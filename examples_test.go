@@ -1,0 +1,40 @@
+package docirs
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end and
+// checks a signature line of its output, so the documentation
+// programs cannot rot. Skipped with -short (each run compiles a
+// binary).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples need go run; skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "1994 documents containing a www-relevant paragraph"},
+		{"journal", "forced flushes 0 -> 1"},
+		{"hypertext", "performance("},
+		{"multimedia", "thermal-map.gif"},
+		{"feedback", "after feedback"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("example %s output missing %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}

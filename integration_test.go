@@ -1,0 +1,281 @@
+package docirs
+
+// Integration tests across the full stack: SGML -> object store ->
+// collections -> mixed queries -> editorial updates -> restart, with
+// concurrent readers, exercised through the public API only.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/derive"
+	"repro/internal/workload"
+)
+
+// lifecycleDTD includes a FIGURE branch so the integration test also
+// exercises EMPTY elements and TextFunc collections.
+const lifecycleDTD = `
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, (PARA | FIGBLOCK)+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA)>
+<!ELEMENT FIGBLOCK - -  (FIGURE, CAPTION)>
+<!ELEMENT FIGURE   - O  EMPTY>
+<!ELEMENT CAPTION  - O  (#PCDATA)>
+<!ATTLIST MMFDOC YEAR NUMBER #IMPLIED>
+<!ATTLIST FIGURE SRC CDATA #REQUIRED>
+`
+
+func TestFullLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtd, err := sys.LoadDTD(lifecycleDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc1, err := sys.LoadDocument(dtd, `<MMFDOC YEAR="1994"><LOGBOOK>l<DOCTITLE>issue one<ABSTRACT>a
+<PARA>the www www www keeps growing rapidly
+<FIGBLOCK><FIGURE SRC="growth.gif"><CAPTION>growth of www hosts over time</CAPTION></FIGBLOCK>
+<PARA>editorial remarks about the journal itself
+</MMFDOC>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.LoadDocument(dtd, `<MMFDOC YEAR="1995"><LOGBOOK>l<DOCTITLE>issue two<ABSTRACT>a
+<PARA>the nii nii nii program funds infrastructure
+<PARA>completely unrelated content fills this paragraph
+</MMFDOC>`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two overlapping collections: paragraphs (query-aware derive)
+	// and figures by caption (TextFunc).
+	collPara, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;",
+		CollectionOptions{Deriver: derive.QueryAware{}, Policy: PropagateOnQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collPara.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	store := sys.Store()
+	captionText := func(oid OID, mode int) string {
+		for _, sib := range store.Children(store.Parent(oid)) {
+			if store.TypeOf(sib) == "CAPTION" {
+				return store.Text(sib, ModeFullText)
+			}
+		}
+		return ""
+	}
+	collFig, err := sys.CreateCollection("collFig", "ACCESS f FROM f IN FIGURE;",
+		CollectionOptions{TextFunc: captionText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := collFig.IndexObjects(); err != nil || n != 1 {
+		t.Fatalf("figure indexing: n=%d err=%v", n, err)
+	}
+
+	// Mixed query over structure + content.
+	rs, err := sys.Query(`ACCESS d FROM d IN MMFDOC, p IN PARA
+WHERE p -> getContaining('MMFDOC') == d AND p -> getIRSValue(collPara, 'www') > 0.5;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Ref != doc1 {
+		t.Fatalf("mixed query rows = %v", rs.Rows)
+	}
+	// Caption-based image retrieval.
+	figs, err := sys.Search("collFig", "growth hosts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("figure search = %v", figs)
+	}
+	// Derived value for the whole document (not represented in
+	// collPara).
+	v, err := collPara.FindIRSValue("www", doc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0.4 {
+		t.Errorf("derived document value = %v", v)
+	}
+
+	// Editorial update: rewrite a leaf, deferred propagation.
+	paras := sys.DB().Extent("PARA", false)
+	var target OID
+	for _, p := range paras {
+		if strings.Contains(sys.Text(p, ModeFullText), "editorial remarks") {
+			target = p
+		}
+	}
+	leaf := store.Children(target)[0]
+	if err := sys.SetText(leaf, "breaking news about cryptography export rules"); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := sys.Search("collPara", "cryptography")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("update not propagated on query: %v", hits)
+	}
+
+	// Restart and verify everything survived.
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	coll2, err := sys2.Collection("collPara")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll2.DocCount() != collPara.DocCount() {
+		t.Errorf("para collection size after restart = %d, want %d",
+			coll2.DocCount(), collPara.DocCount())
+	}
+	hits, err = sys2.Search("collPara", "cryptography")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Errorf("updated text lost across restart: %v", hits)
+	}
+	// TextFunc is not persistable; the collection exists but must be
+	// re-armed before re-indexing (documented behaviour).
+	fig2, err := sys2.Collection("collFig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig2.SetTextFunc(captionText)
+	if _, _, _, err := fig2.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	figs, err = sys2.Search("collFig", "growth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Errorf("figure retrieval lost across restart: %v", figs)
+	}
+}
+
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	sys, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	dtd, err := sys.LoadDTD(workload.MMFDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Docs = 10
+	corpus := workload.Generate(cfg)
+	for i := range corpus.Docs {
+		if _, err := sys.LoadDocument(dtd, corpus.Docs[i].SGML); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;",
+		CollectionOptions{Policy: PropagateOnQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coll.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	store := sys.Store()
+	var leaves []OID
+	for _, p := range sys.DB().Extent("PARA", false) {
+		leaves = append(leaves, store.Children(p)...)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) { // readers: IRS + VQL queries
+			defer wg.Done()
+			queries := []string{"www", "nii", "#and(www nii)", "sgml"}
+			for i := 0; i < 30; i++ {
+				if _, err := sys.Search("collPara", queries[i%len(queries)]); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := sys.Query(`ACCESS d FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994';`); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+		go func(g int) { // writers: editorial edits
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				leaf := leaves[(g*20+i)%len(leaves)]
+				if err := sys.SetText(leaf, fmt.Sprintf("edit g%d i%d about www", g, i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// System still coherent: a final flush + query works.
+	if err := coll.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Search("collPara", "www"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeErrorPaths(t *testing.T) {
+	sys, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.LoadDTD("not a dtd"); err == nil {
+		t.Error("bad DTD accepted")
+	}
+	dtd, _ := sys.LoadDTD(lifecycleDTD)
+	if _, err := sys.LoadDocument(dtd, "<WRONG>"); err == nil {
+		t.Error("invalid document accepted")
+	}
+	if _, err := sys.Collection("ghost"); err == nil {
+		t.Error("ghost collection resolved")
+	}
+	if _, err := sys.Search("ghost", "x"); err == nil {
+		t.Error("search on ghost collection succeeded")
+	}
+	if _, err := sys.Query("garbage"); err == nil {
+		t.Error("garbage VQL accepted")
+	}
+	if err := sys.DropCollection("ghost"); err == nil {
+		t.Error("dropping ghost collection succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOID on garbage did not panic")
+		}
+	}()
+	MustOID("garbage")
+}

@@ -1,0 +1,233 @@
+// Package archcmp implements the three loose-coupling architectures
+// of Figure 1 side by side, so EXP-F1 can compare them on the same
+// corpus and workload:
+//
+//	(1) control module   — a third component coordinates OODBMS and
+//	    IRS (COINS [CST92], HYDRA [GTZ93]); the mixed query is split
+//	    by the module, both parts evaluated, results joined in the
+//	    module (HYDRA's temporary table).
+//	(2) IRS as control   — the application talks to the IRS; the
+//	    database is reachable only through per-object callbacks, so
+//	    structural conditions are verified one retrieved object at a
+//	    time.
+//	(3) DBMS as control  — the paper's choice: the mixed query is a
+//	    VQL statement; content predicates reach the IRS through the
+//	    coupling (with its persistent result buffer).
+//
+// All three produce identical result sets for the benchmark query
+// family (asserted by tests); they differ in expressiveness and in
+// where the work happens.
+package archcmp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/irs"
+	"repro/internal/oodb"
+	"repro/internal/vql"
+)
+
+// MixedQuery is the benchmark query family: "documents from YEAR
+// containing a paragraph with IRS value above THRESHOLD for QUERY"
+// — the shape of the paper's second example (Section 4.4).
+type MixedQuery struct {
+	Year      string
+	IRSQuery  string
+	Threshold float64
+}
+
+// Capabilities records what a coupling architecture can express or
+// provide without modification — the qualitative axes of Section 3.
+type Capabilities struct {
+	// DeclarativeMixedQueries: mixed queries in one declarative
+	// language with full query-processing (analyze/evaluate/
+	// optimize).
+	DeclarativeMixedQueries bool
+	// StructuralJoins: joins over structure (e.g. the getNext
+	// sibling join) combined with content predicates.
+	StructuralJoins bool
+	// ResultBuffering: IRS results reusable across queries.
+	ResultBuffering bool
+	// DBMSFeaturesForFree: concurrency control, recovery and schema
+	// apply to the coupling bookkeeping itself.
+	DBMSFeaturesForFree bool
+	// NoKernelChanges: neither system's kernel needs modification.
+	NoKernelChanges bool
+}
+
+// Architecture evaluates mixed queries against a prepared corpus.
+type Architecture interface {
+	Name() string
+	// Run returns the OIDs of matching documents, ascending.
+	Run(q MixedQuery) ([]oodb.OID, error)
+	Capabilities() Capabilities
+}
+
+// DBMSControl is architecture (3): queries go through VQL and the
+// coupling (the system under reproduction).
+type DBMSControl struct {
+	Coupling *core.Coupling
+	// CollectionName is the paragraph collection to query.
+	CollectionName string
+	Strategy       vql.Strategy
+}
+
+// Name implements Architecture.
+func (a *DBMSControl) Name() string { return "dbms-control" }
+
+// Capabilities implements Architecture.
+func (a *DBMSControl) Capabilities() Capabilities {
+	return Capabilities{
+		DeclarativeMixedQueries: true,
+		StructuralJoins:         true,
+		ResultBuffering:         true,
+		DBMSFeaturesForFree:     true,
+		NoKernelChanges:         true,
+	}
+}
+
+// Run implements Architecture.
+func (a *DBMSControl) Run(q MixedQuery) ([]oodb.OID, error) {
+	src := fmt.Sprintf(
+		`ACCESS DISTINCT d FROM d IN MMFDOC, p IN PARA WHERE d -> getAttributeValue('YEAR') = '%s' AND p -> getContaining('MMFDOC') == d AND p -> getIRSValue(%s, '%s') > %g;`,
+		q.Year, a.CollectionName, q.IRSQuery, q.Threshold)
+	ev := a.Coupling.Evaluator()
+	rs, err := ev.RunWithStrategy(src, a.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	var out []oodb.OID
+	for _, row := range rs.Rows {
+		out = append(out, row[0].Ref)
+	}
+	return oodb.SortOIDs(out), nil
+}
+
+// ControlModule is architecture (1): a separate module splits the
+// query, sends the content part to the IRS and the structure part to
+// the DBMS, and joins the two intermediate results itself.
+type ControlModule struct {
+	DB      *oodb.DB
+	Store   *docmodel.Store
+	IRSColl *irs.Collection
+}
+
+// Name implements Architecture.
+func (a *ControlModule) Name() string { return "control-module" }
+
+// Capabilities implements Architecture.
+func (a *ControlModule) Capabilities() Capabilities {
+	return Capabilities{
+		// Expressiveness "depends on the capacity of the control
+		// module": only the query shapes the module implements.
+		DeclarativeMixedQueries: false,
+		StructuralJoins:         false,
+		ResultBuffering:         false,
+		DBMSFeaturesForFree:     false,
+		NoKernelChanges:         true,
+	}
+}
+
+// Run implements Architecture.
+func (a *ControlModule) Run(q MixedQuery) ([]oodb.OID, error) {
+	// Content part straight to the IRS (no buffer — the module has
+	// no persistent state of its own).
+	hits, err := a.IRSColl.Search(q.IRSQuery)
+	if err != nil {
+		return nil, err
+	}
+	// Structure part to the DBMS: scan the MMFDOC extent.
+	yearDocs := make(map[oodb.OID]bool)
+	for _, d := range a.DB.Extent("MMFDOC", true) {
+		if v, ok := a.DB.Attr(d, "@YEAR"); ok && v.Str == q.Year {
+			yearDocs[d] = true
+		}
+	}
+	// Join in the module (the "temporary table").
+	seen := make(map[oodb.OID]bool)
+	var out []oodb.OID
+	for _, h := range hits {
+		if h.Score <= q.Threshold {
+			continue
+		}
+		para, err := oodb.ParseOID(h.ExtID)
+		if err != nil {
+			continue
+		}
+		doc := a.Store.Containing(para, "MMFDOC")
+		if doc != oodb.NilOID && yearDocs[doc] && !seen[doc] {
+			seen[doc] = true
+			out = append(out, doc)
+		}
+	}
+	return oodb.SortOIDs(out), nil
+}
+
+// IRSControl is architecture (2): the application addresses the IRS;
+// the database is visible only through per-object callbacks, so each
+// retrieved paragraph triggers a chain of attribute fetches to
+// verify the structural condition.
+type IRSControl struct {
+	DB      *oodb.DB
+	IRSColl *irs.Collection
+}
+
+// Name implements Architecture.
+func (a *IRSControl) Name() string { return "irs-control" }
+
+// Capabilities implements Architecture.
+func (a *IRSControl) Capabilities() Capabilities {
+	return Capabilities{
+		DeclarativeMixedQueries: false,
+		StructuralJoins:         false,
+		ResultBuffering:         false,
+		// "the control component's architecture is not laid out for
+		// database functionality".
+		DBMSFeaturesForFree: false,
+		// Extending a conventional IRS this far "would require major
+		// changes with regard to its architecture".
+		NoKernelChanges: false,
+	}
+}
+
+// Run implements Architecture.
+func (a *IRSControl) Run(q MixedQuery) ([]oodb.OID, error) {
+	hits, err := a.IRSColl.Search(q.IRSQuery)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[oodb.OID]bool)
+	var out []oodb.OID
+	for _, h := range hits {
+		if h.Score <= q.Threshold {
+			continue
+		}
+		para, err := oodb.ParseOID(h.ExtID)
+		if err != nil {
+			continue
+		}
+		// Per-hit callback chain: walk parent pointers one attribute
+		// fetch at a time (no set-oriented access available).
+		doc := para
+		for {
+			v, ok := a.DB.Attr(doc, docmodel.AttrParent)
+			if !ok || v.Kind != oodb.KindOID || v.Ref == oodb.NilOID {
+				break
+			}
+			doc = v.Ref
+		}
+		if tv, _ := a.DB.Attr(doc, docmodel.AttrType); tv.Str != "MMFDOC" {
+			continue
+		}
+		if yv, ok := a.DB.Attr(doc, "@YEAR"); !ok || yv.Str != q.Year {
+			continue
+		}
+		if !seen[doc] {
+			seen[doc] = true
+			out = append(out, doc)
+		}
+	}
+	return oodb.SortOIDs(out), nil
+}

@@ -1,0 +1,166 @@
+package archcmp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/irs"
+	"repro/internal/oodb"
+	"repro/internal/sgml"
+	"repro/internal/vql"
+	"repro/internal/workload"
+)
+
+type rig struct {
+	db       *oodb.DB
+	store    *docmodel.Store
+	engine   *irs.Engine
+	coupling *core.Coupling
+	coll     *core.Collection
+	corpus   *workload.Corpus
+}
+
+func buildRig(t *testing.T) *rig {
+	t.Helper()
+	db, err := oodb.Open("", oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docmodel.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := irs.NewEngine()
+	coupling, err := core.New(store, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtd, err := sgml.ParseDTD(workload.MMFDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LoadDTD(dtd); err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Docs = 20
+	corpus := workload.Generate(cfg)
+	for i := range corpus.Docs {
+		tree, err := sgml.ParseDocument(dtd, corpus.Docs[i].SGML, sgml.ParseOptions{Strict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.InsertDocument(dtd, tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coll, err := coupling.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coll.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	return &rig{db: db, store: store, engine: engine, coupling: coupling, coll: coll, corpus: corpus}
+}
+
+func architectures(r *rig) []Architecture {
+	return []Architecture{
+		&DBMSControl{Coupling: r.coupling, CollectionName: "collPara", Strategy: vql.StrategyAuto},
+		&ControlModule{DB: r.db, Store: r.store, IRSColl: r.coll.IRS()},
+		&IRSControl{DB: r.db, IRSColl: r.coll.IRS()},
+	}
+}
+
+func TestArchitecturesAgree(t *testing.T) {
+	r := buildRig(t)
+	queries := []MixedQuery{
+		{Year: "1994", IRSQuery: "www", Threshold: 0.45},
+		{Year: "1995", IRSQuery: "nii", Threshold: 0.45},
+		{Year: "1993", IRSQuery: "sgml", Threshold: 0.5},
+		{Year: "1992", IRSQuery: "video", Threshold: 0.42},
+		{Year: "1994", IRSQuery: "nosuchterm", Threshold: 0.4},
+	}
+	archs := architectures(r)
+	for _, q := range queries {
+		var results [][]oodb.OID
+		for _, a := range archs {
+			got, err := a.Run(q)
+			if err != nil {
+				t.Fatalf("%s on %+v: %v", a.Name(), q, err)
+			}
+			results = append(results, got)
+		}
+		for i := 1; i < len(results); i++ {
+			if !reflect.DeepEqual(results[0], results[i]) {
+				t.Errorf("query %+v: %s = %v, %s = %v",
+					q, archs[0].Name(), results[0], archs[i].Name(), results[i])
+			}
+		}
+	}
+}
+
+func TestArchitecturesNonTrivialResults(t *testing.T) {
+	r := buildRig(t)
+	arch := &DBMSControl{Coupling: r.coupling, CollectionName: "collPara", Strategy: vql.StrategyAuto}
+	nonEmpty := 0
+	for _, year := range []string{"1992", "1993", "1994", "1995"} {
+		got, err := arch.Run(MixedQuery{Year: year, IRSQuery: "www", Threshold: 0.45})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Error("benchmark queries all empty; corpus or thresholds broken")
+	}
+}
+
+func TestCapabilitiesMatrix(t *testing.T) {
+	r := buildRig(t)
+	caps := make(map[string]Capabilities)
+	for _, a := range architectures(r) {
+		caps[a.Name()] = a.Capabilities()
+	}
+	dbms := caps["dbms-control"]
+	if !dbms.DeclarativeMixedQueries || !dbms.StructuralJoins || !dbms.ResultBuffering {
+		t.Errorf("dbms-control capabilities wrong: %+v", dbms)
+	}
+	if caps["control-module"].DeclarativeMixedQueries {
+		t.Error("control-module should not claim declarative mixed queries")
+	}
+	if caps["irs-control"].NoKernelChanges {
+		t.Error("irs-control requires kernel changes per the paper")
+	}
+}
+
+// The buffering advantage of DBMS-control: repeated queries hit the
+// coupling's persistent buffer, while the control module re-runs the
+// IRS each time.
+func TestDBMSControlBuffersAcrossQueries(t *testing.T) {
+	r := buildRig(t)
+	arch := &DBMSControl{Coupling: r.coupling, CollectionName: "collPara", Strategy: vql.StrategyAuto}
+	q := MixedQuery{Year: "1994", IRSQuery: "www", Threshold: 0.45}
+	if _, err := arch.Run(q); err != nil {
+		t.Fatal(err)
+	}
+	searches := r.coll.Stats().Snapshot().IRSSearches
+	for i := 0; i < 5; i++ {
+		if _, err := arch.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.coll.Stats().Snapshot().IRSSearches; got != searches {
+		t.Errorf("IRS evaluated %d more times despite warm buffer", got-searches)
+	}
+}
+
+func ExampleMixedQuery() {
+	fmt.Println(MixedQuery{Year: "1994", IRSQuery: "www", Threshold: 0.6})
+	// Output: {1994 www 0.6}
+}

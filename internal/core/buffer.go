@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/oodb"
+)
+
+// resultBuffer is the persistent IRS-result buffer of Section 4.2:
+// "For both intra- and inter-query optimization, the results of IRS
+// calls are buffered persistently in a dictionary of type
+// ‖STRING → ‖IRSObjects → REAL‖‖. Its keys are IRS queries."
+//
+// The in-memory map serves lookups; every entry is mirrored as an
+// IRSBufferEntry database object so the buffer survives restarts
+// (restored by Coupling.restore). Any flush of update propagation
+// invalidates the buffer, deleting the mirror objects.
+type resultBuffer struct {
+	col *Collection
+
+	mu      sync.Mutex
+	entries map[string]bufferEntry
+}
+
+type bufferEntry struct {
+	scores map[oodb.OID]float64
+	dbObj  oodb.OID // mirror object (NilOID while unsaved)
+}
+
+func newResultBuffer(col *Collection) *resultBuffer {
+	return &resultBuffer{col: col, entries: make(map[string]bufferEntry)}
+}
+
+// get returns a copy of the buffered scores for the canonical query
+// key.
+func (b *resultBuffer) get(key string) (map[oodb.OID]float64, bool) {
+	b.mu.Lock()
+	e, ok := b.entries[key]
+	b.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	out := make(map[oodb.OID]float64, len(e.scores))
+	for k, v := range e.scores {
+		out[k] = v
+	}
+	return out, true
+}
+
+// put stores scores under key and mirrors the entry into the
+// database.
+func (b *resultBuffer) put(key string, scores map[oodb.OID]float64) {
+	copied := make(map[oodb.OID]float64, len(scores))
+	oids := make([]oodb.OID, 0, len(scores))
+	for k, v := range scores {
+		copied[k] = v
+		oids = append(oids, k)
+	}
+	oodb.SortOIDs(oids)
+	values := make([]oodb.Value, len(oids))
+	refs := make([]oodb.Value, len(oids))
+	for i, oid := range oids {
+		refs[i] = oodb.Ref(oid)
+		values[i] = oodb.F(copied[oid])
+	}
+	dbObj, err := b.col.c.db.NewObject(ClassBufferEntry, map[string]oodb.Value{
+		"collection": oodb.Ref(b.col.oid),
+		"query":      oodb.S(key),
+		"oids":       oodb.Value{Kind: oodb.KindList, List: refs},
+		"values":     oodb.Value{Kind: oodb.KindList, List: values},
+	})
+	if err != nil {
+		dbObj = oodb.NilOID // memory-only entry; still correct
+	}
+	b.mu.Lock()
+	if old, ok := b.entries[key]; ok && old.dbObj != oodb.NilOID && old.dbObj != dbObj {
+		// Racing fill of the same key: drop the older mirror.
+		b.col.c.db.DeleteObject(old.dbObj)
+	}
+	b.entries[key] = bufferEntry{scores: copied, dbObj: dbObj}
+	b.mu.Unlock()
+}
+
+// restore installs a persisted entry loaded at startup.
+func (b *resultBuffer) restore(key string, scores map[oodb.OID]float64, dbObj oodb.OID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.entries[key] = bufferEntry{scores: scores, dbObj: dbObj}
+}
+
+// invalidate empties the buffer and deletes the mirror objects
+// (required whenever the underlying IRS collection changed).
+func (b *resultBuffer) invalidate() {
+	b.mu.Lock()
+	old := b.entries
+	b.entries = make(map[string]bufferEntry)
+	b.mu.Unlock()
+	for _, e := range old {
+		if e.dbObj != oodb.NilOID {
+			b.col.c.db.DeleteObject(e.dbObj)
+		}
+	}
+}
+
+// size returns the number of buffered query results.
+func (b *resultBuffer) size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// InvalidateBuffer drops all buffered IRS results (exposed for
+// experiments that need cold-query measurements).
+func (col *Collection) InvalidateBuffer() { col.buffer.invalidate() }
+
+// SetBufferEnabled toggles the result buffer. Disabling it makes
+// every GetIRSResult evaluate in the IRS — the configuration the
+// buffering experiment (EXP-F3) compares against.
+func (col *Collection) SetBufferEnabled(on bool) {
+	col.bufferOff.Store(!on)
+}
+
+// BufferedQueries reports how many IRS query results are currently
+// buffered (experiments).
+func (col *Collection) BufferedQueries() int { return col.buffer.size() }

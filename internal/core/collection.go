@@ -1,0 +1,500 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/derive"
+	"repro/internal/irs"
+	"repro/internal/oodb"
+)
+
+// Collection is the runtime face of one COLLECTION object: the
+// database-side encapsulation of exactly one IRS collection
+// (Section 4.2). Its methods mirror the paper's interface:
+// IndexObjects, GetIRSResult, FindIRSValue, the update methods (fed
+// by the database hook) and Flush.
+type Collection struct {
+	c         *Coupling
+	oid       oodb.OID
+	name      string
+	specQuery string
+	textMode  int
+	irsColl   *irs.Collection
+	deriver   derive.Scheme
+	policy    PropagationPolicy
+
+	buffer    *resultBuffer
+	log       *updateLog
+	stats     Stats
+	bufferOff atomic.Bool
+	textFn    func(oid oodb.OID, mode int) string
+}
+
+// Stats counts coupling activity; every field is maintained with
+// atomic increments and read via Snapshot.
+type Stats struct {
+	IRSSearches   atomic.Int64 // queries actually evaluated by the IRS
+	BufferHits    atomic.Int64
+	BufferMisses  atomic.Int64
+	Derivations   atomic.Int64 // deriveIRSValue invocations
+	DefaultValues atomic.Int64 // represented but unscored objects
+	OpsLogged     atomic.Int64
+	OpsCancelled  atomic.Int64 // ops removed by log cancellation
+	OpsApplied    atomic.Int64
+	Flushes       atomic.Int64
+	ForcedFlushes atomic.Int64 // flushes forced by a pending query
+	Indexed       atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	IRSSearches, BufferHits, BufferMisses int64
+	Derivations, DefaultValues            int64
+	OpsLogged, OpsCancelled, OpsApplied   int64
+	Flushes, ForcedFlushes, Indexed       int64
+}
+
+// Snapshot returns current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		IRSSearches: s.IRSSearches.Load(), BufferHits: s.BufferHits.Load(),
+		BufferMisses: s.BufferMisses.Load(), Derivations: s.Derivations.Load(),
+		DefaultValues: s.DefaultValues.Load(), OpsLogged: s.OpsLogged.Load(),
+		OpsCancelled: s.OpsCancelled.Load(), OpsApplied: s.OpsApplied.Load(),
+		Flushes: s.Flushes.Load(), ForcedFlushes: s.ForcedFlushes.Load(),
+		Indexed: s.Indexed.Load(),
+	}
+}
+
+func newCollection(c *Coupling, oid oodb.OID, name, specQuery string, textMode int,
+	irsColl *irs.Collection, deriver derive.Scheme, policy PropagationPolicy) *Collection {
+	col := &Collection{
+		c:         c,
+		oid:       oid,
+		name:      name,
+		specQuery: specQuery,
+		textMode:  textMode,
+		irsColl:   irsColl,
+		deriver:   deriver,
+		policy:    policy,
+		log:       newUpdateLog(),
+	}
+	col.buffer = newResultBuffer(col)
+	return col
+}
+
+// OID returns the COLLECTION object's identifier (what VQL queries
+// pass as the collection argument).
+func (col *Collection) OID() oodb.OID { return col.oid }
+
+// Name returns the collection name.
+func (col *Collection) Name() string { return col.name }
+
+// SpecQuery returns the specification query.
+func (col *Collection) SpecQuery() string { return col.specQuery }
+
+// TextMode returns the getText mode used for representations.
+func (col *Collection) TextMode() int { return col.textMode }
+
+// Deriver returns the derivation scheme.
+func (col *Collection) Deriver() derive.Scheme { return col.deriver }
+
+// SetDeriver exchanges the derivation scheme ("It is possible to
+// realize different solutions with the same framework in parallel
+// and to compare the results", Section 6).
+func (col *Collection) SetDeriver(s derive.Scheme) { col.deriver = s }
+
+// Policy returns the propagation policy.
+func (col *Collection) Policy() PropagationPolicy { return col.policy }
+
+// SetPolicy changes the propagation policy.
+func (col *Collection) SetPolicy(p PropagationPolicy) { col.policy = p }
+
+// SetTextFunc installs (or clears, with nil) the application-defined
+// getText override; see Options.TextFunc.
+func (col *Collection) SetTextFunc(fn func(oid oodb.OID, mode int) string) {
+	col.textFn = fn
+}
+
+// text returns the representation handed to the IRS for oid.
+func (col *Collection) text(oid oodb.OID) string {
+	if col.textFn != nil {
+		return col.textFn(oid, col.textMode)
+	}
+	return col.c.store.Text(oid, col.textMode)
+}
+
+// Stats exposes the activity counters.
+func (col *Collection) Stats() *Stats { return &col.stats }
+
+// IRS returns the underlying IRS collection (experiments inspect
+// index sizes through it).
+func (col *Collection) IRS() *irs.Collection { return col.irsColl }
+
+// DocCount returns the number of IRS documents in the collection.
+func (col *Collection) DocCount() int { return col.irsColl.DocCount() }
+
+// Represented reports whether obj has an IRS document in this
+// collection.
+func (col *Collection) Represented(obj oodb.OID) bool {
+	return col.irsColl.HasDoc(obj.String())
+}
+
+// defaultValue is the retrieval value of a represented document that
+// the IRS did not score for a query: the inference net assigns its
+// default belief to absent evidence, other paradigms zero.
+func (col *Collection) defaultValue() float64 {
+	if inf, ok := col.irsColl.Model().(irs.InferenceNet); ok {
+		if inf.DefaultBelief != 0 {
+			return inf.DefaultBelief
+		}
+		return 0.4
+	}
+	return 0
+}
+
+// specResult evaluates the specification query and returns the
+// selected object OIDs. Every result row must be a single object —
+// "The result is a set of IRSObjects" (Section 4.2).
+func (col *Collection) specResult() ([]oodb.OID, error) {
+	rs, err := col.c.ev.Run(col.specQuery)
+	if err != nil {
+		return nil, fmt.Errorf("core: specification query of %q: %w", col.name, err)
+	}
+	var out []oodb.OID
+	seen := make(map[oodb.OID]bool)
+	for _, row := range rs.Rows {
+		if len(row) != 1 || row[0].Kind != oodb.KindOID {
+			return nil, fmt.Errorf("%w (collection %q)", ErrBadSpecQuery, col.name)
+		}
+		if !seen[row[0].Ref] {
+			seen[row[0].Ref] = true
+			out = append(out, row[0].Ref)
+		}
+	}
+	return out, nil
+}
+
+// IndexObjects evaluates the specification query and indexes the
+// textual representation of every selected object — the paper's
+// indexObjects(specQuery, textMode). Re-invocation refreshes the
+// text of already-represented objects. The result buffer is
+// invalidated.
+func (col *Collection) IndexObjects() (int, error) {
+	oids, err := col.specResult()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, oid := range oids {
+		text := col.text(oid)
+		ext := oid.String()
+		meta := map[string]string{"oid": ext, "mode": fmt.Sprint(col.textMode)}
+		if col.irsColl.HasDoc(ext) {
+			err = col.irsColl.UpdateDocument(ext, text, meta)
+		} else {
+			err = col.irsColl.AddDocument(ext, text, meta)
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+		col.stats.Indexed.Add(1)
+	}
+	col.buffer.invalidate()
+	return n, nil
+}
+
+// Reindex fully resynchronizes the IRS collection with the current
+// specification-query result: missing objects are added, represented
+// objects refreshed, and objects no longer selected are removed.
+func (col *Collection) Reindex() (added, updated, removed int, err error) {
+	oids, err := col.specResult()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	want := make(map[string]oodb.OID, len(oids))
+	for _, oid := range oids {
+		want[oid.String()] = oid
+	}
+	for _, ext := range col.representedExtIDs() {
+		if _, ok := want[ext]; !ok {
+			if err := col.irsColl.DeleteDocument(ext); err != nil {
+				return added, updated, removed, err
+			}
+			removed++
+		}
+	}
+	for ext, oid := range want {
+		text := col.text(oid)
+		meta := map[string]string{"oid": ext, "mode": fmt.Sprint(col.textMode)}
+		if col.irsColl.HasDoc(ext) {
+			if err := col.irsColl.UpdateDocument(ext, text, meta); err != nil {
+				return added, updated, removed, err
+			}
+			updated++
+		} else {
+			if err := col.irsColl.AddDocument(ext, text, meta); err != nil {
+				return added, updated, removed, err
+			}
+			added++
+		}
+	}
+	col.log.drain() // everything is fresh; pending ops are moot
+	col.buffer.invalidate()
+	return added, updated, removed, nil
+}
+
+func (col *Collection) representedExtIDs() []string {
+	ix := col.irsColl.Index()
+	ids := ix.LiveDocIDs()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if ext, ok := ix.ExtID(id); ok {
+			out = append(out, ext)
+		}
+	}
+	return out
+}
+
+// GetIRSResult submits the query to the IRS — or serves it from the
+// persistent result buffer — and returns object OIDs with their
+// retrieval values (the paper's getIRSResult dictionary
+// ‖IRSObject → REAL‖). Pending update propagation is enforced first
+// when the policy defers it (Section 4.6: "If ... an information-
+// need query is issued with update propagation pending, propagation
+// is enforced").
+func (col *Collection) GetIRSResult(irsQuery string) (map[oodb.OID]float64, error) {
+	node, err := irs.ParseQuery(irsQuery)
+	if err != nil {
+		return nil, err
+	}
+	return col.getIRSResultNode(node)
+}
+
+func (col *Collection) getIRSResultNode(node *irs.Node) (map[oodb.OID]float64, error) {
+	if col.policy != PropagateImmediately && col.log.pending() {
+		col.stats.ForcedFlushes.Add(1)
+		if err := col.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	key := node.String()
+	useBuffer := !col.bufferOff.Load()
+	if useBuffer {
+		if scores, ok := col.buffer.get(key); ok {
+			col.stats.BufferHits.Add(1)
+			return scores, nil
+		}
+		col.stats.BufferMisses.Add(1)
+	}
+	col.stats.IRSSearches.Add(1)
+	results := col.irsColl.SearchNode(node)
+	scores := make(map[oodb.OID]float64, len(results))
+	for _, r := range results {
+		oid, err := oodb.ParseOID(r.ExtID)
+		if err != nil {
+			return nil, fmt.Errorf("core: IRS returned foreign document id %q: %w", r.ExtID, err)
+		}
+		scores[oid] = r.Score
+	}
+	if useBuffer {
+		col.buffer.put(key, scores)
+	}
+	return scores, nil
+}
+
+// FindIRSValue returns the IRS value of obj for the query,
+// implementing the Figure 3 flow: buffered result → direct value for
+// represented objects → deriveIRSValue for unrepresented ones.
+func (col *Collection) FindIRSValue(irsQuery string, obj oodb.OID) (float64, error) {
+	node, err := irs.ParseQuery(irsQuery)
+	if err != nil {
+		return 0, err
+	}
+	return col.findIRSValueNode(node, obj)
+}
+
+func (col *Collection) findIRSValueNode(node *irs.Node, obj oodb.OID) (float64, error) {
+	return col.findIRSValueDepth(node, obj, 0)
+}
+
+// maxDeriveDepth bounds the component recursion. Document trees are
+// shallow; the bound only guards against reference cycles an
+// application could build by editing children attributes directly.
+const maxDeriveDepth = 64
+
+// ErrDeriveDepth is returned when derivation recursion exceeds
+// maxDeriveDepth (almost certainly a cycle in component references).
+var ErrDeriveDepth = errors.New("core: derivation exceeds depth bound (component cycle?)")
+
+func (col *Collection) findIRSValueDepth(node *irs.Node, obj oodb.OID, depth int) (float64, error) {
+	if depth > maxDeriveDepth {
+		return 0, fmt.Errorf("%w: %s", ErrDeriveDepth, obj)
+	}
+	scores, err := col.getIRSResultNode(node)
+	if err != nil {
+		return 0, err
+	}
+	if v, ok := scores[obj]; ok {
+		return v, nil
+	}
+	if col.Represented(obj) {
+		// "If the object is represented in the IRS collection, the
+		// IRS directly calculates the value" — absence from the
+		// result means no evidence, i.e. the model's default.
+		col.stats.DefaultValues.Add(1)
+		return col.defaultValue(), nil
+	}
+	return col.deriveValueDepth(node, obj, depth)
+}
+
+// deriveValue computes the value of an unrepresented object from
+// its components' values (Section 4.5.2). Components are the
+// object's children in the document tree; their values come from
+// the same (buffered) machinery, recursing further down for
+// components that are themselves unrepresented.
+func (col *Collection) deriveValue(node *irs.Node, obj oodb.OID) (float64, error) {
+	return col.deriveValueDepth(node, obj, 0)
+}
+
+func (col *Collection) deriveValueDepth(node *irs.Node, obj oodb.OID, depth int) (float64, error) {
+	if depth > maxDeriveDepth {
+		return 0, fmt.Errorf("%w: %s", ErrDeriveDepth, obj)
+	}
+	col.stats.Derivations.Add(1)
+	kids := col.c.store.Children(obj)
+	if len(kids) == 0 {
+		return col.defaultValue(), nil
+	}
+	needSubs := col.deriver.NeedsSubqueries()
+	subs := node.Subqueries()
+	comps := make([]derive.Component, 0, len(kids))
+	for _, kid := range kids {
+		comp := derive.Component{
+			Type:   col.componentType(kid),
+			Length: len(strings.Fields(col.c.store.SubtreeText(kid))),
+		}
+		v, err := col.findIRSValueDepth(node, kid, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		comp.Value = v
+		if needSubs && len(subs) > 1 {
+			comp.PerSub = make([]float64, len(subs))
+			for i, sub := range subs {
+				sv, err := col.findIRSValueDepth(sub, kid, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				comp.PerSub[i] = sv
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return col.deriver.Derive(node, comps, col.defaultValue()), nil
+}
+
+func (col *Collection) componentType(oid oodb.OID) string {
+	if t := col.c.store.TypeOf(oid); t != "" {
+		return t
+	}
+	class, _ := col.c.db.ClassOf(oid)
+	return class
+}
+
+// onUpdate records a relevant committed database mutation in the
+// update log. A text or structure change affects the representation
+// of the object itself and of every represented ancestor (their
+// getText covers the subtree), so all of them are logged.
+func (col *Collection) onUpdate(u oodb.Update) {
+	switch u.Kind {
+	case oodb.UpdateCreate:
+		col.log.add(u.OID, pendingCreate, &col.stats)
+	case oodb.UpdateDelete:
+		if col.Represented(u.OID) || col.log.hasCreate(u.OID) {
+			col.log.add(u.OID, pendingDelete, &col.stats)
+		}
+	case oodb.UpdateModify:
+		for oid := u.OID; oid != oodb.NilOID; oid = col.c.store.Parent(oid) {
+			if col.Represented(oid) {
+				col.log.add(oid, pendingModify, &col.stats)
+			}
+		}
+	}
+	if col.policy == PropagateImmediately && col.log.pending() {
+		// Errors here cannot be returned to the mutator (the hook
+		// runs post-commit); they surface on the next query instead.
+		_ = col.Flush()
+	}
+}
+
+// Flush propagates pending updates to the IRS collection: modified
+// representations are refreshed, deleted objects removed, and — when
+// creations are pending — the specification query is re-evaluated to
+// admit new members. The result buffer is invalidated ("rebuilding
+// the IRS index structures even though they will not change after
+// all" is avoided by the log's cancellation, Section 4.6).
+func (col *Collection) Flush() error {
+	ops, hadCreates := col.log.drain()
+	if len(ops) == 0 && !hadCreates {
+		return nil
+	}
+	col.stats.Flushes.Add(1)
+	changed := false
+	for _, op := range ops {
+		ext := op.oid.String()
+		switch op.kind {
+		case pendingModify:
+			if !col.irsColl.HasDoc(ext) {
+				continue
+			}
+			text := col.text(op.oid)
+			meta := map[string]string{"oid": ext, "mode": fmt.Sprint(col.textMode)}
+			if err := col.irsColl.UpdateDocument(ext, text, meta); err != nil {
+				return err
+			}
+			col.stats.OpsApplied.Add(1)
+			changed = true
+		case pendingDelete:
+			if !col.irsColl.HasDoc(ext) {
+				continue
+			}
+			if err := col.irsColl.DeleteDocument(ext); err != nil {
+				return err
+			}
+			col.stats.OpsApplied.Add(1)
+			changed = true
+		}
+	}
+	if hadCreates {
+		oids, err := col.specResult()
+		if err != nil {
+			return err
+		}
+		for _, oid := range oids {
+			ext := oid.String()
+			if col.irsColl.HasDoc(ext) {
+				continue
+			}
+			text := col.text(oid)
+			meta := map[string]string{"oid": ext, "mode": fmt.Sprint(col.textMode)}
+			if err := col.irsColl.AddDocument(ext, text, meta); err != nil {
+				return err
+			}
+			col.stats.OpsApplied.Add(1)
+			col.stats.Indexed.Add(1)
+			changed = true
+		}
+	}
+	if changed {
+		col.buffer.invalidate()
+	}
+	return nil
+}
+
+// PendingOps reports the size of the update log (experiments).
+func (col *Collection) PendingOps() int { return col.log.size() }

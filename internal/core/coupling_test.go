@@ -1,0 +1,598 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/derive"
+	"repro/internal/docmodel"
+	"repro/internal/irs"
+	"repro/internal/oodb"
+	"repro/internal/sgml"
+)
+
+const testDTD = `
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, PARA+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA)>
+<!ATTLIST MMFDOC YEAR NUMBER #IMPLIED>
+`
+
+// fixture assembles the full stack on a memory (or disk) database:
+// SGML -> docmodel -> coupling -> IRS engine.
+type fixture struct {
+	t        *testing.T
+	store    *docmodel.Store
+	engine   *irs.Engine
+	coupling *Coupling
+	dtd      *sgml.DTD
+	docs     []oodb.OID
+}
+
+func newFixture(t *testing.T, dir string) *fixture {
+	t.Helper()
+	db, err := oodb.Open(dir, oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docmodel.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := irs.NewEngine()
+	coupling, err := New(store, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sgml.ParseDTD(testDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LoadDTD(d); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{t: t, store: store, engine: engine, coupling: coupling, dtd: d}
+}
+
+// addDoc inserts an MMF document whose paragraphs carry the given
+// texts.
+func (fx *fixture) addDoc(year, title string, paras ...string) oodb.OID {
+	fx.t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`<MMFDOC YEAR="` + year + `"><LOGBOOK>log<DOCTITLE>` + title + `<ABSTRACT>abs`)
+	for _, p := range paras {
+		sb.WriteString("<PARA>" + p)
+	}
+	sb.WriteString("</MMFDOC>")
+	tree, err := sgml.ParseDocument(fx.dtd, sb.String(), sgml.ParseOptions{Strict: true})
+	if err != nil {
+		fx.t.Fatal(err)
+	}
+	oid, err := fx.store.InsertDocument(fx.dtd, tree)
+	if err != nil {
+		fx.t.Fatal(err)
+	}
+	fx.docs = append(fx.docs, oid)
+	return oid
+}
+
+func (fx *fixture) paraColl(opts Options) *Collection {
+	fx.t.Helper()
+	col, err := fx.coupling.CreateCollection("collPara", `ACCESS p FROM p IN PARA;`, opts)
+	if err != nil {
+		fx.t.Fatal(err)
+	}
+	if _, err := col.IndexObjects(); err != nil {
+		fx.t.Fatal(err)
+	}
+	return col
+}
+
+func (fx *fixture) paras(doc oodb.OID) []oodb.OID {
+	var out []oodb.OID
+	for _, k := range fx.store.Children(doc) {
+		if fx.store.TypeOf(k) == "PARA" {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestCreateCollectionAndIndexObjects(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "the world wide web", "the national infrastructure")
+	col := fx.paraColl(Options{})
+	if got := col.DocCount(); got != 2 {
+		t.Fatalf("DocCount = %d, want 2", got)
+	}
+	paras := fx.paras(fx.docs[0])
+	for _, p := range paras {
+		if !col.Represented(p) {
+			t.Errorf("paragraph %v not represented", p)
+		}
+	}
+	if col.Represented(fx.docs[0]) {
+		t.Error("document represented in a paragraph collection")
+	}
+	// Duplicate name rejected.
+	if _, err := fx.coupling.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", Options{}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate: %v", err)
+	}
+	// Bad spec queries rejected.
+	if _, err := fx.coupling.CreateCollection("x", "NOT A QUERY", Options{}); err == nil {
+		t.Error("bad spec query accepted")
+	}
+	bad, err := fx.coupling.CreateCollection("badspec", "ACCESS p, p -> length() FROM p IN PARA;", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.IndexObjects(); !errors.Is(err, ErrBadSpecQuery) {
+		t.Errorf("multi-column spec query: %v", err)
+	}
+}
+
+func TestGetIRSResultAndBuffering(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "the world wide web is the www", "something else entirely")
+	col := fx.paraColl(Options{})
+	res, err := col.GetIRSResult("www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("result = %v", res)
+	}
+	s0 := col.Stats().Snapshot()
+	if s0.IRSSearches != 1 || s0.BufferMisses != 1 {
+		t.Errorf("stats after first query: %+v", s0)
+	}
+	// Same query again (even written differently) hits the buffer.
+	if _, err := col.GetIRSResult("  www "); err != nil {
+		t.Fatal(err)
+	}
+	s1 := col.Stats().Snapshot()
+	if s1.IRSSearches != 1 || s1.BufferHits != 1 {
+		t.Errorf("stats after repeat: %+v", s1)
+	}
+	if col.BufferedQueries() != 1 {
+		t.Errorf("buffered queries = %d", col.BufferedQueries())
+	}
+	// Malformed queries error.
+	if _, err := col.GetIRSResult("#broken("); err == nil {
+		t.Error("bad IRS query accepted")
+	}
+}
+
+func TestFindIRSValueFlowchart(t *testing.T) {
+	fx := newFixture(t, "")
+	doc := fx.addDoc("1994", "webdoc", "the world wide web is the www", "unrelated text here")
+	col := fx.paraColl(Options{})
+	paras := fx.paras(doc)
+
+	// Path 1: represented and scored -> direct IRS value.
+	v, err := col.FindIRSValue("www", paras[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0.4 {
+		t.Errorf("scored value = %v, want > default", v)
+	}
+	// Path 2: represented but unscored -> default belief.
+	v, err = col.FindIRSValue("www", paras[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0.4 {
+		t.Errorf("unscored represented value = %v, want 0.4", v)
+	}
+	// Path 3: unrepresented (the document) -> derived.
+	before := col.Stats().Snapshot().Derivations
+	v, err = col.FindIRSValue("www", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Stats().Snapshot().Derivations <= before {
+		t.Error("derivation path not taken")
+	}
+	// Default Max scheme: document value = max of component values.
+	vp, _ := col.FindIRSValue("www", paras[0])
+	if math.Abs(v-vp) > 1e-9 {
+		t.Errorf("derived doc value %v != max para value %v", v, vp)
+	}
+}
+
+func TestGetIRSValueMethodThroughVQL(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "the world wide web is the www", "irrelevant padding text")
+	fx.addDoc("1995", "other", "completely different topic", "more padding")
+	col := fx.paraColl(Options{})
+	_ = col
+	ev := fx.coupling.Evaluator()
+	rs, err := ev.Run(`ACCESS p, p -> length() FROM p IN PARA WHERE p -> getIRSValue (collPara, 'www') > 0.45;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	// One-argument form uses the default collection.
+	rs2, err := ev.Run(`ACCESS p FROM p IN PARA WHERE p -> getIRSValue('www') > 0.45;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2.Rows) != 1 {
+		t.Errorf("default-collection rows = %v", rs2.Rows)
+	}
+	// Mixed query combining structure and content (the paper's
+	// flagship capability).
+	rs3, err := ev.Run(`ACCESS d FROM d IN MMFDOC, p IN PARA WHERE p -> getContaining('MMFDOC') == d AND d -> getAttributeValue('YEAR') = '1994' AND p -> getIRSValue(collPara, 'www') > 0.45;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs3.Rows) != 1 || rs3.Rows[0][0].Ref != fx.docs[0] {
+		t.Errorf("mixed rows = %v", rs3.Rows)
+	}
+}
+
+func TestUpdatePropagationOnQuery(t *testing.T) {
+	fx := newFixture(t, "")
+	doc := fx.addDoc("1994", "webdoc", "old content about telnet", "second paragraph")
+	col := fx.paraColl(Options{Policy: PropagateOnQuery})
+	paras := fx.paras(doc)
+	// Query once to warm the buffer.
+	if _, err := col.GetIRSResult("telnet"); err != nil {
+		t.Fatal(err)
+	}
+	// Edit the paragraph's text leaf.
+	leaf := fx.store.Children(paras[0])[0]
+	if err := fx.store.SetText(leaf, "new content about gopher"); err != nil {
+		t.Fatal(err)
+	}
+	if col.PendingOps() == 0 {
+		t.Fatal("update not logged")
+	}
+	// The next query forces propagation and sees fresh text.
+	res, err := col.GetIRSResult("gopher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("gopher result = %v (propagation failed)", res)
+	}
+	res, _ = col.GetIRSResult("telnet")
+	if len(res) != 0 {
+		t.Errorf("stale telnet result = %v", res)
+	}
+	s := col.Stats().Snapshot()
+	if s.ForcedFlushes == 0 || s.OpsApplied == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestUpdatePropagationImmediate(t *testing.T) {
+	fx := newFixture(t, "")
+	doc := fx.addDoc("1994", "webdoc", "old content about telnet", "second paragraph")
+	col := fx.paraColl(Options{Policy: PropagateImmediately})
+	paras := fx.paras(doc)
+	leaf := fx.store.Children(paras[0])[0]
+	if err := fx.store.SetText(leaf, "immediate gopher text"); err != nil {
+		t.Fatal(err)
+	}
+	// No query issued: the IRS must already be fresh.
+	if col.PendingOps() != 0 {
+		t.Errorf("pending ops = %d under immediate policy", col.PendingOps())
+	}
+	hits, _ := col.IRS().Search("gopher")
+	if len(hits) != 1 {
+		t.Errorf("direct IRS search = %v", hits)
+	}
+}
+
+func TestUpdateCancellation(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "first paragraph text", "second paragraph text")
+	col := fx.paraColl(Options{Policy: PropagateManually})
+	// Create a document and delete it again before any flush — the
+	// paper's canonical cancellation example.
+	doc2 := fx.addDoc("1995", "ephemeral", "fleeting paragraph")
+	if err := fx.store.DeleteDocument(doc2); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Stats().Snapshot()
+	if s.OpsCancelled == 0 {
+		t.Errorf("no cancellations recorded: %+v", s)
+	}
+	applied0 := s.OpsApplied
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s = col.Stats().Snapshot()
+	// The flush may re-run the spec query for the (cancelled-out)
+	// creates, but must not have applied ops for the deleted doc's
+	// paragraphs beyond re-adds of existing ones (none needed).
+	if col.DocCount() != 2 {
+		t.Errorf("DocCount after cancelled create+delete = %d, want 2", col.DocCount())
+	}
+	_ = applied0
+	// Modify-modify collapse: two edits of the same leaf.
+	paras := fx.paras(fx.docs[0])
+	leaf := fx.store.Children(paras[0])[0]
+	fx.store.SetText(leaf, "edit one")
+	fx.store.SetText(leaf, "edit two")
+	if col.PendingOps() != 1 {
+		t.Errorf("pending ops = %d, want 1 (collapsed)", col.PendingOps())
+	}
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := col.GetIRSResult("edit")
+	if len(res) != 1 {
+		t.Errorf("post-flush search = %v", res)
+	}
+}
+
+func TestNewDocumentsJoinCollectionOnFlush(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "seed paragraph")
+	col := fx.paraColl(Options{Policy: PropagateOnQuery})
+	if col.DocCount() != 1 {
+		t.Fatal("seed not indexed")
+	}
+	fx.addDoc("1995", "newdoc", "fresh paragraph about xanadu")
+	// Membership resolved at flush (query time).
+	res, err := col.GetIRSResult("xanadu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Errorf("new paragraph not admitted: %v", res)
+	}
+	if col.DocCount() != 2 {
+		t.Errorf("DocCount = %d, want 2", col.DocCount())
+	}
+}
+
+func TestBufferInvalidationOnFlush(t *testing.T) {
+	fx := newFixture(t, "")
+	doc := fx.addDoc("1994", "webdoc", "alpha text", "beta text")
+	col := fx.paraColl(Options{Policy: PropagateOnQuery})
+	col.GetIRSResult("alpha")
+	col.GetIRSResult("beta")
+	if col.BufferedQueries() != 2 {
+		t.Fatalf("buffered = %d", col.BufferedQueries())
+	}
+	leaf := fx.store.Children(fx.paras(doc)[0])[0]
+	fx.store.SetText(leaf, "gamma text")
+	// Query forces flush which invalidates ALL buffered results.
+	col.GetIRSResult("gamma")
+	if got := col.BufferedQueries(); got != 1 {
+		t.Errorf("buffered after invalidation = %d, want 1 (gamma only)", got)
+	}
+}
+
+func TestReindexResynchronizes(t *testing.T) {
+	fx := newFixture(t, "")
+	doc := fx.addDoc("1994", "webdoc", "one", "two", "three")
+	col, err := fx.coupling.CreateCollection("coll1994",
+		`ACCESS p FROM p IN PARA WHERE p -> getContaining('MMFDOC') -> getAttributeValue('YEAR') = '1994';`,
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	if col.DocCount() != 3 {
+		t.Fatalf("DocCount = %d", col.DocCount())
+	}
+	// Change the year: paragraphs no longer qualify.
+	fx.store.DB().SetAttr(doc, "@YEAR", oodb.S("1996"))
+	added, updated, removed, err := col.Reindex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || removed != 3 || updated != 0 {
+		t.Errorf("reindex = %d added, %d updated, %d removed", added, updated, removed)
+	}
+	if col.DocCount() != 0 {
+		t.Errorf("DocCount after reindex = %d", col.DocCount())
+	}
+}
+
+func TestDeriveWithQueryAwareScheme(t *testing.T) {
+	fx := newFixture(t, "")
+	// Figure 4 in miniature: M3 has one www para and one nii para;
+	// M4 has two www paras. Filler documents give the corpus enough
+	// documents for idf discrimination.
+	for i := 0; i < 6; i++ {
+		word := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}[i]
+		fx.addDoc("1990", "filler",
+			word+" filler words everywhere today",
+			word+" unrelated matter entirely here")
+	}
+	m3 := fx.addDoc("1994", "m3", "www www www www coverage", "nii nii nii nii coverage")
+	m4 := fx.addDoc("1994", "m4", "www www www www coverage", "www www www www extras")
+	// A lower default belief keeps the evidence floor from drowning
+	// the per-term signal in this four-paragraph corpus.
+	col := fx.paraColl(Options{
+		Deriver: derive.QueryAware{},
+		Model:   irs.InferenceNet{DefaultBelief: 0.1},
+	})
+	v3, err := col.FindIRSValue("#and(www nii)", m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4, err := col.FindIRSValue("#and(www nii)", m4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 <= v4 {
+		t.Errorf("query-aware: M3 %v <= M4 %v", v3, v4)
+	}
+	// Under Max they tie (the deficiency the paper identifies).
+	col.SetDeriver(derive.Max{})
+	m3max, _ := col.FindIRSValue("#and(www nii)", m3)
+	m4max, _ := col.FindIRSValue("#and(www nii)", m4)
+	if math.Abs(m3max-m4max) > 0.02 {
+		t.Errorf("max: M3 %v vs M4 %v should be ~equal", m3max, m4max)
+	}
+}
+
+func TestOperatorPlacementEquivalence(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "d1", "the www is growing", "the nii program", "both www and nii here")
+	col := fx.paraColl(Options{})
+	// IRS-side composite query.
+	irsSide, err := col.GetIRSResult("#and(www nii)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OODBMS-side combination of operand results.
+	dbSide, err := col.IRSOperatorAND("www", "nii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(irsSide) != len(dbSide) {
+		t.Fatalf("candidate sets differ: %d vs %d", len(irsSide), len(dbSide))
+	}
+	for oid, v := range irsSide {
+		if math.Abs(dbSide[oid]-v) > 1e-9 {
+			t.Errorf("AND mismatch for %v: irs %v vs oodbms %v", oid, v, dbSide[oid])
+		}
+	}
+	// OR and MAX and SUM likewise.
+	for _, tc := range []struct {
+		name string
+		irs  string
+		db   func() (map[oodb.OID]float64, error)
+	}{
+		{"or", "#or(www nii)", func() (map[oodb.OID]float64, error) { return col.IRSOperatorOR("www", "nii") }},
+		{"max", "#max(www nii)", func() (map[oodb.OID]float64, error) { return col.IRSOperatorMAX("www", "nii") }},
+		{"sum", "#sum(www nii)", func() (map[oodb.OID]float64, error) { return col.IRSOperatorSUM("www", "nii") }},
+		{"wsum", "#wsum(2 www 1 nii)", func() (map[oodb.OID]float64, error) {
+			return col.IRSOperatorWSUM([]float64{2, 1}, []string{"www", "nii"})
+		}},
+	} {
+		want, err := col.GetIRSResult(tc.irs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.db()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oid, v := range want {
+			if math.Abs(got[oid]-v) > 1e-9 {
+				t.Errorf("%s mismatch for %v: %v vs %v", tc.name, oid, v, got[oid])
+			}
+		}
+	}
+	if _, err := col.IRSOperatorAND(); !errors.Is(err, ErrOperatorArity) {
+		t.Errorf("empty AND: %v", err)
+	}
+	if _, err := col.IRSOperatorWSUM([]float64{1}, []string{"a", "b"}); !errors.Is(err, ErrOperatorArity) {
+		t.Errorf("wsum arity: %v", err)
+	}
+}
+
+func TestOverlappingCollections(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "d1", "the www paragraph", "another paragraph")
+	// Paragraph-level and document-level collections coexist; the
+	// document collection uses the abstract mode.
+	collPara := fx.paraColl(Options{})
+	collDoc, err := fx.coupling.CreateCollection("collDoc", `ACCESS d FROM d IN MMFDOC;`,
+		Options{TextMode: docmodel.ModeAbstract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collDoc.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	if collPara.DocCount() != 2 || collDoc.DocCount() != 1 {
+		t.Errorf("doc counts: para %d, doc %d", collPara.DocCount(), collDoc.DocCount())
+	}
+	// The same object may appear in several collections with
+	// different representations (Section 4.3).
+	names := fx.coupling.Collections()
+	if len(names) != 2 {
+		t.Errorf("collections = %v", names)
+	}
+	// Drop one; the other is unaffected.
+	if err := fx.coupling.DropCollection("collDoc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.coupling.Collection("collDoc"); !errors.Is(err, ErrNoSuchCollection) {
+		t.Errorf("dropped collection still resolvable: %v", err)
+	}
+	if collPara.DocCount() != 2 {
+		t.Error("sibling collection damaged by drop")
+	}
+}
+
+func TestCouplingPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	fx := newFixture(t, dir)
+	fx.addDoc("1994", "webdoc", "the www paragraph", "the nii paragraph")
+	col := fx.paraColl(Options{})
+	if _, err := col.GetIRSResult("www"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.store.DB().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: database recovers, coupling restores the collection
+	// and its persisted buffer; the IRS index is rebuilt via Reindex
+	// (the engine here is memory-only, like a lost INQUERY index).
+	db, err := oodb.Open(dir, oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	store, err := docmodel.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coupling, err := New(store, irs.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2, err := coupling.Collection("collPara")
+	if err != nil {
+		t.Fatalf("collection lost on restart: %v", err)
+	}
+	if col2.SpecQuery() != `ACCESS p FROM p IN PARA;` {
+		t.Errorf("spec query = %q", col2.SpecQuery())
+	}
+	// The buffered result survived the restart (persistent buffer).
+	if col2.BufferedQueries() != 1 {
+		t.Errorf("buffered queries after restart = %d, want 1", col2.BufferedQueries())
+	}
+	res, err := col2.GetIRSResult("www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Errorf("buffered result after restart = %v", res)
+	}
+	s := col2.Stats().Snapshot()
+	if s.BufferHits != 1 || s.IRSSearches != 0 {
+		t.Errorf("restart should serve from buffer: %+v", s)
+	}
+	// Rebuild the IRS side and verify fresh queries work too.
+	if _, _, _, err := col2.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = col2.GetIRSResult("nii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Errorf("post-reindex result = %v", res)
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/derive"
+	"repro/internal/oodb"
+)
+
+func TestTextFuncOverridesRepresentation(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "original paragraph text", "second paragraph")
+	col, err := fx.coupling.CreateCollection("collCustom", "ACCESS p FROM p IN PARA;",
+		Options{TextFunc: func(oid oodb.OID, mode int) string {
+			return "custom representation zebra"
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	// The custom text is indexed, the original is not.
+	res, err := col.GetIRSResult("zebra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Errorf("zebra hits = %v", res)
+	}
+	res, _ = col.GetIRSResult("original")
+	if len(res) != 0 {
+		t.Errorf("original text leaked into custom collection: %v", res)
+	}
+	// Propagation uses the TextFunc too.
+	leaf := fx.store.Children(fx.paras(fx.docs[0])[0])[0]
+	if err := fx.store.SetText(leaf, "edited"); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = col.GetIRSResult("zebra")
+	if len(res) != 2 {
+		t.Errorf("custom text lost after flush: %v", res)
+	}
+	// SetTextFunc(nil) restores the default (the first paragraph's
+	// text is "edited" by now; the second is untouched).
+	col.SetTextFunc(nil)
+	if _, _, _, err := col.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = col.GetIRSResult("paragraph")
+	if len(res) != 1 { // only the untouched second paragraph keeps it
+		t.Errorf("default text not restored: %v", res)
+	}
+}
+
+func TestDefaultCollectionSelection(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "www paragraph here", "nii paragraph here")
+	colA := fx.paraColl(Options{})
+	colB, err := fx.coupling.CreateCollection("collB", "ACCESS d FROM d IN MMFDOC;", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := colB.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	// The first-created collection is the default.
+	para := fx.paras(fx.docs[0])[0]
+	v1, err := fx.coupling.DB().Call(para, "getIRSValue", oodb.S("www"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Switch the default to colB: the paragraph is NOT represented
+	// there, so the value comes from derivation (leaf default).
+	fx.coupling.SetDefaultCollection(colB)
+	v2, err := fx.coupling.DB().Call(para, "getIRSValue", oodb.S("www"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Float <= 0.4 {
+		t.Errorf("default collection A value = %v", v1)
+	}
+	if v2.Float != 0.4 {
+		t.Errorf("default collection B derived value = %v, want 0.4", v2.Float)
+	}
+	_ = colA
+}
+
+func TestDeriveIRSValueMethodThroughVQL(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "the www www www paragraph", "padding text")
+	fx.paraColl(Options{Deriver: derive.Max{}})
+	ev := fx.coupling.Evaluator()
+	// deriveIRSValue invoked explicitly on the (unrepresented)
+	// document objects.
+	rs, err := ev.Run(`ACCESS d, d -> deriveIRSValue(collPara, 'www') FROM d IN MMFDOC;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	if got := rs.Rows[0][1].Float; got <= 0.4 {
+		t.Errorf("derived value via VQL = %v", got)
+	}
+}
+
+func TestOperatorsWithUnknownTerms(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "www paragraph", "nii paragraph")
+	col := fx.paraColl(Options{})
+	res, err := col.IRSOperatorAND("www", "zzznotindexed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidates = union; unknown operand contributes default belief.
+	if len(res) != 1 {
+		t.Fatalf("res = %v", res)
+	}
+	for _, v := range res {
+		if v >= 0.4 {
+			t.Errorf("AND with unknown term = %v, want < 0.4 (x * 0.4)", v)
+		}
+	}
+	notRes, err := col.IRSOperatorNOT("www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range notRes {
+		if v < 0 || v > 1 {
+			t.Errorf("NOT out of range: %v", v)
+		}
+	}
+	if _, err := col.IRSOperatorOR(); !errors.Is(err, ErrOperatorArity) {
+		t.Errorf("empty OR: %v", err)
+	}
+}
+
+func TestConcurrentCollectionAccess(t *testing.T) {
+	fx := newFixture(t, "")
+	for i := 0; i < 4; i++ {
+		fx.addDoc("1994", "doc", "www content paragraph", "nii content paragraph")
+	}
+	col := fx.paraColl(Options{Policy: PropagateOnQuery})
+	leaves := func() []oodb.OID {
+		var out []oodb.OID
+		for _, d := range fx.docs {
+			for _, p := range fx.paras(d) {
+				out = append(out, fx.store.Children(p)...)
+			}
+		}
+		return out
+	}()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := col.GetIRSResult("www"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				leaf := leaves[(g*10+i)%len(leaves)]
+				if err := fx.store.SetText(leaf, "updated www text"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := col.IRSOperatorAND("www", "nii"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestCollectionAccessors(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "one paragraph")
+	col := fx.paraColl(Options{Policy: PropagateManually})
+	if col.Name() != "collPara" {
+		t.Errorf("Name = %q", col.Name())
+	}
+	if col.OID() == oodb.NilOID {
+		t.Error("OID is nil")
+	}
+	if col.TextMode() != 0 {
+		t.Errorf("TextMode = %d", col.TextMode())
+	}
+	if col.Policy() != PropagateManually {
+		t.Errorf("Policy = %v", col.Policy())
+	}
+	col.SetPolicy(PropagateImmediately)
+	if col.Policy() != PropagateImmediately {
+		t.Error("SetPolicy lost")
+	}
+	if col.Deriver().Name() != "max" {
+		t.Errorf("Deriver = %q", col.Deriver().Name())
+	}
+	if !strings.Contains(col.SpecQuery(), "PARA") {
+		t.Errorf("SpecQuery = %q", col.SpecQuery())
+	}
+	names := fx.coupling.Collections()
+	if len(names) != 1 || names[0] != "collPara" {
+		t.Errorf("Collections = %v", names)
+	}
+}
+
+func TestPolicyAndKindStrings(t *testing.T) {
+	if PropagateImmediately.String() != "immediate" ||
+		PropagateOnQuery.String() != "on-query" ||
+		PropagateManually.String() != "manual" {
+		t.Error("policy strings wrong")
+	}
+	if PropagationPolicy(99).String() != "?" {
+		t.Error("unknown policy string")
+	}
+}
+
+func TestWeightedByTypeDerivation(t *testing.T) {
+	fx := newFixture(t, "")
+	// The DOCTITLE carries the topic; the body paragraphs do not. A
+	// DOCTITLE-granularity collection supplies the only non-default
+	// component value, so a DOCTITLE-heavy type weighting must raise
+	// the derived document value above the flat average ([Wil94]'s
+	// type-weighting idea through the coupling).
+	doc := fx.addDoc("1994", "www www www overview", "body text one", "body text two")
+	colTitle, err := fx.coupling.CreateCollection("collDocTitle",
+		"ACCESS x FROM x IN DOCTITLE;", Options{
+			Deriver: derive.WeightedByType{Weights: map[string]float64{"DOCTITLE": 5}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := colTitle.IndexObjects(); err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := colTitle.FindIRSValue("www", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colTitle.SetDeriver(derive.Avg{})
+	flat, err := colTitle.FindIRSValue("www", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted <= flat {
+		t.Errorf("DOCTITLE-weighted %v <= flat avg %v", weighted, flat)
+	}
+}
+
+func TestDeriveCycleGuard(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc", "some paragraph")
+	col := fx.paraColl(Options{})
+	// Build a pathological component cycle directly through the
+	// children attribute (nothing the SGML loader would produce).
+	a, _ := fx.coupling.DB().NewObject("MMFDOC", nil)
+	b, _ := fx.coupling.DB().NewObject("MMFDOC", nil)
+	fx.coupling.DB().SetAttr(a, "children", oodb.RefList([]oodb.OID{b}))
+	fx.coupling.DB().SetAttr(b, "children", oodb.RefList([]oodb.OID{a}))
+	if _, err := col.FindIRSValue("www", a); !errors.Is(err, ErrDeriveDepth) {
+		t.Errorf("cycle derivation: %v, want ErrDeriveDepth", err)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/oodb"
+)
+
+// OODBMS-side IRS operators (Section 4.5.4): "IRS-operators can be
+// duplicated as methods of the collection objects. INQUERY's
+// AND-operator, to give an example, corresponds to a method
+// IRSOperatorAND in our implementation. Its parameters are results
+// of IRS queries. Hence, it is possible to calculate conjunction
+// both in the IRS or the OODBMS. Consider the case that the
+// corresponding collection object already knows intermediate results
+// because they have been buffered ... Then the second alternative is
+// particularly appealing."
+//
+// Each operator fetches its operand results through GetIRSResult —
+// hitting the persistent buffer when warm — and recombines them with
+// the operator's exact semantics (the "precise knowledge of the
+// IRS-operators' semantics" prerequisite). For the inference-net
+// model the recombination is provably equivalent to asking the IRS
+// for the composite query, which TestOperatorPlacementEquivalence
+// asserts.
+
+// ErrOperatorArity is returned for operand/weight count mismatches.
+var ErrOperatorArity = errors.New("core: operator arity mismatch")
+
+// IRSOperatorAND combines operand query results with INQUERY's #and
+// semantics (product of beliefs, default belief for absent
+// evidence).
+func (col *Collection) IRSOperatorAND(queries ...string) (map[oodb.OID]float64, error) {
+	return col.combine(queries, func(vals []float64) float64 {
+		p := 1.0
+		for _, v := range vals {
+			p *= v
+		}
+		return p
+	})
+}
+
+// IRSOperatorOR combines with #or semantics (complement product).
+func (col *Collection) IRSOperatorOR(queries ...string) (map[oodb.OID]float64, error) {
+	return col.combine(queries, func(vals []float64) float64 {
+		q := 1.0
+		for _, v := range vals {
+			q *= 1 - v
+		}
+		return 1 - q
+	})
+}
+
+// IRSOperatorSUM combines with #sum semantics (mean).
+func (col *Collection) IRSOperatorSUM(queries ...string) (map[oodb.OID]float64, error) {
+	return col.combine(queries, func(vals []float64) float64 {
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	})
+}
+
+// IRSOperatorMAX combines with #max semantics.
+func (col *Collection) IRSOperatorMAX(queries ...string) (map[oodb.OID]float64, error) {
+	return col.combine(queries, func(vals []float64) float64 {
+		best := vals[0]
+		for _, v := range vals[1:] {
+			if v > best {
+				best = v
+			}
+		}
+		return best
+	})
+}
+
+// IRSOperatorWSUM combines with #wsum semantics (weighted mean).
+func (col *Collection) IRSOperatorWSUM(weights []float64, queries []string) (map[oodb.OID]float64, error) {
+	if len(weights) != len(queries) || len(queries) == 0 {
+		return nil, ErrOperatorArity
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return nil, ErrOperatorArity
+	}
+	return col.combine(queries, func(vals []float64) float64 {
+		s := 0.0
+		for i, v := range vals {
+			s += weights[i] * v
+		}
+		return s / total
+	})
+}
+
+// IRSOperatorNOT complements a single operand result over the
+// operand's candidate set.
+func (col *Collection) IRSOperatorNOT(query string) (map[oodb.OID]float64, error) {
+	res, err := col.GetIRSResult(query)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[oodb.OID]float64, len(res))
+	for oid, v := range res {
+		out[oid] = 1 - v
+	}
+	return out, nil
+}
+
+// combine evaluates all operand queries (buffer-served when warm)
+// and merges them over the union of their candidate objects.
+func (col *Collection) combine(queries []string, merge func([]float64) float64) (map[oodb.OID]float64, error) {
+	if len(queries) == 0 {
+		return nil, ErrOperatorArity
+	}
+	results := make([]map[oodb.OID]float64, len(queries))
+	candidates := make(map[oodb.OID]bool)
+	for i, q := range queries {
+		res, err := col.GetIRSResult(q)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+		for oid := range res {
+			candidates[oid] = true
+		}
+	}
+	dflt := col.defaultValue()
+	out := make(map[oodb.OID]float64, len(candidates))
+	vals := make([]float64, len(queries))
+	for oid := range candidates {
+		for i, res := range results {
+			if v, ok := res[oid]; ok {
+				vals[i] = v
+			} else {
+				vals[i] = dflt
+			}
+		}
+		out[oid] = merge(vals)
+	}
+	return out, nil
+}

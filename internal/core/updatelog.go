@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/oodb"
+)
+
+// PropagationPolicy bounds WHEN database updates are propagated to
+// the IRS index structures (Section 4.6): immediately after each
+// update, before the next information-need query, or when the
+// application says so (with queries still forcing a pending flush).
+type PropagationPolicy uint8
+
+// Propagation policies.
+const (
+	// PropagateOnQuery defers propagation until the next IRS query
+	// (alternative (2): "After a query is issued the index
+	// structures are updated before the query's evaluation").
+	PropagateOnQuery PropagationPolicy = iota
+	// PropagateImmediately propagates after every committed update
+	// (alternative (1): costly "if the number of updates is high as
+	// compared to the number of information-need queries").
+	PropagateImmediately
+	// PropagateManually leaves propagation to the application
+	// (e.g. in low-load periods); a query with propagation pending
+	// still forces it.
+	PropagateManually
+)
+
+func (p PropagationPolicy) String() string {
+	switch p {
+	case PropagateImmediately:
+		return "immediate"
+	case PropagateOnQuery:
+		return "on-query"
+	case PropagateManually:
+		return "manual"
+	}
+	return "?"
+}
+
+// pendingKind classifies a logged operation.
+type pendingKind uint8
+
+const (
+	pendingCreate pendingKind = iota + 1
+	pendingModify
+	pendingDelete
+)
+
+// pendingOp is one entry of the drained log.
+type pendingOp struct {
+	oid  oodb.OID
+	kind pendingKind
+}
+
+// updateLog records relevant database operations between flushes and
+// cancels out operations that annul each other — "with some
+// operation sequences, operations cancel out each other's effect.
+// For instance, consider the deletion of a text object that has just
+// been generated. In our implementation, database operations are
+// recorded to avoid unnecessary update propagations" (Section 4.6).
+//
+// Merge rules per object:
+//
+//	create + modify  -> create          (fresh text is read anyway)
+//	create + delete  -> (nothing)       (the paper's example)
+//	modify + modify  -> modify          (collapsed)
+//	modify + delete  -> delete
+//	delete + create  -> create          (cannot happen: OIDs unique)
+type updateLog struct {
+	mu          sync.Mutex
+	ops         map[oodb.OID]pendingKind
+	order       []oodb.OID
+	createCount int
+}
+
+func newUpdateLog() *updateLog {
+	return &updateLog{ops: make(map[oodb.OID]pendingKind)}
+}
+
+// add merges one operation into the log, updating cancellation
+// statistics.
+func (l *updateLog) add(oid oodb.OID, kind pendingKind, stats *Stats) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	stats.OpsLogged.Add(1)
+	prev, exists := l.ops[oid]
+	if !exists {
+		l.ops[oid] = kind
+		l.order = append(l.order, oid)
+		if kind == pendingCreate {
+			l.createCount++
+		}
+		return
+	}
+	switch {
+	case prev == pendingCreate && kind == pendingDelete:
+		// Generated then deleted before propagation: both vanish.
+		delete(l.ops, oid)
+		l.createCount--
+		stats.OpsCancelled.Add(2)
+	case prev == pendingCreate && kind == pendingModify:
+		stats.OpsCancelled.Add(1) // absorbed by the create
+	case prev == pendingModify && kind == pendingModify:
+		stats.OpsCancelled.Add(1) // collapsed
+	case prev == pendingModify && kind == pendingDelete:
+		l.ops[oid] = pendingDelete
+		stats.OpsCancelled.Add(1) // the modify became moot
+	default:
+		l.ops[oid] = kind
+	}
+}
+
+// hasCreate reports whether oid has a pending create entry (used to
+// route deletes of never-propagated objects into the log so the
+// create+delete pair can cancel).
+func (l *updateLog) hasCreate(oid oodb.OID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ops[oid] == pendingCreate
+}
+
+// pending reports whether the log holds anything.
+func (l *updateLog) pending() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops) > 0
+}
+
+// size returns the number of distinct pending objects.
+func (l *updateLog) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops)
+}
+
+// drain atomically empties the log, returning the surviving
+// operations in first-logged order and whether creations were among
+// them (the flusher re-runs the specification query in that case).
+func (l *updateLog) drain() ([]pendingOp, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ops := make([]pendingOp, 0, len(l.ops))
+	for _, oid := range l.order {
+		kind, ok := l.ops[oid]
+		if !ok || kind == pendingCreate {
+			continue // cancelled, or handled via spec re-run
+		}
+		ops = append(ops, pendingOp{oid: oid, kind: kind})
+	}
+	hadCreates := l.createCount > 0
+	l.ops = make(map[oodb.OID]pendingKind)
+	l.order = nil
+	l.createCount = 0
+	return ops, hadCreates
+}

@@ -1,0 +1,283 @@
+// Package derive implements the deriveIRSValue computation schemes
+// of Section 4.5.2: how to obtain a retrieval value for an object
+// that is NOT represented in an IRS collection from the values of
+// its components. The paper leaves the computation "open to the
+// application" and reports having "run tests with an implementation
+// of deriveIRSValue iterating through the elements components and
+// determining the maximal IRS value" — scheme Max here. The schemes
+// beyond Max realize the improvements the paper argues for:
+// combining ALL components' values (Avg, LengthWeighted), weighting
+// element types ([Wil94]; WeightedByType) and exploiting per-
+// subquery evidence so that a document containing one paragraph per
+// query term beats a document with two paragraphs about the same
+// term (QueryAware — the Figure 4 discussion).
+package derive
+
+import (
+	"repro/internal/irs"
+)
+
+// Component carries one component object's retrieval evidence to a
+// scheme. Value is the component's value for the full query; PerSub
+// holds its values per top-level subquery (parallel to
+// q.Subqueries()), populated only when the scheme asks for it.
+type Component struct {
+	// Type is the element-type (class) name of the component.
+	Type string
+	// Length is the component's indexed text length in terms.
+	Length int
+	// Value is the component's IRS value for the full query.
+	Value float64
+	// PerSub are the component's IRS values per subquery.
+	PerSub []float64
+}
+
+// Scheme computes a derived IRS value.
+type Scheme interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// NeedsSubqueries reports whether components must carry PerSub
+	// values (one extra IRS/buffer probe per subquery).
+	NeedsSubqueries() bool
+	// Derive combines component evidence for query q. dflt is the
+	// collection's default value for absent evidence (0.4 under the
+	// inference-net model, 0 otherwise). Empty comps yield dflt.
+	Derive(q *irs.Node, comps []Component, dflt float64) float64
+}
+
+// Max is the authors' tested scheme: the maximum component value.
+type Max struct{}
+
+// Name implements Scheme.
+func (Max) Name() string { return "max" }
+
+// NeedsSubqueries implements Scheme.
+func (Max) NeedsSubqueries() bool { return false }
+
+// Derive implements Scheme.
+func (Max) Derive(_ *irs.Node, comps []Component, dflt float64) float64 {
+	if len(comps) == 0 {
+		return dflt
+	}
+	best := comps[0].Value
+	for _, c := range comps[1:] {
+		if c.Value > best {
+			best = c.Value
+		}
+	}
+	return best
+}
+
+// Avg is the arithmetic mean of component values ([CST92] mentions
+// average and maximum as candidate combinations).
+type Avg struct{}
+
+// Name implements Scheme.
+func (Avg) Name() string { return "avg" }
+
+// NeedsSubqueries implements Scheme.
+func (Avg) NeedsSubqueries() bool { return false }
+
+// Derive implements Scheme.
+func (Avg) Derive(_ *irs.Node, comps []Component, dflt float64) float64 {
+	if len(comps) == 0 {
+		return dflt
+	}
+	s := 0.0
+	for _, c := range comps {
+		s += c.Value
+	}
+	return s / float64(len(comps))
+}
+
+// LengthWeighted is the mean of component values weighted by
+// component text length — the paper's observation that "both the
+// component's and the composite's length would be arguments of the
+// derivation scheme".
+type LengthWeighted struct{}
+
+// Name implements Scheme.
+func (LengthWeighted) Name() string { return "length-weighted" }
+
+// NeedsSubqueries implements Scheme.
+func (LengthWeighted) NeedsSubqueries() bool { return false }
+
+// Derive implements Scheme.
+func (LengthWeighted) Derive(_ *irs.Node, comps []Component, dflt float64) float64 {
+	if len(comps) == 0 {
+		return dflt
+	}
+	var sum, weight float64
+	for _, c := range comps {
+		w := float64(c.Length)
+		if w <= 0 {
+			w = 1
+		}
+		sum += w * c.Value
+		weight += w
+	}
+	return sum / weight
+}
+
+// WeightedByType weights component values by their element type
+// ([Wil94]: "take into consideration the type of the parts, e.g., by
+// weighting the types"). Types without an entry get DefaultWeight.
+type WeightedByType struct {
+	Weights map[string]float64
+	// DefaultWeight applies to types absent from Weights; zero means
+	// weight 1.
+	DefaultWeight float64
+}
+
+// Name implements Scheme.
+func (WeightedByType) Name() string { return "type-weighted" }
+
+// NeedsSubqueries implements Scheme.
+func (WeightedByType) NeedsSubqueries() bool { return false }
+
+// Derive implements Scheme.
+func (s WeightedByType) Derive(_ *irs.Node, comps []Component, dflt float64) float64 {
+	if len(comps) == 0 {
+		return dflt
+	}
+	def := s.DefaultWeight
+	if def == 0 {
+		def = 1
+	}
+	var sum, weight float64
+	for _, c := range comps {
+		w, ok := s.Weights[c.Type]
+		if !ok {
+			w = def
+		}
+		sum += w * c.Value
+		weight += w
+	}
+	if weight == 0 {
+		return dflt
+	}
+	return sum / weight
+}
+
+// QueryAware implements the derivation the Figure 4 discussion calls
+// for: "the information how relevant elements are to the subqueries
+// must be exploited. Hence, first of all, the subqueries need to be
+// identified." For every top-level subquery the best component value
+// is taken, and the per-subquery maxima are combined with the
+// semantics of the query's top operator (product for #and, mean for
+// #sum, ...). The combined dispersed evidence is discounted by
+// DispersionPenalty and the final value is the maximum of that and
+// the best single component's full-query value. Consequences, in
+// Figure 4 terms: M3 (one paragraph per term) outranks M4 (two
+// paragraphs about the same term), which Max and Avg conflate; and
+// M2 (one paragraph matching both terms) still outranks M3, because
+// co-occurring evidence inside one component is not discounted.
+type QueryAware struct {
+	// DispersionPenalty in (0,1] discounts evidence assembled from
+	// different components relative to the same evidence inside one
+	// component (a composite is longer than its parts; cf. the
+	// paper's remark that INQUERY normalizes by document length).
+	// Zero selects the default 0.9.
+	DispersionPenalty float64
+}
+
+// Name implements Scheme.
+func (QueryAware) Name() string { return "query-aware" }
+
+// NeedsSubqueries implements Scheme.
+func (QueryAware) NeedsSubqueries() bool { return true }
+
+// Derive implements Scheme.
+func (s QueryAware) Derive(q *irs.Node, comps []Component, dflt float64) float64 {
+	if len(comps) == 0 {
+		return dflt
+	}
+	subs := q.Subqueries()
+	if len(subs) <= 1 {
+		return Max{}.Derive(q, comps, dflt)
+	}
+	maxima := make([]float64, len(subs))
+	for i := range subs {
+		best := dflt
+		for _, c := range comps {
+			if i < len(c.PerSub) && c.PerSub[i] > best {
+				best = c.PerSub[i]
+			}
+		}
+		maxima[i] = best
+	}
+	pen := s.DispersionPenalty
+	if pen == 0 {
+		pen = 0.9
+	}
+	dispersed := pen * combineSubqueryMaxima(q, maxima, dflt)
+	cohesive := Max{}.Derive(q, comps, dflt)
+	if cohesive > dispersed {
+		return cohesive
+	}
+	return dispersed
+}
+
+// combineSubqueryMaxima merges per-subquery maxima under the query's
+// top-level operator semantics.
+func combineSubqueryMaxima(q *irs.Node, maxima []float64, dflt float64) float64 {
+	switch q.Kind {
+	case irs.NodeAnd:
+		p := 1.0
+		for _, m := range maxima {
+			p *= m
+		}
+		return p
+	case irs.NodeOr:
+		p := 1.0
+		for _, m := range maxima {
+			p *= 1 - m
+		}
+		return 1 - p
+	case irs.NodeMax:
+		best := maxima[0]
+		for _, m := range maxima[1:] {
+			if m > best {
+				best = m
+			}
+		}
+		return best
+	case irs.NodeWSum:
+		var sum, weight float64
+		for i, m := range maxima {
+			w := 1.0
+			if i < len(q.Weights) {
+				w = q.Weights[i]
+			}
+			sum += w * m
+			weight += w
+		}
+		if weight == 0 {
+			return dflt
+		}
+		return sum / weight
+	default: // NodeSum and anything else combining evenly
+		s := 0.0
+		for _, m := range maxima {
+			s += m
+		}
+		return s / float64(len(maxima))
+	}
+}
+
+// ByName returns a scheme from its experiment-output name.
+func ByName(name string) (Scheme, bool) {
+	switch name {
+	case "max", "":
+		return Max{}, true
+	case "avg":
+		return Avg{}, true
+	case "length-weighted":
+		return LengthWeighted{}, true
+	case "type-weighted":
+		return WeightedByType{}, true
+	case "query-aware":
+		return QueryAware{}, true
+	}
+	return nil, false
+}

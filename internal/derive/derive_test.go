@@ -1,0 +1,225 @@
+package derive
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/irs"
+)
+
+func q(t *testing.T, src string) *irs.Node {
+	t.Helper()
+	n, err := irs.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestMaxAndAvg(t *testing.T) {
+	query := q(t, "#and(www nii)")
+	comps := []Component{{Value: 0.2}, {Value: 0.8}, {Value: 0.5}}
+	if got := (Max{}).Derive(query, comps, 0.4); got != 0.8 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := (Avg{}).Derive(query, comps, 0.4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Avg = %v", got)
+	}
+	// Empty components yield the default.
+	if got := (Max{}).Derive(query, nil, 0.4); got != 0.4 {
+		t.Errorf("Max(empty) = %v", got)
+	}
+	if got := (Avg{}).Derive(query, nil, 0.4); got != 0.4 {
+		t.Errorf("Avg(empty) = %v", got)
+	}
+}
+
+func TestLengthWeighted(t *testing.T) {
+	query := q(t, "www")
+	comps := []Component{
+		{Value: 1.0, Length: 10},
+		{Value: 0.0, Length: 90},
+	}
+	got := (LengthWeighted{}).Derive(query, comps, 0)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("LengthWeighted = %v, want 0.1", got)
+	}
+	// Zero lengths fall back to weight 1.
+	comps = []Component{{Value: 0.6}, {Value: 0.2}}
+	got = (LengthWeighted{}).Derive(query, comps, 0)
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("LengthWeighted(zero len) = %v, want 0.4", got)
+	}
+}
+
+func TestWeightedByType(t *testing.T) {
+	query := q(t, "www")
+	s := WeightedByType{Weights: map[string]float64{"DOCTITLE": 3}}
+	comps := []Component{
+		{Type: "DOCTITLE", Value: 1.0},
+		{Type: "PARA", Value: 0.0},
+	}
+	got := s.Derive(query, comps, 0)
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("WeightedByType = %v, want 0.75", got)
+	}
+}
+
+// TestQueryAwareSeparatesM3FromM4 reproduces the core of the
+// Figure 4 argument in isolation: M3 has one WWW paragraph and one
+// NII paragraph; M4 has two WWW paragraphs. Max and Avg tie them;
+// QueryAware must rank M3 above M4.
+func TestQueryAwareSeparatesM3FromM4(t *testing.T) {
+	query := q(t, "#and(WWW NII)")
+	const dflt = 0.4
+	// Component values for the FULL #and query: a WWW-only para has
+	// belief ~ high*0.4, same as a NII-only para.
+	wwwOnly := Component{Value: 0.9 * dflt, PerSub: []float64{0.9, dflt}}
+	niiOnly := Component{Value: 0.9 * dflt, PerSub: []float64{dflt, 0.9}}
+	m3 := []Component{wwwOnly, niiOnly}
+	m4 := []Component{wwwOnly, wwwOnly}
+
+	for _, s := range []Scheme{Max{}, Avg{}} {
+		v3 := s.Derive(query, m3, dflt)
+		v4 := s.Derive(query, m4, dflt)
+		if math.Abs(v3-v4) > 1e-9 {
+			t.Errorf("%s should conflate M3 and M4: %v vs %v", s.Name(), v3, v4)
+		}
+	}
+	qa := QueryAware{}
+	v3 := qa.Derive(query, m3, dflt)
+	v4 := qa.Derive(query, m4, dflt)
+	if v3 <= v4 {
+		t.Errorf("query-aware: M3 %v <= M4 %v", v3, v4)
+	}
+	// And M2 (one paragraph strong for both) still wins.
+	both := Component{Value: 0.85, PerSub: []float64{0.9, 0.9}}
+	v2 := qa.Derive(query, []Component{both}, dflt)
+	if v2 <= v3 {
+		t.Errorf("query-aware: M2 %v <= M3 %v", v2, v3)
+	}
+}
+
+func TestQueryAwareOperatorSemantics(t *testing.T) {
+	// Full-query values are 0 so the dispersed-evidence term (with
+	// its 0.9 default penalty) always dominates and the operator
+	// combination is observable directly.
+	comps := []Component{
+		{Value: 0, PerSub: []float64{0.8, 0.2}},
+		{Value: 0, PerSub: []float64{0.1, 0.6}},
+	}
+	// Maxima per subquery: 0.8, 0.6.
+	const pen = 0.9
+	cases := []struct {
+		query string
+		want  float64
+	}{
+		{"#and(a b)", pen * (0.8 * 0.6)},
+		{"#or(a b)", pen * (1 - 0.2*0.4)},
+		{"#sum(a b)", pen * 0.7},
+		{"#max(a b)", pen * 0.8},
+		{"#wsum(3 a 1 b)", pen * (3*0.8 + 0.6) / 4},
+	}
+	for _, tt := range cases {
+		query := q(t, tt.query)
+		got := (QueryAware{}).Derive(query, comps, 0)
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("%s: got %v, want %v", tt.query, got, tt.want)
+		}
+	}
+	// Single-subquery degenerates to Max over full values.
+	single := q(t, "alpha")
+	got := (QueryAware{}).Derive(single, []Component{{Value: 0.5}, {Value: 0.3}}, 0.4)
+	if got != 0.5 {
+		t.Errorf("single subquery = %v, want 0.5", got)
+	}
+	// A custom penalty is honored.
+	half := QueryAware{DispersionPenalty: 0.5}
+	got = half.Derive(q(t, "#max(a b)"), comps, 0)
+	if math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("custom penalty = %v, want 0.4", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"max", "avg", "length-weighted", "type-weighted", "query-aware"} {
+		s, ok := ByName(name)
+		if !ok || s.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, s, ok)
+		}
+	}
+	if s, ok := ByName(""); !ok || s.Name() != "max" {
+		t.Error("default scheme should be max (the authors' tested scheme)")
+	}
+	if _, ok := ByName("quantum"); ok {
+		t.Error("unknown scheme resolved")
+	}
+}
+
+// Property: for monotone schemes the derived value lies within
+// [min, max] of the component values (or equals dflt for empty
+// input).
+func TestSchemesBoundedProperty(t *testing.T) {
+	query := q(t, "#and(a b)")
+	schemes := []Scheme{Max{}, Avg{}, LengthWeighted{}, WeightedByType{Weights: map[string]float64{"X": 2}}}
+	f := func(raw []uint8) bool {
+		comps := make([]Component, 0, len(raw))
+		lo, hi := 1.0, 0.0
+		for i, r := range raw {
+			v := float64(r) / 255
+			typ := "PARA"
+			if i%3 == 0 {
+				typ = "X"
+			}
+			comps = append(comps, Component{Value: v, Length: i, Type: typ})
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for _, s := range schemes {
+			got := s.Derive(query, comps, 0.4)
+			if len(comps) == 0 {
+				if got != 0.4 {
+					return false
+				}
+				continue
+			}
+			if got < lo-1e-9 || got > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QueryAware output is within [0,1] when component values
+// are, for all operator kinds.
+func TestQueryAwareRangeProperty(t *testing.T) {
+	queries := []string{"#and(a b c)", "#or(a b c)", "#sum(a b c)", "#max(a b c)", "#wsum(1 a 2 b 3 c)"}
+	f := func(raw []uint8, which uint8) bool {
+		src := queries[int(which)%len(queries)]
+		node, err := irs.ParseQuery(src)
+		if err != nil {
+			return false
+		}
+		comps := make([]Component, 0, len(raw)/3)
+		for i := 0; i+2 < len(raw); i += 3 {
+			comps = append(comps, Component{
+				Value:  float64(raw[i]) / 255,
+				PerSub: []float64{float64(raw[i]) / 255, float64(raw[i+1]) / 255, float64(raw[i+2]) / 255},
+			})
+		}
+		got := (QueryAware{}).Derive(node, comps, 0.4)
+		return got >= 0 && got <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

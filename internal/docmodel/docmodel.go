@@ -1,0 +1,388 @@
+// Package docmodel is the database application framework of
+// Section 4.1: SGML documents are fragmented into trees of database
+// objects, with one element-type class per DTD element type and a
+// Text class for the leaves that carry the raw data. It registers
+// the structural methods the paper's example queries use (getNext,
+// getContaining, getAttributeValue, length) and the getText method
+// with its representation modes.
+//
+// Class hierarchy created in the database:
+//
+//	IRSObject                  (coupling supertype, Section 4.2)
+//	└── Element                (one object per SGML element)
+//	    └── <TYPE> ...         (one class per DTD element type)
+//	└── Text                   (leaf objects holding raw text)
+//
+// Element-type classes are upper-case (SGML name folding), so they
+// never collide with the framework's MixedCaps class names.
+package docmodel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/oodb"
+	"repro/internal/sgml"
+)
+
+// Framework class names.
+const (
+	ClassIRSObject = "IRSObject"
+	ClassElement   = "Element"
+	ClassText      = "Text"
+)
+
+// Attribute names used on document objects. SGML attributes are
+// stored with an "@" prefix ("@YEAR"), keeping them apart from the
+// structural attributes.
+const (
+	AttrType     = "type"     // element-type name
+	AttrParent   = "parent"   // Ref to parent element (unset on roots)
+	AttrChildren = "children" // List of Refs in document order
+	AttrText     = "text"     // raw text (Text objects)
+	AttrDoctype  = "doctype"  // root objects: DTD name
+	sgmlAttrPfx  = "@"
+)
+
+// Text representation modes for getText (Section 4.3: "To provide
+// different representations of the same IRSObject in different
+// collections, the parameter textMode will be used").
+const (
+	// ModeFullText returns the concatenated text of all leaves of
+	// the subtree — the paper's default SGML implementation
+	// ("by inspecting the leaves of the subtree rooted at an
+	// element, getText identifies its representation").
+	ModeFullText = 0
+	// ModeAbstract returns a user-visible abstract: the text below
+	// title/abstract-like children if present, otherwise a prefix of
+	// the full text (alternative (1) of Section 4.3.1).
+	ModeAbstract = 1
+	// ModeOwnText returns only the element's direct text children.
+	ModeOwnText = 2
+)
+
+// abstractTypes are the element types whose subtrees ModeAbstract
+// prefers over plain prefix truncation.
+var abstractTypes = map[string]bool{
+	"DOCTITLE": true, "TITLE": true, "ABSTRACT": true, "HEAD": true,
+	"CAPTION": true,
+}
+
+// abstractPrefixWords bounds the fallback abstract length.
+const abstractPrefixWords = 32
+
+// Errors.
+var (
+	ErrNotAnElement = errors.New("docmodel: object is not a document element")
+)
+
+// Store wraps a database with the document framework.
+type Store struct {
+	db *oodb.DB
+}
+
+// Open attaches the framework to db: base classes are defined if
+// absent (idempotent across restarts) and the structural methods are
+// registered.
+func Open(db *oodb.DB) (*Store, error) {
+	s := &Store{db: db}
+	for _, c := range []struct{ name, super string }{
+		{ClassIRSObject, ""},
+		{ClassElement, ClassIRSObject},
+		{ClassText, ClassIRSObject},
+	} {
+		if _, ok := db.Class(c.name); ok {
+			continue
+		}
+		if err := db.DefineClass(c.name, c.super, nil); err != nil {
+			return nil, err
+		}
+	}
+	s.registerMethods()
+	return s, nil
+}
+
+// DB returns the underlying database.
+func (s *Store) DB() *oodb.DB { return s.db }
+
+// LoadDTD defines one class per element type declared in the DTD
+// (idempotent for already-known types). This is the "element-type
+// classes corresponding to the element-type definitions from the
+// DTDs" of Section 4.1.
+func (s *Store) LoadDTD(d *sgml.DTD) error {
+	for _, name := range d.ElementNames() {
+		if _, ok := s.db.Class(name); ok {
+			continue
+		}
+		if err := s.db.DefineClass(name, ClassElement, nil); err != nil {
+			return fmt.Errorf("docmodel: define element class %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// InsertDocument stores a parsed document tree as database objects
+// in one transaction and returns the root object's OID.
+func (s *Store) InsertDocument(d *sgml.DTD, root *sgml.Node) (oodb.OID, error) {
+	if root.IsText() {
+		return oodb.NilOID, errors.New("docmodel: document root is a text node")
+	}
+	tx := s.db.Begin()
+	oid, err := s.insertNode(tx, root)
+	if err != nil {
+		tx.Abort()
+		return oodb.NilOID, err
+	}
+	if err := tx.SetAttr(oid, AttrDoctype, oodb.S(d.Name)); err != nil {
+		tx.Abort()
+		return oodb.NilOID, err
+	}
+	if err := tx.Commit(); err != nil {
+		return oodb.NilOID, err
+	}
+	return oid, nil
+}
+
+func (s *Store) insertNode(tx *oodb.Tx, n *sgml.Node) (oodb.OID, error) {
+	if n.IsText() {
+		return tx.NewObject(ClassText, map[string]oodb.Value{
+			AttrText: oodb.S(n.Data),
+		})
+	}
+	if _, ok := s.db.Class(n.Type); !ok {
+		return oodb.NilOID, fmt.Errorf("docmodel: element type %s has no class (LoadDTD first)", n.Type)
+	}
+	attrs := map[string]oodb.Value{AttrType: oodb.S(n.Type)}
+	for name, v := range n.Attrs {
+		attrs[sgmlAttrPfx+name] = oodb.S(v)
+	}
+	oid, err := tx.NewObject(n.Type, attrs)
+	if err != nil {
+		return oodb.NilOID, err
+	}
+	kids := make([]oodb.OID, 0, len(n.Children))
+	for _, c := range n.Children {
+		k, err := s.insertNode(tx, c)
+		if err != nil {
+			return oodb.NilOID, err
+		}
+		if err := tx.SetAttr(k, AttrParent, oodb.Ref(oid)); err != nil {
+			return oodb.NilOID, err
+		}
+		kids = append(kids, k)
+	}
+	if err := tx.SetAttr(oid, AttrChildren, oodb.RefList(kids)); err != nil {
+		return oodb.NilOID, err
+	}
+	return oid, nil
+}
+
+// DeleteDocument removes the subtree rooted at oid in one
+// transaction (and unlinks it from its parent's child list, if any).
+func (s *Store) DeleteDocument(oid oodb.OID) error {
+	tx := s.db.Begin()
+	if parentV, ok := s.db.Attr(oid, AttrParent); ok && parentV.Kind == oodb.KindOID {
+		kidsV, _ := s.db.Attr(parentV.Ref, AttrChildren)
+		var remaining []oodb.OID
+		for _, k := range kidsV.OIDList() {
+			if k != oid {
+				remaining = append(remaining, k)
+			}
+		}
+		if err := tx.SetAttr(parentV.Ref, AttrChildren, oodb.RefList(remaining)); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := s.deleteSubtree(tx, oid, make(map[oodb.OID]bool)); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (s *Store) deleteSubtree(tx *oodb.Tx, oid oodb.OID, seen map[oodb.OID]bool) error {
+	if seen[oid] {
+		return nil
+	}
+	seen[oid] = true
+	kidsV, _ := s.db.Attr(oid, AttrChildren)
+	for _, k := range kidsV.OIDList() {
+		if err := s.deleteSubtree(tx, k, seen); err != nil {
+			return err
+		}
+	}
+	return tx.DeleteObject(oid)
+}
+
+// Children returns the child OIDs of an element in document order.
+func (s *Store) Children(oid oodb.OID) []oodb.OID {
+	v, _ := s.db.Attr(oid, AttrChildren)
+	return v.OIDList()
+}
+
+// Parent returns the parent OID (NilOID for roots).
+func (s *Store) Parent(oid oodb.OID) oodb.OID {
+	v, ok := s.db.Attr(oid, AttrParent)
+	if !ok || v.Kind != oodb.KindOID {
+		return oodb.NilOID
+	}
+	return v.Ref
+}
+
+// TypeOf returns the element-type name of an object ("" for text
+// leaves and non-document objects).
+func (s *Store) TypeOf(oid oodb.OID) string {
+	v, _ := s.db.Attr(oid, AttrType)
+	return v.Str
+}
+
+// SetText replaces the raw text of a Text object (an editorial
+// update in MMF terms; triggers the database update hooks that drive
+// IRS propagation).
+func (s *Store) SetText(oid oodb.OID, text string) error {
+	class, ok := s.db.ClassOf(oid)
+	if !ok || class != ClassText {
+		return fmt.Errorf("%w: %s", ErrNotAnElement, oid)
+	}
+	return s.db.SetAttr(oid, AttrText, oodb.S(text))
+}
+
+// SubtreeText concatenates the text leaves below oid in document
+// order (single-space separated, trimmed) — the ModeFullText
+// representation. Reference cycles built by direct attribute edits
+// (never produced by the SGML loader) are tolerated: every object is
+// visited at most once.
+func (s *Store) SubtreeText(oid oodb.OID) string {
+	var parts []string
+	s.walkText(oid, &parts, make(map[oodb.OID]bool))
+	return strings.Join(parts, " ")
+}
+
+func (s *Store) walkText(oid oodb.OID, parts *[]string, seen map[oodb.OID]bool) {
+	if seen[oid] {
+		return
+	}
+	seen[oid] = true
+	if class, _ := s.db.ClassOf(oid); class == ClassText {
+		if v, ok := s.db.Attr(oid, AttrText); ok {
+			if t := strings.TrimSpace(v.Str); t != "" {
+				*parts = append(*parts, t)
+			}
+		}
+		return
+	}
+	for _, k := range s.Children(oid) {
+		s.walkText(k, parts, seen)
+	}
+}
+
+// Text returns an object's representation under the given mode; this
+// is the Go-level implementation behind the getText method.
+func (s *Store) Text(oid oodb.OID, mode int) string {
+	switch mode {
+	case ModeOwnText:
+		var parts []string
+		for _, k := range s.Children(oid) {
+			if class, _ := s.db.ClassOf(k); class == ClassText {
+				if v, ok := s.db.Attr(k, AttrText); ok {
+					if t := strings.TrimSpace(v.Str); t != "" {
+						parts = append(parts, t)
+					}
+				}
+			}
+		}
+		if class, _ := s.db.ClassOf(oid); class == ClassText {
+			if v, ok := s.db.Attr(oid, AttrText); ok {
+				parts = append(parts, strings.TrimSpace(v.Str))
+			}
+		}
+		return strings.Join(parts, " ")
+	case ModeAbstract:
+		var parts []string
+		for _, k := range s.Children(oid) {
+			if abstractTypes[s.TypeOf(k)] {
+				if t := s.SubtreeText(k); t != "" {
+					parts = append(parts, t)
+				}
+			}
+		}
+		if len(parts) > 0 {
+			return strings.Join(parts, " ")
+		}
+		words := strings.Fields(s.SubtreeText(oid))
+		if len(words) > abstractPrefixWords {
+			words = words[:abstractPrefixWords]
+		}
+		return strings.Join(words, " ")
+	default:
+		return s.SubtreeText(oid)
+	}
+}
+
+// Containing returns the nearest ancestor of oid with the given
+// element type, or NilOID — the getContaining method.
+func (s *Store) Containing(oid oodb.OID, typeName string) oodb.OID {
+	typeName = strings.ToUpper(typeName)
+	for p := s.Parent(oid); p != oodb.NilOID; p = s.Parent(p) {
+		if s.TypeOf(p) == typeName {
+			return p
+		}
+	}
+	return oodb.NilOID
+}
+
+// Next returns the next sibling in document order, or NilOID — the
+// getNext method of the paper's second example query.
+func (s *Store) Next(oid oodb.OID) oodb.OID {
+	parent := s.Parent(oid)
+	if parent == oodb.NilOID {
+		return oodb.NilOID
+	}
+	kids := s.Children(parent)
+	for i, k := range kids {
+		if k == oid && i+1 < len(kids) {
+			return kids[i+1]
+		}
+	}
+	return oodb.NilOID
+}
+
+// registerMethods installs the structural methods on the framework
+// classes so VQL queries can call them.
+func (s *Store) registerMethods() {
+	db := s.db
+	db.RegisterMethod(ClassIRSObject, "getText", func(_ *oodb.DB, self oodb.OID, args []oodb.Value) (oodb.Value, error) {
+		mode := int64(ModeFullText)
+		if len(args) > 0 && args[0].Kind == oodb.KindInt {
+			mode = args[0].Int
+		}
+		return oodb.S(s.Text(self, int(mode))), nil
+	})
+	db.RegisterMethod(ClassIRSObject, "length", func(_ *oodb.DB, self oodb.OID, args []oodb.Value) (oodb.Value, error) {
+		return oodb.I(int64(len(s.SubtreeText(self)))), nil
+	})
+	db.RegisterMethod(ClassIRSObject, "getContaining", func(_ *oodb.DB, self oodb.OID, args []oodb.Value) (oodb.Value, error) {
+		if len(args) != 1 || args[0].Kind != oodb.KindString {
+			return oodb.Null(), errors.New("docmodel: getContaining expects a type name")
+		}
+		return oodb.Ref(s.Containing(self, args[0].Str)), nil
+	})
+	db.RegisterMethod(ClassIRSObject, "getNext", func(_ *oodb.DB, self oodb.OID, args []oodb.Value) (oodb.Value, error) {
+		return oodb.Ref(s.Next(self)), nil
+	})
+	db.RegisterMethod(ClassIRSObject, "getParent", func(_ *oodb.DB, self oodb.OID, args []oodb.Value) (oodb.Value, error) {
+		return oodb.Ref(s.Parent(self)), nil
+	})
+	db.RegisterMethod(ClassIRSObject, "getChildren", func(_ *oodb.DB, self oodb.OID, args []oodb.Value) (oodb.Value, error) {
+		return oodb.RefList(s.Children(self)), nil
+	})
+	db.RegisterMethod(ClassElement, "getAttributeValue", func(db *oodb.DB, self oodb.OID, args []oodb.Value) (oodb.Value, error) {
+		if len(args) != 1 || args[0].Kind != oodb.KindString {
+			return oodb.Null(), errors.New("docmodel: getAttributeValue expects an attribute name")
+		}
+		v, _ := db.Attr(self, sgmlAttrPfx+strings.ToUpper(args[0].Str))
+		return v, nil
+	})
+}

@@ -1,0 +1,288 @@
+package docmodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oodb"
+	"repro/internal/sgml"
+	"repro/internal/vql"
+)
+
+const testDTD = `
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, PARA+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA | EM)*>
+<!ELEMENT EM       - -  (#PCDATA)>
+<!ATTLIST MMFDOC YEAR NUMBER #IMPLIED TITLE CDATA #IMPLIED>
+`
+
+const testDoc = `<MMFDOC YEAR="1994" TITLE="Telnet">
+<LOGBOOK>created 1994
+<DOCTITLE>Telnet
+<ABSTRACT>the telnet protocol
+<PARA>Telnet is a protocol for <EM>remote</EM> login
+<PARA>Telnet enables terminal sessions
+</MMFDOC>`
+
+type fixture struct {
+	store *Store
+	dtd   *sgml.DTD
+	root  oodb.OID
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	db, err := oodb.Open("", oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sgml.ParseDTD(testDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LoadDTD(d); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := sgml.ParseDocument(d, testDoc, sgml.ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := store.InsertDocument(d, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{store: store, dtd: d, root: root}
+}
+
+func TestLoadDTDCreatesClasses(t *testing.T) {
+	fx := newFixture(t)
+	db := fx.store.DB()
+	for _, name := range []string{"MMFDOC", "PARA", "EM"} {
+		if !db.IsA(name, ClassElement) {
+			t.Errorf("%s is not an Element subclass", name)
+		}
+		if !db.IsA(name, ClassIRSObject) {
+			t.Errorf("%s is not an IRSObject", name)
+		}
+	}
+	// Idempotent reload.
+	if err := fx.store.LoadDTD(fx.dtd); err != nil {
+		t.Errorf("second LoadDTD: %v", err)
+	}
+}
+
+func TestInsertDocumentTreeShape(t *testing.T) {
+	fx := newFixture(t)
+	s := fx.store
+	if got := s.TypeOf(fx.root); got != "MMFDOC" {
+		t.Fatalf("root type = %q", got)
+	}
+	kids := s.Children(fx.root)
+	if len(kids) != 5 {
+		t.Fatalf("root children = %d, want 5", len(kids))
+	}
+	types := make([]string, len(kids))
+	for i, k := range kids {
+		types[i] = s.TypeOf(k)
+	}
+	want := "LOGBOOK DOCTITLE ABSTRACT PARA PARA"
+	if strings.Join(types, " ") != want {
+		t.Errorf("children types = %v", types)
+	}
+	// Each element of the document corresponds to a database object
+	// (Section 4.1: "for each element ... there essentially is a
+	// corresponding database object").
+	paras := s.DB().Extent("PARA", false)
+	if len(paras) != 2 {
+		t.Errorf("PARA extent = %d", len(paras))
+	}
+	// Parent pointers.
+	for _, k := range kids {
+		if s.Parent(k) != fx.root {
+			t.Errorf("parent of %v wrong", k)
+		}
+	}
+	if s.Parent(fx.root) != oodb.NilOID {
+		t.Error("root has a parent")
+	}
+	// SGML attributes stored with prefix.
+	if v, ok := s.DB().Attr(fx.root, "@YEAR"); !ok || v.Str != "1994" {
+		t.Errorf("@YEAR = %v, %v", v, ok)
+	}
+	// Doctype recorded.
+	if v, _ := s.DB().Attr(fx.root, AttrDoctype); v.Str != "MMFDOC" {
+		t.Errorf("doctype = %v", v)
+	}
+}
+
+func TestSubtreeTextAndModes(t *testing.T) {
+	fx := newFixture(t)
+	s := fx.store
+	full := s.SubtreeText(fx.root)
+	for _, want := range []string{"created 1994", "Telnet is a protocol for", "remote", "terminal sessions"} {
+		if !strings.Contains(full, want) {
+			t.Errorf("full text misses %q: %q", want, full)
+		}
+	}
+	paras := s.DB().Extent("PARA", false)
+	p1 := paras[0]
+	if got := s.Text(p1, ModeFullText); got != "Telnet is a protocol for remote login" {
+		t.Errorf("para full text = %q", got)
+	}
+	if got := s.Text(p1, ModeOwnText); got != "Telnet is a protocol for login" {
+		t.Errorf("para own text = %q", got)
+	}
+	// ModeAbstract on the document prefers DOCTITLE/ABSTRACT
+	// subtrees.
+	abs := s.Text(fx.root, ModeAbstract)
+	if !strings.Contains(abs, "Telnet") || !strings.Contains(abs, "the telnet protocol") {
+		t.Errorf("abstract = %q", abs)
+	}
+	if strings.Contains(abs, "terminal sessions") {
+		t.Errorf("abstract leaked body text: %q", abs)
+	}
+	// ModeAbstract without title children truncates.
+	if got := s.Text(p1, ModeAbstract); got != "Telnet is a protocol for remote login" {
+		t.Errorf("para abstract = %q", got)
+	}
+}
+
+func TestStructuralNavigation(t *testing.T) {
+	fx := newFixture(t)
+	s := fx.store
+	paras := s.DB().Extent("PARA", false)
+	if s.Next(paras[0]) != paras[1] {
+		t.Error("Next(para1) != para2")
+	}
+	if s.Next(paras[1]) != oodb.NilOID {
+		t.Error("Next(last para) != nil")
+	}
+	if s.Containing(paras[0], "MMFDOC") != fx.root {
+		t.Error("Containing(para, MMFDOC) != root")
+	}
+	if s.Containing(paras[0], "mmfdoc") != fx.root {
+		t.Error("Containing is not case-insensitive")
+	}
+	if s.Containing(fx.root, "MMFDOC") != oodb.NilOID {
+		t.Error("Containing should exclude self")
+	}
+	em := s.DB().Extent("EM", false)[0]
+	if s.Containing(em, "PARA") != paras[0] {
+		t.Error("Containing(em, PARA) wrong")
+	}
+}
+
+func TestMethodsThroughVQL(t *testing.T) {
+	fx := newFixture(t)
+	ev := vql.NewEvaluator(fx.store.DB(), nil)
+	rs, err := ev.Run(`ACCESS d -> getAttributeValue('TITLE') FROM d IN MMFDOC WHERE d -> getAttributeValue('YEAR') = '1994';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].Str != "Telnet" {
+		t.Fatalf("rows = %v", rs.Rows)
+	}
+	rs, err = ev.Run(`ACCESS p, p -> length() FROM p IN PARA WHERE p -> getNext() == NULL;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NULL comparison: getNext returns Ref(NilOID), not Null; use
+	// the row count of all paras instead.
+	rs, err = ev.Run(`ACCESS p -> getText(0) FROM p IN PARA;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("getText rows = %d", len(rs.Rows))
+	}
+	joined := rs.Rows[0][0].Str + " | " + rs.Rows[1][0].Str
+	if !strings.Contains(joined, "remote login") {
+		t.Errorf("getText via VQL = %q", joined)
+	}
+}
+
+func TestSetTextAndHooks(t *testing.T) {
+	fx := newFixture(t)
+	s := fx.store
+	var events []oodb.Update
+	s.DB().AddUpdateHook(func(u oodb.Update) { events = append(events, u) })
+	paras := s.DB().Extent("PARA", false)
+	leaves := s.Children(paras[0])
+	var textLeaf oodb.OID
+	for _, l := range leaves {
+		if c, _ := s.DB().ClassOf(l); c == ClassText {
+			textLeaf = l
+			break
+		}
+	}
+	if err := s.SetText(textLeaf, "Telnet was replaced by ssh"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Text(paras[0], ModeFullText); !strings.Contains(got, "ssh") {
+		t.Errorf("text after SetText = %q", got)
+	}
+	if len(events) != 1 || events[0].Kind != oodb.UpdateModify {
+		t.Errorf("hook events = %v", events)
+	}
+	// SetText on an element is rejected.
+	if err := s.SetText(paras[0], "x"); err == nil {
+		t.Error("SetText on element succeeded")
+	}
+}
+
+func TestDeleteDocumentSubtree(t *testing.T) {
+	fx := newFixture(t)
+	s := fx.store
+	before := s.DB().ObjectCount()
+	paras := s.DB().Extent("PARA", false)
+	// Delete the first paragraph (with its EM child and text leaves).
+	if err := s.DeleteDocument(paras[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s.DB().Exists(paras[0]) {
+		t.Error("paragraph survives delete")
+	}
+	if got := len(s.DB().Extent("EM", false)); got != 0 {
+		t.Errorf("EM extent = %d after subtree delete", got)
+	}
+	// Unlinked from parent.
+	kids := s.Children(fx.root)
+	for _, k := range kids {
+		if k == paras[0] {
+			t.Error("deleted child still linked")
+		}
+	}
+	if s.DB().ObjectCount() >= before {
+		t.Error("object count did not drop")
+	}
+	// Delete the whole document.
+	if err := s.DeleteDocument(fx.root); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DB().ObjectCount(); got != 0 {
+		t.Errorf("objects remaining = %d", got)
+	}
+}
+
+func TestTextOnTextLeaf(t *testing.T) {
+	fx := newFixture(t)
+	s := fx.store
+	paras := s.DB().Extent("PARA", false)
+	for _, l := range s.Children(paras[1]) {
+		if c, _ := s.DB().ClassOf(l); c == ClassText {
+			if got := s.Text(l, ModeFullText); got != "Telnet enables terminal sessions" {
+				t.Errorf("leaf text = %q", got)
+			}
+			if got := s.Text(l, ModeOwnText); got != "Telnet enables terminal sessions" {
+				t.Errorf("leaf own text = %q", got)
+			}
+		}
+	}
+}

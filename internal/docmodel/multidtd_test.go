@@ -1,0 +1,103 @@
+package docmodel
+
+import (
+	"testing"
+
+	"repro/internal/oodb"
+	"repro/internal/sgml"
+)
+
+// The framework's headline feature is managing documents of
+// arbitrary types side by side ("not to be restricted to a rigid set
+// of SGML DTDs", Section 4.1). Two unrelated DTDs share one database
+// here, including an element type (TITLE) declared by both.
+func TestMultipleDTDsCoexist(t *testing.T) {
+	db, err := oodb.Open("", oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmf, err := sgml.ParseDTD(`
+<!ELEMENT MMFDOC - - (TITLE, PARA+)>
+<!ELEMENT (TITLE|PARA) - O (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sgml.ParseDTD(`
+<!ELEMENT REPORT - - (TITLE, FINDING+)>
+<!ELEMENT (TITLE|FINDING) - O (#PCDATA)>
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LoadDTD(mmf); err != nil {
+		t.Fatal(err)
+	}
+	// TITLE is already a class; LoadDTD must tolerate the overlap.
+	if err := store.LoadDTD(report); err != nil {
+		t.Fatalf("second DTD with shared element type: %v", err)
+	}
+
+	tree1, err := sgml.ParseDocument(mmf, `<MMFDOC><TITLE>journal<PARA>text one</MMFDOC>`, sgml.ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.InsertDocument(mmf, tree1); err != nil {
+		t.Fatal(err)
+	}
+	tree2, err := sgml.ParseDocument(report, `<REPORT><TITLE>audit<FINDING>issue found</REPORT>`, sgml.ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, err := store.InsertDocument(report, tree2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared element class holds instances from both document types.
+	titles := db.Extent("TITLE", false)
+	if len(titles) != 2 {
+		t.Errorf("TITLE extent = %d, want 2", len(titles))
+	}
+	// Type-specific extents stay separate.
+	if got := len(db.Extent("PARA", false)); got != 1 {
+		t.Errorf("PARA extent = %d", got)
+	}
+	if got := len(db.Extent("FINDING", false)); got != 1 {
+		t.Errorf("FINDING extent = %d", got)
+	}
+	// Doctype recorded per root.
+	if v, _ := db.Attr(root2, AttrDoctype); v.Str != "REPORT" {
+		t.Errorf("doctype = %v", v)
+	}
+	// Structural navigation works across both.
+	finding := db.Extent("FINDING", false)[0]
+	if store.Containing(finding, "REPORT") != root2 {
+		t.Error("Containing across second DTD broken")
+	}
+}
+
+func TestInsertDocumentRejectsUnknownTypes(t *testing.T) {
+	db, _ := oodb.Open("", oodb.Options{})
+	store, _ := Open(db)
+	d, err := sgml.ParseDTD(`<!ELEMENT X - - (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := sgml.ParseDocument(d, `<X>text</X>`, sgml.ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DTD never loaded: element class missing.
+	if _, err := store.InsertDocument(d, tree); err == nil {
+		t.Error("insert without LoadDTD succeeded")
+	}
+	// Text node as root is rejected.
+	if _, err := store.InsertDocument(d, &sgml.Node{Type: sgml.TextType, Data: "x"}); err == nil {
+		t.Error("text root accepted")
+	}
+}

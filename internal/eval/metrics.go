@@ -1,0 +1,57 @@
+package eval
+
+import "repro/internal/oodb"
+
+// Ranking-quality metrics against planted ground truth.
+
+// precisionAtK is the fraction of the top k ranked items that are
+// relevant.
+func precisionAtK(ranked []oodb.OID, relevant map[oodb.OID]bool, k int) float64 {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for _, oid := range ranked[:k] {
+		if relevant[oid] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// recallAtK is the fraction of relevant items found in the top k.
+func recallAtK(ranked []oodb.OID, relevant map[oodb.OID]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits := 0
+	for _, oid := range ranked[:k] {
+		if relevant[oid] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// averagePrecision is the mean of precision values at each relevant
+// rank (AP; averaged over queries it yields MAP).
+func averagePrecision(ranked []oodb.OID, relevant map[oodb.OID]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	for i, oid := range ranked {
+		if relevant[oid] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}

@@ -1,0 +1,190 @@
+// Package eval contains the experiment harness: one runner per
+// figure/table of the reproduction (EXP-F1..F4, EXP-T1..T7 in
+// DESIGN.md). Every runner builds its own system, executes the
+// workload, prints a text table to the supplied writer and returns a
+// result struct whose fields carry the numbers the smoke tests (and
+// EXPERIMENTS.md) assert on.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/irs"
+	"repro/internal/oodb"
+	"repro/internal/sgml"
+	"repro/internal/workload"
+)
+
+// Setup is a fully-loaded system over a synthetic corpus.
+type Setup struct {
+	DB       *oodb.DB
+	Store    *docmodel.Store
+	Engine   *irs.Engine
+	Coupling *core.Coupling
+	DTD      *sgml.DTD
+	Corpus   *workload.Corpus
+	// Docs maps corpus document names (D001...) to root OIDs.
+	Docs map[string]oodb.OID
+	// DocOIDs lists root OIDs in corpus order.
+	DocOIDs []oodb.OID
+}
+
+// NewSetup generates a corpus and loads it into a fresh memory
+// system.
+func NewSetup(cfg workload.Config) (*Setup, error) {
+	return newSetupWithDTD(workload.MMFDTD, workload.Generate(cfg))
+}
+
+func newSetupWithDTD(dtdSrc string, corpus *workload.Corpus) (*Setup, error) {
+	db, err := oodb.Open("", oodb.Options{})
+	if err != nil {
+		return nil, err
+	}
+	store, err := docmodel.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	engine := irs.NewEngine()
+	coupling, err := core.New(store, engine)
+	if err != nil {
+		return nil, err
+	}
+	dtd, err := sgml.ParseDTD(dtdSrc)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.LoadDTD(dtd); err != nil {
+		return nil, err
+	}
+	s := &Setup{
+		DB: db, Store: store, Engine: engine, Coupling: coupling,
+		DTD: dtd, Corpus: corpus, Docs: make(map[string]oodb.OID),
+	}
+	for i := range corpus.Docs {
+		tree, err := sgml.ParseDocument(dtd, corpus.Docs[i].SGML, sgml.ParseOptions{Strict: true})
+		if err != nil {
+			return nil, fmt.Errorf("eval: corpus doc %s: %w", corpus.Docs[i].Name, err)
+		}
+		oid, err := store.InsertDocument(dtd, tree)
+		if err != nil {
+			return nil, err
+		}
+		s.Docs[corpus.Docs[i].Name] = oid
+		s.DocOIDs = append(s.DocOIDs, oid)
+	}
+	return s, nil
+}
+
+// NewCollection creates and indexes a collection.
+func (s *Setup) NewCollection(name, specQuery string, opts core.Options) (*core.Collection, error) {
+	col, err := s.Coupling.CreateCollection(name, specQuery, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := col.IndexObjects(); err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// DocName resolves a root OID back to its corpus name.
+func (s *Setup) DocName(oid oodb.OID) string {
+	for name, o := range s.Docs {
+		if o == oid {
+			return name
+		}
+	}
+	return oid.String()
+}
+
+// RelevantDocOIDs returns the OIDs of documents relevant to topic.
+func (s *Setup) RelevantDocOIDs(topic string) map[oodb.OID]bool {
+	out := make(map[oodb.OID]bool)
+	for _, name := range s.Corpus.RelevantDocs(topic) {
+		out[s.Docs[name]] = true
+	}
+	return out
+}
+
+// RelevantParaOIDs returns the OIDs of paragraphs relevant to topic.
+func (s *Setup) RelevantParaOIDs(topic string) map[oodb.OID]bool {
+	out := make(map[oodb.OID]bool)
+	for i := range s.Corpus.Docs {
+		doc := &s.Corpus.Docs[i]
+		idxs := doc.RelevantParas[topic]
+		if len(idxs) == 0 {
+			continue
+		}
+		paras := s.ParasOf(s.Docs[doc.Name])
+		for _, idx := range idxs {
+			if idx < len(paras) {
+				out[paras[idx]] = true
+			}
+		}
+	}
+	return out
+}
+
+// ParasOf returns the paragraph OIDs of a document in document
+// order.
+func (s *Setup) ParasOf(doc oodb.OID) []oodb.OID {
+	var out []oodb.OID
+	var walk func(oid oodb.OID)
+	walk = func(oid oodb.OID) {
+		if s.Store.TypeOf(oid) == "PARA" {
+			out = append(out, oid)
+			return
+		}
+		for _, k := range s.Store.Children(oid) {
+			walk(k)
+		}
+	}
+	walk(doc)
+	return out
+}
+
+// rankOIDs orders score maps descending (ties by OID for
+// determinism).
+func rankOIDs(scores map[oodb.OID]float64) []oodb.OID {
+	out := make([]oodb.OID, 0, len(scores))
+	for oid := range scores {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if scores[out[i]] != scores[out[j]] {
+			return scores[out[i]] > scores[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// timeIt measures f.
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// parseOID wraps oodb.ParseOID for the experiment files.
+func parseOID(s string) (oodb.OID, error) { return oodb.ParseOID(s) }
+
+// irsParseResultFile wraps irs.ParseResultFile for the experiment
+// files.
+func irsParseResultFile(path string) ([]irs.Result, error) {
+	return irs.ParseResultFile(path)
+}
+
+// parseFixture inserts one SGML document into the setup and returns
+// its root OID.
+func parseFixture(s *Setup, sgmlText string) (oodb.OID, error) {
+	tree, err := sgml.ParseDocument(s.DTD, sgmlText, sgml.ParseOptions{Strict: true})
+	if err != nil {
+		return 0, err
+	}
+	return s.Store.InsertDocument(s.DTD, tree)
+}

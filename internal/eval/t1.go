@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/oodb"
+	"repro/internal/workload"
+)
+
+// EXP-T1 — Section 4.3: granularity of IRS documents. The same
+// corpus is indexed at four granularities realized purely through
+// specification queries (document, section, paragraph, leaf) plus a
+// document-level abstract variant (alternative (1) of 4.3.1). For
+// each choice the experiment reports the footprint (IRS documents,
+// index bytes, text volume relative to the corpus, indexing time)
+// and the retrieval quality of two tasks:
+//
+//   - document retrieval (rank documents for a topic; finer
+//     granularities answer through deriveIRSValue), and
+//   - paragraph retrieval (only granularities at or below the
+//     paragraph can answer at all — the paper's point that
+//     document-level indexing cannot answer "content-based queries
+//     refering to individual paragraphs").
+
+// T1Row is one granularity's measurements.
+type T1Row struct {
+	Granularity string
+	SpecQuery   string
+	TextMode    int
+	IRSDocs     int
+	IndexBytes  int64
+	TextRatio   float64 // indexed text volume / corpus text volume
+	IndexTime   time.Duration
+	// Document-retrieval quality (mean over topics).
+	DocP5, DocMAP float64
+	// Paragraph-retrieval quality; NaN-like -1 when inexpressible.
+	ParaP10 float64
+}
+
+// T1Result is the outcome of EXP-T1.
+type T1Result struct {
+	Rows []T1Row
+}
+
+// Row returns the row for a granularity.
+func (r *T1Result) Row(name string) *T1Row {
+	for i := range r.Rows {
+		if r.Rows[i].Granularity == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// RunT1 executes EXP-T1.
+func RunT1(w io.Writer) (*T1Result, error) {
+	cfg := workload.DefaultConfig()
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	corpusBytes := float64(s.Corpus.TextBytes())
+	grans := []struct {
+		name string
+		spec string
+		mode int
+		// paraTask: can the granularity answer paragraph queries
+		// directly or via derivation from sub-paragraph values?
+		paraTask bool
+	}{
+		{"document", "ACCESS d FROM d IN MMFDOC;", docmodel.ModeFullText, false},
+		{"doc-abstract", "ACCESS d FROM d IN MMFDOC;", docmodel.ModeAbstract, false},
+		{"section", "ACCESS s FROM s IN SECTION;", docmodel.ModeFullText, false},
+		{"paragraph", "ACCESS p FROM p IN PARA;", docmodel.ModeFullText, true},
+		{"leaf", "ACCESS t FROM t IN Text;", docmodel.ModeFullText, true},
+	}
+	res := &T1Result{}
+	for i, g := range grans {
+		col, err := s.Coupling.CreateCollection(fmt.Sprintf("t1c%d", i), g.spec, core.Options{TextMode: g.mode})
+		if err != nil {
+			return nil, err
+		}
+		var n int
+		indexTime, err := timeIt(func() error {
+			var ierr error
+			n, ierr = col.IndexObjects()
+			return ierr
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := T1Row{
+			Granularity: g.name, SpecQuery: g.spec, TextMode: g.mode,
+			IRSDocs: n, IndexBytes: col.IRS().SizeBytes(), IndexTime: indexTime,
+			ParaP10: -1,
+		}
+		// Indexed text volume.
+		var textBytes int64
+		ix := col.IRS().Index()
+		for _, id := range ix.LiveDocIDs() {
+			if ext, ok := ix.ExtID(id); ok {
+				if oid, err := parseOID(ext); err == nil {
+					textBytes += int64(len(s.Store.Text(oid, g.mode)))
+				}
+			}
+		}
+		row.TextRatio = float64(textBytes) / corpusBytes
+
+		// Task 1: document retrieval per topic (derive upward where
+		// the document itself is not represented).
+		var p5sum, mapSum float64
+		for _, topic := range cfg.Topics {
+			q := workload.QueryForTopic(topic)
+			docScores := make(map[oodb.OID]float64, len(s.DocOIDs))
+			for _, docOID := range s.DocOIDs {
+				v, err := col.FindIRSValue(q, docOID)
+				if err != nil {
+					return nil, err
+				}
+				docScores[docOID] = v
+			}
+			ranked := rankOIDs(docScores)
+			relevant := s.RelevantDocOIDs(topic.Name)
+			p5sum += precisionAtK(ranked, relevant, 5)
+			mapSum += averagePrecision(ranked, relevant)
+		}
+		row.DocP5 = p5sum / float64(len(cfg.Topics))
+		row.DocMAP = mapSum / float64(len(cfg.Topics))
+
+		// Task 2: paragraph retrieval (only paragraph/leaf).
+		if g.paraTask {
+			var p10sum float64
+			for _, topic := range cfg.Topics {
+				q := workload.QueryForTopic(topic)
+				relevant := s.RelevantParaOIDs(topic.Name)
+				paraScores := make(map[oodb.OID]float64)
+				for _, docOID := range s.DocOIDs {
+					for _, para := range s.ParasOf(docOID) {
+						v, err := col.FindIRSValue(q, para)
+						if err != nil {
+							return nil, err
+						}
+						paraScores[para] = v
+					}
+				}
+				p10sum += precisionAtK(rankOIDs(paraScores), relevant, 10)
+			}
+			row.ParaP10 = p10sum / float64(len(cfg.Topics))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	tab := &Table{
+		Title:  "EXP-T1 (Section 4.3): IRS-document granularity",
+		Header: []string{"granularity", "IRS docs", "index bytes", "text/corpus", "index time", "doc P@5", "doc MAP", "para P@10"},
+	}
+	for _, r := range res.Rows {
+		para := "n/a"
+		if r.ParaP10 >= 0 {
+			para = fnum(r.ParaP10)
+		}
+		tab.AddRow(r.Granularity, fmt.Sprint(r.IRSDocs), fmt.Sprint(r.IndexBytes),
+			fnum(r.TextRatio), fms(float64(r.IndexTime.Microseconds())/1000),
+			fnum(r.DocP5), fnum(r.DocMAP), para)
+	}
+	tab.Fprint(w)
+	return res, nil
+}

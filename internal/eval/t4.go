@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/docmodel"
+	"repro/internal/oodb"
+	"repro/internal/sgml"
+	"repro/internal/workload"
+)
+
+// EXP-T4 — Section 4.6: update propagation. An editorial workload
+// (text edits, document creations, and create-then-delete "draft"
+// sequences) interleaves with information-need queries at varying
+// update:query ratios, under the three propagation policies. The
+// paper's claims:
+//
+//   - immediate propagation "is costly if the number of updates is
+//     high as compared to the number of information-need queries";
+//   - deferring to query time amortizes bursts of updates;
+//   - the operation log avoids "rebuilding the IRS index structures
+//     even though they will not change after all" (create+delete
+//     cancellation, modify collapsing).
+
+// T4Row is one (ratio, policy) measurement.
+type T4Row struct {
+	Ratio        string
+	Policy       string
+	Total        time.Duration
+	OpsLogged    int64
+	OpsCancelled int64
+	OpsApplied   int64
+	Flushes      int64
+}
+
+// T4Result is the outcome of EXP-T4.
+type T4Result struct {
+	Rows []T4Row
+}
+
+// Row finds a measurement.
+func (r *T4Result) Row(ratio, policy string) *T4Row {
+	for i := range r.Rows {
+		if r.Rows[i].Ratio == ratio && r.Rows[i].Policy == policy {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// RunT4 executes EXP-T4.
+func RunT4(w io.Writer) (*T4Result, error) {
+	ratios := []struct {
+		name             string
+		updates, queries int
+		rounds           int
+	}{
+		{"50:1", 50, 1, 4},
+		{"10:1", 10, 1, 10},
+		{"1:1", 4, 4, 10},
+		{"1:10", 1, 10, 10},
+	}
+	policies := []core.PropagationPolicy{
+		core.PropagateImmediately, core.PropagateOnQuery, core.PropagateManually,
+	}
+	res := &T4Result{}
+	for _, ratio := range ratios {
+		for _, policy := range policies {
+			cfg := workload.DefaultConfig()
+			cfg.Docs = 24
+			s, err := NewSetup(cfg)
+			if err != nil {
+				return nil, err
+			}
+			coll, err := s.NewCollection("collPara", "ACCESS p FROM p IN PARA;",
+				core.Options{Policy: policy})
+			if err != nil {
+				return nil, err
+			}
+			// Gather editable text leaves.
+			var leaves []oodb.OID
+			for _, docOID := range s.DocOIDs {
+				for _, para := range s.ParasOf(docOID) {
+					for _, k := range s.Store.Children(para) {
+						if class, _ := s.DB.ClassOf(k); class == docmodel.ClassText {
+							leaves = append(leaves, k)
+						}
+					}
+				}
+			}
+			rng := rand.New(rand.NewSource(11))
+			queryPool := []string{"www", "nii", "sgml", "video", "#and(www nii)"}
+			base := coll.Stats().Snapshot()
+			total, err := timeIt(func() error {
+				for round := 0; round < ratio.rounds; round++ {
+					for u := 0; u < ratio.updates; u++ {
+						switch rng.Intn(10) {
+						case 0:
+							// Draft document: created and deleted in the
+							// same burst (the paper's cancellation case).
+							tree, err := sgml.ParseDocument(s.DTD,
+								fmt.Sprintf(`<MMFDOC YEAR="1994"><LOGBOOK>l<DOCTITLE>draft<ABSTRACT>a<SECTION><STITLE>s<PARA>draft text %d</MMFDOC>`, round),
+								sgml.ParseOptions{Strict: true})
+							if err != nil {
+								return err
+							}
+							oid, err := s.Store.InsertDocument(s.DTD, tree)
+							if err != nil {
+								return err
+							}
+							if err := s.Store.DeleteDocument(oid); err != nil {
+								return err
+							}
+						default:
+							leaf := leaves[rng.Intn(len(leaves))]
+							if err := s.Store.SetText(leaf,
+								fmt.Sprintf("edited content %d about %s", round, queryPool[rng.Intn(len(queryPool))])); err != nil {
+								return err
+							}
+						}
+					}
+					if policy == core.PropagateManually {
+						// Application flushes in a "low load period"
+						// at the end of the editing burst.
+						if err := coll.Flush(); err != nil {
+							return err
+						}
+					}
+					for q := 0; q < ratio.queries; q++ {
+						if _, err := coll.GetIRSResult(queryPool[rng.Intn(len(queryPool))]); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			after := coll.Stats().Snapshot()
+			res.Rows = append(res.Rows, T4Row{
+				Ratio:        ratio.name,
+				Policy:       policy.String(),
+				Total:        total,
+				OpsLogged:    after.OpsLogged - base.OpsLogged,
+				OpsCancelled: after.OpsCancelled - base.OpsCancelled,
+				OpsApplied:   after.OpsApplied - base.OpsApplied,
+				Flushes:      after.Flushes - base.Flushes,
+			})
+		}
+	}
+
+	tab := &Table{
+		Title:  "EXP-T4 (Section 4.6): update propagation policies",
+		Header: []string{"update:query", "policy", "total", "ops logged", "cancelled", "applied", "flushes"},
+	}
+	for _, r := range res.Rows {
+		tab.AddRow(r.Ratio, r.Policy, fms(float64(r.Total.Microseconds())/1000),
+			fmt.Sprint(r.OpsLogged), fmt.Sprint(r.OpsCancelled),
+			fmt.Sprint(r.OpsApplied), fmt.Sprint(r.Flushes))
+	}
+	tab.Fprint(w)
+	return res, nil
+}

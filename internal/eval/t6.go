@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// EXP-T6 — Section 4.5 remark on result exchange: "Currently the IRS
+// writes the result to a file which is parsed afterwards to extract
+// the OID-relevance value pairs. This mechanism can be improved by
+// using the API of an IRS." The same query stream runs through the
+// file-exchange detour and through the direct API; scores must
+// agree, latencies differ by the serialization/parsing cost.
+
+// T6Result is the outcome of EXP-T6.
+type T6Result struct {
+	Queries       int
+	FileTotal     time.Duration
+	APITotal      time.Duration
+	MaxScoreDelta float64
+	ResultsEqual  bool
+}
+
+// RunT6 executes EXP-T6.
+func RunT6(w io.Writer) (*T6Result, error) {
+	cfg := workload.DefaultConfig()
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	coll, err := s.NewCollection("collPara", "ACCESS p FROM p IN PARA;", core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var queries []string
+	for _, t := range cfg.Topics {
+		queries = append(queries, t.Terms...)
+	}
+	dir, err := os.MkdirTemp("", "exp-t6-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	res := &T6Result{Queries: len(queries) * 4, ResultsEqual: true}
+	irsColl := coll.IRS()
+	const rounds = 4
+	fileScores := make(map[string]map[string]float64)
+	fTotal, err := timeIt(func() error {
+		for round := 0; round < rounds; round++ {
+			for i, q := range queries {
+				path := filepath.Join(dir, fmt.Sprintf("result-%d-%d.txt", round, i))
+				if err := irsColl.SearchToFile(q, path); err != nil {
+					return err
+				}
+				rs, err := parseResultFile(path)
+				if err != nil {
+					return err
+				}
+				fileScores[q] = rs
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.FileTotal = fTotal
+
+	apiScores := make(map[string]map[string]float64)
+	aTotal, err := timeIt(func() error {
+		for round := 0; round < rounds; round++ {
+			for _, q := range queries {
+				rs, err := irsColl.Search(q)
+				if err != nil {
+					return err
+				}
+				m := make(map[string]float64, len(rs))
+				for _, r := range rs {
+					m[r.ExtID] = r.Score
+				}
+				apiScores[q] = m
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.APITotal = aTotal
+
+	for q, fm := range fileScores {
+		am := apiScores[q]
+		if len(fm) != len(am) {
+			res.ResultsEqual = false
+			continue
+		}
+		for ext, v := range fm {
+			d := math.Abs(am[ext] - v)
+			if d > res.MaxScoreDelta {
+				res.MaxScoreDelta = d
+			}
+			if d > 1e-6 {
+				res.ResultsEqual = false
+			}
+		}
+	}
+
+	tab := &Table{
+		Title:  "EXP-T6 (Section 4.5): IRS result exchange mechanism",
+		Header: []string{"mechanism", "queries", "total", "per query"},
+	}
+	tab.AddRow("result file + parse", fmt.Sprint(res.Queries),
+		fms(float64(res.FileTotal.Microseconds())/1000),
+		fms(float64(res.FileTotal.Microseconds())/1000/float64(res.Queries)))
+	tab.AddRow("direct API", fmt.Sprint(res.Queries),
+		fms(float64(res.APITotal.Microseconds())/1000),
+		fms(float64(res.APITotal.Microseconds())/1000/float64(res.Queries)))
+	tab.Fprint(w)
+	fmt.Fprintf(w, "results identical: %v (max score delta %.2g)\n\n", res.ResultsEqual, res.MaxScoreDelta)
+	return res, nil
+}
+
+// parseResultFile adapts irs.ParseResultFile into a score map.
+func parseResultFile(path string) (map[string]float64, error) {
+	rs, err := irsParseResultFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64, len(rs))
+	for _, r := range rs {
+		m[r.ExtID] = r.Score
+	}
+	return m, nil
+}

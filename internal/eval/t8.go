@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/irs"
+	"repro/internal/oodb"
+	"repro/internal/workload"
+)
+
+// EXP-T8 — Section 6 open issue, explored: "bringing together the
+// different assumptions ('Open World' vs 'Closed World') is far from
+// trivial. Negation, for example, has a different meaning in both
+// worlds." The experiment materializes the difference on one corpus
+// with three readings of "paragraphs NOT about www":
+//
+//	VQL NOT      closed world: complement over the class extent —
+//	             paragraphs whose IRS value fails the threshold,
+//	             including ones the IRS never saw evidence for;
+//	IRS #not     open world: the inference net only scores candidate
+//	             documents, and the candidates of #not(www) are
+//	             exactly the documents CONTAINING www — so the
+//	             result set is a subset of the www documents, the
+//	             opposite of the intuitive complement;
+//	boolean #not the boolean model complements over all live IRS
+//	             documents (closed world inside the IRS).
+
+// T8Result is the outcome of EXP-T8.
+type T8Result struct {
+	TotalParas  int
+	WWWParas    int // paragraphs the IRS scores for "www"
+	VQLNotRows  int
+	IRSNotRows  int
+	BoolNotRows int
+	// IRSNotSubset: every #not(www) result contains www — the
+	// open-world paradox.
+	IRSNotSubset bool
+	// Disjoint: VQL NOT result and the www candidate set are
+	// disjoint at the chosen threshold.
+	Disjoint bool
+}
+
+// RunT8 executes EXP-T8.
+func RunT8(w io.Writer) (*T8Result, error) {
+	cfg := workload.DefaultConfig()
+	s, err := NewSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	coll, err := s.NewCollection("collPara", "ACCESS p FROM p IN PARA;", core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res := &T8Result{TotalParas: coll.DocCount(), IRSNotSubset: true, Disjoint: true}
+
+	wwwScores, err := coll.GetIRSResult("www")
+	if err != nil {
+		return nil, err
+	}
+	res.WWWParas = len(wwwScores)
+
+	// Closed world: VQL NOT over the extent.
+	const threshold = "0.45"
+	ev := s.Coupling.Evaluator()
+	rs, err := ev.Run(`ACCESS p FROM p IN PARA WHERE NOT (p -> getIRSValue(collPara, 'www') > ` + threshold + `);`)
+	if err != nil {
+		return nil, err
+	}
+	res.VQLNotRows = len(rs.Rows)
+	vqlSet := make(map[oodb.OID]bool, len(rs.Rows))
+	for _, row := range rs.Rows {
+		vqlSet[row[0].Ref] = true
+	}
+	for oid, v := range wwwScores {
+		if v > 0.45 && vqlSet[oid] {
+			res.Disjoint = false
+		}
+	}
+
+	// Open world: the IRS's own #not.
+	notScores, err := coll.GetIRSResult("#not(www)")
+	if err != nil {
+		return nil, err
+	}
+	res.IRSNotRows = len(notScores)
+	for oid := range notScores {
+		if _, containsWWW := wwwScores[oid]; !containsWWW {
+			res.IRSNotSubset = false
+		}
+	}
+
+	// Boolean closed world inside the IRS.
+	boolColl, err := s.NewCollection("collBool", "ACCESS p FROM p IN PARA;",
+		core.Options{Model: irs.Boolean{}})
+	if err != nil {
+		return nil, err
+	}
+	boolNot, err := boolColl.GetIRSResult("#not(www)")
+	if err != nil {
+		return nil, err
+	}
+	res.BoolNotRows = len(boolNot)
+
+	tab := &Table{
+		Title:  "EXP-T8 (Section 6, open issue): negation across the world assumptions",
+		Header: []string{"reading", "world", "result size", fmt.Sprintf("(corpus: %d paras, %d scored for www)", res.TotalParas, res.WWWParas)},
+	}
+	tab.AddRow("VQL NOT (value <= 0.45)", "closed (extent)", fmt.Sprint(res.VQLNotRows), "")
+	tab.AddRow("inference-net #not(www)", "open (candidates)", fmt.Sprint(res.IRSNotRows), "subset of www docs!")
+	tab.AddRow("boolean #not(www)", "closed (IRS docs)", fmt.Sprint(res.BoolNotRows), "")
+	tab.Fprint(w)
+	fmt.Fprintf(w, "open-world #not returned only www-containing paragraphs: %v; closed-world NOT disjoint from matches: %v\n\n",
+		res.IRSNotSubset, res.Disjoint)
+	return res, nil
+}

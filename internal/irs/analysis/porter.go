@@ -1,0 +1,289 @@
+package analysis
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980). This is a faithful from-scratch
+// implementation of the original algorithm — the variant INQUERY and
+// its contemporaries used — not the later Porter2/Snowball revision.
+//
+// The implementation works on a mutable byte buffer and follows the
+// step structure of the paper: 1a, 1b (+cleanup), 1c, 2, 3, 4, 5a, 5b.
+
+// Stem returns the Porter stem of word. The input is expected to be
+// lowercase; words shorter than 3 letters are returned unchanged (as
+// in the reference implementation). Non-ASCII-letter input is
+// returned unchanged.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			return word
+		}
+	}
+	s := stemmer{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemmer struct {
+	b []byte
+}
+
+// cons reports whether b[i] is a consonant under Porter's rules:
+// a, e, i, o, u are vowels; y is a consonant when it starts the word
+// or follows a vowel, and a vowel when it follows a consonant.
+func (s *stemmer) cons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.cons(i - 1)
+	}
+	return true
+}
+
+// measure computes m for the prefix b[0:end]: the number of VC
+// sequences in the canonical form [C](VC)^m[V].
+func (s *stemmer) measure(end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonant run.
+	for i < end && s.cons(i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !s.cons(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		// Consonant run => one more VC.
+		m++
+		for i < end && s.cons(i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether b[0:end] contains a vowel.
+func (s *stemmer) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.cons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleCons reports whether b[0:end] ends with a double consonant.
+func (s *stemmer) doubleCons(end int) bool {
+	if end < 2 {
+		return false
+	}
+	return s.b[end-1] == s.b[end-2] && s.cons(end-1)
+}
+
+// cvc reports whether b[0:end] ends consonant-vowel-consonant where
+// the final consonant is not w, x or y ("*o" condition).
+func (s *stemmer) cvc(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !s.cons(end-3) || s.cons(end-2) || !s.cons(end-1) {
+		return false
+	}
+	switch s.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the buffer ends with suf.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b) - len(suf)
+	if n < 0 {
+		return false
+	}
+	return string(s.b[n:]) == suf
+}
+
+// stemEnd returns the index just before suffix suf (the stem length).
+func (s *stemmer) stemEnd(suf string) int {
+	return len(s.b) - len(suf)
+}
+
+// replace substitutes the trailing suf with rep.
+func (s *stemmer) replace(suf, rep string) {
+	s.b = append(s.b[:s.stemEnd(suf)], rep...)
+}
+
+// replaceIfM substitutes suf with rep when measure(stem) > threshold.
+// It reports whether suf matched (regardless of the measure test), so
+// callers can stop after the first matching suffix of a rule group.
+func (s *stemmer) replaceIfM(suf, rep string, threshold int) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	if s.measure(s.stemEnd(suf)) > threshold {
+		s.replace(suf, rep)
+	}
+	return true
+}
+
+// step1a: SSES -> SS, IES -> I, SS -> SS, S -> "".
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.replace("sses", "ss")
+	case s.hasSuffix("ies"):
+		s.replace("ies", "i")
+	case s.hasSuffix("ss"):
+		// unchanged
+	case s.hasSuffix("s"):
+		s.replace("s", "")
+	}
+}
+
+// step1b: (m>0) EED -> EE; (*v*) ED -> ""; (*v*) ING -> "" with the
+// cleanup rules AT->ATE, BL->BLE, IZ->IZE, undouble, +E after CVC.
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(s.stemEnd("eed")) > 0 {
+			s.replace("eed", "ee")
+		}
+		return
+	}
+	stripped := false
+	if s.hasSuffix("ed") && s.hasVowel(s.stemEnd("ed")) {
+		s.replace("ed", "")
+		stripped = true
+	} else if s.hasSuffix("ing") && s.hasVowel(s.stemEnd("ing")) {
+		s.replace("ing", "")
+		stripped = true
+	}
+	if !stripped {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"):
+		s.replace("at", "ate")
+	case s.hasSuffix("bl"):
+		s.replace("bl", "ble")
+	case s.hasSuffix("iz"):
+		s.replace("iz", "ize")
+	case s.doubleCons(len(s.b)):
+		switch s.b[len(s.b)-1] {
+		case 'l', 's', 'z':
+			// keep double consonant
+		default:
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.cvc(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+// step1c: (*v*) Y -> I.
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(s.stemEnd("y")) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m(stem) > 0.
+func (s *stemmer) step2() {
+	rules := []struct{ suf, rep string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+		{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+		{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+		{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+		{"iviti", "ive"}, {"biliti", "ble"},
+	}
+	for _, r := range rules {
+		if s.replaceIfM(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+// step3 handles -ic-, -full, -ness etc. when m(stem) > 0.
+func (s *stemmer) step3() {
+	rules := []struct{ suf, rep string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+		{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, r := range rules {
+		if s.replaceIfM(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+// step4 removes residual suffixes when m(stem) > 1.
+func (s *stemmer) step4() {
+	rules := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+		"ement", "ment", "ent", "ou", "ism", "ate", "iti", "ous",
+		"ive", "ize",
+	}
+	// "ion" is special: stem must end in s or t.
+	if s.hasSuffix("ion") {
+		end := s.stemEnd("ion")
+		if end > 0 && (s.b[end-1] == 's' || s.b[end-1] == 't') && s.measure(end) > 1 {
+			s.replace("ion", "")
+		}
+		// Porter's rule list is scanned for the longest match per
+		// step; "ion" cannot co-occur with the other suffixes below
+		// except as their tail, so returning here mirrors the
+		// reference behaviour.
+		if !s.hasSuffix("ion") {
+			return
+		}
+	}
+	for _, suf := range rules {
+		if s.hasSuffix(suf) {
+			if s.measure(s.stemEnd(suf)) > 1 {
+				s.replace(suf, "")
+			}
+			return
+		}
+	}
+}
+
+// step5a: (m>1) E -> ""; (m=1 and not *o) E -> "".
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	end := s.stemEnd("e")
+	m := s.measure(end)
+	if m > 1 || (m == 1 && !s.cvc(end)) {
+		s.replace("e", "")
+	}
+}
+
+// step5b: (m>1 and *d and *L) single letter (undouble final ll).
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n > 1 && s.b[n-1] == 'l' && s.doubleCons(n) && s.measure(n) > 1 {
+		s.b = s.b[:n-1]
+	}
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// porterVectors are drawn from Porter's published examples and the
+// standard test vocabulary distributed with the reference
+// implementation.
+var porterVectors = map[string]string{
+	// Step 1a examples.
+	"caresses": "caress",
+	"ponies":   "poni",
+	"ties":     "ti",
+	"caress":   "caress",
+	"cats":     "cat",
+	// Step 1b examples.
+	"feed":      "feed",
+	"agreed":    "agre",
+	"plastered": "plaster",
+	"bled":      "bled",
+	"motoring":  "motor",
+	"sing":      "sing",
+	"conflated": "conflat",
+	"troubled":  "troubl",
+	"sized":     "size",
+	"hopping":   "hop",
+	"tanned":    "tan",
+	"falling":   "fall",
+	"hissing":   "hiss",
+	"fizzed":    "fizz",
+	"failing":   "fail",
+	"filing":    "file",
+	// Step 1c.
+	"happy": "happi",
+	"sky":   "sky",
+	// Step 2.
+	"relational":     "relat",
+	"conditional":    "condit",
+	"rational":       "ration",
+	"valenci":        "valenc",
+	"hesitanci":      "hesit",
+	"digitizer":      "digit",
+	"conformabli":    "conform",
+	"radicalli":      "radic",
+	"differentli":    "differ",
+	"vileli":         "vile",
+	"analogousli":    "analog",
+	"vietnamization": "vietnam",
+	"predication":    "predic",
+	"operator":       "oper",
+	"feudalism":      "feudal",
+	"decisiveness":   "decis",
+	"hopefulness":    "hope",
+	"callousness":    "callous",
+	"formaliti":      "formal",
+	"sensitiviti":    "sensit",
+	"sensibiliti":    "sensibl",
+	// Step 3.
+	"triplicate":  "triplic",
+	"formative":   "form",
+	"formalize":   "formal",
+	"electriciti": "electr",
+	"electrical":  "electr",
+	"hopeful":     "hope",
+	"goodness":    "good",
+	// Step 4.
+	"revival":     "reviv",
+	"allowance":   "allow",
+	"inference":   "infer",
+	"airliner":    "airlin",
+	"gyroscopic":  "gyroscop",
+	"adjustable":  "adjust",
+	"defensible":  "defens",
+	"irritant":    "irrit",
+	"replacement": "replac",
+	"adjustment":  "adjust",
+	"dependent":   "depend",
+	"adoption":    "adopt",
+	"homologou":   "homolog",
+	"communism":   "commun",
+	"activate":    "activ",
+	"angulariti":  "angular",
+	"homologous":  "homolog",
+	"effective":   "effect",
+	"bowdlerize":  "bowdler",
+	// Step 5.
+	"probate":  "probat",
+	"rate":     "rate",
+	"cease":    "ceas",
+	"controll": "control",
+	"roll":     "roll",
+	// Application-domain words used throughout the experiments.
+	"retrieval":   "retriev",
+	"databases":   "databas",
+	"documents":   "document",
+	"collections": "collect",
+	"hypermedia":  "hypermedia",
+	"paragraphs":  "paragraph",
+	"indexing":    "index",
+	"queries":     "queri",
+}
+
+func TestPorterVectors(t *testing.T) {
+	for in, want := range porterVectors {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonAlpha(t *testing.T) {
+	cases := map[string]string{
+		"a": "a", "is": "is", "be": "be",
+		"x86": "x86", "r2d2": "r2d2", "": "",
+		"über": "über",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestStemIdempotentOnVocabulary checks the practical invariant that
+// re-stemming a stem does not shrink words further for the test
+// vocabulary. (The Porter algorithm is not idempotent in general,
+// but index/query symmetry only requires that both sides stem once;
+// this test documents behaviour on the domain vocabulary.)
+func TestStemStableOnDomainVocabulary(t *testing.T) {
+	for _, w := range []string{
+		"retrieval", "document", "structure", "paragraph", "telnet",
+		"protocol", "journal", "multimedia", "forum", "object",
+		"oriented", "database", "coupling",
+	} {
+		s1 := Stem(w)
+		s2 := Stem(s1)
+		if s2 != s1 {
+			t.Logf("note: Stem not idempotent for %q: %q -> %q", w, s1, s2)
+		}
+	}
+}
+
+// Property: stemming never lengthens a word beyond +1 byte (the +e
+// restoration in step 1b can add one), and output is ASCII lowercase.
+func TestStemLengthAndAlphabetProperty(t *testing.T) {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	f := func(seed []byte) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		n := int(seed[0])%12 + 1
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[int(seed[i%len(seed)])%26])
+		}
+		w := sb.String()
+		s := Stem(w)
+		if len(s) > len(w)+1 {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			if s[i] < 'a' || s[i] > 'z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stems share a non-empty prefix with the original word
+// for words of length >= 3 (Porter only strips/rewrites suffixes).
+func TestStemPrefixProperty(t *testing.T) {
+	letters := "aeioubcdfgst"
+	f := func(seed []byte) bool {
+		if len(seed) < 3 {
+			return true
+		}
+		n := int(seed[0])%10 + 3
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(letters[int(seed[i%len(seed)])%len(letters)])
+		}
+		w := sb.String()
+		s := Stem(w)
+		if len(s) == 0 {
+			return false
+		}
+		return s[0] == w[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+// defaultStopwords is a classic English stopword list of the size
+// used by 1990s retrieval systems (a van Rijsbergen-style list).
+// Stopping is applied at index and query time symmetrically.
+var defaultStopwords = func() map[string]bool {
+	words := []string{
+		"a", "about", "above", "across", "after", "again", "against",
+		"all", "almost", "alone", "along", "already", "also",
+		"although", "always", "among", "an", "and", "another", "any",
+		"anybody", "anyone", "anything", "anywhere", "are", "area",
+		"around", "as", "ask", "asked", "at", "away",
+		"back", "be", "became", "because", "become", "becomes", "been",
+		"before", "began", "behind", "being", "best", "better",
+		"between", "both", "but", "by",
+		"came", "can", "cannot", "case", "certain", "certainly",
+		"clear", "clearly", "come", "could",
+		"did", "differ", "different", "do", "does", "done", "down",
+		"downed", "during",
+		"each", "early", "either", "enough", "even", "evenly", "ever",
+		"every", "everybody", "everyone", "everything", "everywhere",
+		"far", "few", "find", "finds", "first", "for", "four", "from",
+		"full", "fully", "further", "furthered",
+		"gave", "general", "generally", "get", "gets", "give", "given",
+		"gives", "go", "going", "good", "got", "great", "greater",
+		"had", "has", "have", "having", "he", "her", "here", "herself",
+		"high", "higher", "him", "himself", "his", "how", "however",
+		"if", "important", "in", "interest", "into", "is", "it", "its",
+		"itself",
+		"just",
+		"keep", "kind", "knew", "know", "known",
+		"large", "last", "later", "latest", "least", "less", "let",
+		"like", "likely", "long", "longer",
+		"made", "make", "making", "man", "many", "may", "me", "member",
+		"men", "might", "more", "most", "mostly", "mr", "mrs", "much",
+		"must", "my", "myself",
+		"necessary", "need", "never", "new", "newer", "next", "no",
+		"nobody", "non", "noone", "not", "nothing", "now", "nowhere",
+		"number",
+		"of", "off", "often", "old", "older", "on", "once", "one",
+		"only", "open", "opened", "or", "other", "others", "our",
+		"out", "over",
+		"part", "per", "perhaps", "place", "point", "possible",
+		"present", "put",
+		"quite",
+		"rather", "really", "right", "room",
+		"said", "same", "saw", "say", "second", "see", "seem",
+		"seemed", "seeming", "seems", "several", "shall", "she",
+		"should", "show", "showed", "side", "since", "small", "so",
+		"some", "somebody", "someone", "something", "somewhere",
+		"state", "still", "such", "sure",
+		"take", "taken", "than", "that", "the", "their", "them",
+		"then", "there", "therefore", "these", "they", "thing",
+		"things", "think", "this", "those", "though", "thought",
+		"three", "through", "thus", "to", "today", "together", "too",
+		"toward", "turn", "two",
+		"under", "until", "up", "upon", "us", "use", "used", "uses",
+		"very",
+		"want", "wanted", "was", "way", "ways", "we", "well", "went",
+		"were", "what", "when", "where", "whether", "which", "while",
+		"who", "whole", "whose", "why", "will", "with", "within",
+		"without", "work", "worked", "would",
+		"year", "years", "yet", "you", "young", "your", "yours",
+	}
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return m
+}()
+
+// DefaultStopwords returns a copy of the built-in stopword list,
+// sorted order not guaranteed. Useful for applications that want to
+// extend the default list via WithStopwords.
+func DefaultStopwords() []string {
+	out := make([]string, 0, len(defaultStopwords))
+	for w := range defaultStopwords {
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package analysis provides the text-analysis pipeline of the IRS
+// substrate: tokenization, stopword removal and Porter stemming.
+//
+// The pipeline mirrors what INQUERY-era retrieval systems applied to
+// document text before indexing. It is deliberately deterministic so
+// that experiments are reproducible: the same input text always
+// yields the same term sequence.
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single term occurrence produced by the Tokenizer.
+type Token struct {
+	// Term is the (lowercased) surface form of the token.
+	Term string
+	// Position is the ordinal of the token in the token stream,
+	// counting all tokens (including ones later removed as
+	// stopwords) so that phrase offsets remain stable.
+	Position int
+	// Offset is the byte offset of the token start in the input.
+	Offset int
+}
+
+// Tokenize splits text into lowercase word tokens. A token is a
+// maximal run of letters and digits; everything else separates
+// tokens. Hyphenated words ("content-based") produce their parts as
+// separate tokens, which matches the behaviour of classic IR
+// tokenizers and keeps phrase positions meaningful.
+func Tokenize(text string) []Token {
+	var toks []Token
+	pos := 0
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		toks = append(toks, Token{
+			Term:     strings.ToLower(text[start:end]),
+			Position: pos,
+			Offset:   start,
+		})
+		pos++
+		start = -1
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	return toks
+}
+
+// Terms is a convenience wrapper returning just the term strings of
+// Tokenize(text).
+func Terms(text string) []string {
+	toks := Tokenize(text)
+	if len(toks) == 0 {
+		return nil
+	}
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Term
+	}
+	return out
+}
+
+// Analyzer turns raw text into index terms. The zero value is not
+// useful; construct one with NewAnalyzer.
+type Analyzer struct {
+	stopwords map[string]bool
+	stem      bool
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithStopwords replaces the default stopword list. Passing an empty
+// slice disables stopping entirely.
+func WithStopwords(words []string) Option {
+	return func(a *Analyzer) {
+		a.stopwords = make(map[string]bool, len(words))
+		for _, w := range words {
+			a.stopwords[strings.ToLower(w)] = true
+		}
+	}
+}
+
+// WithoutStemming disables the Porter stemmer.
+func WithoutStemming() Option {
+	return func(a *Analyzer) { a.stem = false }
+}
+
+// NewAnalyzer returns an analyzer with the default English stopword
+// list and Porter stemming enabled.
+func NewAnalyzer(opts ...Option) *Analyzer {
+	a := &Analyzer{stopwords: defaultStopwords, stem: true}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Analyze runs the full pipeline on text: tokenize, drop stopwords,
+// stem. Positions are preserved from the raw token stream so phrase
+// queries can detect adjacency across removed stopwords.
+func (a *Analyzer) Analyze(text string) []Token {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if a.stopwords[t.Term] {
+			continue
+		}
+		if a.stem {
+			t.Term = Stem(t.Term)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// AnalyzeTerm normalizes a single query term through the same
+// pipeline stages (lowercase + stem). It does not apply stopword
+// removal: a user explicitly querying for a stopword should still
+// get a well-formed (if empty-posting) term.
+func (a *Analyzer) AnalyzeTerm(term string) string {
+	term = strings.ToLower(strings.TrimSpace(term))
+	if a.stem {
+		term = Stem(term)
+	}
+	return term
+}
+
+// IsStopword reports whether the analyzer would drop term.
+func (a *Analyzer) IsStopword(term string) bool {
+	return a.stopwords[strings.ToLower(term)]
+}

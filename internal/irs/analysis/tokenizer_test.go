@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"Telnet is a protocol", []string{"telnet", "is", "a", "protocol"}},
+		{"content-based access", []string{"content", "based", "access"}},
+		{"WWW, NII!", []string{"www", "nii"}},
+		{"ISO 8879-1986 (E)", []string{"iso", "8879", "1986", "e"}},
+		{"O'Brien's", []string{"o", "brien", "s"}},
+		{"über-Größe", []string{"über", "größe"}},
+	}
+	for _, tt := range tests {
+		got := Terms(tt.in)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Terms(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTokenizePositionsAndOffsets(t *testing.T) {
+	toks := Tokenize("the WWW;  the NII")
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens, want 4", len(toks))
+	}
+	wantPos := []int{0, 1, 2, 3}
+	wantOff := []int{0, 4, 10, 14}
+	for i, tok := range toks {
+		if tok.Position != wantPos[i] {
+			t.Errorf("token %d position = %d, want %d", i, tok.Position, wantPos[i])
+		}
+		if tok.Offset != wantOff[i] {
+			t.Errorf("token %d offset = %d, want %d", i, tok.Offset, wantOff[i])
+		}
+	}
+}
+
+func TestAnalyzerStopwordsAndStemming(t *testing.T) {
+	a := NewAnalyzer()
+	toks := a.Analyze("The retrieval of structured documents")
+	got := make([]string, len(toks))
+	for i, tok := range toks {
+		got[i] = tok.Term
+	}
+	want := []string{"retriev", "structur", "document"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Analyze = %v, want %v", got, want)
+	}
+	// Positions must reflect the raw stream (stopwords counted).
+	if toks[0].Position != 1 {
+		t.Errorf("first kept token position = %d, want 1", toks[0].Position)
+	}
+}
+
+func TestAnalyzerOptions(t *testing.T) {
+	a := NewAnalyzer(WithoutStemming(), WithStopwords([]string{"telnet"}))
+	toks := a.Analyze("Telnet is a protocol")
+	got := make([]string, len(toks))
+	for i, tok := range toks {
+		got[i] = tok.Term
+	}
+	want := []string{"is", "a", "protocol"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Analyze = %v, want %v", got, want)
+	}
+	if !a.IsStopword("TELNET") {
+		t.Error("IsStopword(TELNET) = false, want true")
+	}
+}
+
+func TestAnalyzeTermSymmetry(t *testing.T) {
+	// A query term must normalize to the same form the indexer
+	// produced for the matching document token.
+	a := NewAnalyzer()
+	doc := a.Analyze("databases")
+	if len(doc) != 1 {
+		t.Fatalf("expected 1 token, got %d", len(doc))
+	}
+	if q := a.AnalyzeTerm("Databases"); q != doc[0].Term {
+		t.Errorf("query term %q != index term %q", q, doc[0].Term)
+	}
+}
+
+// Property: token positions are strictly increasing and offsets are
+// within bounds and non-overlapping.
+func TestTokenizeMonotonicProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		prevPos, prevOff := -1, -1
+		for _, tok := range toks {
+			if tok.Position != prevPos+1 {
+				return false
+			}
+			if tok.Offset <= prevOff || tok.Offset >= len(s) {
+				return false
+			}
+			prevPos = tok.Position
+			prevOff = tok.Offset
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Tokenize is insensitive to surrounding whitespace.
+func TestTokenizeWhitespaceProperty(t *testing.T) {
+	f := func(s string) bool {
+		a := Terms(s)
+		b := Terms("  " + s + "\n")
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package irs
+
+// Boolean is a strict boolean retrieval model: a document either
+// satisfies the query (score 1) or is not returned at all. #sum,
+// #wsum, #max and #syn degrade to union, matching how boolean
+// engines of the period mapped soft operators. #not complements
+// within the set of live documents.
+//
+// The paper's Section 2 criticizes DBMS-oriented approaches for
+// offering exactly this ("results are combined with boolean
+// operators only, uncertainty is not considered") — having the model
+// available makes that comparison measurable (EXP-T7).
+type Boolean struct{}
+
+// Name implements Model.
+func (Boolean) Name() string { return "boolean" }
+
+// Eval implements Model.
+func (Boolean) Eval(ix *Index, root *Node) map[DocID]float64 {
+	if root == nil {
+		return nil
+	}
+	set := booleanEval(ix, root)
+	out := make(map[DocID]float64, len(set))
+	for d := range set {
+		out[d] = 1.0
+	}
+	return out
+}
+
+func booleanEval(ix *Index, n *Node) map[DocID]bool {
+	switch n.Kind {
+	case NodeTerm:
+		set := make(map[DocID]bool)
+		for _, p := range ix.Postings(n.Term) {
+			set[p.Doc] = true
+		}
+		return set
+	case NodePhrase:
+		st := phraseStat(ix, n)
+		set := make(map[DocID]bool, len(st.tf))
+		for d := range st.tf {
+			set[d] = true
+		}
+		return set
+	case NodeAnd:
+		var acc map[DocID]bool
+		for _, c := range n.Children {
+			s := booleanEval(ix, c)
+			if acc == nil {
+				acc = s
+				continue
+			}
+			for d := range acc {
+				if !s[d] {
+					delete(acc, d)
+				}
+			}
+		}
+		return acc
+	case NodeOr, NodeSum, NodeWSum, NodeMax, NodeSyn:
+		acc := make(map[DocID]bool)
+		for _, c := range n.Children {
+			for d := range booleanEval(ix, c) {
+				acc[d] = true
+			}
+		}
+		return acc
+	case NodeNot:
+		inner := booleanEval(ix, n.Children[0])
+		out := make(map[DocID]bool)
+		for _, d := range ix.LiveDocIDs() {
+			if !inner[d] {
+				out[d] = true
+			}
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package irs
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/irs/analysis"
+)
+
+// Engine manages named collections — the unit of retrieval context
+// in the paper ("Each document set is called 'collection'",
+// Section 1.1). The number of collections in use is arbitrary and
+// they may overlap freely (Section 1.3).
+//
+// If constructed with NewEngineAt, collections are persisted to one
+// file per collection below the directory; Save/Load use the binary
+// format in persist.go.
+type Engine struct {
+	mu    sync.RWMutex
+	colls map[string]*Collection
+	dir   string
+}
+
+// NewEngine returns a memory-only engine.
+func NewEngine() *Engine {
+	return &Engine{colls: make(map[string]*Collection)}
+}
+
+// NewEngineAt returns an engine whose collections persist under dir,
+// loading any collections already stored there.
+func NewEngineAt(dir string) (*Engine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("irs: create engine dir: %w", err)
+	}
+	e := &Engine{colls: make(map[string]*Collection), dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("irs: read engine dir: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), collExt) {
+			continue
+		}
+		c, err := loadCollection(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		e.colls[c.name] = c
+	}
+	return e, nil
+}
+
+const collExt = ".irsc"
+
+// ErrBadCollectionName rejects names that cannot serve as file names
+// in the persistent engine.
+var ErrBadCollectionName = errors.New("irs: collection name must be non-empty letters, digits, '-', '_' or '.'")
+
+func validCollectionName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CreateCollection creates a new collection using the given model
+// (nil selects the inference-net model, as in INQUERY). Collection
+// names double as file names under persistent engines and are
+// restricted accordingly.
+func (e *Engine) CreateCollection(name string, model Model) (*Collection, error) {
+	if !validCollectionName(name) {
+		return nil, fmt.Errorf("%w: %q", ErrBadCollectionName, name)
+	}
+	if model == nil {
+		model = InferenceNet{}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.colls[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateColl, name)
+	}
+	c := &Collection{
+		name:  name,
+		ix:    NewIndex(analysis.NewAnalyzer()),
+		model: model,
+	}
+	e.colls[name] = c
+	return c, nil
+}
+
+// Collection returns the named collection.
+func (e *Engine) Collection(name string) (*Collection, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	c, ok := e.colls[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchCollection, name)
+	}
+	return c, nil
+}
+
+// DropCollection removes the named collection (and its file, when
+// the engine is persistent).
+func (e *Engine) DropCollection(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.colls[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchCollection, name)
+	}
+	delete(e.colls, name)
+	if e.dir != "" {
+		if err := os.Remove(filepath.Join(e.dir, name+collExt)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("irs: drop collection file: %w", err)
+		}
+	}
+	return nil
+}
+
+// Collections returns the names of all collections, sorted.
+func (e *Engine) Collections() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.colls))
+	for n := range e.colls {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Save writes every collection to the engine directory. It is a
+// no-op for memory-only engines.
+func (e *Engine) Save() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.dir == "" {
+		return nil
+	}
+	for name, c := range e.colls {
+		if err := c.saveTo(filepath.Join(e.dir, name+collExt)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collection is one IRS collection: an index plus the retrieval
+// model used to score queries against it.
+type Collection struct {
+	name  string
+	ix    *Index
+	model Model
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Model returns the retrieval model in use.
+func (c *Collection) Model() Model { return c.model }
+
+// SetModel exchanges the retrieval paradigm without touching the
+// index — the loose-coupling exchangeability claim made concrete.
+func (c *Collection) SetModel(m Model) { c.model = m }
+
+// Index exposes the underlying inverted file (read-mostly use by
+// experiments; the coupling layer goes through the typed methods).
+func (c *Collection) Index() *Index { return c.ix }
+
+// AddDocument indexes text under extID with optional metadata. In
+// the coupling, extID is the owning object's OID and the metadata
+// records the textMode used (Section 4.3: "storing the according
+// object identifier (OID) with each IRS document").
+func (c *Collection) AddDocument(extID, text string, meta map[string]string) error {
+	_, err := c.ix.Add(extID, text, meta)
+	return err
+}
+
+// DeleteDocument removes the document registered under extID.
+func (c *Collection) DeleteDocument(extID string) error {
+	return c.ix.Delete(extID)
+}
+
+// UpdateDocument replaces the text registered under extID.
+func (c *Collection) UpdateDocument(extID, text string, meta map[string]string) error {
+	_, err := c.ix.Update(extID, text, meta)
+	return err
+}
+
+// HasDoc reports whether extID is represented in the collection.
+func (c *Collection) HasDoc(extID string) bool { return c.ix.HasDoc(extID) }
+
+// DocCount returns the number of live documents.
+func (c *Collection) DocCount() int { return c.ix.DocCount() }
+
+// SizeBytes estimates the inverted-file size.
+func (c *Collection) SizeBytes() int64 { return c.ix.SizeBytes() }
+
+// Search parses and evaluates query, returning results sorted by
+// descending score (ties broken by ExtID for determinism).
+func (c *Collection) Search(query string) ([]Result, error) {
+	n, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return c.SearchNode(n), nil
+}
+
+// SearchNode evaluates a pre-parsed query.
+func (c *Collection) SearchNode(n *Node) []Result {
+	scores := c.model.Eval(c.ix, n)
+	out := make([]Result, 0, len(scores))
+	for d, s := range scores {
+		ext, ok := c.ix.ExtID(d)
+		if !ok {
+			continue
+		}
+		out = append(out, Result{ExtID: ext, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ExtID < out[j].ExtID
+	})
+	return out
+}
+
+// SearchToFile evaluates query and writes the result to path in the
+// line format "extID score\n" — the file-exchange mechanism the
+// paper describes ("Currently the IRS writes the result to a file
+// which is parsed afterwards", Section 4.5). Use ParseResultFile to
+// read it back. EXP-T6 measures the cost of this detour against the
+// direct API.
+func (c *Collection) SearchToFile(query, path string) error {
+	rs, err := c.Search(query)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("irs: create result file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range rs {
+		fmt.Fprintf(w, "%s %.9f\n", r.ExtID, r.Score)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("irs: write result file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("irs: close result file: %w", err)
+	}
+	return nil
+}
+
+// ParseResultFile reads a result file written by SearchToFile.
+func ParseResultFile(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("irs: open result file: %w", err)
+	}
+	defer f.Close()
+	var out []Result
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("irs: malformed result line %q", line)
+		}
+		score, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("irs: malformed score in %q: %w", line, err)
+		}
+		out = append(out, Result{ExtID: line[:i], Score: score})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("irs: read result file: %w", err)
+	}
+	return out, nil
+}
+
+// ModelByName constructs a retrieval model from its persisted name.
+func ModelByName(name string) (Model, error) {
+	switch name {
+	case "inference-net", "":
+		return InferenceNet{}, nil
+	case "vector":
+		return NewVectorSpace(), nil
+	case "boolean":
+		return Boolean{}, nil
+	case "passage":
+		return PassageModel{}, nil
+	}
+	return nil, fmt.Errorf("irs: unknown retrieval model %q", name)
+}

@@ -1,0 +1,244 @@
+package irs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEngineCollectionLifecycle(t *testing.T) {
+	e := NewEngine()
+	c, err := e.CreateCollection("para", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Model().Name() != "inference-net" {
+		t.Errorf("default model = %q, want inference-net", c.Model().Name())
+	}
+	if _, err := e.CreateCollection("para", nil); !errors.Is(err, ErrDuplicateColl) {
+		t.Errorf("duplicate create: err = %v, want ErrDuplicateColl", err)
+	}
+	if _, err := e.Collection("ghost"); !errors.Is(err, ErrNoSuchCollection) {
+		t.Errorf("missing collection: err = %v, want ErrNoSuchCollection", err)
+	}
+	e.CreateCollection("doc", Boolean{})
+	got := e.Collections()
+	if len(got) != 2 || got[0] != "doc" || got[1] != "para" {
+		t.Errorf("Collections = %v, want [doc para]", got)
+	}
+	if err := e.DropCollection("doc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DropCollection("doc"); !errors.Is(err, ErrNoSuchCollection) {
+		t.Errorf("double drop: err = %v", err)
+	}
+}
+
+func TestCollectionSearch(t *testing.T) {
+	e := NewEngine()
+	c, _ := e.CreateCollection("para", nil)
+	c.AddDocument("oid1", "the world wide web is growing", map[string]string{"oid": "1"})
+	c.AddDocument("oid2", "the national information infrastructure", map[string]string{"oid": "2"})
+	c.AddDocument("oid3", "web and infrastructure together", map[string]string{"oid": "3"})
+	rs, err := c.Search("#and(web infrastructure)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 || rs[0].ExtID != "oid3" {
+		t.Errorf("top result = %v, want oid3 first", rs)
+	}
+	// Scores sorted descending.
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Score > rs[i-1].Score {
+			t.Errorf("results not sorted at %d: %v", i, rs)
+		}
+	}
+	if _, err := c.Search("#broken("); err == nil {
+		t.Error("Search with bad query succeeded")
+	}
+}
+
+func TestCollectionUpdateDocument(t *testing.T) {
+	e := NewEngine()
+	c, _ := e.CreateCollection("para", nil)
+	c.AddDocument("d1", "initial text about telnet", nil)
+	if err := c.UpdateDocument("d1", "revised text about gopher", nil); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := c.Search("gopher")
+	if len(rs) != 1 {
+		t.Errorf("updated content not searchable: %v", rs)
+	}
+	rs, _ = c.Search("telnet")
+	if len(rs) != 0 {
+		t.Errorf("old content still searchable: %v", rs)
+	}
+	if err := c.DeleteDocument("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.HasDoc("d1") {
+		t.Error("HasDoc after delete")
+	}
+}
+
+func TestSearchToFileRoundTrip(t *testing.T) {
+	e := NewEngine()
+	c, _ := e.CreateCollection("para", nil)
+	c.AddDocument("a", "www content here", nil)
+	c.AddDocument("b", "more www and www again", nil)
+	path := filepath.Join(t.TempDir(), "result.txt")
+	if err := c.SearchToFile("www", path); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := ParseResultFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := c.Search("www")
+	if len(fromFile) != len(direct) {
+		t.Fatalf("file exchange lost results: %d vs %d", len(fromFile), len(direct))
+	}
+	for i := range direct {
+		if fromFile[i].ExtID != direct[i].ExtID {
+			t.Errorf("result %d: file %q vs direct %q", i, fromFile[i].ExtID, direct[i].ExtID)
+		}
+		if d := fromFile[i].Score - direct[i].Score; d > 1e-6 || d < -1e-6 {
+			t.Errorf("result %d: score drift %v", i, d)
+		}
+	}
+}
+
+func TestParseResultFileErrors(t *testing.T) {
+	if _, err := ParseResultFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file parsed")
+	}
+}
+
+func TestSetModelExchangesParadigm(t *testing.T) {
+	e := NewEngine()
+	c, _ := e.CreateCollection("para", nil)
+	c.AddDocument("a", "www only", nil)
+	c.AddDocument("b", "nii only", nil)
+	c.AddDocument("c", "www nii both", nil)
+	// Probabilistic: all three docs get beliefs for #and.
+	prob, _ := c.Search("#and(www nii)")
+	if len(prob) != 3 {
+		t.Fatalf("inference-net returned %d results, want 3", len(prob))
+	}
+	// Strict boolean on the same index: only the conjunction.
+	c.SetModel(Boolean{})
+	boolRes, _ := c.Search("#and(www nii)")
+	if len(boolRes) != 1 || boolRes[0].ExtID != "c" {
+		t.Errorf("boolean returned %v, want only c", boolRes)
+	}
+}
+
+func TestEnginePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := e1.CreateCollection("para", nil)
+	c.AddDocument("o1", "structured documents in databases", map[string]string{"oid": "1"})
+	c.AddDocument("o2", "retrieval of structured text", map[string]string{"oid": "2"})
+	c.DeleteDocument("o1")
+	c.AddDocument("o3", "structured hypermedia", nil)
+	v, _ := e1.CreateCollection("vec", NewVectorSpace())
+	v.AddDocument("x", "vector space scoring", nil)
+	if err := e1.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := e2.Collections()
+	if len(names) != 2 {
+		t.Fatalf("loaded %v, want 2 collections", names)
+	}
+	c2, err := e2.Collection("para")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.DocCount() != 2 {
+		t.Errorf("DocCount = %d, want 2", c2.DocCount())
+	}
+	if c2.HasDoc("o1") {
+		t.Error("deleted doc o1 resurrected by load")
+	}
+	rs, _ := c2.Search("structured")
+	if len(rs) != 2 {
+		t.Errorf("search after load: %v, want 2 hits", rs)
+	}
+	if id, _ := c2.Index().byExt["o2"]; true {
+		if m, ok := c2.Index().Meta(id, "oid"); !ok || m != "2" {
+			t.Errorf("meta lost by round trip: %q %v", m, ok)
+		}
+	}
+	v2, _ := e2.Collection("vec")
+	if v2.Model().Name() != "vector" {
+		t.Errorf("model name = %q, want vector", v2.Model().Name())
+	}
+	// Scores identical before/after round trip.
+	r1, _ := c.Search("structured text")
+	r2, _ := c2.Search("structured text")
+	if len(r1) != len(r2) {
+		t.Fatalf("result sets differ: %v vs %v", r1, r2)
+	}
+	for i := range r1 {
+		if r1[i].ExtID != r2[i].ExtID {
+			t.Errorf("rank %d: %q vs %q", i, r1[i].ExtID, r2[i].ExtID)
+		}
+	}
+}
+
+func TestEngineDropCollectionRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := NewEngineAt(dir)
+	c, _ := e.CreateCollection("temp", nil)
+	c.AddDocument("d", "x", nil)
+	e.Save()
+	if err := e.DropCollection("temp"); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Collections()) != 0 {
+		t.Errorf("dropped collection survived: %v", e2.Collections())
+	}
+}
+
+func TestLoadCollectionRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad"+collExt)
+	if err := writeFile(path, []byte("not a collection")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngineAt(dir); err == nil {
+		t.Error("garbage collection file loaded without error")
+	}
+}
+
+// writeFile is a tiny test helper (os.WriteFile with 0644).
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestCreateCollectionNameValidation(t *testing.T) {
+	e := NewEngine()
+	for _, bad := range []string{"", ".", "..", "a/b", "a\\b", "name with space", "col\x00l"} {
+		if _, err := e.CreateCollection(bad, nil); !errors.Is(err, ErrBadCollectionName) {
+			t.Errorf("CreateCollection(%q) err = %v, want ErrBadCollectionName", bad, err)
+		}
+	}
+	for _, good := range []string{"collPara", "para-1994", "a.b_c2"} {
+		if _, err := e.CreateCollection(good, nil); err != nil {
+			t.Errorf("CreateCollection(%q): %v", good, err)
+		}
+	}
+}

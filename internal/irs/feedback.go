@@ -1,0 +1,120 @@
+package irs
+
+import (
+	"math"
+	"sort"
+)
+
+// Relevance feedback — the paper lists it among the open
+// "application independent facets" (Section 6). This implements the
+// classic Rocchio-style formulation adapted to the operator query
+// language: terms are scored over the judged-relevant documents by
+// relative frequency times idf, the best expansion terms are
+// appended to the original query under a #wsum that keeps the
+// original terms dominant.
+
+// FeedbackOptions tunes query expansion.
+type FeedbackOptions struct {
+	// AddTerms is the number of expansion terms to add (default 5).
+	AddTerms int
+	// OriginalWeight is the #wsum weight of the original query
+	// (default 2; expansion terms weigh 1 each).
+	OriginalWeight float64
+}
+
+// ExpandQuery builds an expanded query from the original and the
+// external ids of documents the user judged relevant. The expansion
+// selects the AddTerms highest-scoring terms (relative term
+// frequency in the relevant set × idf over the collection),
+// excluding terms already present in the query.
+//
+// The result is a #wsum combining the original query with the
+// expansion terms, parseable by ParseQuery as usual; callers route
+// it through the coupling like any other query (it gets its own
+// buffer entry).
+func (c *Collection) ExpandQuery(original string, relevant []string, opts FeedbackOptions) (string, error) {
+	node, err := ParseQuery(original)
+	if err != nil {
+		return "", err
+	}
+	addTerms := opts.AddTerms
+	if addTerms <= 0 {
+		addTerms = 5
+	}
+	origWeight := opts.OriginalWeight
+	if origWeight == 0 {
+		origWeight = 2
+	}
+	ix := c.ix
+	present := make(map[string]bool)
+	for _, t := range node.Terms() {
+		present[ix.analyzer.AnalyzeTerm(t)] = true
+	}
+
+	// Term statistics over the relevant documents.
+	type cand struct {
+		term  string
+		score float64
+	}
+	tf := make(map[string]int)
+	relSet := make(map[DocID]bool, len(relevant))
+	ix.mu.RLock()
+	for _, ext := range relevant {
+		if id, ok := ix.byExt[ext]; ok && !ix.docs[id].deleted {
+			relSet[id] = true
+		}
+	}
+	totalLen := 0
+	for term, pl := range ix.dict {
+		for _, p := range pl.postings {
+			if relSet[p.Doc] {
+				tf[term] += p.TF()
+			}
+		}
+		_ = term
+	}
+	for id := range relSet {
+		totalLen += ix.docs[id].length
+	}
+	n := ix.liveDocs
+	dfOf := func(term string) int {
+		if pl := ix.dict[term]; pl != nil {
+			return pl.df
+		}
+		return 0
+	}
+	var cands []cand
+	for term, freq := range tf {
+		if present[term] {
+			continue
+		}
+		df := dfOf(term)
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + float64(n)/float64(df))
+		cands = append(cands, cand{term: term, score: float64(freq) / float64(totalLen+1) * idf})
+	}
+	ix.mu.RUnlock()
+
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].term < cands[j].term
+	})
+	if len(cands) > addTerms {
+		cands = cands[:addTerms]
+	}
+	if len(cands) == 0 {
+		return node.String(), nil
+	}
+	expanded := &Node{Kind: NodeWSum}
+	expanded.Weights = append(expanded.Weights, origWeight)
+	expanded.Children = append(expanded.Children, node)
+	for _, cd := range cands {
+		expanded.Weights = append(expanded.Weights, 1)
+		expanded.Children = append(expanded.Children, Term(cd.term))
+	}
+	return expanded.String(), nil
+}

@@ -1,0 +1,125 @@
+package irs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/irs/analysis"
+)
+
+func feedbackFixture(t *testing.T) *Collection {
+	t.Helper()
+	e := NewEngine()
+	c, err := e.CreateCollection("fb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "www" documents consistently co-occur with "mosaic" and
+	// "browser"; unrelated documents talk about cooking.
+	docs := map[string]string{
+		"r1": "the www needs a mosaic browser to render hypertext pages",
+		"r2": "mosaic was the first popular www browser for the desktop",
+		"r3": "a www browser like mosaic fetches pages over http",
+		"u1": "soup recipes require fresh vegetables and slow cooking",
+		"u2": "baking bread needs flour water salt and patience",
+		"u3": "the cooking class covers knife skills and sauces",
+	}
+	for id, text := range docs {
+		if err := c.AddDocument(id, text, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestExpandQueryAddsCooccurringTerms(t *testing.T) {
+	c := feedbackFixture(t)
+	expanded, err := c.ExpandQuery("www", []string{"r1", "r2"}, FeedbackOptions{AddTerms: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(expanded, "#wsum(") {
+		t.Fatalf("expanded = %q, want #wsum form", expanded)
+	}
+	// The strongest co-occurring stems must appear.
+	if !strings.Contains(expanded, "mosaic") && !strings.Contains(expanded, "browser") {
+		t.Errorf("expansion lacks co-occurring terms: %q", expanded)
+	}
+	// Terms already in the query are never re-added.
+	if strings.Count(expanded, "www") != 1 {
+		t.Errorf("original term duplicated: %q", expanded)
+	}
+	// The expansion parses and evaluates.
+	if _, err := c.Search(expanded); err != nil {
+		t.Fatalf("expanded query does not run: %v", err)
+	}
+}
+
+func TestExpandQueryImprovesRecallForVocabularyMismatch(t *testing.T) {
+	c := feedbackFixture(t)
+	// r3 is relevant but the bare query "mosaic" ranks it below the
+	// docs with higher mosaic tf; after feedback on r1/r2 the query
+	// also carries "www"/"browser"/"page" vocabulary.
+	expanded, err := c.ExpandQuery("mosaic", []string{"r1", "r2"}, FeedbackOptions{AddTerms: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.Search("mosaic")
+	after, _ := c.Search(expanded)
+	if len(after) < len(before) {
+		t.Errorf("feedback shrank the result set: %d -> %d", len(before), len(after))
+	}
+	// No cooking document may enter the results.
+	for _, r := range after {
+		if strings.HasPrefix(r.ExtID, "u") && r.Score > 0.45 {
+			t.Errorf("unrelated doc %s scored %v after feedback", r.ExtID, r.Score)
+		}
+	}
+}
+
+func TestExpandQueryEdgeCases(t *testing.T) {
+	c := feedbackFixture(t)
+	// No relevant docs: query unchanged (canonicalized).
+	out, err := c.ExpandQuery("www", nil, FeedbackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "www" {
+		t.Errorf("no-feedback expansion = %q", out)
+	}
+	// Unknown relevant ids are ignored.
+	out, err = c.ExpandQuery("www", []string{"ghost"}, FeedbackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "www" {
+		t.Errorf("ghost-feedback expansion = %q", out)
+	}
+	// Malformed query errors.
+	if _, err := c.ExpandQuery("#broken(", []string{"r1"}, FeedbackOptions{}); err == nil {
+		t.Error("malformed query accepted")
+	}
+}
+
+func TestExpandQueryRespectsAnalyzer(t *testing.T) {
+	// Expansion terms come from the dictionary, i.e. they are
+	// already stemmed; feeding them back through ParseQuery +
+	// AnalyzeTerm must not change them (symmetry with the paper's
+	// requirement that buffer keys be canonical).
+	c := feedbackFixture(t)
+	expanded, err := c.ExpandQuery("www", []string{"r1", "r2", "r3"}, FeedbackOptions{AddTerms: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := ParseQuery(expanded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analysis.NewAnalyzer()
+	for _, term := range node.Terms() {
+		restemmed := a.AnalyzeTerm(term)
+		if c.ix.DF(term) == 0 && c.ix.DF(restemmed) == 0 {
+			t.Errorf("expansion term %q matches nothing in the index", term)
+		}
+	}
+}

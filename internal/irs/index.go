@@ -1,0 +1,351 @@
+package irs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/irs/analysis"
+)
+
+// Posting records the occurrences of a term in one document.
+type Posting struct {
+	Doc       DocID
+	Positions []uint32 // raw token positions, ascending
+}
+
+// TF returns the within-document term frequency.
+func (p Posting) TF() int { return len(p.Positions) }
+
+// postingList is the per-term entry of the dictionary. Postings are
+// kept sorted by DocID; deleted documents are filtered on read.
+type postingList struct {
+	postings []Posting
+	df       int // live document frequency (excludes tombstoned docs)
+}
+
+// docInfo is the per-document metadata record. terms is the forward
+// index (the document's distinct terms), making Delete proportional
+// to the document size instead of the dictionary size.
+type docInfo struct {
+	extID   string
+	length  int // number of indexed terms (post-stopping)
+	deleted bool
+	meta    map[string]string
+	terms   []string
+}
+
+// Index is an in-memory inverted file with positional postings and
+// incremental add/delete. It is safe for concurrent use.
+//
+// Deletions tombstone the document and decrement df counters;
+// postings stay in place until Compact rebuilds the dictionary.
+// This mirrors the behaviour of file-based IR systems of the
+// paper's era, where deletion was cheap but space was only
+// reclaimed by re-indexing — the cost model the paper's Section 4.6
+// (update propagation) reasons about.
+type Index struct {
+	mu       sync.RWMutex
+	analyzer *analysis.Analyzer
+	dict     map[string]*postingList
+	docs     []docInfo
+	byExt    map[string]DocID
+	liveDocs int
+	totalLen int64  // sum of lengths of live docs
+	version  uint64 // bumped on every mutation; used for model caches
+}
+
+// NewIndex returns an empty index using the given analyzer (nil
+// selects the default analyzer).
+func NewIndex(a *analysis.Analyzer) *Index {
+	if a == nil {
+		a = analysis.NewAnalyzer()
+	}
+	return &Index{
+		analyzer: a,
+		dict:     make(map[string]*postingList),
+		byExt:    make(map[string]DocID),
+	}
+}
+
+// Analyzer returns the index's analyzer.
+func (ix *Index) Analyzer() *analysis.Analyzer { return ix.analyzer }
+
+// Add indexes text under the external id extID. It fails with
+// ErrDuplicateDoc if extID is already present (and not deleted).
+func (ix *Index) Add(extID, text string, meta map[string]string) (DocID, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if old, ok := ix.byExt[extID]; ok && !ix.docs[old].deleted {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateDoc, extID)
+	}
+	return ix.addLocked(extID, text, meta), nil
+}
+
+func (ix *Index) addLocked(extID, text string, meta map[string]string) DocID {
+	id := DocID(len(ix.docs))
+	toks := ix.analyzer.Analyze(text)
+	// Group positions per term.
+	perTerm := make(map[string][]uint32)
+	for _, t := range toks {
+		perTerm[t.Term] = append(perTerm[t.Term], uint32(t.Position))
+	}
+	terms := make([]string, 0, len(perTerm))
+	for term, positions := range perTerm {
+		pl := ix.dict[term]
+		if pl == nil {
+			pl = &postingList{}
+			ix.dict[term] = pl
+		}
+		pl.postings = append(pl.postings, Posting{Doc: id, Positions: positions})
+		pl.df++
+		terms = append(terms, term)
+	}
+	var metaCopy map[string]string
+	if len(meta) > 0 {
+		metaCopy = make(map[string]string, len(meta))
+		for k, v := range meta {
+			metaCopy[k] = v
+		}
+	}
+	ix.docs = append(ix.docs, docInfo{extID: extID, length: len(toks), meta: metaCopy, terms: terms})
+	ix.byExt[extID] = id
+	ix.liveDocs++
+	ix.totalLen += int64(len(toks))
+	ix.version++
+	return id
+}
+
+// Delete tombstones the document registered under extID.
+func (ix *Index) Delete(extID string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.deleteLocked(extID)
+}
+
+func (ix *Index) deleteLocked(extID string) error {
+	id, ok := ix.byExt[extID]
+	if !ok || ix.docs[id].deleted {
+		return fmt.Errorf("%w: %q", ErrNoSuchDoc, extID)
+	}
+	ix.docs[id].deleted = true
+	ix.version++
+	ix.liveDocs--
+	ix.totalLen -= int64(ix.docs[id].length)
+	delete(ix.byExt, extID)
+	// The forward index makes df maintenance proportional to the
+	// document's own term count.
+	for _, term := range ix.docs[id].terms {
+		if pl := ix.dict[term]; pl != nil {
+			pl.df--
+		}
+	}
+	return nil
+}
+
+// Update replaces the text of extID (delete + add under a fresh
+// DocID). It fails if extID is unknown.
+func (ix *Index) Update(extID, text string, meta map[string]string) (DocID, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.deleteLocked(extID); err != nil {
+		return 0, err
+	}
+	return ix.addLocked(extID, text, meta), nil
+}
+
+// Postings returns the live postings of term (already normalized by
+// the caller or not — term is passed through the analyzer's term
+// normalization). The returned slice is a copy and safe to retain.
+func (ix *Index) Postings(term string) []Posting {
+	return ix.postingsRaw(ix.analyzer.AnalyzeTerm(term))
+}
+
+// postingsRaw returns live postings for an already-normalized
+// dictionary term. Internal callers that iterate the dictionary must
+// use this instead of Postings to avoid double normalization
+// (stemming a stem can change it: "databas" -> "databa").
+func (ix *Index) postingsRaw(term string) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pl := ix.dict[term]
+	if pl == nil {
+		return nil
+	}
+	out := make([]Posting, 0, pl.df)
+	for _, p := range pl.postings {
+		if !ix.docs[p.Doc].deleted {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DF returns the live document frequency of term.
+func (ix *Index) DF(term string) int {
+	t := ix.analyzer.AnalyzeTerm(term)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if pl := ix.dict[t]; pl != nil {
+		return pl.df
+	}
+	return 0
+}
+
+// DocCount returns the number of live documents.
+func (ix *Index) DocCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.liveDocs
+}
+
+// AvgDocLen returns the mean indexed length of live documents.
+func (ix *Index) AvgDocLen() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.liveDocs == 0 {
+		return 0
+	}
+	return float64(ix.totalLen) / float64(ix.liveDocs)
+}
+
+// DocLen returns the indexed length of document id (0 if deleted or
+// out of range).
+func (ix *Index) DocLen(id DocID) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+		return 0
+	}
+	return ix.docs[id].length
+}
+
+// ExtID returns the external id of a live document.
+func (ix *Index) ExtID(id DocID) (string, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+		return "", false
+	}
+	return ix.docs[id].extID, true
+}
+
+// Meta returns a metadata value of a live document.
+func (ix *Index) Meta(id DocID, key string) (string, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+		return "", false
+	}
+	v, ok := ix.docs[id].meta[key]
+	return v, ok
+}
+
+// HasDoc reports whether a live document is registered under extID.
+func (ix *Index) HasDoc(extID string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	id, ok := ix.byExt[extID]
+	return ok && !ix.docs[id].deleted
+}
+
+// LiveDocIDs returns the ids of all live documents, ascending.
+func (ix *Index) LiveDocIDs() []DocID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]DocID, 0, ix.liveDocs)
+	for i := range ix.docs {
+		if !ix.docs[i].deleted {
+			out = append(out, DocID(i))
+		}
+	}
+	return out
+}
+
+// TermCount returns the number of distinct terms with at least one
+// live posting.
+func (ix *Index) TermCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, pl := range ix.dict {
+		if pl.df > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes estimates the size of the inverted file: dictionary
+// strings plus one 4-byte doc id and 4 bytes per position per
+// posting (the layout persist.go actually writes). Tombstoned
+// postings count until Compact, matching on-disk reality.
+func (ix *Index) SizeBytes() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var n int64
+	for term, pl := range ix.dict {
+		n += int64(len(term)) + 8
+		for _, p := range pl.postings {
+			n += 8 + int64(4*len(p.Positions))
+		}
+	}
+	return n
+}
+
+// Compact rebuilds the index without tombstones, renumbering
+// documents densely. External ids are preserved.
+func (ix *Index) Compact() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	remap := make(map[DocID]DocID, ix.liveDocs)
+	newDocs := make([]docInfo, 0, ix.liveDocs)
+	for i := range ix.docs {
+		if ix.docs[i].deleted {
+			continue
+		}
+		remap[DocID(i)] = DocID(len(newDocs))
+		newDocs = append(newDocs, ix.docs[i])
+	}
+	newDict := make(map[string]*postingList, len(ix.dict))
+	for term, pl := range ix.dict {
+		var np []Posting
+		for _, p := range pl.postings {
+			if nid, ok := remap[p.Doc]; ok {
+				np = append(np, Posting{Doc: nid, Positions: p.Positions})
+			}
+		}
+		if len(np) > 0 {
+			sort.Slice(np, func(i, j int) bool { return np[i].Doc < np[j].Doc })
+			newDict[term] = &postingList{postings: np, df: len(np)}
+		}
+	}
+	ix.docs = newDocs
+	ix.dict = newDict
+	ix.byExt = make(map[string]DocID, len(newDocs))
+	for i := range newDocs {
+		ix.byExt[newDocs[i].extID] = DocID(i)
+	}
+	ix.version++
+}
+
+// Clear removes all documents and terms.
+func (ix *Index) Clear() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.dict = make(map[string]*postingList)
+	ix.docs = nil
+	ix.byExt = make(map[string]DocID)
+	ix.liveDocs = 0
+	ix.totalLen = 0
+	ix.version++
+}
+
+// Version returns a counter that changes on every mutation of the
+// index. Retrieval models use it to invalidate derived caches
+// (e.g. document norms).
+func (ix *Index) Version() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.version
+}

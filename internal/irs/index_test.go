@@ -1,0 +1,312 @@
+package irs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/irs/analysis"
+)
+
+// newTestIndex returns an index with stemming and stopping disabled
+// so test expectations stay literal.
+func newTestIndex() *Index {
+	return NewIndex(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)))
+}
+
+func TestIndexAddAndPostings(t *testing.T) {
+	ix := newTestIndex()
+	if _, err := ix.Add("d1", "telnet is a protocol telnet", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Add("d2", "telnet enables remote login", nil); err != nil {
+		t.Fatal(err)
+	}
+	ps := ix.Postings("telnet")
+	if len(ps) != 2 {
+		t.Fatalf("postings(telnet) = %d entries, want 2", len(ps))
+	}
+	if ps[0].TF() != 2 {
+		t.Errorf("tf(telnet, d1) = %d, want 2", ps[0].TF())
+	}
+	if got := ix.DF("telnet"); got != 2 {
+		t.Errorf("DF(telnet) = %d, want 2", got)
+	}
+	if got := ix.DF("gopher"); got != 0 {
+		t.Errorf("DF(gopher) = %d, want 0", got)
+	}
+	if got := ix.DocCount(); got != 2 {
+		t.Errorf("DocCount = %d, want 2", got)
+	}
+}
+
+func TestIndexDuplicateAdd(t *testing.T) {
+	ix := newTestIndex()
+	if _, err := ix.Add("d1", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Add("d1", "y", nil); err == nil {
+		t.Fatal("second Add(d1) succeeded, want ErrDuplicateDoc")
+	}
+}
+
+func TestIndexDeleteAndDF(t *testing.T) {
+	ix := newTestIndex()
+	ix.Add("d1", "www nii", nil)
+	ix.Add("d2", "www", nil)
+	if err := ix.Delete("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.DF("www"); got != 1 {
+		t.Errorf("DF(www) after delete = %d, want 1", got)
+	}
+	if got := ix.DF("nii"); got != 0 {
+		t.Errorf("DF(nii) after delete = %d, want 0", got)
+	}
+	if ix.HasDoc("d1") {
+		t.Error("HasDoc(d1) = true after delete")
+	}
+	if err := ix.Delete("d1"); err == nil {
+		t.Error("double delete succeeded, want error")
+	}
+	// d1's extID is free again.
+	if _, err := ix.Add("d1", "fresh text", nil); err != nil {
+		t.Errorf("re-add after delete failed: %v", err)
+	}
+}
+
+func TestIndexUpdate(t *testing.T) {
+	ix := newTestIndex()
+	ix.Add("d1", "old content", nil)
+	if _, err := ix.Update("d1", "new content entirely", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.DF("old"); got != 0 {
+		t.Errorf("DF(old) = %d, want 0", got)
+	}
+	if got := ix.DF("entirely"); got != 1 {
+		t.Errorf("DF(entirely) = %d, want 1", got)
+	}
+	if _, err := ix.Update("ghost", "x", nil); err == nil {
+		t.Error("Update(ghost) succeeded, want error")
+	}
+}
+
+func TestIndexMeta(t *testing.T) {
+	ix := newTestIndex()
+	id, _ := ix.Add("d1", "x", map[string]string{"oid": "42", "mode": "0"})
+	if v, ok := ix.Meta(id, "oid"); !ok || v != "42" {
+		t.Errorf("Meta(oid) = %q,%v want 42,true", v, ok)
+	}
+	if _, ok := ix.Meta(id, "missing"); ok {
+		t.Error("Meta(missing) reported ok")
+	}
+}
+
+func TestIndexAvgDocLen(t *testing.T) {
+	ix := newTestIndex()
+	ix.Add("d1", "one two three four", nil) // 4 terms
+	ix.Add("d2", "one two", nil)            // 2 terms
+	if got := ix.AvgDocLen(); got != 3 {
+		t.Errorf("AvgDocLen = %v, want 3", got)
+	}
+	ix.Delete("d2")
+	if got := ix.AvgDocLen(); got != 4 {
+		t.Errorf("AvgDocLen after delete = %v, want 4", got)
+	}
+}
+
+func TestIndexCompact(t *testing.T) {
+	ix := newTestIndex()
+	ix.Add("d1", "aa bb", nil)
+	ix.Add("d2", "bb cc", nil)
+	ix.Add("d3", "cc dd", nil)
+	ix.Delete("d2")
+	sizeBefore := ix.SizeBytes()
+	ix.Compact()
+	if got := ix.DocCount(); got != 2 {
+		t.Fatalf("DocCount after compact = %d, want 2", got)
+	}
+	if ix.SizeBytes() >= sizeBefore {
+		t.Errorf("SizeBytes did not shrink: %d >= %d", ix.SizeBytes(), sizeBefore)
+	}
+	// Data still reachable under external ids.
+	if len(ix.Postings("aa")) != 1 || len(ix.Postings("dd")) != 1 {
+		t.Error("postings lost by Compact")
+	}
+	if got := ix.DF("bb"); got != 1 {
+		t.Errorf("DF(bb) after compact = %d, want 1", got)
+	}
+	if got := ix.TermCount(); got != 4 {
+		t.Errorf("TermCount = %d, want 4 (aa bb cc dd)", got)
+	}
+}
+
+func TestIndexPositions(t *testing.T) {
+	ix := newTestIndex()
+	ix.Add("d1", "digital library of digital documents", nil)
+	ps := ix.Postings("digital")
+	if len(ps) != 1 {
+		t.Fatal("missing postings")
+	}
+	want := []uint32{0, 3}
+	if len(ps[0].Positions) != 2 || ps[0].Positions[0] != want[0] || ps[0].Positions[1] != want[1] {
+		t.Errorf("positions = %v, want %v", ps[0].Positions, want)
+	}
+}
+
+func TestIndexVersionBumps(t *testing.T) {
+	ix := newTestIndex()
+	v0 := ix.Version()
+	ix.Add("d1", "x", nil)
+	v1 := ix.Version()
+	if v1 == v0 {
+		t.Error("Add did not bump version")
+	}
+	ix.Delete("d1")
+	if ix.Version() == v1 {
+		t.Error("Delete did not bump version")
+	}
+}
+
+// Property: any interleaving of adds and deletes keeps DF(term)
+// equal to the number of live documents containing the term.
+func TestIndexDFInvariantProperty(t *testing.T) {
+	type op struct {
+		Add   bool
+		Doc   uint8
+		Terms []uint8
+	}
+	f := func(ops []op) bool {
+		ix := newTestIndex()
+		live := make(map[string]map[string]bool) // doc -> term set
+		for _, o := range ops {
+			doc := fmt.Sprintf("d%d", o.Doc%8)
+			if o.Add {
+				if _, exists := live[doc]; exists {
+					continue
+				}
+				text := ""
+				terms := make(map[string]bool)
+				for _, tn := range o.Terms {
+					term := fmt.Sprintf("t%d", tn%16)
+					text += term + " "
+					terms[term] = true
+				}
+				if _, err := ix.Add(doc, text, nil); err != nil {
+					return false
+				}
+				live[doc] = terms
+			} else {
+				if _, exists := live[doc]; !exists {
+					continue
+				}
+				if err := ix.Delete(doc); err != nil {
+					return false
+				}
+				delete(live, doc)
+			}
+		}
+		// Verify DF for all terms.
+		for i := 0; i < 16; i++ {
+			term := fmt.Sprintf("t%d", i)
+			want := 0
+			for _, terms := range live {
+				if terms[term] {
+					want++
+				}
+			}
+			if got := ix.DF(term); got != want {
+				return false
+			}
+		}
+		if got := ix.DocCount(); got != len(live) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compact preserves the observable index state (live doc
+// count, DFs, postings per live doc).
+func TestIndexCompactEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := newTestIndex()
+		docs := make(map[string]string)
+		for i := 0; i < 30; i++ {
+			doc := fmt.Sprintf("d%d", rng.Intn(12))
+			if _, ok := docs[doc]; ok {
+				if rng.Intn(2) == 0 {
+					ix.Delete(doc)
+					delete(docs, doc)
+				}
+				continue
+			}
+			text := ""
+			for j := 0; j < 1+rng.Intn(6); j++ {
+				text += fmt.Sprintf("t%d ", rng.Intn(10))
+			}
+			docs[doc] = text
+			ix.Add(doc, text, nil)
+		}
+		type stat struct {
+			docCount int
+			dfs      map[string]int
+		}
+		snap := func() stat {
+			s := stat{docCount: ix.DocCount(), dfs: make(map[string]int)}
+			for i := 0; i < 10; i++ {
+				term := fmt.Sprintf("t%d", i)
+				s.dfs[term] = ix.DF(term)
+			}
+			return s
+		}
+		before := snap()
+		ix.Compact()
+		after := snap()
+		if before.docCount != after.docCount {
+			return false
+		}
+		for k, v := range before.dfs {
+			if after.dfs[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexConcurrentReaders(t *testing.T) {
+	ix := newTestIndex()
+	for i := 0; i < 50; i++ {
+		ix.Add(fmt.Sprintf("d%d", i), "shared term plus unique"+fmt.Sprint(i), nil)
+	}
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				ix.Postings("shared")
+				ix.DocCount()
+				ix.AvgDocLen()
+			}
+			done <- true
+		}()
+	}
+	go func() {
+		for i := 50; i < 80; i++ {
+			ix.Add(fmt.Sprintf("d%d", i), "shared more", nil)
+		}
+		done <- true
+	}()
+	for i := 0; i < 9; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,253 @@
+package irs
+
+import (
+	"math"
+	"sort"
+)
+
+// Model is an exchangeable retrieval paradigm. The paper motivates
+// the loose coupling precisely with this exchangeability:
+// "Exchangeability enables us to use any kind of retrieval system:
+// e.g. boolean retrieval systems, vector retrieval systems, and
+// systems based on probability" (Section 3). Eval scores the parsed
+// query against the index and returns retrieval status values for
+// every matching document.
+type Model interface {
+	// Name identifies the paradigm ("inference-net", "vector",
+	// "boolean").
+	Name() string
+	// Eval returns document scores for the query. Documents with no
+	// query evidence are omitted.
+	Eval(ix *Index, root *Node) map[DocID]float64
+}
+
+// InferenceNet is the probabilistic model of INQUERY ([CCH92]):
+// Bayesian-inference-network retrieval with tf.idf belief estimation
+// and document-length normalization. Term beliefs are
+//
+//	bel(t,d) = b + (1-b) · T · I
+//	T        = tf / (tf + 0.5 + 1.5·(dl/avgdl))
+//	I        = log((N+0.5)/df) / log(N+1)
+//
+// with default belief b = 0.4 for absent evidence. Operators combine
+// beliefs: #and is the product, #or the complement-product, #not the
+// complement, #sum the mean, #wsum the weighted mean, #max the
+// maximum. This reproduces the document-length dependence the paper
+// points out in Section 4.5.2 ("INQUERY, for example, takes into
+// account the IRS documents' length in order to compute IRS values").
+type InferenceNet struct {
+	// DefaultBelief is the belief assigned to a document for a term
+	// it does not contain. INQUERY used 0.4; the zero value selects
+	// 0.4 as well.
+	DefaultBelief float64
+}
+
+// Name implements Model.
+func (m InferenceNet) Name() string { return "inference-net" }
+
+func (m InferenceNet) defaultBelief() float64 {
+	if m.DefaultBelief == 0 {
+		return 0.4
+	}
+	return m.DefaultBelief
+}
+
+// Eval implements Model.
+func (m InferenceNet) Eval(ix *Index, root *Node) map[DocID]float64 {
+	if root == nil {
+		return nil
+	}
+	ctx := newEvalContext(ix, root)
+	out := make(map[DocID]float64, len(ctx.candidates))
+	b := m.defaultBelief()
+	for _, d := range ctx.candidates {
+		out[d] = m.belief(ctx, root, d, b)
+	}
+	return out
+}
+
+func (m InferenceNet) belief(ctx *evalContext, n *Node, d DocID, b float64) float64 {
+	switch n.Kind {
+	case NodeTerm:
+		return m.termBelief(ctx, ctx.termStats[n.Term], d, b)
+	case NodePhrase:
+		return m.termBelief(ctx, ctx.phraseStats[n], d, b)
+	case NodeSyn:
+		return m.termBelief(ctx, ctx.synStats[n], d, b)
+	case NodeAnd:
+		p := 1.0
+		for _, c := range n.Children {
+			p *= m.belief(ctx, c, d, b)
+		}
+		return p
+	case NodeOr:
+		q := 1.0
+		for _, c := range n.Children {
+			q *= 1 - m.belief(ctx, c, d, b)
+		}
+		return 1 - q
+	case NodeNot:
+		return 1 - m.belief(ctx, n.Children[0], d, b)
+	case NodeSum:
+		s := 0.0
+		for _, c := range n.Children {
+			s += m.belief(ctx, c, d, b)
+		}
+		return s / float64(len(n.Children))
+	case NodeWSum:
+		s, w := 0.0, 0.0
+		for i, c := range n.Children {
+			s += n.Weights[i] * m.belief(ctx, c, d, b)
+			w += n.Weights[i]
+		}
+		if w == 0 {
+			return b
+		}
+		return s / w
+	case NodeMax:
+		best := 0.0
+		for _, c := range n.Children {
+			if v := m.belief(ctx, c, d, b); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	return b
+}
+
+func (m InferenceNet) termBelief(ctx *evalContext, st *termStat, d DocID, b float64) float64 {
+	if st == nil || st.df == 0 {
+		return b
+	}
+	tf, ok := st.tf[d]
+	if !ok {
+		return b
+	}
+	dl := float64(ctx.ix.DocLen(d))
+	avg := ctx.avgdl
+	if avg == 0 {
+		avg = 1
+	}
+	t := float64(tf) / (float64(tf) + 0.5 + 1.5*dl/avg)
+	i := math.Log((float64(ctx.n)+0.5)/float64(st.df)) / math.Log(float64(ctx.n)+1)
+	return b + (1-b)*t*i
+}
+
+// termStat is the evidence a leaf (term, phrase or synonym group)
+// contributes: per-document frequency and document frequency.
+type termStat struct {
+	tf map[DocID]int
+	df int
+}
+
+// evalContext gathers leaf statistics once per query evaluation.
+type evalContext struct {
+	ix          *Index
+	n           int
+	avgdl       float64
+	candidates  []DocID
+	termStats   map[string]*termStat
+	phraseStats map[*Node]*termStat
+	synStats    map[*Node]*termStat
+}
+
+func newEvalContext(ix *Index, root *Node) *evalContext {
+	ctx := &evalContext{
+		ix:          ix,
+		n:           ix.DocCount(),
+		avgdl:       ix.AvgDocLen(),
+		termStats:   make(map[string]*termStat),
+		phraseStats: make(map[*Node]*termStat),
+		synStats:    make(map[*Node]*termStat),
+	}
+	candidates := make(map[DocID]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		switch n.Kind {
+		case NodeTerm:
+			if _, ok := ctx.termStats[n.Term]; ok {
+				return
+			}
+			st := &termStat{tf: make(map[DocID]int)}
+			for _, p := range ix.Postings(n.Term) {
+				st.tf[p.Doc] = p.TF()
+				candidates[p.Doc] = true
+			}
+			st.df = len(st.tf)
+			ctx.termStats[n.Term] = st
+		case NodePhrase:
+			st := phraseStat(ix, n)
+			for d := range st.tf {
+				candidates[d] = true
+			}
+			ctx.phraseStats[n] = st
+		case NodeSyn:
+			st := &termStat{tf: make(map[DocID]int)}
+			for _, c := range n.Children {
+				if c.Kind != NodeTerm {
+					continue
+				}
+				for _, p := range ix.Postings(c.Term) {
+					st.tf[p.Doc] += p.TF()
+					candidates[p.Doc] = true
+				}
+			}
+			st.df = len(st.tf)
+			ctx.synStats[n] = st
+		default:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+	ctx.candidates = make([]DocID, 0, len(candidates))
+	for d := range candidates {
+		ctx.candidates = append(ctx.candidates, d)
+	}
+	sort.Slice(ctx.candidates, func(i, j int) bool { return ctx.candidates[i] < ctx.candidates[j] })
+	return ctx
+}
+
+// phraseStat computes per-document frequencies of an exact-adjacency
+// phrase using positional intersection.
+func phraseStat(ix *Index, n *Node) *termStat {
+	st := &termStat{tf: make(map[DocID]int)}
+	if len(n.Children) == 0 {
+		return st
+	}
+	// Positions per document per term of the phrase.
+	perTerm := make([]map[DocID][]uint32, len(n.Children))
+	for i, c := range n.Children {
+		perTerm[i] = make(map[DocID][]uint32)
+		for _, p := range ix.Postings(c.Term) {
+			perTerm[i][p.Doc] = p.Positions
+		}
+	}
+	for d, first := range perTerm[0] {
+		count := 0
+		for _, start := range first {
+			ok := true
+			for i := 1; i < len(perTerm); i++ {
+				if !containsPos(perTerm[i][d], start+uint32(i)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				count++
+			}
+		}
+		if count > 0 {
+			st.tf[d] = count
+		}
+	}
+	st.df = len(st.tf)
+	return st
+}
+
+func containsPos(positions []uint32, want uint32) bool {
+	i := sort.Search(len(positions), func(i int) bool { return positions[i] >= want })
+	return i < len(positions) && positions[i] == want
+}

@@ -1,0 +1,279 @@
+package irs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/irs/analysis"
+)
+
+// fixture builds a small index with controlled term distribution.
+func fixture(t *testing.T) *Index {
+	t.Helper()
+	ix := NewIndex(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)))
+	docs := map[string]string{
+		"p1": "www www servers and the web filler filler filler",
+		"p2": "nii information infrastructure filler filler filler",
+		"p3": "www and nii together in one paragraph filler",
+		"p4": "entirely unrelated content about telnet protocol",
+	}
+	for id, text := range docs {
+		if _, err := ix.Add(id, text, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func scoresByExt(ix *Index, m Model, q string, t *testing.T) map[string]float64 {
+	t.Helper()
+	n, err := ParseQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for d, s := range m.Eval(ix, n) {
+		ext, _ := ix.ExtID(d)
+		out[ext] = s
+	}
+	return out
+}
+
+func TestInferenceNetTermRanking(t *testing.T) {
+	ix := fixture(t)
+	s := scoresByExt(ix, InferenceNet{}, "www", t)
+	if len(s) != 2 {
+		t.Fatalf("www matched %d docs, want 2 (p1, p3)", len(s))
+	}
+	if s["p1"] <= s["p3"] {
+		t.Errorf("tf ranking broken: p1 (tf=2) %v <= p3 (tf=1) %v", s["p1"], s["p3"])
+	}
+	for d, v := range s {
+		if v <= 0.4 || v >= 1 {
+			t.Errorf("belief(%s) = %v out of (0.4, 1)", d, v)
+		}
+	}
+}
+
+func TestInferenceNetAndPrefersBothTerms(t *testing.T) {
+	ix := fixture(t)
+	s := scoresByExt(ix, InferenceNet{}, "#and(www nii)", t)
+	// p3 contains both terms; p1 only www, p2 only nii.
+	if s["p3"] <= s["p1"] || s["p3"] <= s["p2"] {
+		t.Errorf("#and should rank p3 highest: %v", s)
+	}
+	// Candidates include single-term docs (they get default belief
+	// for the missing operand).
+	if _, ok := s["p1"]; !ok {
+		t.Error("#and dropped single-term candidate p1")
+	}
+}
+
+func TestInferenceNetOrVsAnd(t *testing.T) {
+	ix := fixture(t)
+	and := scoresByExt(ix, InferenceNet{}, "#and(www nii)", t)
+	or := scoresByExt(ix, InferenceNet{}, "#or(www nii)", t)
+	for d := range and {
+		if or[d] < and[d] {
+			t.Errorf("#or(%s) = %v < #and(%s) = %v", d, or[d], d, and[d])
+		}
+	}
+}
+
+func TestInferenceNetNot(t *testing.T) {
+	ix := fixture(t)
+	s := scoresByExt(ix, InferenceNet{}, "#and(www #not(nii))", t)
+	if s["p1"] <= s["p3"] {
+		t.Errorf("#not should penalize p3 (contains nii): p1=%v p3=%v", s["p1"], s["p3"])
+	}
+}
+
+func TestInferenceNetMaxAndSum(t *testing.T) {
+	ix := fixture(t)
+	mx := scoresByExt(ix, InferenceNet{}, "#max(www nii)", t)
+	sm := scoresByExt(ix, InferenceNet{}, "#sum(www nii)", t)
+	for _, d := range []string{"p1", "p2", "p3"} {
+		if mx[d] < sm[d]-1e-12 {
+			t.Errorf("#max(%s)=%v < #sum(%s)=%v", d, mx[d], d, sm[d])
+		}
+	}
+}
+
+func TestInferenceNetWSum(t *testing.T) {
+	ix := fixture(t)
+	heavyWWW := scoresByExt(ix, InferenceNet{}, "#wsum(10 www 1 nii)", t)
+	heavyNII := scoresByExt(ix, InferenceNet{}, "#wsum(1 www 10 nii)", t)
+	if heavyWWW["p1"] <= heavyWWW["p2"] {
+		t.Errorf("weighting toward www should favor p1: %v", heavyWWW)
+	}
+	if heavyNII["p2"] <= heavyNII["p1"] {
+		t.Errorf("weighting toward nii should favor p2: %v", heavyNII)
+	}
+}
+
+func TestInferenceNetPhrase(t *testing.T) {
+	ix := NewIndex(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)))
+	ix.Add("d1", "the digital library opened", nil)
+	ix.Add("d2", "library digital the opened", nil)
+	s := make(map[string]float64)
+	n, err := ParseQuery("#phrase(digital library)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, v := range (InferenceNet{}).Eval(ix, n) {
+		ext, _ := ix.ExtID(d)
+		s[ext] = v
+	}
+	if _, ok := s["d1"]; !ok {
+		t.Fatal("phrase did not match d1")
+	}
+	if v, ok := s["d2"]; ok && v > 0.4 {
+		t.Errorf("phrase matched reversed order in d2 with belief %v", v)
+	}
+}
+
+func TestInferenceNetSyn(t *testing.T) {
+	ix := fixture(t)
+	s := scoresByExt(ix, InferenceNet{}, "#syn(www nii)", t)
+	// Synonym group: all three docs match as if one term.
+	if len(s) != 3 {
+		t.Fatalf("#syn matched %d docs, want 3", len(s))
+	}
+}
+
+func TestInferenceNetDocLengthNormalization(t *testing.T) {
+	ix := NewIndex(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)))
+	ix.Add("short", "www here", nil)
+	long := "www"
+	for i := 0; i < 60; i++ {
+		long += " padding"
+	}
+	ix.Add("long", long, nil)
+	s := scoresByExt(ix, InferenceNet{}, "www", t)
+	if s["short"] <= s["long"] {
+		t.Errorf("length normalization: short doc %v <= long doc %v", s["short"], s["long"])
+	}
+}
+
+func TestInferenceNetEmptyAndUnknown(t *testing.T) {
+	ix := fixture(t)
+	if got := (InferenceNet{}).Eval(ix, nil); got != nil {
+		t.Errorf("Eval(nil) = %v, want nil", got)
+	}
+	s := scoresByExt(ix, InferenceNet{}, "zzzunknown", t)
+	if len(s) != 0 {
+		t.Errorf("unknown term matched %d docs", len(s))
+	}
+}
+
+func TestVectorSpaceRanking(t *testing.T) {
+	ix := fixture(t)
+	m := NewVectorSpace()
+	s := scoresByExt(ix, m, "www nii", t)
+	if s["p3"] <= s["p1"] || s["p3"] <= s["p2"] {
+		t.Errorf("cosine should rank p3 (both terms) highest: %v", s)
+	}
+	if _, ok := s["p4"]; ok {
+		t.Error("vector model scored a doc with no query terms")
+	}
+	for d, v := range s {
+		if v <= 0 || v > 1.0000001 {
+			t.Errorf("cosine(%s) = %v out of (0,1]", d, v)
+		}
+	}
+}
+
+func TestVectorSpaceNormCacheInvalidation(t *testing.T) {
+	ix := fixture(t)
+	m := NewVectorSpace()
+	before := scoresByExt(ix, m, "www", t)
+	// Adding a doc changes N and hence idf; scores must change.
+	ix.Add("p5", "www www www", nil)
+	after := scoresByExt(ix, m, "www", t)
+	if len(after) != len(before)+1 {
+		t.Fatalf("new doc not scored: %v", after)
+	}
+	if math.Abs(after["p1"]-before["p1"]) < 1e-12 {
+		t.Error("scores unchanged after index mutation; stale norm cache?")
+	}
+}
+
+func TestBooleanModel(t *testing.T) {
+	ix := fixture(t)
+	m := Boolean{}
+	and := scoresByExt(ix, m, "#and(www nii)", t)
+	if len(and) != 1 || and["p3"] != 1 {
+		t.Errorf("#and(www nii) = %v, want exactly p3", and)
+	}
+	or := scoresByExt(ix, m, "#or(www nii)", t)
+	if len(or) != 3 {
+		t.Errorf("#or(www nii) matched %d, want 3", len(or))
+	}
+	not := scoresByExt(ix, m, "#and(www #not(nii))", t)
+	if len(not) != 1 || not["p1"] != 1 {
+		t.Errorf("#and(www #not(nii)) = %v, want exactly p1", not)
+	}
+	sum := scoresByExt(ix, m, "www nii", t)
+	if len(sum) != 3 {
+		t.Errorf("boolean #sum degraded to union of %d, want 3", len(sum))
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for _, name := range []string{"inference-net", "vector", "boolean"} {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Errorf("ModelByName(%q): %v", name, err)
+			continue
+		}
+		if m.Name() != name {
+			t.Errorf("ModelByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := ModelByName("quantum"); err == nil {
+		t.Error("ModelByName(quantum) succeeded")
+	}
+}
+
+// Property: inference-net beliefs always lie in (0,1) and #and <= min
+// of operand beliefs, #or >= max of operand beliefs.
+func TestInferenceNetOperatorBoundsProperty(t *testing.T) {
+	ix := fixture(t)
+	terms := []string{"www", "nii", "telnet", "web", "filler"}
+	f := func(aIdx, bIdx uint8) bool {
+		a := terms[int(aIdx)%len(terms)]
+		b := terms[int(bIdx)%len(terms)]
+		m := InferenceNet{}
+		na, _ := ParseQuery(a)
+		nb, _ := ParseQuery(b)
+		nAnd, _ := ParseQuery("#and(" + a + " " + b + ")")
+		nOr, _ := ParseQuery("#or(" + a + " " + b + ")")
+		sa := m.Eval(ix, na)
+		sb := m.Eval(ix, nb)
+		sAnd := m.Eval(ix, nAnd)
+		sOr := m.Eval(ix, nOr)
+		get := func(s map[DocID]float64, d DocID) float64 {
+			if v, ok := s[d]; ok {
+				return v
+			}
+			return 0.4
+		}
+		for d, v := range sAnd {
+			va, vb := get(sa, d), get(sb, d)
+			if v > math.Min(va, vb)+1e-9 {
+				return false
+			}
+			if vo := get(sOr, d); vo < math.Max(va, vb)-1e-9 {
+				return false
+			}
+			if v <= 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

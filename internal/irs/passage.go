@@ -1,0 +1,191 @@
+package irs
+
+import (
+	"math"
+	"sort"
+)
+
+// Passage retrieval ([SAB93], Salton/Allan/Buckley) — the paper's
+// Section 6 names it as "an interesting candidate" for computing
+// composite values without redundant indexing: "[SAB93] give up the
+// assumption that complete documents should be retrieved by the IRS.
+// Instead, their system identifies relevant passages of any length
+// and granularity."
+//
+// PassageModel scores a document by its best fixed-width passage: a
+// sliding window of Window token positions. Term beliefs inside a
+// window use the inference-net formula with the window as the
+// document (dl = avgdl = Window, so the length normalization is
+// constant) and corpus-level idf; windows combine under the query's
+// operator tree and the document's value is the maximum over its
+// windows. Co-occurrence within a window therefore scores higher
+// than the same terms dispersed across a long document — exactly the
+// property whole-document scoring lacks.
+type PassageModel struct {
+	// Window is the passage width in token positions (default 50).
+	Window int
+	// DefaultBelief for absent evidence (default 0.4, as INQUERY).
+	DefaultBelief float64
+}
+
+// Name implements Model.
+func (m PassageModel) Name() string { return "passage" }
+
+func (m PassageModel) window() int {
+	if m.Window <= 0 {
+		return 50
+	}
+	return m.Window
+}
+
+func (m PassageModel) defaultBelief() float64 {
+	if m.DefaultBelief == 0 {
+		return 0.4
+	}
+	return m.DefaultBelief
+}
+
+// Eval implements Model.
+func (m PassageModel) Eval(ix *Index, root *Node) map[DocID]float64 {
+	if root == nil {
+		return nil
+	}
+	terms := root.Terms()
+	if len(terms) == 0 {
+		return nil
+	}
+	n := ix.DocCount()
+	infos := make(map[string]*termInfo, len(terms))
+	candidates := make(map[DocID]bool)
+	for _, t := range terms {
+		ti := &termInfo{postings: make(map[DocID][]uint32)}
+		ps := ix.Postings(t)
+		for _, p := range ps {
+			ti.postings[p.Doc] = p.Positions
+			candidates[p.Doc] = true
+		}
+		if df := len(ti.postings); df > 0 {
+			ti.idf = math.Log((float64(n)+0.5)/float64(df)) / math.Log(float64(n)+1)
+		}
+		infos[t] = ti
+	}
+	out := make(map[DocID]float64, len(candidates))
+	for d := range candidates {
+		out[d] = m.bestPassage(root, infos, d)
+	}
+	return out
+}
+
+// termInfo carries per-term postings (with positions) and idf for
+// passage evaluation.
+type termInfo struct {
+	postings map[DocID][]uint32
+	idf      float64
+}
+
+// event is one query-term occurrence in a document.
+type event struct {
+	pos  uint32
+	term string
+}
+
+// bestPassage slides the window over the document's query-term
+// occurrences and returns the best window's combined belief.
+func (m PassageModel) bestPassage(root *Node, infos map[string]*termInfo, d DocID) float64 {
+	var events []event
+	for term, ti := range infos {
+		for _, pos := range ti.postings[d] {
+			events = append(events, event{pos: pos, term: term})
+		}
+	}
+	if len(events) == 0 {
+		return m.defaultBelief()
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	w := uint32(m.window())
+	counts := make(map[string]int)
+	best := 0.0
+	lo := 0
+	for hi := 0; hi < len(events); hi++ {
+		counts[events[hi].term]++
+		for events[hi].pos-events[lo].pos >= w {
+			counts[events[lo].term]--
+			lo++
+		}
+		if v := m.combine(root, infos, counts); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// combine evaluates the query tree over a window's term counts.
+func (m PassageModel) combine(n *Node, infos map[string]*termInfo, counts map[string]int) float64 {
+	b := m.defaultBelief()
+	switch n.Kind {
+	case NodeTerm:
+		return m.termBelief(infos[n.Term], counts[n.Term])
+	case NodePhrase, NodeSyn:
+		// Within-window approximation: treat as the sum of member
+		// term counts under the rarest member's idf.
+		tf := 0
+		var ti *termInfo
+		for _, c := range n.Children {
+			tf += counts[c.Term]
+			if cti := infos[c.Term]; cti != nil && (ti == nil || cti.idf > ti.idf) {
+				ti = cti
+			}
+		}
+		return m.termBelief(ti, tf)
+	case NodeAnd:
+		p := 1.0
+		for _, c := range n.Children {
+			p *= m.combine(c, infos, counts)
+		}
+		return p
+	case NodeOr:
+		q := 1.0
+		for _, c := range n.Children {
+			q *= 1 - m.combine(c, infos, counts)
+		}
+		return 1 - q
+	case NodeNot:
+		return 1 - m.combine(n.Children[0], infos, counts)
+	case NodeSum:
+		s := 0.0
+		for _, c := range n.Children {
+			s += m.combine(c, infos, counts)
+		}
+		return s / float64(len(n.Children))
+	case NodeWSum:
+		s, wsum := 0.0, 0.0
+		for i, c := range n.Children {
+			s += n.Weights[i] * m.combine(c, infos, counts)
+			wsum += n.Weights[i]
+		}
+		if wsum == 0 {
+			return b
+		}
+		return s / wsum
+	case NodeMax:
+		best := 0.0
+		for _, c := range n.Children {
+			if v := m.combine(c, infos, counts); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	return b
+}
+
+// termBelief computes the inference-net belief of a term inside a
+// window: dl = avgdl = Window makes the length factor constant.
+func (m PassageModel) termBelief(ti *termInfo, tf int) float64 {
+	b := m.defaultBelief()
+	if ti == nil || tf == 0 {
+		return b
+	}
+	t := float64(tf) / (float64(tf) + 2.0) // tf/(tf + 0.5 + 1.5·1)
+	return b + (1-b)*t*ti.idf
+}

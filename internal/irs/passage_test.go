@@ -1,0 +1,156 @@
+package irs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/irs/analysis"
+)
+
+// passageFixture: two long documents containing both query terms —
+// co-located in one, far apart in the other — plus a single-term
+// document.
+func passageFixture(t *testing.T) *Index {
+	t.Helper()
+	ix := NewIndex(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)))
+	pad := func(n int, tag string) string {
+		return strings.Repeat("pad"+tag+" ", n)
+	}
+	// Both terms within a 10-token neighbourhood.
+	ix.Add("colocated", pad(60, "a")+"www nii together here "+pad(60, "b"), nil)
+	// Terms ~120 tokens apart.
+	ix.Add("dispersed", "www opening statement "+pad(120, "c")+" nii closing statement", nil)
+	// Only one term.
+	ix.Add("single", pad(30, "d")+"www alone "+pad(30, "e"), nil)
+	return ix
+}
+
+func passageScores(t *testing.T, ix *Index, m Model, q string) map[string]float64 {
+	t.Helper()
+	n, err := ParseQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for d, v := range m.Eval(ix, n) {
+		ext, _ := ix.ExtID(d)
+		out[ext] = v
+	}
+	return out
+}
+
+func TestPassagePrefersColocation(t *testing.T) {
+	ix := passageFixture(t)
+	pm := PassageModel{Window: 50}
+	s := passageScores(t, ix, pm, "#and(www nii)")
+	if s["colocated"] <= s["dispersed"] {
+		t.Errorf("passage model: colocated %v <= dispersed %v", s["colocated"], s["dispersed"])
+	}
+	if s["dispersed"] <= s["single"] {
+		// Both windows only ever see one term, but dispersed at
+		// least contains both terms somewhere; with #and semantics
+		// the best single-term window ties the single doc — allow
+		// equality but not inversion.
+		if s["dispersed"] < s["single"]-1e-9 {
+			t.Errorf("dispersed %v < single %v", s["dispersed"], s["single"])
+		}
+	}
+	// Whole-document inference net cannot tell colocated from
+	// dispersed apart anywhere near as sharply: its ratio is bounded
+	// by length effects only.
+	inf := passageScores(t, ix, InferenceNet{}, "#and(www nii)")
+	passageGap := s["colocated"] - s["dispersed"]
+	wholeGap := inf["colocated"] - inf["dispersed"]
+	if passageGap <= wholeGap {
+		t.Errorf("passage gap %v <= whole-doc gap %v", passageGap, wholeGap)
+	}
+}
+
+func TestPassageSingleTermMatchesOrdering(t *testing.T) {
+	ix := passageFixture(t)
+	pm := PassageModel{Window: 50}
+	s := passageScores(t, ix, pm, "www")
+	if len(s) != 3 {
+		t.Fatalf("www matched %d docs, want 3", len(s))
+	}
+	for d, v := range s {
+		if v <= 0.4 || v >= 1 {
+			t.Errorf("belief(%s) = %v out of range", d, v)
+		}
+	}
+}
+
+func TestPassageOperators(t *testing.T) {
+	ix := passageFixture(t)
+	pm := PassageModel{Window: 50}
+	and := passageScores(t, ix, pm, "#and(www nii)")
+	or := passageScores(t, ix, pm, "#or(www nii)")
+	mx := passageScores(t, ix, pm, "#max(www nii)")
+	sum := passageScores(t, ix, pm, "#sum(www nii)")
+	for _, d := range []string{"colocated", "dispersed", "single"} {
+		if or[d] < and[d]-1e-9 {
+			t.Errorf("%s: or %v < and %v", d, or[d], and[d])
+		}
+		if mx[d] < sum[d]-1e-9 {
+			t.Errorf("%s: max %v < sum %v", d, mx[d], sum[d])
+		}
+	}
+	// #wsum and #not degrade gracefully.
+	ws := passageScores(t, ix, pm, "#wsum(3 www 1 nii)")
+	if len(ws) != 3 {
+		t.Errorf("wsum matched %d", len(ws))
+	}
+	// Negation: both docs have a www-only window, so a tie is the
+	// correct best-passage outcome; only an inversion is a bug.
+	not := passageScores(t, ix, pm, "#and(www #not(nii))")
+	if not["single"] < not["colocated"]-1e-9 {
+		t.Errorf("negation inside passage: single %v < colocated %v", not["single"], not["colocated"])
+	}
+}
+
+func TestPassageModelRegisteredByName(t *testing.T) {
+	m, err := ModelByName("passage")
+	if err != nil || m.Name() != "passage" {
+		t.Fatalf("ModelByName(passage) = %v, %v", m, err)
+	}
+	// Usable as a collection model, surviving persistence.
+	dir := t.TempDir()
+	e, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.CreateCollection("p", PassageModel{Window: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddDocument("d", "alpha beta gamma", nil)
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e2.Collection("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Model().Name() != "passage" {
+		t.Errorf("model after reload = %q", c2.Model().Name())
+	}
+	if rs, err := c2.Search("beta"); err != nil || len(rs) != 1 {
+		t.Errorf("passage search after reload: %v, %v", rs, err)
+	}
+}
+
+func TestPassageEmptyAndUnknown(t *testing.T) {
+	ix := passageFixture(t)
+	pm := PassageModel{}
+	if got := pm.Eval(ix, nil); got != nil {
+		t.Error("Eval(nil) != nil")
+	}
+	s := passageScores(t, ix, pm, "zzznothing")
+	if len(s) != 0 {
+		t.Errorf("unknown term matched %v", s)
+	}
+}

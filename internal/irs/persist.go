@@ -1,0 +1,293 @@
+package irs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Binary collection file format (little endian):
+//
+//	magic "IRSC" | version u32 | model name string
+//	doc count u32
+//	  per doc: extID string | length u32 | deleted u8 |
+//	           meta count u32 | (key string, value string)*
+//	term count u32
+//	  per term: term string | posting count u32 |
+//	            (doc u32, position count u32, positions u32*)*
+//
+// Strings are u32 length + bytes. Tombstoned documents are written
+// too so DocIDs stay stable across a save/load cycle; Compact before
+// saving to shed them.
+
+const (
+	persistMagic   = "IRSC"
+	persistVersion = 1
+)
+
+// saveTo writes the collection to path atomically (write to a temp
+// file in the same directory, then rename).
+func (c *Collection) saveTo(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".irsc-*")
+	if err != nil {
+		return fmt.Errorf("irs: save collection: %w", err)
+	}
+	tmpName := tmp.Name()
+	w := bufio.NewWriter(tmp)
+	err = writeCollection(w, c)
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("irs: save collection %q: %w", c.name, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("irs: save collection %q: %w", c.name, err)
+	}
+	return nil
+}
+
+func loadCollection(path string) (*Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("irs: load collection: %w", err)
+	}
+	defer f.Close()
+	name := filepath.Base(path)
+	name = name[:len(name)-len(collExt)]
+	c, err := readCollection(bufio.NewReader(f), name)
+	if err != nil {
+		return nil, fmt.Errorf("irs: load collection %q: %w", name, err)
+	}
+	return c, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<28 {
+		return "", fmt.Errorf("string length %d exceeds sanity bound", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeCollection(w io.Writer, c *Collection) error {
+	c.ix.mu.RLock()
+	defer c.ix.mu.RUnlock()
+	if _, err := io.WriteString(w, persistMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(persistVersion)); err != nil {
+		return err
+	}
+	if err := writeString(w, c.model.Name()); err != nil {
+		return err
+	}
+	ix := c.ix
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ix.docs))); err != nil {
+		return err
+	}
+	for i := range ix.docs {
+		d := &ix.docs[i]
+		if err := writeString(w, d.extID); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(d.length)); err != nil {
+			return err
+		}
+		del := uint8(0)
+		if d.deleted {
+			del = 1
+		}
+		if err := binary.Write(w, binary.LittleEndian, del); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(d.meta))); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(d.meta))
+		for k := range d.meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := writeString(w, k); err != nil {
+				return err
+			}
+			if err := writeString(w, d.meta[k]); err != nil {
+				return err
+			}
+		}
+	}
+	terms := make([]string, 0, len(ix.dict))
+	for t := range ix.dict {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(terms))); err != nil {
+		return err
+	}
+	for _, t := range terms {
+		if err := writeString(w, t); err != nil {
+			return err
+		}
+		pl := ix.dict[t]
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(pl.postings))); err != nil {
+			return err
+		}
+		for _, p := range pl.postings {
+			if err := binary.Write(w, binary.LittleEndian, uint32(p.Doc)); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Positions))); err != nil {
+				return err
+			}
+			for _, pos := range p.Positions {
+				if err := binary.Write(w, binary.LittleEndian, pos); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func readCollection(r io.Reader, name string) (*Collection, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("unsupported version %d", version)
+	}
+	modelName, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	model, err := ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	ix := NewIndex(nil)
+	var docCount uint32
+	if err := binary.Read(r, binary.LittleEndian, &docCount); err != nil {
+		return nil, err
+	}
+	ix.docs = make([]docInfo, docCount)
+	for i := range ix.docs {
+		d := &ix.docs[i]
+		if d.extID, err = readString(r); err != nil {
+			return nil, err
+		}
+		var length uint32
+		if err := binary.Read(r, binary.LittleEndian, &length); err != nil {
+			return nil, err
+		}
+		d.length = int(length)
+		var del uint8
+		if err := binary.Read(r, binary.LittleEndian, &del); err != nil {
+			return nil, err
+		}
+		d.deleted = del != 0
+		var metaCount uint32
+		if err := binary.Read(r, binary.LittleEndian, &metaCount); err != nil {
+			return nil, err
+		}
+		if metaCount > 0 {
+			d.meta = make(map[string]string, metaCount)
+			for j := uint32(0); j < metaCount; j++ {
+				k, err := readString(r)
+				if err != nil {
+					return nil, err
+				}
+				v, err := readString(r)
+				if err != nil {
+					return nil, err
+				}
+				d.meta[k] = v
+			}
+		}
+		if !d.deleted {
+			ix.byExt[d.extID] = DocID(i)
+			ix.liveDocs++
+			ix.totalLen += int64(d.length)
+		}
+	}
+	var termCount uint32
+	if err := binary.Read(r, binary.LittleEndian, &termCount); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < termCount; i++ {
+		term, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		var postingCount uint32
+		if err := binary.Read(r, binary.LittleEndian, &postingCount); err != nil {
+			return nil, err
+		}
+		pl := &postingList{postings: make([]Posting, postingCount)}
+		for j := uint32(0); j < postingCount; j++ {
+			var doc, posCount uint32
+			if err := binary.Read(r, binary.LittleEndian, &doc); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, binary.LittleEndian, &posCount); err != nil {
+				return nil, err
+			}
+			if posCount > 1<<26 {
+				return nil, fmt.Errorf("position count %d exceeds sanity bound", posCount)
+			}
+			positions := make([]uint32, posCount)
+			for k := range positions {
+				if err := binary.Read(r, binary.LittleEndian, &positions[k]); err != nil {
+					return nil, err
+				}
+			}
+			if int(doc) >= len(ix.docs) {
+				return nil, fmt.Errorf("posting references doc %d beyond table", doc)
+			}
+			pl.postings[j] = Posting{Doc: DocID(doc), Positions: positions}
+			if !ix.docs[doc].deleted {
+				pl.df++
+			}
+			// Rebuild the forward index (not stored on disk).
+			ix.docs[doc].terms = append(ix.docs[doc].terms, term)
+		}
+		ix.dict[term] = pl
+	}
+	return &Collection{name: name, ix: ix, model: model}, nil
+}

@@ -1,0 +1,167 @@
+package irs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+var osStat = os.Stat
+
+// Property: an arbitrary sequence of adds/updates/deletes, saved and
+// reloaded, preserves every observable: live doc count, DFs, average
+// length, metadata, and the scores of queries under every model.
+func TestPersistenceObservableEquivalenceProperty(t *testing.T) {
+	words := []string{"www", "nii", "sgml", "video", "codec", "markup", "gopher", "telnet"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		e, err := NewEngineAt(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := e.CreateCollection("prop", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := make(map[string]bool)
+		for i := 0; i < 40; i++ {
+			id := fmt.Sprintf("d%d", rng.Intn(15))
+			text := ""
+			for j := 0; j < 1+rng.Intn(8); j++ {
+				text += words[rng.Intn(len(words))] + " "
+			}
+			switch {
+			case !live[id]:
+				if err := c.AddDocument(id, text, map[string]string{"oid": id}); err != nil {
+					t.Fatal(err)
+				}
+				live[id] = true
+			case rng.Intn(3) == 0:
+				if err := c.DeleteDocument(id); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, id)
+			default:
+				if err := c.UpdateDocument(id, text, map[string]string{"oid": id}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := e.Save(); err != nil {
+			t.Fatal(err)
+		}
+		e2, err := NewEngineAt(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := e2.Collection("prop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.DocCount() != c2.DocCount() {
+			t.Logf("seed %d: doc count %d vs %d", seed, c.DocCount(), c2.DocCount())
+			return false
+		}
+		if math.Abs(c.Index().AvgDocLen()-c2.Index().AvgDocLen()) > 1e-12 {
+			return false
+		}
+		for _, w := range words {
+			if c.Index().DF(w) != c2.Index().DF(w) {
+				t.Logf("seed %d: DF(%s) %d vs %d", seed, w, c.Index().DF(w), c2.Index().DF(w))
+				return false
+			}
+		}
+		// Scores identical under all models for a composite query.
+		for _, model := range []Model{InferenceNet{}, NewVectorSpace(), Boolean{}, PassageModel{Window: 6}} {
+			c.SetModel(model)
+			c2.SetModel(model)
+			r1, err := c.Search("#and(www #or(nii sgml))")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := c2.Search("#and(www #or(nii sgml))")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r1) != len(r2) {
+				t.Logf("seed %d model %s: %d vs %d results", seed, model.Name(), len(r1), len(r2))
+				return false
+			}
+			for i := range r1 {
+				if r1[i].ExtID != r2[i].ExtID || math.Abs(r1[i].Score-r2[i].Score) > 1e-12 {
+					t.Logf("seed %d model %s: rank %d differs", seed, model.Name(), i)
+					return false
+				}
+			}
+		}
+		// Deleting the live docs in the reloaded engine empties it
+		// (forward index rebuilt correctly).
+		for id := range live {
+			if err := c2.DeleteDocument(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, w := range words {
+			if c2.Index().DF(w) != 0 {
+				t.Logf("seed %d: DF(%s) = %d after deleting everything", seed, w, c2.Index().DF(w))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Compact before save sheds tombstones from the file.
+func TestCompactShrinksPersistedFile(t *testing.T) {
+	dir := t.TempDir()
+	e, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := e.CreateCollection("z", nil)
+	for i := 0; i < 30; i++ {
+		c.AddDocument(fmt.Sprintf("d%d", i), "some repeated content here", nil)
+	}
+	for i := 0; i < 25; i++ {
+		c.DeleteDocument(fmt.Sprintf("d%d", i))
+	}
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+	before := fileSize(t, filepath.Join(dir, "z"+collExt))
+	c.Index().Compact()
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+	after := fileSize(t, filepath.Join(dir, "z"+collExt))
+	if after >= before {
+		t.Errorf("compacted file %d >= uncompacted %d", after, before)
+	}
+	// And it still loads with the right content.
+	e2, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := e2.Collection("z")
+	if c2.DocCount() != 5 {
+		t.Errorf("DocCount after compacted reload = %d", c2.DocCount())
+	}
+}
+
+// fileSize is a small stat helper.
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := osStat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -1,0 +1,301 @@
+package irs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NodeKind enumerates IRS query operators. The set mirrors the
+// INQUERY operators whose "exact semantics" the paper reports to
+// know for "half a dozen operators" (Section 4.5.4).
+type NodeKind int
+
+const (
+	NodeTerm NodeKind = iota
+	NodeAnd
+	NodeOr
+	NodeNot
+	NodeSum
+	NodeWSum
+	NodeMax
+	NodePhrase
+	NodeSyn
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NodeTerm:
+		return "term"
+	case NodeAnd:
+		return "#and"
+	case NodeOr:
+		return "#or"
+	case NodeNot:
+		return "#not"
+	case NodeSum:
+		return "#sum"
+	case NodeWSum:
+		return "#wsum"
+	case NodeMax:
+		return "#max"
+	case NodePhrase:
+		return "#phrase"
+	case NodeSyn:
+		return "#syn"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// Node is one node of a parsed IRS query.
+type Node struct {
+	Kind     NodeKind
+	Term     string    // NodeTerm only (raw, un-normalized)
+	Children []*Node   // operator nodes
+	Weights  []float64 // NodeWSum: parallel to Children
+}
+
+// String renders the node in canonical query syntax. Canonical
+// strings serve as keys of the coupling's persistent result buffer,
+// so String must be deterministic.
+func (n *Node) String() string {
+	if n == nil {
+		return ""
+	}
+	if n.Kind == NodeTerm {
+		return n.Term
+	}
+	var sb strings.Builder
+	sb.WriteString(n.Kind.String())
+	sb.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if n.Kind == NodeWSum {
+			fmt.Fprintf(&sb, "%g ", n.Weights[i])
+		}
+		sb.WriteString(c.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Terms returns the distinct raw terms occurring in the query, in
+// first-occurrence order.
+func (n *Node) Terms() []string {
+	seen := make(map[string]bool)
+	var out []string
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.Kind == NodeTerm {
+			if !seen[m.Term] {
+				seen[m.Term] = true
+				out = append(out, m.Term)
+			}
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Subqueries decomposes the query into the operand subqueries of its
+// top-level combining operator. For #and, #or, #sum, #wsum and #max
+// these are the children; for a bare term or #phrase the query is
+// its own single subquery. The query-aware derivation scheme
+// (Section 4.5.2: "first of all, the subqueries need to be
+// identified") evaluates components per subquery and recombines.
+func (n *Node) Subqueries() []*Node {
+	if n == nil {
+		return nil
+	}
+	switch n.Kind {
+	case NodeAnd, NodeOr, NodeSum, NodeWSum, NodeMax:
+		return n.Children
+	default:
+		return []*Node{n}
+	}
+}
+
+// Term constructs a term node.
+func Term(t string) *Node { return &Node{Kind: NodeTerm, Term: t} }
+
+// Op constructs an operator node.
+func Op(kind NodeKind, children ...*Node) *Node {
+	return &Node{Kind: kind, Children: children}
+}
+
+// ParseQuery parses an IRS query expression. Syntax:
+//
+//	query   = node+                      (multiple nodes imply #sum)
+//	node    = TERM | '#'OP '(' body ')'
+//	body    = node*                      (#wsum: (WEIGHT node)*)
+//
+// Examples: "WWW", "#and(WWW NII)", "#wsum(2 WWW 1 #phrase(digital library))".
+func ParseQuery(q string) (*Node, error) {
+	p := &queryParser{src: q}
+	p.skipSpace()
+	var nodes []*Node
+	for !p.eof() {
+		n, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+		p.skipSpace()
+	}
+	switch len(nodes) {
+	case 0:
+		return nil, &ParseError{Query: q, Pos: 0, Msg: "empty query"}
+	case 1:
+		return nodes[0], nil
+	default:
+		return &Node{Kind: NodeSum, Children: nodes}, nil
+	}
+}
+
+type queryParser struct {
+	src string
+	pos int
+}
+
+func (p *queryParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *queryParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r', ',':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *queryParser) errf(format string, args ...interface{}) error {
+	return &ParseError{Query: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isWordByte(c byte) bool {
+	return c == '-' || c == '_' || c == '\'' ||
+		(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+		(c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func (p *queryParser) readWord() string {
+	start := p.pos
+	for p.pos < len(p.src) && isWordByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// readNumber reads a float token ("2", "0.5", "1e-3", "-4.25").
+func (p *queryParser) readNumber() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+			c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *queryParser) parseNode() (*Node, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errf("unexpected end of query")
+	}
+	if p.src[p.pos] != '#' {
+		w := p.readWord()
+		if w == "" {
+			return nil, p.errf("unexpected character %q", p.src[p.pos])
+		}
+		return Term(w), nil
+	}
+	p.pos++ // consume '#'
+	opName := p.readWord()
+	var kind NodeKind
+	switch strings.ToLower(opName) {
+	case "and", "band":
+		kind = NodeAnd
+	case "or", "bor":
+		kind = NodeOr
+	case "not", "bnot":
+		kind = NodeNot
+	case "sum":
+		kind = NodeSum
+	case "wsum":
+		kind = NodeWSum
+	case "max":
+		kind = NodeMax
+	case "phrase", "odn", "1":
+		kind = NodePhrase
+	case "syn":
+		kind = NodeSyn
+	default:
+		return nil, p.errf("unknown operator #%s", opName)
+	}
+	p.skipSpace()
+	if p.eof() || p.src[p.pos] != '(' {
+		return nil, p.errf("expected '(' after #%s", opName)
+	}
+	p.pos++
+	n := &Node{Kind: kind}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil, p.errf("unclosed #%s(", opName)
+		}
+		if p.src[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		if kind == NodeWSum {
+			wStart := p.pos
+			wtok := p.readNumber()
+			w, err := strconv.ParseFloat(wtok, 64)
+			if err != nil {
+				p.pos = wStart
+				return nil, p.errf("#wsum expects numeric weight, got %q", wtok)
+			}
+			child, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.Weights = append(n.Weights, w)
+			n.Children = append(n.Children, child)
+			continue
+		}
+		child, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+	if len(n.Children) == 0 {
+		return nil, p.errf("#%s requires at least one operand", opName)
+	}
+	if kind == NodeNot && len(n.Children) != 1 {
+		return nil, p.errf("#not takes exactly one operand")
+	}
+	if kind == NodePhrase {
+		for _, c := range n.Children {
+			if c.Kind != NodeTerm {
+				return nil, p.errf("#phrase operands must be terms")
+			}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,167 @@
+package irs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseQueryForms(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string // canonical String()
+	}{
+		{"WWW", "WWW"},
+		{"WWW NII", "#sum(WWW NII)"},
+		{"#and(WWW NII)", "#and(WWW NII)"},
+		{"#and( WWW , NII )", "#and(WWW NII)"},
+		{"#or(#and(a b) c)", "#or(#and(a b) c)"},
+		{"#not(spam)", "#not(spam)"},
+		{"#max(a b c)", "#max(a b c)"},
+		{"#wsum(2 WWW 1 NII)", "#wsum(2 WWW 1 NII)"},
+		{"#wsum(0.5 a 1.5 #and(b c))", "#wsum(0.5 a 1.5 #and(b c))"},
+		{"#phrase(digital library)", "#phrase(digital library)"},
+		{"#syn(www web)", "#syn(www web)"},
+		{"#AND(a b)", "#and(a b)"},
+		{"#band(a b)", "#and(a b)"},
+	}
+	for _, tt := range tests {
+		n, err := ParseQuery(tt.in)
+		if err != nil {
+			t.Errorf("ParseQuery(%q): %v", tt.in, err)
+			continue
+		}
+		if got := n.String(); got != tt.want {
+			t.Errorf("ParseQuery(%q).String() = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"#and",
+		"#and(",
+		"#and()",
+		"#bogus(a)",
+		"#not(a b)",
+		"#wsum(x a)",
+		"#phrase(#and(a b))",
+		"(a)",
+		"#and(a))",
+	}
+	for _, q := range bad {
+		if _, err := ParseQuery(q); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestNodeTerms(t *testing.T) {
+	n, err := ParseQuery("#and(WWW #or(NII WWW) #phrase(world wide web))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := n.Terms()
+	want := []string{"WWW", "NII", "world", "wide", "web"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestNodeSubqueries(t *testing.T) {
+	n, _ := ParseQuery("#and(WWW NII)")
+	subs := n.Subqueries()
+	if len(subs) != 2 {
+		t.Fatalf("Subqueries(#and) = %d, want 2", len(subs))
+	}
+	if subs[0].String() != "WWW" || subs[1].String() != "NII" {
+		t.Errorf("Subqueries = %v %v", subs[0], subs[1])
+	}
+	leaf, _ := ParseQuery("WWW")
+	if subs := leaf.Subqueries(); len(subs) != 1 || subs[0] != leaf {
+		t.Error("Subqueries(term) should be the term itself")
+	}
+	ph, _ := ParseQuery("#phrase(a b)")
+	if subs := ph.Subqueries(); len(subs) != 1 || subs[0] != ph {
+		t.Error("Subqueries(#phrase) should be the phrase itself")
+	}
+}
+
+// Property: parsing the canonical form reproduces the canonical form
+// (round-trip stability), for randomly generated trees.
+func TestParseQueryRoundTripProperty(t *testing.T) {
+	terms := []string{"www", "nii", "telnet", "protocol", "journal"}
+	var gen func(rng *quickRand, depth int) *Node
+	gen = func(rng *quickRand, depth int) *Node {
+		if depth <= 0 || rng.intn(3) == 0 {
+			return Term(terms[rng.intn(len(terms))])
+		}
+		kinds := []NodeKind{NodeAnd, NodeOr, NodeSum, NodeMax, NodeWSum, NodeNot, NodePhrase, NodeSyn}
+		k := kinds[rng.intn(len(kinds))]
+		n := &Node{Kind: k}
+		cnt := 1 + rng.intn(3)
+		if k == NodeNot {
+			cnt = 1
+		}
+		for i := 0; i < cnt; i++ {
+			var c *Node
+			if k == NodePhrase || k == NodeSyn {
+				c = Term(terms[rng.intn(len(terms))])
+			} else {
+				c = gen(rng, depth-1)
+			}
+			n.Children = append(n.Children, c)
+			if k == NodeWSum {
+				n.Weights = append(n.Weights, float64(1+rng.intn(5)))
+			}
+		}
+		return n
+	}
+	f := func(seed int64) bool {
+		rng := &quickRand{state: uint64(seed)*2654435761 + 1}
+		n := gen(rng, 3)
+		s := n.String()
+		n2, err := ParseQuery(s)
+		if err != nil {
+			t.Logf("reparse of %q failed: %v", s, err)
+			return false
+		}
+		return n2.String() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickRand is a tiny deterministic generator for property tests.
+type quickRand struct{ state uint64 }
+
+func (r *quickRand) intn(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := ParseQuery("#bogus(a)")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error type = %T, want *ParseError", err)
+	}
+	if !strings.Contains(pe.Error(), "bogus") {
+		t.Errorf("error message %q does not name the operator", pe.Error())
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}

@@ -1,0 +1,49 @@
+// Package irs implements the information-retrieval substrate of the
+// coupling: an inverted-file engine with named collections,
+// exchangeable retrieval models (INQUERY-style inference network,
+// vector space, boolean) and an operator query language
+// (#and, #or, #not, #sum, #wsum, #max, #phrase, #syn).
+//
+// The package stands in for the INQUERY system the paper couples to
+// VODAK. Like INQUERY, it administers flat documents grouped into
+// collections, stores a small amount of metadata per document (here:
+// the owning database object's OID), and answers a query with a set
+// of (document, retrieval-status-value) pairs.
+package irs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DocID identifies a document within one Index. DocIDs are dense,
+// ascending and never reused (deleted documents leave tombstones
+// until Compact).
+type DocID uint32
+
+// Result is one retrieval result: the external identifier the
+// document was registered under (in the coupling: the object's OID
+// rendered as a string) and its retrieval status value.
+type Result struct {
+	ExtID string
+	Score float64
+}
+
+// Sentinel errors returned by the engine.
+var (
+	ErrNoSuchCollection = errors.New("irs: no such collection")
+	ErrDuplicateDoc     = errors.New("irs: duplicate document id")
+	ErrNoSuchDoc        = errors.New("irs: no such document")
+	ErrDuplicateColl    = errors.New("irs: collection already exists")
+)
+
+// ParseError reports a syntax error in an IRS query expression.
+type ParseError struct {
+	Query string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("irs: parse error at %d in %q: %s", e.Pos, e.Query, e.Msg)
+}

@@ -1,0 +1,165 @@
+package irs
+
+import (
+	"math"
+	"sync"
+)
+
+// VectorSpace is a SMART-style tf.idf cosine model. The query tree
+// is flattened to a weighted bag of leaves (#wsum weights carry
+// through, other operators contribute weight 1); document and query
+// vectors use ltc-style weighting:
+//
+//	w(t,d) = (1 + ln tf) · ln(1 + N/df)
+//
+// and scores are cosine-normalized by the true document norm, which
+// is cached and invalidated via the index version counter.
+//
+// Boolean structure (#and/#or/#not) is ignored beyond leaf
+// collection — the classic behaviour of vector engines, and exactly
+// the kind of paradigm difference EXP-T7 surfaces.
+type VectorSpace struct {
+	mu       sync.Mutex
+	normsVer uint64
+	norms    map[DocID]float64
+}
+
+// NewVectorSpace returns a vector-space model instance. Instances
+// cache per-index document norms; use one instance per collection.
+func NewVectorSpace() *VectorSpace { return &VectorSpace{} }
+
+// Name implements Model.
+func (m *VectorSpace) Name() string { return "vector" }
+
+// Eval implements Model.
+func (m *VectorSpace) Eval(ix *Index, root *Node) map[DocID]float64 {
+	if root == nil {
+		return nil
+	}
+	leaves := flattenLeaves(root, 1.0)
+	if len(leaves) == 0 {
+		return nil
+	}
+	n := float64(ix.DocCount())
+	scores := make(map[DocID]float64)
+	var qnorm float64
+	for _, lf := range leaves {
+		var st *termStat
+		switch lf.node.Kind {
+		case NodeTerm:
+			st = &termStat{tf: make(map[DocID]int)}
+			for _, p := range ix.Postings(lf.node.Term) {
+				st.tf[p.Doc] = p.TF()
+			}
+			st.df = len(st.tf)
+		case NodePhrase:
+			st = phraseStat(ix, lf.node)
+		default:
+			continue
+		}
+		if st.df == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(st.df))
+		qw := lf.weight * idf
+		qnorm += qw * qw
+		for d, tf := range st.tf {
+			dw := (1 + math.Log(float64(tf))) * idf
+			scores[d] += qw * dw
+		}
+	}
+	if len(scores) == 0 {
+		return scores
+	}
+	qn := math.Sqrt(qnorm)
+	if qn == 0 {
+		qn = 1
+	}
+	norms := m.docNorms(ix)
+	for d := range scores {
+		dn := norms[d]
+		if dn == 0 {
+			dn = 1
+		}
+		scores[d] /= qn * dn
+	}
+	return scores
+}
+
+type weightedLeaf struct {
+	node   *Node
+	weight float64
+}
+
+// flattenLeaves collects term/phrase leaves with multiplied #wsum
+// weights. #not subtrees are skipped: negative evidence has no
+// natural place in a pure vector model.
+func flattenLeaves(n *Node, w float64) []weightedLeaf {
+	switch n.Kind {
+	case NodeTerm, NodePhrase:
+		return []weightedLeaf{{node: n, weight: w}}
+	case NodeNot:
+		return nil
+	case NodeSyn:
+		var out []weightedLeaf
+		for _, c := range n.Children {
+			out = append(out, flattenLeaves(c, w)...)
+		}
+		return out
+	case NodeWSum:
+		var out []weightedLeaf
+		for i, c := range n.Children {
+			out = append(out, flattenLeaves(c, w*n.Weights[i])...)
+		}
+		return out
+	default:
+		var out []weightedLeaf
+		for _, c := range n.Children {
+			out = append(out, flattenLeaves(c, w)...)
+		}
+		return out
+	}
+}
+
+// docNorms returns the cached full document norms, rebuilding them
+// when the index has changed since the last computation.
+func (m *VectorSpace) docNorms(ix *Index) map[DocID]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := ix.Version()
+	if m.norms != nil && m.normsVer == v {
+		return m.norms
+	}
+	n := float64(ix.DocCount())
+	norms := make(map[DocID]float64)
+	for _, term := range ix.terms() {
+		ps := ix.postingsRaw(term)
+		if len(ps) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(ps)))
+		for _, p := range ps {
+			dw := (1 + math.Log(float64(p.TF()))) * idf
+			norms[p.Doc] += dw * dw
+		}
+	}
+	for d, s := range norms {
+		norms[d] = math.Sqrt(s)
+	}
+	m.norms = norms
+	m.normsVer = v
+	return norms
+}
+
+// terms returns all dictionary terms with live postings.
+func (ix *Index) terms() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.dict))
+	for t, pl := range ix.dict {
+		if pl.df > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package oodb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// memDB returns a memory-only database with a small schema.
+func memDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustDefine(t, db, "IRSObject", "", nil)
+	mustDefine(t, db, "Element", "IRSObject", map[string]Kind{
+		"type": KindString,
+	})
+	mustDefine(t, db, "PARA", "Element", nil)
+	mustDefine(t, db, "MMFDOC", "Element", nil)
+	return db
+}
+
+func mustDefine(t *testing.T, db *DB, name, super string, attrs map[string]Kind) {
+	t.Helper()
+	if err := db.DefineClass(name, super, attrs); err != nil {
+		t.Fatalf("DefineClass(%s): %v", name, err)
+	}
+}
+
+func TestDefineClassValidation(t *testing.T) {
+	db := memDB(t)
+	if err := db.DefineClass("PARA", "Element", nil); !errors.Is(err, ErrClassExists) {
+		t.Errorf("redefine: %v", err)
+	}
+	if err := db.DefineClass("X", "Ghost", nil); !errors.Is(err, ErrNoSuchClass) {
+		t.Errorf("bad super: %v", err)
+	}
+	if err := db.DefineClass("", "", nil); err == nil {
+		t.Error("empty class name accepted")
+	}
+}
+
+func TestIsAAndSubclasses(t *testing.T) {
+	db := memDB(t)
+	if !db.IsA("PARA", "IRSObject") {
+		t.Error("PARA should be an IRSObject")
+	}
+	if !db.IsA("PARA", "PARA") {
+		t.Error("IsA should be reflexive")
+	}
+	if db.IsA("IRSObject", "PARA") {
+		t.Error("IsA inverted")
+	}
+	subs := db.Subclasses("Element")
+	want := []string{"Element", "MMFDOC", "PARA"}
+	if len(subs) != len(want) {
+		t.Fatalf("Subclasses = %v, want %v", subs, want)
+	}
+	for i := range want {
+		if subs[i] != want[i] {
+			t.Errorf("Subclasses[%d] = %q, want %q", i, subs[i], want[i])
+		}
+	}
+}
+
+func TestNewObjectAndExtent(t *testing.T) {
+	db := memDB(t)
+	p1, err := db.NewObject("PARA", map[string]Value{"text": S("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := db.NewObject("PARA", nil)
+	d1, _ := db.NewObject("MMFDOC", nil)
+	if p1 == p2 || p1 == NilOID {
+		t.Fatalf("bad OIDs %v %v", p1, p2)
+	}
+	if got := db.Extent("PARA", false); len(got) != 2 {
+		t.Errorf("Extent(PARA) = %v", got)
+	}
+	deep := db.Extent("IRSObject", true)
+	if len(deep) != 3 {
+		t.Errorf("deep Extent(IRSObject) = %v, want 3 oids", deep)
+	}
+	if got := db.Extent("IRSObject", false); len(got) != 0 {
+		t.Errorf("shallow Extent(IRSObject) = %v, want empty", got)
+	}
+	class, ok := db.ClassOf(d1)
+	if !ok || class != "MMFDOC" {
+		t.Errorf("ClassOf(d1) = %q, %v", class, ok)
+	}
+	if _, err := db.NewObject("Ghost", nil); !errors.Is(err, ErrNoSuchClass) {
+		t.Errorf("NewObject(Ghost): %v", err)
+	}
+}
+
+func TestAttrReadWrite(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.NewObject("PARA", map[string]Value{"text": S("telnet")})
+	v, ok := db.Attr(p, "text")
+	if !ok || v.Str != "telnet" {
+		t.Fatalf("Attr = %v, %v", v, ok)
+	}
+	if _, ok := db.Attr(p, "missing"); ok {
+		t.Error("missing attr reported present")
+	}
+	if err := db.SetAttr(p, "text", S("gopher")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = db.Attr(p, "text")
+	if v.Str != "gopher" {
+		t.Errorf("after SetAttr: %v", v)
+	}
+	attrs, ok := db.Attrs(p)
+	if !ok || len(attrs) != 1 {
+		t.Errorf("Attrs = %v, %v", attrs, ok)
+	}
+	if err := db.SetAttr(OID(9999), "x", I(1)); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("SetAttr on ghost: %v", err)
+	}
+}
+
+func TestDeclaredAttrTypeChecking(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.NewObject("PARA", nil)
+	// "type" is declared KindString on Element (inherited by PARA).
+	if err := db.SetAttr(p, "type", I(1)); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("kind mismatch: %v", err)
+	}
+	if err := db.SetAttr(p, "type", S("PARA")); err != nil {
+		t.Errorf("valid kind rejected: %v", err)
+	}
+	// Null always allowed.
+	if err := db.SetAttr(p, "type", Null()); err != nil {
+		t.Errorf("null rejected: %v", err)
+	}
+	// Undeclared attributes are schema-free.
+	if err := db.SetAttr(p, "whatever", L(I(1), S("x"))); err != nil {
+		t.Errorf("undeclared attr rejected: %v", err)
+	}
+}
+
+func TestDeleteObject(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.NewObject("PARA", nil)
+	if err := db.DeleteObject(p); err != nil {
+		t.Fatal(err)
+	}
+	if db.Exists(p) {
+		t.Error("object survives delete")
+	}
+	if got := db.Extent("PARA", false); len(got) != 0 {
+		t.Errorf("extent after delete = %v", got)
+	}
+	if err := db.DeleteObject(p); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestTxReadYourWritesAndAbort(t *testing.T) {
+	db := memDB(t)
+	tx := db.Begin()
+	p, err := tx.NewObject("PARA", map[string]Value{"text": S("draft")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tx.Attr(p, "text"); !ok || v.Str != "draft" {
+		t.Errorf("tx.Attr = %v, %v", v, ok)
+	}
+	// Invisible outside before commit.
+	if db.Exists(p) {
+		t.Error("uncommitted object visible")
+	}
+	tx.Abort()
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("commit after abort: %v", err)
+	}
+	if db.Exists(p) {
+		t.Error("aborted object exists")
+	}
+}
+
+func TestTxCommitAtomicity(t *testing.T) {
+	db := memDB(t)
+	tx := db.Begin()
+	a, _ := tx.NewObject("PARA", nil)
+	b, _ := tx.NewObject("PARA", nil)
+	tx.SetAttr(a, "next", Ref(b))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Exists(a) || !db.Exists(b) {
+		t.Error("committed objects missing")
+	}
+	v, _ := db.Attr(a, "next")
+	if v.Ref != b {
+		t.Errorf("attr lost: %v", v)
+	}
+}
+
+func TestTxDeleteVisibility(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.NewObject("PARA", map[string]Value{"text": S("x")})
+	tx := db.Begin()
+	if err := tx.DeleteObject(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tx.Attr(p, "text"); ok {
+		t.Error("deleted object readable inside tx")
+	}
+	if err := tx.SetAttr(p, "text", S("y")); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("write to tx-deleted object: %v", err)
+	}
+	// Still visible outside until commit.
+	if !db.Exists(p) {
+		t.Error("delete leaked before commit")
+	}
+	tx.Commit()
+	if db.Exists(p) {
+		t.Error("object survives committed delete")
+	}
+}
+
+func TestTxCommitConflict(t *testing.T) {
+	db := memDB(t)
+	p, _ := db.NewObject("PARA", nil)
+	tx := db.Begin()
+	if err := tx.SetAttr(p, "text", S("stale")); err != nil {
+		t.Fatal(err)
+	}
+	// A racing transaction deletes p and commits first.
+	if err := db.DeleteObject(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("conflicting commit succeeded")
+	}
+}
+
+func TestUpdateHooks(t *testing.T) {
+	db := memDB(t)
+	var mu sync.Mutex
+	var events []Update
+	db.AddUpdateHook(func(u Update) {
+		mu.Lock()
+		events = append(events, u)
+		mu.Unlock()
+	})
+	p, _ := db.NewObject("PARA", map[string]Value{"text": S("a")})
+	db.SetAttr(p, "text", S("b"))
+	db.DeleteObject(p)
+	mu.Lock()
+	defer mu.Unlock()
+	// create (+1 set from initial attrs), modify, delete
+	kinds := make([]UpdateKind, len(events))
+	for i, e := range events {
+		kinds[i] = e.Kind
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %v", kinds)
+	}
+	if events[0].Kind != UpdateCreate || events[3].Kind != UpdateDelete {
+		t.Errorf("unexpected hook order: %v", kinds)
+	}
+	if events[1].Attr != "text" {
+		t.Errorf("modify attr = %q", events[1].Attr)
+	}
+}
+
+func TestMethodDispatchAndInheritance(t *testing.T) {
+	db := memDB(t)
+	db.RegisterMethod("IRSObject", "greet", func(db *DB, self OID, args []Value) (Value, error) {
+		return S("irsobject"), nil
+	})
+	db.RegisterMethod("PARA", "greet", func(db *DB, self OID, args []Value) (Value, error) {
+		return S("para"), nil
+	})
+	p, _ := db.NewObject("PARA", nil)
+	d, _ := db.NewObject("MMFDOC", nil)
+	if v, err := db.Call(p, "greet"); err != nil || v.Str != "para" {
+		t.Errorf("Call(p) = %v, %v", v, err)
+	}
+	// MMFDOC has no own greet; inherits from IRSObject.
+	if v, err := db.Call(d, "greet"); err != nil || v.Str != "irsobject" {
+		t.Errorf("Call(d) = %v, %v", v, err)
+	}
+	if _, err := db.Call(p, "ghost"); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("missing method: %v", err)
+	}
+	if _, err := db.Call(OID(12345), "greet"); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("missing object: %v", err)
+	}
+}
+
+func TestMethodCostInheritance(t *testing.T) {
+	db := memDB(t)
+	db.SetMethodCost("IRSObject", "getIRSValue", 1000)
+	if got := db.MethodCost("PARA", "getIRSValue"); got != 1000 {
+		t.Errorf("inherited cost = %v, want 1000", got)
+	}
+	db.SetMethodCost("PARA", "getIRSValue", 500)
+	if got := db.MethodCost("PARA", "getIRSValue"); got != 500 {
+		t.Errorf("own cost = %v, want 500", got)
+	}
+	if got := db.MethodCost("PARA", "length"); got != 1 {
+		t.Errorf("default cost = %v, want 1", got)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := memDB(t)
+	seed := make([]OID, 20)
+	for i := range seed {
+		seed[i], _ = db.NewObject("PARA", map[string]Value{"n": I(int64(i))})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.Extent("IRSObject", true)
+				db.Attr(seed[i%len(seed)], "n")
+			}
+		}()
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				oid, err := db.NewObject("PARA", map[string]Value{"g": I(int64(g))})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				db.SetAttr(oid, "g", I(int64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := db.ObjectCount(); got != 20+4*50 {
+		t.Errorf("ObjectCount = %d, want %d", got, 20+4*50)
+	}
+}
+
+func TestEmptyCommitIsNoop(t *testing.T) {
+	db := memDB(t)
+	tx := db.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Errorf("empty commit: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package oodb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec shared by the WAL and the snapshot. All integers are
+// little endian; strings and lists are length-prefixed with u32.
+
+type encoder struct {
+	buf bytes.Buffer
+}
+
+func (e *encoder) u8(v uint8)   { e.buf.WriteByte(v) }
+func (e *encoder) u32(v uint32) { binary.Write(&e.buf, binary.LittleEndian, v) }
+func (e *encoder) u64(v uint64) { binary.Write(&e.buf, binary.LittleEndian, v) }
+func (e *encoder) f64(v float64) {
+	binary.Write(&e.buf, binary.LittleEndian, v)
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *encoder) value(v Value) {
+	e.u8(uint8(v.Kind))
+	switch v.Kind {
+	case KindNull:
+	case KindBool:
+		if v.Bool {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case KindInt:
+		e.u64(uint64(v.Int))
+	case KindFloat:
+		e.f64(v.Float)
+	case KindString:
+		e.str(v.Str)
+	case KindOID:
+		e.u64(uint64(v.Ref))
+	case KindList:
+		e.u32(uint32(len(v.List)))
+		for _, c := range v.List {
+			e.value(c)
+		}
+	}
+}
+
+func (e *encoder) bytes() []byte { return e.buf.Bytes() }
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+var errShortDecode = fmt.Errorf("oodb: truncated record")
+
+func (d *decoder) need(n int) error {
+	if d.pos+n > len(d.data) {
+		return errShortDecode
+	}
+	return nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.data[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	u, err := d.u64()
+	if err != nil {
+		return 0, err
+	}
+	return float64FromBits(u), nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) value() (Value, error) {
+	k, err := d.u8()
+	if err != nil {
+		return Value{}, err
+	}
+	switch Kind(k) {
+	case KindNull:
+		return Null(), nil
+	case KindBool:
+		b, err := d.u8()
+		if err != nil {
+			return Value{}, err
+		}
+		return B(b != 0), nil
+	case KindInt:
+		u, err := d.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		return I(int64(u)), nil
+	case KindFloat:
+		f, err := d.f64()
+		if err != nil {
+			return Value{}, err
+		}
+		return F(f), nil
+	case KindString:
+		s, err := d.str()
+		if err != nil {
+			return Value{}, err
+		}
+		return S(s), nil
+	case KindOID:
+		u, err := d.u64()
+		if err != nil {
+			return Value{}, err
+		}
+		return Ref(OID(u)), nil
+	case KindList:
+		n, err := d.u32()
+		if err != nil {
+			return Value{}, err
+		}
+		if int(n) > len(d.data) {
+			return Value{}, errShortDecode
+		}
+		vs := make([]Value, n)
+		for i := range vs {
+			if vs[i], err = d.value(); err != nil {
+				return Value{}, err
+			}
+		}
+		return Value{Kind: KindList, List: vs}, nil
+	}
+	return Value{}, fmt.Errorf("oodb: unknown value kind %d", k)
+}

@@ -1,0 +1,255 @@
+package oodb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openAt(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := Open(dir, Options{SyncWAL: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPersistenceWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	db := openAt(t, dir)
+	mustDefine(t, db, "Node", "", map[string]Kind{"label": KindString})
+	a, _ := db.NewObject("Node", map[string]Value{"label": S("a")})
+	b, _ := db.NewObject("Node", map[string]Value{"label": S("b"), "peer": Ref(a)})
+	db.SetAttr(a, "peer", Ref(b))
+	c, _ := db.NewObject("Node", nil)
+	db.DeleteObject(c)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openAt(t, dir)
+	defer db2.Close()
+	if got := db2.ObjectCount(); got != 2 {
+		t.Fatalf("ObjectCount after replay = %d, want 2", got)
+	}
+	v, ok := db2.Attr(a, "peer")
+	if !ok || v.Ref != b {
+		t.Errorf("a.peer = %v, %v", v, ok)
+	}
+	if db2.Exists(c) {
+		t.Error("deleted object resurrected")
+	}
+	// Classes replayed too.
+	if _, ok := db2.Class("Node"); !ok {
+		t.Error("class lost")
+	}
+	// New OIDs don't collide with replayed ones.
+	d, _ := db2.NewObject("Node", nil)
+	if d == a || d == b || d == c {
+		t.Errorf("OID %v reused", d)
+	}
+}
+
+func TestPersistenceCheckpointAndReplaySuffix(t *testing.T) {
+	dir := t.TempDir()
+	db := openAt(t, dir)
+	mustDefine(t, db, "Node", "", nil)
+	a, _ := db.NewObject("Node", map[string]Value{"n": I(1)})
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint mutations land in the fresh WAL.
+	db.SetAttr(a, "n", I(2))
+	e, _ := db.NewObject("Node", nil)
+	db.Close()
+
+	db2 := openAt(t, dir)
+	defer db2.Close()
+	v, _ := db2.Attr(a, "n")
+	if v.Int != 2 {
+		t.Errorf("a.n = %v, want 2 (wal suffix lost?)", v)
+	}
+	if !db2.Exists(e) {
+		t.Error("post-checkpoint object lost")
+	}
+	if got := db2.ObjectCount(); got != 2 {
+		t.Errorf("ObjectCount = %d, want 2", got)
+	}
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	db := openAt(t, dir)
+	mustDefine(t, db, "Node", "", nil)
+	for i := 0; i < 50; i++ {
+		db.NewObject("Node", map[string]Value{"i": I(int64(i))})
+	}
+	sizeBefore := fileSize(t, filepath.Join(dir, walFile))
+	if sizeBefore == 0 {
+		t.Fatal("wal empty before checkpoint")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fileSize(t, filepath.Join(dir, walFile)); got != 0 {
+		t.Errorf("wal size after checkpoint = %d, want 0", got)
+	}
+	db.Close()
+	db2 := openAt(t, dir)
+	defer db2.Close()
+	if got := db2.ObjectCount(); got != 50 {
+		t.Errorf("ObjectCount = %d, want 50", got)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// Property: crashing (truncating the WAL) at ANY byte offset yields
+// a database equal to some committed prefix of the transaction
+// history — never a half-applied transaction.
+func TestWALCrashAtAnyOffsetProperty(t *testing.T) {
+	dir := t.TempDir()
+	db := openAt(t, dir)
+	mustDefine(t, db, "Node", "", nil)
+	// Each tx i creates an object AND sets a marker; atomicity means
+	// after recovery #objects == #markers.
+	const txCount = 8
+	oids := make([]OID, txCount)
+	for i := 0; i < txCount; i++ {
+		tx := db.Begin()
+		oid, _ := tx.NewObject("Node", nil)
+		tx.SetAttr(oid, "marker", I(int64(i)))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	db.Close()
+	walPath := filepath.Join(dir, walFile)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := func(cutRaw uint16) bool {
+		cut := int(cutRaw) % (len(full) + 1)
+		crashDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(crashDir, walFile), full[:cut], 0o644); err != nil {
+			return false
+		}
+		db2, err := Open(crashDir, Options{})
+		if err != nil {
+			return false
+		}
+		defer db2.Close()
+		// Prefix property: objects recover in tx order; each present
+		// object must have its marker (atomicity).
+		n := db2.ObjectCount()
+		for i := 0; i < txCount; i++ {
+			exists := db2.Exists(oids[i])
+			if exists != (i < n) {
+				return false // not a prefix
+			}
+			if exists {
+				v, ok := db2.Attr(oids[i], "marker")
+				if !ok || v.Int != int64(i) {
+					return false // torn transaction
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWALCorruptTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	db := openAt(t, dir)
+	mustDefine(t, db, "Node", "", nil)
+	a, _ := db.NewObject("Node", nil)
+	db.Close()
+	// Append garbage to the WAL (simulates a torn write).
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01})
+	f.Close()
+
+	db2 := openAt(t, dir)
+	defer db2.Close()
+	if !db2.Exists(a) {
+		t.Error("intact prefix lost")
+	}
+	// The torn tail must have been truncated so appends work.
+	b, err := db2.NewObject("Node", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	db3 := openAt(t, dir)
+	defer db3.Close()
+	if !db3.Exists(b) {
+		t.Error("append after torn tail lost")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	db := openAt(t, dir)
+	mustDefine(t, db, "Node", "", nil)
+	db.NewObject("Node", nil)
+	db.Checkpoint()
+	db.Close()
+	path := filepath.Join(dir, snapshotFile)
+	data, _ := os.ReadFile(path)
+	data[len(data)-6] ^= 0xff // flip a payload byte
+	os.WriteFile(path, data, 0o644)
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Error("corrupt snapshot loaded silently")
+	}
+}
+
+func TestMemoryOnlyDatabaseSkipsFiles(t *testing.T) {
+	db, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustDefine(t, db, "Node", "", nil)
+	if _, err := db.NewObject("Node", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Errorf("memory checkpoint should be a no-op: %v", err)
+	}
+}
+
+func TestCloseIsIdempotentAndBlocksWrites(t *testing.T) {
+	dir := t.TempDir()
+	db := openAt(t, dir)
+	mustDefine(t, db, "Node", "", nil)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := db.NewObject("Node", nil); err == nil {
+		t.Error("write to closed db succeeded")
+	}
+}

@@ -1,0 +1,238 @@
+package oodb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot format:
+//
+//	magic "OSNP" | version u32 | payload | crc32(payload) u32
+//	payload = nextOID u64 | nextTx u64 |
+//	          class count u32 | (name, super, attr count, (attr, kind)*)* |
+//	          object count u64 | (oid u64, class, attr count u32, (name, value)*)*
+//
+// Checkpoint writes the snapshot atomically (temp + rename) and then
+// truncates the WAL: recovery = load snapshot + replay WAL suffix.
+
+const (
+	snapMagic   = "OSNP"
+	snapVersion = 1
+)
+
+// Checkpoint writes a snapshot of the current state and truncates
+// the WAL. A no-op for memory-only databases.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dir == "" {
+		return nil
+	}
+	if db.closed {
+		return ErrClosed
+	}
+	var e encoder
+	e.u64(db.nextOID.Load())
+	e.u64(db.nextTx.Load())
+	classNames := make([]string, 0, len(db.classes))
+	for n := range db.classes {
+		classNames = append(classNames, n)
+	}
+	sort.Strings(classNames)
+	e.u32(uint32(len(classNames)))
+	for _, n := range classNames {
+		c := db.classes[n]
+		e.str(c.Name)
+		e.str(c.Super)
+		e.u32(uint32(len(c.Attrs)))
+		for _, a := range sortedAttrNames(c.Attrs) {
+			e.str(a)
+			e.u8(uint8(c.Attrs[a]))
+		}
+	}
+	oids := make([]OID, 0, len(db.objects))
+	for o := range db.objects {
+		oids = append(oids, o)
+	}
+	SortOIDs(oids)
+	e.u64(uint64(len(oids)))
+	for _, oid := range oids {
+		obj := db.objects[oid]
+		e.u64(uint64(oid))
+		e.str(obj.class)
+		e.u32(uint32(len(obj.attrs)))
+		for _, a := range sortedValueAttrs(obj.attrs) {
+			e.str(a)
+			e.value(obj.attrs[a])
+		}
+	}
+	payload := e.bytes()
+
+	path := filepath.Join(db.dir, snapshotFile)
+	tmp, err := os.CreateTemp(db.dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("oodb: checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	write := func() error {
+		if _, err := io.WriteString(tmp, snapMagic); err != nil {
+			return err
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], snapVersion)
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := tmp.Write(payload); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(hdr[:], crc32.ChecksumIEEE(payload))
+		if _, err := tmp.Write(hdr[:]); err != nil {
+			return err
+		}
+		return tmp.Sync()
+	}
+	err = write()
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("oodb: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("oodb: checkpoint: %w", err)
+	}
+	// Snapshot durable; restart the WAL.
+	if db.wal != nil {
+		if err := db.wal.close(); err != nil {
+			return fmt.Errorf("oodb: checkpoint: close wal: %w", err)
+		}
+	}
+	walPath := filepath.Join(db.dir, walFile)
+	if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("oodb: checkpoint: reset wal: %w", err)
+	}
+	w, err := openWAL(walPath, db.wal == nil || db.wal.sync)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	return nil
+}
+
+// loadSnapshot restores state from the snapshot file if present.
+func (db *DB) loadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("oodb: load snapshot: %w", err)
+	}
+	if len(data) < 16 || string(data[:4]) != snapMagic {
+		return fmt.Errorf("oodb: snapshot: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != snapVersion {
+		return fmt.Errorf("oodb: snapshot: unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	if 12+n+4 > len(data) {
+		return fmt.Errorf("oodb: snapshot: truncated")
+	}
+	payload := data[12 : 12+n]
+	crc := binary.LittleEndian.Uint32(data[12+n:])
+	if crc32.ChecksumIEEE(payload) != crc {
+		return fmt.Errorf("oodb: snapshot: checksum mismatch")
+	}
+	d := &decoder{data: payload}
+	nextOID, err := d.u64()
+	if err != nil {
+		return err
+	}
+	nextTx, err := d.u64()
+	if err != nil {
+		return err
+	}
+	db.nextOID.Store(nextOID)
+	db.nextTx.Store(nextTx)
+	classCount, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < classCount; i++ {
+		name, err := d.str()
+		if err != nil {
+			return err
+		}
+		super, err := d.str()
+		if err != nil {
+			return err
+		}
+		attrCount, err := d.u32()
+		if err != nil {
+			return err
+		}
+		attrs := make(map[string]Kind, attrCount)
+		for j := uint32(0); j < attrCount; j++ {
+			a, err := d.str()
+			if err != nil {
+				return err
+			}
+			k, err := d.u8()
+			if err != nil {
+				return err
+			}
+			attrs[a] = Kind(k)
+		}
+		db.classes[name] = &Class{Name: name, Super: super, Attrs: attrs}
+		db.extents[name] = make(map[OID]struct{})
+	}
+	objCount, err := d.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < objCount; i++ {
+		oidU, err := d.u64()
+		if err != nil {
+			return err
+		}
+		class, err := d.str()
+		if err != nil {
+			return err
+		}
+		attrCount, err := d.u32()
+		if err != nil {
+			return err
+		}
+		obj := &object{class: class, attrs: make(map[string]Value, attrCount)}
+		for j := uint32(0); j < attrCount; j++ {
+			a, err := d.str()
+			if err != nil {
+				return err
+			}
+			v, err := d.value()
+			if err != nil {
+				return err
+			}
+			obj.attrs[a] = v
+		}
+		oid := OID(oidU)
+		db.objects[oid] = obj
+		if db.extents[class] == nil {
+			db.extents[class] = make(map[OID]struct{})
+		}
+		db.extents[class][oid] = struct{}{}
+	}
+	return nil
+}

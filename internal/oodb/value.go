@@ -1,0 +1,268 @@
+// Package oodb implements the object-oriented DBMS substrate of the
+// coupling — the role VODAK plays in the paper. It provides the
+// OODBMS manifesto features the coupling relies on ([Atk+89],
+// Section 1.1): object identity (OIDs), classes with single
+// inheritance and extents, complex values, persistence (write-ahead
+// log + snapshot), transactions with recovery, and an extensible
+// method registry that the VQL evaluator dispatches through.
+package oodb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OID is an object identifier. OIDs are allocated monotonically and
+// never reused; the zero OID is the nil reference.
+type OID uint64
+
+// NilOID is the null object reference.
+const NilOID OID = 0
+
+// String renders the OID in the conventional object notation.
+func (o OID) String() string {
+	if o == NilOID {
+		return "nil"
+	}
+	return "oid" + strconv.FormatUint(uint64(o), 10)
+}
+
+// ParseOID parses the representation produced by OID.String.
+func ParseOID(s string) (OID, error) {
+	if s == "nil" {
+		return NilOID, nil
+	}
+	if !strings.HasPrefix(s, "oid") {
+		return NilOID, fmt.Errorf("oodb: malformed oid %q", s)
+	}
+	n, err := strconv.ParseUint(s[3:], 10, 64)
+	if err != nil {
+		return NilOID, fmt.Errorf("oodb: malformed oid %q: %w", s, err)
+	}
+	return OID(n), nil
+}
+
+// Kind tags the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindOID
+	KindList
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindOID:
+		return "oid"
+	case KindList:
+		return "list"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is the tagged union of attribute values. The zero Value is
+// null.
+type Value struct {
+	Kind  Kind
+	Bool  bool
+	Int   int64
+	Float float64
+	Str   string
+	Ref   OID
+	List  []Value
+}
+
+// Constructors.
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// B returns a boolean value.
+func B(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// I returns an integer value.
+func I(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// F returns a float value.
+func F(f float64) Value { return Value{Kind: KindFloat, Float: f} }
+
+// S returns a string value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Ref returns an object-reference value.
+func Ref(o OID) Value { return Value{Kind: KindOID, Ref: o} }
+
+// L returns a list value.
+func L(vs ...Value) Value { return Value{Kind: KindList, List: vs} }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Truthy reports the boolean interpretation of v: null, false, 0,
+// "", nil-reference and the empty list are false.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindNull:
+		return false
+	case KindBool:
+		return v.Bool
+	case KindInt:
+		return v.Int != 0
+	case KindFloat:
+		return v.Float != 0
+	case KindString:
+		return v.Str != ""
+	case KindOID:
+		return v.Ref != NilOID
+	case KindList:
+		return len(v.List) > 0
+	}
+	return false
+}
+
+// AsFloat coerces numeric values to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int), true
+	case KindFloat:
+		return v.Float, true
+	}
+	return 0, false
+}
+
+// Equal reports deep equality with int/float numeric coercion.
+func (v Value) Equal(w Value) bool {
+	if vf, ok := v.AsFloat(); ok {
+		if wf, wok := w.AsFloat(); wok {
+			return vf == wf
+		}
+		return false
+	}
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.Bool == w.Bool
+	case KindString:
+		return v.Str == w.Str
+	case KindOID:
+		return v.Ref == w.Ref
+	case KindList:
+		if len(v.List) != len(w.List) {
+			return false
+		}
+		for i := range v.List {
+			if !v.List[i].Equal(w.List[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders two values: -1, 0, +1. Numeric values compare with
+// coercion; strings lexicographically; OIDs by identifier. Ordering
+// across kinds (and for bool/list/null) returns an error.
+func (v Value) Compare(w Value) (int, error) {
+	if vf, ok := v.AsFloat(); ok {
+		if wf, wok := w.AsFloat(); wok {
+			switch {
+			case vf < wf:
+				return -1, nil
+			case vf > wf:
+				return 1, nil
+			}
+			return 0, nil
+		}
+	}
+	if v.Kind == KindString && w.Kind == KindString {
+		return strings.Compare(v.Str, w.Str), nil
+	}
+	if v.Kind == KindOID && w.Kind == KindOID {
+		switch {
+		case v.Ref < w.Ref:
+			return -1, nil
+		case v.Ref > w.Ref:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("oodb: cannot order %s against %s", v.Kind, w.Kind)
+}
+
+// String renders the value for display and diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.Bool)
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.Str)
+	case KindOID:
+		return v.Ref.String()
+	case KindList:
+		parts := make([]string, len(v.List))
+		for i, e := range v.List {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	}
+	return "?"
+}
+
+// OIDList converts a list value of references into a []OID.
+func (v Value) OIDList() []OID {
+	if v.Kind != KindList {
+		return nil
+	}
+	out := make([]OID, 0, len(v.List))
+	for _, e := range v.List {
+		if e.Kind == KindOID {
+			out = append(out, e.Ref)
+		}
+	}
+	return out
+}
+
+// RefList builds a list value from OIDs.
+func RefList(oids []OID) Value {
+	vs := make([]Value, len(oids))
+	for i, o := range oids {
+		vs[i] = Ref(o)
+	}
+	return Value{Kind: KindList, List: vs}
+}
+
+// SortOIDs sorts an OID slice ascending, in place, and returns it.
+func SortOIDs(oids []OID) []OID {
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids
+}

@@ -1,0 +1,176 @@
+package oodb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOIDStringRoundTrip(t *testing.T) {
+	for _, oid := range []OID{NilOID, 1, 42, 1 << 40} {
+		s := oid.String()
+		got, err := ParseOID(s)
+		if err != nil {
+			t.Errorf("ParseOID(%q): %v", s, err)
+		}
+		if got != oid {
+			t.Errorf("round trip %v -> %q -> %v", oid, s, got)
+		}
+	}
+	for _, bad := range []string{"", "42", "oidx", "oid-3"} {
+		if _, err := ParseOID(bad); err == nil {
+			t.Errorf("ParseOID(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestValueTruthy(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want bool
+	}{
+		{Null(), false},
+		{B(true), true},
+		{B(false), false},
+		{I(0), false},
+		{I(-1), true},
+		{F(0), false},
+		{F(0.1), true},
+		{S(""), false},
+		{S("x"), true},
+		{Ref(NilOID), false},
+		{Ref(1), true},
+		{L(), false},
+		{L(I(1)), true},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Truthy(); got != tt.want {
+			t.Errorf("Truthy(%s) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestValueEqualCoercion(t *testing.T) {
+	if !I(3).Equal(F(3.0)) {
+		t.Error("I(3) != F(3.0)")
+	}
+	if I(3).Equal(S("3")) {
+		t.Error("I(3) == S(\"3\")")
+	}
+	if !L(I(1), S("a")).Equal(L(F(1), S("a"))) {
+		t.Error("list equality with coercion failed")
+	}
+	if L(I(1)).Equal(L(I(1), I(2))) {
+		t.Error("lists of different length equal")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("null != null")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if c, err := I(1).Compare(F(2)); err != nil || c != -1 {
+		t.Errorf("1 cmp 2.0 = %d, %v", c, err)
+	}
+	if c, err := S("b").Compare(S("a")); err != nil || c != 1 {
+		t.Errorf("b cmp a = %d, %v", c, err)
+	}
+	if c, err := Ref(5).Compare(Ref(5)); err != nil || c != 0 {
+		t.Errorf("oid5 cmp oid5 = %d, %v", c, err)
+	}
+	if _, err := S("a").Compare(I(1)); err == nil {
+		t.Error("string cmp int succeeded")
+	}
+	if _, err := B(true).Compare(B(false)); err == nil {
+		t.Error("bool ordering succeeded")
+	}
+}
+
+func TestOIDListHelpers(t *testing.T) {
+	v := RefList([]OID{3, 1, 2})
+	got := v.OIDList()
+	if len(got) != 3 || got[0] != 3 || got[2] != 2 {
+		t.Errorf("OIDList = %v", got)
+	}
+	if I(1).OIDList() != nil {
+		t.Error("OIDList on non-list should be nil")
+	}
+	mixed := L(Ref(1), S("x"), Ref(2))
+	if got := mixed.OIDList(); len(got) != 2 {
+		t.Errorf("OIDList skips non-refs: %v", got)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary (bounded) values.
+func TestValueCodecRoundTripProperty(t *testing.T) {
+	var gen func(r *quickSource, depth int) Value
+	gen = func(r *quickSource, depth int) Value {
+		switch r.intn(7) {
+		case 0:
+			return Null()
+		case 1:
+			return B(r.intn(2) == 0)
+		case 2:
+			return I(int64(r.intn(1<<30)) - (1 << 29))
+		case 3:
+			return F(float64(r.intn(1000))/7.0 - 50)
+		case 4:
+			return S(randWord(r))
+		case 5:
+			return Ref(OID(r.intn(1 << 20)))
+		default:
+			if depth <= 0 {
+				return I(int64(r.intn(10)))
+			}
+			n := r.intn(4)
+			vs := make([]Value, n)
+			for i := range vs {
+				vs[i] = gen(r, depth-1)
+			}
+			return Value{Kind: KindList, List: vs}
+		}
+	}
+	f := func(seed int64) bool {
+		r := &quickSource{state: uint64(seed)*0x9E3779B97F4A7C15 + 1}
+		v := gen(r, 3)
+		var e encoder
+		e.value(v)
+		d := &decoder{data: e.bytes()}
+		got, err := d.value()
+		if err != nil {
+			return false
+		}
+		return got.Equal(v) && got.Kind == v.Kind
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+type quickSource struct{ state uint64 }
+
+func (r *quickSource) intn(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}
+
+func randWord(r *quickSource) string {
+	const letters = "abcdefghij"
+	n := r.intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.intn(len(letters))]
+	}
+	return string(b)
+}
+
+func TestDecoderRejectsTruncation(t *testing.T) {
+	var e encoder
+	e.value(L(S("hello"), I(42), Ref(7)))
+	full := e.bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := &decoder{data: full[:cut]}
+		if _, err := d.value(); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(full))
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package sgml
+
+// Content-model automata via the Glushkov (position automaton)
+// construction: every leaf of the content model is a position; the
+// matcher tracks the set of positions reached so far. This gives
+// linear-time validation and — crucially for OMITTAG inference — a
+// cheap CanAccept(token) test and a cheap "may the content end here"
+// test, both of which the document parser consults when deciding
+// whether an element's end tag can be implied.
+
+// pcdataToken is the token used for character data in content-model
+// matching.
+const pcdataToken = "#PCDATA"
+
+// cmAutomaton is the compiled form of a content model.
+type cmAutomaton struct {
+	labels   []string        // position -> token label
+	first    []int           // start transitions
+	follow   [][]int         // position -> successor positions
+	last     map[int]bool    // accepting positions
+	nullable bool            // empty content acceptable
+	byLabel  map[string]bool // quick "token occurs at all" test
+}
+
+// compile builds the Glushkov automaton for a model.
+func compile(m *CM) *cmAutomaton {
+	a := &cmAutomaton{last: make(map[int]bool), byLabel: make(map[string]bool)}
+	if m == nil {
+		a.nullable = true
+		return a
+	}
+	info := a.build(m)
+	a.nullable = info.nullable
+	a.first = info.first
+	for _, p := range info.last {
+		a.last[p] = true
+	}
+	return a
+}
+
+type cmInfo struct {
+	nullable    bool
+	first, last []int
+}
+
+func (a *cmAutomaton) newPos(label string) int {
+	p := len(a.labels)
+	a.labels = append(a.labels, label)
+	a.follow = append(a.follow, nil)
+	a.byLabel[label] = true
+	return p
+}
+
+func (a *cmAutomaton) addFollow(from int, to []int) {
+	a.follow[from] = appendUnique(a.follow[from], to)
+}
+
+func appendUnique(dst []int, src []int) []int {
+	for _, s := range src {
+		found := false
+		for _, d := range dst {
+			if d == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+func (a *cmAutomaton) build(m *CM) cmInfo {
+	var info cmInfo
+	switch m.Kind {
+	case CMName:
+		p := a.newPos(m.Name)
+		info = cmInfo{first: []int{p}, last: []int{p}}
+	case CMPCData:
+		// #PCDATA denotes zero or more chunks of character data:
+		// empty text content is valid, and comments or entity
+		// boundaries may split text into consecutive chunks. Model
+		// it as a nullable self-looping position.
+		p := a.newPos(pcdataToken)
+		info = cmInfo{nullable: true, first: []int{p}, last: []int{p}}
+		a.addFollow(p, []int{p})
+	case CMSeq:
+		infos := make([]cmInfo, len(m.Children))
+		for i, c := range m.Children {
+			infos[i] = a.build(c)
+		}
+		// follow: last(ci) -> first(cj) for the nullable gap i<j.
+		for i := 0; i < len(infos); i++ {
+			for j := i + 1; j < len(infos); j++ {
+				for _, p := range infos[i].last {
+					a.addFollow(p, infos[j].first)
+				}
+				if !infos[j].nullable {
+					break
+				}
+			}
+		}
+		info.nullable = true
+		for i := range infos {
+			if !infos[i].nullable {
+				info.nullable = false
+				break
+			}
+		}
+		for i := range infos {
+			info.first = append(info.first, infos[i].first...)
+			if !infos[i].nullable {
+				break
+			}
+		}
+		for i := len(infos) - 1; i >= 0; i-- {
+			info.last = append(info.last, infos[i].last...)
+			if !infos[i].nullable {
+				break
+			}
+		}
+	case CMChoice:
+		for _, c := range m.Children {
+			ci := a.build(c)
+			info.nullable = info.nullable || ci.nullable
+			info.first = append(info.first, ci.first...)
+			info.last = append(info.last, ci.last...)
+		}
+	}
+	switch m.Occ {
+	case '?':
+		info.nullable = true
+	case '*':
+		info.nullable = true
+		for _, p := range info.last {
+			a.addFollow(p, info.first)
+		}
+	case '+':
+		for _, p := range info.last {
+			a.addFollow(p, info.first)
+		}
+	}
+	return info
+}
+
+// Matcher tracks progress through one element's content.
+type Matcher struct {
+	decl    *ElementDecl
+	a       *cmAutomaton
+	current []int
+	started bool
+}
+
+// NewMatcher returns a matcher positioned before any content.
+func (e *ElementDecl) NewMatcher() *Matcher {
+	m := &Matcher{decl: e}
+	if e.Declared == ContentModel {
+		if e.automaton == nil {
+			e.automaton = compile(e.Model)
+		}
+		m.a = e.automaton
+	}
+	return m
+}
+
+// CanAccept reports whether the next content token may be tok
+// (an element name or pcdataToken).
+func (m *Matcher) CanAccept(tok string) bool {
+	switch m.decl.Declared {
+	case ContentEmpty:
+		return false
+	case ContentAny:
+		return true
+	case ContentCData:
+		return tok == pcdataToken
+	}
+	return len(m.next(tok)) > 0
+}
+
+func (m *Matcher) next(tok string) []int {
+	if !m.a.byLabel[tok] {
+		return nil
+	}
+	var out []int
+	if !m.started {
+		for _, p := range m.a.first {
+			if m.a.labels[p] == tok {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	seen := make(map[int]bool)
+	for _, p := range m.current {
+		for _, q := range m.a.follow[p] {
+			if m.a.labels[q] == tok && !seen[q] {
+				seen[q] = true
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// Accept advances over tok, reporting whether it was allowed.
+func (m *Matcher) Accept(tok string) bool {
+	switch m.decl.Declared {
+	case ContentEmpty:
+		return false
+	case ContentAny:
+		m.started = true
+		return true
+	case ContentCData:
+		if tok != pcdataToken {
+			return false
+		}
+		m.started = true
+		return true
+	}
+	next := m.next(tok)
+	if len(next) == 0 {
+		return false
+	}
+	m.current = next
+	m.started = true
+	return true
+}
+
+// AtEnd reports whether the content seen so far forms a complete
+// instance of the model (i.e. the end tag may appear or be implied
+// here).
+func (m *Matcher) AtEnd() bool {
+	switch m.decl.Declared {
+	case ContentEmpty, ContentAny, ContentCData:
+		return true
+	}
+	if !m.started {
+		return m.a.nullable
+	}
+	for _, p := range m.current {
+		if m.a.last[p] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,268 @@
+package sgml
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func matcherFor(t *testing.T, dtdSrc, element string) *Matcher {
+	t.Helper()
+	d := mustDTD(t, dtdSrc)
+	decl, ok := d.Element(element)
+	if !ok {
+		t.Fatalf("element %s not declared", element)
+	}
+	return decl.NewMatcher()
+}
+
+func TestMatcherSequence(t *testing.T) {
+	m := matcherFor(t, `
+<!ELEMENT DOC - - (TITLE, ABSTRACT?, PARA+)>
+<!ELEMENT (TITLE|ABSTRACT|PARA) - O (#PCDATA)>
+`, "DOC")
+	if m.AtEnd() {
+		t.Error("empty content accepted for non-nullable model")
+	}
+	if !m.CanAccept("TITLE") || m.CanAccept("PARA") {
+		t.Error("first set wrong")
+	}
+	if !m.Accept("TITLE") {
+		t.Fatal("TITLE rejected")
+	}
+	// ABSTRACT optional: both ABSTRACT and PARA acceptable.
+	if !m.CanAccept("ABSTRACT") || !m.CanAccept("PARA") {
+		t.Error("optional skip broken")
+	}
+	if m.AtEnd() {
+		t.Error("AtEnd before required PARA")
+	}
+	m.Accept("PARA")
+	if !m.AtEnd() {
+		t.Error("PARA+ satisfied but not AtEnd")
+	}
+	if !m.Accept("PARA") {
+		t.Error("PARA repetition rejected")
+	}
+	if m.Accept("TITLE") {
+		t.Error("TITLE accepted after PARA")
+	}
+}
+
+func TestMatcherMixedContentLoop(t *testing.T) {
+	m := matcherFor(t, `
+<!ELEMENT PARA - O (#PCDATA | EM)*>
+<!ELEMENT EM - - (#PCDATA)>
+`, "PARA")
+	if !m.AtEnd() {
+		t.Error("empty mixed content should be complete")
+	}
+	seq := []string{pcdataToken, "EM", pcdataToken, "EM", "EM"}
+	for _, tok := range seq {
+		if !m.Accept(tok) {
+			t.Fatalf("mixed loop rejected %s", tok)
+		}
+		if !m.AtEnd() {
+			t.Errorf("mixed loop not AtEnd after %s", tok)
+		}
+	}
+}
+
+func TestMatcherChoice(t *testing.T) {
+	m := matcherFor(t, `
+<!ELEMENT X - - (A | B)>
+<!ELEMENT (A|B) - - (#PCDATA)>
+`, "X")
+	if !m.CanAccept("A") || !m.CanAccept("B") {
+		t.Error("choice first set wrong")
+	}
+	m.Accept("A")
+	if m.CanAccept("B") {
+		t.Error("choice allows second branch after first")
+	}
+	if !m.AtEnd() {
+		t.Error("single choice not complete")
+	}
+}
+
+func TestMatcherEmptyAnyCData(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT DOC - - (IMG, CODE, NOTE)>
+<!ELEMENT IMG - O EMPTY>
+<!ELEMENT CODE - - CDATA>
+<!ELEMENT NOTE - - ANY>
+`)
+	img, _ := d.Element("IMG")
+	mi := img.NewMatcher()
+	if mi.CanAccept(pcdataToken) || mi.Accept("IMG") {
+		t.Error("EMPTY accepts content")
+	}
+	if !mi.AtEnd() {
+		t.Error("EMPTY not complete")
+	}
+	code, _ := d.Element("CODE")
+	mc := code.NewMatcher()
+	if !mc.Accept(pcdataToken) || mc.Accept("IMG") {
+		t.Error("CDATA content handling wrong")
+	}
+	note, _ := d.Element("NOTE")
+	mn := note.NewMatcher()
+	if !mn.Accept("IMG") || !mn.Accept(pcdataToken) || !mn.AtEnd() {
+		t.Error("ANY should accept everything")
+	}
+}
+
+func TestMatcherNestedGroups(t *testing.T) {
+	m := matcherFor(t, `
+<!ELEMENT X - - ((A, B) | (B, A))+>
+<!ELEMENT (A|B) - - (#PCDATA)>
+`, "X")
+	for _, tok := range []string{"A", "B", "B", "A"} {
+		if !m.Accept(tok) {
+			t.Fatalf("rejected %s", tok)
+		}
+	}
+	if !m.AtEnd() {
+		t.Error("two complete pairs not AtEnd")
+	}
+	m.Accept("A")
+	if m.AtEnd() {
+		t.Error("half pair reported complete")
+	}
+}
+
+// naiveMatch is a reference recognizer: does seq match the model?
+// Implemented by brute-force regex-like backtracking over the CM
+// tree. Used to cross-check the Glushkov automaton.
+func naiveMatch(m *CM, seq []string) bool {
+	ways := naiveConsume(m, seq)
+	for _, rest := range ways {
+		if rest == 0 { // consumed everything
+			return true
+		}
+	}
+	return false
+}
+
+// naiveConsume returns the possible numbers of remaining tokens
+// after matching m against a prefix of seq.
+func naiveConsume(m *CM, seq []string) []int {
+	base := func(s []string) []int {
+		switch m.Kind {
+		case CMName:
+			if len(s) > 0 && s[0] == m.Name {
+				return []int{len(s) - 1}
+			}
+			return nil
+		case CMPCData:
+			// Zero or more consecutive text chunks (see automaton.go).
+			rests := []int{len(s)}
+			i := 0
+			for i < len(s) && s[i] == pcdataToken {
+				i++
+				rests = append(rests, len(s)-i)
+			}
+			return rests
+		case CMSeq:
+			rests := []int{len(s)}
+			for _, c := range m.Children {
+				var next []int
+				for _, r := range rests {
+					sub := c
+					for _, r2 := range naiveConsume(sub, s[len(s)-r:]) {
+						next = appendUnique(next, []int{r2})
+					}
+				}
+				rests = next
+				if len(rests) == 0 {
+					return nil
+				}
+			}
+			return rests
+		case CMChoice:
+			var out []int
+			for _, c := range m.Children {
+				out = appendUnique(out, naiveConsume(c, s))
+			}
+			return out
+		}
+		return nil
+	}
+	// Occurrence handling around the base matcher.
+	inner := *m
+	inner.Occ = 0
+	matchOnce := func(s []string) []int { mm := inner; return naiveConsumeNoOcc(&mm, s, base) }
+	switch m.Occ {
+	case 0:
+		return matchOnce(seq)
+	case '?':
+		return appendUnique([]int{len(seq)}, matchOnce(seq))
+	case '*', '+':
+		results := []int{}
+		frontier := []int{len(seq)}
+		seen := map[int]bool{len(seq): true}
+		if m.Occ == '*' {
+			results = append(results, len(seq))
+		}
+		for len(frontier) > 0 {
+			var next []int
+			for _, r := range frontier {
+				for _, r2 := range matchOnce(seq[len(seq)-r:]) {
+					if !seen[r2] {
+						seen[r2] = true
+						next = append(next, r2)
+						results = appendUnique(results, []int{r2})
+					} else {
+						results = appendUnique(results, []int{r2})
+					}
+				}
+			}
+			frontier = next
+		}
+		return results
+	}
+	return nil
+}
+
+func naiveConsumeNoOcc(m *CM, s []string, base func([]string) []int) []int {
+	return base(s)
+}
+
+// Property: the Glushkov matcher agrees with the naive recognizer on
+// random token sequences against a fixed set of tricky models.
+func TestMatcherAgreesWithNaiveProperty(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT M1 - - (A, B?, C*)>
+<!ELEMENT M2 - - ((A | B)+, C)>
+<!ELEMENT M3 - - (#PCDATA | A)*>
+<!ELEMENT M4 - - ((A, B) | (B, A))+>
+<!ELEMENT M5 - - (A?, (B, C)*, A?)>
+<!ELEMENT (A|B|C) - - (#PCDATA)>
+`)
+	models := []string{"M1", "M2", "M3", "M4", "M5"}
+	alphabet := []string{"A", "B", "C", pcdataToken}
+	f := func(which uint8, seed []byte) bool {
+		name := models[int(which)%len(models)]
+		decl, _ := d.Element(name)
+		seq := make([]string, 0, len(seed)%7)
+		for i := 0; i < len(seed)%7; i++ {
+			seq = append(seq, alphabet[int(seed[i])%len(alphabet)])
+		}
+		m := decl.NewMatcher()
+		ok := true
+		for _, tok := range seq {
+			if !m.Accept(tok) {
+				ok = false
+				break
+			}
+		}
+		got := ok && m.AtEnd()
+		want := naiveMatch(decl.Model, seq)
+		if got != want {
+			t.Logf("%s vs %v: glushkov=%v naive=%v", name, seq, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,572 @@
+// Package sgml implements the structured-document substrate: a DTD
+// parser with full content models, Glushkov-style content-model
+// automata, and an SGML document parser that infers omitted end tags
+// from the DTD (OMITTAG minimization) — the behaviour the paper's
+// MMF fragment relies on (<PARA> elements without </PARA>).
+//
+// The subset covers what 1990s document applications used:
+// <!ELEMENT> with omission indicators and the (,) (|) sequence and
+// choice connectors with ?, *, + occurrence indicators, #PCDATA,
+// EMPTY and ANY declared content, and <!ATTLIST> with CDATA, NUMBER,
+// name-token groups, #REQUIRED, #IMPLIED and literal defaults.
+// Parameter entities and the & connector are intentionally out of
+// scope and reported as parse errors.
+package sgml
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	// Name of the document type (the root element); set from the
+	// first declared element unless the DTD text carried a
+	// <!DOCTYPE ...> or the caller overrides it.
+	Name     string
+	Elements map[string]*ElementDecl
+	order    []string
+}
+
+// ElementNames returns the declared element names in declaration
+// order.
+func (d *DTD) ElementNames() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Element returns the declaration for name (case-insensitive, SGML
+// names fold to upper case).
+func (d *DTD) Element(name string) (*ElementDecl, bool) {
+	e, ok := d.Elements[foldName(name)]
+	return e, ok
+}
+
+// DeclaredContent classifies an element's content.
+type DeclaredContent uint8
+
+// Declared content classes.
+const (
+	ContentModel DeclaredContent = iota // explicit content model
+	ContentEmpty                        // EMPTY
+	ContentAny                          // ANY
+	ContentCData                        // CDATA (raw text)
+)
+
+// ElementDecl is one <!ELEMENT> declaration.
+type ElementDecl struct {
+	Name      string
+	OmitStart bool // 'O' start-tag omission indicator
+	OmitEnd   bool // 'O' end-tag omission indicator
+	Declared  DeclaredContent
+	Model     *CM // content model when Declared == ContentModel
+	Attlist   []AttDef
+
+	automaton *cmAutomaton // compiled lazily
+}
+
+// HasPCData reports whether the element may directly contain text.
+func (e *ElementDecl) HasPCData() bool {
+	switch e.Declared {
+	case ContentCData:
+		return true
+	case ContentAny:
+		return true
+	case ContentModel:
+		return cmHasPCData(e.Model)
+	}
+	return false
+}
+
+func cmHasPCData(m *CM) bool {
+	if m == nil {
+		return false
+	}
+	if m.Kind == CMPCData {
+		return true
+	}
+	for _, c := range m.Children {
+		if cmHasPCData(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// AttDef is one attribute definition from an <!ATTLIST>.
+type AttDef struct {
+	Name     string
+	Type     string   // "CDATA", "NUMBER", "NAME", "ID", or "ENUM"
+	Enum     []string // allowed tokens for enumerated types
+	Required bool
+	Implied  bool
+	Default  string // literal default (valid when !Required && !Implied)
+}
+
+// Att returns the definition of attribute name on e.
+func (e *ElementDecl) Att(name string) (*AttDef, bool) {
+	name = foldName(name)
+	for i := range e.Attlist {
+		if e.Attlist[i].Name == name {
+			return &e.Attlist[i], true
+		}
+	}
+	return nil, false
+}
+
+// CMKind enumerates content-model node kinds.
+type CMKind uint8
+
+// Content-model node kinds.
+const (
+	CMName   CMKind = iota // element name token
+	CMPCData               // #PCDATA
+	CMSeq                  // a, b, c
+	CMChoice               // a | b | c
+)
+
+// CM is a content-model expression node with an occurrence
+// indicator.
+type CM struct {
+	Kind     CMKind
+	Name     string // CMName
+	Children []*CM
+	Occ      byte // 0, '?', '*' or '+'
+}
+
+// String renders the model in DTD syntax.
+func (m *CM) String() string {
+	if m == nil {
+		return ""
+	}
+	var body string
+	switch m.Kind {
+	case CMName:
+		body = m.Name
+	case CMPCData:
+		body = "#PCDATA"
+	case CMSeq, CMChoice:
+		sep := ", "
+		if m.Kind == CMChoice {
+			sep = " | "
+		}
+		parts := make([]string, len(m.Children))
+		for i, c := range m.Children {
+			parts[i] = c.String()
+		}
+		body = "(" + strings.Join(parts, sep) + ")"
+	}
+	if m.Occ != 0 {
+		body += string(m.Occ)
+	}
+	return body
+}
+
+// ParseError reports a syntax error with position information.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sgml: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// foldName normalizes an SGML name (names are case-insensitive; the
+// reference concrete syntax folds to upper case).
+func foldName(s string) string { return strings.ToUpper(s) }
+
+// ParseDTD parses DTD text.
+func ParseDTD(src string) (*DTD, error) {
+	p := &dtdParser{lx: newLexer(src)}
+	d := &DTD{Elements: make(map[string]*ElementDecl)}
+	for {
+		p.lx.skipSpaceAndComments()
+		if p.lx.eof() {
+			break
+		}
+		if !p.lx.consume("<!") {
+			return nil, p.lx.errf("expected declaration, got %q", p.lx.peekContext())
+		}
+		kw := p.lx.readName()
+		switch foldName(kw) {
+		case "ELEMENT":
+			if err := p.parseElement(d); err != nil {
+				return nil, err
+			}
+		case "ATTLIST":
+			if err := p.parseAttlist(d); err != nil {
+				return nil, err
+			}
+		case "DOCTYPE":
+			// <!DOCTYPE name [ ... ]> — read the name, then recurse
+			// into the internal subset if present.
+			p.lx.skipSpaceAndComments()
+			d.Name = foldName(p.lx.readName())
+			p.lx.skipSpaceAndComments()
+			if p.lx.consume("[") {
+				continue // declarations follow; closing ]> handled below
+			}
+			if !p.lx.consume(">") {
+				return nil, p.lx.errf("unterminated DOCTYPE")
+			}
+		case "ENTITY", "NOTATION", "SHORTREF", "USEMAP":
+			// Tolerated but ignored: skip to '>'.
+			if !p.lx.skipTo('>') {
+				return nil, p.lx.errf("unterminated <!%s", kw)
+			}
+		default:
+			return nil, p.lx.errf("unsupported declaration <!%s", kw)
+		}
+		p.lx.skipSpaceAndComments()
+		if p.lx.consume("]>") || p.lx.consume("]") {
+			// end of internal subset
+			p.lx.consume(">")
+		}
+	}
+	if len(d.Elements) == 0 {
+		return nil, &ParseError{Line: 1, Col: 1, Msg: "DTD declares no elements"}
+	}
+	if d.Name == "" {
+		d.Name = d.order[0]
+	}
+	// Every name referenced in a content model should be declared;
+	// report the first orphan for early failure.
+	for _, name := range d.order {
+		decl := d.Elements[name]
+		if decl.Declared != ContentModel {
+			continue
+		}
+		if orphan := firstUndeclared(decl.Model, d.Elements); orphan != "" {
+			return nil, &ParseError{Line: 1, Col: 1,
+				Msg: fmt.Sprintf("element %s references undeclared element %s", name, orphan)}
+		}
+	}
+	return d, nil
+}
+
+func firstUndeclared(m *CM, decls map[string]*ElementDecl) string {
+	if m == nil {
+		return ""
+	}
+	if m.Kind == CMName {
+		if _, ok := decls[m.Name]; !ok {
+			return m.Name
+		}
+		return ""
+	}
+	for _, c := range m.Children {
+		if orphan := firstUndeclared(c, decls); orphan != "" {
+			return orphan
+		}
+	}
+	return ""
+}
+
+type dtdParser struct {
+	lx *lexer
+}
+
+// parseElement parses the remainder of an <!ELEMENT ...> declaration
+// (the keyword is already consumed). Name groups declare several
+// elements at once: <!ELEMENT (A|B) - - (#PCDATA)>.
+func (p *dtdParser) parseElement(d *DTD) error {
+	lx := p.lx
+	lx.skipSpaceAndComments()
+	var names []string
+	if lx.consume("(") {
+		for {
+			lx.skipSpaceAndComments()
+			n := lx.readName()
+			if n == "" {
+				return lx.errf("expected element name in name group")
+			}
+			names = append(names, foldName(n))
+			lx.skipSpaceAndComments()
+			if lx.consume("|") {
+				continue
+			}
+			if lx.consume(")") {
+				break
+			}
+			return lx.errf("malformed name group")
+		}
+	} else {
+		n := lx.readName()
+		if n == "" {
+			return lx.errf("expected element name")
+		}
+		names = []string{foldName(n)}
+	}
+
+	// Omission indicators are optional ("- -", "- O", "O O").
+	omitStart, omitEnd := false, false
+	hasOmission := false
+	lx.skipSpaceAndComments()
+	if c, ok := lx.peekByte(); ok && (c == '-' || c == 'O' || c == 'o') {
+		// Lookahead: an omission indicator is a single '-'/'O'
+		// followed by whitespace.
+		if ind, ok := lx.readOmissionIndicator(); ok {
+			omitStart = ind
+			lx.skipSpaceAndComments()
+			ind2, ok2 := lx.readOmissionIndicator()
+			if !ok2 {
+				return lx.errf("expected second omission indicator")
+			}
+			omitEnd = ind2
+			hasOmission = true
+		}
+	}
+	_ = hasOmission
+
+	lx.skipSpaceAndComments()
+	decl := &ElementDecl{OmitStart: omitStart, OmitEnd: omitEnd}
+	switch {
+	case lx.consumeWord("EMPTY"):
+		decl.Declared = ContentEmpty
+	case lx.consumeWord("ANY"):
+		decl.Declared = ContentAny
+	case lx.consumeWord("CDATA"):
+		decl.Declared = ContentCData
+	default:
+		m, err := p.parseModelGroup()
+		if err != nil {
+			return err
+		}
+		decl.Declared = ContentModel
+		decl.Model = m
+	}
+	lx.skipSpaceAndComments()
+	// Inclusion/exclusion exceptions (+(X) / -(X)) are not
+	// supported; reject explicitly rather than silently.
+	if c, ok := lx.peekByte(); ok && (c == '+' || c == '-') {
+		return lx.errf("inclusion/exclusion exceptions are not supported")
+	}
+	if !lx.consume(">") {
+		return lx.errf("unterminated <!ELEMENT")
+	}
+	for _, n := range names {
+		if _, dup := d.Elements[n]; dup {
+			return lx.errf("element %s declared twice", n)
+		}
+		ed := *decl // copy per name
+		ed.Name = n
+		d.Elements[n] = &ed
+		d.order = append(d.order, n)
+	}
+	return nil
+}
+
+// parseModelGroup parses "( ... )" with connectors and occurrence
+// indicators, or a single token.
+func (p *dtdParser) parseModelGroup() (*CM, error) {
+	lx := p.lx
+	lx.skipSpaceAndComments()
+	if !lx.consume("(") {
+		// single token model like "CDATA" handled by caller; a bare
+		// name is legal in some DTDs.
+		n := lx.readName()
+		if n == "" {
+			return nil, lx.errf("expected content model")
+		}
+		m := &CM{Kind: CMName, Name: foldName(n)}
+		m.Occ = lx.readOcc()
+		return m, nil
+	}
+	var children []*CM
+	var connector byte // ',', '|' once established
+	for {
+		lx.skipSpaceAndComments()
+		var child *CM
+		switch {
+		case lx.consume("#PCDATA"):
+			child = &CM{Kind: CMPCData}
+		case lx.peekIs('('):
+			sub, err := p.parseModelGroup()
+			if err != nil {
+				return nil, err
+			}
+			child = sub
+		default:
+			n := lx.readName()
+			if n == "" {
+				return nil, lx.errf("expected token in model group")
+			}
+			child = &CM{Kind: CMName, Name: foldName(n)}
+			child.Occ = lx.readOcc()
+		}
+		children = append(children, child)
+		lx.skipSpaceAndComments()
+		c, ok := lx.peekByte()
+		if !ok {
+			return nil, lx.errf("unterminated model group")
+		}
+		switch c {
+		case ',', '|':
+			if connector != 0 && connector != c {
+				return nil, lx.errf("mixed connectors in model group")
+			}
+			if c == '&' {
+				return nil, lx.errf("the & connector is not supported")
+			}
+			connector = c
+			lx.advance(1)
+			continue
+		case '&':
+			return nil, lx.errf("the & connector is not supported")
+		case ')':
+			lx.advance(1)
+			kind := CMSeq
+			if connector == '|' {
+				kind = CMChoice
+			}
+			m := &CM{Kind: kind, Children: children}
+			if len(children) == 1 {
+				// collapse single-child group but keep its occurrence
+				m = children[0]
+				inner := m.Occ
+				outer := lx.readOcc()
+				m.Occ = combineOcc(inner, outer)
+				return m, nil
+			}
+			m.Occ = lx.readOcc()
+			return m, nil
+		default:
+			return nil, lx.errf("unexpected %q in model group", string(c))
+		}
+	}
+}
+
+// combineOcc merges nested occurrence indicators, e.g. (a+)? == a*.
+func combineOcc(inner, outer byte) byte {
+	if inner == 0 {
+		return outer
+	}
+	if outer == 0 {
+		return inner
+	}
+	if inner == outer {
+		return inner
+	}
+	// Any mix of distinct non-zero indicators allows both zero and
+	// many.
+	return '*'
+}
+
+// parseAttlist parses the remainder of an <!ATTLIST ...>.
+func (p *dtdParser) parseAttlist(d *DTD) error {
+	lx := p.lx
+	lx.skipSpaceAndComments()
+	var names []string
+	if lx.consume("(") {
+		for {
+			lx.skipSpaceAndComments()
+			n := lx.readName()
+			if n == "" {
+				return lx.errf("expected element name in attlist name group")
+			}
+			names = append(names, foldName(n))
+			lx.skipSpaceAndComments()
+			if lx.consume("|") {
+				continue
+			}
+			if lx.consume(")") {
+				break
+			}
+			return lx.errf("malformed attlist name group")
+		}
+	} else {
+		n := lx.readName()
+		if n == "" {
+			return lx.errf("expected element name after <!ATTLIST")
+		}
+		names = []string{foldName(n)}
+	}
+	var defs []AttDef
+	for {
+		lx.skipSpaceAndComments()
+		if lx.consume(">") {
+			break
+		}
+		attName := lx.readName()
+		if attName == "" {
+			return lx.errf("expected attribute name")
+		}
+		def := AttDef{Name: foldName(attName)}
+		lx.skipSpaceAndComments()
+		switch {
+		case lx.consumeWord("CDATA"):
+			def.Type = "CDATA"
+		case lx.consumeWord("NUMBER"):
+			def.Type = "NUMBER"
+		case lx.consumeWord("NAME"):
+			def.Type = "NAME"
+		case lx.consumeWord("ID"):
+			def.Type = "ID"
+		case lx.consumeWord("NMTOKEN"):
+			def.Type = "NAME"
+		case lx.peekIs('('):
+			lx.advance(1)
+			def.Type = "ENUM"
+			for {
+				lx.skipSpaceAndComments()
+				tok := lx.readName()
+				if tok == "" {
+					return lx.errf("expected token in enumerated attribute type")
+				}
+				def.Enum = append(def.Enum, foldName(tok))
+				lx.skipSpaceAndComments()
+				if lx.consume("|") {
+					continue
+				}
+				if lx.consume(")") {
+					break
+				}
+				return lx.errf("malformed enumerated attribute type")
+			}
+		default:
+			return lx.errf("unsupported attribute type %q", lx.peekContext())
+		}
+		lx.skipSpaceAndComments()
+		switch {
+		case lx.consume("#REQUIRED"):
+			def.Required = true
+		case lx.consume("#IMPLIED"):
+			def.Implied = true
+		case lx.consume("#FIXED"):
+			lx.skipSpaceAndComments()
+			lit, err := lx.readLiteral()
+			if err != nil {
+				return err
+			}
+			def.Default = lit
+		default:
+			lit, err := lx.readLiteral()
+			if err != nil {
+				return err
+			}
+			def.Default = lit
+		}
+		defs = append(defs, def)
+	}
+	for _, n := range names {
+		decl, ok := d.Elements[n]
+		if !ok {
+			return lx.errf("ATTLIST for undeclared element %s", n)
+		}
+		decl.Attlist = append(decl.Attlist, defs...)
+	}
+	return nil
+}
+
+// sortedAttNames is a helper for deterministic rendering.
+func sortedAttNames(m map[string]string) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,185 @@
+package sgml
+
+import (
+	"strings"
+	"testing"
+)
+
+// testDTD is an MMF-like document type mirroring the paper's example
+// fragment (Section 4.3).
+const testDTD = `
+<!-- MultiMedia Forum-like document type -->
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, PARA+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA | EM)*>
+<!ELEMENT EM       - -  (#PCDATA)>
+<!ATTLIST MMFDOC
+    YEAR   NUMBER #IMPLIED
+    KIND   (report | review | news) "news"
+    AUTHOR CDATA  #IMPLIED>
+`
+
+func mustDTD(t *testing.T, src string) *DTD {
+	t.Helper()
+	d, err := ParseDTD(src)
+	if err != nil {
+		t.Fatalf("ParseDTD: %v", err)
+	}
+	return d
+}
+
+func TestParseDTDElements(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	names := d.ElementNames()
+	want := []string{"MMFDOC", "LOGBOOK", "DOCTITLE", "ABSTRACT", "PARA", "EM"}
+	if len(names) != len(want) {
+		t.Fatalf("elements = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("element %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if d.Name != "MMFDOC" {
+		t.Errorf("doctype name = %q, want MMFDOC", d.Name)
+	}
+	mmf, _ := d.Element("mmfdoc") // case-insensitive lookup
+	if mmf == nil {
+		t.Fatal("Element lookup failed")
+	}
+	if mmf.OmitEnd || mmf.OmitStart {
+		t.Error("MMFDOC omission should be - -")
+	}
+	para, _ := d.Element("PARA")
+	if !para.OmitEnd || para.OmitStart {
+		t.Error("PARA omission should be - O")
+	}
+	if got := mmf.Model.String(); got != "(LOGBOOK, DOCTITLE, ABSTRACT, PARA+)" {
+		t.Errorf("MMFDOC model = %q", got)
+	}
+	if got := para.Model.String(); got != "(#PCDATA | EM)*" {
+		t.Errorf("PARA model = %q", got)
+	}
+	if !para.HasPCData() || mmf.HasPCData() {
+		t.Error("HasPCData misreported")
+	}
+}
+
+func TestParseDTDAttlist(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	mmf, _ := d.Element("MMFDOC")
+	year, ok := mmf.Att("year")
+	if !ok || year.Type != "NUMBER" || !year.Implied {
+		t.Errorf("YEAR def = %+v, %v", year, ok)
+	}
+	kind, ok := mmf.Att("KIND")
+	if !ok || kind.Type != "ENUM" || kind.Default != "news" || len(kind.Enum) != 3 {
+		t.Errorf("KIND def = %+v", kind)
+	}
+	if _, ok := mmf.Att("GHOST"); ok {
+		t.Error("undeclared attribute found")
+	}
+}
+
+func TestParseDTDNameGroups(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT DOC - - (HEAD, (A|B)*)>
+<!ELEMENT (HEAD) - O (#PCDATA)>
+<!ELEMENT (A|B) - - (#PCDATA)>
+<!ATTLIST (A|B) CLASS CDATA #IMPLIED>
+`)
+	a, okA := d.Element("A")
+	b, okB := d.Element("B")
+	if !okA || !okB {
+		t.Fatal("name-group elements not declared")
+	}
+	if _, ok := a.Att("CLASS"); !ok {
+		t.Error("attlist name group not applied to A")
+	}
+	if _, ok := b.Att("CLASS"); !ok {
+		t.Error("attlist name group not applied to B")
+	}
+}
+
+func TestParseDTDDoctypeWrapper(t *testing.T) {
+	d := mustDTD(t, `<!DOCTYPE REPORT [
+<!ELEMENT REPORT - - (TITLE, BODY)>
+<!ELEMENT TITLE - O (#PCDATA)>
+<!ELEMENT BODY - O (#PCDATA)>
+]>`)
+	if d.Name != "REPORT" {
+		t.Errorf("doctype name = %q", d.Name)
+	}
+	if len(d.Elements) != 3 {
+		t.Errorf("elements = %v", d.ElementNames())
+	}
+}
+
+func TestParseDTDContentKinds(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT DOC - - (IMG | CODE | NOTE)+>
+<!ELEMENT IMG - O EMPTY>
+<!ELEMENT CODE - - CDATA>
+<!ELEMENT NOTE - - ANY>
+`)
+	img, _ := d.Element("IMG")
+	if img.Declared != ContentEmpty {
+		t.Errorf("IMG declared = %v, want EMPTY", img.Declared)
+	}
+	code, _ := d.Element("CODE")
+	if code.Declared != ContentCData || !code.HasPCData() {
+		t.Errorf("CODE declared = %v", code.Declared)
+	}
+	note, _ := d.Element("NOTE")
+	if note.Declared != ContentAny || !note.HasPCData() {
+		t.Errorf("NOTE declared = %v", note.Declared)
+	}
+}
+
+func TestParseDTDErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              ``,
+		"no elements":        `<!-- nothing -->`,
+		"amp connector":      `<!ELEMENT X - - (A & B)> <!ELEMENT (A|B) - - (#PCDATA)>`,
+		"undeclared ref":     `<!ELEMENT X - - (GHOST)>`,
+		"double decl":        `<!ELEMENT X - - (#PCDATA)> <!ELEMENT X - - (#PCDATA)>`,
+		"exceptions":         `<!ELEMENT X - - (#PCDATA) +(Y)> <!ELEMENT Y - - (#PCDATA)>`,
+		"attlist undeclared": `<!ATTLIST GHOST A CDATA #IMPLIED>`,
+		"unterminated":       `<!ELEMENT X - - (#PCDATA)`,
+		"mixed connectors":   `<!ELEMENT X - - (A, B | C)> <!ELEMENT (A|B|C) - - (#PCDATA)>`,
+		"bad declaration":    `<!WEIRD X>`,
+	}
+	for name, src := range cases {
+		if _, err := ParseDTD(src); err == nil {
+			t.Errorf("%s: ParseDTD succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseDTDOccurrenceCombination(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT X - - ((A+)?, (B?)*)>
+<!ELEMENT (A|B) - - (#PCDATA)>
+`)
+	x, _ := d.Element("X")
+	s := x.Model.String()
+	if !strings.Contains(s, "A*") || !strings.Contains(s, "B*") {
+		t.Errorf("combined occurrence = %q, want A* and B*", s)
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := ParseDTD("<!ELEMENT X - -\n  (GHOST)>")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line < 1 || pe.Msg == "" {
+		t.Errorf("bad position info: %+v", pe)
+	}
+}

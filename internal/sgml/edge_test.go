@@ -1,0 +1,163 @@
+package sgml
+
+import (
+	"strings"
+	"testing"
+)
+
+// Deeply nested recursive content models (sections in sections).
+func TestRecursiveContentModel(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT BOOK - - (TITLE, SECTION+)>
+<!ELEMENT SECTION - O (TITLE, (PARA | SECTION)*)>
+<!ELEMENT (TITLE|PARA) - O (#PCDATA)>
+`)
+	src := `<BOOK><TITLE>t
+<SECTION><TITLE>s1
+<PARA>p1
+<SECTION><TITLE>s1.1
+<PARA>p2
+</SECTION>
+</SECTION>
+<SECTION><TITLE>s2
+<PARA>p3
+</BOOK>`
+	root, err := ParseDocument(d, src, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := root.ElementsByType("SECTION")
+	if len(secs) != 3 {
+		t.Fatalf("sections = %d, want 3", len(secs))
+	}
+	// The nested section is a child of s1, not a sibling.
+	inner := secs[1]
+	if inner.Ancestor("SECTION") != secs[0] {
+		t.Error("nested section not under its parent section")
+	}
+	if got := root.ElementsByType("PARA")[1].InnerText(); got != "p2" {
+		t.Errorf("inner para = %q", got)
+	}
+}
+
+// Explicit end tags close intermediate omissible elements.
+func TestEndTagClosesIntermediates(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT DOC - - (SEC+)>
+<!ELEMENT SEC - O (HEAD, PARA*)>
+<!ELEMENT (HEAD|PARA) - O (#PCDATA)>
+`)
+	src := `<DOC><SEC><HEAD>h1<PARA>a<PARA>b</SEC><SEC><HEAD>h2<PARA>c</DOC>`
+	root, err := ParseDocument(d, src, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := root.ElementsByType("SEC")
+	if len(secs) != 2 {
+		t.Fatalf("secs = %d", len(secs))
+	}
+	if got := len(secs[0].ElementsByType("PARA")); got != 2 {
+		t.Errorf("sec1 paras = %d", got)
+	}
+	if got := len(secs[1].ElementsByType("PARA")); got != 1 {
+		t.Errorf("sec2 paras = %d", got)
+	}
+}
+
+// Raw '<' in text is a markup error; escaping is mandatory (real
+// SGML CDATA-content exceptions are out of scope; documents must use
+// &lt;).
+func TestRawAngleBracketRejected(t *testing.T) {
+	d := mustDTD(t, `<!ELEMENT X - - (#PCDATA)>`)
+	if _, err := ParseDocument(d, `<X>a < b</X>`, ParseOptions{Strict: true}); err == nil {
+		t.Error("raw < in text accepted")
+	}
+	root, err := ParseDocument(d, `<X>a &lt; b</X>`, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.InnerText(); got != "a < b" {
+		t.Errorf("escaped text = %q", got)
+	}
+}
+
+// ANY content accepts arbitrary declared elements and text.
+func TestAnyContentParsing(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT NOTE - - ANY>
+<!ELEMENT B - - (#PCDATA)>
+`)
+	root, err := ParseDocument(d, `<NOTE>text <B>bold</B> more <B>again</B></NOTE>`, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(root.ElementsByType("B")); got != 2 {
+		t.Errorf("B children = %d", got)
+	}
+	if got := root.InnerText(); got != "text bold more again" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+// Large synthetic document: the parser handles hundreds of implied
+// end tags without quadratic blowups (smoke, not a benchmark).
+func TestManyImpliedEndTags(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT DOC - - (PARA+)>
+<!ELEMENT PARA - O (#PCDATA)>
+`)
+	var sb strings.Builder
+	sb.WriteString("<DOC>")
+	const n = 500
+	for i := 0; i < n; i++ {
+		sb.WriteString("<PARA>some text content here\n")
+	}
+	sb.WriteString("</DOC>")
+	root, err := ParseDocument(d, sb.String(), ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(root.ElementsByType("PARA")); got != n {
+		t.Errorf("paras = %d, want %d", got, n)
+	}
+}
+
+// Matchers are independent per element instance even though the
+// automaton is shared (lazily compiled once per declaration).
+func TestMatcherIndependence(t *testing.T) {
+	d := mustDTD(t, `<!ELEMENT X - - (A, B)> <!ELEMENT (A|B) - O (#PCDATA)>`)
+	decl, _ := d.Element("X")
+	m1 := decl.NewMatcher()
+	m2 := decl.NewMatcher()
+	if !m1.Accept("A") {
+		t.Fatal("m1 rejected A")
+	}
+	// m2 must still be at the start.
+	if !m2.CanAccept("A") || m2.CanAccept("B") {
+		t.Error("matcher state leaked between instances")
+	}
+	if !m1.CanAccept("B") {
+		t.Error("m1 lost its progress")
+	}
+}
+
+// Serializer escapes the full attribute alphabet.
+func TestSerializeRejectsNothing(t *testing.T) {
+	n := &Node{Type: "X", Attrs: map[string]string{"A": "<>&\"'"}}
+	n.AddChild(&Node{Type: TextType, Data: "<>&"})
+	out := Serialize(n)
+	if strings.ContainsAny(strings.TrimPrefix(strings.TrimSuffix(out, "</X>"), `<X A=`), "") {
+		_ = out // structural check below is the real assertion
+	}
+	d := mustDTD(t, `<!ELEMENT X - - (#PCDATA)> <!ATTLIST X A CDATA #IMPLIED>`)
+	root, err := ParseDocument(d, out, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if v, _ := root.Attr("A"); v != "<>&\"'" {
+		t.Errorf("attr round trip = %q", v)
+	}
+	if got := root.InnerText(); got != "<>&" {
+		t.Errorf("text round trip = %q", got)
+	}
+}

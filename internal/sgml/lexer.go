@@ -1,0 +1,198 @@
+package sgml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer is the shared low-level scanner for DTD and document text.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (lx *lexer) eof() bool { return lx.pos >= len(lx.src) }
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.eof() {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) peekIs(c byte) bool {
+	b, ok := lx.peekByte()
+	return ok && b == c
+}
+
+func (lx *lexer) advance(n int) { lx.pos += n }
+
+// consume matches lit case-insensitively and advances past it.
+func (lx *lexer) consume(lit string) bool {
+	if lx.pos+len(lit) > len(lx.src) {
+		return false
+	}
+	if !strings.EqualFold(lx.src[lx.pos:lx.pos+len(lit)], lit) {
+		return false
+	}
+	lx.pos += len(lit)
+	return true
+}
+
+// consumeWord matches a keyword with a word boundary after it.
+func (lx *lexer) consumeWord(word string) bool {
+	end := lx.pos + len(word)
+	if end > len(lx.src) {
+		return false
+	}
+	if !strings.EqualFold(lx.src[lx.pos:end], word) {
+		return false
+	}
+	if end < len(lx.src) && isNameByte(lx.src[end]) {
+		return false
+	}
+	lx.pos = end
+	return true
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isNameStartByte(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameByte(c byte) bool {
+	return isNameStartByte(c) || (c >= '0' && c <= '9') ||
+		c == '.' || c == '-' || c == '_'
+}
+
+// readName reads an SGML name token ("" if none starts here).
+func (lx *lexer) readName() string {
+	start := lx.pos
+	if c, ok := lx.peekByte(); !ok || !isNameStartByte(c) {
+		return ""
+	}
+	for !lx.eof() && isNameByte(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	return lx.src[start:lx.pos]
+}
+
+// skipSpaceAndComments skips whitespace, declaration-internal
+// comments (-- ... --) and full comment declarations (<!-- ... -->).
+func (lx *lexer) skipSpaceAndComments() {
+	for {
+		for !lx.eof() && isSpaceByte(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		if strings.HasPrefix(lx.src[lx.pos:], "<!--") {
+			end := strings.Index(lx.src[lx.pos+4:], "-->")
+			if end < 0 {
+				lx.pos = len(lx.src)
+				return
+			}
+			lx.pos += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(lx.src[lx.pos:], "--") {
+			end := strings.Index(lx.src[lx.pos+2:], "--")
+			if end < 0 {
+				lx.pos = len(lx.src)
+				return
+			}
+			lx.pos += 2 + end + 2
+			continue
+		}
+		return
+	}
+}
+
+// skipTo advances past the next occurrence of c, reporting success.
+func (lx *lexer) skipTo(c byte) bool {
+	i := strings.IndexByte(lx.src[lx.pos:], c)
+	if i < 0 {
+		lx.pos = len(lx.src)
+		return false
+	}
+	lx.pos += i + 1
+	return true
+}
+
+// readOmissionIndicator reads a start/end-tag omission indicator:
+// '-' (tag required) or 'O' (omissible), which must be followed by
+// whitespace or a model-group opener to count as an indicator.
+func (lx *lexer) readOmissionIndicator() (omit bool, ok bool) {
+	c, has := lx.peekByte()
+	if !has {
+		return false, false
+	}
+	if c != '-' && c != 'O' && c != 'o' {
+		return false, false
+	}
+	if lx.pos+1 < len(lx.src) {
+		next := lx.src[lx.pos+1]
+		if !isSpaceByte(next) && next != '(' {
+			return false, false
+		}
+	}
+	lx.advance(1)
+	return c == 'O' || c == 'o', true
+}
+
+// readOcc reads an occurrence indicator if immediately adjacent.
+func (lx *lexer) readOcc() byte {
+	c, ok := lx.peekByte()
+	if !ok {
+		return 0
+	}
+	switch c {
+	case '?', '*', '+':
+		lx.advance(1)
+		return c
+	}
+	return 0
+}
+
+// readLiteral reads a quoted attribute-value literal.
+func (lx *lexer) readLiteral() (string, error) {
+	q, ok := lx.peekByte()
+	if !ok || (q != '"' && q != '\'') {
+		return "", lx.errf("expected quoted literal")
+	}
+	lx.advance(1)
+	start := lx.pos
+	i := strings.IndexByte(lx.src[lx.pos:], q)
+	if i < 0 {
+		return "", lx.errf("unterminated literal")
+	}
+	lx.pos += i + 1
+	return lx.src[start : start+i], nil
+}
+
+// peekContext returns a short window of upcoming input for error
+// messages.
+func (lx *lexer) peekContext() string {
+	end := lx.pos + 20
+	if end > len(lx.src) {
+		end = len(lx.src)
+	}
+	return lx.src[lx.pos:end]
+}
+
+// errf builds a ParseError carrying the current line and column.
+func (lx *lexer) errf(format string, args ...interface{}) error {
+	line, col := 1, 1
+	for i := 0; i < lx.pos && i < len(lx.src); i++ {
+		if lx.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,397 @@
+package sgml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseOptions controls document parsing.
+type ParseOptions struct {
+	// Strict enforces full validity: content models must be
+	// completable wherever an end tag appears or is implied,
+	// attributes must be declared and well-typed, and required
+	// attributes must be present. Non-strict parsing still builds
+	// the tree and applies attribute defaults but tolerates
+	// incomplete content and undeclared attributes.
+	Strict bool
+}
+
+// openElem is one entry of the parser's element stack.
+type openElem struct {
+	node    *Node
+	decl    *ElementDecl
+	matcher *Matcher
+}
+
+// ParseDocument parses SGML document text against the DTD, inferring
+// omitted end tags from content models (OMITTAG minimization). The
+// paper's MMF example depends on this: paragraphs are written as
+// consecutive <PARA> start tags whose ends are implied.
+func ParseDocument(d *DTD, src string, opts ParseOptions) (*Node, error) {
+	p := &docParser{d: d, lx: newLexer(src), opts: opts}
+	return p.parse()
+}
+
+type docParser struct {
+	d     *DTD
+	lx    *lexer
+	opts  ParseOptions
+	stack []*openElem
+	root  *Node
+}
+
+func (p *docParser) top() *openElem {
+	if len(p.stack) == 0 {
+		return nil
+	}
+	return p.stack[len(p.stack)-1]
+}
+
+func (p *docParser) parse() (*Node, error) {
+	lx := p.lx
+	for !lx.eof() {
+		c, _ := lx.peekByte()
+		if c != '<' {
+			start := lx.pos
+			i := strings.IndexByte(lx.src[lx.pos:], '<')
+			if i < 0 {
+				lx.pos = len(lx.src)
+			} else {
+				lx.pos += i
+			}
+			if err := p.text(lx.src[start:lx.pos]); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch {
+		case strings.HasPrefix(lx.src[lx.pos:], "<!--"):
+			end := strings.Index(lx.src[lx.pos+4:], "-->")
+			if end < 0 {
+				return nil, lx.errf("unterminated comment")
+			}
+			lx.pos += 4 + end + 3
+		case strings.HasPrefix(lx.src[lx.pos:], "<!"):
+			// DOCTYPE or other declaration embedded in the instance;
+			// skipped (the DTD is supplied separately).
+			if !lx.skipTo('>') {
+				return nil, lx.errf("unterminated declaration")
+			}
+		case strings.HasPrefix(lx.src[lx.pos:], "</"):
+			lx.advance(2)
+			name := lx.readName()
+			if name == "" {
+				return nil, lx.errf("malformed end tag")
+			}
+			lx.skipSpaceAndComments()
+			if !lx.consume(">") {
+				return nil, lx.errf("unterminated end tag </%s", name)
+			}
+			if err := p.endTag(foldName(name)); err != nil {
+				return nil, err
+			}
+		default:
+			lx.advance(1)
+			name := lx.readName()
+			if name == "" {
+				return nil, lx.errf("malformed start tag")
+			}
+			attrs, selfClose, err := p.attributes()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.startTag(foldName(name), attrs); err != nil {
+				return nil, err
+			}
+			if selfClose {
+				if err := p.endTag(foldName(name)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Imply end tags for everything still open.
+	for len(p.stack) > 0 {
+		if err := p.implyEnd("end of input"); err != nil {
+			return nil, err
+		}
+	}
+	if p.root == nil {
+		return nil, fmt.Errorf("sgml: document contains no elements")
+	}
+	return p.root, nil
+}
+
+// attributes parses the attribute list of a start tag up to '>'.
+func (p *docParser) attributes() (map[string]string, bool, error) {
+	lx := p.lx
+	attrs := make(map[string]string)
+	for {
+		lx.skipSpaceAndComments()
+		if lx.consume("/>") {
+			return attrs, true, nil
+		}
+		if lx.consume(">") {
+			return attrs, false, nil
+		}
+		name := lx.readName()
+		if name == "" {
+			return nil, false, lx.errf("malformed attribute in start tag")
+		}
+		lx.skipSpaceAndComments()
+		if !lx.consume("=") {
+			// Minimized boolean attribute: NAME alone.
+			attrs[foldName(name)] = name
+			continue
+		}
+		lx.skipSpaceAndComments()
+		if c, ok := lx.peekByte(); ok && (c == '"' || c == '\'') {
+			lit, err := lx.readLiteral()
+			if err != nil {
+				return nil, false, err
+			}
+			attrs[foldName(name)] = decodeEntities(lit)
+			continue
+		}
+		// Unquoted value: a name token.
+		val := lx.readName()
+		if val == "" {
+			return nil, false, lx.errf("missing value for attribute %s", name)
+		}
+		attrs[foldName(name)] = val
+	}
+}
+
+// startTag places an element, implying end tags as needed.
+func (p *docParser) startTag(name string, attrs map[string]string) error {
+	decl, ok := p.d.Elements[name]
+	if !ok {
+		return p.lx.errf("undeclared element %s", name)
+	}
+	if err := p.checkAttrs(decl, attrs); err != nil {
+		return err
+	}
+	node := &Node{Type: name, Attrs: attrs}
+	if len(p.stack) == 0 {
+		if p.root != nil {
+			return p.lx.errf("multiple root elements (%s after %s)", name, p.root.Type)
+		}
+		p.root = node
+		p.stack = append(p.stack, &openElem{node: node, decl: decl, matcher: decl.NewMatcher()})
+		return nil
+	}
+	for {
+		top := p.top()
+		if top.matcher.Accept(name) {
+			top.node.AddChild(node)
+			p.stack = append(p.stack, &openElem{node: node, decl: decl, matcher: decl.NewMatcher()})
+			return nil
+		}
+		if p.canImplyEnd(top) {
+			p.pop()
+			if len(p.stack) == 0 {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if p.opts.Strict {
+		return p.lx.errf("element %s is not allowed here", name)
+	}
+	// Lenient: force-attach to the innermost still-open element (or
+	// as a sibling under the root's parent chain is exhausted).
+	if len(p.stack) == 0 {
+		p.stack = append(p.stack, &openElem{node: p.root, decl: p.d.Elements[p.root.Type], matcher: p.d.Elements[p.root.Type].NewMatcher()})
+	}
+	top := p.top()
+	top.node.AddChild(node)
+	p.stack = append(p.stack, &openElem{node: node, decl: decl, matcher: decl.NewMatcher()})
+	return nil
+}
+
+// canImplyEnd reports whether the top element's end tag may be
+// implied here.
+func (p *docParser) canImplyEnd(e *openElem) bool {
+	if !e.decl.OmitEnd {
+		return false
+	}
+	if p.opts.Strict {
+		return e.matcher.AtEnd()
+	}
+	return true
+}
+
+func (p *docParser) pop() { p.stack = p.stack[:len(p.stack)-1] }
+
+// implyEnd closes the top element, enforcing completeness rules.
+func (p *docParser) implyEnd(where string) error {
+	top := p.top()
+	if p.opts.Strict {
+		if !top.decl.OmitEnd {
+			return p.lx.errf("end tag </%s> omitted but not omissible (%s)", top.node.Type, where)
+		}
+		if !top.matcher.AtEnd() {
+			return p.lx.errf("content of %s incomplete (%s)", top.node.Type, where)
+		}
+	}
+	p.pop()
+	return nil
+}
+
+// endTag handles an explicit end tag, closing implied elements in
+// between.
+func (p *docParser) endTag(name string) error {
+	// Find the matching open element.
+	found := -1
+	for i := len(p.stack) - 1; i >= 0; i-- {
+		if p.stack[i].node.Type == name {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		if p.opts.Strict {
+			return p.lx.errf("end tag </%s> matches no open element", name)
+		}
+		return nil // lenient: stray end tag dropped
+	}
+	for len(p.stack)-1 > found {
+		if err := p.implyEnd("before </" + name + ">"); err != nil {
+			return err
+		}
+	}
+	top := p.top()
+	if p.opts.Strict && !top.matcher.AtEnd() {
+		return p.lx.errf("content of %s incomplete at </%s>", top.node.Type, name)
+	}
+	p.pop()
+	return nil
+}
+
+// text handles character data, attaching it to the innermost element
+// that may contain #PCDATA (implying end tags on the way out).
+func (p *docParser) text(raw string) error {
+	decoded := decodeEntities(raw)
+	wsOnly := strings.TrimSpace(decoded) == ""
+	if len(p.stack) == 0 {
+		if wsOnly {
+			return nil
+		}
+		return p.lx.errf("character data outside the document element")
+	}
+	if wsOnly {
+		// Separator white space: recorded only inside mixed content,
+		// dropped in element content.
+		top := p.top()
+		if top.matcher.CanAccept(pcdataToken) && len(top.node.Children) > 0 {
+			return nil // still dropped: keeps trees canonical
+		}
+		return nil
+	}
+	for {
+		top := p.top()
+		if top.matcher.Accept(pcdataToken) {
+			top.node.AddChild(&Node{Type: TextType, Data: decoded})
+			return nil
+		}
+		if p.canImplyEnd(top) && len(p.stack) > 1 {
+			p.pop()
+			continue
+		}
+		break
+	}
+	if p.opts.Strict {
+		return p.lx.errf("character data not allowed in %s", p.top().node.Type)
+	}
+	p.top().node.AddChild(&Node{Type: TextType, Data: decoded})
+	return nil
+}
+
+// checkAttrs validates attributes against the ATTLIST and applies
+// defaults.
+func (p *docParser) checkAttrs(decl *ElementDecl, attrs map[string]string) error {
+	if p.opts.Strict {
+		for name := range attrs {
+			if _, ok := decl.Att(name); !ok {
+				return p.lx.errf("attribute %s not declared for %s", name, decl.Name)
+			}
+		}
+	}
+	for i := range decl.Attlist {
+		def := &decl.Attlist[i]
+		v, present := attrs[def.Name]
+		if !present {
+			if def.Required && p.opts.Strict {
+				return p.lx.errf("required attribute %s missing on %s", def.Name, decl.Name)
+			}
+			if def.Default != "" {
+				attrs[def.Name] = def.Default
+			}
+			continue
+		}
+		switch def.Type {
+		case "NUMBER":
+			if _, err := strconv.Atoi(strings.TrimSpace(v)); err != nil && p.opts.Strict {
+				return p.lx.errf("attribute %s of %s must be a number, got %q", def.Name, decl.Name, v)
+			}
+		case "ENUM":
+			okVal := false
+			for _, e := range def.Enum {
+				if strings.EqualFold(e, v) {
+					okVal = true
+					break
+				}
+			}
+			if !okVal && p.opts.Strict {
+				return p.lx.errf("attribute %s of %s must be one of %v, got %q", def.Name, decl.Name, def.Enum, v)
+			}
+		}
+	}
+	return nil
+}
+
+// entities supported in character data and attribute literals.
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+}
+
+// decodeEntities resolves &name; and &#NN; references. Unknown
+// references are left verbatim (lenient, like period tools).
+func decodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i+1:], ';')
+		if semi < 0 || semi > 8 {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		ref := s[i+1 : i+1+semi]
+		if rep, ok := entities[ref]; ok {
+			sb.WriteString(rep)
+			i += semi + 2
+			continue
+		}
+		if strings.HasPrefix(ref, "#") {
+			if n, err := strconv.Atoi(ref[1:]); err == nil && n > 0 && n < 0x110000 {
+				sb.WriteRune(rune(n))
+				i += semi + 2
+				continue
+			}
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return sb.String()
+}

@@ -1,0 +1,225 @@
+package sgml
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperFragment is the exact MMF fragment from Section 4.3 of the
+// paper (end tags of LOGBOOK/DOCTITLE/ABSTRACT/PARA omitted except
+// where the authors wrote them).
+const paperFragment = `<MMFDOC>
+<LOGBOOK> ... </LOGBOOK>
+<DOCTITLE>Telnet</DOCTITLE>
+<ABSTRACT></ABSTRACT>
+<PARA>Telnet is a protocol for ...</PARA>
+<PARA>Telnet enables ...</PARA>
+</MMFDOC>`
+
+func TestParsePaperFragment(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	root, err := ParseDocument(d, paperFragment, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("ParseDocument: %v", err)
+	}
+	if root.Type != "MMFDOC" {
+		t.Fatalf("root = %s", root.Type)
+	}
+	kids := root.ElementChildren()
+	types := make([]string, len(kids))
+	for i, k := range kids {
+		types[i] = k.Type
+	}
+	want := []string{"LOGBOOK", "DOCTITLE", "ABSTRACT", "PARA", "PARA"}
+	if strings.Join(types, " ") != strings.Join(want, " ") {
+		t.Fatalf("children = %v, want %v", types, want)
+	}
+	paras := root.ElementsByType("PARA")
+	if len(paras) != 2 {
+		t.Fatalf("paras = %d", len(paras))
+	}
+	if got := paras[0].InnerText(); got != "Telnet is a protocol for ..." {
+		t.Errorf("para 1 text = %q", got)
+	}
+	if got := root.ElementsByType("DOCTITLE")[0].InnerText(); got != "Telnet" {
+		t.Errorf("title = %q", got)
+	}
+	// Default attribute applied from the ATTLIST.
+	if v, ok := root.Attr("KIND"); !ok || v != "news" {
+		t.Errorf("KIND default = %q, %v", v, ok)
+	}
+}
+
+func TestParseOmittedEndTags(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	// All omissible end tags omitted, exactly as SGML authors wrote.
+	src := `<MMFDOC YEAR="1994">
+<LOGBOOK>log entry
+<DOCTITLE>WWW and NII
+<ABSTRACT>about networks
+<PARA>the WWW is growing
+<PARA>the NII is coming
+</MMFDOC>`
+	root, err := ParseDocument(d, src, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("ParseDocument: %v", err)
+	}
+	paras := root.ElementsByType("PARA")
+	if len(paras) != 2 {
+		t.Fatalf("paras = %d, want 2 (end-tag inference broken)", len(paras))
+	}
+	if got := paras[1].InnerText(); got != "the NII is coming" {
+		t.Errorf("para 2 = %q", got)
+	}
+	if v, _ := root.Attr("year"); v != "1994" {
+		t.Errorf("YEAR = %q", v)
+	}
+}
+
+func TestParseNestedMixedContent(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	src := `<MMFDOC><LOGBOOK>x<DOCTITLE>t<ABSTRACT>a<PARA>see the <EM>important</EM> part</MMFDOC>`
+	root, err := ParseDocument(d, src, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	para := root.ElementsByType("PARA")[0]
+	if got := para.InnerText(); got != "see the important part" {
+		t.Errorf("mixed text = %q", got)
+	}
+	if ems := para.ElementsByType("EM"); len(ems) != 1 || ems[0].InnerText() != "important" {
+		t.Errorf("EM = %v", ems)
+	}
+	if got := para.OwnText(); got != "see the part" {
+		t.Errorf("OwnText = %q", got)
+	}
+}
+
+func TestParseStrictValidationErrors(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	cases := map[string]string{
+		"missing required part": `<MMFDOC><LOGBOOK>x</MMFDOC>`,
+		"undeclared element":    `<MMFDOC><BOGUS>x</BOGUS></MMFDOC>`,
+		"element out of order":  `<MMFDOC><PARA>x</PARA></MMFDOC>`,
+		"undeclared attribute":  `<MMFDOC COLOR="red"><LOGBOOK>x<DOCTITLE>t<ABSTRACT>a<PARA>p</MMFDOC>`,
+		"bad enum value":        `<MMFDOC KIND="poem"><LOGBOOK>x<DOCTITLE>t<ABSTRACT>a<PARA>p</MMFDOC>`,
+		"bad number":            `<MMFDOC YEAR="next"><LOGBOOK>x<DOCTITLE>t<ABSTRACT>a<PARA>p</MMFDOC>`,
+		"stray end tag":         `<MMFDOC><LOGBOOK>x<DOCTITLE>t<ABSTRACT>a<PARA>p</EM></MMFDOC>`,
+		"multiple roots":        `<MMFDOC><LOGBOOK>x<DOCTITLE>t<ABSTRACT>a<PARA>p</MMFDOC><MMFDOC><LOGBOOK>y<DOCTITLE>t<ABSTRACT>a<PARA>q</MMFDOC>`,
+		"text outside root":     `hello <MMFDOC><LOGBOOK>x<DOCTITLE>t<ABSTRACT>a<PARA>p</MMFDOC>`,
+		"unomissible end":       `<MMFDOC><LOGBOOK>x<DOCTITLE>t<ABSTRACT>a<PARA><EM>unclosed</MMFDOC>`,
+	}
+	for name, src := range cases {
+		if _, err := ParseDocument(d, src, ParseOptions{Strict: true}); err == nil {
+			t.Errorf("%s: strict parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseLenientTolerance(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	// Missing ABSTRACT and an undeclared attribute: lenient mode
+	// still builds a tree.
+	src := `<MMFDOC COLOR="red"><LOGBOOK>x<DOCTITLE>t<PARA>p</MMFDOC>`
+	root, err := ParseDocument(d, src, ParseOptions{})
+	if err != nil {
+		t.Fatalf("lenient parse: %v", err)
+	}
+	if v, _ := root.Attr("COLOR"); v != "red" {
+		t.Errorf("lenient attr lost: %q", v)
+	}
+	if len(root.ElementsByType("PARA")) != 1 {
+		t.Error("lenient tree misshapen")
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	src := `<MMFDOC AUTHOR="M &amp; K"><LOGBOOK>x<DOCTITLE>a &lt; b &#228; &unknown;<ABSTRACT>y<PARA>p</MMFDOC>`
+	root, err := ParseDocument(d, src, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	title := root.ElementsByType("DOCTITLE")[0].InnerText()
+	if title != "a < b ä &unknown;" {
+		t.Errorf("entity decoding = %q", title)
+	}
+	if v, _ := root.Attr("AUTHOR"); v != "M & K" {
+		t.Errorf("attr entity = %q", v)
+	}
+}
+
+func TestParseCommentsAndDoctypeSkipped(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	src := `<!DOCTYPE MMFDOC SYSTEM "mmf.dtd">
+<!-- an issue of the journal -->
+<MMFDOC><LOGBOOK>x<DOCTITLE>t<!-- inline -->i<ABSTRACT>a<PARA>p</MMFDOC>`
+	root, err := ParseDocument(d, src, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := root.ElementsByType("DOCTITLE")[0].InnerText(); got != "t i" {
+		t.Errorf("comment handling: title = %q", got)
+	}
+}
+
+func TestParseEmptyElementAndSelfClose(t *testing.T) {
+	d := mustDTD(t, `
+<!ELEMENT DOC - - (IMG+, CAPTION)>
+<!ELEMENT IMG - O EMPTY>
+<!ELEMENT CAPTION - O (#PCDATA)>
+<!ATTLIST IMG SRC CDATA #REQUIRED>
+`)
+	src := `<DOC><IMG SRC="a.gif"><IMG SRC="b.gif"/><CAPTION>two images</DOC>`
+	root, err := ParseDocument(d, src, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := root.ElementsByType("IMG")
+	if len(imgs) != 2 {
+		t.Fatalf("imgs = %d", len(imgs))
+	}
+	if v, _ := imgs[1].Attr("SRC"); v != "b.gif" {
+		t.Errorf("img2 src = %q", v)
+	}
+	// Required attribute enforcement.
+	if _, err := ParseDocument(d, `<DOC><IMG><CAPTION>x</DOC>`, ParseOptions{Strict: true}); err == nil {
+		t.Error("missing required attribute accepted")
+	}
+}
+
+func TestStructuralNavigation(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	root, err := ParseDocument(d, paperFragment, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paras := root.ElementsByType("PARA")
+	if next := paras[0].NextSibling(); next == nil || next != paras[1] {
+		t.Error("NextSibling(para1) != para2")
+	}
+	if paras[1].NextSibling() != nil {
+		t.Error("NextSibling(last) != nil")
+	}
+	if anc := paras[0].Ancestor("MMFDOC"); anc != root {
+		t.Error("Ancestor(MMFDOC) wrong")
+	}
+	if paras[0].Ancestor("PARA") != nil {
+		t.Error("Ancestor should exclude self")
+	}
+	if n := root.CountNodes(); n < 7 {
+		t.Errorf("CountNodes = %d", n)
+	}
+}
+
+func TestUnquotedAttributeValue(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	src := `<MMFDOC KIND=report><LOGBOOK>x<DOCTITLE>t<ABSTRACT>a<PARA>p</MMFDOC>`
+	root, err := ParseDocument(d, src, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := root.Attr("KIND"); v != "report" {
+		t.Errorf("unquoted attr = %q", v)
+	}
+}

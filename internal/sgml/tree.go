@@ -1,0 +1,149 @@
+package sgml
+
+import "strings"
+
+// TextType is the node type of character-data nodes.
+const TextType = "#text"
+
+// Node is one node of a parsed document: an element or a text leaf.
+type Node struct {
+	// Type is the (upper-case) element name, or TextType.
+	Type string
+	// Attrs holds the element's attributes (names folded).
+	Attrs map[string]string
+	// Data is the character data of a text node.
+	Data     string
+	Parent   *Node
+	Children []*Node
+}
+
+// IsText reports whether n is a character-data node.
+func (n *Node) IsText() bool { return n.Type == TextType }
+
+// Attr returns an attribute value.
+func (n *Node) Attr(name string) (string, bool) {
+	v, ok := n.Attrs[foldName(name)]
+	return v, ok
+}
+
+// AddChild appends c and sets its parent.
+func (n *Node) AddChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// InnerText concatenates all descendant character data in document
+// order, separating leaves with single spaces.
+func (n *Node) InnerText() string {
+	var parts []string
+	n.Walk(func(m *Node) bool {
+		if m.IsText() {
+			if t := strings.TrimSpace(m.Data); t != "" {
+				parts = append(parts, t)
+			}
+		}
+		return true
+	})
+	return strings.Join(parts, " ")
+}
+
+// OwnText concatenates only the direct text children of n.
+func (n *Node) OwnText() string {
+	var parts []string
+	for _, c := range n.Children {
+		if c.IsText() {
+			if t := strings.TrimSpace(c.Data); t != "" {
+				parts = append(parts, t)
+			}
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Walk visits n and its descendants in document order. The visitor
+// returns false to prune the subtree below the visited node.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// ElementsByType returns all descendant elements (including n) with
+// the given type, in document order.
+func (n *Node) ElementsByType(name string) []*Node {
+	name = foldName(name)
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m.Type == name {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// Leaves returns the text leaves below n in document order.
+func (n *Node) Leaves() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m.IsText() {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// ElementChildren returns the element (non-text) children of n.
+func (n *Node) ElementChildren() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if !c.IsText() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Ancestor returns the nearest ancestor (excluding n itself) with
+// the given element type, or nil.
+func (n *Node) Ancestor(name string) *Node {
+	name = foldName(name)
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p.Type == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// NextSibling returns the following sibling element (skipping text
+// nodes), or nil.
+func (n *Node) NextSibling() *Node {
+	if n.Parent == nil {
+		return nil
+	}
+	sibs := n.Parent.Children
+	seen := false
+	for _, s := range sibs {
+		if s == n {
+			seen = true
+			continue
+		}
+		if seen && !s.IsText() {
+			return s
+		}
+	}
+	return nil
+}
+
+// CountNodes returns the number of nodes in the subtree (elements
+// and text leaves).
+func (n *Node) CountNodes() int {
+	count := 0
+	n.Walk(func(*Node) bool { count++; return true })
+	return count
+}

@@ -1,0 +1,48 @@
+package sgml
+
+import "strings"
+
+// Serialize renders the tree back to normalized SGML text: all tags
+// explicit, attributes sorted, character data escaped. The output
+// re-parses to an equivalent tree (round-trip property tested in
+// writer_test.go).
+func Serialize(n *Node) string {
+	var sb strings.Builder
+	writeNode(&sb, n)
+	return sb.String()
+}
+
+func writeNode(sb *strings.Builder, n *Node) {
+	if n.IsText() {
+		sb.WriteString(escapeText(n.Data))
+		return
+	}
+	sb.WriteByte('<')
+	sb.WriteString(n.Type)
+	for _, name := range sortedAttNames(n.Attrs) {
+		sb.WriteByte(' ')
+		sb.WriteString(name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeAttr(n.Attrs[name]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('>')
+	for _, c := range n.Children {
+		writeNode(sb, c)
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.Type)
+	sb.WriteByte('>')
+}
+
+func escapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+func escapeAttr(s string) string {
+	s = escapeText(s)
+	return strings.ReplaceAll(s, `"`, "&quot;")
+}

@@ -1,0 +1,120 @@
+package sgml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	root, err := ParseDocument(d, paperFragment, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Serialize(root)
+	if !strings.Contains(out, "</PARA>") {
+		t.Errorf("serializer must emit explicit end tags: %q", out)
+	}
+	root2, err := ParseDocument(d, out, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("reparse of serialized output: %v\n%s", err, out)
+	}
+	if !treesEqual(root, root2) {
+		t.Errorf("round trip changed the tree:\n%s\nvs\n%s", Serialize(root), Serialize(root2))
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	n := &Node{Type: "MMFDOC", Attrs: map[string]string{"AUTHOR": `a<b&"c"`}}
+	for _, typ := range []string{"LOGBOOK", "DOCTITLE", "ABSTRACT", "PARA"} {
+		el := &Node{Type: typ, Attrs: map[string]string{}}
+		el.AddChild(&Node{Type: TextType, Data: "x < y & z"})
+		n.AddChild(el)
+	}
+	out := Serialize(n)
+	root, err := ParseDocument(d, out, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if v, _ := root.Attr("AUTHOR"); v != `a<b&"c"` {
+		t.Errorf("attr escaping round trip = %q", v)
+	}
+	if got := root.ElementsByType("PARA")[0].InnerText(); got != "x < y & z" {
+		t.Errorf("text escaping round trip = %q", got)
+	}
+}
+
+func treesEqual(a, b *Node) bool {
+	if a.Type != b.Type {
+		return false
+	}
+	if a.IsText() {
+		return strings.TrimSpace(a.Data) == strings.TrimSpace(b.Data)
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for k, v := range a.Attrs {
+		if b.Attrs[k] != v {
+			return false
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !treesEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: serialize-then-parse is the identity for randomly
+// generated valid MMF documents.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	d := mustDTD(t, testDTD)
+	words := []string{"www", "nii", "telnet", "journal", "media", "net"}
+	f := func(seed []byte) bool {
+		if len(seed) == 0 {
+			seed = []byte{1}
+		}
+		pick := func(i int) string { return words[int(seed[i%len(seed)])%len(words)] }
+		var sb strings.Builder
+		sb.WriteString("<MMFDOC><LOGBOOK>")
+		sb.WriteString(pick(0))
+		sb.WriteString("<DOCTITLE>")
+		sb.WriteString(pick(1))
+		sb.WriteString("<ABSTRACT>")
+		sb.WriteString(pick(2))
+		paras := int(seed[0])%4 + 1
+		for i := 0; i < paras; i++ {
+			sb.WriteString("<PARA>")
+			sb.WriteString(pick(i + 3))
+			if seed[i%len(seed)]%2 == 0 {
+				sb.WriteString(" <EM>")
+				sb.WriteString(pick(i + 4))
+				sb.WriteString("</EM> ")
+				sb.WriteString(pick(i + 5))
+			}
+		}
+		sb.WriteString("</MMFDOC>")
+		root, err := ParseDocument(d, sb.String(), ParseOptions{Strict: true})
+		if err != nil {
+			t.Logf("generator produced invalid doc: %v", err)
+			return false
+		}
+		out := Serialize(root)
+		root2, err := ParseDocument(d, out, ParseOptions{Strict: true})
+		if err != nil {
+			t.Logf("reparse failed: %v", err)
+			return false
+		}
+		return treesEqual(root, root2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

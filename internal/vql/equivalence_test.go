@@ -1,0 +1,124 @@
+package vql
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oodb"
+)
+
+// Property: the evaluator (with predicate pushdown and cost
+// ordering) returns exactly the rows a brute-force cross-product
+// reference produces, for randomly generated two-variable queries.
+func TestEvaluatorMatchesBruteForceProperty(t *testing.T) {
+	db, err := oodb.Open("", oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ name, super string }{
+		{"Obj", ""}, {"A", "Obj"}, {"B", "Obj"},
+	} {
+		if err := db.DefineClass(c.name, c.super, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RegisterMethod("Obj", "score", func(db *oodb.DB, self oodb.OID, args []oodb.Value) (oodb.Value, error) {
+		v, _ := db.Attr(self, "n")
+		return oodb.I(v.Int * 2), nil
+	})
+	var as, bs []oodb.OID
+	for i := 0; i < 5; i++ {
+		a, _ := db.NewObject("A", map[string]oodb.Value{
+			"n": oodb.I(int64(i)), "tag": oodb.S(fmt.Sprint("t", i%3)),
+		})
+		as = append(as, a)
+		b, _ := db.NewObject("B", map[string]oodb.Value{
+			"n": oodb.I(int64(i * 2)), "tag": oodb.S(fmt.Sprint("t", i%2)),
+		})
+		bs = append(bs, b)
+	}
+	ev := NewEvaluator(db, nil)
+
+	attrInt := func(oid oodb.OID, name string) int64 {
+		v, _ := db.Attr(oid, name)
+		return v.Int
+	}
+	attrStr := func(oid oodb.OID, name string) string {
+		v, _ := db.Attr(oid, name)
+		return v.Str
+	}
+
+	// Predicate pool: VQL source plus its Go reference.
+	preds := []struct {
+		src string
+		ref func(a, b oodb.OID) bool
+	}{
+		{"x -> n > 2", func(a, b oodb.OID) bool { return attrInt(a, "n") > 2 }},
+		{"y -> n <= 4", func(a, b oodb.OID) bool { return attrInt(b, "n") <= 4 }},
+		{"x -> tag = y -> tag", func(a, b oodb.OID) bool { return attrStr(a, "tag") == attrStr(b, "tag") }},
+		{"x -> score() >= y -> n", func(a, b oodb.OID) bool { return attrInt(a, "n")*2 >= attrInt(b, "n") }},
+		{"NOT (x -> n = 0)", func(a, b oodb.OID) bool { return attrInt(a, "n") != 0 }},
+		{"x -> n = 1 OR y -> n = 0", func(a, b oodb.OID) bool {
+			return attrInt(a, "n") == 1 || attrInt(b, "n") == 0
+		}},
+	}
+
+	f := func(mask uint8) bool {
+		chosen := []int{}
+		for i := range preds {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, i)
+			}
+		}
+		src := "ACCESS x, y FROM x IN A, y IN B"
+		if len(chosen) > 0 {
+			src += " WHERE "
+			for i, idx := range chosen {
+				if i > 0 {
+					src += " AND "
+				}
+				// Parenthesized so OR inside a predicate cannot
+				// rebind against the surrounding conjunction.
+				src += "(" + preds[idx].src + ")"
+			}
+		}
+		src += ";"
+		rs, err := ev.Run(src)
+		if err != nil {
+			t.Logf("query %q: %v", src, err)
+			return false
+		}
+		got := make(map[[2]oodb.OID]bool, len(rs.Rows))
+		for _, row := range rs.Rows {
+			got[[2]oodb.OID{row[0].Ref, row[1].Ref}] = true
+		}
+		want := 0
+		for _, a := range as {
+			for _, b := range bs {
+				ok := true
+				for _, idx := range chosen {
+					if !preds[idx].ref(a, b) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					want++
+					if !got[[2]oodb.OID{a, b}] {
+						t.Logf("query %q: missing row (%v,%v)", src, a, b)
+						return false
+					}
+				}
+			}
+		}
+		if len(got) != want {
+			t.Logf("query %q: %d rows, want %d", src, len(got), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 128}); err != nil {
+		t.Error(err)
+	}
+}

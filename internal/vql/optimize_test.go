@@ -1,0 +1,173 @@
+package vql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oodb"
+)
+
+func TestMethodChaining(t *testing.T) {
+	fx := newFixture(t)
+	// Chained calls: paragraph -> containing document -> attribute.
+	rs, err := fx.ev.Run(`ACCESS p FROM p IN PARA WHERE p -> getContaining('MMFDOC') -> getAttributeValue('YEAR') = '1994';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Errorf("chained rows = %d, want 2 (paras of the 1994 doc)", len(rs.Rows))
+	}
+}
+
+func TestAttributeAccessWithoutParens(t *testing.T) {
+	fx := newFixture(t)
+	rs, err := fx.ev.Run(`ACCESS p -> text FROM p IN PARA;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rs.Rows))
+	}
+	for _, row := range rs.Rows {
+		if row[0].Kind != oodb.KindString {
+			t.Errorf("attr access returned %v", row[0])
+		}
+	}
+}
+
+func TestPredicatePushdownDepth(t *testing.T) {
+	fx := newFixture(t)
+	q, err := Parse(`ACCESS d FROM d IN MMFDOC, p IN PARA WHERE d -> getAttributeValue('YEAR') = '1994' AND p -> getContaining('MMFDOC') == d;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fx.ev.PlanQuery(q, StrategyIndependent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := plan.Describe()
+	// The year predicate references only d and must sit at the d
+	// scan, before the p scan line.
+	lines := strings.Split(desc, "\n")
+	yearLine, joinLine, pScanLine := -1, -1, -1
+	for i, l := range lines {
+		switch {
+		case strings.Contains(l, "YEAR"):
+			yearLine = i
+		case strings.Contains(l, "getContaining"):
+			joinLine = i
+		case strings.Contains(l, "scan p IN PARA"):
+			pScanLine = i
+		}
+	}
+	if yearLine == -1 || joinLine == -1 || pScanLine == -1 {
+		t.Fatalf("plan missing expected lines:\n%s", desc)
+	}
+	if !(yearLine < pScanLine && pScanLine < joinLine) {
+		t.Errorf("pushdown wrong: year@%d pScan@%d join@%d\n%s", yearLine, pScanLine, joinLine, desc)
+	}
+}
+
+func TestOrPredicateNotSplit(t *testing.T) {
+	fx := newFixture(t)
+	// OR must stay one predicate (only AND conjuncts split).
+	q, err := Parse(`ACCESS p FROM p IN PARA WHERE p -> length() > 100 OR p -> length() < 30;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fx.ev.PlanQuery(q, StrategyIndependent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(plan.Describe(), "filter ["); n != 1 {
+		t.Errorf("OR split into %d filters:\n%s", n, plan.Describe())
+	}
+	if _, err := fx.ev.Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRSFirstSkipsNonMatchingPatterns(t *testing.T) {
+	fx := newFixture(t)
+	fx.ev.SetIRSProvider(irsProviderFunc(func(coll oodb.Value, q string) (map[oodb.OID]float64, error) {
+		return fx.irs[q], nil
+	}))
+	// Threshold is not a literal comparison against getIRSValue:
+	// patterns with method calls on both sides must not be folded.
+	q, err := Parse(`ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'WWW') > p -> length();`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fx.ev.PlanQuery(q, StrategyIRSFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IRSPrefilters != 0 {
+		t.Errorf("non-literal comparison folded: %s", plan.Describe())
+	}
+	// Flipped comparison IS folded (literal on the left).
+	fx.irs["WWW"] = map[oodb.OID]float64{fx.paras[0]: 0.9}
+	q2, _ := Parse(`ACCESS p FROM p IN PARA WHERE 0.5 < p -> getIRSValue(collPara, 'WWW');`)
+	plan2, err := fx.ev.PlanQuery(q2, StrategyIRSFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.IRSPrefilters != 1 {
+		t.Errorf("flipped literal comparison not folded: %s", plan2.Describe())
+	}
+	rs, err := fx.ev.Execute(plan2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Errorf("flipped-comparison rows = %v", rs.Rows)
+	}
+}
+
+func TestEnvironmentBindings(t *testing.T) {
+	fx := newFixture(t)
+	fx.ev.SetEnv("threshold", oodb.F(0.5))
+	fx.irs["WWW"] = map[oodb.OID]float64{fx.paras[0]: 0.9}
+	rs, err := fx.ev.Run(`ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'WWW') > threshold;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 {
+		t.Errorf("env threshold rows = %v", rs.Rows)
+	}
+}
+
+func TestStringEscapesAndLiterals(t *testing.T) {
+	q, err := Parse(`ACCESS p FROM p IN PARA WHERE p -> getAttributeValue('TITLE') = 'O''Brien''s';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, ok := q.Where.(*Binary)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	lit, ok := bin.R.(*Lit)
+	if !ok || lit.Val.Str != "O'Brien's" {
+		t.Errorf("escaped string = %v", bin.R)
+	}
+	// Float and negative handling: numbers are unsigned in the
+	// lexer; comparisons use literals.
+	q2, err := Parse(`ACCESS p FROM p IN PARA WHERE p -> length() >= 0.25;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Where == nil {
+		t.Error("float literal lost")
+	}
+}
+
+func TestResultSetColumnsNamed(t *testing.T) {
+	fx := newFixture(t)
+	rs, err := fx.ev.Run(`ACCESS p, p -> length() FROM p IN PARA;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Columns) != 2 || rs.Columns[0] != "p" || !strings.Contains(rs.Columns[1], "length") {
+		t.Errorf("columns = %v", rs.Columns)
+	}
+}

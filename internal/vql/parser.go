@@ -1,0 +1,404 @@
+package vql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/oodb"
+)
+
+// ParseError reports a VQL syntax error.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("vql: parse error at %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses one VQL statement.
+func Parse(src string) (*Query, error) {
+	p := &parser{toks: lex(src)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// token kinds
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkString
+	tkNumber
+	tkArrow // ->
+	tkOp    // punctuation/operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			q := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) {
+				if src[j] == q {
+					// doubled quote = escaped quote
+					if j+1 < len(src) && src[j+1] == q {
+						sb.WriteByte(q)
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{kind: tkString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tkNumber, text: src[i:j], pos: i})
+			i = j
+		case isIdentByte(c):
+			j := i
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tkIdent, text: src[i:j], pos: i})
+			i = j
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{kind: tkArrow, text: "->", pos: i})
+			i += 2
+		default:
+			// multi-char operators
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<>", ">=", "<=":
+				toks = append(toks, token{kind: tkOp, text: two, pos: i})
+				i += 2
+				continue
+			}
+			toks = append(toks, token{kind: tkOp, text: string(c), pos: i})
+			i++
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: len(src)})
+	return toks
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(c >= '0' && c <= '9')
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	vars map[string]bool
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+// next returns the current token and advances, but never moves past
+// the EOF sentinel.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// keyword matches a case-insensitive keyword identifier.
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tkIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) op(text string) bool {
+	t := p.cur()
+	if t.kind == tkOp && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if !p.keyword("ACCESS") {
+		return nil, p.errf("query must start with ACCESS")
+	}
+	q := &Query{}
+	if p.keyword("DISTINCT") {
+		q.Distinct = true
+	}
+	// FROM bindings are needed to classify identifiers, so scan
+	// ahead for them first.
+	p.vars = scanBindings(p.toks)
+	for {
+		// Tolerate the trailing comma before FROM that appears in
+		// the paper's second example.
+		if p.cur().kind == tkIdent && strings.EqualFold(p.cur().text, "FROM") {
+			break
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Access = append(q.Access, e)
+		if p.op(",") {
+			continue
+		}
+		break
+	}
+	if len(q.Access) == 0 {
+		return nil, p.errf("ACCESS clause is empty")
+	}
+	if !p.keyword("FROM") {
+		return nil, p.errf("expected FROM")
+	}
+	for {
+		v := p.next()
+		if v.kind != tkIdent {
+			return nil, p.errf("expected binding variable")
+		}
+		if !p.keyword("IN") {
+			return nil, p.errf("expected IN after %s", v.text)
+		}
+		cls := p.next()
+		if cls.kind != tkIdent {
+			return nil, p.errf("expected class name after IN")
+		}
+		for _, b := range q.From {
+			if b.Var == v.text {
+				return nil, p.errf("duplicate binding variable %s", v.text)
+			}
+		}
+		q.From = append(q.From, Binding{Var: v.text, Class: cls.text})
+		if p.op(",") {
+			continue
+		}
+		break
+	}
+	if p.keyword("WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	p.op(";")
+	if p.cur().kind != tkEOF {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+// scanBindings pre-scans FROM ... [WHERE|;|EOF] to find bound
+// variable names (the grammar needs them while parsing ACCESS).
+func scanBindings(toks []token) map[string]bool {
+	vars := make(map[string]bool)
+	for i := 0; i < len(toks); i++ {
+		if toks[i].kind == tkIdent && strings.EqualFold(toks[i].text, "FROM") {
+			for j := i + 1; j+2 < len(toks); j += 4 {
+				if toks[j].kind != tkIdent ||
+					toks[j+1].kind != tkIdent || !strings.EqualFold(toks[j+1].text, "IN") ||
+					toks[j+2].kind != tkIdent {
+					break
+				}
+				vars[toks[j].text] = true
+				if !(toks[j+3].kind == tkOp && toks[j+3].text == ",") {
+					break
+				}
+			}
+			break
+		}
+	}
+	return vars
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.keyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tkOp {
+		return l, nil
+	}
+	var op BinOp
+	switch t.text {
+	case "==", "=":
+		op = OpEq
+	case "!=", "<>":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return l, nil
+	}
+	p.pos++
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op, L: l, R: r}, nil
+}
+
+// parseExpr parses a primary expression with method-call chains.
+func (p *parser) parseExpr() (Expr, error) {
+	var e Expr
+	t := p.cur()
+	switch {
+	case t.kind == tkString:
+		p.pos++
+		e = &Lit{Val: oodb.S(t.text)}
+	case t.kind == tkNumber:
+		p.pos++
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			e = &Lit{Val: oodb.F(f)}
+		} else {
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			e = &Lit{Val: oodb.I(n)}
+		}
+	case t.kind == tkIdent && strings.EqualFold(t.text, "TRUE"):
+		p.pos++
+		e = &Lit{Val: oodb.B(true)}
+	case t.kind == tkIdent && strings.EqualFold(t.text, "FALSE"):
+		p.pos++
+		e = &Lit{Val: oodb.B(false)}
+	case t.kind == tkIdent && strings.EqualFold(t.text, "NULL"):
+		p.pos++
+		e = &Lit{Val: oodb.Null()}
+	case t.kind == tkIdent:
+		p.pos++
+		e = &Ident{Name: t.text, bound: p.vars[t.text]}
+	case t.kind == tkOp && t.text == "(":
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.op(")") {
+			return nil, p.errf("missing )")
+		}
+		e = inner
+	default:
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+	// Method-call / attribute-access chain.
+	for p.cur().kind == tkArrow {
+		p.pos++
+		name := p.next()
+		if name.kind != tkIdent {
+			return nil, p.errf("expected method name after ->")
+		}
+		call := &Call{Recv: e, Name: name.text}
+		if p.op("(") {
+			for !p.op(")") {
+				arg, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.op(",") {
+					continue
+				}
+				if !p.op(")") {
+					return nil, p.errf("missing ) in argument list of %s", name.text)
+				}
+				break
+			}
+		} else {
+			call.IsAttr = true
+		}
+		e = call
+	}
+	return e, nil
+}

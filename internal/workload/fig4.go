@@ -1,0 +1,131 @@
+package workload
+
+import "strings"
+
+// Figure 4 fixture: the paper's exact four-document example.
+//
+//	M1: P1(WWW)  P2(-)    P3(-)
+//	M2: P4(WWW+NII)  P5(-)
+//	M3: P6(WWW)  P7(NII)  P8(-)
+//	M4: P9(WWW)  P10(WWW) P11(-)
+//
+// "Suppose that only paragraphs are represented in the collection,
+// that the terms 'WWW' and 'NII' are treated equally by the IRS, and
+// that the paragraphs are of equal length." The generator honors all
+// three assumptions: every paragraph has exactly the same length,
+// and the WWW/NII plants are symmetric.
+
+// Fig4DTD is the document type of the fixture (paragraphs directly
+// below the document, as in the paper's fragment).
+const Fig4DTD = `
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, PARA+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA)>
+<!ATTLIST MMFDOC YEAR NUMBER #IMPLIED>
+`
+
+// Fig4Doc describes one fixture document.
+type Fig4Doc struct {
+	Name  string
+	SGML  string
+	Paras []string // paragraph names P1..P11 in order
+}
+
+// Fig4Query is the example's content query.
+const Fig4Query = "#and(www nii)"
+
+// fig4Para renders one equal-length paragraph. Every paragraph has
+// exactly eight terms: planted topic terms followed by unique filler
+// (unique so background terms do not correlate the paragraphs).
+func fig4Para(name string, www, nii int) string {
+	var terms []string
+	for i := 0; i < www; i++ {
+		terms = append(terms, "www")
+	}
+	for i := 0; i < nii; i++ {
+		terms = append(terms, "nii")
+	}
+	for i := len(terms); i < 8; i++ {
+		terms = append(terms, "filler"+name+string(rune('a'+i)))
+	}
+	return strings.Join(terms, " ")
+}
+
+// Fig4Docs returns the four example documents. Every paragraph is
+// exactly eight terms long; relevant paragraphs carry four planted
+// occurrences per relevant term (P4: four www plus four nii, no
+// filler), so all paragraphs are of equal length and both terms are
+// treated equally — the example's stated assumptions.
+func Fig4Docs() []Fig4Doc {
+	paras := map[string]string{
+		"P1":  fig4Para("p1", 4, 0),
+		"P2":  fig4Para("p2", 0, 0),
+		"P3":  fig4Para("p3", 0, 0),
+		"P4":  fig4Para("p4", 4, 4),
+		"P5":  fig4Para("p5", 0, 0),
+		"P6":  fig4Para("p6", 4, 0),
+		"P7":  fig4Para("p7", 0, 4),
+		"P8":  fig4Para("p8", 0, 0),
+		"P9":  fig4Para("p9", 4, 0),
+		"P10": fig4Para("p10", 4, 0),
+		"P11": fig4Para("p11", 0, 0),
+	}
+	layout := []struct {
+		name  string
+		paras []string
+	}{
+		{"M1", []string{"P1", "P2", "P3"}},
+		{"M2", []string{"P4", "P5"}},
+		{"M3", []string{"P6", "P7", "P8"}},
+		{"M4", []string{"P9", "P10", "P11"}},
+	}
+	var docs []Fig4Doc
+	for _, l := range layout {
+		var sb strings.Builder
+		sb.WriteString(`<MMFDOC YEAR="1994"><LOGBOOK>log<DOCTITLE>` + l.name + `<ABSTRACT>abs`)
+		for _, p := range l.paras {
+			sb.WriteString("\n<PARA>" + paras[p])
+		}
+		sb.WriteString("\n</MMFDOC>")
+		docs = append(docs, Fig4Doc{Name: l.name, SGML: sb.String(), Paras: l.paras})
+	}
+	return docs
+}
+
+// Fig4Filler returns n background documents of three 8-term
+// paragraphs each, built from unique non-topic words. The paper's
+// example presupposes a real collection around M1..M4 (otherwise
+// "www" occurs in 5 of 11 paragraphs and carries almost no idf
+// discrimination); the filler provides that corpus context without
+// touching the example's relevance structure.
+func Fig4Filler(n int) []Fig4Doc {
+	var docs []Fig4Doc
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		name := "F" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+		sb.WriteString(`<MMFDOC YEAR="1993"><LOGBOOK>log<DOCTITLE>` + name + `<ABSTRACT>abs`)
+		for p := 0; p < 3; p++ {
+			sb.WriteString("\n<PARA>")
+			for t := 0; t < 8; t++ {
+				sb.WriteString("bg" + name + string(rune('a'+p)) + string(rune('a'+t)) + " ")
+			}
+		}
+		sb.WriteString("\n</MMFDOC>")
+		docs = append(docs, Fig4Doc{Name: name, SGML: sb.String()})
+	}
+	return docs
+}
+
+// Fig4Expectations documents the claims the experiment asserts.
+//
+//   - The IRS assigns the highest paragraph value to P4 ("the IRS
+//     will assign the highest value to P4, because this is the only
+//     IRS document relevant to both terms").
+//   - Under the Max derivation, M2 ranks first but M3 and M4 tie
+//     ("MMF documents M3 and M4 both contain two 'semi'-relevant
+//     paragraphs. Their IRS values, however, should be different").
+//   - Under the query-aware derivation, rank(M2) < rank(M3) <
+//     rank(M4) (lower rank = better).
+type Fig4Expectations struct{}

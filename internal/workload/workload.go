@@ -1,0 +1,226 @@
+// Package workload generates the synthetic MultiMedia Forum corpus
+// used by the experiments. The paper evaluates on MMF [Sül+94], an
+// interactive online journal at GMD-IPSI whose corpus is not
+// available; this generator produces structurally equivalent SGML
+// documents (logbook, title, abstract, sections of paragraphs) with
+// a Zipfian background vocabulary and PLANTED topics, so that every
+// experiment has ground-truth relevance at both paragraph and
+// document granularity. Generation is fully deterministic per seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// MMFDTD is the MMF-like document type used throughout the
+// experiments. It extends the paper's fragment (Section 4.3) with a
+// SECTION level so granularity experiments have an intermediate
+// level between document and paragraph.
+const MMFDTD = `
+<!-- Synthetic MultiMedia Forum document type -->
+<!ELEMENT MMFDOC   - -  (LOGBOOK, DOCTITLE, ABSTRACT, SECTION+)>
+<!ELEMENT LOGBOOK  - O  (#PCDATA)>
+<!ELEMENT DOCTITLE - O  (#PCDATA)>
+<!ELEMENT ABSTRACT - O  (#PCDATA)>
+<!ELEMENT SECTION  - O  (STITLE, PARA+)>
+<!ELEMENT STITLE   - O  (#PCDATA)>
+<!ELEMENT PARA     - O  (#PCDATA)>
+<!ATTLIST MMFDOC
+    YEAR   NUMBER #IMPLIED
+    AUTHOR CDATA  #IMPLIED
+    KIND   (report | review | news) "report">
+`
+
+// Topic is a plantable subject with its query terms.
+type Topic struct {
+	Name  string
+	Terms []string
+}
+
+// DefaultTopics mirror the paper's running example ("WWW", "NII")
+// plus additional topics for multi-topic workloads.
+func DefaultTopics() []Topic {
+	return []Topic{
+		{Name: "WWW", Terms: []string{"www", "web", "hypertext"}},
+		{Name: "NII", Terms: []string{"nii", "infrastructure", "highway"}},
+		{Name: "SGML", Terms: []string{"sgml", "markup", "dtd"}},
+		{Name: "VIDEO", Terms: []string{"video", "codec", "stream"}},
+	}
+}
+
+// Config parameterizes corpus generation.
+type Config struct {
+	Docs          int
+	SectionsRange [2]int // min,max sections per document
+	ParasRange    [2]int // min,max paragraphs per section
+	WordsRange    [2]int // min,max background words per paragraph
+	Vocabulary    int    // background vocabulary size
+	Topics        []Topic
+	// TopicDocShare is the fraction of documents carrying each topic
+	// (each topic drawn independently).
+	TopicDocShare float64
+	// TopicParaShare is the fraction of a carrying document's
+	// paragraphs that mention the topic.
+	TopicParaShare float64
+	// TopicDensity is the number of topic-term occurrences planted
+	// per relevant paragraph.
+	TopicDensity int
+	Seed         int64
+	YearRange    [2]int
+}
+
+// DefaultConfig returns a corpus configuration sized for experiments
+// that run in seconds.
+func DefaultConfig() Config {
+	return Config{
+		Docs:           40,
+		SectionsRange:  [2]int{2, 4},
+		ParasRange:     [2]int{2, 5},
+		WordsRange:     [2]int{15, 40},
+		Vocabulary:     800,
+		Topics:         DefaultTopics(),
+		TopicDocShare:  0.3,
+		TopicParaShare: 0.4,
+		TopicDensity:   4,
+		Seed:           42,
+		YearRange:      [2]int{1992, 1995},
+	}
+}
+
+// Document is one generated document with its ground truth.
+type Document struct {
+	Name string // D001, D002, ...
+	SGML string
+	Year int
+	Kind string
+	// RelevantParas maps topic name -> indexes (in document order,
+	// counting across sections) of paragraphs carrying the topic.
+	RelevantParas map[string][]int
+	// ParaCount is the total number of paragraphs.
+	ParaCount int
+}
+
+// RelevantTo reports whether the document carries the topic at all.
+func (d *Document) RelevantTo(topic string) bool {
+	return len(d.RelevantParas[topic]) > 0
+}
+
+// Corpus is a generated document set with ground truth.
+type Corpus struct {
+	Config Config
+	Docs   []Document
+}
+
+// TotalParas returns the number of paragraphs in the corpus.
+func (c *Corpus) TotalParas() int {
+	n := 0
+	for i := range c.Docs {
+		n += c.Docs[i].ParaCount
+	}
+	return n
+}
+
+// RelevantDocs returns the names of documents relevant to the topic.
+func (c *Corpus) RelevantDocs(topic string) []string {
+	var out []string
+	for i := range c.Docs {
+		if c.Docs[i].RelevantTo(topic) {
+			out = append(out, c.Docs[i].Name)
+		}
+	}
+	return out
+}
+
+// TextBytes returns the total character-data volume of the corpus
+// (redundancy baselines divide index text volume by this).
+func (c *Corpus) TextBytes() int64 {
+	var n int64
+	for i := range c.Docs {
+		n += int64(len(c.Docs[i].SGML))
+	}
+	return n
+}
+
+// Generate produces a deterministic corpus for the configuration.
+func Generate(cfg Config) *Corpus {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(cfg.Vocabulary-1))
+	word := func() string {
+		return fmt.Sprintf("w%03d", zipf.Uint64())
+	}
+	span := func(r [2]int) int {
+		if r[1] <= r[0] {
+			return r[0]
+		}
+		return r[0] + rng.Intn(r[1]-r[0]+1)
+	}
+	kinds := []string{"report", "review", "news"}
+
+	corpus := &Corpus{Config: cfg}
+	for d := 0; d < cfg.Docs; d++ {
+		doc := Document{
+			Name:          fmt.Sprintf("D%03d", d+1),
+			Year:          cfg.YearRange[0] + rng.Intn(cfg.YearRange[1]-cfg.YearRange[0]+1),
+			Kind:          kinds[rng.Intn(len(kinds))],
+			RelevantParas: make(map[string][]int),
+		}
+		// Decide topic carriage up front.
+		carrying := make([]Topic, 0, len(cfg.Topics))
+		for _, topic := range cfg.Topics {
+			if rng.Float64() < cfg.TopicDocShare {
+				carrying = append(carrying, topic)
+			}
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, `<MMFDOC YEAR="%d" AUTHOR="author%02d" KIND="%s">%s`,
+			doc.Year, rng.Intn(12)+1, doc.Kind, "\n")
+		fmt.Fprintf(&sb, "<LOGBOOK>created %d revision %d\n", doc.Year, rng.Intn(9)+1)
+		fmt.Fprintf(&sb, "<DOCTITLE>%s %s issue %d\n", doc.Name, word(), d+1)
+		fmt.Fprintf(&sb, "<ABSTRACT>abstract %s %s %s\n", word(), word(), word())
+		paraIdx := 0
+		sections := span(cfg.SectionsRange)
+		for sec := 0; sec < sections; sec++ {
+			fmt.Fprintf(&sb, "<SECTION><STITLE>section %s %d\n", word(), sec+1)
+			paras := span(cfg.ParasRange)
+			for p := 0; p < paras; p++ {
+				sb.WriteString("<PARA>")
+				words := span(cfg.WordsRange)
+				for w := 0; w < words; w++ {
+					sb.WriteString(word())
+					sb.WriteByte(' ')
+				}
+				for _, topic := range carrying {
+					if rng.Float64() >= cfg.TopicParaShare {
+						continue
+					}
+					doc.RelevantParas[topic.Name] = append(doc.RelevantParas[topic.Name], paraIdx)
+					for i := 0; i < cfg.TopicDensity; i++ {
+						sb.WriteString(topic.Terms[rng.Intn(len(topic.Terms))])
+						sb.WriteByte(' ')
+					}
+				}
+				sb.WriteByte('\n')
+				paraIdx++
+			}
+		}
+		sb.WriteString("</MMFDOC>")
+		doc.ParaCount = paraIdx
+		doc.SGML = sb.String()
+		corpus.Docs = append(corpus.Docs, doc)
+	}
+	return corpus
+}
+
+// QueryForTopic renders the standard IRS query for a topic: the
+// conjunction of its lead term with the disjunction of the others
+// would over-complicate comparisons, so experiments query the lead
+// term (single-term) or #and pairs via AndQuery.
+func QueryForTopic(t Topic) string { return t.Terms[0] }
+
+// AndQuery renders the paper's two-topic conjunction (the Figure 4
+// query shape "#and(WWW NII)").
+func AndQuery(a, b Topic) string {
+	return fmt.Sprintf("#and(%s %s)", a.Terms[0], b.Terms[0])
+}

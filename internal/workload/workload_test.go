@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sgml"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Docs) != cfg.Docs || len(b.Docs) != cfg.Docs {
+		t.Fatalf("doc counts: %d, %d", len(a.Docs), len(b.Docs))
+	}
+	for i := range a.Docs {
+		if a.Docs[i].SGML != b.Docs[i].SGML {
+			t.Fatalf("doc %d differs between runs with same seed", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c := Generate(cfg2)
+	same := 0
+	for i := range a.Docs {
+		if a.Docs[i].SGML == c.Docs[i].SGML {
+			same++
+		}
+	}
+	if same == len(a.Docs) {
+		t.Error("different seeds produced identical corpus")
+	}
+}
+
+func TestGeneratedDocsParseStrictly(t *testing.T) {
+	d, err := sgml.ParseDTD(MMFDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := Generate(DefaultConfig())
+	for i := range corpus.Docs {
+		doc := &corpus.Docs[i]
+		root, err := sgml.ParseDocument(d, doc.SGML, sgml.ParseOptions{Strict: true})
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", doc.Name, err)
+		}
+		paras := root.ElementsByType("PARA")
+		if len(paras) != doc.ParaCount {
+			t.Errorf("%s: %d paras parsed, ground truth says %d", doc.Name, len(paras), doc.ParaCount)
+		}
+		// Planted paragraphs actually contain the topic terms.
+		for topic, idxs := range doc.RelevantParas {
+			var terms []string
+			for _, tp := range corpus.Config.Topics {
+				if tp.Name == topic {
+					terms = tp.Terms
+				}
+			}
+			for _, idx := range idxs {
+				text := paras[idx].InnerText()
+				found := false
+				for _, term := range terms {
+					if strings.Contains(text, term) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("%s para %d claims topic %s but carries no term", doc.Name, idx, topic)
+				}
+			}
+		}
+	}
+}
+
+func TestGroundTruthHelpers(t *testing.T) {
+	corpus := Generate(DefaultConfig())
+	if corpus.TotalParas() <= 0 {
+		t.Error("no paragraphs")
+	}
+	if corpus.TextBytes() <= 0 {
+		t.Error("no text volume")
+	}
+	rel := corpus.RelevantDocs("WWW")
+	if len(rel) == 0 || len(rel) == len(corpus.Docs) {
+		t.Errorf("WWW relevance degenerate: %d of %d", len(rel), len(corpus.Docs))
+	}
+}
+
+func TestFig4Fixture(t *testing.T) {
+	d, err := sgml.ParseDTD(Fig4DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := Fig4Docs()
+	if len(docs) != 4 {
+		t.Fatalf("fixture has %d docs", len(docs))
+	}
+	totalParas := 0
+	for _, doc := range docs {
+		root, err := sgml.ParseDocument(d, doc.SGML, sgml.ParseOptions{Strict: true})
+		if err != nil {
+			t.Fatalf("%s: %v", doc.Name, err)
+		}
+		paras := root.ElementsByType("PARA")
+		if len(paras) != len(doc.Paras) {
+			t.Errorf("%s: %d paras, want %d", doc.Name, len(paras), len(doc.Paras))
+		}
+		totalParas += len(paras)
+		// All paragraphs equal length (the example's assumption).
+		for _, p := range paras {
+			if got := len(strings.Fields(p.InnerText())); got != 8 {
+				t.Errorf("%s: paragraph length %d, want 8", doc.Name, got)
+			}
+		}
+	}
+	if totalParas != 11 {
+		t.Errorf("total paragraphs = %d, want 11 (P1..P11)", totalParas)
+	}
+	joined := ""
+	for _, doc := range docs {
+		joined += doc.SGML + "\n"
+	}
+	if strings.Count(joined, "www") != 5*4 {
+		t.Errorf("www plants = %d, want 20 (P1,P4,P6,P9,P10 x4)", strings.Count(joined, "www"))
+	}
+	if strings.Count(joined, "nii") != 2*4 {
+		t.Errorf("nii plants = %d, want 8 (P4,P7 x4)", strings.Count(joined, "nii"))
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	topics := DefaultTopics()
+	if q := QueryForTopic(topics[0]); q != "www" {
+		t.Errorf("QueryForTopic = %q", q)
+	}
+	if q := AndQuery(topics[0], topics[1]); q != "#and(www nii)" {
+		t.Errorf("AndQuery = %q", q)
+	}
+}
