@@ -1,0 +1,114 @@
+package docirs_test
+
+// Serving-layer benchmarks (external test package: internal/server
+// imports the root package, so these cannot live in bench_test.go's
+// package docirs without an import cycle).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	docirs "repro"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// serveFixture builds an HTTP frontend over a loaded system.
+func serveFixture(b *testing.B, cfg server.Config) *httptest.Server {
+	b.Helper()
+	sys, err := docirs.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sys.Close() })
+	dtd, err := sys.LoadDTD(workload.MMFDTD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := workload.Generate(workload.DefaultConfig())
+	for i := range corpus.Docs {
+		if _, err := sys.LoadDocument(dtd, corpus.Docs[i].SGML); err != nil {
+			b.Fatal(err)
+		}
+	}
+	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", docirs.CollectionOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := coll.IndexObjects(); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(sys, cfg).Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// BenchmarkServerQueryParallel measures serving throughput of the
+// mixed VQL query under parallel clients — cold (cache disabled, so
+// every request evaluates) against warm (epoch-keyed cache on; every
+// repeat is a hit). Future PRs track QPS and the cold/warm gap here.
+func BenchmarkServerQueryParallel(b *testing.B) {
+	body, _ := json.Marshal(map[string]string{
+		"query": `ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.45;`,
+	})
+	run := func(b *testing.B, cfg server.Config) {
+		ts := serveFixture(b, cfg)
+		// Warm once so both variants measure steady state (the cold
+		// variant still evaluates every request; its steady state is
+		// the coupling's own buffered path).
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var out struct {
+					Count *int   `json:"count"`
+					Error string `json:"error"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if out.Count == nil {
+					b.Fatalf("query failed: %s", out.Error)
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, server.Config{CacheSize: -1}) })
+	b.Run("warm", func(b *testing.B) { run(b, server.Config{CacheSize: 1024}) })
+}
+
+// BenchmarkServerSearchParallel measures the raw IRS search endpoint
+// under parallel clients with the cache on.
+func BenchmarkServerSearchParallel(b *testing.B) {
+	ts := serveFixture(b, server.Config{})
+	url := ts.URL + "/collections/collPara/search?q=www"
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("search status %d", resp.StatusCode)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}

@@ -10,6 +10,11 @@ package docirs
 // makes (architectures, buffer on/off, strategies, placements,
 // policies, paradigms); cmd/mmfbench prints the corresponding
 // tables.
+//
+// Serving-layer throughput benchmarks (BenchmarkServerQueryParallel,
+// BenchmarkServerSearchParallel) live in bench_server_test.go in the
+// external test package: internal/server imports this package, so
+// they cannot live here without an import cycle.
 
 import (
 	"fmt"

@@ -1,0 +1,105 @@
+// Command mmfserve runs the concurrent document service: an
+// HTTP/JSON API over a docirs.System, with bounded-concurrency
+// admission and an epoch-keyed query-result cache.
+//
+//	mmfserve -addr :8080 -db ./data
+//	mmfserve -addr :8080                      # memory-only
+//	mmfserve -addr :8080 -db ./data -dtd mmf.dtd -dtd-name mmf
+//
+// Example session:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/dtds \
+//	     -d '{"name":"mmf","dtd":"<!ELEMENT ...>"}'
+//	curl -s -X POST localhost:8080/documents \
+//	     -d '{"dtd":"mmf","documents":["<MMFDOC>..."]}'
+//	curl -s -X POST localhost:8080/collections \
+//	     -d '{"name":"collPara","spec":"ACCESS p FROM p IN PARA;"}'
+//	curl -s -X POST localhost:8080/query \
+//	     -d '{"query":"ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, '\''www'\'') > 0.45;"}'
+//	curl -s 'localhost:8080/collections/collPara/search?q=%23and(www%20nii)&limit=5'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	docirs "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dbDir := flag.String("db", "", "database directory (empty: memory-only)")
+	dtdPath := flag.String("dtd", "", "DTD file to preload (optional)")
+	dtdName := flag.String("dtd-name", "default", "name the preloaded DTD is registered under")
+	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent evaluation bound (0: 4×GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 1024, "query cache entries (negative: disable)")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "admission wait bound")
+	flag.Parse()
+
+	if err := run(*addr, *dbDir, *dtdPath, *dtdName, server.Config{
+		MaxConcurrent: *maxConcurrent,
+		CacheSize:     *cacheSize,
+		QueueTimeout:  *queueTimeout,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "mmfserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dbDir, dtdPath, dtdName string, cfg server.Config) error {
+	sys, err := docirs.Open(dbDir)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	srv := server.New(sys, cfg)
+	if dtdPath != "" {
+		src, err := os.ReadFile(dtdPath)
+		if err != nil {
+			return err
+		}
+		if err := srv.PreloadDTD(dtdName, string(src)); err != nil {
+			return err
+		}
+		log.Printf("preloaded DTD %q from %s", dtdName, dtdPath)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mmfserve listening on %s (db=%q, collections=%v)",
+			addr, dbDir, sys.Collections())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		log.Printf("received %s, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestRunRejectsMissingDTDFile(t *testing.T) {
+	if err := run("127.0.0.1:0", "", filepath.Join(t.TempDir(), "nope.dtd"), "mmf", server.Config{}); err == nil {
+		t.Fatal("run accepted a missing DTD file")
+	}
+}
+
+func TestRunRejectsBadDTD(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.dtd")
+	if err := os.WriteFile(path, []byte("<!ELEMENT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("127.0.0.1:0", "", path, "mmf", server.Config{}); err == nil {
+		t.Fatal("run accepted a malformed DTD")
+	}
+}
+
+// TestRunServesAndDrains boots the real binary entry point on a free
+// port, checks /healthz answers, then delivers SIGTERM and expects a
+// clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(addr, "", "", "default", server.Config{MaxConcurrent: 2})
+	}()
+
+	url := fmt.Sprintf("http://%s/healthz", addr)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("server exited early: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}

@@ -259,6 +259,22 @@ func (s *System) Search(collection, irsQuery string) ([]SearchResult, error) {
 // mode.
 func (s *System) Text(oid OID, mode int) string { return s.store.Text(oid, mode) }
 
+// Collections returns all collection names, sorted.
+func (s *System) Collections() []string { return s.coupling.Collections() }
+
+// Epoch returns the coupling-wide change counter: it advances on
+// every committed document mutation, collection lifecycle change,
+// (re)indexing pass or propagation flush. Serving layers key
+// whole-query caches on it — a result cached under one epoch value
+// may be replayed while the epoch stands still, which keeps the
+// deferred propagation policies (PropagateOnQuery, PropagateManually)
+// correct behind such caches.
+func (s *System) Epoch() uint64 { return s.coupling.Epoch() }
+
+// ParseOID parses an OID string ("oid42"); the error-returning
+// counterpart of MustOID for request-handling code.
+func ParseOID(str string) (OID, error) { return oodb.ParseOID(str) }
+
 // MustOID parses an OID string ("oid42"), panicking on malformed
 // input; convenient in examples and tests.
 func MustOID(str string) OID {

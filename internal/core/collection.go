@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/derive"
@@ -23,14 +24,25 @@ type Collection struct {
 	specQuery string
 	textMode  int
 	irsColl   *irs.Collection
-	deriver   derive.Scheme
-	policy    PropagationPolicy
+
+	// mu guards the exchangeable configuration slots (deriver,
+	// policy, textFn); queries read them while applications may
+	// exchange them at runtime (Section 6's "different solutions with
+	// the same framework in parallel").
+	mu      sync.RWMutex
+	deriver derive.Scheme
+	policy  PropagationPolicy
+	textFn  func(oid oodb.OID, mode int) string
 
 	buffer    *resultBuffer
 	log       *updateLog
 	stats     Stats
 	bufferOff atomic.Bool
-	textFn    func(oid oodb.OID, mode int) string
+	// epoch advances whenever a result served from this collection
+	// could change: logged updates awaiting propagation, (re)indexing,
+	// flushes and configuration exchanges. Serving layers key caches
+	// on Epoch so PropagateOnQuery stays correct behind them.
+	epoch atomic.Uint64
 }
 
 // Stats counts coupling activity; every field is maintained with
@@ -100,31 +112,73 @@ func (col *Collection) SpecQuery() string { return col.specQuery }
 func (col *Collection) TextMode() int { return col.textMode }
 
 // Deriver returns the derivation scheme.
-func (col *Collection) Deriver() derive.Scheme { return col.deriver }
+func (col *Collection) Deriver() derive.Scheme {
+	col.mu.RLock()
+	defer col.mu.RUnlock()
+	return col.deriver
+}
 
 // SetDeriver exchanges the derivation scheme ("It is possible to
 // realize different solutions with the same framework in parallel
 // and to compare the results", Section 6).
-func (col *Collection) SetDeriver(s derive.Scheme) { col.deriver = s }
+func (col *Collection) SetDeriver(s derive.Scheme) {
+	col.mu.Lock()
+	col.deriver = s
+	col.mu.Unlock()
+	col.bumpEpoch()
+}
 
 // Policy returns the propagation policy.
-func (col *Collection) Policy() PropagationPolicy { return col.policy }
+func (col *Collection) Policy() PropagationPolicy {
+	col.mu.RLock()
+	defer col.mu.RUnlock()
+	return col.policy
+}
 
 // SetPolicy changes the propagation policy.
-func (col *Collection) SetPolicy(p PropagationPolicy) { col.policy = p }
+func (col *Collection) SetPolicy(p PropagationPolicy) {
+	col.mu.Lock()
+	col.policy = p
+	col.mu.Unlock()
+}
 
 // SetTextFunc installs (or clears, with nil) the application-defined
 // getText override; see Options.TextFunc.
 func (col *Collection) SetTextFunc(fn func(oid oodb.OID, mode int) string) {
+	col.mu.Lock()
 	col.textFn = fn
+	col.mu.Unlock()
+	col.bumpEpoch()
 }
 
 // text returns the representation handed to the IRS for oid.
 func (col *Collection) text(oid oodb.OID) string {
-	if col.textFn != nil {
-		return col.textFn(oid, col.textMode)
+	col.mu.RLock()
+	fn := col.textFn
+	col.mu.RUnlock()
+	if fn != nil {
+		return fn(oid, col.textMode)
 	}
 	return col.c.store.Text(oid, col.textMode)
+}
+
+// bumpEpoch advances the collection's (and the coupling's) change
+// counter.
+func (col *Collection) bumpEpoch() {
+	col.epoch.Add(1)
+	col.c.epoch.Add(1)
+}
+
+// Epoch returns a counter that advances whenever results served from
+// this collection could differ from previously returned ones. It
+// folds in the IRS index version and model generation, so direct
+// mutations through IRS() (AddDocument, SetModel, …) are covered
+// too. Any cache keyed on (query, Epoch) therefore honours the
+// propagation policies: a logged update under PropagateOnQuery
+// advances the epoch immediately, before the flush that the next
+// query will force.
+func (col *Collection) Epoch() uint64 {
+	return col.epoch.Load() + col.irsColl.Index().Version() + col.irsColl.ModelGeneration()
 }
 
 // Stats exposes the activity counters.
@@ -205,6 +259,7 @@ func (col *Collection) IndexObjects() (int, error) {
 		col.stats.Indexed.Add(1)
 	}
 	col.buffer.invalidate()
+	col.bumpEpoch()
 	return n, nil
 }
 
@@ -245,6 +300,7 @@ func (col *Collection) Reindex() (added, updated, removed int, err error) {
 	}
 	col.log.drain() // everything is fresh; pending ops are moot
 	col.buffer.invalidate()
+	col.bumpEpoch()
 	return added, updated, removed, nil
 }
 
@@ -276,7 +332,7 @@ func (col *Collection) GetIRSResult(irsQuery string) (map[oodb.OID]float64, erro
 }
 
 func (col *Collection) getIRSResultNode(node *irs.Node) (map[oodb.OID]float64, error) {
-	if col.policy != PropagateImmediately && col.log.pending() {
+	if col.Policy() != PropagateImmediately && col.log.pending() {
 		col.stats.ForcedFlushes.Add(1)
 		if err := col.Flush(); err != nil {
 			return nil, err
@@ -366,11 +422,12 @@ func (col *Collection) deriveValueDepth(node *irs.Node, obj oodb.OID, depth int)
 		return 0, fmt.Errorf("%w: %s", ErrDeriveDepth, obj)
 	}
 	col.stats.Derivations.Add(1)
+	deriver := col.Deriver()
 	kids := col.c.store.Children(obj)
 	if len(kids) == 0 {
 		return col.defaultValue(), nil
 	}
-	needSubs := col.deriver.NeedsSubqueries()
+	needSubs := deriver.NeedsSubqueries()
 	subs := node.Subqueries()
 	comps := make([]derive.Component, 0, len(kids))
 	for _, kid := range kids {
@@ -395,7 +452,7 @@ func (col *Collection) deriveValueDepth(node *irs.Node, obj oodb.OID, depth int)
 		}
 		comps = append(comps, comp)
 	}
-	return col.deriver.Derive(node, comps, col.defaultValue()), nil
+	return deriver.Derive(node, comps, col.defaultValue()), nil
 }
 
 func (col *Collection) componentType(oid oodb.OID) string {
@@ -411,21 +468,28 @@ func (col *Collection) componentType(oid oodb.OID) string {
 // of the object itself and of every represented ancestor (their
 // getText covers the subtree), so all of them are logged.
 func (col *Collection) onUpdate(u oodb.Update) {
+	logged := false
 	switch u.Kind {
 	case oodb.UpdateCreate:
 		col.log.add(u.OID, pendingCreate, &col.stats)
+		logged = true
 	case oodb.UpdateDelete:
 		if col.Represented(u.OID) || col.log.hasCreate(u.OID) {
 			col.log.add(u.OID, pendingDelete, &col.stats)
+			logged = true
 		}
 	case oodb.UpdateModify:
 		for oid := u.OID; oid != oodb.NilOID; oid = col.c.store.Parent(oid) {
 			if col.Represented(oid) {
 				col.log.add(oid, pendingModify, &col.stats)
+				logged = true
 			}
 		}
 	}
-	if col.policy == PropagateImmediately && col.log.pending() {
+	if logged {
+		col.bumpEpoch()
+	}
+	if col.Policy() == PropagateImmediately && col.log.pending() {
 		// Errors here cannot be returned to the mutator (the hook
 		// runs post-commit); they surface on the next query instead.
 		_ = col.Flush()
@@ -492,6 +556,7 @@ func (col *Collection) Flush() error {
 	}
 	if changed {
 		col.buffer.invalidate()
+		col.bumpEpoch()
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/derive"
 	"repro/internal/docmodel"
@@ -52,10 +53,37 @@ type Coupling struct {
 	engine *irs.Engine
 	ev     *vql.Evaluator
 
+	// epoch advances on every committed document mutation and on
+	// collection lifecycle changes; serving layers key whole-query
+	// caches on it (see Collection.Epoch for the per-collection
+	// counter).
+	epoch atomic.Uint64
+
 	mu          sync.RWMutex
 	byName      map[string]*Collection
 	byOID       map[oodb.OID]*Collection
 	defaultColl *Collection
+}
+
+// Epoch returns a counter that advances whenever the outcome of a
+// VQL query could change: any committed non-framework database
+// mutation, collection creation/drop, (re)indexing, propagation
+// flushes and configuration exchanges all bump it, and every
+// collection's own epoch (which folds in direct IRS index mutations
+// and model exchanges) is summed in. Results cached under one epoch
+// value may be replayed verbatim while the epoch stands still.
+func (c *Coupling) Epoch() uint64 {
+	sum := c.epoch.Load()
+	c.mu.RLock()
+	cols := make([]*Collection, 0, len(c.byName))
+	for _, col := range c.byName {
+		cols = append(cols, col)
+	}
+	c.mu.RUnlock()
+	for _, col := range cols {
+		sum += col.Epoch()
+	}
+	return sum
 }
 
 // New attaches a coupling to the document store and IRS engine. It
@@ -249,6 +277,7 @@ func (c *Coupling) CreateCollection(name, specQuery string, opts Options) (*Coll
 	if c.defaultColl == nil {
 		c.defaultColl = col
 	}
+	c.epoch.Add(1)
 	return col, nil
 }
 
@@ -267,6 +296,9 @@ func (c *Coupling) DropCollection(name string) error {
 		c.defaultColl = nil
 	}
 	c.mu.Unlock()
+	// Fold the dropped collection's final epoch into the base counter
+	// so the summed Epoch() stays monotonic when its term disappears.
+	c.epoch.Add(col.Epoch() + 1)
 	col.buffer.invalidate()
 	if err := c.engine.DropCollection(name); err != nil && !errors.Is(err, irs.ErrNoSuchCollection) {
 		return err
@@ -351,6 +383,10 @@ func (c *Coupling) onUpdate(u oodb.Update) {
 	if frameworkClasses[u.Class] {
 		return
 	}
+	// Every committed document mutation invalidates whole-query
+	// caches, even mutations irrelevant to text representations
+	// (structural VQL predicates may depend on them).
+	c.epoch.Add(1)
 	if u.Kind == oodb.UpdateModify &&
 		u.Attr != docmodel.AttrText && u.Attr != docmodel.AttrChildren {
 		return // attribute irrelevant for text representations

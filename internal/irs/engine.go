@@ -161,22 +161,45 @@ func (e *Engine) Save() error {
 }
 
 // Collection is one IRS collection: an index plus the retrieval
-// model used to score queries against it.
+// model used to score queries against it. Collections are safe for
+// concurrent use: the index carries its own lock and the model slot
+// is guarded here (SetModel may race with searches under the serving
+// layer).
 type Collection struct {
-	name  string
-	ix    *Index
-	model Model
+	name string
+	ix   *Index
+
+	modelMu  sync.RWMutex
+	model    Model
+	modelGen uint64 // bumped by SetModel; folded into serving-layer epochs
 }
 
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
 
 // Model returns the retrieval model in use.
-func (c *Collection) Model() Model { return c.model }
+func (c *Collection) Model() Model {
+	c.modelMu.RLock()
+	defer c.modelMu.RUnlock()
+	return c.model
+}
 
 // SetModel exchanges the retrieval paradigm without touching the
 // index — the loose-coupling exchangeability claim made concrete.
-func (c *Collection) SetModel(m Model) { c.model = m }
+func (c *Collection) SetModel(m Model) {
+	c.modelMu.Lock()
+	defer c.modelMu.Unlock()
+	c.model = m
+	c.modelGen++
+}
+
+// ModelGeneration counts model exchanges; scores cached across a
+// SetModel must be invalidated, so epoch computations fold this in.
+func (c *Collection) ModelGeneration() uint64 {
+	c.modelMu.RLock()
+	defer c.modelMu.RUnlock()
+	return c.modelGen
+}
 
 // Index exposes the underlying inverted file (read-mostly use by
 // experiments; the coupling layer goes through the typed methods).
@@ -223,7 +246,7 @@ func (c *Collection) Search(query string) ([]Result, error) {
 
 // SearchNode evaluates a pre-parsed query.
 func (c *Collection) SearchNode(n *Node) []Result {
-	scores := c.model.Eval(c.ix, n)
+	scores := c.Model().Eval(c.ix, n)
 	out := make([]Result, 0, len(scores))
 	for d, s := range scores {
 		ext, ok := c.ix.ExtID(d)

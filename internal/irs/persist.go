@@ -106,7 +106,7 @@ func writeCollection(w io.Writer, c *Collection) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(persistVersion)); err != nil {
 		return err
 	}
-	if err := writeString(w, c.model.Name()); err != nil {
+	if err := writeString(w, c.Model().Name()); err != nil {
 		return err
 	}
 	ix := c.ix

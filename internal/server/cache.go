@@ -1,0 +1,94 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one cached evaluation result. The epoch
+// component is the invalidation mechanism: it is the coupling-wide
+// epoch for VQL queries and the per-collection epoch for raw IRS
+// searches, both of which advance whenever the update log advances
+// (see core.Coupling.Epoch / core.Collection.Epoch). A mutation
+// therefore never requires walking the cache — entries cached under
+// the old epoch become unreachable and are evicted by LRU order.
+type cacheKey struct {
+	kind     string // "query" or "search"
+	coll     string // collection name; empty for VQL queries
+	strategy string
+	query    string
+	epoch    uint64
+}
+
+// queryCache is a plain LRU over cacheKey. A capacity of 0 disables
+// it (every get misses, every put is dropped).
+type queryCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val any
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached value for k, marking it most recently used.
+func (c *queryCache) get(k cacheKey) (any, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores v under k, evicting the least recently used entry when
+// over capacity.
+func (c *queryCache) put(k cacheKey, v any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = v
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of live entries.
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// purge empties the cache.
+func (c *queryCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[cacheKey]*list.Element)
+}

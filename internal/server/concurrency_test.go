@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentMixedWorkload is the end-to-end concurrency test for
+// the serving layer: reader goroutines issue VQL queries and raw IRS
+// searches over HTTP while writer goroutines ingest documents, edit
+// text leaves and force propagation flushes. Run under -race this
+// exercises the locked paths in docirs.System, internal/core and
+// internal/irs simultaneously with the server's cache and admission
+// machinery. Every response must be a success or — by design — a
+// clean 503 from the admission layer; anything else fails the test.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	_, ts := fixture(t, Config{MaxConcurrent: 8, CacheSize: 256})
+	seed(t, ts, 4)
+
+	// A pool of text-leaf OIDs for the editors to rewrite.
+	leavesOut := mustOK(t, "POST", ts.URL+"/query", map[string]any{
+		"query": "ACCESS t FROM t IN Text;",
+	})
+	var leaves []string
+	for _, row := range leavesOut["rows"].([]any) {
+		leaves = append(leaves, row.([]any)[0].(string))
+	}
+	if len(leaves) == 0 {
+		t.Fatal("no text leaves to edit")
+	}
+
+	const (
+		readers   = 8
+		writers   = 3
+		perWorker = 25
+	)
+	queries := []any{
+		map[string]any{"query": `ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.45;`},
+		map[string]any{"query": `ACCESS p FROM p IN PARA;`, "strategy": "independent"},
+		map[string]any{"query": `ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'markup') > 0.3;`, "strategy": "irs-first"},
+	}
+	searches := []string{"www", "%23and(www%20markup)", "sgml"}
+
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+		overload atomic.Int64
+	)
+	check := func(kind string, status int, out map[string]any) {
+		switch {
+		case status >= 200 && status <= 299:
+		case status == http.StatusServiceUnavailable:
+			overload.Add(1)
+		default:
+			failures.Add(1)
+			t.Errorf("%s: status %d: %v", kind, status, out["error"])
+		}
+	}
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%2 == 0 {
+					status, out := call(t, "POST", ts.URL+"/query", queries[(g+i)%len(queries)])
+					check("query", status, out)
+				} else {
+					q := searches[(g+i)%len(searches)]
+					status, out := call(t, "GET", ts.URL+"/collections/collPara/search?q="+q, nil)
+					check("search", status, out)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				switch i % 3 {
+				case 0:
+					status, out := call(t, "POST", ts.URL+"/documents", map[string]any{
+						"dtd":       "mmf",
+						"documents": []string{testDoc(1000*g+i, "fresh www content")},
+					})
+					check("ingest", status, out)
+				case 1:
+					leaf := leaves[(g*perWorker+i)%len(leaves)]
+					status, out := call(t, "PUT", ts.URL+"/documents/"+leaf+"/text", map[string]any{
+						"text": fmt.Sprintf("edited %d-%d www markup", g, i),
+					})
+					check("edit", status, out)
+				case 2:
+					status, out := call(t, "POST", ts.URL+"/collections/collPara/flush", nil)
+					check("flush", status, out)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d requests failed", n)
+	}
+	// The system must still answer coherently after the storm.
+	stats := mustOK(t, "GET", ts.URL+"/stats", nil)
+	if stats["queries"].(float64) < readers*perWorker/2 {
+		t.Fatalf("stats lost queries: %v", stats["queries"])
+	}
+	final := mustOK(t, "GET", ts.URL+"/collections/collPara/search?q=www", nil)
+	if int(final["count"].(float64)) == 0 {
+		t.Fatal("post-storm search found nothing; index lost documents")
+	}
+	t.Logf("storm done: %v queries, %v searches, %d overloads, cache %v",
+		stats["queries"], stats["searches"], overload.Load(), stats["cache"])
+}

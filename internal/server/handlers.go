@@ -1,0 +1,549 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	docirs "repro"
+	"repro/internal/core"
+	"repro/internal/derive"
+	"repro/internal/irs"
+)
+
+// routes wires the endpoint table. Query-evaluation and ingest
+// endpoints go through the admission layer; cheap metadata endpoints
+// (healthz, stats, listings) bypass it so they stay responsive under
+// saturation.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /dtds", s.handleLoadDTD)
+	s.mux.HandleFunc("POST /documents", s.admitted(s.handleIngest))
+	s.mux.HandleFunc("DELETE /documents/{oid}", s.admitted(s.handleDeleteDocument))
+	s.mux.HandleFunc("PUT /documents/{oid}/text", s.admitted(s.handleSetText))
+	s.mux.HandleFunc("GET /collections", s.handleListCollections)
+	s.mux.HandleFunc("POST /collections", s.admitted(s.handleCreateCollection))
+	s.mux.HandleFunc("DELETE /collections/{name}", s.admitted(s.handleDropCollection))
+	s.mux.HandleFunc("POST /collections/{name}/flush", s.admitted(s.handleFlush))
+	s.mux.HandleFunc("POST /collections/{name}/feedback", s.admitted(s.handleFeedback))
+	s.mux.HandleFunc("GET /collections/{name}/search", s.admitted(s.handleSearch))
+	s.mux.HandleFunc("POST /query", s.admitted(s.handleQuery))
+}
+
+// --- helpers -------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// fail reports a request error and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.stats.errored.Add(1)
+	writeError(w, status, format, args...)
+}
+
+// maxBodyBytes bounds request bodies (ingest batches included).
+const maxBodyBytes = 64 << 20
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func parseStrategy(name string) (docirs.Strategy, error) {
+	switch name {
+	case "", "auto":
+		return docirs.StrategyAuto, nil
+	case "independent":
+		return docirs.StrategyIndependent, nil
+	case "irs-first":
+		return docirs.StrategyIRSFirst, nil
+	}
+	return docirs.StrategyAuto, fmt.Errorf("unknown strategy %q (want auto, independent or irs-first)", name)
+}
+
+func parsePolicy(name string) (docirs.PropagationPolicy, error) {
+	switch name {
+	case "", "on-query":
+		return docirs.PropagateOnQuery, nil
+	case "immediate":
+		return docirs.PropagateImmediately, nil
+	case "manual":
+		return docirs.PropagateManually, nil
+	}
+	return docirs.PropagateOnQuery, fmt.Errorf("unknown policy %q (want on-query, immediate or manual)", name)
+}
+
+func parseTextMode(name string) (int, error) {
+	switch name {
+	case "", "full":
+		return docirs.ModeFullText, nil
+	case "abstract":
+		return docirs.ModeAbstract, nil
+	case "own":
+		return docirs.ModeOwnText, nil
+	}
+	return docirs.ModeFullText, fmt.Errorf("unknown text mode %q (want full, abstract or own)", name)
+}
+
+// --- health & stats ------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"epoch":  s.sys.Epoch(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits := s.stats.cacheHits.Load()
+	misses := s.stats.cacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	backlog := int64(0)
+	colls := make(map[string]any)
+	for _, name := range s.sys.Collections() {
+		col, err := s.sys.Collection(name)
+		if err != nil {
+			continue // dropped concurrently
+		}
+		pending := col.PendingOps()
+		backlog += int64(pending)
+		cs := col.Stats().Snapshot()
+		colls[name] = map[string]any{
+			"docs":             col.DocCount(),
+			"policy":           col.Policy().String(),
+			"epoch":            col.Epoch(),
+			"pending_ops":      pending,
+			"buffered_queries": col.BufferedQueries(),
+			"irs_searches":     cs.IRSSearches,
+			"buffer_hits":      cs.BufferHits,
+			"buffer_misses":    cs.BufferMisses,
+			"ops_logged":       cs.OpsLogged,
+			"ops_applied":      cs.OpsApplied,
+			"flushes":          cs.Flushes,
+			"indexed":          cs.Indexed,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"epoch":          s.sys.Epoch(),
+		"qps":            s.qps.rate(),
+		"queries":        s.stats.queries.Load(),
+		"searches":       s.stats.searches.Load(),
+		"ingests":        s.stats.ingests.Load(),
+		"edits":          s.stats.edits.Load(),
+		"errors":         s.stats.errored.Load(),
+		"cache": map[string]any{
+			"hits":     hits,
+			"misses":   misses,
+			"hit_rate": hitRate,
+			"entries":  s.cache.len(),
+			"capacity": s.cfg.CacheSize,
+		},
+		"admission": map[string]any{
+			"inflight":       s.stats.inflight.Load(),
+			"max_concurrent": s.cfg.MaxConcurrent,
+			"rejected":       s.stats.rejected.Load(),
+		},
+		"propagation_backlog": backlog,
+		"collections":         colls,
+	})
+}
+
+// --- DTDs & documents ---------------------------------------------
+
+func (s *Server) handleLoadDTD(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+		DTD  string `json:"dtd"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.DTD == "" {
+		s.fail(w, http.StatusBadRequest, "name and dtd are required")
+		return
+	}
+	if err := s.PreloadDTD(req.Name, req.DTD); err != nil {
+		s.fail(w, http.StatusBadRequest, "load dtd: %v", err)
+		return
+	}
+	d, _ := s.dtd(req.Name)
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":     req.Name,
+		"elements": len(d.ElementNames()),
+	})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		DTD       string   `json:"dtd"`
+		Documents []string `json:"documents"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	d, ok := s.dtd(req.DTD)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown dtd %q (load it via POST /dtds first)", req.DTD)
+		return
+	}
+	if len(req.Documents) == 0 {
+		s.fail(w, http.StatusBadRequest, "documents must be non-empty")
+		return
+	}
+	if len(req.Documents) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Documents), s.cfg.MaxBatch)
+		return
+	}
+	oids := make([]string, 0, len(req.Documents))
+	for i, src := range req.Documents {
+		oid, err := s.sys.LoadDocument(d, src)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "document %d: %v (first %d stored)", i, err, len(oids))
+			return
+		}
+		oids = append(oids, oid.String())
+		s.stats.ingests.Add(1)
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"oids": oids, "count": len(oids)})
+}
+
+func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
+	oid, err := docirs.ParseOID(r.PathValue("oid"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.sys.DeleteDocument(oid); err != nil {
+		s.fail(w, http.StatusNotFound, "delete %s: %v", oid, err)
+		return
+	}
+	s.stats.edits.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": oid.String()})
+}
+
+func (s *Server) handleSetText(w http.ResponseWriter, r *http.Request) {
+	oid, err := docirs.ParseOID(r.PathValue("oid"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req struct {
+		Text string `json:"text"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.sys.SetText(oid, req.Text); err != nil {
+		s.fail(w, http.StatusBadRequest, "set text of %s: %v", oid, err)
+		return
+	}
+	s.stats.edits.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"updated": oid.String()})
+}
+
+// --- collections ---------------------------------------------------
+
+func (s *Server) handleListCollections(w http.ResponseWriter, r *http.Request) {
+	names := s.sys.Collections()
+	out := make([]map[string]any, 0, len(names))
+	for _, name := range names {
+		col, err := s.sys.Collection(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, map[string]any{
+			"name":        name,
+			"spec":        col.SpecQuery(),
+			"docs":        col.DocCount(),
+			"policy":      col.Policy().String(),
+			"pending_ops": col.PendingOps(),
+			"epoch":       col.Epoch(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"collections": out})
+}
+
+func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name     string `json:"name"`
+		Spec     string `json:"spec"`
+		TextMode string `json:"text_mode"`
+		Model    string `json:"model"`
+		Deriver  string `json:"deriver"`
+		Policy   string `json:"policy"`
+		NoIndex  bool   `json:"no_index"` // skip the initial IndexObjects pass
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.Spec == "" {
+		s.fail(w, http.StatusBadRequest, "name and spec are required")
+		return
+	}
+	opts := docirs.CollectionOptions{}
+	var err error
+	if opts.TextMode, err = parseTextMode(req.TextMode); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if opts.Policy, err = parsePolicy(req.Policy); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Model != "" {
+		if opts.Model, err = irs.ModelByName(req.Model); err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if req.Deriver != "" {
+		scheme, ok := derive.ByName(req.Deriver)
+		if !ok {
+			s.fail(w, http.StatusBadRequest, "unknown derivation scheme %q", req.Deriver)
+			return
+		}
+		opts.Deriver = scheme
+	}
+	col, err := s.sys.CreateCollection(req.Name, req.Spec, opts)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrDuplicate) {
+			status = http.StatusConflict
+		}
+		s.fail(w, status, "create collection: %v", err)
+		return
+	}
+	indexed := 0
+	if !req.NoIndex {
+		if indexed, err = col.IndexObjects(); err != nil {
+			s.sys.DropCollection(req.Name)
+			s.fail(w, http.StatusBadRequest, "index collection: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":    req.Name,
+		"indexed": indexed,
+		"policy":  col.Policy().String(),
+	})
+}
+
+func (s *Server) handleDropCollection(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.sys.DropCollection(name); err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	// A same-name recreate restarts the per-collection epoch near
+	// zero, so search entries keyed under the old collection could
+	// collide with it; drop everything.
+	s.cache.purge()
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	col, err := s.sys.Collection(r.PathValue("name"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	pending := col.PendingOps()
+	if err := col.Flush(); err != nil {
+		s.fail(w, http.StatusInternalServerError, "flush: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collection":  col.Name(),
+		"pending_was": pending,
+	})
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	col, err := s.sys.Collection(r.PathValue("name"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var req struct {
+		Query          string   `json:"query"`
+		Relevant       []string `json:"relevant"`
+		AddTerms       int      `json:"add_terms"`
+		OriginalWeight float64  `json:"original_weight"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Query == "" || len(req.Relevant) == 0 {
+		s.fail(w, http.StatusBadRequest, "query and relevant are required")
+		return
+	}
+	expanded, err := col.IRS().ExpandQuery(req.Query, req.Relevant, docirs.FeedbackOptions{
+		AddTerms:       req.AddTerms,
+		OriginalWeight: req.OriginalWeight,
+	})
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "expand query: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collection": col.Name(),
+		"original":   req.Query,
+		"expanded":   expanded,
+	})
+}
+
+// --- search & query ------------------------------------------------
+
+type searchHit struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.fail(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		var err error
+		if limit, err = strconv.Atoi(l); err != nil || limit < 0 {
+			s.fail(w, http.StatusBadRequest, "bad limit %q", l)
+			return
+		}
+	}
+	col, err := s.sys.Collection(name)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	start := time.Now()
+	s.qps.record()
+	s.stats.searches.Add(1)
+	key := cacheKey{kind: "search", coll: name, query: q, epoch: col.Epoch()}
+	var hits []searchHit
+	cached := false
+	if v, ok := s.cache.get(key); ok {
+		hits = v.([]searchHit)
+		cached = true
+		s.stats.cacheHits.Add(1)
+	} else {
+		s.stats.cacheMisses.Add(1)
+		results, err := s.sys.Search(name, q)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "search: %v", err)
+			return
+		}
+		hits = make([]searchHit, len(results))
+		for i, res := range results {
+			hits[i] = searchHit{ID: res.ExtID, Score: res.Score}
+		}
+		s.cache.put(key, hits)
+	}
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collection": name,
+		"query":      q,
+		"results":    hits,
+		"count":      len(hits),
+		"cached":     cached,
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// queryResult is the cacheable part of a query response.
+type queryResult struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Query    string `json:"query"`
+		Strategy string `json:"strategy"`
+		Explain  bool   `json:"explain"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		s.fail(w, http.StatusBadRequest, "query is required")
+		return
+	}
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Explain {
+		plan, err := s.sys.ExplainQuery(req.Query, strategy)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "explain: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"query":    req.Query,
+			"strategy": strategy.String(),
+			"plan":     plan,
+		})
+		return
+	}
+	start := time.Now()
+	s.qps.record()
+	s.stats.queries.Add(1)
+	key := cacheKey{kind: "query", strategy: strategy.String(), query: req.Query, epoch: s.sys.Epoch()}
+	var res *queryResult
+	cached := false
+	if v, ok := s.cache.get(key); ok {
+		res = v.(*queryResult)
+		cached = true
+		s.stats.cacheHits.Add(1)
+	} else {
+		s.stats.cacheMisses.Add(1)
+		rs, err := s.sys.QueryWithStrategy(req.Query, strategy)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "query: %v", err)
+			return
+		}
+		res = &queryResult{Columns: rs.Columns, Rows: make([][]string, len(rs.Rows))}
+		for i, row := range rs.Rows {
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = v.String()
+			}
+			res.Rows[i] = cells
+		}
+		s.cache.put(key, res)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns":    res.Columns,
+		"rows":       res.Rows,
+		"count":      len(res.Rows),
+		"strategy":   strategy.String(),
+		"cached":     cached,
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}

@@ -1,0 +1,165 @@
+// Package server is the concurrent document service layer: an
+// HTTP/JSON API over docirs.System, turning the paper's single-user
+// coupling into a multi-client query service. It adds what every
+// modern treatment of the coupling problem assumes in front of the
+// index:
+//
+//   - an admission layer (counting semaphore) bounding the number of
+//     concurrently evaluated queries, with a bounded wait and 503 on
+//     overload;
+//   - an LRU query-result cache keyed on (kind, collection, strategy,
+//     query, epoch). The epoch component ties the cache to the
+//     coupling's update log: any committed document mutation advances
+//     the epoch (core.Coupling.Epoch / core.Collection.Epoch), so a
+//     deferred-propagation policy such as PropagateOnQuery stays
+//     correct — a stale entry simply becomes unreachable and ages
+//     out;
+//   - expvar-style counters (/stats): QPS, cache hit rate, in-flight
+//     and rejected requests, and the propagation backlog across
+//     collections.
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	docirs "repro"
+)
+
+// Config tunes the service layer. The zero value selects sensible
+// defaults for every field.
+type Config struct {
+	// MaxConcurrent bounds the number of query/search/ingest requests
+	// evaluated at once; further requests wait up to QueueTimeout for
+	// a slot. Default: 4 × GOMAXPROCS.
+	MaxConcurrent int
+	// QueueTimeout is the longest a request waits for an admission
+	// slot before being rejected with 503. Default: 5s.
+	QueueTimeout time.Duration
+	// CacheSize is the capacity (entries) of the query-result cache;
+	// negative disables caching. Default (0): 1024.
+	CacheSize int
+	// MaxBatch bounds the number of documents accepted by one ingest
+	// request. Default: 1024.
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	} else if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	return c
+}
+
+// Server serves one docirs.System to many concurrent clients.
+type Server struct {
+	sys   *docirs.System
+	cfg   Config
+	sem   chan struct{}
+	cache *queryCache
+	mux   *http.ServeMux
+	stats counters
+	qps   *rateWindow
+	start time.Time
+
+	// dtds names loaded DTDs so ingest requests can reference them.
+	dtdMu sync.RWMutex
+	dtds  map[string]*docirs.DTD
+}
+
+// New wraps sys in a service layer. The caller keeps ownership of
+// sys (and closes it after the HTTP server shuts down).
+func New(sys *docirs.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sys:   sys,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		cache: newQueryCache(cfg.CacheSize),
+		qps:   newRateWindow(),
+		start: time.Now(),
+		dtds:  make(map[string]*docirs.DTD),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler (for http.Server or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// System returns the wrapped system.
+func (s *Server) System() *docirs.System { return s.sys }
+
+// acquire takes an admission slot, waiting up to QueueTimeout. It
+// returns false when the server is saturated or the client went away.
+func (s *Server) acquire(r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.stats.inflight.Add(1)
+		return true
+	default:
+	}
+	t := time.NewTimer(s.cfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.stats.inflight.Add(1)
+		return true
+	case <-r.Context().Done():
+	case <-t.C:
+	}
+	s.stats.rejected.Add(1)
+	return false
+}
+
+func (s *Server) release() {
+	s.stats.inflight.Add(-1)
+	<-s.sem
+}
+
+// admitted wraps an evaluation handler with the admission layer.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.acquire(r) {
+			writeError(w, http.StatusServiceUnavailable, "server overloaded: no evaluation slot available")
+			return
+		}
+		defer s.release()
+		h(w, r)
+	}
+}
+
+// PreloadDTD parses and registers a DTD under name before serving
+// (the -dtd flag of mmfserve); equivalent to one POST /dtds request.
+func (s *Server) PreloadDTD(name, src string) error {
+	d, err := s.sys.LoadDTD(src)
+	if err != nil {
+		return err
+	}
+	s.dtdMu.Lock()
+	s.dtds[name] = d
+	s.dtdMu.Unlock()
+	return nil
+}
+
+// dtd looks up a loaded DTD by name.
+func (s *Server) dtd(name string) (*docirs.DTD, bool) {
+	s.dtdMu.RLock()
+	defer s.dtdMu.RUnlock()
+	d, ok := s.dtds[name]
+	return d, ok
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters holds the expvar-style service counters; every field is
+// maintained with atomic operations and published by /stats.
+type counters struct {
+	queries     atomic.Int64 // VQL query evaluations served
+	searches    atomic.Int64 // raw IRS searches served
+	ingests     atomic.Int64 // documents ingested
+	edits       atomic.Int64 // text edits + deletes applied
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	rejected    atomic.Int64 // admission rejections (503)
+	errored     atomic.Int64 // requests answered with 4xx/5xx bodies
+	inflight    atomic.Int64 // currently admitted requests
+}
+
+// rateWindow measures request rate over a sliding window of
+// per-second buckets (a cheap stand-in for a metrics library, which
+// the container deliberately does without).
+type rateWindow struct {
+	mu      sync.Mutex
+	buckets [ratesBuckets]int64
+	stamps  [ratesBuckets]int64 // unix second each bucket last counted
+}
+
+const (
+	ratesBuckets = 64
+	rateSpan     = 10 // seconds averaged by rate()
+)
+
+func newRateWindow() *rateWindow { return &rateWindow{} }
+
+// record counts one event in the current second's bucket.
+func (w *rateWindow) record() {
+	now := time.Now().Unix()
+	i := now % ratesBuckets
+	w.mu.Lock()
+	if w.stamps[i] != now {
+		w.stamps[i] = now
+		w.buckets[i] = 0
+	}
+	w.buckets[i]++
+	w.mu.Unlock()
+}
+
+// rate returns events/second averaged over the last rateSpan full
+// seconds (the current, partially filled second is excluded).
+func (w *rateWindow) rate() float64 {
+	now := time.Now().Unix()
+	var sum int64
+	w.mu.Lock()
+	for sec := now - rateSpan; sec < now; sec++ {
+		i := sec % ratesBuckets
+		if w.stamps[i] == sec {
+			sum += w.buckets[i]
+		}
+	}
+	w.mu.Unlock()
+	return float64(sum) / rateSpan
+}
