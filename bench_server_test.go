@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 
 	docirs "repro"
@@ -17,8 +18,10 @@ import (
 	"repro/internal/workload"
 )
 
-// serveFixture builds an HTTP frontend over a loaded system.
-func serveFixture(b *testing.B, cfg server.Config) *httptest.Server {
+// serveFixture builds an HTTP frontend over a loaded system. shards
+// partitions the collection's inverted index (0: one shard, the
+// pre-sharding layout).
+func serveFixture(b *testing.B, cfg server.Config, shards int) *httptest.Server {
 	b.Helper()
 	sys, err := docirs.Open("")
 	if err != nil {
@@ -35,7 +38,8 @@ func serveFixture(b *testing.B, cfg server.Config) *httptest.Server {
 			b.Fatal(err)
 		}
 	}
-	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;", docirs.CollectionOptions{})
+	coll, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;",
+		docirs.CollectionOptions{Shards: shards})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -47,6 +51,11 @@ func serveFixture(b *testing.B, cfg server.Config) *httptest.Server {
 	return ts
 }
 
+// benchShards is the sharded configuration under benchmark: one
+// shard per processor (so single-CPU environments measure the
+// no-parallelism baseline honestly).
+func benchShards() int { return runtime.GOMAXPROCS(0) }
+
 // BenchmarkServerQueryParallel measures serving throughput of the
 // mixed VQL query under parallel clients — cold (cache disabled, so
 // every request evaluates) against warm (epoch-keyed cache on; every
@@ -55,8 +64,8 @@ func BenchmarkServerQueryParallel(b *testing.B) {
 	body, _ := json.Marshal(map[string]string{
 		"query": `ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.45;`,
 	})
-	run := func(b *testing.B, cfg server.Config) {
-		ts := serveFixture(b, cfg)
+	run := func(b *testing.B, cfg server.Config, shards int) {
+		ts := serveFixture(b, cfg, shards)
 		// Warm once so both variants measure steady state (the cold
 		// variant still evaluates every request; its steady state is
 		// the coupling's own buffered path).
@@ -87,28 +96,34 @@ func BenchmarkServerQueryParallel(b *testing.B) {
 		})
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
 	}
-	b.Run("cold", func(b *testing.B) { run(b, server.Config{CacheSize: -1}) })
-	b.Run("warm", func(b *testing.B) { run(b, server.Config{CacheSize: 1024}) })
+	b.Run("cold", func(b *testing.B) { run(b, server.Config{CacheSize: -1}, benchShards()) })
+	b.Run("warm", func(b *testing.B) { run(b, server.Config{CacheSize: 1024}, benchShards()) })
+	b.Run("cold-1shard", func(b *testing.B) { run(b, server.Config{CacheSize: -1}, 1) })
 }
 
 // BenchmarkServerSearchParallel measures the raw IRS search endpoint
-// under parallel clients with the cache on.
+// under parallel clients with the cache on, single-shard against
+// sharded.
 func BenchmarkServerSearchParallel(b *testing.B) {
-	ts := serveFixture(b, server.Config{})
-	url := ts.URL + "/collections/collPara/search?q=www"
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			resp, err := http.Get(url)
-			if err != nil {
-				b.Fatal(err)
+	run := func(b *testing.B, shards int) {
+		ts := serveFixture(b, server.Config{}, shards)
+		url := ts.URL + "/collections/collPara/search?q=www"
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				resp, err := http.Get(url)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("search status %d", resp.StatusCode)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
 			}
-			if resp.StatusCode != http.StatusOK {
-				b.Fatalf("search status %d", resp.StatusCode)
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}
-	})
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	}
+	b.Run("1shard", func(b *testing.B) { run(b, 1) })
+	b.Run("sharded", func(b *testing.B) { run(b, benchShards()) })
 }

@@ -8,8 +8,14 @@ import (
 
 // experimentRunners maps experiment ids to their eval runners. The
 // ids match DESIGN.md's per-experiment index and EXPERIMENTS.md.
-func experimentRunners() map[string]runner {
+// shards parameterizes the sharding experiment (S1); 0 selects
+// GOMAXPROCS.
+func experimentRunners(shards int) map[string]runner {
 	return map[string]runner{
+		"S1": {"Sharded vs single-shard IRS engine (parallel query evaluation)", func(w io.Writer) error {
+			_, err := eval.RunS1(w, shards)
+			return err
+		}},
 		"F1": {"Figure 1: coupling architectures", func(w io.Writer) error {
 			_, err := eval.RunF1(w)
 			return err

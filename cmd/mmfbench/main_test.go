@@ -9,8 +9,8 @@ import (
 // The runner registry must cover every experiment in DESIGN.md's
 // index and every runner must produce a non-empty table.
 func TestExperimentRunnersComplete(t *testing.T) {
-	runners := experimentRunners()
-	want := []string{"F1", "F2", "F3", "F4", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "A1", "A2", "X1"}
+	runners := experimentRunners(0)
+	want := []string{"F1", "F2", "F3", "F4", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "A1", "A2", "X1", "S1"}
 	if len(runners) != len(want) {
 		t.Errorf("registry has %d runners, want %d", len(runners), len(want))
 	}
@@ -29,7 +29,7 @@ func TestExperimentRunnersComplete(t *testing.T) {
 // Spot-run the two fastest experiments through the registry to make
 // sure the wiring (not just the eval package) works.
 func TestRunnerWiring(t *testing.T) {
-	runners := experimentRunners()
+	runners := experimentRunners(0)
 	for _, id := range []string{"F4", "A1"} {
 		var sb strings.Builder
 		if err := runners[id].run(&sb); err != nil {

@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -45,9 +46,10 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent evaluation bound (0: 4×GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 1024, "query cache entries (negative: disable)")
 	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "admission wait bound")
+	shards := flag.Int("shards", 0, "index shards for new collections (0: GOMAXPROCS; existing collections keep their shard count)")
 	flag.Parse()
 
-	if err := run(*addr, *dbDir, *dtdPath, *dtdName, server.Config{
+	if err := run(*addr, *dbDir, *dtdPath, *dtdName, *shards, server.Config{
 		MaxConcurrent: *maxConcurrent,
 		CacheSize:     *cacheSize,
 		QueueTimeout:  *queueTimeout,
@@ -57,12 +59,18 @@ func main() {
 	}
 }
 
-func run(addr, dbDir, dtdPath, dtdName string, cfg server.Config) error {
+func run(addr, dbDir, dtdPath, dtdName string, shards int, cfg server.Config) error {
 	sys, err := docirs.Open(dbDir)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
+
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	sys.Engine().SetDefaultShards(shards)
+	log.Printf("index shards for new collections: %d", shards)
 
 	srv := server.New(sys, cfg)
 	if dtdPath != "" {

@@ -14,7 +14,7 @@ import (
 )
 
 func TestRunRejectsMissingDTDFile(t *testing.T) {
-	if err := run("127.0.0.1:0", "", filepath.Join(t.TempDir(), "nope.dtd"), "mmf", server.Config{}); err == nil {
+	if err := run("127.0.0.1:0", "", filepath.Join(t.TempDir(), "nope.dtd"), "mmf", 0, server.Config{}); err == nil {
 		t.Fatal("run accepted a missing DTD file")
 	}
 }
@@ -25,7 +25,7 @@ func TestRunRejectsBadDTD(t *testing.T) {
 	if err := os.WriteFile(path, []byte("<!ELEMENT"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", "", path, "mmf", server.Config{}); err == nil {
+	if err := run("127.0.0.1:0", "", path, "mmf", 0, server.Config{}); err == nil {
 		t.Fatal("run accepted a malformed DTD")
 	}
 }
@@ -43,7 +43,7 @@ func TestRunServesAndDrains(t *testing.T) {
 
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(addr, "", "", "default", server.Config{MaxConcurrent: 2})
+		errc <- run(addr, "", "", "default", 2, server.Config{MaxConcurrent: 2})
 	}()
 
 	url := fmt.Sprintf("http://%s/healthz", addr)

@@ -348,7 +348,12 @@ func (col *Collection) getIRSResultNode(node *irs.Node) (map[oodb.OID]float64, e
 		col.stats.BufferMisses.Add(1)
 	}
 	col.stats.IRSSearches.Add(1)
-	results := col.irsColl.SearchNode(node)
+	// The snapshot is acquired only after a policy-forced flush above
+	// has committed, so the ranking reflects either the fully
+	// propagated state or (for flushes racing in from elsewhere) the
+	// fully unpropagated one — never a half-applied blend.
+	snap := col.irsColl.Snapshot()
+	results := col.irsColl.SearchNodeAt(snap, node)
 	scores := make(map[oodb.OID]float64, len(results))
 	for _, r := range results {
 		oid, err := oodb.ParseOID(r.ExtID)
@@ -502,13 +507,25 @@ func (col *Collection) onUpdate(u oodb.Update) {
 // admit new members. The result buffer is invalidated ("rebuilding
 // the IRS index structures even though they will not change after
 // all" is avoided by the log's cancellation, Section 4.6).
+//
+// The staged operations commit as one index batch, so a concurrent
+// query's snapshot observes either none or all of the flush — the
+// snapshot-isolation guarantee the serving layer relies on. Text
+// extraction and the specification re-run happen before the batch
+// starts: they may themselves consult the database or evaluate
+// queries and must not run under the index commit lock.
 func (col *Collection) Flush() error {
 	ops, hadCreates := col.log.drain()
 	if len(ops) == 0 && !hadCreates {
 		return nil
 	}
 	col.stats.Flushes.Add(1)
-	changed := false
+	type stagedOp struct {
+		kind pendingKind
+		ext  string
+		text string
+	}
+	var staged []stagedOp
 	for _, op := range ops {
 		ext := op.oid.String()
 		switch op.kind {
@@ -516,22 +533,12 @@ func (col *Collection) Flush() error {
 			if !col.irsColl.HasDoc(ext) {
 				continue
 			}
-			text := col.text(op.oid)
-			meta := map[string]string{"oid": ext, "mode": fmt.Sprint(col.textMode)}
-			if err := col.irsColl.UpdateDocument(ext, text, meta); err != nil {
-				return err
-			}
-			col.stats.OpsApplied.Add(1)
-			changed = true
+			staged = append(staged, stagedOp{kind: pendingModify, ext: ext, text: col.text(op.oid)})
 		case pendingDelete:
 			if !col.irsColl.HasDoc(ext) {
 				continue
 			}
-			if err := col.irsColl.DeleteDocument(ext); err != nil {
-				return err
-			}
-			col.stats.OpsApplied.Add(1)
-			changed = true
+			staged = append(staged, stagedOp{kind: pendingDelete, ext: ext})
 		}
 	}
 	if hadCreates {
@@ -544,21 +551,53 @@ func (col *Collection) Flush() error {
 			if col.irsColl.HasDoc(ext) {
 				continue
 			}
-			text := col.text(oid)
-			meta := map[string]string{"oid": ext, "mode": fmt.Sprint(col.textMode)}
-			if err := col.irsColl.AddDocument(ext, text, meta); err != nil {
-				return err
-			}
-			col.stats.OpsApplied.Add(1)
-			col.stats.Indexed.Add(1)
-			changed = true
+			staged = append(staged, stagedOp{kind: pendingCreate, ext: ext, text: col.text(oid)})
 		}
 	}
+	if len(staged) == 0 {
+		return nil
+	}
+	changed := false
+	err := col.irsColl.Batch(func(b *irs.Batch) error {
+		for _, op := range staged {
+			meta := map[string]string{"oid": op.ext, "mode": fmt.Sprint(col.textMode)}
+			switch op.kind {
+			case pendingModify:
+				if !b.Has(op.ext) {
+					continue // deleted since staging
+				}
+				if _, err := b.Update(op.ext, op.text, meta); err != nil {
+					return err
+				}
+			case pendingDelete:
+				if !b.Has(op.ext) {
+					continue
+				}
+				if err := b.Delete(op.ext); err != nil {
+					return err
+				}
+			case pendingCreate:
+				if b.Has(op.ext) {
+					continue // appeared since staging
+				}
+				if _, err := b.Add(op.ext, op.text, meta); err != nil {
+					return err
+				}
+				col.stats.Indexed.Add(1)
+			}
+			col.stats.OpsApplied.Add(1)
+			changed = true
+		}
+		return nil
+	})
+	// Invalidate even on error: the batch has no rollback, so any
+	// operations applied before the failure are committed and buffered
+	// results may already be stale.
 	if changed {
 		col.buffer.invalidate()
 		col.bumpEpoch()
 	}
-	return nil
+	return err
 }
 
 // PendingOps reports the size of the update log (experiments).

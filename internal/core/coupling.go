@@ -221,6 +221,11 @@ type Options struct {
 	// Policy bounds update-propagation time (Section 4.6); the zero
 	// value is PropagateOnQuery.
 	Policy PropagationPolicy
+	// Shards is the number of hash partitions of the IRS collection's
+	// inverted index; queries score shards in parallel and single-
+	// document updates contend only on their own shard. 0 selects the
+	// engine's default. Rankings are independent of the shard count.
+	Shards int
 	// TextFunc overrides the textual representation used for
 	// indexing. The paper makes getText the application
 	// programmer's responsibility (Section 4.3.2); Section 5 builds
@@ -254,7 +259,7 @@ func (c *Coupling) CreateCollection(name, specQuery string, opts Options) (*Coll
 	if _, exists := c.byName[name]; exists {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
-	irsColl, err := c.engine.CreateCollection(name, model)
+	irsColl, err := c.engine.CreateCollectionShards(name, model, opts.Shards)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFlushSearchSnapshotIsolation runs concurrent Flush/Search on
+// one collection: a writer keeps swapping which of two paragraphs
+// carries the query topic (two SetText edits per round, propagated
+// by one Flush), while readers rank continuously. Because a flush
+// commits as one index batch and every search evaluates against a
+// snapshot acquired between commits, each ranking must reflect
+// either the pre- or the post-flush state — exactly one paragraph
+// matching — never a half-propagated blend (zero or two matches).
+// Run with -race to check the memory-model claims as well.
+func TestFlushSearchSnapshotIsolation(t *testing.T) {
+	fx := newFixture(t, "")
+	doc := fx.addDoc("1994", "swapdoc", "topic words here", "unrelated filler text")
+	col := fx.paraColl(Options{Policy: PropagateManually})
+	col.SetBufferEnabled(false)
+	paras := fx.paras(doc)
+	if len(paras) != 2 {
+		t.Fatalf("fixture has %d paragraphs, want 2", len(paras))
+	}
+	leafA := fx.store.Children(paras[0])[0]
+	leafB := fx.store.Children(paras[1])[0]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inA := true
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var ta, tb string
+			if inA {
+				ta, tb = "unrelated filler text", "topic words here"
+			} else {
+				ta, tb = "topic words here", "unrelated filler text"
+			}
+			if err := fx.store.SetText(leafA, ta); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fx.store.SetText(leafB, tb); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := col.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+			inA = !inA
+		}
+	}()
+
+	// Readers go straight to the IRS collection (GetIRSResult would
+	// itself force pending flushes, which is covered elsewhere; here
+	// the writer is the only flusher so the race under test is pure
+	// Flush vs Search).
+	irsColl := col.IRS()
+	var rwg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for i := 0; i < 200; i++ {
+				rs, err := irsColl.Search("topic")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(rs) != 1 {
+					t.Errorf("iteration %d: ranking has %d hits (%v), want exactly 1 — half-propagated flush observed", i, len(rs), rs)
+					return
+				}
+			}
+		}()
+	}
+	rwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// After the dust settles, a coupling-level query agrees with a
+	// final manual flush.
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := col.GetIRSResult("topic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 1 {
+		t.Fatalf("final GetIRSResult has %d hits, want 1", len(scores))
+	}
+}

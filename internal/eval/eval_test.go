@@ -388,3 +388,25 @@ func TestRunA2Shape(t *testing.T) {
 		}
 	}
 }
+
+func TestRunS1Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunS1(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engineering claim: partitioning must not change retrieval
+	// results. (Timings are environment-dependent and only logged.)
+	if !res.RankingsIdentical {
+		t.Error("sharded rankings differ from single-shard rankings")
+	}
+	if res.Shards != 2 {
+		t.Errorf("shards = %d, want 2", res.Shards)
+	}
+	if res.SingleRead <= 0 || res.ShardedRead <= 0 || res.SingleMixed <= 0 || res.ShardedMixed <= 0 {
+		t.Errorf("missing timings: %+v", res)
+	}
+	if !strings.Contains(buf.String(), "EXP-S1") {
+		t.Error("table missing")
+	}
+}

@@ -10,49 +10,62 @@ package irs
 // offering exactly this ("results are combined with boolean
 // operators only, uncertainty is not considered") — having the model
 // available makes that comparison measurable (EXP-T7).
+//
+// Set operations distribute over the disjoint per-shard document
+// partitions, so the tree is evaluated once per shard in parallel
+// and the results unioned.
 type Boolean struct{}
 
 // Name implements Model.
 func (Boolean) Name() string { return "boolean" }
 
 // Eval implements Model.
-func (Boolean) Eval(ix *Index, root *Node) map[DocID]float64 {
+func (Boolean) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 	if root == nil {
 		return nil
 	}
-	set := booleanEval(ix, root)
-	out := make(map[DocID]float64, len(set))
-	for d := range set {
-		out[d] = 1.0
+	perShard := make([]map[DocID]bool, s.ShardCount())
+	s.parShards(func(si int) {
+		perShard[si] = booleanEvalShard(s, si, root)
+	})
+	total := 0
+	for _, set := range perShard {
+		total += len(set)
+	}
+	out := make(map[DocID]float64, total)
+	for _, set := range perShard {
+		for d := range set {
+			out[d] = 1.0
+		}
 	}
 	return out
 }
 
-func booleanEval(ix *Index, n *Node) map[DocID]bool {
+func booleanEvalShard(s *Snapshot, si int, n *Node) map[DocID]bool {
 	switch n.Kind {
 	case NodeTerm:
 		set := make(map[DocID]bool)
-		for _, p := range ix.Postings(n.Term) {
+		for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(n.Term)) {
 			set[p.Doc] = true
 		}
 		return set
 	case NodePhrase:
-		st := phraseStat(ix, n)
-		set := make(map[DocID]bool, len(st.tf))
-		for d := range st.tf {
+		tf := phraseStatShard(s, si, n)
+		set := make(map[DocID]bool, len(tf))
+		for d := range tf {
 			set[d] = true
 		}
 		return set
 	case NodeAnd:
 		var acc map[DocID]bool
 		for _, c := range n.Children {
-			s := booleanEval(ix, c)
+			sub := booleanEvalShard(s, si, c)
 			if acc == nil {
-				acc = s
+				acc = sub
 				continue
 			}
 			for d := range acc {
-				if !s[d] {
+				if !sub[d] {
 					delete(acc, d)
 				}
 			}
@@ -61,15 +74,15 @@ func booleanEval(ix *Index, n *Node) map[DocID]bool {
 	case NodeOr, NodeSum, NodeWSum, NodeMax, NodeSyn:
 		acc := make(map[DocID]bool)
 		for _, c := range n.Children {
-			for d := range booleanEval(ix, c) {
+			for d := range booleanEvalShard(s, si, c) {
 				acc[d] = true
 			}
 		}
 		return acc
 	case NodeNot:
-		inner := booleanEval(ix, n.Children[0])
+		inner := booleanEvalShard(s, si, n.Children[0])
 		out := make(map[DocID]bool)
-		for _, d := range ix.LiveDocIDs() {
+		for _, d := range s.liveDocIDsShard(si) {
 			if !inner[d] {
 				out[d] = true
 			}

@@ -23,23 +23,35 @@ import (
 // file per collection below the directory; Save/Load use the binary
 // format in persist.go.
 type Engine struct {
-	mu    sync.RWMutex
-	colls map[string]*Collection
-	dir   string
+	mu        sync.RWMutex
+	colls     map[string]*Collection
+	dir       string
+	defShards int
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the default shard count for newly created
+	// collections (values < 1 select one shard). Collections loaded
+	// from disk keep their persisted shard count.
+	Shards int
 }
 
 // NewEngine returns a memory-only engine.
-func NewEngine() *Engine {
-	return &Engine{colls: make(map[string]*Collection)}
+func NewEngine(opts ...Options) *Engine {
+	e := &Engine{colls: make(map[string]*Collection), defShards: 1}
+	e.applyOptions(opts)
+	return e
 }
 
 // NewEngineAt returns an engine whose collections persist under dir,
 // loading any collections already stored there.
-func NewEngineAt(dir string) (*Engine, error) {
+func NewEngineAt(dir string, opts ...Options) (*Engine, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("irs: create engine dir: %w", err)
 	}
-	e := &Engine{colls: make(map[string]*Collection), dir: dir}
+	e := &Engine{colls: make(map[string]*Collection), dir: dir, defShards: 1}
+	e.applyOptions(opts)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("irs: read engine dir: %w", err)
@@ -55,6 +67,30 @@ func NewEngineAt(dir string) (*Engine, error) {
 		e.colls[c.name] = c
 	}
 	return e, nil
+}
+
+func (e *Engine) applyOptions(opts []Options) {
+	for _, o := range opts {
+		if o.Shards > 0 {
+			e.defShards = o.Shards
+		}
+	}
+}
+
+// DefaultShards returns the shard count used for new collections.
+func (e *Engine) DefaultShards() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.defShards
+}
+
+// SetDefaultShards changes the shard count used for collections
+// created afterwards (clamped to [1, 65536]). Existing collections
+// are unaffected; use Index().Reshard to migrate them.
+func (e *Engine) SetDefaultShards(n int) {
+	e.mu.Lock()
+	e.defShards = clampShards(n)
+	e.mu.Unlock()
 }
 
 const collExt = ".irsc"
@@ -80,10 +116,17 @@ func validCollectionName(name string) bool {
 }
 
 // CreateCollection creates a new collection using the given model
-// (nil selects the inference-net model, as in INQUERY). Collection
-// names double as file names under persistent engines and are
-// restricted accordingly.
+// (nil selects the inference-net model, as in INQUERY) and the
+// engine's default shard count. Collection names double as file
+// names under persistent engines and are restricted accordingly.
 func (e *Engine) CreateCollection(name string, model Model) (*Collection, error) {
+	return e.CreateCollectionShards(name, model, 0)
+}
+
+// CreateCollectionShards creates a collection whose index is
+// partitioned into the given number of shards (0 selects the
+// engine's default).
+func (e *Engine) CreateCollectionShards(name string, model Model, shards int) (*Collection, error) {
 	if !validCollectionName(name) {
 		return nil, fmt.Errorf("%w: %q", ErrBadCollectionName, name)
 	}
@@ -92,12 +135,15 @@ func (e *Engine) CreateCollection(name string, model Model) (*Collection, error)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if shards <= 0 {
+		shards = e.defShards
+	}
 	if _, ok := e.colls[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateColl, name)
 	}
 	c := &Collection{
 		name:  name,
-		ix:    NewIndex(analysis.NewAnalyzer()),
+		ix:    NewIndexShards(analysis.NewAnalyzer(), shards),
 		model: model,
 	}
 	e.colls[name] = c
@@ -244,12 +290,24 @@ func (c *Collection) Search(query string) ([]Result, error) {
 	return c.SearchNode(n), nil
 }
 
-// SearchNode evaluates a pre-parsed query.
+// Snapshot acquires a point-in-time read view of the collection's
+// index; SearchNodeAt evaluates against it.
+func (c *Collection) Snapshot() *Snapshot { return c.ix.Snapshot() }
+
+// SearchNode evaluates a pre-parsed query against a fresh snapshot.
 func (c *Collection) SearchNode(n *Node) []Result {
-	scores := c.Model().Eval(c.ix, n)
+	return c.SearchNodeAt(c.ix.Snapshot(), n)
+}
+
+// SearchNodeAt evaluates a pre-parsed query against a previously
+// acquired snapshot, so callers can pin the index state a query (or
+// a set of queries) observes — the coupling layer acquires the
+// snapshot only after a policy-forced propagation flush commits.
+func (c *Collection) SearchNodeAt(snap *Snapshot, n *Node) []Result {
+	scores := c.Model().Eval(snap, n)
 	out := make([]Result, 0, len(scores))
 	for d, s := range scores {
-		ext, ok := c.ix.ExtID(d)
+		ext, ok := snap.ExtID(d)
 		if !ok {
 			continue
 		}
@@ -262,6 +320,13 @@ func (c *Collection) SearchNode(n *Node) []Result {
 		return out[i].ExtID < out[j].ExtID
 	})
 	return out
+}
+
+// Batch groups document mutations into one atomic commit (see
+// Index.Batch); concurrent snapshots observe all of the batch or
+// none of it.
+func (c *Collection) Batch(fn func(b *Batch) error) error {
+	return c.ix.Batch(fn)
 }
 
 // SearchToFile evaluates query and writes the result to path in the

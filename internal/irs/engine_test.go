@@ -173,10 +173,10 @@ func TestEnginePersistenceRoundTrip(t *testing.T) {
 	if len(rs) != 2 {
 		t.Errorf("search after load: %v, want 2 hits", rs)
 	}
-	if id, _ := c2.Index().byExt["o2"]; true {
-		if m, ok := c2.Index().Meta(id, "oid"); !ok || m != "2" {
-			t.Errorf("meta lost by round trip: %q %v", m, ok)
-		}
+	if id, ok := c2.Index().DocID("o2"); !ok {
+		t.Error("DocID(o2) not found after round trip")
+	} else if m, ok := c2.Index().Meta(id, "oid"); !ok || m != "2" {
+		t.Errorf("meta lost by round trip: %q %v", m, ok)
 	}
 	v2, _ := e2.Collection("vec")
 	if v2.Model().Name() != "vector" {

@@ -28,6 +28,9 @@ type FeedbackOptions struct {
 // frequency in the relevant set × idf over the collection),
 // excluding terms already present in the query.
 //
+// The statistics are computed against one snapshot of the index, so
+// a concurrent propagation flush cannot skew the expansion.
+//
 // The result is a #wsum combining the original query with the
 // expansion terms, parseable by ParseQuery as usual; callers route
 // it through the coupling like any other query (it gets its own
@@ -45,58 +48,68 @@ func (c *Collection) ExpandQuery(original string, relevant []string, opts Feedba
 	if origWeight == 0 {
 		origWeight = 2
 	}
-	ix := c.ix
+	snap := c.ix.Snapshot()
 	present := make(map[string]bool)
 	for _, t := range node.Terms() {
-		present[ix.analyzer.AnalyzeTerm(t)] = true
+		present[snap.analyzer.AnalyzeTerm(t)] = true
 	}
 
-	// Term statistics over the relevant documents.
+	// Resolve the judged-relevant ids within the snapshot (the live
+	// index may have renumbered them by the time we get here) and
+	// total their indexed length.
+	relSet := make(map[DocID]bool, len(relevant))
+	totalLen := 0
+	for _, ext := range relevant {
+		if id, ok := snap.DocID(ext); ok {
+			relSet[id] = true
+			totalLen += snap.DocLen(id)
+		}
+	}
+
+	// Candidate terms come from the relevant documents' forward
+	// index, so only their (small) vocabulary is touched — never the
+	// whole dictionary. Frequencies within the relevant set and
+	// global document frequencies are then read per term from the
+	// snapshot's posting lists.
+	nsh := snap.ShardCount()
+	tf := make(map[string]int)
+	for id := range relSet {
+		if d := snap.doc(id); d != nil {
+			for _, term := range d.terms {
+				tf[term] = 0
+			}
+		}
+	}
+	for term := range tf {
+		for si := 0; si < nsh; si++ {
+			for _, p := range snap.postingsShard(si, term) {
+				if relSet[p.Doc] {
+					tf[term] += p.TF()
+				}
+			}
+		}
+	}
+
 	type cand struct {
 		term  string
 		score float64
 	}
-	tf := make(map[string]int)
-	relSet := make(map[DocID]bool, len(relevant))
-	ix.mu.RLock()
-	for _, ext := range relevant {
-		if id, ok := ix.byExt[ext]; ok && !ix.docs[id].deleted {
-			relSet[id] = true
-		}
-	}
-	totalLen := 0
-	for term, pl := range ix.dict {
-		for _, p := range pl.postings {
-			if relSet[p.Doc] {
-				tf[term] += p.TF()
-			}
-		}
-		_ = term
-	}
-	for id := range relSet {
-		totalLen += ix.docs[id].length
-	}
-	n := ix.liveDocs
-	dfOf := func(term string) int {
-		if pl := ix.dict[term]; pl != nil {
-			return pl.df
-		}
-		return 0
-	}
+	n := snap.DocCount()
 	var cands []cand
 	for term, freq := range tf {
-		if present[term] {
+		if present[term] || freq == 0 {
 			continue
 		}
-		df := dfOf(term)
+		df := 0
+		for si := 0; si < nsh; si++ {
+			df += snap.dfShardRaw(si, term)
+		}
 		if df == 0 {
 			continue
 		}
 		idf := math.Log(1 + float64(n)/float64(df))
 		cands = append(cands, cand{term: term, score: float64(freq) / float64(totalLen+1) * idf})
 	}
-	ix.mu.RUnlock()
-
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
 			return cands[i].score > cands[j].score

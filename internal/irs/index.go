@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/irs/analysis"
 )
@@ -17,8 +18,8 @@ type Posting struct {
 // TF returns the within-document term frequency.
 func (p Posting) TF() int { return len(p.Positions) }
 
-// postingList is the per-term entry of the dictionary. Postings are
-// kept sorted by DocID; deleted documents are filtered on read.
+// postingList is the per-term entry of a shard dictionary. Postings
+// are kept sorted by DocID; deleted documents are filtered on read.
 type postingList struct {
 	postings []Posting
 	df       int // live document frequency (excludes tombstoned docs)
@@ -26,64 +27,184 @@ type postingList struct {
 
 // docInfo is the per-document metadata record. terms is the forward
 // index (the document's distinct terms), making Delete proportional
-// to the document size instead of the dictionary size.
+// to the document size instead of the dictionary size. Deletion
+// state lives in the shard's tombstone bitmap, not here, so that
+// snapshots can copy it cheaply.
 type docInfo struct {
-	extID   string
-	length  int // number of indexed terms (post-stopping)
-	deleted bool
-	meta    map[string]string
-	terms   []string
+	extID  string
+	length int // number of indexed terms (post-stopping)
+	meta   map[string]string
+	terms  []string
 }
 
-// Index is an in-memory inverted file with positional postings and
-// incremental add/delete. It is safe for concurrent use.
-//
-// Deletions tombstone the document and decrement df counters;
-// postings stay in place until Compact rebuilds the dictionary.
-// This mirrors the behaviour of file-based IR systems of the
-// paper's era, where deletion was cheap but space was only
-// reclaimed by re-indexing — the cost model the paper's Section 4.6
-// (update propagation) reasons about.
-type Index struct {
+// shard is one independent partition of the inverted file. Documents
+// are assigned to shards by a hash of their external id, so a
+// document's postings, metadata and tombstone bit live entirely in
+// one shard and every single-document mutation takes exactly one
+// shard lock. A term's posting list is thereby partitioned across
+// shards by containing document; corpus-level statistics (N, df,
+// avgdl) are recombined across shards at read time, which keeps
+// rankings independent of the shard count.
+type shard struct {
 	mu       sync.RWMutex
-	analyzer *analysis.Analyzer
 	dict     map[string]*postingList
 	docs     []docInfo
-	byExt    map[string]DocID
+	deleted  []uint64          // tombstone bitmap, parallel to docs
+	byExt    map[string]uint32 // live docs only: extID -> local id
 	liveDocs int
 	totalLen int64  // sum of lengths of live docs
-	version  uint64 // bumped on every mutation; used for model caches
+	version  uint64 // per-shard mutation counter (guarded by mu)
 }
 
-// NewIndex returns an empty index using the given analyzer (nil
-// selects the default analyzer).
+func newShard() *shard {
+	return &shard{
+		dict:  make(map[string]*postingList),
+		byExt: make(map[string]uint32),
+	}
+}
+
+func (sh *shard) isDeleted(local uint32) bool {
+	return sh.deleted[local/64]&(1<<(local%64)) != 0
+}
+
+func (sh *shard) setDeleted(local uint32) {
+	sh.deleted[local/64] |= 1 << (local % 64)
+}
+
+// fnv32a is FNV-1a over s — a fixed, platform-independent hash so
+// document placement is stable across processes (the persistent
+// format round-trips shard contents verbatim).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func shardIndex(extID string, n int) int {
+	if n == 1 {
+		return 0
+	}
+	return int(fnv32a(extID) % uint32(n))
+}
+
+// globalID composes the externally visible DocID from a shard-local
+// id. With one shard this degenerates to the dense ascending ids of
+// the unsharded index.
+func globalID(local uint32, si, n int) DocID {
+	return DocID(local)*DocID(n) + DocID(si)
+}
+
+// Index is an in-memory inverted file with positional postings,
+// incremental add/delete, hash-sharded storage and snapshot-isolated
+// reads. It is safe for concurrent use.
+//
+// Deletions tombstone the document and decrement df counters;
+// postings stay in place until Compact rebuilds the shards. This
+// mirrors the behaviour of file-based IR systems of the paper's era,
+// where deletion was cheap but space was only reclaimed by
+// re-indexing — the cost model the paper's Section 4.6 (update
+// propagation) reasons about.
+//
+// Queries evaluate against a Snapshot (see Snapshot); the live
+// accessors below serve administrative and experimental callers.
+type Index struct {
+	analyzer *analysis.Analyzer
+
+	// commitMu orders multi-document commits against snapshot
+	// acquisition: single-document writers, readers and snapshot
+	// acquisition share it (RLock) and then take per-shard locks;
+	// Batch, Compact, Reshard and Clear hold it exclusively so a
+	// snapshot can never observe half of a batch.
+	commitMu sync.RWMutex
+	shards   []*shard
+	// rebuildGen distinguishes states across Compact/Reshard/Clear,
+	// whose fresh shards restart their per-shard counters (guarded by
+	// commitMu).
+	rebuildGen uint64
+
+	version atomic.Uint64 // bumped on every mutation; keys model caches
+	snaps   atomic.Uint64 // snapshot acquisitions (serving-layer stats)
+
+	// sizeMu/sizeVer/sizeCache memoize ShardSizes (an O(dictionary)
+	// walk) so polling /stats does not rescan an unchanged index.
+	sizeMu    sync.Mutex
+	sizeVer   uint64
+	sizeCache []int64
+}
+
+// NewIndex returns an empty single-shard index using the given
+// analyzer (nil selects the default analyzer).
 func NewIndex(a *analysis.Analyzer) *Index {
+	return NewIndexShards(a, 1)
+}
+
+// maxShards bounds the shard count; the persistent format rejects
+// anything above it on load, so creation clamps symmetrically.
+const maxShards = 1 << 16
+
+func clampShards(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	return n
+}
+
+// NewIndexShards returns an empty index partitioned into shards
+// (clamped to [1, 65536]).
+func NewIndexShards(a *analysis.Analyzer, shards int) *Index {
 	if a == nil {
 		a = analysis.NewAnalyzer()
 	}
-	return &Index{
-		analyzer: a,
-		dict:     make(map[string]*postingList),
-		byExt:    make(map[string]DocID),
+	shards = clampShards(shards)
+	ix := &Index{analyzer: a, shards: make([]*shard, shards)}
+	for i := range ix.shards {
+		ix.shards[i] = newShard()
 	}
+	return ix
 }
 
 // Analyzer returns the index's analyzer.
 func (ix *Index) Analyzer() *analysis.Analyzer { return ix.analyzer }
 
+// ShardCount returns the number of shards.
+func (ix *Index) ShardCount() int {
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	return len(ix.shards)
+}
+
+// SnapshotCount returns how many read snapshots have been acquired
+// over the index's lifetime (serving-layer statistics).
+func (ix *Index) SnapshotCount() uint64 { return ix.snaps.Load() }
+
 // Add indexes text under the external id extID. It fails with
 // ErrDuplicateDoc if extID is already present (and not deleted).
 func (ix *Index) Add(extID, text string, meta map[string]string) (DocID, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if old, ok := ix.byExt[extID]; ok && !ix.docs[old].deleted {
-		return 0, fmt.Errorf("%w: %q", ErrDuplicateDoc, extID)
-	}
-	return ix.addLocked(extID, text, meta), nil
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	return ix.addDoc(extID, text, meta)
 }
 
-func (ix *Index) addLocked(extID, text string, meta map[string]string) DocID {
-	id := DocID(len(ix.docs))
+func (ix *Index) addDoc(extID, text string, meta map[string]string) (DocID, error) {
+	si := shardIndex(extID, len(ix.shards))
+	sh := ix.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.byExt[extID]; ok {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateDoc, extID)
+	}
+	return ix.addLocked(sh, si, extID, text, meta), nil
+}
+
+func (ix *Index) addLocked(sh *shard, si int, extID, text string, meta map[string]string) DocID {
+	local := uint32(len(sh.docs))
+	id := globalID(local, si, len(ix.shards))
 	toks := ix.analyzer.Analyze(text)
 	// Group positions per term.
 	perTerm := make(map[string][]uint32)
@@ -92,10 +213,10 @@ func (ix *Index) addLocked(extID, text string, meta map[string]string) DocID {
 	}
 	terms := make([]string, 0, len(perTerm))
 	for term, positions := range perTerm {
-		pl := ix.dict[term]
+		pl := sh.dict[term]
 		if pl == nil {
 			pl = &postingList{}
-			ix.dict[term] = pl
+			sh.dict[term] = pl
 		}
 		pl.postings = append(pl.postings, Posting{Doc: id, Positions: positions})
 		pl.df++
@@ -108,244 +229,474 @@ func (ix *Index) addLocked(extID, text string, meta map[string]string) DocID {
 			metaCopy[k] = v
 		}
 	}
-	ix.docs = append(ix.docs, docInfo{extID: extID, length: len(toks), meta: metaCopy, terms: terms})
-	ix.byExt[extID] = id
-	ix.liveDocs++
-	ix.totalLen += int64(len(toks))
-	ix.version++
+	sh.docs = append(sh.docs, docInfo{extID: extID, length: len(toks), meta: metaCopy, terms: terms})
+	if int(local/64) >= len(sh.deleted) {
+		sh.deleted = append(sh.deleted, 0)
+	}
+	sh.byExt[extID] = local
+	sh.liveDocs++
+	sh.totalLen += int64(len(toks))
+	sh.version++
+	ix.version.Add(1)
 	return id
 }
 
 // Delete tombstones the document registered under extID.
 func (ix *Index) Delete(extID string) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.deleteLocked(extID)
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	return ix.deleteDoc(extID)
 }
 
-func (ix *Index) deleteLocked(extID string) error {
-	id, ok := ix.byExt[extID]
-	if !ok || ix.docs[id].deleted {
+func (ix *Index) deleteDoc(extID string) error {
+	sh := ix.shards[shardIndex(extID, len(ix.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return ix.deleteLocked(sh, extID)
+}
+
+func (ix *Index) deleteLocked(sh *shard, extID string) error {
+	local, ok := sh.byExt[extID]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchDoc, extID)
 	}
-	ix.docs[id].deleted = true
-	ix.version++
-	ix.liveDocs--
-	ix.totalLen -= int64(ix.docs[id].length)
-	delete(ix.byExt, extID)
+	sh.setDeleted(local)
+	sh.liveDocs--
+	sh.totalLen -= int64(sh.docs[local].length)
+	delete(sh.byExt, extID)
 	// The forward index makes df maintenance proportional to the
 	// document's own term count.
-	for _, term := range ix.docs[id].terms {
-		if pl := ix.dict[term]; pl != nil {
+	for _, term := range sh.docs[local].terms {
+		if pl := sh.dict[term]; pl != nil {
 			pl.df--
 		}
 	}
+	sh.version++
+	ix.version.Add(1)
 	return nil
 }
 
 // Update replaces the text of extID (delete + add under a fresh
-// DocID). It fails if extID is unknown.
+// DocID). It fails if extID is unknown. Both steps hit the same
+// shard — extID determines the shard — so the exchange is atomic
+// under the shard lock.
 func (ix *Index) Update(extID, text string, meta map[string]string) (DocID, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if err := ix.deleteLocked(extID); err != nil {
-		return 0, err
-	}
-	return ix.addLocked(extID, text, meta), nil
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	return ix.updateDoc(extID, text, meta)
 }
 
-// Postings returns the live postings of term (already normalized by
-// the caller or not — term is passed through the analyzer's term
-// normalization). The returned slice is a copy and safe to retain.
+func (ix *Index) updateDoc(extID, text string, meta map[string]string) (DocID, error) {
+	si := shardIndex(extID, len(ix.shards))
+	sh := ix.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := ix.deleteLocked(sh, extID); err != nil {
+		return 0, err
+	}
+	return ix.addLocked(sh, si, extID, text, meta), nil
+}
+
+// Batch groups index mutations into one commit: no snapshot can be
+// acquired while the batch runs, so when fn completes successfully a
+// concurrent query ranks against either the pre- or the post-batch
+// state, never a blend. The coupling layer uses it for
+// update-propagation flushes (Section 4.6).
+//
+// There is no rollback: operations apply as they are issued, and if
+// fn returns an error the ones already applied remain committed (each
+// individually consistent). Callers must treat an error as having
+// possibly changed the index — invalidate derived caches either way.
+type Batch struct {
+	ix *Index
+}
+
+// Batch runs fn holding the index's commit lock. The callback must
+// only touch the index through the Batch receiver (calling Index
+// methods from inside would self-deadlock) and must not evaluate
+// queries.
+func (ix *Index) Batch(fn func(b *Batch) error) error {
+	ix.commitMu.Lock()
+	defer ix.commitMu.Unlock()
+	return fn(&Batch{ix: ix})
+}
+
+// Add indexes a document as part of the batch.
+func (b *Batch) Add(extID, text string, meta map[string]string) (DocID, error) {
+	return b.ix.addDoc(extID, text, meta)
+}
+
+// Delete tombstones a document as part of the batch.
+func (b *Batch) Delete(extID string) error { return b.ix.deleteDoc(extID) }
+
+// Update replaces a document's text as part of the batch.
+func (b *Batch) Update(extID, text string, meta map[string]string) (DocID, error) {
+	return b.ix.updateDoc(extID, text, meta)
+}
+
+// Has reports whether a live document is registered under extID.
+func (b *Batch) Has(extID string) bool {
+	sh := b.ix.shards[shardIndex(extID, len(b.ix.shards))]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.byExt[extID]
+	return ok
+}
+
+// Postings returns the live postings of term across all shards,
+// ascending by DocID. The returned slice is a copy and safe to
+// retain. term is passed through the analyzer's term normalization.
 func (ix *Index) Postings(term string) []Posting {
 	return ix.postingsRaw(ix.analyzer.AnalyzeTerm(term))
 }
 
 // postingsRaw returns live postings for an already-normalized
-// dictionary term. Internal callers that iterate the dictionary must
+// dictionary term. Internal callers that iterate a dictionary must
 // use this instead of Postings to avoid double normalization
 // (stemming a stem can change it: "databas" -> "databa").
 func (ix *Index) postingsRaw(term string) []Posting {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	pl := ix.dict[term]
-	if pl == nil {
-		return nil
-	}
-	out := make([]Posting, 0, pl.df)
-	for _, p := range pl.postings {
-		if !ix.docs[p.Doc].deleted {
-			out = append(out, p)
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	var out []Posting
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		if pl := sh.dict[term]; pl != nil {
+			for _, p := range pl.postings {
+				local := uint32(int(p.Doc) / len(ix.shards))
+				if !sh.isDeleted(local) {
+					out = append(out, p)
+				}
+			}
 		}
+		sh.mu.RUnlock()
+	}
+	if len(ix.shards) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
 	}
 	return out
 }
 
-// DF returns the live document frequency of term.
+// DF returns the live document frequency of term (summed across
+// shards).
 func (ix *Index) DF(term string) int {
 	t := ix.analyzer.AnalyzeTerm(term)
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if pl := ix.dict[t]; pl != nil {
-		return pl.df
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	df := 0
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		if pl := sh.dict[t]; pl != nil {
+			df += pl.df
+		}
+		sh.mu.RUnlock()
 	}
-	return 0
+	return df
 }
 
 // DocCount returns the number of live documents.
 func (ix *Index) DocCount() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.liveDocs
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	n := 0
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		n += sh.liveDocs
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // AvgDocLen returns the mean indexed length of live documents.
 func (ix *Index) AvgDocLen() float64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if ix.liveDocs == 0 {
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	docs, total := 0, int64(0)
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		docs += sh.liveDocs
+		total += sh.totalLen
+		sh.mu.RUnlock()
+	}
+	if docs == 0 {
 		return 0
 	}
-	return float64(ix.totalLen) / float64(ix.liveDocs)
+	return float64(total) / float64(docs)
+}
+
+// locate resolves a global DocID to its metadata record, copied out
+// under the shard lock (the docs slice header is rewritten by
+// concurrent appends, so it must not be dereferenced after the lock
+// drops); ok is false when the id is out of range or tombstoned.
+// Caller holds commitMu read.
+func (ix *Index) locate(id DocID) (d docInfo, ok bool) {
+	n := len(ix.shards)
+	sh := ix.shards[int(id)%n]
+	local := uint32(int(id) / n)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if int(local) >= len(sh.docs) || sh.isDeleted(local) {
+		return docInfo{}, false
+	}
+	return sh.docs[local], true
 }
 
 // DocLen returns the indexed length of document id (0 if deleted or
 // out of range).
 func (ix *Index) DocLen(id DocID) int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	d, ok := ix.locate(id)
+	if !ok {
 		return 0
 	}
-	return ix.docs[id].length
+	return d.length
 }
 
 // ExtID returns the external id of a live document.
 func (ix *Index) ExtID(id DocID) (string, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	d, ok := ix.locate(id)
+	if !ok {
 		return "", false
 	}
-	return ix.docs[id].extID, true
+	return d.extID, true
 }
 
 // Meta returns a metadata value of a live document.
 func (ix *Index) Meta(id DocID, key string) (string, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if int(id) >= len(ix.docs) || ix.docs[id].deleted {
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	d, ok := ix.locate(id)
+	if !ok {
 		return "", false
 	}
-	v, ok := ix.docs[id].meta[key]
+	v, ok := d.meta[key]
 	return v, ok
+}
+
+// DocID returns the id a live document is registered under.
+func (ix *Index) DocID(extID string) (DocID, bool) {
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	si := shardIndex(extID, len(ix.shards))
+	sh := ix.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	local, ok := sh.byExt[extID]
+	if !ok {
+		return 0, false
+	}
+	return globalID(local, si, len(ix.shards)), true
 }
 
 // HasDoc reports whether a live document is registered under extID.
 func (ix *Index) HasDoc(extID string) bool {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	id, ok := ix.byExt[extID]
-	return ok && !ix.docs[id].deleted
+	_, ok := ix.DocID(extID)
+	return ok
 }
 
 // LiveDocIDs returns the ids of all live documents, ascending.
 func (ix *Index) LiveDocIDs() []DocID {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := make([]DocID, 0, ix.liveDocs)
-	for i := range ix.docs {
-		if !ix.docs[i].deleted {
-			out = append(out, DocID(i))
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	var out []DocID
+	for si, sh := range ix.shards {
+		sh.mu.RLock()
+		for local := range sh.docs {
+			if !sh.isDeleted(uint32(local)) {
+				out = append(out, globalID(uint32(local), si, len(ix.shards)))
+			}
 		}
+		sh.mu.RUnlock()
+	}
+	if len(ix.shards) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	}
 	return out
 }
 
 // TermCount returns the number of distinct terms with at least one
-// live posting.
+// live posting (a term partitioned across shards counts once).
 func (ix *Index) TermCount() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	n := 0
-	for _, pl := range ix.dict {
-		if pl.df > 0 {
-			n++
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	if len(ix.shards) == 1 {
+		sh := ix.shards[0]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		n := 0
+		for _, pl := range sh.dict {
+			if pl.df > 0 {
+				n++
+			}
 		}
+		return n
+	}
+	seen := make(map[string]bool)
+	for _, sh := range ix.shards {
+		sh.mu.RLock()
+		for term, pl := range sh.dict {
+			if pl.df > 0 {
+				seen[term] = true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return len(seen)
+}
+
+// SizeBytes estimates the memory footprint of the inverted file:
+// dictionary strings plus one 4-byte doc id and 4 bytes per position
+// slot per posting. Retained slice capacity counts — tombstoned
+// postings and over-allocated position arrays take space until
+// Compact reclaims them, matching in-memory reality.
+func (ix *Index) SizeBytes() int64 {
+	var n int64
+	for _, s := range ix.ShardSizes() {
+		n += s
 	}
 	return n
 }
 
-// SizeBytes estimates the size of the inverted file: dictionary
-// strings plus one 4-byte doc id and 4 bytes per position per
-// posting (the layout persist.go actually writes). Tombstoned
-// postings count until Compact, matching on-disk reality.
-func (ix *Index) SizeBytes() int64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	var n int64
-	for term, pl := range ix.dict {
-		n += int64(len(term)) + 8
-		for _, p := range pl.postings {
-			n += 8 + int64(4*len(p.Positions))
-		}
+// ShardSizes returns the SizeBytes contribution of each shard
+// (serving-layer statistics). The walk is memoized per index
+// version, so repeated polling of an unchanged index is cheap.
+func (ix *Index) ShardSizes() []int64 {
+	ix.sizeMu.Lock()
+	defer ix.sizeMu.Unlock()
+	// The version is read before the scan: a mutation racing the scan
+	// at worst re-computes on the next call.
+	v := ix.version.Load()
+	if ix.sizeCache != nil && ix.sizeVer == v {
+		return append([]int64(nil), ix.sizeCache...)
 	}
-	return n
+	ix.commitMu.RLock()
+	out := make([]int64, len(ix.shards))
+	for si, sh := range ix.shards {
+		sh.mu.RLock()
+		for term, pl := range sh.dict {
+			out[si] += int64(len(term)) + 8
+			out[si] += 8 * int64(cap(pl.postings))
+			for _, p := range pl.postings {
+				out[si] += 4 * int64(cap(p.Positions))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	ix.commitMu.RUnlock()
+	ix.sizeVer = v
+	ix.sizeCache = out
+	return append([]int64(nil), out...)
 }
 
 // Compact rebuilds the index without tombstones, renumbering
-// documents densely. External ids are preserved.
-func (ix *Index) Compact() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	remap := make(map[DocID]DocID, ix.liveDocs)
-	newDocs := make([]docInfo, 0, ix.liveDocs)
-	for i := range ix.docs {
-		if ix.docs[i].deleted {
-			continue
-		}
-		remap[DocID(i)] = DocID(len(newDocs))
-		newDocs = append(newDocs, ix.docs[i])
-	}
-	newDict := make(map[string]*postingList, len(ix.dict))
-	for term, pl := range ix.dict {
-		var np []Posting
-		for _, p := range pl.postings {
-			if nid, ok := remap[p.Doc]; ok {
-				np = append(np, Posting{Doc: nid, Positions: p.Positions})
-			}
-		}
-		if len(np) > 0 {
-			sort.Slice(np, func(i, j int) bool { return np[i].Doc < np[j].Doc })
-			newDict[term] = &postingList{postings: np, df: len(np)}
-		}
-	}
-	ix.docs = newDocs
-	ix.dict = newDict
-	ix.byExt = make(map[string]DocID, len(newDocs))
-	for i := range newDocs {
-		ix.byExt[newDocs[i].extID] = DocID(i)
-	}
-	ix.version++
+// documents densely and trimming posting and position slices to
+// exact size (incremental adds over-allocate; the trim is where
+// SizeBytes visibly drops). External ids are preserved.
+func (ix *Index) Compact() { ix.rebuild(0) }
+
+// Reshard rebuilds the index into n shards (also compacting; n is
+// clamped to [1, 65536]). It is the migration path for v1
+// single-shard collection files: load, Reshard, Save. DocIDs are
+// renumbered, as with Compact.
+func (ix *Index) Reshard(n int) {
+	ix.rebuild(clampShards(n))
 }
 
-// Clear removes all documents and terms.
+// rebuild redistributes all live documents into n fresh shards
+// (n == 0 keeps the current count). Existing snapshots keep reading
+// the structures they captured.
+func (ix *Index) rebuild(n int) {
+	ix.commitMu.Lock()
+	defer ix.commitMu.Unlock()
+	oldN := len(ix.shards)
+	if n == 0 {
+		n = oldN
+	}
+	newShards := make([]*shard, n)
+	for i := range newShards {
+		newShards[i] = newShard()
+	}
+	// Pass 1: remap live documents in ascending global-id order so
+	// relative document order (and, with one shard, the dense
+	// renumbering of the unsharded Compact) is preserved.
+	type liveDoc struct {
+		global DocID
+		si     int
+		local  uint32
+	}
+	var lives []liveDoc
+	for si, sh := range ix.shards {
+		for local := range sh.docs {
+			if !sh.isDeleted(uint32(local)) {
+				lives = append(lives, liveDoc{globalID(uint32(local), si, oldN), si, uint32(local)})
+			}
+		}
+	}
+	sort.Slice(lives, func(i, j int) bool { return lives[i].global < lives[j].global })
+	remap := make(map[DocID]DocID, len(lives))
+	for _, ld := range lives {
+		d := ix.shards[ld.si].docs[ld.local]
+		tsi := shardIndex(d.extID, n)
+		tsh := newShards[tsi]
+		local := uint32(len(tsh.docs))
+		remap[ld.global] = globalID(local, tsi, n)
+		tsh.docs = append(tsh.docs, d)
+		if int(local/64) >= len(tsh.deleted) {
+			tsh.deleted = append(tsh.deleted, 0)
+		}
+		tsh.byExt[d.extID] = local
+		tsh.liveDocs++
+		tsh.totalLen += int64(d.length)
+	}
+	// Pass 2: re-bucket live postings, copying position slices
+	// tightly so retained capacity is reclaimed.
+	for _, sh := range ix.shards {
+		for term, pl := range sh.dict {
+			for _, p := range pl.postings {
+				nid, ok := remap[p.Doc]
+				if !ok {
+					continue
+				}
+				tsh := newShards[int(nid)%n]
+				npl := tsh.dict[term]
+				if npl == nil {
+					npl = &postingList{}
+					tsh.dict[term] = npl
+				}
+				positions := make([]uint32, len(p.Positions))
+				copy(positions, p.Positions)
+				npl.postings = append(npl.postings, Posting{Doc: nid, Positions: positions})
+				npl.df++
+			}
+		}
+	}
+	for _, sh := range newShards {
+		for _, pl := range sh.dict {
+			sort.Slice(pl.postings, func(i, j int) bool { return pl.postings[i].Doc < pl.postings[j].Doc })
+			pl.postings = append(make([]Posting, 0, len(pl.postings)), pl.postings...)
+		}
+	}
+	ix.shards = newShards
+	ix.rebuildGen++
+	ix.version.Add(1)
+}
+
+// Clear removes all documents and terms, keeping the shard count.
 func (ix *Index) Clear() {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.dict = make(map[string]*postingList)
-	ix.docs = nil
-	ix.byExt = make(map[string]DocID)
-	ix.liveDocs = 0
-	ix.totalLen = 0
-	ix.version++
+	ix.commitMu.Lock()
+	defer ix.commitMu.Unlock()
+	newShards := make([]*shard, len(ix.shards))
+	for i := range newShards {
+		newShards[i] = newShard()
+	}
+	ix.shards = newShards
+	ix.rebuildGen++
+	ix.version.Add(1)
 }
 
 // Version returns a counter that changes on every mutation of the
 // index. Retrieval models use it to invalidate derived caches
 // (e.g. document norms).
-func (ix *Index) Version() uint64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.version
-}
+func (ix *Index) Version() uint64 { return ix.version.Load() }

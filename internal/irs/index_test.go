@@ -143,6 +143,36 @@ func TestIndexCompact(t *testing.T) {
 	}
 }
 
+// Compact must reclaim slice capacity, not just drop tombstoned
+// postings: incremental adds grow Positions arrays by doubling, so a
+// term with tf=5 retains capacity 8 until Compact copies it tightly.
+// SizeBytes counts capacity, so the reclaim is observable even with
+// no deletions at all.
+func TestCompactTightensPositions(t *testing.T) {
+	ix := newTestIndex()
+	// 5 occurrences -> positions slice grows 1,2,4,8: cap 8, len 5.
+	ix.Add("d1", "echo echo echo echo echo", nil)
+	ix.Add("d2", "other words", nil)
+	before := ix.SizeBytes()
+	ix.Compact()
+	after := ix.SizeBytes()
+	if after >= before {
+		t.Errorf("Compact reclaimed nothing: SizeBytes %d -> %d", before, after)
+	}
+	ps := ix.Postings("echo")
+	if len(ps) != 1 || ps[0].TF() != 5 {
+		t.Fatalf("postings damaged by Compact: %v", ps)
+	}
+	if cap(ps[0].Positions) != len(ps[0].Positions) {
+		t.Errorf("positions still over-allocated after Compact: len %d cap %d",
+			len(ps[0].Positions), cap(ps[0].Positions))
+	}
+	// Reclaimed bytes: 3 unused position slots x 4 bytes at least.
+	if before-after < 12 {
+		t.Errorf("reclaimed only %d bytes, want >= 12", before-after)
+	}
+}
+
 func TestIndexPositions(t *testing.T) {
 	ix := newTestIndex()
 	ix.Add("d1", "digital library of digital documents", nil)

@@ -10,15 +10,18 @@ import (
 // "Exchangeability enables us to use any kind of retrieval system:
 // e.g. boolean retrieval systems, vector retrieval systems, and
 // systems based on probability" (Section 3). Eval scores the parsed
-// query against the index and returns retrieval status values for
-// every matching document.
+// query against a point-in-time snapshot of the index and returns
+// retrieval status values for every matching document. Evaluating
+// against a Snapshot (instead of the live index) gives every query
+// a stable view while propagation proceeds concurrently, and lets
+// models fan work out across shards.
 type Model interface {
 	// Name identifies the paradigm ("inference-net", "vector",
 	// "boolean").
 	Name() string
 	// Eval returns document scores for the query. Documents with no
 	// query evidence are omitted.
-	Eval(ix *Index, root *Node) map[DocID]float64
+	Eval(s *Snapshot, root *Node) map[DocID]float64
 }
 
 // InferenceNet is the probabilistic model of INQUERY ([CCH92]):
@@ -35,6 +38,10 @@ type Model interface {
 // maximum. This reproduces the document-length dependence the paper
 // points out in Section 4.5.2 ("INQUERY, for example, takes into
 // account the IRS documents' length in order to compute IRS values").
+//
+// Statistics (N, df, avgdl) are always corpus-global — shard-local
+// evidence is combined with global frequencies, so rankings are
+// independent of the shard count.
 type InferenceNet struct {
 	// DefaultBelief is the belief assigned to a document for a term
 	// it does not contain. INQUERY used 0.4; the zero value selects
@@ -52,18 +59,25 @@ func (m InferenceNet) defaultBelief() float64 {
 	return m.DefaultBelief
 }
 
-// Eval implements Model.
-func (m InferenceNet) Eval(ix *Index, root *Node) map[DocID]float64 {
+// Eval implements Model. Candidate documents are scored shard by
+// shard in parallel; each shard's candidates carry their evidence
+// locally, so no cross-shard synchronization happens during scoring.
+func (m InferenceNet) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 	if root == nil {
 		return nil
 	}
-	ctx := newEvalContext(ix, root)
-	out := make(map[DocID]float64, len(ctx.candidates))
+	ctx := newEvalContext(s, root)
 	b := m.defaultBelief()
-	for _, d := range ctx.candidates {
-		out[d] = m.belief(ctx, root, d, b)
-	}
-	return out
+	perShard := make([]map[DocID]float64, s.ShardCount())
+	s.parShards(func(si int) {
+		cands := ctx.candidates[si]
+		out := make(map[DocID]float64, len(cands))
+		for _, d := range cands {
+			out[d] = m.belief(ctx, root, d, b)
+		}
+		perShard[si] = out
+	})
+	return mergeShardScores(perShard)
 }
 
 func (m InferenceNet) belief(ctx *evalContext, n *Node, d DocID, b float64) float64 {
@@ -120,11 +134,11 @@ func (m InferenceNet) termBelief(ctx *evalContext, st *termStat, d DocID, b floa
 	if st == nil || st.df == 0 {
 		return b
 	}
-	tf, ok := st.tf[d]
+	tf, ok := st.tfOf(ctx.s, d)
 	if !ok {
 		return b
 	}
-	dl := float64(ctx.ix.DocLen(d))
+	dl := float64(ctx.s.DocLen(d))
 	avg := ctx.avgdl
 	if avg == 0 {
 		avg = 1
@@ -135,33 +149,64 @@ func (m InferenceNet) termBelief(ctx *evalContext, st *termStat, d DocID, b floa
 }
 
 // termStat is the evidence a leaf (term, phrase or synonym group)
-// contributes: per-document frequency and document frequency.
+// contributes: per-shard per-document frequencies and the global
+// document frequency.
 type termStat struct {
-	tf map[DocID]int
-	df int
+	tf []map[DocID]int // indexed by shard
+	df int             // summed across shards
+}
+
+func newTermStat(nshards int) *termStat {
+	return &termStat{tf: make([]map[DocID]int, nshards)}
+}
+
+// tfOf looks up the within-document frequency of d (whose evidence
+// lives in d's shard).
+func (st *termStat) tfOf(s *Snapshot, d DocID) (int, bool) {
+	m := st.tf[s.shardOf(d)]
+	if m == nil {
+		return 0, false
+	}
+	v, ok := m[d]
+	return v, ok
+}
+
+// sumDF folds the per-shard frequencies into the global df.
+func (st *termStat) sumDF() {
+	st.df = 0
+	for _, m := range st.tf {
+		st.df += len(m)
+	}
 }
 
 // evalContext gathers leaf statistics once per query evaluation.
+// Gathering fans out across shards; the per-shard candidate lists
+// drive the parallel scoring pass.
 type evalContext struct {
-	ix          *Index
+	s           *Snapshot
 	n           int
 	avgdl       float64
-	candidates  []DocID
+	candidates  [][]DocID // per shard, ascending
 	termStats   map[string]*termStat
 	phraseStats map[*Node]*termStat
 	synStats    map[*Node]*termStat
 }
 
-func newEvalContext(ix *Index, root *Node) *evalContext {
+func newEvalContext(s *Snapshot, root *Node) *evalContext {
+	nsh := s.ShardCount()
 	ctx := &evalContext{
-		ix:          ix,
-		n:           ix.DocCount(),
-		avgdl:       ix.AvgDocLen(),
+		s:           s,
+		n:           s.DocCount(),
+		avgdl:       s.AvgDocLen(),
+		candidates:  make([][]DocID, nsh),
 		termStats:   make(map[string]*termStat),
 		phraseStats: make(map[*Node]*termStat),
 		synStats:    make(map[*Node]*termStat),
 	}
-	candidates := make(map[DocID]bool)
+	// Collect the distinct leaves first so the per-shard gather can
+	// fill disjoint slots without synchronization.
+	var termLeaves []string
+	var phraseLeaves, synLeaves []*Node
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		switch n.Kind {
@@ -169,32 +214,14 @@ func newEvalContext(ix *Index, root *Node) *evalContext {
 			if _, ok := ctx.termStats[n.Term]; ok {
 				return
 			}
-			st := &termStat{tf: make(map[DocID]int)}
-			for _, p := range ix.Postings(n.Term) {
-				st.tf[p.Doc] = p.TF()
-				candidates[p.Doc] = true
-			}
-			st.df = len(st.tf)
-			ctx.termStats[n.Term] = st
+			ctx.termStats[n.Term] = newTermStat(nsh)
+			termLeaves = append(termLeaves, n.Term)
 		case NodePhrase:
-			st := phraseStat(ix, n)
-			for d := range st.tf {
-				candidates[d] = true
-			}
-			ctx.phraseStats[n] = st
+			ctx.phraseStats[n] = newTermStat(nsh)
+			phraseLeaves = append(phraseLeaves, n)
 		case NodeSyn:
-			st := &termStat{tf: make(map[DocID]int)}
-			for _, c := range n.Children {
-				if c.Kind != NodeTerm {
-					continue
-				}
-				for _, p := range ix.Postings(c.Term) {
-					st.tf[p.Doc] += p.TF()
-					candidates[p.Doc] = true
-				}
-			}
-			st.df = len(st.tf)
-			ctx.synStats[n] = st
+			ctx.synStats[n] = newTermStat(nsh)
+			synLeaves = append(synLeaves, n)
 		default:
 			for _, c := range n.Children {
 				walk(c)
@@ -202,26 +229,68 @@ func newEvalContext(ix *Index, root *Node) *evalContext {
 		}
 	}
 	walk(root)
-	ctx.candidates = make([]DocID, 0, len(candidates))
-	for d := range candidates {
-		ctx.candidates = append(ctx.candidates, d)
+	s.parShards(func(si int) {
+		cands := make(map[DocID]bool)
+		for _, raw := range termLeaves {
+			tf := make(map[DocID]int)
+			for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(raw)) {
+				tf[p.Doc] = p.TF()
+				cands[p.Doc] = true
+			}
+			ctx.termStats[raw].tf[si] = tf
+		}
+		for _, n := range phraseLeaves {
+			tf := phraseStatShard(s, si, n)
+			for d := range tf {
+				cands[d] = true
+			}
+			ctx.phraseStats[n].tf[si] = tf
+		}
+		for _, n := range synLeaves {
+			tf := make(map[DocID]int)
+			for _, c := range n.Children {
+				if c.Kind != NodeTerm {
+					continue
+				}
+				for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(c.Term)) {
+					tf[p.Doc] += p.TF()
+					cands[p.Doc] = true
+				}
+			}
+			ctx.synStats[n].tf[si] = tf
+		}
+		ids := make([]DocID, 0, len(cands))
+		for d := range cands {
+			ids = append(ids, d)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		ctx.candidates[si] = ids
+	})
+	for _, st := range ctx.termStats {
+		st.sumDF()
 	}
-	sort.Slice(ctx.candidates, func(i, j int) bool { return ctx.candidates[i] < ctx.candidates[j] })
+	for _, st := range ctx.phraseStats {
+		st.sumDF()
+	}
+	for _, st := range ctx.synStats {
+		st.sumDF()
+	}
 	return ctx
 }
 
-// phraseStat computes per-document frequencies of an exact-adjacency
-// phrase using positional intersection.
-func phraseStat(ix *Index, n *Node) *termStat {
-	st := &termStat{tf: make(map[DocID]int)}
+// phraseStatShard computes per-document frequencies of an
+// exact-adjacency phrase within one shard using positional
+// intersection (a document's positions live entirely in its shard).
+func phraseStatShard(s *Snapshot, si int, n *Node) map[DocID]int {
+	tf := make(map[DocID]int)
 	if len(n.Children) == 0 {
-		return st
+		return tf
 	}
 	// Positions per document per term of the phrase.
 	perTerm := make([]map[DocID][]uint32, len(n.Children))
 	for i, c := range n.Children {
 		perTerm[i] = make(map[DocID][]uint32)
-		for _, p := range ix.Postings(c.Term) {
+		for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(c.Term)) {
 			perTerm[i][p.Doc] = p.Positions
 		}
 	}
@@ -240,14 +309,32 @@ func phraseStat(ix *Index, n *Node) *termStat {
 			}
 		}
 		if count > 0 {
-			st.tf[d] = count
+			tf[d] = count
 		}
 	}
-	st.df = len(st.tf)
-	return st
+	return tf
 }
 
 func containsPos(positions []uint32, want uint32) bool {
 	i := sort.Search(len(positions), func(i int) bool { return positions[i] >= want })
 	return i < len(positions) && positions[i] == want
+}
+
+// mergeShardScores folds per-shard score maps (over disjoint
+// document sets) into one result map.
+func mergeShardScores(perShard []map[DocID]float64) map[DocID]float64 {
+	if len(perShard) == 1 {
+		return perShard[0]
+	}
+	total := 0
+	for _, m := range perShard {
+		total += len(m)
+	}
+	out := make(map[DocID]float64, total)
+	for _, m := range perShard {
+		for d, v := range m {
+			out[d] = v
+		}
+	}
+	return out
 }

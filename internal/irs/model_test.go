@@ -33,7 +33,7 @@ func scoresByExt(ix *Index, m Model, q string, t *testing.T) map[string]float64 
 		t.Fatal(err)
 	}
 	out := make(map[string]float64)
-	for d, s := range m.Eval(ix, n) {
+	for d, s := range m.Eval(ix.Snapshot(), n) {
 		ext, _ := ix.ExtID(d)
 		out[ext] = s
 	}
@@ -121,7 +121,7 @@ func TestInferenceNetPhrase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for d, v := range (InferenceNet{}).Eval(ix, n) {
+	for d, v := range (InferenceNet{}).Eval(ix.Snapshot(), n) {
 		ext, _ := ix.ExtID(d)
 		s[ext] = v
 	}
@@ -158,7 +158,7 @@ func TestInferenceNetDocLengthNormalization(t *testing.T) {
 
 func TestInferenceNetEmptyAndUnknown(t *testing.T) {
 	ix := fixture(t)
-	if got := (InferenceNet{}).Eval(ix, nil); got != nil {
+	if got := (InferenceNet{}).Eval(ix.Snapshot(), nil); got != nil {
 		t.Errorf("Eval(nil) = %v, want nil", got)
 	}
 	s := scoresByExt(ix, InferenceNet{}, "zzzunknown", t)
@@ -249,10 +249,11 @@ func TestInferenceNetOperatorBoundsProperty(t *testing.T) {
 		nb, _ := ParseQuery(b)
 		nAnd, _ := ParseQuery("#and(" + a + " " + b + ")")
 		nOr, _ := ParseQuery("#or(" + a + " " + b + ")")
-		sa := m.Eval(ix, na)
-		sb := m.Eval(ix, nb)
-		sAnd := m.Eval(ix, nAnd)
-		sOr := m.Eval(ix, nOr)
+		snap := ix.Snapshot()
+		sa := m.Eval(snap, na)
+		sb := m.Eval(snap, nb)
+		sAnd := m.Eval(snap, nAnd)
+		sOr := m.Eval(snap, nOr)
 		get := func(s map[DocID]float64, d DocID) float64 {
 			if v, ok := s[d]; ok {
 				return v

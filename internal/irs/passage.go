@@ -21,6 +21,10 @@ import (
 // windows. Co-occurrence within a window therefore scores higher
 // than the same terms dispersed across a long document — exactly the
 // property whole-document scoring lacks.
+//
+// A document's positions live entirely in its shard, so the sliding
+// windows evaluate shard by shard in parallel (with corpus-global
+// idf), keeping scores independent of the shard count.
 type PassageModel struct {
 	// Window is the passage width in token positions (default 50).
 	Window int
@@ -46,7 +50,7 @@ func (m PassageModel) defaultBelief() float64 {
 }
 
 // Eval implements Model.
-func (m PassageModel) Eval(ix *Index, root *Node) map[DocID]float64 {
+func (m PassageModel) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 	if root == nil {
 		return nil
 	}
@@ -54,32 +58,53 @@ func (m PassageModel) Eval(ix *Index, root *Node) map[DocID]float64 {
 	if len(terms) == 0 {
 		return nil
 	}
-	n := ix.DocCount()
+	nsh := s.ShardCount()
+	n := s.DocCount()
 	infos := make(map[string]*termInfo, len(terms))
-	candidates := make(map[DocID]bool)
 	for _, t := range terms {
-		ti := &termInfo{postings: make(map[DocID][]uint32)}
-		ps := ix.Postings(t)
-		for _, p := range ps {
-			ti.postings[p.Doc] = p.Positions
-			candidates[p.Doc] = true
+		infos[t] = &termInfo{postings: make([]map[DocID][]uint32, nsh)}
+	}
+	candidates := make([][]DocID, nsh)
+	s.parShards(func(si int) {
+		cands := make(map[DocID]bool)
+		for _, t := range terms {
+			mp := make(map[DocID][]uint32)
+			for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(t)) {
+				mp[p.Doc] = p.Positions
+				cands[p.Doc] = true
+			}
+			infos[t].postings[si] = mp
 		}
-		if df := len(ti.postings); df > 0 {
+		ids := make([]DocID, 0, len(cands))
+		for d := range cands {
+			ids = append(ids, d)
+		}
+		candidates[si] = ids
+	})
+	for _, ti := range infos {
+		df := 0
+		for _, mp := range ti.postings {
+			df += len(mp)
+		}
+		if df > 0 {
 			ti.idf = math.Log((float64(n)+0.5)/float64(df)) / math.Log(float64(n)+1)
 		}
-		infos[t] = ti
 	}
-	out := make(map[DocID]float64, len(candidates))
-	for d := range candidates {
-		out[d] = m.bestPassage(root, infos, d)
-	}
-	return out
+	perShard := make([]map[DocID]float64, nsh)
+	s.parShards(func(si int) {
+		out := make(map[DocID]float64, len(candidates[si]))
+		for _, d := range candidates[si] {
+			out[d] = m.bestPassage(root, infos, si, d)
+		}
+		perShard[si] = out
+	})
+	return mergeShardScores(perShard)
 }
 
-// termInfo carries per-term postings (with positions) and idf for
-// passage evaluation.
+// termInfo carries per-term postings (positions, partitioned by
+// shard) and idf for passage evaluation.
 type termInfo struct {
-	postings map[DocID][]uint32
+	postings []map[DocID][]uint32 // indexed by shard
 	idf      float64
 }
 
@@ -91,10 +116,10 @@ type event struct {
 
 // bestPassage slides the window over the document's query-term
 // occurrences and returns the best window's combined belief.
-func (m PassageModel) bestPassage(root *Node, infos map[string]*termInfo, d DocID) float64 {
+func (m PassageModel) bestPassage(root *Node, infos map[string]*termInfo, si int, d DocID) float64 {
 	var events []event
 	for term, ti := range infos {
-		for _, pos := range ti.postings[d] {
+		for _, pos := range ti.postings[si][d] {
 			events = append(events, event{pos: pos, term: term})
 		}
 	}

@@ -32,7 +32,7 @@ func passageScores(t *testing.T, ix *Index, m Model, q string) map[string]float6
 		t.Fatal(err)
 	}
 	out := make(map[string]float64)
-	for d, v := range m.Eval(ix, n) {
+	for d, v := range m.Eval(ix.Snapshot(), n) {
 		ext, _ := ix.ExtID(d)
 		out[ext] = v
 	}
@@ -146,7 +146,7 @@ func TestPassageModelRegisteredByName(t *testing.T) {
 func TestPassageEmptyAndUnknown(t *testing.T) {
 	ix := passageFixture(t)
 	pm := PassageModel{}
-	if got := pm.Eval(ix, nil); got != nil {
+	if got := pm.Eval(ix.Snapshot(), nil); got != nil {
 		t.Error("Eval(nil) != nil")
 	}
 	s := passageScores(t, ix, pm, "zzznothing")

@@ -10,23 +10,35 @@ import (
 	"sort"
 )
 
-// Binary collection file format (little endian):
+// Binary collection file format (little endian).
 //
-//	magic "IRSC" | version u32 | model name string
-//	doc count u32
-//	  per doc: extID string | length u32 | deleted u8 |
-//	           meta count u32 | (key string, value string)*
-//	term count u32
-//	  per term: term string | posting count u32 |
-//	            (doc u32, position count u32, positions u32*)*
+// Version 2 (written by this code) is the sharded layout:
+//
+//	magic "IRSC" | version u32 = 2 | model name string
+//	shard count u32
+//	  per shard:
+//	    doc count u32
+//	      per doc: extID string | length u32 | deleted u8 |
+//	               meta count u32 | (key string, value string)*
+//	    term count u32
+//	      per term: term string | posting count u32 |
+//	                (local doc u32, position count u32, positions u32*)*
+//
+// Posting doc ids are shard-local (the doc's index in the shard's
+// own table), so a file round-trips independently of how global ids
+// are composed. Version 1 — the pre-sharding layout — is exactly a
+// version-2 file with an implicit single shard and no shard-count
+// field; NewEngineAt still reads it, loading the collection as one
+// shard (Reshard + Save migrates it to a sharded v2 file).
 //
 // Strings are u32 length + bytes. Tombstoned documents are written
-// too so DocIDs stay stable across a save/load cycle; Compact before
-// saving to shed them.
+// too so local ids stay stable across a save/load cycle; Compact
+// before saving to shed them.
 
 const (
-	persistMagic   = "IRSC"
-	persistVersion = 1
+	persistMagic     = "IRSC"
+	persistVersionV1 = 1
+	persistVersion   = 2
 )
 
 // saveTo writes the collection to path atomically (write to a temp
@@ -97,9 +109,10 @@ func readString(r io.Reader) (string, error) {
 	return string(buf), nil
 }
 
+// writeCollection serializes a consistent snapshot of the
+// collection, so Save can run while writers proceed.
 func writeCollection(w io.Writer, c *Collection) error {
-	c.ix.mu.RLock()
-	defer c.ix.mu.RUnlock()
+	snap := c.ix.Snapshot()
 	if _, err := io.WriteString(w, persistMagic); err != nil {
 		return err
 	}
@@ -109,68 +122,86 @@ func writeCollection(w io.Writer, c *Collection) error {
 	if err := writeString(w, c.Model().Name()); err != nil {
 		return err
 	}
-	ix := c.ix
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(ix.docs))); err != nil {
+	nsh := snap.ShardCount()
+	if err := binary.Write(w, binary.LittleEndian, uint32(nsh)); err != nil {
 		return err
 	}
-	for i := range ix.docs {
-		d := &ix.docs[i]
-		if err := writeString(w, d.extID); err != nil {
+	for si := 0; si < nsh; si++ {
+		ss := &snap.shards[si]
+		if err := binary.Write(w, binary.LittleEndian, uint32(ss.docsLen)); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(d.length)); err != nil {
-			return err
-		}
-		del := uint8(0)
-		if d.deleted {
-			del = 1
-		}
-		if err := binary.Write(w, binary.LittleEndian, del); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(d.meta))); err != nil {
-			return err
-		}
-		keys := make([]string, 0, len(d.meta))
-		for k := range d.meta {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			if err := writeString(w, k); err != nil {
+		for local := 0; local < ss.docsLen; local++ {
+			d := &ss.docs[local]
+			if err := writeString(w, d.extID); err != nil {
 				return err
 			}
-			if err := writeString(w, d.meta[k]); err != nil {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d.length)); err != nil {
 				return err
 			}
-		}
-	}
-	terms := make([]string, 0, len(ix.dict))
-	for t := range ix.dict {
-		terms = append(terms, t)
-	}
-	sort.Strings(terms)
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(terms))); err != nil {
-		return err
-	}
-	for _, t := range terms {
-		if err := writeString(w, t); err != nil {
-			return err
-		}
-		pl := ix.dict[t]
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(pl.postings))); err != nil {
-			return err
-		}
-		for _, p := range pl.postings {
-			if err := binary.Write(w, binary.LittleEndian, uint32(p.Doc)); err != nil {
+			del := uint8(0)
+			if ss.isDeleted(local) {
+				del = 1
+			}
+			if err := binary.Write(w, binary.LittleEndian, del); err != nil {
 				return err
 			}
-			if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Positions))); err != nil {
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(d.meta))); err != nil {
 				return err
 			}
-			for _, pos := range p.Positions {
-				if err := binary.Write(w, binary.LittleEndian, pos); err != nil {
+			keys := make([]string, 0, len(d.meta))
+			for k := range d.meta {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if err := writeString(w, k); err != nil {
 					return err
+				}
+				if err := writeString(w, d.meta[k]); err != nil {
+					return err
+				}
+			}
+		}
+		// termsShard returns raw headers captured after acquisition;
+		// cap postings to documents inside the snapshot so the file
+		// never references a doc beyond its own table. Tombstoned
+		// postings are written (as in v1) — Compact sheds them.
+		terms := snap.termsShard(si)
+		filtered := make([]termPostings, 0, len(terms))
+		for _, tp := range terms {
+			ps := make([]Posting, 0, len(tp.ps))
+			for _, p := range tp.ps {
+				if int(p.Doc)/nsh < ss.docsLen {
+					ps = append(ps, p)
+				}
+			}
+			if len(ps) > 0 {
+				filtered = append(filtered, termPostings{term: tp.term, ps: ps})
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(filtered))); err != nil {
+			return err
+		}
+		for _, tp := range filtered {
+			if err := writeString(w, tp.term); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(tp.ps))); err != nil {
+				return err
+			}
+			for _, p := range tp.ps {
+				local := uint32(int(p.Doc) / nsh)
+				if err := binary.Write(w, binary.LittleEndian, local); err != nil {
+					return err
+				}
+				if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Positions))); err != nil {
+					return err
+				}
+				for _, pos := range p.Positions {
+					if err := binary.Write(w, binary.LittleEndian, pos); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -190,9 +221,6 @@ func readCollection(r io.Reader, name string) (*Collection, error) {
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != persistVersion {
-		return nil, fmt.Errorf("unsupported version %d", version)
-	}
 	modelName, err := readString(r)
 	if err != nil {
 		return nil, err
@@ -201,93 +229,128 @@ func readCollection(r io.Reader, name string) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := NewIndex(nil)
+	var ix *Index
+	switch version {
+	case persistVersionV1:
+		// Pre-sharding layout: the body is exactly one shard.
+		ix = NewIndexShards(nil, 1)
+		if err := readShardInto(r, ix, 0); err != nil {
+			return nil, err
+		}
+	case persistVersion:
+		var shardCount uint32
+		if err := binary.Read(r, binary.LittleEndian, &shardCount); err != nil {
+			return nil, err
+		}
+		if shardCount < 1 || shardCount > maxShards {
+			return nil, fmt.Errorf("shard count %d exceeds sanity bound", shardCount)
+		}
+		ix = NewIndexShards(nil, int(shardCount))
+		for si := 0; si < int(shardCount); si++ {
+			if err := readShardInto(r, ix, si); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unsupported version %d", version)
+	}
+	return &Collection{name: name, ix: ix, model: model}, nil
+}
+
+// readShardInto deserializes one shard body into shard si of ix
+// (which must be freshly constructed; no locking).
+func readShardInto(r io.Reader, ix *Index, si int) error {
+	sh := ix.shards[si]
+	nsh := len(ix.shards)
 	var docCount uint32
 	if err := binary.Read(r, binary.LittleEndian, &docCount); err != nil {
-		return nil, err
+		return err
 	}
-	ix.docs = make([]docInfo, docCount)
-	for i := range ix.docs {
-		d := &ix.docs[i]
+	sh.docs = make([]docInfo, docCount)
+	sh.deleted = make([]uint64, (int(docCount)+63)/64)
+	var err error
+	for local := range sh.docs {
+		d := &sh.docs[local]
 		if d.extID, err = readString(r); err != nil {
-			return nil, err
+			return err
 		}
 		var length uint32
 		if err := binary.Read(r, binary.LittleEndian, &length); err != nil {
-			return nil, err
+			return err
 		}
 		d.length = int(length)
 		var del uint8
 		if err := binary.Read(r, binary.LittleEndian, &del); err != nil {
-			return nil, err
+			return err
 		}
-		d.deleted = del != 0
 		var metaCount uint32
 		if err := binary.Read(r, binary.LittleEndian, &metaCount); err != nil {
-			return nil, err
+			return err
 		}
 		if metaCount > 0 {
 			d.meta = make(map[string]string, metaCount)
 			for j := uint32(0); j < metaCount; j++ {
 				k, err := readString(r)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				v, err := readString(r)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				d.meta[k] = v
 			}
 		}
-		if !d.deleted {
-			ix.byExt[d.extID] = DocID(i)
-			ix.liveDocs++
-			ix.totalLen += int64(d.length)
+		if del != 0 {
+			sh.setDeleted(uint32(local))
+		} else {
+			sh.byExt[d.extID] = uint32(local)
+			sh.liveDocs++
+			sh.totalLen += int64(d.length)
 		}
 	}
 	var termCount uint32
 	if err := binary.Read(r, binary.LittleEndian, &termCount); err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint32(0); i < termCount; i++ {
 		term, err := readString(r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var postingCount uint32
 		if err := binary.Read(r, binary.LittleEndian, &postingCount); err != nil {
-			return nil, err
+			return err
 		}
 		pl := &postingList{postings: make([]Posting, postingCount)}
 		for j := uint32(0); j < postingCount; j++ {
-			var doc, posCount uint32
-			if err := binary.Read(r, binary.LittleEndian, &doc); err != nil {
-				return nil, err
+			var local, posCount uint32
+			if err := binary.Read(r, binary.LittleEndian, &local); err != nil {
+				return err
 			}
 			if err := binary.Read(r, binary.LittleEndian, &posCount); err != nil {
-				return nil, err
+				return err
 			}
 			if posCount > 1<<26 {
-				return nil, fmt.Errorf("position count %d exceeds sanity bound", posCount)
+				return fmt.Errorf("position count %d exceeds sanity bound", posCount)
 			}
 			positions := make([]uint32, posCount)
 			for k := range positions {
 				if err := binary.Read(r, binary.LittleEndian, &positions[k]); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			if int(doc) >= len(ix.docs) {
-				return nil, fmt.Errorf("posting references doc %d beyond table", doc)
+			if int(local) >= len(sh.docs) {
+				return fmt.Errorf("posting references doc %d beyond table", local)
 			}
-			pl.postings[j] = Posting{Doc: DocID(doc), Positions: positions}
-			if !ix.docs[doc].deleted {
+			pl.postings[j] = Posting{Doc: globalID(local, si, nsh), Positions: positions}
+			if !sh.isDeleted(local) {
 				pl.df++
 			}
 			// Rebuild the forward index (not stored on disk).
-			ix.docs[doc].terms = append(ix.docs[doc].terms, term)
+			sh.docs[local].terms = append(sh.docs[local].terms, term)
 		}
-		ix.dict[term] = pl
+		sh.dict[term] = pl
 	}
-	return &Collection{name: name, ix: ix, model: model}, nil
+	return nil
 }

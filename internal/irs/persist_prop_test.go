@@ -1,6 +1,8 @@
 package irs
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -153,6 +155,180 @@ func TestCompactShrinksPersistedFile(t *testing.T) {
 	c2, _ := e2.Collection("z")
 	if c2.DocCount() != 5 {
 		t.Errorf("DocCount after compacted reload = %d", c2.DocCount())
+	}
+}
+
+// TestLoadV1Format: a collection file written in the pre-sharding
+// v1 layout still loads (as a single-shard index) and answers
+// queries; saving rewrites it as v2 and the reload is equivalent.
+func TestLoadV1Format(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy"+collExt)
+	// Hand-write a v1 file: magic, version 1, model, doc table with a
+	// tombstone, dictionary with positional postings (global == local
+	// ids in v1).
+	var buf bytes.Buffer
+	w := func(v any) {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := func(s string) {
+		w(uint32(len(s)))
+		buf.WriteString(s)
+	}
+	buf.WriteString(persistMagic)
+	w(uint32(persistVersionV1))
+	ws("inference-net")
+	w(uint32(3)) // doc count
+	// doc 0: live, one meta pair
+	ws("o1")
+	w(uint32(2))
+	w(uint8(0))
+	w(uint32(1))
+	ws("oid")
+	ws("o1")
+	// doc 1: tombstoned
+	ws("gone")
+	w(uint32(1))
+	w(uint8(1))
+	w(uint32(0))
+	// doc 2: live
+	ws("o2")
+	w(uint32(2))
+	w(uint8(0))
+	w(uint32(0))
+	// dictionary: structur -> docs 0,1,2; text -> doc 2
+	w(uint32(2))
+	ws("structur")
+	w(uint32(3))
+	w(uint32(0))
+	w(uint32(1))
+	w(uint32(0))
+	w(uint32(1))
+	w(uint32(1))
+	w(uint32(0))
+	w(uint32(2))
+	w(uint32(1))
+	w(uint32(0))
+	ws("text")
+	w(uint32(1))
+	w(uint32(2))
+	w(uint32(1))
+	w(uint32(1))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	c, err := e.Collection("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Index().ShardCount(); got != 1 {
+		t.Errorf("v1 load ShardCount = %d, want 1", got)
+	}
+	if got := c.DocCount(); got != 2 {
+		t.Errorf("v1 load DocCount = %d, want 2", got)
+	}
+	if c.HasDoc("gone") {
+		t.Error("tombstoned v1 doc resurrected")
+	}
+	if got := c.Index().DF("structured"); got != 2 {
+		t.Errorf("DF(structured) = %d, want 2 (analyzer stems to the stored stem)", got)
+	}
+	rs, err := c.Search("structured text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].ExtID != "o2" {
+		t.Fatalf("v1 search = %v, want o2 first of 2", rs)
+	}
+	if m, ok := c.Index().Meta(mustDocID(t, c.Index(), "o1"), "oid"); !ok || m != "o1" {
+		t.Errorf("v1 meta lost: %q %v", m, ok)
+	}
+
+	// Re-save: the file is rewritten as v2 and stays equivalent.
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e2.Collection("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := c2.Search("structured text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2) != len(rs) {
+		t.Fatalf("v2 rewrite changed results: %v vs %v", rs2, rs)
+	}
+	for i := range rs {
+		if rs[i] != rs2[i] {
+			t.Errorf("rank %d differs after v2 rewrite: %v vs %v", i, rs[i], rs2[i])
+		}
+	}
+}
+
+func mustDocID(t *testing.T, ix *Index, ext string) DocID {
+	t.Helper()
+	id, ok := ix.DocID(ext)
+	if !ok {
+		t.Fatalf("DocID(%q) missing", ext)
+	}
+	return id
+}
+
+// TestSaveLoadSharded: a sharded collection round-trips through the
+// v2 format with shard count and rankings intact.
+func TestSaveLoadSharded(t *testing.T) {
+	dir := t.TempDir()
+	e, err := NewEngineAt(dir, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.CreateCollection("sh", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		c.AddDocument(fmt.Sprintf("d%d", i), fmt.Sprintf("structured retrieval item%d", i), map[string]string{"n": fmt.Sprint(i)})
+	}
+	c.DeleteDocument("d3")
+	c.UpdateDocument("d4", "replacement content entirely", nil)
+	before, _ := c.Search("#and(structured retrieval)")
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e2.Collection("sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Index().ShardCount(); got != 3 {
+		t.Errorf("reloaded ShardCount = %d, want 3", got)
+	}
+	if got := c2.DocCount(); got != 24 {
+		t.Errorf("reloaded DocCount = %d, want 24", got)
+	}
+	after, _ := c2.Search("#and(structured retrieval)")
+	if len(before) != len(after) {
+		t.Fatalf("result counts differ: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("rank %d: %v vs %v", i, before[i], after[i])
+		}
 	}
 }
 

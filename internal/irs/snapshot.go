@@ -1,0 +1,343 @@
+package irs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/irs/analysis"
+)
+
+// Snapshot is an immutable point-in-time read view of an Index.
+// Queries, relevance feedback and passage retrieval evaluate against
+// a Snapshot instead of the live index, so a long-running query
+// never blocks update propagation and a propagation flush never
+// skews a half-read ranking: everything the snapshot exposes
+// reflects exactly the committed state at acquisition time.
+//
+// The implementation leans on the index's append-only discipline:
+// documents and postings are only ever appended (a document added
+// after acquisition has an id beyond the captured high-water mark
+// and is filtered out), position slices are never mutated in place,
+// and deletions flip bits in a tombstone bitmap of which the
+// snapshot keeps its own copy. Acquisition therefore copies a few
+// slice headers and one small bitmap per shard — no posting data.
+type Snapshot struct {
+	analyzer *analysis.Analyzer
+	version  uint64
+	shards   []snapShard
+	docCount int
+	totalLen int64
+}
+
+// snapShard is the captured state of one shard.
+type snapShard struct {
+	sh       *shard // for the brief dictionary-lookup lock only
+	dict     map[string]*postingList
+	docs     []docInfo
+	deleted  []uint64 // private copy
+	docsLen  int
+	liveDocs int
+	totalLen int64
+}
+
+// isDeleted tests the captured tombstone bitmap (the snapshot-side
+// mirror of shard.isDeleted).
+func (ss *snapShard) isDeleted(local int) bool {
+	return ss.deleted[local/64]&(1<<(uint(local)%64)) != 0
+}
+
+// Snapshot acquires a consistent read view. Acquisition holds the
+// commit lock shared and captures each shard under its own read
+// lock, so the view is atomic with respect to every batch commit
+// (batches hold the commit lock exclusively) and to every
+// single-document operation (each lives entirely in one shard).
+// Independent single-document operations racing on different shards
+// may be observed in either order — each is still all-or-nothing —
+// which is the per-shard snapshot-isolation contract the coupling's
+// flush path relies on: a flush is a batch, so no query ever ranks
+// against half of one.
+//
+// Acquisition cost is a few slice headers and one small tombstone
+// bitmap per shard; no posting data is copied and no retry loop
+// runs, so writers cannot starve readers (or vice versa).
+func (ix *Index) Snapshot() *Snapshot {
+	ix.snaps.Add(1)
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	s := &Snapshot{
+		analyzer: ix.analyzer,
+		shards:   make([]snapShard, len(ix.shards)),
+	}
+	// The snapshot's cache key folds the per-shard versions (read
+	// under the same lock as the shard's content) and the rebuild
+	// generation into one value, so two snapshots share derived
+	// caches (e.g. vector-space norms) only when they captured the
+	// same state.
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(ix.rebuildGen)
+	mix(uint64(len(ix.shards)))
+	for i, sh := range ix.shards {
+		sh.mu.RLock()
+		ss := snapShard{
+			sh:       sh,
+			dict:     sh.dict,
+			docs:     sh.docs,
+			deleted:  append([]uint64(nil), sh.deleted...),
+			docsLen:  len(sh.docs),
+			liveDocs: sh.liveDocs,
+			totalLen: sh.totalLen,
+		}
+		mix(sh.version)
+		sh.mu.RUnlock()
+		s.shards[i] = ss
+		s.docCount += ss.liveDocs
+		s.totalLen += ss.totalLen
+	}
+	s.version = h
+	return s
+}
+
+// ShardCount returns the number of captured shards.
+func (s *Snapshot) ShardCount() int { return len(s.shards) }
+
+// Version identifies the index state the snapshot reflects; model
+// caches (e.g. vector-space document norms) key on it.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// DocCount returns the number of live documents in the snapshot.
+func (s *Snapshot) DocCount() int { return s.docCount }
+
+// AvgDocLen returns the mean indexed length of live documents.
+func (s *Snapshot) AvgDocLen() float64 {
+	if s.docCount == 0 {
+		return 0
+	}
+	return float64(s.totalLen) / float64(s.docCount)
+}
+
+// live reports whether id refers to a document live in the snapshot.
+func (s *Snapshot) live(id DocID) bool {
+	n := len(s.shards)
+	ss := &s.shards[int(id)%n]
+	local := int(id) / n
+	return local < ss.docsLen && !ss.isDeleted(local)
+}
+
+// doc resolves id to its metadata record (nil if not live).
+func (s *Snapshot) doc(id DocID) *docInfo {
+	if !s.live(id) {
+		return nil
+	}
+	n := len(s.shards)
+	return &s.shards[int(id)%n].docs[int(id)/n]
+}
+
+// DocLen returns the indexed length of document id (0 if deleted or
+// out of range).
+func (s *Snapshot) DocLen(id DocID) int {
+	if d := s.doc(id); d != nil {
+		return d.length
+	}
+	return 0
+}
+
+// ExtID returns the external id of a live document.
+func (s *Snapshot) ExtID(id DocID) (string, bool) {
+	if d := s.doc(id); d != nil {
+		return d.extID, true
+	}
+	return "", false
+}
+
+// Meta returns a metadata value of a live document.
+func (s *Snapshot) Meta(id DocID, key string) (string, bool) {
+	if d := s.doc(id); d != nil {
+		v, ok := d.meta[key]
+		return v, ok
+	}
+	return "", false
+}
+
+// DocID resolves an external id to the document live under it in
+// the snapshot. The live byExt map cannot be consulted (it moves
+// with the index), so the extID's shard is scanned newest-first —
+// the highest live local id carrying the extID is the version the
+// snapshot sees. O(shard docs); meant for occasional resolution
+// (relevance feedback), not hot paths.
+func (s *Snapshot) DocID(extID string) (DocID, bool) {
+	n := len(s.shards)
+	si := shardIndex(extID, n)
+	ss := &s.shards[si]
+	for local := ss.docsLen - 1; local >= 0; local-- {
+		if ss.isDeleted(local) {
+			continue
+		}
+		if ss.docs[local].extID == extID {
+			return globalID(uint32(local), si, n), true
+		}
+	}
+	return 0, false
+}
+
+// postingsShard returns the live postings of an already-normalized
+// term within one shard, ascending by DocID. The shard lock is held
+// only for the dictionary lookup; filtering runs lock-free against
+// captured state.
+func (s *Snapshot) postingsShard(si int, term string) []Posting {
+	ss := &s.shards[si]
+	ss.sh.mu.RLock()
+	pl := ss.dict[term]
+	var ps []Posting
+	if pl != nil {
+		ps = pl.postings
+	}
+	ss.sh.mu.RUnlock()
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]Posting, 0, len(ps))
+	for _, p := range ps {
+		if s.live(p.Doc) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Postings returns the live postings of term across all shards,
+// ascending by DocID; term is passed through the analyzer's term
+// normalization.
+func (s *Snapshot) Postings(term string) []Posting {
+	t := s.analyzer.AnalyzeTerm(term)
+	if len(s.shards) == 1 {
+		return s.postingsShard(0, t)
+	}
+	var out []Posting
+	for si := range s.shards {
+		out = append(out, s.postingsShard(si, t)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+// DF returns the live document frequency of term in the snapshot.
+func (s *Snapshot) DF(term string) int {
+	t := s.analyzer.AnalyzeTerm(term)
+	df := 0
+	for si := range s.shards {
+		df += s.dfShardRaw(si, t)
+	}
+	return df
+}
+
+// dfShardRaw counts one shard's live postings of an already-
+// normalized term without materializing them.
+func (s *Snapshot) dfShardRaw(si int, term string) int {
+	ss := &s.shards[si]
+	ss.sh.mu.RLock()
+	pl := ss.dict[term]
+	var ps []Posting
+	if pl != nil {
+		ps = pl.postings
+	}
+	ss.sh.mu.RUnlock()
+	df := 0
+	for _, p := range ps {
+		if s.live(p.Doc) {
+			df++
+		}
+	}
+	return df
+}
+
+// liveDocIDsShard returns the live document ids of one shard,
+// ascending.
+func (s *Snapshot) liveDocIDsShard(si int) []DocID {
+	ss := &s.shards[si]
+	out := make([]DocID, 0, ss.liveDocs)
+	for local := 0; local < ss.docsLen; local++ {
+		if !ss.isDeleted(local) {
+			out = append(out, globalID(uint32(local), si, len(s.shards)))
+		}
+	}
+	return out
+}
+
+// LiveDocIDs returns the ids of all live documents, ascending.
+func (s *Snapshot) LiveDocIDs() []DocID {
+	var out []DocID
+	for si := range s.shards {
+		out = append(out, s.liveDocIDsShard(si)...)
+	}
+	if len(s.shards) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+// termPostings pairs a dictionary term with its raw posting-list
+// header; postings still need live filtering against the snapshot.
+type termPostings struct {
+	term string
+	ps   []Posting
+}
+
+// termsShard returns one shard's dictionary sorted by term, with raw
+// posting headers. The shard lock is held only while the headers are
+// copied. Callers iterate terms in sorted order so floating-point
+// accumulation (e.g. document norms) is deterministic and
+// independent of the shard count.
+func (s *Snapshot) termsShard(si int) []termPostings {
+	ss := &s.shards[si]
+	ss.sh.mu.RLock()
+	out := make([]termPostings, 0, len(ss.dict))
+	for t, pl := range ss.dict {
+		out = append(out, termPostings{term: t, ps: pl.postings})
+	}
+	ss.sh.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].term < out[j].term })
+	return out
+}
+
+// filterLive drops postings that are not live in the snapshot.
+func (s *Snapshot) filterLive(ps []Posting) []Posting {
+	out := make([]Posting, 0, len(ps))
+	for _, p := range ps {
+		if s.live(p.Doc) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parShards runs fn once per shard — the fan-out behind per-shard
+// parallel query scoring. On a single-CPU process (or a single-shard
+// index) the fan-out is pure scheduling overhead, so it runs inline.
+func (s *Snapshot) parShards(fn func(si int)) {
+	if len(s.shards) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for si := range s.shards {
+			fn(si)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(s.shards))
+	for si := range s.shards {
+		go func(si int) {
+			defer wg.Done()
+			fn(si)
+		}(si)
+	}
+	wg.Wait()
+}
+
+// shardOf returns the shard index a document id belongs to.
+func (s *Snapshot) shardOf(id DocID) int { return int(id) % len(s.shards) }

@@ -1,0 +1,351 @@
+package irs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/irs/analysis"
+)
+
+// TestSnapshotPointInTime: a snapshot keeps answering from the state
+// at acquisition while the live index moves on.
+func TestSnapshotPointInTime(t *testing.T) {
+	ix := newTestIndex()
+	ix.Add("d1", "alpha beta", nil)
+	ix.Add("d2", "alpha gamma", nil)
+	snap := ix.Snapshot()
+
+	ix.Delete("d1")
+	ix.Add("d3", "alpha delta", nil)
+	if _, err := ix.Update("d2", "epsilon only", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := snap.DocCount(); got != 2 {
+		t.Errorf("snapshot DocCount = %d, want 2", got)
+	}
+	if got := snap.DF("alpha"); got != 2 {
+		t.Errorf("snapshot DF(alpha) = %d, want 2", got)
+	}
+	exts := make(map[string]bool)
+	for _, p := range snap.Postings("alpha") {
+		ext, ok := snap.ExtID(p.Doc)
+		if !ok {
+			t.Fatalf("snapshot posting for dead doc %d", p.Doc)
+		}
+		exts[ext] = true
+	}
+	if !exts["d1"] || !exts["d2"] || len(exts) != 2 {
+		t.Errorf("snapshot postings cover %v, want d1+d2", exts)
+	}
+	// The live index reflects the mutations.
+	if got := ix.DF("alpha"); got != 1 {
+		t.Errorf("live DF(alpha) = %d, want 1", got)
+	}
+	// A fresh snapshot sees the new state and a new version.
+	snap2 := ix.Snapshot()
+	if snap2.Version() == snap.Version() {
+		t.Error("snapshot version did not change across mutations")
+	}
+	if got := snap2.DF("alpha"); got != 1 {
+		t.Errorf("fresh snapshot DF(alpha) = %d, want 1", got)
+	}
+}
+
+// TestSnapshotBatchIsolation: concurrent batches swap two documents'
+// contents back and forth; every concurrent ranking must reflect one
+// of the two committed states, never a half-applied blend. Run with
+// -race to exercise the memory-model claims too.
+func TestSnapshotBatchIsolation(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e := NewEngine(Options{Shards: shards})
+			c, err := e.CreateCollection("iso", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// State A: docA carries the topic, docB doesn't.
+			// State B: the other way round. In both states exactly
+			// one document matches "topic".
+			c.AddDocument("docA", "topic words here", nil)
+			c.AddDocument("docB", "unrelated filler text", nil)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				inA := true
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var ta, tb string
+					if inA {
+						ta, tb = "unrelated filler text", "topic words here"
+					} else {
+						ta, tb = "topic words here", "unrelated filler text"
+					}
+					err := c.Batch(func(b *Batch) error {
+						if _, err := b.Update("docA", ta, nil); err != nil {
+							return err
+						}
+						_, err := b.Update("docB", tb, nil)
+						return err
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					inA = !inA
+				}
+			}()
+			node, err := ParseQuery("topic")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 300; i++ {
+				rs := c.SearchNode(node)
+				if len(rs) != 1 {
+					t.Fatalf("iteration %d: ranking has %d hits (%v), want exactly 1 — blended batch state observed", i, len(rs), rs)
+				}
+				if rs[0].ExtID != "docA" && rs[0].ExtID != "docB" {
+					t.Fatalf("iteration %d: unexpected hit %v", i, rs[0])
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// equivalenceModels are compared by the sharding property test; the
+// vector model gets a fresh instance per index (it caches norms).
+func equivalenceModels() []func() Model {
+	return []func() Model{
+		func() Model { return InferenceNet{} },
+		func() Model { return NewVectorSpace() },
+		func() Model { return Boolean{} },
+		func() Model { return PassageModel{Window: 8} },
+	}
+}
+
+var equivalenceQueries = []string{
+	"t1",
+	"#and(t1 t2)",
+	"#or(t3 #and(t1 t4))",
+	"#wsum(2 t1 1 t5)",
+	"#sum(t1 t2 t3 t4 t5)",
+	"#max(t2 #syn(t3 t6))",
+	"#and(t1 #not(t2))",
+	"#phrase(t1 t2)",
+}
+
+// Property: a sharded index returns rankings identical — same
+// documents, same order, bit-equal scores — to a single-shard index
+// over the same document history, for every retrieval model. Global
+// statistics (N, df, avgdl) and sorted-term accumulation make the
+// arithmetic independent of the partitioning.
+func TestShardedEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := 2 + rng.Intn(4)
+		mk := func(n int) *Index {
+			return NewIndexShards(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)), n)
+		}
+		single, sharded := mk(1), mk(shards)
+		live := make(map[string]bool)
+		for i := 0; i < 60; i++ {
+			id := fmt.Sprintf("d%d", rng.Intn(20))
+			switch {
+			case !live[id]:
+				text := ""
+				for j := 0; j < 1+rng.Intn(10); j++ {
+					text += fmt.Sprintf("t%d ", rng.Intn(8))
+				}
+				if _, err := single.Add(id, text, nil); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sharded.Add(id, text, nil); err != nil {
+					t.Fatal(err)
+				}
+				live[id] = true
+			case rng.Intn(3) == 0:
+				single.Delete(id)
+				sharded.Delete(id)
+				delete(live, id)
+			default:
+				text := ""
+				for j := 0; j < 1+rng.Intn(10); j++ {
+					text += fmt.Sprintf("t%d ", rng.Intn(8))
+				}
+				single.Update(id, text, nil)
+				sharded.Update(id, text, nil)
+			}
+		}
+		if single.DocCount() != sharded.DocCount() {
+			t.Logf("seed %d: DocCount %d vs %d", seed, single.DocCount(), sharded.DocCount())
+			return false
+		}
+		if single.AvgDocLen() != sharded.AvgDocLen() {
+			t.Logf("seed %d: AvgDocLen %v vs %v", seed, single.AvgDocLen(), sharded.AvgDocLen())
+			return false
+		}
+		for i := 0; i < 8; i++ {
+			term := fmt.Sprintf("t%d", i)
+			if single.DF(term) != sharded.DF(term) {
+				t.Logf("seed %d: DF(%s) %d vs %d", seed, term, single.DF(term), sharded.DF(term))
+				return false
+			}
+		}
+		if single.TermCount() != sharded.TermCount() {
+			t.Logf("seed %d: TermCount %d vs %d", seed, single.TermCount(), sharded.TermCount())
+			return false
+		}
+		rank := func(ix *Index, m Model, node *Node) []Result {
+			snap := ix.Snapshot()
+			scores := m.Eval(snap, node)
+			out := make([]Result, 0, len(scores))
+			for d, s := range scores {
+				ext, ok := snap.ExtID(d)
+				if !ok {
+					t.Fatalf("seed %d: score for dead doc %d", seed, d)
+				}
+				out = append(out, Result{ExtID: ext, Score: s})
+			}
+			sortResults(out)
+			return out
+		}
+		for _, mk := range equivalenceModels() {
+			m1, mn := mk(), mk()
+			for _, q := range equivalenceQueries {
+				node, err := ParseQuery(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r1 := rank(single, m1, node)
+				rn := rank(sharded, mn, node)
+				if len(r1) != len(rn) {
+					t.Logf("seed %d shards %d model %s query %q: %d vs %d results", seed, shards, m1.Name(), q, len(r1), len(rn))
+					return false
+				}
+				for i := range r1 {
+					if r1[i] != rn[i] {
+						t.Logf("seed %d shards %d model %s query %q rank %d: %v vs %v", seed, shards, m1.Name(), q, i, r1[i], rn[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sortResults orders by descending score, ties by ExtID (the same
+// order Collection.SearchNodeAt produces).
+func sortResults(rs []Result) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			if rs[j].Score > rs[j-1].Score ||
+				(rs[j].Score == rs[j-1].Score && rs[j].ExtID < rs[j-1].ExtID) {
+				rs[j], rs[j-1] = rs[j-1], rs[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// TestReshardPreservesObservables: migrating a single-shard index to
+// a sharded one (the v1 file migration path) preserves every
+// observable and the rankings.
+func TestReshardPreservesObservables(t *testing.T) {
+	e := NewEngine()
+	c, _ := e.CreateCollection("mig", nil)
+	for i := 0; i < 30; i++ {
+		c.AddDocument(fmt.Sprintf("d%d", i), fmt.Sprintf("structured documents number%d retrieval", i), nil)
+	}
+	c.DeleteDocument("d7")
+	before, _ := c.Search("structured retrieval")
+	ix := c.Index()
+	if got := ix.ShardCount(); got != 1 {
+		t.Fatalf("ShardCount = %d before reshard", got)
+	}
+	ix.Reshard(4)
+	if got := ix.ShardCount(); got != 4 {
+		t.Fatalf("ShardCount = %d after reshard, want 4", got)
+	}
+	if got := ix.DocCount(); got != 29 {
+		t.Errorf("DocCount after reshard = %d, want 29", got)
+	}
+	after, _ := c.Search("structured retrieval")
+	if len(before) != len(after) {
+		t.Fatalf("result counts differ: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("rank %d: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestSnapshotConcurrentSingleDocWrites: heavy single-document write
+// traffic against concurrent snapshot readers; every posting a
+// snapshot returns must resolve to a live ExtID within that
+// snapshot (no torn documents). Run with -race.
+func TestSnapshotConcurrentSingleDocWrites(t *testing.T) {
+	ix := NewIndexShards(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)), 4)
+	for i := 0; i < 16; i++ {
+		ix.Add(fmt.Sprintf("d%d", i), "shared topic content", nil)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("d%d", rng.Intn(16))
+				ix.Update(id, fmt.Sprintf("shared topic content v%d", rng.Intn(100)), nil)
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		snap := ix.Snapshot()
+		n := snap.DocCount()
+		if n != 16 {
+			t.Fatalf("iteration %d: snapshot DocCount = %d, want 16", i, n)
+		}
+		ps := snap.Postings("shared")
+		if len(ps) != 16 {
+			t.Fatalf("iteration %d: snapshot sees %d postings for 'shared', want 16", i, len(ps))
+		}
+		for _, p := range ps {
+			if _, ok := snap.ExtID(p.Doc); !ok {
+				t.Fatalf("iteration %d: torn posting: doc %d has no ExtID in its own snapshot", i, p.Doc)
+			}
+		}
+		// Live accessors must also be race-free against the writers
+		// (they copy metadata out under the shard lock).
+		if id, ok := ix.DocID("d3"); ok {
+			ix.ExtID(id)
+			ix.DocLen(id)
+			ix.Meta(id, "k")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

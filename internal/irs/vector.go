@@ -13,11 +13,16 @@ import (
 //	w(t,d) = (1 + ln tf) · ln(1 + N/df)
 //
 // and scores are cosine-normalized by the true document norm, which
-// is cached and invalidated via the index version counter.
+// is cached and invalidated via the snapshot version.
 //
 // Boolean structure (#and/#or/#not) is ignored beyond leaf
 // collection — the classic behaviour of vector engines, and exactly
 // the kind of paradigm difference EXP-T7 surfaces.
+//
+// Scoring fans out across shards: each shard accumulates partial
+// scores for its own documents (using corpus-global df and N) and
+// the ranker merges the disjoint partitions, so rankings are
+// independent of the shard count.
 type VectorSpace struct {
 	mu       sync.Mutex
 	normsVer uint64
@@ -32,7 +37,7 @@ func NewVectorSpace() *VectorSpace { return &VectorSpace{} }
 func (m *VectorSpace) Name() string { return "vector" }
 
 // Eval implements Model.
-func (m *VectorSpace) Eval(ix *Index, root *Node) map[DocID]float64 {
+func (m *VectorSpace) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 	if root == nil {
 		return nil
 	}
@@ -40,50 +45,77 @@ func (m *VectorSpace) Eval(ix *Index, root *Node) map[DocID]float64 {
 	if len(leaves) == 0 {
 		return nil
 	}
-	n := float64(ix.DocCount())
-	scores := make(map[DocID]float64)
-	var qnorm float64
-	for _, lf := range leaves {
-		var st *termStat
-		switch lf.node.Kind {
-		case NodeTerm:
-			st = &termStat{tf: make(map[DocID]int)}
-			for _, p := range ix.Postings(lf.node.Term) {
-				st.tf[p.Doc] = p.TF()
-			}
-			st.df = len(st.tf)
-		case NodePhrase:
-			st = phraseStat(ix, lf.node)
-		default:
-			continue
-		}
-		if st.df == 0 {
-			continue
-		}
-		idf := math.Log(1 + n/float64(st.df))
-		qw := lf.weight * idf
-		qnorm += qw * qw
-		for d, tf := range st.tf {
-			dw := (1 + math.Log(float64(tf))) * idf
-			scores[d] += qw * dw
-		}
+	nsh := s.ShardCount()
+	n := float64(s.DocCount())
+
+	// Gather per-leaf, per-shard term frequencies in parallel; each
+	// goroutine fills disjoint slots.
+	stats := make([]*termStat, len(leaves))
+	for i := range stats {
+		stats[i] = newTermStat(nsh)
 	}
-	if len(scores) == 0 {
-		return scores
+	s.parShards(func(si int) {
+		for li, lf := range leaves {
+			switch lf.node.Kind {
+			case NodeTerm:
+				tf := make(map[DocID]int)
+				for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(lf.node.Term)) {
+					tf[p.Doc] = p.TF()
+				}
+				stats[li].tf[si] = tf
+			case NodePhrase:
+				stats[li].tf[si] = phraseStatShard(s, si, lf.node)
+			default:
+				stats[li].tf[si] = nil
+			}
+		}
+	})
+	// Query weights accumulate in leaf order — deterministic and
+	// shard-count-independent.
+	var qnorm float64
+	qws := make([]float64, len(leaves))
+	idfs := make([]float64, len(leaves))
+	any := false
+	for li, lf := range leaves {
+		stats[li].sumDF()
+		if stats[li].df == 0 {
+			continue
+		}
+		any = true
+		idfs[li] = math.Log(1 + n/float64(stats[li].df))
+		qws[li] = lf.weight * idfs[li]
+		qnorm += qws[li] * qws[li]
+	}
+	if !any {
+		return make(map[DocID]float64)
 	}
 	qn := math.Sqrt(qnorm)
 	if qn == 0 {
 		qn = 1
 	}
-	norms := m.docNorms(ix)
-	for d := range scores {
-		dn := norms[d]
-		if dn == 0 {
-			dn = 1
+	norms := m.docNorms(s)
+	perShard := make([]map[DocID]float64, nsh)
+	s.parShards(func(si int) {
+		scores := make(map[DocID]float64)
+		for li := range leaves {
+			if stats[li].df == 0 {
+				continue
+			}
+			for d, tf := range stats[li].tf[si] {
+				dw := (1 + math.Log(float64(tf))) * idfs[li]
+				scores[d] += qws[li] * dw
+			}
 		}
-		scores[d] /= qn * dn
-	}
-	return scores
+		for d := range scores {
+			dn := norms[d]
+			if dn == 0 {
+				dn = 1
+			}
+			scores[d] /= qn * dn
+		}
+		perShard[si] = scores
+	})
+	return mergeShardScores(perShard)
 }
 
 type weightedLeaf struct {
@@ -122,44 +154,60 @@ func flattenLeaves(n *Node, w float64) []weightedLeaf {
 }
 
 // docNorms returns the cached full document norms, rebuilding them
-// when the index has changed since the last computation.
-func (m *VectorSpace) docNorms(ix *Index) map[DocID]float64 {
+// when the snapshot reflects a newer index state than the cache.
+// The rebuild runs in two parallel passes: per-shard live document
+// frequencies are folded into global ones, then every shard
+// accumulates its own documents' norms over its dictionary in
+// sorted-term order (so the floating-point sums are deterministic
+// and identical for any shard count).
+func (m *VectorSpace) docNorms(s *Snapshot) map[DocID]float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	v := ix.Version()
+	v := s.Version()
 	if m.norms != nil && m.normsVer == v {
 		return m.norms
 	}
-	n := float64(ix.DocCount())
-	norms := make(map[DocID]float64)
-	for _, term := range ix.terms() {
-		ps := ix.postingsRaw(term)
-		if len(ps) == 0 {
-			continue
+	nsh := s.ShardCount()
+	liveTerms := make([][]termPostings, nsh)
+	dfs := make([]map[string]int, nsh)
+	s.parShards(func(si int) {
+		tps := s.termsShard(si)
+		out := make([]termPostings, 0, len(tps))
+		df := make(map[string]int, len(tps))
+		for _, tp := range tps {
+			live := s.filterLive(tp.ps)
+			if len(live) == 0 {
+				continue
+			}
+			out = append(out, termPostings{term: tp.term, ps: live})
+			df[tp.term] = len(live)
 		}
-		idf := math.Log(1 + n/float64(len(ps)))
-		for _, p := range ps {
-			dw := (1 + math.Log(float64(p.TF()))) * idf
-			norms[p.Doc] += dw * dw
+		liveTerms[si] = out
+		dfs[si] = df
+	})
+	globalDF := make(map[string]int)
+	for _, df := range dfs {
+		for t, c := range df {
+			globalDF[t] += c
 		}
 	}
-	for d, s := range norms {
-		norms[d] = math.Sqrt(s)
-	}
-	m.norms = norms
+	n := float64(s.DocCount())
+	perShard := make([]map[DocID]float64, nsh)
+	s.parShards(func(si int) {
+		acc := make(map[DocID]float64)
+		for _, tp := range liveTerms[si] {
+			idf := math.Log(1 + n/float64(globalDF[tp.term]))
+			for _, p := range tp.ps {
+				dw := (1 + math.Log(float64(p.TF()))) * idf
+				acc[p.Doc] += dw * dw
+			}
+		}
+		for d, sum := range acc {
+			acc[d] = math.Sqrt(sum)
+		}
+		perShard[si] = acc
+	})
+	m.norms = mergeShardScores(perShard)
 	m.normsVer = v
-	return norms
-}
-
-// terms returns all dictionary terms with live postings.
-func (ix *Index) terms() []string {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	out := make([]string, 0, len(ix.dict))
-	for t, pl := range ix.dict {
-		if pl.df > 0 {
-			out = append(out, t)
-		}
-	}
-	return out
+	return m.norms
 }

@@ -126,6 +126,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		pending := col.PendingOps()
 		backlog += int64(pending)
 		cs := col.Stats().Snapshot()
+		ix := col.IRS().Index()
 		colls[name] = map[string]any{
 			"docs":             col.DocCount(),
 			"policy":           col.Policy().String(),
@@ -139,6 +140,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"ops_applied":      cs.OpsApplied,
 			"flushes":          cs.Flushes,
 			"indexed":          cs.Indexed,
+			"shards":           ix.ShardCount(),
+			"snapshots":        ix.SnapshotCount(),
+			"shard_bytes":      ix.ShardSizes(),
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
