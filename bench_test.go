@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/archcmp"
 	"repro/internal/core"
@@ -317,6 +318,63 @@ func BenchmarkUpdatePropagation(b *testing.B) {
 				if _, err := coll.GetIRSResult("www"); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// --- EXP-S2: sync vs async ingest pipeline -------------------------
+
+// BenchmarkIngestAsync measures the update-propagation pipeline under
+// bursts of text edits: "sync" propagates every edit inside the
+// mutator (PropagateImmediately), "async" logs and returns, letting
+// the background flusher group-commit, with a Drain as the visibility
+// barrier at the end of each burst. CI logs this benchmark alongside
+// BenchmarkServerQueryParallel.
+func BenchmarkIngestAsync(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"sync", core.Options{Policy: core.PropagateImmediately}},
+		{"async", core.Options{Policy: core.PropagateAsync, AsyncCoalesce: time.Millisecond}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := newBenchSystem(b, workload.DefaultConfig())
+			coll := s.paraCollection(b, mode.opts)
+			var leaves []oodb.OID
+			for _, doc := range s.docs {
+				var walk func(oid oodb.OID)
+				walk = func(oid oodb.OID) {
+					if class, _ := s.db.ClassOf(oid); class == docmodel.ClassText {
+						leaves = append(leaves, oid)
+						return
+					}
+					for _, k := range s.store.Children(oid) {
+						walk(k)
+					}
+				}
+				walk(doc)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for u := 0; u < 32; u++ {
+					leaf := leaves[(i*32+u)%len(leaves)]
+					if err := s.store.SetText(leaf, fmt.Sprintf("edit %d-%d www", i, u)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := coll.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := coll.Stats().Snapshot()
+			if st.FlushErrors != 0 {
+				b.Fatalf("flush errors: %d", st.FlushErrors)
+			}
+			if st.GroupCommits > 0 {
+				b.ReportMetric(float64(st.GroupedOps)/float64(st.GroupCommits), "ops/group")
 			}
 		})
 	}

@@ -16,6 +16,10 @@ func experimentRunners(shards int) map[string]runner {
 			_, err := eval.RunS1(w, shards)
 			return err
 		}},
+		"S2": {"Sync vs async ingest pipeline (staged analysis, group commit)", func(w io.Writer) error {
+			_, err := eval.RunS2(w)
+			return err
+		}},
 		"F1": {"Figure 1: coupling architectures", func(w io.Writer) error {
 			_, err := eval.RunF1(w)
 			return err

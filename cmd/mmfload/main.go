@@ -23,19 +23,20 @@ func main() {
 	collName := flag.String("collection", "", "collection to create/refresh")
 	spec := flag.String("spec", "ACCESS p FROM p IN PARA;", "specification query for -collection")
 	textMode := flag.Int("textmode", docirs.ModeFullText, "getText mode (0=full,1=abstract,2=own)")
+	policy := flag.String("policy", "on-query", "propagation policy for a newly created -collection (on-query, immediate, manual, async)")
 	flag.Parse()
 
 	if *dbDir == "" || *dtdPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mmfload -db DIR -dtd FILE [-collection NAME [-spec QUERY]] doc.sgm...")
+		fmt.Fprintln(os.Stderr, "usage: mmfload -db DIR -dtd FILE [-collection NAME [-spec QUERY] [-policy P]] doc.sgm...")
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *dtdPath, *collName, *spec, *textMode, flag.Args()); err != nil {
+	if err := run(*dbDir, *dtdPath, *collName, *spec, *policy, *textMode, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "mmfload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbDir, dtdPath, collName, spec string, textMode int, files []string) error {
+func run(dbDir, dtdPath, collName, spec, policy string, textMode int, files []string) error {
 	sys, err := docirs.Open(dbDir)
 	if err != nil {
 		return err
@@ -64,9 +65,13 @@ func run(dbDir, dtdPath, collName, spec string, textMode int, files []string) er
 	if collName == "" {
 		return nil
 	}
+	pol, err := docirs.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
 	coll, err := sys.Collection(collName)
 	if err != nil {
-		coll, err = sys.CreateCollection(collName, spec, docirs.CollectionOptions{TextMode: textMode})
+		coll, err = sys.CreateCollection(collName, spec, docirs.CollectionOptions{TextMode: textMode, Policy: pol})
 		if err != nil {
 			return err
 		}
@@ -74,7 +79,7 @@ func run(dbDir, dtdPath, collName, spec string, textMode int, files []string) er
 		if err != nil {
 			return err
 		}
-		fmt.Printf("collection %s: indexed %d objects\n", collName, n)
+		fmt.Printf("collection %s: indexed %d objects (policy %s)\n", collName, n, coll.Policy())
 		return nil
 	}
 	added, updated, removed, err := coll.Reindex()
@@ -82,5 +87,14 @@ func run(dbDir, dtdPath, collName, spec string, textMode int, files []string) er
 		return err
 	}
 	fmt.Printf("collection %s: %d added, %d refreshed, %d removed\n", collName, added, updated, removed)
+	// Deferred/async policies may still hold pending propagation from
+	// the loads above; drain so the state saved by Close is the fully
+	// propagated one and a following mmfquery session starts clean.
+	if pending := coll.PendingOps(); pending > 0 {
+		if err := coll.Drain(); err != nil {
+			return err
+		}
+		fmt.Printf("collection %s: drained %d pending updates\n", collName, pending)
+	}
 	return nil
 }

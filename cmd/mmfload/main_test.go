@@ -34,12 +34,12 @@ func TestLoadAndReindexFlow(t *testing.T) {
 	doc2 := write(t, dir, "d2.sgm",
 		`<MMFDOC><LOGBOOK>l<DOCTITLE>t2<ABSTRACT>a<PARA>the nii paragraph</MMFDOC>`)
 
-	// First run: creates the collection.
-	if err := run(dbDir, dtdPath, "collPara", "ACCESS p FROM p IN PARA;", 0, []string{doc1}); err != nil {
+	// First run: creates the collection under the async policy.
+	if err := run(dbDir, dtdPath, "collPara", "ACCESS p FROM p IN PARA;", "async", 0, []string{doc1}); err != nil {
 		t.Fatal(err)
 	}
 	// Second run: appends a document and reindexes.
-	if err := run(dbDir, dtdPath, "collPara", "", 0, []string{doc2}); err != nil {
+	if err := run(dbDir, dtdPath, "collPara", "", "", 0, []string{doc2}); err != nil {
 		t.Fatal(err)
 	}
 	sys, err := docirs.Open(dbDir)
@@ -54,6 +54,12 @@ func TestLoadAndReindexFlow(t *testing.T) {
 	if coll.DocCount() != 2 {
 		t.Errorf("DocCount = %d, want 2", coll.DocCount())
 	}
+	if got := coll.Policy(); got != docirs.PropagateAsync {
+		t.Errorf("policy = %v, want async (persisted from first run)", got)
+	}
+	if got := coll.PendingOps(); got != 0 {
+		t.Errorf("PendingOps = %d after load runs, want 0 (drained)", got)
+	}
 	hits, err := sys.Search("collPara", "nii")
 	if err != nil {
 		t.Fatal(err)
@@ -66,14 +72,19 @@ func TestLoadAndReindexFlow(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	dtdPath := write(t, dir, "mmf.dtd", testDTD)
-	if err := run(filepath.Join(dir, "db1"), filepath.Join(dir, "missing.dtd"), "", "", 0, []string{"x"}); err == nil {
+	if err := run(filepath.Join(dir, "db1"), filepath.Join(dir, "missing.dtd"), "", "", "", 0, []string{"x"}); err == nil {
 		t.Error("missing DTD accepted")
 	}
-	if err := run(filepath.Join(dir, "db2"), dtdPath, "", "", 0, []string{filepath.Join(dir, "missing.sgm")}); err == nil {
+	if err := run(filepath.Join(dir, "db2"), dtdPath, "", "", "", 0, []string{filepath.Join(dir, "missing.sgm")}); err == nil {
 		t.Error("missing document accepted")
 	}
 	bad := write(t, dir, "bad.sgm", "<WRONG>")
-	if err := run(filepath.Join(dir, "db3"), dtdPath, "", "", 0, []string{bad}); err == nil {
+	if err := run(filepath.Join(dir, "db3"), dtdPath, "", "", "", 0, []string{bad}); err == nil {
 		t.Error("invalid document accepted")
+	}
+	good := write(t, dir, "good.sgm",
+		`<MMFDOC><LOGBOOK>l<DOCTITLE>t<ABSTRACT>a<PARA>p</MMFDOC>`)
+	if err := run(filepath.Join(dir, "db4"), dtdPath, "c", "ACCESS p FROM p IN PARA;", "never", 0, []string{good}); err == nil {
+		t.Error("unknown policy accepted")
 	}
 }

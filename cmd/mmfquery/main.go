@@ -4,7 +4,7 @@
 //	VQL statements           ACCESS ... FROM ... WHERE ...;
 //	IRS queries              ?collName #and(www nii)
 //	meta commands            .collections  .classes  .stats NAME
-//	                         .plan VQL  .quit
+//	                         .drain NAME  .plan VQL  .quit
 //
 // VQL statements may reference collection names directly, as in the
 // paper's examples (collPara).
@@ -35,7 +35,7 @@ func main() {
 	}
 	defer sys.Close()
 
-	fmt.Println("mmfquery — VQL statements, ?coll IRSQUERY, .collections, .classes, .stats NAME, .quit")
+	fmt.Println("mmfquery — VQL statements, ?coll IRSQUERY, .collections, .classes, .stats NAME, .drain NAME, .quit")
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
@@ -83,6 +83,23 @@ func execLine(sys *docirs.System, raw string, out io.Writer) bool {
 		s := coll.Stats().Snapshot()
 		fmt.Fprintf(out, "IRS searches %d, buffer hits %d, misses %d, derivations %d, ops applied %d, cancelled %d\n",
 			s.IRSSearches, s.BufferHits, s.BufferMisses, s.Derivations, s.OpsApplied, s.OpsCancelled)
+		fmt.Fprintf(out, "pipeline: policy %s, pending %d, group commits %d, analyze %.2fms, commit %.2fms, flush errors %d\n",
+			coll.Policy(), coll.PendingOps(), s.GroupCommits,
+			float64(s.AnalyzeNanos)/1e6, float64(s.CommitNanos)/1e6, s.FlushErrors)
+	case strings.HasPrefix(line, ".drain "):
+		name := strings.TrimSpace(strings.TrimPrefix(line, ".drain "))
+		coll, err := sys.Collection(name)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		pending := coll.PendingOps()
+		if err := coll.Drain(); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintf(out, "drained %d pending updates (applied watermark %d)\n",
+			pending, coll.AppliedWatermark())
 	case strings.HasPrefix(line, "?"):
 		rest := strings.TrimSpace(line[1:])
 		parts := strings.SplitN(rest, " ", 2)

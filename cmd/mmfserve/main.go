@@ -19,6 +19,14 @@
 //	     -d '{"query":"ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, '\''www'\'') > 0.45;"}'
 //	curl -s 'localhost:8080/collections/collPara/search?q=%23and(www%20nii)&limit=5'
 //	curl -s localhost:8080/stats
+//
+// Async ingest (collections created with "policy":"async" propagate
+// through a background group-commit flusher; tune with
+// -async-max-pending / -async-coalesce / -compact-ratio):
+//
+//	curl -s -X POST localhost:8080/documents \
+//	     -d '{"dtd":"mmf","mode":"async","documents":["<MMFDOC>..."]}'   # 202 + watermarks
+//	curl -s -X POST localhost:8080/collections/collPara/drain            # visibility barrier
 package main
 
 import (
@@ -45,14 +53,22 @@ func main() {
 	dtdName := flag.String("dtd-name", "default", "name the preloaded DTD is registered under")
 	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent evaluation bound (0: 4×GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 1024, "query cache entries (negative: disable)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "query cache entry lifetime (0: no expiry; epochs still invalidate on mutation)")
 	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "admission wait bound")
 	shards := flag.Int("shards", 0, "index shards for new collections (0: GOMAXPROCS; existing collections keep their shard count)")
+	asyncMaxPending := flag.Int("async-max-pending", 0, "pending-update bound per async collection before ingest sheds 503 (0: 4096; negative: unbounded)")
+	asyncCoalesce := flag.Duration("async-coalesce", 0, "group-commit window of the async ingest flusher (0: 2ms; negative: flush immediately)")
+	compactRatio := flag.Float64("compact-ratio", 0.5, "tombstone ratio that triggers background index compaction (0: disable)")
 	flag.Parse()
 
 	if err := run(*addr, *dbDir, *dtdPath, *dtdName, *shards, server.Config{
-		MaxConcurrent: *maxConcurrent,
-		CacheSize:     *cacheSize,
-		QueueTimeout:  *queueTimeout,
+		MaxConcurrent:   *maxConcurrent,
+		CacheSize:       *cacheSize,
+		CacheTTL:        *cacheTTL,
+		QueueTimeout:    *queueTimeout,
+		AsyncMaxPending: *asyncMaxPending,
+		AsyncCoalesce:   *asyncCoalesce,
+		CompactRatio:    *compactRatio,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "mmfserve: %v\n", err)
 		os.Exit(1)

@@ -28,6 +28,7 @@
 package docirs
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 
@@ -64,12 +65,32 @@ type (
 	FeedbackOptions = irs.FeedbackOptions
 )
 
-// Propagation policies (Section 4.6).
+// Propagation policies (Section 4.6; PropagateAsync adds the
+// background group-commit flusher).
 const (
 	PropagateOnQuery     = core.PropagateOnQuery
 	PropagateImmediately = core.PropagateImmediately
 	PropagateManually    = core.PropagateManually
+	PropagateAsync       = core.PropagateAsync
 )
+
+// ParsePolicy maps a policy name ("on-query", "immediate", "manual",
+// "async"; "" selects on-query) to its PropagationPolicy — the
+// inverse of PropagationPolicy.String, shared by every flag and
+// request parser.
+func ParsePolicy(name string) (PropagationPolicy, error) {
+	switch name {
+	case "", "on-query":
+		return PropagateOnQuery, nil
+	case "immediate":
+		return PropagateImmediately, nil
+	case "manual":
+		return PropagateManually, nil
+	case "async":
+		return PropagateAsync, nil
+	}
+	return PropagateOnQuery, fmt.Errorf("unknown policy %q (want on-query, immediate, manual or async)", name)
+}
 
 // Mixed-query evaluation strategies (Section 4.5.3).
 const (
@@ -133,15 +154,27 @@ func Open(dir string) (*System, error) {
 }
 
 // Close checkpoints and closes the system (persistent mode saves the
-// IRS collections as well).
+// IRS collections as well). Background flushers are stopped and
+// pending update propagation is flushed first, so the saved IRS state
+// is the fully propagated one. A final-flush failure does not abort
+// the shutdown: the engine is still saved (committed index state is
+// worth persisting) and the database still checkpointed and closed;
+// all errors are joined into the result.
 func (s *System) Close() error {
+	var errs []error
+	if err := s.coupling.Close(); err != nil {
+		errs = append(errs, err)
+	}
 	if err := s.engine.Save(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := s.db.Checkpoint(); err != nil && err != oodb.ErrClosed {
-		return err
+		errs = append(errs, err)
 	}
-	return s.db.Close()
+	if err := s.db.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // DB exposes the object store.

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/derive"
 	"repro/internal/irs"
@@ -43,7 +45,37 @@ type Collection struct {
 	// flushes and configuration exchanges. Serving layers key caches
 	// on Epoch so PropagateOnQuery stays correct behind them.
 	epoch atomic.Uint64
+
+	// flushMu serializes whole flush pipelines (drain → stage →
+	// analyze → commit). Serialization is what makes Drain a plain
+	// Flush: once it holds flushMu, every earlier drain has committed.
+	flushMu sync.Mutex
+	// applied is the watermark of logged operations reflected in the
+	// IRS index (monotonic; compared against updateLog.seq).
+	applied atomic.Uint64
+	// lostOps is set when a flush drained operations and then failed:
+	// the batch has no rollback and the log no longer holds them, so
+	// those updates are gone until a Reindex resynchronizes. Drain
+	// refuses to report success while it is set.
+	lostOps atomic.Bool
+
+	// Async-ingest machinery (PropagateAsync): the background flusher
+	// and its tuning, all guarded by mu (ConfigureAsync may retune at
+	// runtime).
+	flusher         *flusher
+	asyncMaxPending int           // backlog bound; <=0 unbounded
+	asyncCoalesce   time.Duration // group-commit window
+
+	errMu        sync.Mutex
+	lastFlushErr string
 }
+
+// Default async-ingest tuning (see Options.AsyncMaxPending /
+// Options.AsyncCoalesce).
+const (
+	defaultAsyncMaxPending = 4096
+	defaultAsyncCoalesce   = 2 * time.Millisecond
+)
 
 // Stats counts coupling activity; every field is maintained with
 // atomic increments and read via Snapshot.
@@ -59,6 +91,12 @@ type Stats struct {
 	Flushes       atomic.Int64
 	ForcedFlushes atomic.Int64 // flushes forced by a pending query
 	Indexed       atomic.Int64
+	FlushErrors   atomic.Int64 // flushes that failed on a path with no caller to report to
+	AsyncFlushes  atomic.Int64 // flushes initiated by the background flusher
+	GroupCommits  atomic.Int64 // commit batches that applied at least one op
+	GroupedOps    atomic.Int64 // ops across those batches (avg = group size)
+	AnalyzeNanos  atomic.Int64 // time in the parallel analyze stage (no locks held)
+	CommitNanos   atomic.Int64 // time inside the index commit batch (commit lock held)
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -67,6 +105,9 @@ type StatsSnapshot struct {
 	Derivations, DefaultValues            int64
 	OpsLogged, OpsCancelled, OpsApplied   int64
 	Flushes, ForcedFlushes, Indexed       int64
+	FlushErrors, AsyncFlushes             int64
+	GroupCommits, GroupedOps              int64
+	AnalyzeNanos, CommitNanos             int64
 }
 
 // Snapshot returns current counter values.
@@ -77,7 +118,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		DefaultValues: s.DefaultValues.Load(), OpsLogged: s.OpsLogged.Load(),
 		OpsCancelled: s.OpsCancelled.Load(), OpsApplied: s.OpsApplied.Load(),
 		Flushes: s.Flushes.Load(), ForcedFlushes: s.ForcedFlushes.Load(),
-		Indexed: s.Indexed.Load(),
+		Indexed: s.Indexed.Load(), FlushErrors: s.FlushErrors.Load(),
+		AsyncFlushes: s.AsyncFlushes.Load(), GroupCommits: s.GroupCommits.Load(),
+		GroupedOps: s.GroupedOps.Load(), AnalyzeNanos: s.AnalyzeNanos.Load(),
+		CommitNanos: s.CommitNanos.Load(),
 	}
 }
 
@@ -94,6 +138,7 @@ func newCollection(c *Coupling, oid oodb.OID, name, specQuery string, textMode i
 		policy:    policy,
 		log:       newUpdateLog(),
 	}
+	col.setAsyncTuning(0, 0)
 	col.buffer = newResultBuffer(col)
 	return col
 }
@@ -135,11 +180,19 @@ func (col *Collection) Policy() PropagationPolicy {
 	return col.policy
 }
 
-// SetPolicy changes the propagation policy.
+// SetPolicy changes the propagation policy, starting (or stopping)
+// the background flusher as the collection moves into (or out of)
+// PropagateAsync.
 func (col *Collection) SetPolicy(p PropagationPolicy) {
 	col.mu.Lock()
 	col.policy = p
 	col.mu.Unlock()
+	if p == PropagateAsync {
+		col.startFlusher()
+		col.kickFlusher() // pick up any backlog logged under the old policy
+	} else {
+		col.stopFlusher()
+	}
 }
 
 // SetTextFunc installs (or clears, with nil) the application-defined
@@ -298,7 +351,11 @@ func (col *Collection) Reindex() (added, updated, removed int, err error) {
 			added++
 		}
 	}
-	col.log.drain() // everything is fresh; pending ops are moot
+	_, _, seq := col.log.drain() // everything is fresh; pending ops are moot
+	col.storeApplied(seq)
+	// A full resynchronization recovers anything a failed flush
+	// dropped; the drain barrier is sound again.
+	col.lostOps.Store(false)
 	col.buffer.invalidate()
 	col.bumpEpoch()
 	return added, updated, removed, nil
@@ -494,37 +551,60 @@ func (col *Collection) onUpdate(u oodb.Update) {
 	if logged {
 		col.bumpEpoch()
 	}
-	if col.Policy() == PropagateImmediately && col.log.pending() {
-		// Errors here cannot be returned to the mutator (the hook
-		// runs post-commit); they surface on the next query instead.
-		_ = col.Flush()
+	switch col.Policy() {
+	case PropagateImmediately:
+		if col.log.pending() {
+			// Errors here cannot be returned to the mutator (the hook
+			// runs post-commit); count them so they are observable and
+			// let the next query surface the retry.
+			if err := col.Flush(); err != nil {
+				col.noteFlushError(err)
+			}
+		}
+	case PropagateAsync:
+		if logged {
+			col.kickFlusher()
+		}
 	}
 }
 
-// Flush propagates pending updates to the IRS collection: modified
-// representations are refreshed, deleted objects removed, and — when
-// creations are pending — the specification query is re-evaluated to
-// admit new members. The result buffer is invalidated ("rebuilding
-// the IRS index structures even though they will not change after
-// all" is avoided by the log's cancellation, Section 4.6).
+// stagedOp is one flush operation staged between the log drain and
+// the commit batch; create/modify ops carry first the extracted text
+// and then (after the analyze stage) the commit-ready document.
+type stagedOp struct {
+	kind     pendingKind
+	ext      string
+	text     string
+	analyzed *irs.AnalyzedDoc
+}
+
+// Flush propagates pending updates to the IRS collection through the
+// staged write pipeline: modified representations are refreshed,
+// deleted objects removed, and — when creations are pending — the
+// specification query is re-evaluated to admit new members. The
+// result buffer is invalidated ("rebuilding the IRS index structures
+// even though they will not change after all" is avoided by the log's
+// cancellation, Section 4.6).
 //
-// The staged operations commit as one index batch, so a concurrent
-// query's snapshot observes either none or all of the flush — the
-// snapshot-isolation guarantee the serving layer relies on. Text
-// extraction and the specification re-run happen before the batch
-// starts: they may themselves consult the database or evaluate
-// queries and must not run under the index commit lock.
+// The pipeline has three stages. Stage: text extraction and the
+// specification re-run consult the database and must not run under
+// the index commit lock. Analyze: staged texts are tokenized into
+// commit-ready irs.AnalyzedDocs, in parallel across GOMAXPROCS
+// workers, still outside every lock. Commit: one short index batch
+// merges the pre-built postings, so the commit lock — during which no
+// snapshot can be acquired — is held for pointer work only, and a
+// concurrent query's snapshot observes either none or all of the
+// flush. Whole pipelines are serialized per collection (flushMu),
+// which is what lets Drain guarantee completed propagation.
 func (col *Collection) Flush() error {
-	ops, hadCreates := col.log.drain()
+	col.flushMu.Lock()
+	defer col.flushMu.Unlock()
+	ops, hadCreates, seq := col.log.drain()
 	if len(ops) == 0 && !hadCreates {
+		col.storeApplied(seq)
 		return nil
 	}
 	col.stats.Flushes.Add(1)
-	type stagedOp struct {
-		kind pendingKind
-		ext  string
-		text string
-	}
 	var staged []stagedOp
 	for _, op := range ops {
 		ext := op.oid.String()
@@ -544,6 +624,9 @@ func (col *Collection) Flush() error {
 	if hadCreates {
 		oids, err := col.specResult()
 		if err != nil {
+			// The drained operations are gone from the log and were
+			// never committed; only Reindex can recover them.
+			col.lostOps.Store(true)
 			return err
 		}
 		for _, oid := range oids {
@@ -555,18 +638,25 @@ func (col *Collection) Flush() error {
 		}
 	}
 	if len(staged) == 0 {
+		col.storeApplied(seq)
 		return nil
 	}
-	changed := false
+
+	start := time.Now()
+	col.analyzeStaged(staged)
+	col.stats.AnalyzeNanos.Add(int64(time.Since(start)))
+
+	applied := 0
+	start = time.Now()
 	err := col.irsColl.Batch(func(b *irs.Batch) error {
-		for _, op := range staged {
-			meta := map[string]string{"oid": op.ext, "mode": fmt.Sprint(col.textMode)}
+		for i := range staged {
+			op := &staged[i]
 			switch op.kind {
 			case pendingModify:
 				if !b.Has(op.ext) {
 					continue // deleted since staging
 				}
-				if _, err := b.Update(op.ext, op.text, meta); err != nil {
+				if _, err := b.UpdateAnalyzed(op.analyzed); err != nil {
 					return err
 				}
 			case pendingDelete:
@@ -580,24 +670,164 @@ func (col *Collection) Flush() error {
 				if b.Has(op.ext) {
 					continue // appeared since staging
 				}
-				if _, err := b.Add(op.ext, op.text, meta); err != nil {
+				if _, err := b.AddAnalyzed(op.analyzed); err != nil {
 					return err
 				}
 				col.stats.Indexed.Add(1)
 			}
 			col.stats.OpsApplied.Add(1)
-			changed = true
+			applied++
 		}
 		return nil
 	})
+	col.stats.CommitNanos.Add(int64(time.Since(start)))
 	// Invalidate even on error: the batch has no rollback, so any
 	// operations applied before the failure are committed and buffered
 	// results may already be stale.
-	if changed {
+	if applied > 0 {
+		col.stats.GroupCommits.Add(1)
+		col.stats.GroupedOps.Add(int64(applied))
 		col.buffer.invalidate()
 		col.bumpEpoch()
 	}
+	if err == nil {
+		col.storeApplied(seq)
+	} else {
+		// Part of the drained group may be committed, the rest is
+		// lost (no rollback, log already drained): poison the drain
+		// barrier until a Reindex resynchronizes.
+		col.lostOps.Store(true)
+	}
 	return err
+}
+
+// analyzeStaged runs the analyze stage: every staged create/modify is
+// tokenized into a commit-ready document, fanning out across
+// GOMAXPROCS workers. No locks are held — this is the work the
+// pre-pipeline Flush performed inside the commit batch.
+func (col *Collection) analyzeStaged(staged []stagedOp) {
+	mode := fmt.Sprint(col.textMode)
+	analyzeOne := func(op *stagedOp) {
+		if op.kind == pendingDelete {
+			return
+		}
+		op.analyzed = col.irsColl.Analyze(op.ext, op.text,
+			map[string]string{"oid": op.ext, "mode": mode})
+		op.text = "" // the analyzed form supersedes the raw text
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(staged) {
+		workers = len(staged)
+	}
+	if workers <= 1 {
+		for i := range staged {
+			analyzeOne(&staged[i])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(staged) {
+					return
+				}
+				analyzeOne(&staged[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// storeApplied advances the applied watermark monotonically.
+func (col *Collection) storeApplied(seq uint64) {
+	for {
+		cur := col.applied.Load()
+		if seq <= cur || col.applied.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Watermark returns the sequence number of the last update accepted
+// into this collection's log. Async ingest responses carry it so
+// clients can wait for visibility (AppliedWatermark >= their
+// watermark, or simply Drain).
+func (col *Collection) Watermark() uint64 { return col.log.lastSeq() }
+
+// AppliedWatermark returns the highest watermark whose operations
+// have been committed to the IRS index.
+func (col *Collection) AppliedWatermark() uint64 { return col.applied.Load() }
+
+// ErrUpdatesLost reports that a flush drained operations from the
+// update log and then failed to commit them: there is no rollback and
+// the log no longer holds them, so the index is missing updates until
+// Reindex resynchronizes it with the database.
+var ErrUpdatesLost = errors.New("core: updates dropped by a failed flush; Reindex to resynchronize")
+
+// Drain blocks until every update logged before the call has been
+// propagated, regardless of which policy (or background flusher) is
+// doing the propagating. Because flush pipelines are serialized, one
+// synchronous Flush suffices: any pipeline already in flight holds
+// flushMu until its commit lands, and whatever it left behind is
+// drained here. If an earlier flush (for example the background
+// flusher's, whose error had no caller to land on) dropped drained
+// operations, Drain reports ErrUpdatesLost instead of claiming the
+// barrier holds.
+func (col *Collection) Drain() error {
+	if err := col.Flush(); err != nil {
+		return err
+	}
+	if col.lostOps.Load() {
+		return fmt.Errorf("%w (last error: %s)", ErrUpdatesLost, col.LastFlushError())
+	}
+	return nil
+}
+
+// noteFlushError records a flush failure on a path that has no caller
+// to return it to (post-commit hooks, the background flusher, close).
+func (col *Collection) noteFlushError(err error) {
+	if err == nil {
+		return
+	}
+	col.stats.FlushErrors.Add(1)
+	col.errMu.Lock()
+	col.lastFlushErr = err.Error()
+	col.errMu.Unlock()
+}
+
+// LastFlushError returns the most recent background flush failure
+// ("" if none); /stats surfaces it.
+func (col *Collection) LastFlushError() string {
+	col.errMu.Lock()
+	defer col.errMu.Unlock()
+	return col.lastFlushErr
+}
+
+// AsyncMaxPending returns the configured pending-queue bound (<=0:
+// unbounded).
+func (col *Collection) AsyncMaxPending() int {
+	col.mu.RLock()
+	defer col.mu.RUnlock()
+	return col.asyncMaxPending
+}
+
+// AsyncBacklogFull reports whether the collection runs an async
+// propagation policy whose pending-update queue has reached its
+// bound. Serving layers use it as the backpressure signal: shed
+// ingest load (503) instead of letting the backlog grow without
+// bound. Updates that do arrive are still logged — correctness never
+// depends on the bound.
+func (col *Collection) AsyncBacklogFull() bool {
+	col.mu.RLock()
+	async := col.policy == PropagateAsync
+	bound := col.asyncMaxPending
+	col.mu.RUnlock()
+	return async && bound > 0 && col.log.size() >= bound
 }
 
 // PendingOps reports the size of the update log (experiments).

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/derive"
 	"repro/internal/docmodel"
@@ -129,6 +130,32 @@ func New(store *docmodel.Store, engine *irs.Engine) (*Coupling, error) {
 	return c, nil
 }
 
+// Close shuts the coupling's background machinery down in an orderly
+// way: every collection's flusher is stopped, a final synchronous
+// flush propagates whatever the flushers had not reached yet (so a
+// subsequent engine save persists the fully propagated state), and
+// in-flight background compactions are waited out. Flush failures
+// are joined into the returned error and counted in the collections'
+// stats.
+func (c *Coupling) Close() error {
+	c.mu.RLock()
+	cols := make([]*Collection, 0, len(c.byName))
+	for _, col := range c.byName {
+		cols = append(cols, col)
+	}
+	c.mu.RUnlock()
+	var errs []error
+	for _, col := range cols {
+		col.stopFlusher()
+		if err := col.Flush(); err != nil {
+			col.noteFlushError(err)
+			errs = append(errs, fmt.Errorf("core: close flush of %q: %w", col.name, err))
+		}
+		col.irsColl.Index().WaitCompaction()
+	}
+	return errors.Join(errs...)
+}
+
 // DB returns the coupled database.
 func (c *Coupling) DB() *oodb.DB { return c.db }
 
@@ -219,8 +246,30 @@ type Options struct {
 	// derive.Max (the authors' tested scheme).
 	Deriver derive.Scheme
 	// Policy bounds update-propagation time (Section 4.6); the zero
-	// value is PropagateOnQuery.
+	// value is PropagateOnQuery. PropagateAsync adds a background
+	// flusher that group-commits logged updates (see the Async*
+	// options below).
 	Policy PropagationPolicy
+	// AsyncMaxPending bounds the pending-update queue under
+	// PropagateAsync: once the log holds this many distinct objects,
+	// Collection.AsyncBacklogFull reports true and serving layers
+	// shed ingest load (503) until the flusher catches up. 0 selects
+	// the default (4096); negative means unbounded.
+	AsyncMaxPending int
+	// AsyncCoalesce is the background flusher's group-commit window:
+	// after the first pending update it waits this long for more
+	// before flushing them as one batch. 0 selects the default (2ms);
+	// negative flushes immediately.
+	AsyncCoalesce time.Duration
+	// AutoCompactRatio enables tombstone-ratio-triggered background
+	// compaction of the collection's index: when more than this
+	// fraction of documents are tombstones, the index rebuilds itself
+	// off the write path (irs.Index.SetAutoCompact). 0 disables. Not
+	// persisted; reconfigure after restarts.
+	AutoCompactRatio float64
+	// AutoCompactMin is the tombstone floor below which
+	// AutoCompactRatio never triggers (0: default 64).
+	AutoCompactMin int
 	// Shards is the number of hash partitions of the IRS collection's
 	// inverted index; queries score shards in parallel and single-
 	// document updates contend only on their own shard. 0 selects the
@@ -277,6 +326,13 @@ func (c *Coupling) CreateCollection(name, specQuery string, opts Options) (*Coll
 	}
 	col := newCollection(c, oid, name, specQuery, opts.TextMode, irsColl, deriver, opts.Policy)
 	col.textFn = opts.TextFunc
+	col.setAsyncTuning(opts.AsyncMaxPending, opts.AsyncCoalesce)
+	if opts.AutoCompactRatio > 0 {
+		irsColl.SetAutoCompact(opts.AutoCompactRatio, opts.AutoCompactMin)
+	}
+	if opts.Policy == PropagateAsync {
+		col.startFlusher()
+	}
 	c.byName[name] = col
 	c.byOID[oid] = col
 	if c.defaultColl == nil {
@@ -301,6 +357,7 @@ func (c *Coupling) DropCollection(name string) error {
 		c.defaultColl = nil
 	}
 	c.mu.Unlock()
+	col.stopFlusher()
 	// Fold the dropped collection's final epoch into the base counter
 	// so the summed Epoch() stays monotonic when its term disappears.
 	c.epoch.Add(col.Epoch() + 1)
@@ -342,6 +399,9 @@ func (c *Coupling) restore() error {
 		col := newCollection(c, oid, name, attrs["specQuery"].Str,
 			int(attrs["textMode"].Int), irsColl, deriver,
 			PropagationPolicy(attrs["policy"].Int))
+		if col.policy == PropagateAsync {
+			col.startFlusher()
+		}
 		c.byName[name] = col
 		c.byOID[oid] = col
 		if c.defaultColl == nil {

@@ -1,0 +1,151 @@
+package core
+
+import "time"
+
+// flusher is the per-collection background propagation worker behind
+// PropagateAsync. The update hook logs operations and kicks the
+// flusher (non-blocking, coalescing); the flusher waits out a short
+// group-commit window so consecutive updates land in one flush
+// pipeline — the log's cancellation rules (Section 4.6) then collapse
+// redundant work and the whole group commits as a single index batch.
+//
+// The flusher owns no data: everything flows through Collection.Flush,
+// which serializes with query-forced and manual flushes, so a query
+// issued while the flusher lags simply forces the flush itself
+// (PropagateOnQuery semantics) and correctness never depends on the
+// flusher's pace.
+type flusher struct {
+	col      *Collection
+	coalesce time.Duration
+	kick     chan struct{} // capacity 1: pending-work flag
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newFlusher(col *Collection, coalesce time.Duration) *flusher {
+	f := &flusher{
+		col:      col,
+		coalesce: coalesce,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go f.loop()
+	return f
+}
+
+func (f *flusher) loop() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-f.kick:
+		}
+		if f.coalesce > 0 {
+			t := time.NewTimer(f.coalesce)
+			select {
+			case <-f.stop:
+				t.Stop()
+				f.flush() // don't strand the updates that woke us
+				return
+			case <-t.C:
+			}
+		}
+		f.flush()
+	}
+}
+
+// flush runs one group commit, recording failures in the collection's
+// stats (there is no caller to return them to; a later query or Drain
+// retries by forcing its own flush).
+func (f *flusher) flush() {
+	f.col.stats.AsyncFlushes.Add(1)
+	if err := f.col.Flush(); err != nil {
+		f.col.noteFlushError(err)
+	}
+}
+
+// shutdown stops the loop and waits for any in-flight flush to
+// finish.
+func (f *flusher) shutdown() {
+	close(f.stop)
+	<-f.done
+}
+
+// startFlusher launches the background flusher if it is not running.
+func (col *Collection) startFlusher() {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if col.flusher == nil {
+		col.flusher = newFlusher(col, col.asyncCoalesce)
+	}
+}
+
+// stopFlusher stops the background flusher (idempotent). Pending
+// updates stay in the log; the next query, Drain or policy flush
+// propagates them.
+func (col *Collection) stopFlusher() {
+	col.mu.Lock()
+	f := col.flusher
+	col.flusher = nil
+	col.mu.Unlock()
+	if f != nil {
+		f.shutdown()
+	}
+}
+
+// setAsyncTuning normalizes and stores the async-ingest tuning (0
+// selects the defaults; negative disables the bound / window). The
+// caller holds col.mu, or the collection is not yet published.
+func (col *Collection) setAsyncTuning(maxPending int, coalesce time.Duration) {
+	switch {
+	case maxPending == 0:
+		col.asyncMaxPending = defaultAsyncMaxPending
+	case maxPending < 0:
+		col.asyncMaxPending = 0
+	default:
+		col.asyncMaxPending = maxPending
+	}
+	switch {
+	case coalesce == 0:
+		col.asyncCoalesce = defaultAsyncCoalesce
+	case coalesce < 0:
+		col.asyncCoalesce = 0
+	default:
+		col.asyncCoalesce = coalesce
+	}
+}
+
+// ConfigureAsync retunes the async-ingest machinery at runtime; a
+// running background flusher restarts under the new coalescing
+// window. Collection options are not persisted, so serving layers
+// call this at startup to give restored collections the configured
+// tuning.
+func (col *Collection) ConfigureAsync(maxPending int, coalesce time.Duration) {
+	col.mu.Lock()
+	col.setAsyncTuning(maxPending, coalesce)
+	running := col.flusher != nil
+	col.mu.Unlock()
+	if running {
+		col.stopFlusher()
+		col.startFlusher()
+		col.kickFlusher() // re-cover anything logged across the swap
+	}
+}
+
+// kickFlusher signals pending work to the background flusher
+// (non-blocking; a kick while one is pending folds into it — that is
+// the group-commit coalescing).
+func (col *Collection) kickFlusher() {
+	col.mu.RLock()
+	f := col.flusher
+	col.mu.RUnlock()
+	if f == nil {
+		return
+	}
+	select {
+	case f.kick <- struct{}{}:
+	default:
+	}
+}

@@ -26,6 +26,13 @@ const (
 	// (e.g. in low-load periods); a query with propagation pending
 	// still forces it.
 	PropagateManually
+	// PropagateAsync hands propagation to a per-collection background
+	// flusher: logged updates are group-committed shortly after they
+	// arrive (coalescing within a small window), so callers never wait
+	// for index maintenance and queries rarely find a backlog. Like
+	// the deferred policies, a query with propagation still pending
+	// forces the flush first, so results are always current.
+	PropagateAsync
 )
 
 func (p PropagationPolicy) String() string {
@@ -36,6 +43,8 @@ func (p PropagationPolicy) String() string {
 		return "on-query"
 	case PropagateManually:
 		return "manual"
+	case PropagateAsync:
+		return "async"
 	}
 	return "?"
 }
@@ -74,6 +83,11 @@ type updateLog struct {
 	ops         map[oodb.OID]pendingKind
 	order       []oodb.OID
 	createCount int
+	// seq counts accepted operations; drain reports the high-water
+	// mark it emptied through, giving the flush pipeline its ingest
+	// watermark (an op is "applied" once a drain covering its seq has
+	// committed — cancelled ops are applied trivially).
+	seq uint64
 }
 
 func newUpdateLog() *updateLog {
@@ -86,6 +100,7 @@ func (l *updateLog) add(oid oodb.OID, kind pendingKind, stats *Stats) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	stats.OpsLogged.Add(1)
+	l.seq++
 	prev, exists := l.ops[oid]
 	if !exists {
 		l.ops[oid] = kind
@@ -136,10 +151,19 @@ func (l *updateLog) size() int {
 	return len(l.ops)
 }
 
+// lastSeq returns the sequence number of the last accepted operation
+// — the collection's ingest watermark.
+func (l *updateLog) lastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
 // drain atomically empties the log, returning the surviving
-// operations in first-logged order and whether creations were among
-// them (the flusher re-runs the specification query in that case).
-func (l *updateLog) drain() ([]pendingOp, bool) {
+// operations in first-logged order, whether creations were among them
+// (the flusher re-runs the specification query in that case), and the
+// watermark the drain empties through.
+func (l *updateLog) drain() ([]pendingOp, bool, uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	ops := make([]pendingOp, 0, len(l.ops))
@@ -154,5 +178,5 @@ func (l *updateLog) drain() ([]pendingOp, bool) {
 	l.ops = make(map[oodb.OID]pendingKind)
 	l.order = nil
 	l.createCount = 0
-	return ops, hadCreates
+	return ops, hadCreates, l.seq
 }

@@ -410,3 +410,49 @@ func TestRunS1Shape(t *testing.T) {
 		t.Error("table missing")
 	}
 }
+
+func TestRunS2Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunS2(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The correctness claims EXP-S2 makes in-repo:
+	// 1. The async pipeline must not change retrieval results.
+	if !res.RankingsIdentical {
+		t.Error("async-ingested rankings differ from sync-ingested rankings")
+	}
+	// 2. Measured A/B: committing the same documents as one batch
+	// must hold the commit lock for less time via the staged path
+	// (pre-built postings) than via the pre-refactor path (analysis
+	// under the lock).
+	if !res.CommitHoldReduced {
+		t.Errorf("commit-lock hold not reduced: staged %.3fms vs legacy %.3fms",
+			res.StagedHoldMS, res.LegacyHoldMS)
+	}
+	if res.LegacyHoldMS <= 0 || res.StagedHoldMS <= 0 {
+		t.Errorf("hold measurements missing: %+v", res)
+	}
+	// 3. Group commits actually grouped: the async run must have
+	// committed its ops in fewer batches than the sync run flushed.
+	if res.AsyncGroupCommits == 0 || res.AsyncGroupCommits >= res.SyncFlushes {
+		t.Errorf("no group-commit advantage: %d async groups vs %d sync flushes",
+			res.AsyncGroupCommits, res.SyncFlushes)
+	}
+	// 4. Throughput: at GOMAXPROCS > 1 the async pipeline must be at
+	// least as fast as synchronous per-update propagation. (On one
+	// CPU the comparison is logged but not gated.)
+	if res.GOMAXPROCS > 1 && res.AsyncOpsPerSec < res.SyncOpsPerSec {
+		t.Errorf("async ingest slower than sync: %.0f vs %.0f ops/s",
+			res.AsyncOpsPerSec, res.SyncOpsPerSec)
+	}
+	if res.FlushErrors != 0 {
+		t.Errorf("flush errors: %d", res.FlushErrors)
+	}
+	if res.SyncElapsed <= 0 || res.AsyncElapsed <= 0 || res.TotalOps == 0 {
+		t.Errorf("missing measurements: %+v", res)
+	}
+	if !strings.Contains(buf.String(), "EXP-S2") {
+		t.Error("table missing")
+	}
+}

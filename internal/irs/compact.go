@@ -1,0 +1,109 @@
+package irs
+
+import "math"
+
+// Background compaction policy.
+//
+// Deletions and updates tombstone documents; their postings occupy
+// memory until Compact rebuilds the shards. The paper's era solved
+// this by periodic re-indexing in low-load windows (Section 4.6's
+// cost model); here the index watches its own tombstone ratio and
+// rebuilds itself in the background once reclaimable space crosses a
+// configured fraction — the serving layer never schedules anything.
+//
+// The check runs after every mutation that can create a tombstone
+// (Delete, Update, Batch) against two atomics (liveCount/deadCount),
+// so it costs two loads on the happy path. When the ratio trips, one
+// goroutine is started; Compact takes the commit lock exclusively, so
+// the rebuild serializes with batches and snapshot acquisitions while
+// existing snapshots keep reading the structures they captured. A
+// CAS'd running flag ensures at most one background compaction per
+// index at a time.
+
+// defaultAutoCompactMin is the tombstone floor below which the policy
+// never triggers: compacting a near-empty index buys nothing.
+const defaultAutoCompactMin = 64
+
+// SetAutoCompact configures the background compaction policy: when
+// more than ratio of the index's documents are tombstones (and at
+// least minTombstones are), a background goroutine runs Compact.
+// ratio <= 0 disables the policy; minTombstones <= 0 selects the
+// default floor (64). Ratios are clamped to at most 1.
+func (ix *Index) SetAutoCompact(ratio float64, minTombstones int) {
+	if ratio <= 0 {
+		ix.autoCompactRatio.Store(0)
+		return
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	if minTombstones <= 0 {
+		minTombstones = defaultAutoCompactMin
+	}
+	ix.autoCompactMin.Store(int64(minTombstones))
+	ix.autoCompactRatio.Store(math.Float64bits(ratio))
+}
+
+// AutoCompact reports the configured policy (ratio 0 when disabled).
+func (ix *Index) AutoCompact() (ratio float64, minTombstones int) {
+	bits := ix.autoCompactRatio.Load()
+	if bits == 0 {
+		return 0, 0
+	}
+	return math.Float64frombits(bits), int(ix.autoCompactMin.Load())
+}
+
+// TombstoneStats returns the number of live and tombstoned documents.
+func (ix *Index) TombstoneStats() (live, dead int64) {
+	return ix.liveCount.Load(), ix.deadCount.Load()
+}
+
+// TombstoneRatio returns the fraction of documents that are
+// tombstones (0 for an empty index).
+func (ix *Index) TombstoneRatio() float64 {
+	live, dead := ix.TombstoneStats()
+	if live+dead == 0 {
+		return 0
+	}
+	return float64(dead) / float64(live+dead)
+}
+
+// Compactions returns how many Compact runs (manual or
+// policy-triggered) the index has performed.
+func (ix *Index) Compactions() uint64 { return ix.compactions.Load() }
+
+// CompactionRunning reports whether a background compaction is in
+// flight.
+func (ix *Index) CompactionRunning() bool { return ix.compactRunning.Load() }
+
+// WaitCompaction blocks until any in-flight background compaction has
+// finished (tests and orderly shutdown).
+func (ix *Index) WaitCompaction() { ix.compactWG.Wait() }
+
+// maybeAutoCompact tests the policy and, when it trips, starts one
+// background Compact. Callers must not hold commitMu (Compact takes
+// it exclusively) — mutation entry points call this after releasing
+// their locks.
+func (ix *Index) maybeAutoCompact() {
+	bits := ix.autoCompactRatio.Load()
+	if bits == 0 {
+		return
+	}
+	dead := ix.deadCount.Load()
+	if dead < ix.autoCompactMin.Load() {
+		return
+	}
+	live := ix.liveCount.Load()
+	if float64(dead) < math.Float64frombits(bits)*float64(live+dead) {
+		return
+	}
+	if !ix.compactRunning.CompareAndSwap(false, true) {
+		return // one at a time
+	}
+	ix.compactWG.Add(1)
+	go func() {
+		defer ix.compactWG.Done()
+		defer ix.compactRunning.Store(false)
+		ix.Compact()
+	}()
+}

@@ -271,6 +271,18 @@ func (c *Collection) UpdateDocument(extID, text string, meta map[string]string) 
 	return err
 }
 
+// Analyze pre-tokenizes a document outside every index lock; the
+// result commits via Batch.AddAnalyzed / Batch.UpdateAnalyzed.
+func (c *Collection) Analyze(extID, text string, meta map[string]string) *AnalyzedDoc {
+	return c.ix.Analyze(extID, text, meta)
+}
+
+// SetAutoCompact configures the index's background compaction policy
+// (see Index.SetAutoCompact).
+func (c *Collection) SetAutoCompact(ratio float64, minTombstones int) {
+	c.ix.SetAutoCompact(ratio, minTombstones)
+}
+
 // HasDoc reports whether extID is represented in the collection.
 func (c *Collection) HasDoc(extID string) bool { return c.ix.HasDoc(extID) }
 

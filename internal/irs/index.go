@@ -128,6 +128,22 @@ type Index struct {
 	version atomic.Uint64 // bumped on every mutation; keys model caches
 	snaps   atomic.Uint64 // snapshot acquisitions (serving-layer stats)
 
+	// liveCount/deadCount mirror the per-shard live/tombstone totals
+	// as cheap atomics so the auto-compaction policy can test the
+	// tombstone ratio after every mutation without touching a lock.
+	liveCount atomic.Int64
+	deadCount atomic.Int64
+
+	// Background compaction policy (see compact.go). ratio is the
+	// tombstone fraction that triggers a compaction (Float64bits; 0
+	// disables), minDead the floor below which small indexes are left
+	// alone.
+	autoCompactRatio atomic.Uint64
+	autoCompactMin   atomic.Int64
+	compactRunning   atomic.Bool
+	compactions      atomic.Uint64
+	compactWG        sync.WaitGroup
+
 	// sizeMu/sizeVer/sizeCache memoize ShardSizes (an O(dictionary)
 	// walk) so polling /stats does not rescan an unchanged index.
 	sizeMu    sync.Mutex
@@ -183,66 +199,123 @@ func (ix *Index) ShardCount() int {
 // over the index's lifetime (serving-layer statistics).
 func (ix *Index) SnapshotCount() uint64 { return ix.snaps.Load() }
 
-// Add indexes text under the external id extID. It fails with
-// ErrDuplicateDoc if extID is already present (and not deleted).
-func (ix *Index) Add(extID, text string, meta map[string]string) (DocID, error) {
-	ix.commitMu.RLock()
-	defer ix.commitMu.RUnlock()
-	return ix.addDoc(extID, text, meta)
+// AnalyzedDoc is a commit-ready document: the output of the analyze
+// stage of the ingest pipeline. All text work (tokenization, stopping,
+// stemming, per-term position grouping, metadata copying) happened at
+// Analyze time, outside every index lock, so merging it into the index
+// (Batch.AddAnalyzed / Batch.UpdateAnalyzed) only appends pre-built
+// postings — the commit lock is held for pointer work, not for text
+// analysis. An AnalyzedDoc is consumed by the commit that installs it
+// (its position slices and metadata map become index-owned, immutable
+// state); build a fresh one per commit.
+type AnalyzedDoc struct {
+	extID  string
+	meta   map[string]string
+	length int      // token count (post-stopping)
+	terms  []string // distinct terms, first-occurrence order
+	// positions[i] are the ascending token positions of terms[i].
+	positions [][]uint32
 }
 
-func (ix *Index) addDoc(extID, text string, meta map[string]string) (DocID, error) {
-	si := shardIndex(extID, len(ix.shards))
+// ExtID returns the external id the document will be registered under.
+func (d *AnalyzedDoc) ExtID() string { return d.extID }
+
+// Length returns the indexed token count.
+func (d *AnalyzedDoc) Length() int { return d.length }
+
+// TermCount returns the number of distinct terms.
+func (d *AnalyzedDoc) TermCount() int { return len(d.terms) }
+
+// Analyze runs the analysis pipeline on text and returns a
+// commit-ready document. It takes no locks and may run concurrently
+// with any index operation — the coupling layer's flush pipeline
+// analyzes staged documents in parallel before entering the commit
+// batch.
+func (ix *Index) Analyze(extID, text string, meta map[string]string) *AnalyzedDoc {
+	toks := ix.analyzer.Analyze(text)
+	d := &AnalyzedDoc{extID: extID, length: len(toks)}
+	idx := make(map[string]int, len(toks))
+	for _, t := range toks {
+		i, ok := idx[t.Term]
+		if !ok {
+			i = len(d.terms)
+			idx[t.Term] = i
+			d.terms = append(d.terms, t.Term)
+			d.positions = append(d.positions, nil)
+		}
+		d.positions[i] = append(d.positions[i], uint32(t.Position))
+	}
+	if len(meta) > 0 {
+		d.meta = make(map[string]string, len(meta))
+		for k, v := range meta {
+			d.meta[k] = v
+		}
+	}
+	return d
+}
+
+// Add indexes text under the external id extID. It fails with
+// ErrDuplicateDoc if extID is already present (and not deleted).
+// Analysis runs before any lock is taken; only the posting merge
+// holds the document's shard lock.
+func (ix *Index) Add(extID, text string, meta map[string]string) (DocID, error) {
+	return ix.AddAnalyzed(ix.Analyze(extID, text, meta))
+}
+
+// AddAnalyzed commits a pre-analyzed document.
+func (ix *Index) AddAnalyzed(d *AnalyzedDoc) (DocID, error) {
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	return ix.addAnalyzedDoc(d)
+}
+
+func (ix *Index) addAnalyzedDoc(d *AnalyzedDoc) (DocID, error) {
+	si := shardIndex(d.extID, len(ix.shards))
 	sh := ix.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.byExt[extID]; ok {
-		return 0, fmt.Errorf("%w: %q", ErrDuplicateDoc, extID)
+	if _, ok := sh.byExt[d.extID]; ok {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateDoc, d.extID)
 	}
-	return ix.addLocked(sh, si, extID, text, meta), nil
+	return ix.addAnalyzedLocked(sh, si, d), nil
 }
 
-func (ix *Index) addLocked(sh *shard, si int, extID, text string, meta map[string]string) DocID {
+func (ix *Index) addAnalyzedLocked(sh *shard, si int, d *AnalyzedDoc) DocID {
 	local := uint32(len(sh.docs))
 	id := globalID(local, si, len(ix.shards))
-	toks := ix.analyzer.Analyze(text)
-	// Group positions per term.
-	perTerm := make(map[string][]uint32)
-	for _, t := range toks {
-		perTerm[t.Term] = append(perTerm[t.Term], uint32(t.Position))
-	}
-	terms := make([]string, 0, len(perTerm))
-	for term, positions := range perTerm {
+	for i, term := range d.terms {
 		pl := sh.dict[term]
 		if pl == nil {
 			pl = &postingList{}
 			sh.dict[term] = pl
 		}
-		pl.postings = append(pl.postings, Posting{Doc: id, Positions: positions})
+		pl.postings = append(pl.postings, Posting{Doc: id, Positions: d.positions[i]})
 		pl.df++
-		terms = append(terms, term)
 	}
-	var metaCopy map[string]string
-	if len(meta) > 0 {
-		metaCopy = make(map[string]string, len(meta))
-		for k, v := range meta {
-			metaCopy[k] = v
-		}
-	}
-	sh.docs = append(sh.docs, docInfo{extID: extID, length: len(toks), meta: metaCopy, terms: terms})
+	sh.docs = append(sh.docs, docInfo{extID: d.extID, length: d.length, meta: d.meta, terms: d.terms})
 	if int(local/64) >= len(sh.deleted) {
 		sh.deleted = append(sh.deleted, 0)
 	}
-	sh.byExt[extID] = local
+	sh.byExt[d.extID] = local
 	sh.liveDocs++
-	sh.totalLen += int64(len(toks))
+	sh.totalLen += int64(d.length)
 	sh.version++
+	ix.liveCount.Add(1)
 	ix.version.Add(1)
 	return id
 }
 
 // Delete tombstones the document registered under extID.
 func (ix *Index) Delete(extID string) error {
+	err := ix.deleteShared(extID)
+	ix.maybeAutoCompact()
+	return err
+}
+
+// deleteShared runs deleteDoc under the shared commit lock; the
+// deferred unlock keeps the lock panic-safe, and the caller checks
+// the compaction policy once the lock is released.
+func (ix *Index) deleteShared(extID string) error {
 	ix.commitMu.RLock()
 	defer ix.commitMu.RUnlock()
 	return ix.deleteDoc(extID)
@@ -272,6 +345,8 @@ func (ix *Index) deleteLocked(sh *shard, extID string) error {
 		}
 	}
 	sh.version++
+	ix.liveCount.Add(-1)
+	ix.deadCount.Add(1)
 	ix.version.Add(1)
 	return nil
 }
@@ -279,22 +354,37 @@ func (ix *Index) deleteLocked(sh *shard, extID string) error {
 // Update replaces the text of extID (delete + add under a fresh
 // DocID). It fails if extID is unknown. Both steps hit the same
 // shard — extID determines the shard — so the exchange is atomic
-// under the shard lock.
+// under the shard lock. Analysis runs before any lock is taken.
 func (ix *Index) Update(extID, text string, meta map[string]string) (DocID, error) {
-	ix.commitMu.RLock()
-	defer ix.commitMu.RUnlock()
-	return ix.updateDoc(extID, text, meta)
+	return ix.UpdateAnalyzed(ix.Analyze(extID, text, meta))
 }
 
-func (ix *Index) updateDoc(extID, text string, meta map[string]string) (DocID, error) {
-	si := shardIndex(extID, len(ix.shards))
+// UpdateAnalyzed replaces a document's text with a pre-analyzed
+// replacement.
+func (ix *Index) UpdateAnalyzed(d *AnalyzedDoc) (DocID, error) {
+	id, err := ix.updateShared(d)
+	ix.maybeAutoCompact()
+	return id, err
+}
+
+// updateShared runs updateAnalyzedDoc under the shared commit lock
+// (deferred unlock: panic-safe); compaction is checked by the caller
+// after release.
+func (ix *Index) updateShared(d *AnalyzedDoc) (DocID, error) {
+	ix.commitMu.RLock()
+	defer ix.commitMu.RUnlock()
+	return ix.updateAnalyzedDoc(d)
+}
+
+func (ix *Index) updateAnalyzedDoc(d *AnalyzedDoc) (DocID, error) {
+	si := shardIndex(d.extID, len(ix.shards))
 	sh := ix.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := ix.deleteLocked(sh, extID); err != nil {
+	if err := ix.deleteLocked(sh, d.extID); err != nil {
 		return 0, err
 	}
-	return ix.addLocked(sh, si, extID, text, meta), nil
+	return ix.addAnalyzedLocked(sh, si, d), nil
 }
 
 // Batch groups index mutations into one commit: no snapshot can be
@@ -314,24 +404,50 @@ type Batch struct {
 // Batch runs fn holding the index's commit lock. The callback must
 // only touch the index through the Batch receiver (calling Index
 // methods from inside would self-deadlock) and must not evaluate
-// queries.
+// queries. Keep the callback short: analysis belongs in front of the
+// batch (Analyze + AddAnalyzed/UpdateAnalyzed), so the commit lock is
+// held only while pre-built postings are merged.
 func (ix *Index) Batch(fn func(b *Batch) error) error {
+	err := ix.batchExclusive(fn)
+	ix.maybeAutoCompact()
+	return err
+}
+
+// batchExclusive runs fn under the exclusive commit lock; the
+// deferred unlock keeps a panicking callback from wedging every
+// future snapshot and commit, and the caller checks the compaction
+// policy once the lock is released (Compact re-takes it).
+func (ix *Index) batchExclusive(fn func(b *Batch) error) error {
 	ix.commitMu.Lock()
 	defer ix.commitMu.Unlock()
 	return fn(&Batch{ix: ix})
 }
 
-// Add indexes a document as part of the batch.
+// Add analyzes and indexes a document as part of the batch. The
+// analysis runs under the commit lock; prefer Analyze before the
+// batch plus AddAnalyzed inside it.
 func (b *Batch) Add(extID, text string, meta map[string]string) (DocID, error) {
-	return b.ix.addDoc(extID, text, meta)
+	return b.ix.addAnalyzedDoc(b.ix.Analyze(extID, text, meta))
+}
+
+// AddAnalyzed commits a pre-analyzed document as part of the batch.
+func (b *Batch) AddAnalyzed(d *AnalyzedDoc) (DocID, error) {
+	return b.ix.addAnalyzedDoc(d)
 }
 
 // Delete tombstones a document as part of the batch.
 func (b *Batch) Delete(extID string) error { return b.ix.deleteDoc(extID) }
 
-// Update replaces a document's text as part of the batch.
+// Update analyzes and replaces a document's text as part of the
+// batch; prefer Analyze before the batch plus UpdateAnalyzed inside.
 func (b *Batch) Update(extID, text string, meta map[string]string) (DocID, error) {
-	return b.ix.updateDoc(extID, text, meta)
+	return b.ix.updateAnalyzedDoc(b.ix.Analyze(extID, text, meta))
+}
+
+// UpdateAnalyzed replaces a document's text with a pre-analyzed
+// replacement as part of the batch.
+func (b *Batch) UpdateAnalyzed(d *AnalyzedDoc) (DocID, error) {
+	return b.ix.updateAnalyzedDoc(d)
 }
 
 // Has reports whether a live document is registered under extID.
@@ -593,8 +709,13 @@ func (ix *Index) ShardSizes() []int64 {
 // Compact rebuilds the index without tombstones, renumbering
 // documents densely and trimming posting and position slices to
 // exact size (incremental adds over-allocate; the trim is where
-// SizeBytes visibly drops). External ids are preserved.
-func (ix *Index) Compact() { ix.rebuild(0) }
+// SizeBytes visibly drops). External ids are preserved. Both manual
+// and policy-triggered compactions run through here and count toward
+// Compactions().
+func (ix *Index) Compact() {
+	ix.rebuild(0)
+	ix.compactions.Add(1)
+}
 
 // Reshard rebuilds the index into n shards (also compacting; n is
 // clamped to [1, 65536]). It is the migration path for v1
@@ -680,6 +801,8 @@ func (ix *Index) rebuild(n int) {
 	}
 	ix.shards = newShards
 	ix.rebuildGen++
+	ix.liveCount.Store(int64(len(lives)))
+	ix.deadCount.Store(0)
 	ix.version.Add(1)
 }
 
@@ -693,6 +816,8 @@ func (ix *Index) Clear() {
 	}
 	ix.shards = newShards
 	ix.rebuildGen++
+	ix.liveCount.Store(0)
+	ix.deadCount.Store(0)
 	ix.version.Add(1)
 }
 

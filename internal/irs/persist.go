@@ -303,7 +303,9 @@ func readShardInto(r io.Reader, ix *Index, si int) error {
 		}
 		if del != 0 {
 			sh.setDeleted(uint32(local))
+			ix.deadCount.Add(1)
 		} else {
+			ix.liveCount.Add(1)
 			sh.byExt[d.extID] = uint32(local)
 			sh.liveDocs++
 			sh.totalLen += int64(d.length)

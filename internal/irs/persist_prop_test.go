@@ -341,3 +341,153 @@ func fileSize(t *testing.T, path string) int64 {
 	}
 	return fi.Size()
 }
+
+// writeV1File hand-writes a collection file in the pre-sharding v1
+// layout: five documents over three stored stems with varying term
+// frequencies (positions ascending, doc lengths consistent with the
+// position counts).
+func writeV1File(t *testing.T, path string) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := func(v any) {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := func(s string) {
+		w(uint32(len(s)))
+		buf.WriteString(s)
+	}
+	buf.WriteString(persistMagic)
+	w(uint32(persistVersionV1))
+	ws("inference-net")
+	type doc struct {
+		ext string
+		len int
+	}
+	docs := []doc{{"o1", 3}, {"o2", 3}, {"o3", 2}, {"o4", 3}, {"o5", 3}}
+	w(uint32(len(docs)))
+	for _, d := range docs {
+		ws(d.ext)
+		w(uint32(d.len))
+		w(uint8(0))  // live
+		w(uint32(0)) // no meta
+	}
+	type posting struct {
+		doc       uint32
+		positions []uint32
+	}
+	dict := []struct {
+		term     string
+		postings []posting
+	}{
+		{"structur", []posting{{0, []uint32{0, 3}}, {2, []uint32{0}}, {4, []uint32{0}}}},
+		{"text", []posting{{1, []uint32{0}}, {2, []uint32{1}}, {3, []uint32{0, 1, 2}}}},
+		{"web", []posting{{0, []uint32{1}}, {1, []uint32{1, 2}}, {4, []uint32{1, 2}}}},
+	}
+	w(uint32(len(dict)))
+	for _, te := range dict {
+		ws(te.term)
+		w(uint32(len(te.postings)))
+		for _, p := range te.postings {
+			w(p.doc)
+			w(uint32(len(p.positions)))
+			for _, pos := range p.positions {
+				w(pos)
+			}
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1MigrationReshardRanking is the full migration path for
+// pre-sharding collection files: load the v1 file, Reshard(n) (which
+// compacts and renumbers), save (now v2), load again — rankings must
+// be bit-identical at every step.
+func TestV1MigrationReshardRanking(t *testing.T) {
+	dir := t.TempDir()
+	writeV1File(t, filepath.Join(dir, "legacy"+collExt))
+	queries := []string{
+		"structured text",
+		"#and(web text)",
+		"#or(structured #and(web text))",
+		"#sum(structured text web)",
+		"#phrase(structured web)",
+	}
+
+	e, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.Collection("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Index().ShardCount(); got != 1 {
+		t.Fatalf("v1 ShardCount = %d, want 1", got)
+	}
+	baseline := make([][]Result, len(queries))
+	for qi, q := range queries {
+		if baseline[qi], err = c.Search(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(baseline[0]) == 0 {
+		t.Fatal("baseline search empty — fixture broken")
+	}
+
+	// Migrate: Reshard (compacting rebuild into 3 shards) + Save
+	// rewrites the file in the v2 sharded layout.
+	c.Index().Reshard(3)
+	for qi, q := range queries {
+		rs, err := c.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != len(baseline[qi]) {
+			t.Fatalf("query %q: reshard changed result count %d -> %d", q, len(baseline[qi]), len(rs))
+		}
+		for i := range rs {
+			if rs[i] != baseline[qi][i] {
+				t.Fatalf("query %q rank %d: reshard changed ranking %v -> %v", q, i, baseline[qi][i], rs[i])
+			}
+		}
+	}
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e2.Collection("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Index().ShardCount(); got != 3 {
+		t.Fatalf("migrated ShardCount = %d, want 3", got)
+	}
+	if got := c2.DocCount(); got != 5 {
+		t.Fatalf("migrated DocCount = %d, want 5", got)
+	}
+	if live, dead := c2.Index().TombstoneStats(); live != 5 || dead != 0 {
+		t.Fatalf("migrated tombstone stats = %d live, %d dead", live, dead)
+	}
+	for qi, q := range queries {
+		rs, err := c2.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != len(baseline[qi]) {
+			t.Fatalf("query %q: migration changed result count %d -> %d", q, len(baseline[qi]), len(rs))
+		}
+		for i := range rs {
+			if rs[i] != baseline[qi][i] {
+				t.Errorf("query %q rank %d: migration changed ranking %v -> %v", q, i, baseline[qi][i], rs[i])
+			}
+		}
+	}
+}

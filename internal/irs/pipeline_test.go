@@ -1,0 +1,230 @@
+package irs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pipelineDocs is a tiny deterministic corpus for the ingest-pipeline
+// tests: overlapping vocabulary so rankings discriminate.
+func pipelineDocs(n int) [][2]string {
+	topics := []string{
+		"the www grows as a digital library of structured documents",
+		"sgml markup describes structured documents and their elements",
+		"video and audio objects join text in multimedia frameworks",
+		"retrieval models rank documents by belief in the inference net",
+		"update propagation defers index maintenance behind a log",
+	}
+	out := make([][2]string, n)
+	for i := range out {
+		out[i] = [2]string{
+			fmt.Sprintf("doc%03d", i),
+			fmt.Sprintf("%s with suffix token t%d", topics[i%len(topics)], i),
+		}
+	}
+	return out
+}
+
+var pipelineQueries = []string{
+	"www",
+	"#and(structured documents)",
+	"#or(video #and(sgml markup))",
+	"#wsum(2 retrieval 1 index)",
+	"#phrase(digital library)",
+	"#sum(www sgml video retrieval update)",
+}
+
+func sameRankings(t *testing.T, a, b *Collection) {
+	t.Helper()
+	for _, q := range pipelineQueries {
+		ra, err := a.Search(q)
+		if err != nil {
+			t.Fatalf("search %q: %v", q, err)
+		}
+		rb, err := b.Search(q)
+		if err != nil {
+			t.Fatalf("search %q: %v", q, err)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("query %q: %d vs %d results", q, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("query %q rank %d: %+v vs %+v", q, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+// TestAnalyzedCommitEquivalence: committing pre-analyzed documents
+// (the staged pipeline's analyze-outside/commit-inside split) yields
+// exactly the state the direct text path builds — same doc counts,
+// same DFs, bit-identical rankings — including through updates.
+func TestAnalyzedCommitEquivalence(t *testing.T) {
+	e := NewEngine(Options{Shards: 3})
+	direct, err := e.CreateCollection("direct", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := e.CreateCollection("staged", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := pipelineDocs(24)
+	for _, d := range docs {
+		if err := direct.AddDocument(d[0], d[1], map[string]string{"oid": d[0]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Staged path: analyze everything first (no locks), then one
+	// short commit batch merging the pre-built postings.
+	analyzed := make([]*AnalyzedDoc, len(docs))
+	for i, d := range docs {
+		analyzed[i] = staged.Analyze(d[0], d[1], map[string]string{"oid": d[0]})
+	}
+	err = staged.Batch(func(b *Batch) error {
+		for _, ad := range analyzed {
+			if _, err := b.AddAnalyzed(ad); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.DocCount() != staged.DocCount() {
+		t.Fatalf("doc counts differ: %d vs %d", direct.DocCount(), staged.DocCount())
+	}
+	sameRankings(t, direct, staged)
+
+	// Updates through both paths stay equivalent too.
+	for i := 0; i < len(docs); i += 3 {
+		text := docs[i][1] + " refreshed retrieval evidence"
+		if err := direct.UpdateDocument(docs[i][0], text, nil); err != nil {
+			t.Fatal(err)
+		}
+		ad := staged.Analyze(docs[i][0], text, nil)
+		if err := staged.Batch(func(b *Batch) error {
+			_, err := b.UpdateAnalyzed(ad)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameRankings(t, direct, staged)
+
+	// The analyzed metadata survives the merge.
+	id, ok := staged.Index().DocID("doc001")
+	if !ok {
+		t.Fatal("doc001 missing")
+	}
+	if v, ok := staged.Index().Meta(id, "oid"); !ok || v != "doc001" {
+		t.Fatalf("meta lost through analyzed commit: %q %v", v, ok)
+	}
+}
+
+// TestAnalyzedDocShape: the analyze stage reports the token/term
+// accounting the commit stage will install.
+func TestAnalyzedDocShape(t *testing.T) {
+	ix := NewIndex(nil)
+	d := ix.Analyze("d1", "structured documents hold structured text", nil)
+	if d.ExtID() != "d1" {
+		t.Errorf("ExtID = %q", d.ExtID())
+	}
+	// "hold" survives, "structured" twice, stopwords stay out of the
+	// length only if the analyzer stops them — just check consistency
+	// against the committed doc.
+	id, err := ix.AddAnalyzed(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.DocLen(id); got != d.Length() {
+		t.Errorf("DocLen = %d, want analyzed length %d", got, d.Length())
+	}
+	if d.TermCount() <= 0 {
+		t.Errorf("TermCount = %d", d.TermCount())
+	}
+}
+
+// TestAutoCompact: once the tombstone ratio crosses the configured
+// threshold the index compacts itself in the background; rankings are
+// unaffected and the reclaim is visible in TombstoneStats/SizeBytes.
+func TestAutoCompact(t *testing.T) {
+	e := NewEngine(Options{Shards: 2})
+	auto, err := e.CreateCollection("auto", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := e.CreateCollection("control", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto.SetAutoCompact(0.4, 8)
+	if r, m := auto.Index().AutoCompact(); r != 0.4 || m != 8 {
+		t.Fatalf("AutoCompact() = %v %v", r, m)
+	}
+	docs := pipelineDocs(40)
+	for _, d := range docs {
+		if err := auto.AddDocument(d[0], d[1], nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := control.AddDocument(d[0], d[1], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete the second half from auto only; the control keeps them
+	// and deletes lazily without a policy.
+	for _, d := range docs[20:] {
+		if err := auto.DeleteDocument(d[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := control.DeleteDocument(d[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	auto.Index().WaitCompaction()
+	if got := auto.Index().Compactions(); got == 0 {
+		t.Fatal("no background compaction ran")
+	}
+	if ratio := auto.Index().TombstoneRatio(); ratio >= 0.4 {
+		t.Errorf("tombstone ratio still %v after compaction", ratio)
+	}
+	live, _ := auto.Index().TombstoneStats()
+	if live != 20 {
+		t.Errorf("live = %d, want 20", live)
+	}
+	if got := auto.DocCount(); got != 20 {
+		t.Errorf("DocCount = %d, want 20", got)
+	}
+	sameRankings(t, auto, control)
+	// The control never compacted.
+	if got := control.Index().Compactions(); got != 0 {
+		t.Errorf("control compacted %d times", got)
+	}
+	if _, dead := control.Index().TombstoneStats(); dead != 20 {
+		t.Errorf("control dead = %d, want 20", dead)
+	}
+}
+
+// TestAutoCompactDisabledByDefault: no policy, no background work.
+func TestAutoCompactDisabledByDefault(t *testing.T) {
+	ix := NewIndex(nil)
+	for i := 0; i < 200; i++ {
+		if _, err := ix.Add(fmt.Sprintf("d%d", i), "text body", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if err := ix.Delete(fmt.Sprintf("d%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.WaitCompaction()
+	if got := ix.Compactions(); got != 0 {
+		t.Errorf("compactions = %d, want 0", got)
+	}
+	if _, dead := ix.TombstoneStats(); dead != 200 {
+		t.Errorf("dead = %d, want 200", dead)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // cacheKey identifies one cached evaluation result. The epoch
@@ -20,29 +21,36 @@ type cacheKey struct {
 	epoch    uint64
 }
 
-// queryCache is a plain LRU over cacheKey. A capacity of 0 disables
-// it (every get misses, every put is dropped).
+// queryCache is an LRU over cacheKey with an optional TTL. A capacity
+// of 0 disables it (every get misses, every put is dropped); a TTL of
+// 0 never expires (epochs already invalidate on mutation — the TTL
+// exists to bound staleness of results whose epoch component is
+// expensive to advance, and to cap memory held by long-idle entries).
 type queryCache struct {
 	mu    sync.Mutex
 	cap   int
+	ttl   time.Duration
 	ll    *list.List // front = most recently used
 	items map[cacheKey]*list.Element
 }
 
 type cacheEntry struct {
-	key cacheKey
-	val any
+	key     cacheKey
+	val     any
+	expires time.Time // zero: never
 }
 
-func newQueryCache(capacity int) *queryCache {
+func newQueryCache(capacity int, ttl time.Duration) *queryCache {
 	return &queryCache{
 		cap:   capacity,
+		ttl:   ttl,
 		ll:    list.New(),
 		items: make(map[cacheKey]*list.Element),
 	}
 }
 
 // get returns the cached value for k, marking it most recently used.
+// Expired entries are evicted on access.
 func (c *queryCache) get(k cacheKey) (any, bool) {
 	if c.cap <= 0 {
 		return nil, false
@@ -53,8 +61,14 @@ func (c *queryCache) get(k cacheKey) (any, bool) {
 	if !ok {
 		return nil, false
 	}
+	e := el.Value.(*cacheEntry)
+	if !e.expires.IsZero() && time.Now().After(e.expires) {
+		c.ll.Remove(el)
+		delete(c.items, k)
+		return nil, false
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	return e.val, true
 }
 
 // put stores v under k, evicting the least recently used entry when
@@ -63,18 +77,41 @@ func (c *queryCache) put(k cacheKey, v any) {
 	if c.cap <= 0 {
 		return
 	}
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = time.Now().Add(c.ttl)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).val = v
+		e := el.Value.(*cacheEntry)
+		e.val = v
+		e.expires = expires
 		return
 	}
-	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v, expires: expires})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	// Sweep expired entries off the LRU tail so an idle burst's
+	// memory is released by later traffic, not only by capacity
+	// pressure. Expired entries that were used recently (and thus sit
+	// nearer the front) fall out on their own get or a later sweep.
+	if c.ttl > 0 {
+		now := time.Now()
+		for el := c.ll.Back(); el != nil; {
+			e := el.Value.(*cacheEntry)
+			if e.expires.IsZero() || now.Before(e.expires) {
+				break
+			}
+			prev := el.Prev()
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			el = prev
+		}
 	}
 }
 

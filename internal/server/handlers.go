@@ -29,6 +29,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /collections", s.admitted(s.handleCreateCollection))
 	s.mux.HandleFunc("DELETE /collections/{name}", s.admitted(s.handleDropCollection))
 	s.mux.HandleFunc("POST /collections/{name}/flush", s.admitted(s.handleFlush))
+	s.mux.HandleFunc("POST /collections/{name}/drain", s.admitted(s.handleDrain))
 	s.mux.HandleFunc("POST /collections/{name}/feedback", s.admitted(s.handleFeedback))
 	s.mux.HandleFunc("GET /collections/{name}/search", s.admitted(s.handleSearch))
 	s.mux.HandleFunc("POST /query", s.admitted(s.handleQuery))
@@ -76,17 +77,6 @@ func parseStrategy(name string) (docirs.Strategy, error) {
 	return docirs.StrategyAuto, fmt.Errorf("unknown strategy %q (want auto, independent or irs-first)", name)
 }
 
-func parsePolicy(name string) (docirs.PropagationPolicy, error) {
-	switch name {
-	case "", "on-query":
-		return docirs.PropagateOnQuery, nil
-	case "immediate":
-		return docirs.PropagateImmediately, nil
-	case "manual":
-		return docirs.PropagateManually, nil
-	}
-	return docirs.PropagateOnQuery, fmt.Errorf("unknown policy %q (want on-query, immediate or manual)", name)
-}
 
 func parseTextMode(name string) (int, error) {
 	switch name {
@@ -127,6 +117,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		backlog += int64(pending)
 		cs := col.Stats().Snapshot()
 		ix := col.IRS().Index()
+		avgGroup := 0.0
+		if cs.GroupCommits > 0 {
+			avgGroup = float64(cs.GroupedOps) / float64(cs.GroupCommits)
+		}
+		live, dead := ix.TombstoneStats()
 		colls[name] = map[string]any{
 			"docs":             col.DocCount(),
 			"policy":           col.Policy().String(),
@@ -143,6 +138,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"shards":           ix.ShardCount(),
 			"snapshots":        ix.SnapshotCount(),
 			"shard_bytes":      ix.ShardSizes(),
+			// Ingest-pipeline metrics: queue state, group-commit
+			// shape, where flush time goes (analysis outside the
+			// commit lock vs the lock-holding merge), and index
+			// hygiene.
+			"pipeline": map[string]any{
+				"queue_depth":       pending,
+				"queue_capacity":    col.AsyncMaxPending(),
+				"ingest_watermark":  col.Watermark(),
+				"applied_watermark": col.AppliedWatermark(),
+				"async_flushes":     cs.AsyncFlushes,
+				"group_commits":     cs.GroupCommits,
+				"avg_group_size":    avgGroup,
+				"analyze_ms":        float64(cs.AnalyzeNanos) / 1e6,
+				"commit_ms":         float64(cs.CommitNanos) / 1e6,
+				"flush_errors":      cs.FlushErrors,
+				"last_flush_error":  col.LastFlushError(),
+				"compactions":       ix.Compactions(),
+				"tombstones":        dead,
+				"live_docs":         live,
+				"tombstone_ratio":   ix.TombstoneRatio(),
+			},
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -165,6 +181,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"inflight":       s.stats.inflight.Load(),
 			"max_concurrent": s.cfg.MaxConcurrent,
 			"rejected":       s.stats.rejected.Load(),
+		},
+		"ingest": map[string]any{
+			"async_documents": s.stats.asyncIngests.Load(),
+			"backpressured":   s.stats.backpressured.Load(),
+			"drains":          s.stats.drains.Load(),
 		},
 		"propagation_backlog": backlog,
 		"collections":         colls,
@@ -196,12 +217,44 @@ func (s *Server) handleLoadDTD(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// asyncCollections returns the collections running the async
+// propagation policy.
+func (s *Server) asyncCollections() []*docirs.Collection {
+	var out []*docirs.Collection
+	for _, name := range s.sys.Collections() {
+		col, err := s.sys.Collection(name)
+		if err != nil {
+			continue
+		}
+		if col.Policy() == docirs.PropagateAsync {
+			out = append(out, col)
+		}
+	}
+	return out
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		DTD       string   `json:"dtd"`
 		Documents []string `json:"documents"`
+		// Mode selects the ingest pipeline: "sync" (default) answers
+		// 201 once documents are stored, leaving propagation to each
+		// collection's policy; "async" additionally requires headroom
+		// in every async collection's pending queue — a full queue is
+		// backpressure (503 + Retry-After) — and answers 202 with the
+		// per-collection watermarks the batch was logged under.
+		Mode string `json:"mode"`
 	}
 	if !s.decode(w, r, &req) {
+		return
+	}
+	async := false
+	switch req.Mode {
+	case "", "sync":
+	case "async":
+		async = true
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown ingest mode %q (want sync or async)", req.Mode)
 		return
 	}
 	d, ok := s.dtd(req.DTD)
@@ -217,6 +270,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Documents), s.cfg.MaxBatch)
 		return
 	}
+	var asyncColls []*docirs.Collection
+	if async {
+		asyncColls = s.asyncCollections()
+		// Backpressure: never grow a saturated propagation queue.
+		// Updates already committed stay correct regardless (queries
+		// force pending flushes), so shedding happens before any
+		// document is stored.
+		for _, col := range asyncColls {
+			if col.AsyncBacklogFull() {
+				s.stats.backpressured.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.fail(w, http.StatusServiceUnavailable,
+					"collection %q propagation queue full (%d pending); retry later",
+					col.Name(), col.PendingOps())
+				return
+			}
+		}
+	}
 	oids := make([]string, 0, len(req.Documents))
 	for i, src := range req.Documents {
 		oid, err := s.sys.LoadDocument(d, src)
@@ -226,8 +297,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		oids = append(oids, oid.String())
 		s.stats.ingests.Add(1)
+		if async {
+			s.stats.asyncIngests.Add(1)
+		}
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"oids": oids, "count": len(oids)})
+	if !async {
+		writeJSON(w, http.StatusCreated, map[string]any{"oids": oids, "count": len(oids)})
+		return
+	}
+	// 202: the documents are durably stored but IRS propagation is
+	// still in flight. The watermarks identify this batch's position
+	// in each async collection's log; a client needing read-your-
+	// writes polls /stats (applied_watermark) or calls /drain.
+	watermarks := make(map[string]any, len(asyncColls))
+	for _, col := range asyncColls {
+		watermarks[col.Name()] = map[string]any{
+			"watermark": col.Watermark(),
+			"epoch":     col.Epoch(),
+		}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"oids":       oids,
+		"count":      len(oids),
+		"watermarks": watermarks,
+	})
 }
 
 func (s *Server) handleDeleteDocument(w http.ResponseWriter, r *http.Request) {
@@ -303,13 +396,20 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 		s.fail(w, http.StatusBadRequest, "name and spec are required")
 		return
 	}
-	opts := docirs.CollectionOptions{}
+	// Pipeline tuning comes from the server configuration: the async
+	// flusher's queue bound and group-commit window, plus the
+	// background compaction threshold.
+	opts := docirs.CollectionOptions{
+		AsyncMaxPending:  s.cfg.AsyncMaxPending,
+		AsyncCoalesce:    s.cfg.AsyncCoalesce,
+		AutoCompactRatio: s.cfg.CompactRatio,
+	}
 	var err error
 	if opts.TextMode, err = parseTextMode(req.TextMode); err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if opts.Policy, err = parsePolicy(req.Policy); err != nil {
+	if opts.Policy, err = docirs.ParsePolicy(req.Policy); err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -378,6 +478,29 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"collection":  col.Name(),
 		"pending_was": pending,
+	})
+}
+
+// handleDrain blocks until every update logged before the request has
+// been propagated — the visibility barrier for async ingest (202
+// responses carry the watermark this drain guarantees).
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	col, err := s.sys.Collection(r.PathValue("name"))
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	pending := col.PendingOps()
+	s.stats.drains.Add(1)
+	if err := col.Drain(); err != nil {
+		s.fail(w, http.StatusInternalServerError, "drain: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"collection":        col.Name(),
+		"pending_was":       pending,
+		"applied_watermark": col.AppliedWatermark(),
+		"epoch":             col.Epoch(),
 	})
 }
 

@@ -41,9 +41,23 @@ type Config struct {
 	// CacheSize is the capacity (entries) of the query-result cache;
 	// negative disables caching. Default (0): 1024.
 	CacheSize int
+	// CacheTTL bounds the age of query-cache entries; 0 never
+	// expires (the epoch key already invalidates on mutation).
+	CacheTTL time.Duration
 	// MaxBatch bounds the number of documents accepted by one ingest
 	// request. Default: 1024.
 	MaxBatch int
+	// AsyncMaxPending bounds each async-policy collection's pending
+	// propagation queue; a full queue rejects async ingest with 503.
+	// 0 selects the coupling default (4096); negative unbounded.
+	AsyncMaxPending int
+	// AsyncCoalesce is the background flusher's group-commit window
+	// for async-policy collections. 0 selects the coupling default
+	// (2ms); negative flushes immediately.
+	AsyncCoalesce time.Duration
+	// CompactRatio enables tombstone-ratio-triggered background index
+	// compaction for collections created through the API; 0 disables.
+	CompactRatio float64
 }
 
 func (c Config) withDefaults() Config {
@@ -82,13 +96,28 @@ type Server struct {
 
 // New wraps sys in a service layer. The caller keeps ownership of
 // sys (and closes it after the HTTP server shuts down).
+//
+// Pipeline tuning (AsyncMaxPending, AsyncCoalesce, CompactRatio) is
+// applied to the collections already in sys as well: collection
+// options are not persisted, so collections restored from disk would
+// otherwise run with baked-in defaults and ignore the configuration.
 func New(sys *docirs.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	for _, name := range sys.Collections() {
+		col, err := sys.Collection(name)
+		if err != nil {
+			continue
+		}
+		col.ConfigureAsync(cfg.AsyncMaxPending, cfg.AsyncCoalesce)
+		if cfg.CompactRatio > 0 {
+			col.IRS().SetAutoCompact(cfg.CompactRatio, 0)
+		}
+	}
 	s := &Server{
 		sys:   sys,
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		cache: newQueryCache(cfg.CacheSize),
+		cache: newQueryCache(cfg.CacheSize, cfg.CacheTTL),
 		qps:   newRateWindow(),
 		start: time.Now(),
 		dtds:  make(map[string]*docirs.DTD),

@@ -292,7 +292,7 @@ func TestAdmissionRejectsWhenSaturated(t *testing.T) {
 }
 
 func TestLRUCache(t *testing.T) {
-	c := newQueryCache(2)
+	c := newQueryCache(2, 0)
 	k := func(q string) cacheKey { return cacheKey{kind: "query", query: q} }
 	c.put(k("a"), 1)
 	c.put(k("b"), 2)
@@ -315,7 +315,7 @@ func TestLRUCache(t *testing.T) {
 		t.Fatal("epoch-qualified entry lost")
 	}
 
-	disabled := newQueryCache(0)
+	disabled := newQueryCache(0, 0)
 	disabled.put(k("a"), 1)
 	if _, ok := disabled.get(k("a")); ok {
 		t.Fatal("disabled cache served an entry")

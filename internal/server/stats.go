@@ -18,6 +18,10 @@ type counters struct {
 	rejected    atomic.Int64 // admission rejections (503)
 	errored     atomic.Int64 // requests answered with 4xx/5xx bodies
 	inflight    atomic.Int64 // currently admitted requests
+
+	asyncIngests  atomic.Int64 // documents accepted in async-ingest mode
+	backpressured atomic.Int64 // async ingests shed because a pending queue was full
+	drains        atomic.Int64 // explicit drain requests served
 }
 
 // rateWindow measures request rate over a sliding window of
