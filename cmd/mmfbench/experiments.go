@@ -20,6 +20,10 @@ func experimentRunners(shards int) map[string]runner {
 			_, err := eval.RunS2(w)
 			return err
 		}},
+		"S3": {"Streaming top-k vs exhaustive evaluation (MaxScore pruning)", func(w io.Writer) error {
+			_, err := eval.RunS3(w, shards)
+			return err
+		}},
 		"F1": {"Figure 1: coupling architectures", func(w io.Writer) error {
 			_, err := eval.RunF1(w)
 			return err

@@ -24,24 +24,28 @@ func main() {
 	spec := flag.String("spec", "ACCESS p FROM p IN PARA;", "specification query for -collection")
 	textMode := flag.Int("textmode", docirs.ModeFullText, "getText mode (0=full,1=abstract,2=own)")
 	policy := flag.String("policy", "on-query", "propagation policy for a newly created -collection (on-query, immediate, manual, async)")
+	shards := flag.Int("shards", 0, "index shards for a newly created -collection (0: engine default; existing collections keep theirs)")
 	flag.Parse()
 
 	if *dbDir == "" || *dtdPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mmfload -db DIR -dtd FILE [-collection NAME [-spec QUERY] [-policy P]] doc.sgm...")
+		fmt.Fprintln(os.Stderr, "usage: mmfload -db DIR -dtd FILE [-collection NAME [-spec QUERY] [-policy P] [-shards N]] doc.sgm...")
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *dtdPath, *collName, *spec, *policy, *textMode, flag.Args()); err != nil {
+	if err := run(*dbDir, *dtdPath, *collName, *spec, *policy, *textMode, *shards, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "mmfload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbDir, dtdPath, collName, spec, policy string, textMode int, files []string) error {
+func run(dbDir, dtdPath, collName, spec, policy string, textMode, shards int, files []string) error {
 	sys, err := docirs.Open(dbDir)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
+	if shards > 0 {
+		sys.Engine().SetDefaultShards(shards)
+	}
 
 	dtdSrc, err := os.ReadFile(dtdPath)
 	if err != nil {

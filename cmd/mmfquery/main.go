@@ -86,6 +86,8 @@ func execLine(sys *docirs.System, raw string, out io.Writer) bool {
 		fmt.Fprintf(out, "pipeline: policy %s, pending %d, group commits %d, analyze %.2fms, commit %.2fms, flush errors %d\n",
 			coll.Policy(), coll.PendingOps(), s.GroupCommits,
 			float64(s.AnalyzeNanos)/1e6, float64(s.CommitNanos)/1e6, s.FlushErrors)
+		tq, ts, tp := coll.IRS().TopKStats()
+		fmt.Fprintf(out, "topk: %d queries, %d candidates scored, %d pruned\n", tq, ts, tp)
 	case strings.HasPrefix(line, ".drain "):
 		name := strings.TrimSpace(strings.TrimPrefix(line, ".drain "))
 		coll, err := sys.Collection(name)
@@ -101,22 +103,21 @@ func execLine(sys *docirs.System, raw string, out io.Writer) bool {
 		fmt.Fprintf(out, "drained %d pending updates (applied watermark %d)\n",
 			pending, coll.AppliedWatermark())
 	case strings.HasPrefix(line, "?"):
+		// ?coll QUERY shows the 10 best hits; only those are evaluated —
+		// the shell goes through the streaming top-k engine, the same
+		// limit pushdown the HTTP layer's ?limit= performs.
 		rest := strings.TrimSpace(line[1:])
 		parts := strings.SplitN(rest, " ", 2)
 		if len(parts) != 2 {
 			fmt.Fprintln(out, "usage: ?collName IRSQUERY")
 			break
 		}
-		hits, err := sys.Search(parts[0], parts[1])
+		hits, err := sys.SearchTopK(parts[0], parts[1], 10)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			break
 		}
 		for i, h := range hits {
-			if i >= 10 {
-				fmt.Fprintf(out, "... (%d more)\n", len(hits)-10)
-				break
-			}
 			fmt.Fprintf(out, "%2d. %-10s %.4f\n", i+1, h.ExtID, h.Score)
 		}
 	default:

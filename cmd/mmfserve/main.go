@@ -20,6 +20,11 @@
 //	curl -s 'localhost:8080/collections/collPara/search?q=%23and(www%20nii)&limit=5'
 //	curl -s localhost:8080/stats
 //
+// A search limit is pushed down into the IRS as a streaming top-k
+// evaluation (MaxScore pruning; /stats reports candidates pruned vs
+// scored per collection), and the query cache keys on the limit's
+// k-bucket so nearby limits share one evaluation.
+//
 // Async ingest (collections created with "policy":"async" propagate
 // through a background group-commit flusher; tune with
 // -async-max-pending / -async-coalesce / -compact-ratio):

@@ -288,6 +288,28 @@ func (s *System) Search(collection, irsQuery string) ([]SearchResult, error) {
 	return out, nil
 }
 
+// SearchTopK runs a pure IRS query against a collection, returning
+// only the k best results (score descending, ties by OID string) —
+// exactly the first k entries of Search's ranking, evaluated through
+// the streaming top-k engine with MaxScore-style pruning instead of
+// scoring and sorting the whole candidate set. k <= 0 behaves like
+// Search.
+func (s *System) SearchTopK(collection, irsQuery string, k int) ([]SearchResult, error) {
+	col, err := s.coupling.Collection(collection)
+	if err != nil {
+		return nil, err
+	}
+	ranked, err := col.GetIRSResultTopK(irsQuery, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SearchResult, len(ranked))
+	for i, rv := range ranked {
+		out[i] = SearchResult{ExtID: rv.OID.String(), Score: rv.Value}
+	}
+	return out, nil
+}
+
 // Text returns an object's textual representation under a getText
 // mode.
 func (s *System) Text(oid OID, mode int) string { return s.store.Text(oid, mode) }

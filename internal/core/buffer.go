@@ -20,6 +20,12 @@ type resultBuffer struct {
 
 	mu      sync.Mutex
 	entries map[string]bufferEntry
+	// gen counts invalidations. A query records the generation before
+	// it evaluates and hands it back to put, which discards the entry
+	// if an invalidation ran in between — otherwise a result computed
+	// against a pre-flush snapshot could be installed *after* the
+	// flush's invalidate and serve stale scores until the next flush.
+	gen uint64
 }
 
 type bufferEntry struct {
@@ -47,9 +53,19 @@ func (b *resultBuffer) get(key string) (map[oodb.OID]float64, bool) {
 	return out, true
 }
 
+// generation returns the current invalidation generation; read it
+// before evaluating a result that will be offered to put.
+func (b *resultBuffer) generation() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gen
+}
+
 // put stores scores under key and mirrors the entry into the
-// database.
-func (b *resultBuffer) put(key string, scores map[oodb.OID]float64) {
+// database. gen must be the generation observed before the scores
+// were computed; if an invalidation ran since, the entry is stale and
+// dropped instead of installed.
+func (b *resultBuffer) put(key string, scores map[oodb.OID]float64, gen uint64) {
 	copied := make(map[oodb.OID]float64, len(scores))
 	oids := make([]oodb.OID, 0, len(scores))
 	for k, v := range scores {
@@ -73,6 +89,16 @@ func (b *resultBuffer) put(key string, scores map[oodb.OID]float64) {
 		dbObj = oodb.NilOID // memory-only entry; still correct
 	}
 	b.mu.Lock()
+	if b.gen != gen {
+		// Invalidated while the result was being computed: installing
+		// it would resurrect pre-flush scores. Drop it (and its
+		// freshly created mirror object).
+		b.mu.Unlock()
+		if dbObj != oodb.NilOID {
+			b.col.c.db.DeleteObject(dbObj)
+		}
+		return
+	}
 	if old, ok := b.entries[key]; ok && old.dbObj != oodb.NilOID && old.dbObj != dbObj {
 		// Racing fill of the same key: drop the older mirror.
 		b.col.c.db.DeleteObject(old.dbObj)
@@ -94,6 +120,7 @@ func (b *resultBuffer) invalidate() {
 	b.mu.Lock()
 	old := b.entries
 	b.entries = make(map[string]bufferEntry)
+	b.gen++
 	b.mu.Unlock()
 	for _, e := range old {
 		if e.dbObj != oodb.NilOID {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -251,12 +252,20 @@ func (col *Collection) Represented(obj oodb.OID) bool {
 }
 
 // defaultValue is the retrieval value of a represented document that
-// the IRS did not score for a query: the inference net assigns its
-// default belief to absent evidence, other paradigms zero.
+// the IRS did not score for a query: the belief-based paradigms
+// (inference net, passage) assign their default belief to absent
+// evidence (an explicitly configured 0.0 included — the belief is a
+// pointer precisely so zero is expressible), other paradigms zero.
 func (col *Collection) defaultValue() float64 {
-	if inf, ok := col.irsColl.Model().(irs.InferenceNet); ok {
-		if inf.DefaultBelief != 0 {
-			return inf.DefaultBelief
+	switch m := col.irsColl.Model().(type) {
+	case irs.InferenceNet:
+		if m.DefaultBelief != nil {
+			return *m.DefaultBelief
+		}
+		return 0.4
+	case irs.PassageModel:
+		if m.DefaultBelief != nil {
+			return *m.DefaultBelief
 		}
 		return 0.4
 	}
@@ -388,27 +397,54 @@ func (col *Collection) GetIRSResult(irsQuery string) (map[oodb.OID]float64, erro
 	return col.getIRSResultNode(node)
 }
 
-func (col *Collection) getIRSResultNode(node *irs.Node) (map[oodb.OID]float64, error) {
+// beginIRSRead is the shared preamble of every buffered IRS read
+// path: it enforces pending update propagation first when the policy
+// defers it (Section 4.6), then consults the persistent result
+// buffer. On a hit the buffered scores are returned (non-nil, hit
+// counted). On a miss, scores is nil; when offerBack is set the miss
+// is counted (BufferMisses means "a miss the caller will populate"),
+// useBuffer reports whether the caller should offer its freshly
+// evaluated result back to the buffer, and gen is the buffer
+// generation observed *before* the evaluation — put discards results
+// computed across an invalidation, so a flush racing the evaluation
+// can never resurrect pre-flush scores. Callers that never populate
+// the buffer (the top-k prefix path) pass offerBack false and skip
+// both the miss count and the generation read. The caller must
+// acquire its snapshot only after this returns, so the ranking
+// reflects either the fully propagated state or (for flushes racing
+// in from elsewhere) the fully unpropagated one — never a
+// half-applied blend.
+func (col *Collection) beginIRSRead(key string, offerBack bool) (scores map[oodb.OID]float64, useBuffer bool, gen uint64, err error) {
 	if col.Policy() != PropagateImmediately && col.log.pending() {
 		col.stats.ForcedFlushes.Add(1)
 		if err := col.Flush(); err != nil {
-			return nil, err
+			return nil, false, 0, err
 		}
 	}
-	key := node.String()
-	useBuffer := !col.bufferOff.Load()
-	if useBuffer {
+	useBuffer = !col.bufferOff.Load() && offerBack
+	if !col.bufferOff.Load() {
 		if scores, ok := col.buffer.get(key); ok {
 			col.stats.BufferHits.Add(1)
-			return scores, nil
+			return scores, true, 0, nil
 		}
-		col.stats.BufferMisses.Add(1)
+		if offerBack {
+			col.stats.BufferMisses.Add(1)
+			gen = col.buffer.generation()
+		}
 	}
 	col.stats.IRSSearches.Add(1)
-	// The snapshot is acquired only after a policy-forced flush above
-	// has committed, so the ranking reflects either the fully
-	// propagated state or (for flushes racing in from elsewhere) the
-	// fully unpropagated one — never a half-applied blend.
+	return nil, useBuffer, gen, nil
+}
+
+func (col *Collection) getIRSResultNode(node *irs.Node) (map[oodb.OID]float64, error) {
+	key := node.String()
+	buffered, useBuffer, bufGen, err := col.beginIRSRead(key, true)
+	if err != nil {
+		return nil, err
+	}
+	if buffered != nil {
+		return buffered, nil
+	}
 	snap := col.irsColl.Snapshot()
 	results := col.irsColl.SearchNodeAt(snap, node)
 	scores := make(map[oodb.OID]float64, len(results))
@@ -420,9 +456,133 @@ func (col *Collection) getIRSResultNode(node *irs.Node) (map[oodb.OID]float64, e
 		scores[oid] = r.Score
 	}
 	if useBuffer {
-		col.buffer.put(key, scores)
+		col.buffer.put(key, scores, bufGen)
 	}
 	return scores, nil
+}
+
+// RankedValue pairs an object with its retrieval value; slices of it
+// preserve rank order (value descending, ties by OID string), which a
+// plain ‖IRSObject → REAL‖ dictionary cannot.
+type RankedValue struct {
+	OID   oodb.OID
+	Value float64
+}
+
+// GetIRSResultTopK is the top-k variant of GetIRSResult: it returns
+// only the k highest-ranked (object, value) pairs, in rank order.
+// The prefix is exactly the first k entries of the full ranking under
+// the deterministic tie-break (value descending, then OID), so
+// serving layers can push their limit down instead of truncating a
+// fully evaluated result. Like GetIRSResult it enforces pending
+// update propagation first when the policy defers it, and it serves
+// from the persistent result buffer when the full result is already
+// buffered; a fresh top-k evaluation is NOT buffered (a k-prefix
+// cannot answer later findIRSValue calls for arbitrary objects).
+// k <= 0 ranks the full result.
+func (col *Collection) GetIRSResultTopK(irsQuery string, k int) ([]RankedValue, error) {
+	node, err := irs.ParseQuery(irsQuery)
+	if err != nil {
+		return nil, err
+	}
+	return col.getIRSResultNodeTopK(node, k)
+}
+
+func (col *Collection) getIRSResultNodeTopK(node *irs.Node, k int) ([]RankedValue, error) {
+	if k <= 0 {
+		// Unlimited: this is the exhaustive result, so it goes through
+		// (and populates) the buffered path like GetIRSResult.
+		scores, err := col.getIRSResultNode(node)
+		if err != nil {
+			return nil, err
+		}
+		return rankScores(scores, 0), nil
+	}
+	// offerBack false: a k-prefix is never offered to the buffer, so
+	// the miss counter and put-back generation are skipped.
+	buffered, _, _, err := col.beginIRSRead(node.String(), false)
+	if err != nil {
+		return nil, err
+	}
+	if buffered != nil {
+		return rankScores(buffered, k), nil
+	}
+	snap := col.irsColl.Snapshot()
+	results := col.irsColl.SearchNodeTopKAt(snap, node, k)
+	out := make([]RankedValue, 0, len(results))
+	for _, r := range results {
+		oid, err := oodb.ParseOID(r.ExtID)
+		if err != nil {
+			return nil, fmt.Errorf("core: IRS returned foreign document id %q: %w", r.ExtID, err)
+		}
+		out = append(out, RankedValue{OID: oid, Value: r.Score})
+	}
+	return out, nil
+}
+
+// rankScores orders a buffered score map (value descending, ties by
+// OID string — the same order the IRS ranks in) and truncates to k
+// (k <= 0: no truncation). For k below the result size it keeps a
+// bounded best-k slice (O(n log k) comparisons, most candidates
+// rejected on a single float compare) instead of sorting the whole
+// map — the buffered-hit path must not reintroduce the full-sort
+// cost the streaming top-k engine removes.
+func rankScores(scores map[oodb.OID]float64, k int) []RankedValue {
+	if k <= 0 || k >= len(scores) {
+		out := make([]RankedValue, 0, len(scores))
+		for oid, v := range scores {
+			out = append(out, RankedValue{OID: oid, Value: v})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Value != out[j].Value {
+				return out[i].Value > out[j].Value
+			}
+			return out[i].OID.String() < out[j].OID.String()
+		})
+		return out
+	}
+	type entry struct {
+		rv  RankedValue
+		ext string
+	}
+	// worse reports a ranking strictly after b (lower value, or tied
+	// with a larger OID string).
+	worse := func(a, b entry) bool {
+		if a.rv.Value != b.rv.Value {
+			return a.rv.Value < b.rv.Value
+		}
+		return a.ext > b.ext
+	}
+	best := make([]entry, 0, k) // sorted best-first
+	for oid, v := range scores {
+		if len(best) == k && v < best[len(best)-1].rv.Value {
+			continue
+		}
+		e := entry{rv: RankedValue{OID: oid, Value: v}, ext: oid.String()}
+		// First kept position ranking after e.
+		lo, hi := 0, len(best)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if worse(best[mid], e) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo == k {
+			continue // tied the k-th on value but lost on OID
+		}
+		if len(best) < k {
+			best = append(best, entry{})
+		}
+		copy(best[lo+1:], best[lo:len(best)-1])
+		best[lo] = e
+	}
+	out := make([]RankedValue, len(best))
+	for i := range best {
+		out[i] = best[i].rv
+	}
+	return out
 }
 
 // FindIRSValue returns the IRS value of obj for the query,

@@ -189,6 +189,19 @@ func (c *Coupling) IRSResult(coll oodb.Value, irsQuery string) (map[oodb.OID]flo
 	return col.GetIRSResult(irsQuery)
 }
 
+// IRSResultTopK is the top-k companion of IRSResult: it returns only
+// the k best (object, value) pairs in rank order, evaluated through
+// the streaming top-k engine (and, like IRSResult, behind the
+// PropagateOnQuery flush and the persistent result buffer). Serving
+// layers use it to push a client's limit all the way into the IRS.
+func (c *Coupling) IRSResultTopK(coll oodb.Value, irsQuery string, k int) ([]RankedValue, error) {
+	col, err := c.collectionByValue(coll)
+	if err != nil {
+		return nil, err
+	}
+	return col.GetIRSResultTopK(irsQuery, k)
+}
+
 func (c *Coupling) collectionByValue(v oodb.Value) (*Collection, error) {
 	if v.Kind != oodb.KindOID {
 		return nil, fmt.Errorf("%w: %s is not a collection reference", ErrNoSuchCollection, v)

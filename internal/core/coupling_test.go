@@ -167,6 +167,93 @@ func TestGetIRSResultAndBuffering(t *testing.T) {
 	}
 }
 
+func TestGetIRSResultTopKBuffering(t *testing.T) {
+	fx := newFixture(t, "")
+	fx.addDoc("1994", "webdoc",
+		"the world wide web is the www", "www and more www text",
+		"the national information infrastructure", "something else entirely")
+	col := fx.paraColl(Options{})
+
+	// k <= 0 is the exhaustive result: it must go through (and
+	// populate) the persistent buffer exactly like GetIRSResult.
+	full, err := col.GetIRSResultTopK("www", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 2 || col.BufferedQueries() != 1 {
+		t.Fatalf("exhaustive top-k: %v (buffered %d)", full, col.BufferedQueries())
+	}
+	if full[0].Value < full[1].Value {
+		t.Fatalf("not rank-ordered: %v", full)
+	}
+	if _, err := col.GetIRSResultTopK("www", 0); err != nil {
+		t.Fatal(err)
+	}
+	if hits := col.Stats().BufferHits.Load(); hits != 1 {
+		t.Errorf("repeat exhaustive top-k did not hit the buffer: hits=%d", hits)
+	}
+
+	// A k-prefix served from the buffered full result matches it.
+	top1, err := col.GetIRSResultTopK("www", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top1) != 1 || top1[0] != full[0] {
+		t.Fatalf("top-1 = %v, want %v", top1, full[0])
+	}
+	if hits := col.Stats().BufferHits.Load(); hits != 2 {
+		t.Errorf("top-1 did not serve from the buffered full result: hits=%d", hits)
+	}
+
+	// A fresh top-k evaluation (cold buffer) is NOT buffered — its
+	// prefix could not answer later findIRSValue calls.
+	col.InvalidateBuffer()
+	top2, err := col.GetIRSResultTopK("www", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top2) != 1 || top2[0] != full[0] {
+		t.Fatalf("cold top-1 = %v, want %v", top2, full[0])
+	}
+	if got := col.BufferedQueries(); got != 0 {
+		t.Errorf("k-prefix was buffered: %d entries", got)
+	}
+
+	if _, err := col.GetIRSResultTopK("#broken(", 1); err == nil {
+		t.Error("bad IRS query accepted")
+	}
+}
+
+// TestRankScoresBoundedSelection: the O(n log k) best-k selection
+// must agree exactly with the full sort, ties (broken by OID string)
+// included, for every k.
+func TestRankScoresBoundedSelection(t *testing.T) {
+	scores := make(map[oodb.OID]float64)
+	// 60 entries with heavy value ties: values cycle over 6 levels.
+	for i := 1; i <= 60; i++ {
+		scores[oodb.OID(i)] = float64(i%6) / 10
+	}
+	full := rankScores(scores, 0)
+	if len(full) != 60 {
+		t.Fatalf("full ranking has %d entries", len(full))
+	}
+	for _, k := range []int{1, 2, 5, 6, 7, 13, 59, 60, 100} {
+		got := rankScores(scores, k)
+		want := full
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d entries, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d rank %d: got %v, want %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestFindIRSValueFlowchart(t *testing.T) {
 	fx := newFixture(t, "")
 	doc := fx.addDoc("1994", "webdoc", "the world wide web is the www", "unrelated text here")
@@ -420,7 +507,7 @@ func TestDeriveWithQueryAwareScheme(t *testing.T) {
 	// the per-term signal in this four-paragraph corpus.
 	col := fx.paraColl(Options{
 		Deriver: derive.QueryAware{},
-		Model:   irs.InferenceNet{DefaultBelief: 0.1},
+		Model:   irs.InferenceNet{DefaultBelief: irs.Belief(0.1)},
 	})
 	v3, err := col.FindIRSValue("#and(www nii)", m3)
 	if err != nil {

@@ -120,7 +120,14 @@ func RunF4(w io.Writer) (*F4Result, error) {
 		}
 		res.DocValues[scheme.Name()] = vals
 		ranked := append([]string(nil), docNames...)
-		sort.SliceStable(ranked, func(i, j int) bool { return vals[ranked[i]] > vals[ranked[j]] })
+		// Ties break by document name so the reported ranking is stable
+		// (the same canonical order every ranked output uses).
+		sort.SliceStable(ranked, func(i, j int) bool {
+			if vals[ranked[i]] != vals[ranked[j]] {
+				return vals[ranked[i]] > vals[ranked[j]]
+			}
+			return ranked[i] < ranked[j]
+		})
 		res.Rankings[scheme.Name()] = ranked
 	}
 

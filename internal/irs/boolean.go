@@ -41,6 +41,32 @@ func (Boolean) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 	return out
 }
 
+// EvalTopK implements Model. Boolean scores are all 1.0, so the top
+// k under the canonical order are simply the k smallest external ids
+// of the match set; each shard streams its matches through a bounded
+// heap and the shard winners merge. Set construction is the scoring,
+// so nothing is pruned — the saving over Eval is the avoided full
+// materialization and sort.
+func (Boolean) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
+	if root == nil || k <= 0 {
+		return TopKResult{}
+	}
+	nsh := s.ShardCount()
+	perShard := make([][]ScoredDoc, nsh)
+	scored := make([]int64, nsh)
+	ext := snapExt(s)
+	s.parShards(func(si int) {
+		set := booleanEvalShard(s, si, root)
+		h := newTopKHeap(k)
+		for d := range set {
+			h.offer(d, 1.0, ext)
+		}
+		perShard[si] = h.entries
+		scored[si] = int64(len(set))
+	})
+	return finishTopK(perShard, scored, nil, k)
+}
+
 func booleanEvalShard(s *Snapshot, si int, n *Node) map[DocID]bool {
 	switch n.Kind {
 	case NodeTerm:

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/irs/analysis"
 )
@@ -218,6 +219,14 @@ type Collection struct {
 	modelMu  sync.RWMutex
 	model    Model
 	modelGen uint64 // bumped by SetModel; folded into serving-layer epochs
+
+	// Top-k evaluation counters (serving-layer statistics): queries
+	// answered through EvalTopK, candidates actually scored, and
+	// candidates skipped because their score upper bound could not
+	// reach the k-th best.
+	topkQueries atomic.Int64
+	topkScored  atomic.Int64
+	topkPruned  atomic.Int64
 }
 
 // Name returns the collection name.
@@ -332,6 +341,45 @@ func (c *Collection) SearchNodeAt(snap *Snapshot, n *Node) []Result {
 		return out[i].ExtID < out[j].ExtID
 	})
 	return out
+}
+
+// SearchTopK parses and evaluates query, returning only the k best
+// results in canonical order (score descending, ties by ExtID). The
+// result is exactly the first k entries of Search's ranking — bit-
+// identical scores — but evaluation streams through bounded per-shard
+// heaps with MaxScore-style pruning instead of materializing and
+// sorting the full candidate set. k <= 0 degrades to the exhaustive
+// Search.
+func (c *Collection) SearchTopK(query string, k int) ([]Result, error) {
+	n, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return c.SearchNodeTopKAt(c.ix.Snapshot(), n, k), nil
+}
+
+// SearchNodeTopKAt evaluates a pre-parsed query against a previously
+// acquired snapshot, returning the k best results (see SearchTopK).
+func (c *Collection) SearchNodeTopKAt(snap *Snapshot, n *Node, k int) []Result {
+	if k <= 0 {
+		return c.SearchNodeAt(snap, n)
+	}
+	res := c.Model().EvalTopK(snap, n, k)
+	c.topkQueries.Add(1)
+	c.topkScored.Add(res.Scored)
+	c.topkPruned.Add(res.Pruned)
+	out := make([]Result, len(res.Hits))
+	for i, h := range res.Hits {
+		out[i] = Result{ExtID: h.Ext, Score: h.Score}
+	}
+	return out
+}
+
+// TopKStats reports the collection's top-k evaluation counters:
+// queries served through the streaming engine, candidates scored and
+// candidates pruned by the score upper bounds.
+func (c *Collection) TopKStats() (queries, scored, pruned int64) {
+	return c.topkQueries.Load(), c.topkScored.Load(), c.topkPruned.Load()
 }
 
 // Batch groups document mutations into one atomic commit (see

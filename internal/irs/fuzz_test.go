@@ -1,0 +1,57 @@
+package irs
+
+import "testing"
+
+// FuzzParseQuery fuzzes the IRS query parser with a seed corpus of
+// the paper's operator forms. Two properties are enforced: the parser
+// never panics (errors must be returned as *ParseError values), and
+// every successfully parsed query's canonical String() form reparses
+// to the same canonical string (the result buffer and the serving
+// cache both key on it, so canonicalization must be a fixpoint).
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"WWW",
+		"www nii",
+		"#and(WWW NII)",
+		"#or(nii #and(sgml markup))",
+		"#not(www)",
+		"#and(www #not(nii))",
+		"#sum(www nii sgml video audio)",
+		"#wsum(2 WWW 1 #phrase(digital library))",
+		"#wsum(2 www -1 filler 0.5 nii)",
+		"#wsum(1e-3 www 4.25 nii)",
+		"#max(www nii #phrase(digital library))",
+		"#phrase(digital library)",
+		"#syn(www w3 web)",
+		"#band(a b)",
+		"#bnot(a)",
+		"#odn(a b)",
+		"#1(a b)",
+		"#sum(#and(www nii) #or(video audio) retrieval)",
+		"#wsum(2 #wsum(1 a 1 b) 1 c)",
+		"#and(",
+		"#wsum(x www)",
+		"#unknown(a)",
+		"()",
+		"#not(a b)",
+		"#phrase(#and(a b))",
+		",,, ,",
+		"térm #and(über straße)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		n, err := ParseQuery(q)
+		if err != nil {
+			return // rejected input; the absence of a panic is the property
+		}
+		s := n.String()
+		n2, err := ParseQuery(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", s, q, err)
+		}
+		if got := n2.String(); got != s {
+			t.Fatalf("canonicalization not a fixpoint: %q -> %q -> %q", q, s, got)
+		}
+	})
+}

@@ -20,9 +20,20 @@ func (p Posting) TF() int { return len(p.Positions) }
 
 // postingList is the per-term entry of a shard dictionary. Postings
 // are kept sorted by DocID; deleted documents are filtered on read.
+//
+// maxTF is the term's score upper-bound statistic: the largest
+// within-document frequency any live posting has carried. It is
+// maintained incrementally — adds raise it, deletions leave it
+// (stale-high is still a sound upper bound, it merely prunes less).
+// Compact/Reshard recompute it exactly; a load rebuilds it from the
+// file's postings (tombstoned ones included) and keeps a stored v3
+// bound when higher, so a reloaded bound can stay stale-high until
+// the next compaction. Top-k evaluation derives per-term score caps
+// from it (MaxScore-style pruning, see topk.go).
 type postingList struct {
 	postings []Posting
 	df       int // live document frequency (excludes tombstoned docs)
+	maxTF    int // upper bound on live within-document tf
 }
 
 // docInfo is the per-document metadata record. terms is the forward
@@ -54,6 +65,11 @@ type shard struct {
 	liveDocs int
 	totalLen int64  // sum of lengths of live docs
 	version  uint64 // per-shard mutation counter (guarded by mu)
+	// minLen is a lower bound on the indexed length of the shard's
+	// live documents (length-normalized score caps divide by it).
+	// Adds lower it, deletions leave it (stale-low is still a sound
+	// lower bound); Compact/Reshard and load recompute it exactly.
+	minLen int
 }
 
 func newShard() *shard {
@@ -291,12 +307,18 @@ func (ix *Index) addAnalyzedLocked(sh *shard, si int, d *AnalyzedDoc) DocID {
 		}
 		pl.postings = append(pl.postings, Posting{Doc: id, Positions: d.positions[i]})
 		pl.df++
+		if tf := len(d.positions[i]); tf > pl.maxTF {
+			pl.maxTF = tf
+		}
 	}
 	sh.docs = append(sh.docs, docInfo{extID: d.extID, length: d.length, meta: d.meta, terms: d.terms})
 	if int(local/64) >= len(sh.deleted) {
 		sh.deleted = append(sh.deleted, 0)
 	}
 	sh.byExt[d.extID] = local
+	if sh.liveDocs == 0 || d.length < sh.minLen {
+		sh.minLen = d.length
+	}
 	sh.liveDocs++
 	sh.totalLen += int64(d.length)
 	sh.version++
@@ -768,6 +790,9 @@ func (ix *Index) rebuild(n int) {
 			tsh.deleted = append(tsh.deleted, 0)
 		}
 		tsh.byExt[d.extID] = local
+		if tsh.liveDocs == 0 || d.length < tsh.minLen {
+			tsh.minLen = d.length
+		}
 		tsh.liveDocs++
 		tsh.totalLen += int64(d.length)
 	}
@@ -790,6 +815,11 @@ func (ix *Index) rebuild(n int) {
 				copy(positions, p.Positions)
 				npl.postings = append(npl.postings, Posting{Doc: nid, Positions: positions})
 				npl.df++
+				// Only live postings reach the rebuilt shards, so the
+				// bound tightens back to the exact live maximum.
+				if len(positions) > npl.maxTF {
+					npl.maxTF = len(positions)
+				}
 			}
 		}
 	}

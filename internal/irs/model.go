@@ -22,6 +22,14 @@ type Model interface {
 	// Eval returns document scores for the query. Documents with no
 	// query evidence are omitted.
 	Eval(s *Snapshot, root *Node) map[DocID]float64
+	// EvalTopK returns exactly the first k entries (bit-identical
+	// scores) of the ranking Eval would produce under the canonical
+	// order (score descending, external id ascending), without
+	// materializing the full result: shards stream candidates through
+	// bounded heaps and skip candidates whose score upper bound
+	// cannot reach the current k-th score (see topk.go). k <= 0
+	// returns an empty result.
+	EvalTopK(s *Snapshot, root *Node, k int) TopKResult
 }
 
 // InferenceNet is the probabilistic model of INQUERY ([CCH92]):
@@ -44,19 +52,25 @@ type Model interface {
 // independent of the shard count.
 type InferenceNet struct {
 	// DefaultBelief is the belief assigned to a document for a term
-	// it does not contain. INQUERY used 0.4; the zero value selects
-	// 0.4 as well.
-	DefaultBelief float64
+	// it does not contain; nil selects INQUERY's 0.4. It is a pointer
+	// so that an explicit 0.0 belief is expressible (a plain float64
+	// zero value is indistinguishable from "unset" and used to be
+	// silently replaced by 0.4): InferenceNet{DefaultBelief: irs.Belief(0)}.
+	DefaultBelief *float64
 }
+
+// Belief returns a pointer to b, for configuring InferenceNet's
+// DefaultBelief in a composite literal.
+func Belief(b float64) *float64 { return &b }
 
 // Name implements Model.
 func (m InferenceNet) Name() string { return "inference-net" }
 
 func (m InferenceNet) defaultBelief() float64 {
-	if m.DefaultBelief == 0 {
+	if m.DefaultBelief == nil {
 		return 0.4
 	}
-	return m.DefaultBelief
+	return *m.DefaultBelief
 }
 
 // Eval implements Model. Candidate documents are scored shard by
@@ -78,6 +92,94 @@ func (m InferenceNet) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 		perShard[si] = out
 	})
 	return mergeShardScores(perShard)
+}
+
+// EvalTopK implements Model. Per shard, every candidate's score upper
+// bound combines per-leaf belief caps — computed from the shard's
+// incrementally maintained max-tf and min-document-length bounds, the
+// leaf's exact global df and the corpus statistics — through the
+// operator tree by interval arithmetic; candidates stream through a
+// bounded heap in descending bound order and the remainder is pruned
+// once the bound falls below the k-th best score. Survivors are
+// scored by the same belief walk Eval uses, so the returned prefix is
+// bit-identical to the exhaustive ranking.
+func (m InferenceNet) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
+	if root == nil || k <= 0 {
+		return TopKResult{}
+	}
+	ctx := newEvalContext(s, root)
+	b := m.defaultBelief()
+	plan := newBoundPlan(root, b)
+	nsh := s.ShardCount()
+	perShard := make([][]ScoredDoc, nsh)
+	scored := make([]int64, nsh)
+	pruned := make([]int64, nsh)
+	ext := snapExt(s)
+	s.parShards(func(si int) {
+		var boundOf func(DocID) float64
+		if len(ctx.candidates[si]) > k {
+			sb := newShardBounds(plan, b, func(leaf *Node) interval {
+				return m.leafCap(ctx, s, si, leaf, b)
+			})
+			masks := plan.evidenceMasks(func(leaf *Node, emit func(DocID)) {
+				if st := ctx.leafStat(leaf); st != nil {
+					for d := range st.tf[si] {
+						emit(d)
+					}
+				}
+			})
+			boundOf = func(d DocID) float64 { return sb.bound(masks[d]) }
+		}
+		perShard[si], scored[si], pruned[si] = topkScanShard(k, ctx.candidates[si], boundOf,
+			func(d DocID) float64 { return m.belief(ctx, root, d, b) }, ext)
+	})
+	return finishTopK(perShard, scored, pruned, k)
+}
+
+// leafCap returns the belief interval of one leaf for documents of
+// shard si: [b, cap] where cap is the belief of a hypothetical
+// document carrying the shard's maximum possible tf at the shard's
+// minimum live length — an upper bound because the belief formula is
+// increasing in tf and decreasing in dl. Leaves without evidence in
+// the shard (or with zero global df) contribute exactly b.
+func (m InferenceNet) leafCap(ctx *evalContext, s *Snapshot, si int, leaf *Node, b float64) interval {
+	st := ctx.leafStat(leaf)
+	capTF := leafMaxTFShard(s, si, leaf)
+	if leaf.Kind == NodeSyn {
+		// Synonym counts sum over members.
+		for _, c := range leaf.Children {
+			if c.Kind == NodeTerm {
+				capTF += s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(c.Term))
+			}
+		}
+	}
+	if st == nil || st.df == 0 || capTF == 0 {
+		return pointIv(b)
+	}
+	dl := float64(s.minDocLenShard(si))
+	avg := ctx.avgdl
+	if avg == 0 {
+		avg = 1
+	}
+	// Mirrors termBelief exactly, so a document that actually attains
+	// (capTF, minLen) computes the identical float value.
+	t := float64(capTF) / (float64(capTF) + 0.5 + 1.5*dl/avg)
+	i := math.Log((float64(ctx.n)+0.5)/float64(st.df)) / math.Log(float64(ctx.n)+1)
+	return interval{b, b + (1-b)*t*i}
+}
+
+// leafStat resolves a leaf node to the statistics the context
+// gathered for it (nil for a leaf with no entry).
+func (ctx *evalContext) leafStat(leaf *Node) *termStat {
+	switch leaf.Kind {
+	case NodeTerm:
+		return ctx.termStats[leaf.Term]
+	case NodePhrase:
+		return ctx.phraseStats[leaf]
+	case NodeSyn:
+		return ctx.synStats[leaf]
+	}
+	return nil
 }
 
 func (m InferenceNet) belief(ctx *evalContext, n *Node, d DocID, b float64) float64 {

@@ -28,8 +28,10 @@ import (
 type PassageModel struct {
 	// Window is the passage width in token positions (default 50).
 	Window int
-	// DefaultBelief for absent evidence (default 0.4, as INQUERY).
-	DefaultBelief float64
+	// DefaultBelief for absent evidence; nil selects INQUERY's 0.4.
+	// A pointer, like InferenceNet.DefaultBelief, so an explicit 0.0
+	// is expressible: PassageModel{DefaultBelief: irs.Belief(0)}.
+	DefaultBelief *float64
 }
 
 // Name implements Model.
@@ -43,20 +45,19 @@ func (m PassageModel) window() int {
 }
 
 func (m PassageModel) defaultBelief() float64 {
-	if m.DefaultBelief == 0 {
+	if m.DefaultBelief == nil {
 		return 0.4
 	}
-	return m.DefaultBelief
+	return *m.DefaultBelief
 }
 
-// Eval implements Model.
-func (m PassageModel) Eval(s *Snapshot, root *Node) map[DocID]float64 {
-	if root == nil {
-		return nil
-	}
+// preparePassage gathers per-term positional postings (partitioned by
+// shard), per-shard candidate lists and corpus idfs — the shared
+// front half of Eval and EvalTopK.
+func (m PassageModel) preparePassage(s *Snapshot, root *Node) (map[string]*termInfo, [][]DocID) {
 	terms := root.Terms()
 	if len(terms) == 0 {
-		return nil
+		return nil, nil
 	}
 	nsh := s.ShardCount()
 	n := s.DocCount()
@@ -90,6 +91,19 @@ func (m PassageModel) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 			ti.idf = math.Log((float64(n)+0.5)/float64(df)) / math.Log(float64(n)+1)
 		}
 	}
+	return infos, candidates
+}
+
+// Eval implements Model.
+func (m PassageModel) Eval(s *Snapshot, root *Node) map[DocID]float64 {
+	if root == nil {
+		return nil
+	}
+	infos, candidates := m.preparePassage(s, root)
+	if infos == nil {
+		return nil
+	}
+	nsh := s.ShardCount()
 	perShard := make([]map[DocID]float64, nsh)
 	s.parShards(func(si int) {
 		out := make(map[DocID]float64, len(candidates[si]))
@@ -99,6 +113,102 @@ func (m PassageModel) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 		perShard[si] = out
 	})
 	return mergeShardScores(perShard)
+}
+
+// EvalTopK implements Model. Passage scoring is the most expensive of
+// the four paradigms (a sliding window over every query-term
+// occurrence per document), so skipping unpromising candidates pays
+// the most here: no window of a document can beat the operator tree
+// evaluated with every leaf at its shard-level count cap (window
+// counts are bounded by document tf, which the index's max-tf bound
+// dominates), so the same interval-arithmetic super-leaf bound used
+// by the inference net prunes documents before any window slides.
+func (m PassageModel) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
+	if root == nil || k <= 0 {
+		return TopKResult{}
+	}
+	infos, candidates := m.preparePassage(s, root)
+	if infos == nil {
+		return TopKResult{}
+	}
+	b := m.defaultBelief()
+	plan := newBoundPlan(root, b)
+	nsh := s.ShardCount()
+	perShard := make([][]ScoredDoc, nsh)
+	scored := make([]int64, nsh)
+	pruned := make([]int64, nsh)
+	ext := snapExt(s)
+	s.parShards(func(si int) {
+		var boundOf func(DocID) float64
+		if len(candidates[si]) > k {
+			sb := newShardBounds(plan, b, func(leaf *Node) interval {
+				return m.passageLeafCap(s, si, infos, leaf, b)
+			})
+			masks := plan.evidenceMasks(func(leaf *Node, emit func(DocID)) {
+				for _, t := range leafTermNames(leaf) {
+					if ti := infos[t]; ti != nil {
+						for d := range ti.postings[si] {
+							emit(d)
+						}
+					}
+				}
+			})
+			// bestPassage floors at zero (best starts at 0.0), so the
+			// tree bound must too.
+			boundOf = func(d DocID) float64 { return math.Max(0, sb.bound(masks[d])) }
+		}
+		perShard[si], scored[si], pruned[si] = topkScanShard(k, candidates[si], boundOf,
+			func(d DocID) float64 { return m.bestPassage(root, infos, si, d) }, ext)
+	})
+	return finishTopK(perShard, scored, pruned, k)
+}
+
+// leafTermNames lists the raw terms a leaf draws counts from.
+func leafTermNames(leaf *Node) []string {
+	if leaf.Kind == NodeTerm {
+		return []string{leaf.Term}
+	}
+	out := make([]string, 0, len(leaf.Children))
+	for _, c := range leaf.Children {
+		if c.Kind == NodeTerm {
+			out = append(out, c.Term)
+		}
+	}
+	return out
+}
+
+// passageLeafCap bounds a leaf's within-window belief for documents
+// of shard si. Window counts cannot exceed document counts, which the
+// shard's max-tf bound dominates; combine sums member counts for
+// phrase/syn leaves under the rarest member's idf, so the cap mirrors
+// exactly that computation at the summed tf bound.
+func (m PassageModel) passageLeafCap(s *Snapshot, si int, infos map[string]*termInfo, leaf *Node, b float64) interval {
+	switch leaf.Kind {
+	case NodeTerm:
+		ti := infos[leaf.Term]
+		capTF := s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(leaf.Term))
+		if ti == nil || capTF == 0 {
+			return pointIv(b)
+		}
+		return interval{b, m.termBelief(ti, capTF)}
+	case NodePhrase, NodeSyn:
+		capTF := 0
+		var ti *termInfo
+		for _, c := range leaf.Children {
+			if c.Kind != NodeTerm {
+				continue
+			}
+			capTF += s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(c.Term))
+			if cti := infos[c.Term]; cti != nil && (ti == nil || cti.idf > ti.idf) {
+				ti = cti
+			}
+		}
+		if ti == nil || capTF == 0 {
+			return pointIv(b)
+		}
+		return interval{b, m.termBelief(ti, capTF)}
+	}
+	return pointIv(b)
 }
 
 // termInfo carries per-term postings (positions, partitioned by

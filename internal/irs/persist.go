@@ -12,24 +12,30 @@ import (
 
 // Binary collection file format (little endian).
 //
-// Version 2 (written by this code) is the sharded layout:
+// Version 3 (written by this code) is the sharded layout with the
+// top-k bounds section:
 //
-//	magic "IRSC" | version u32 = 2 | model name string
+//	magic "IRSC" | version u32 = 3 | model name string
 //	shard count u32
 //	  per shard:
 //	    doc count u32
 //	      per doc: extID string | length u32 | deleted u8 |
 //	               meta count u32 | (key string, value string)*
 //	    term count u32
-//	      per term: term string | posting count u32 |
+//	      per term: term string | max tf u32 | posting count u32 |
 //	                (local doc u32, position count u32, positions u32*)*
 //
-// Posting doc ids are shard-local (the doc's index in the shard's
-// own table), so a file round-trips independently of how global ids
-// are composed. Version 1 — the pre-sharding layout — is exactly a
-// version-2 file with an implicit single shard and no shard-count
-// field; NewEngineAt still reads it, loading the collection as one
-// shard (Reshard + Save migrates it to a sharded v2 file).
+// The per-term "max tf" is the incrementally maintained score
+// upper-bound statistic of topk.go; persisting it preserves the exact
+// in-memory bound state across a save/load cycle. Version 2 is the
+// same layout without the max-tf field, version 1 the pre-sharding
+// layout (exactly a version-2 file with an implicit single shard and
+// no shard-count field); NewEngineAt still reads both, rebuilding the
+// bounds from the postings on load (which in fact tightens them —
+// loaded bounds are always max'ed with the computed ones, so a stale
+// or corrupted stored bound can never under-state). The per-shard
+// minimum live document length is never persisted: it is always
+// recomputed from the document table.
 //
 // Strings are u32 length + bytes. Tombstoned documents are written
 // too so local ids stay stable across a save/load cycle; Compact
@@ -38,7 +44,8 @@ import (
 const (
 	persistMagic     = "IRSC"
 	persistVersionV1 = 1
-	persistVersion   = 2
+	persistVersionV2 = 2
+	persistVersion   = 3
 )
 
 // saveTo writes the collection to path atomically (write to a temp
@@ -187,6 +194,9 @@ func writeCollection(w io.Writer, c *Collection) error {
 			if err := writeString(w, tp.term); err != nil {
 				return err
 			}
+			if err := binary.Write(w, binary.LittleEndian, uint32(tp.maxTF)); err != nil {
+				return err
+			}
 			if err := binary.Write(w, binary.LittleEndian, uint32(len(tp.ps))); err != nil {
 				return err
 			}
@@ -234,10 +244,10 @@ func readCollection(r io.Reader, name string) (*Collection, error) {
 	case persistVersionV1:
 		// Pre-sharding layout: the body is exactly one shard.
 		ix = NewIndexShards(nil, 1)
-		if err := readShardInto(r, ix, 0); err != nil {
+		if err := readShardInto(r, ix, 0, version); err != nil {
 			return nil, err
 		}
-	case persistVersion:
+	case persistVersionV2, persistVersion:
 		var shardCount uint32
 		if err := binary.Read(r, binary.LittleEndian, &shardCount); err != nil {
 			return nil, err
@@ -247,7 +257,7 @@ func readCollection(r io.Reader, name string) (*Collection, error) {
 		}
 		ix = NewIndexShards(nil, int(shardCount))
 		for si := 0; si < int(shardCount); si++ {
-			if err := readShardInto(r, ix, si); err != nil {
+			if err := readShardInto(r, ix, si, version); err != nil {
 				return nil, err
 			}
 		}
@@ -258,8 +268,10 @@ func readCollection(r io.Reader, name string) (*Collection, error) {
 }
 
 // readShardInto deserializes one shard body into shard si of ix
-// (which must be freshly constructed; no locking).
-func readShardInto(r io.Reader, ix *Index, si int) error {
+// (which must be freshly constructed; no locking). version selects
+// whether the per-term bounds section is present (v3); older files
+// rebuild the bounds from the postings.
+func readShardInto(r io.Reader, ix *Index, si int, version uint32) error {
 	sh := ix.shards[si]
 	nsh := len(ix.shards)
 	var docCount uint32
@@ -307,6 +319,9 @@ func readShardInto(r io.Reader, ix *Index, si int) error {
 		} else {
 			ix.liveCount.Add(1)
 			sh.byExt[d.extID] = uint32(local)
+			if sh.liveDocs == 0 || d.length < sh.minLen {
+				sh.minLen = d.length
+			}
 			sh.liveDocs++
 			sh.totalLen += int64(d.length)
 		}
@@ -320,11 +335,17 @@ func readShardInto(r io.Reader, ix *Index, si int) error {
 		if err != nil {
 			return err
 		}
+		var storedMaxTF uint32
+		if version >= persistVersion {
+			if err := binary.Read(r, binary.LittleEndian, &storedMaxTF); err != nil {
+				return err
+			}
+		}
 		var postingCount uint32
 		if err := binary.Read(r, binary.LittleEndian, &postingCount); err != nil {
 			return err
 		}
-		pl := &postingList{postings: make([]Posting, postingCount)}
+		pl := &postingList{postings: make([]Posting, postingCount), maxTF: int(storedMaxTF)}
 		for j := uint32(0); j < postingCount; j++ {
 			var local, posCount uint32
 			if err := binary.Read(r, binary.LittleEndian, &local); err != nil {
@@ -348,6 +369,12 @@ func readShardInto(r io.Reader, ix *Index, si int) error {
 			pl.postings[j] = Posting{Doc: globalID(local, si, nsh), Positions: positions}
 			if !sh.isDeleted(local) {
 				pl.df++
+			}
+			// Rebuild the tf bound from the postings (v1/v2 files carry
+			// none; a v3 file's stored bound is max'ed in so a corrupted
+			// or stale value can never under-state).
+			if len(positions) > pl.maxTF {
+				pl.maxTF = len(positions)
 			}
 			// Rebuild the forward index (not stored on disk).
 			sh.docs[local].terms = append(sh.docs[local].terms, term)

@@ -1,0 +1,164 @@
+package irs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPersistV3BoundsRoundTrip: saving writes the v3 bounds section
+// and loading restores the exact in-memory bound state — including a
+// deliberately stale-high max-tf left behind by a deletion.
+func TestPersistV3BoundsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e, err := NewEngineAt(dir, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.CreateCollection("tk", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDocument("heavy", strings.Repeat("www ", 40)+"nii", nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{"a", "b", "c", "d"} {
+		if err := c.AddDocument(ext, "www nii retrieval coupling filler", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.DeleteDocument("heavy"); err != nil {
+		t.Fatal(err)
+	}
+	wantFull, err := c.Search("#sum(www nii)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e2.Collection("tk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c2.Snapshot()
+	// The stale bound (40) survives the round trip: the stored value
+	// dominates the live postings' maximum of 1.
+	found := false
+	for si := 0; si < snap.ShardCount(); si++ {
+		if snap.termMaxTFShard(si, "www") == 40 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("persisted stale max-tf bound lost in v3 round trip")
+	}
+	// Rankings and top-k exactness are unaffected.
+	gotFull, err := c2.Search("#sum(www nii)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotFull) != len(wantFull) {
+		t.Fatalf("reloaded ranking has %d entries, want %d", len(gotFull), len(wantFull))
+	}
+	for i := range wantFull {
+		if gotFull[i] != wantFull[i] {
+			t.Fatalf("reloaded ranking diverges at %d: %v vs %v", i, gotFull[i], wantFull[i])
+		}
+	}
+	topk, err := c2.SearchTopK("#sum(www nii)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range topk {
+		if topk[i] != wantFull[i] {
+			t.Fatalf("top-k after reload diverges at %d: %v vs %v", i, topk[i], wantFull[i])
+		}
+	}
+}
+
+// TestLoadV2Format: a sharded v2 file (no bounds section) still loads
+// and the bounds are rebuilt from the postings.
+func TestLoadV2Format(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v2coll"+collExt)
+	var buf bytes.Buffer
+	w := func(v any) {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := func(s string) {
+		w(uint32(len(s)))
+		buf.WriteString(s)
+	}
+	buf.WriteString(persistMagic)
+	w(uint32(persistVersionV2))
+	ws("inference-net")
+	w(uint32(2)) // shard count
+	// shard 0: one live doc with "text" twice at positions 0,1
+	w(uint32(1))
+	ws("s0doc")
+	w(uint32(2))
+	w(uint8(0))
+	w(uint32(0))
+	w(uint32(1)) // term count
+	ws("text")
+	w(uint32(1)) // posting count (no max-tf field in v2)
+	w(uint32(0))
+	w(uint32(2))
+	w(uint32(0))
+	w(uint32(1))
+	// shard 1: one live doc with "text" once
+	w(uint32(1))
+	ws("s1doc")
+	w(uint32(1))
+	w(uint8(0))
+	w(uint32(0))
+	w(uint32(1))
+	ws("text")
+	w(uint32(1))
+	w(uint32(0))
+	w(uint32(1))
+	w(uint32(0))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := NewEngineAt(dir)
+	if err != nil {
+		t.Fatalf("v2 file rejected: %v", err)
+	}
+	c, err := e.Collection("v2coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Index().ShardCount(); got != 2 {
+		t.Errorf("v2 load ShardCount = %d, want 2", got)
+	}
+	snap := c.Snapshot()
+	if got := snap.termMaxTFShard(0, "text"); got != 2 {
+		t.Errorf("rebuilt max-tf bound shard 0 = %d, want 2", got)
+	}
+	if got := snap.termMaxTFShard(1, "text"); got != 1 {
+		t.Errorf("rebuilt max-tf bound shard 1 = %d, want 1", got)
+	}
+	if got := snap.minDocLenShard(1); got != 1 {
+		t.Errorf("rebuilt min doc length shard 1 = %d, want 1", got)
+	}
+	rs, err := c.SearchTopK("text", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].ExtID != "s0doc" {
+		t.Fatalf("top-1 on v2 load = %v, want s0doc (tf 2 beats tf 1)", rs)
+	}
+}

@@ -39,6 +39,7 @@ type snapShard struct {
 	docsLen  int
 	liveDocs int
 	totalLen int64
+	minLen   int // lower bound on live doc length at acquisition
 }
 
 // isDeleted tests the captured tombstone bitmap (the snapshot-side
@@ -94,6 +95,7 @@ func (ix *Index) Snapshot() *Snapshot {
 			docsLen:  len(sh.docs),
 			liveDocs: sh.liveDocs,
 			totalLen: sh.totalLen,
+			minLen:   sh.minLen,
 		}
 		mix(sh.version)
 		sh.mu.RUnlock()
@@ -258,6 +260,31 @@ func (s *Snapshot) dfShardRaw(si int, term string) int {
 	return df
 }
 
+// termMaxTFShard returns the shard's upper bound on the live
+// within-document frequency of an already-normalized term (0 when the
+// term has no posting list). The bound is read from the live posting
+// list under the shard lock: within one shard generation it only ever
+// grows, so it dominates every tf the snapshot can observe; rebuilds
+// (Compact/Reshard) install fresh shard objects, and the snapshot
+// keeps reading the generation it captured.
+func (s *Snapshot) termMaxTFShard(si int, term string) int {
+	ss := &s.shards[si]
+	ss.sh.mu.RLock()
+	m := 0
+	if pl := ss.dict[term]; pl != nil {
+		m = pl.maxTF
+	}
+	ss.sh.mu.RUnlock()
+	return m
+}
+
+// minDocLenShard returns the captured lower bound on the indexed
+// length of the shard's live documents (0 when the shard was empty —
+// still a sound lower bound).
+func (s *Snapshot) minDocLenShard(si int) int {
+	return s.shards[si].minLen
+}
+
 // liveDocIDsShard returns the live document ids of one shard,
 // ascending.
 func (s *Snapshot) liveDocIDsShard(si int) []DocID {
@@ -284,10 +311,12 @@ func (s *Snapshot) LiveDocIDs() []DocID {
 }
 
 // termPostings pairs a dictionary term with its raw posting-list
-// header; postings still need live filtering against the snapshot.
+// header and maintained tf bound; postings still need live filtering
+// against the snapshot.
 type termPostings struct {
-	term string
-	ps   []Posting
+	term  string
+	ps    []Posting
+	maxTF int
 }
 
 // termsShard returns one shard's dictionary sorted by term, with raw
@@ -300,7 +329,7 @@ func (s *Snapshot) termsShard(si int) []termPostings {
 	ss.sh.mu.RLock()
 	out := make([]termPostings, 0, len(ss.dict))
 	for t, pl := range ss.dict {
-		out = append(out, termPostings{term: t, ps: pl.postings})
+		out = append(out, termPostings{term: t, ps: pl.postings, maxTF: pl.maxTF})
 	}
 	ss.sh.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].term < out[j].term })

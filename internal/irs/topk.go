@@ -1,0 +1,479 @@
+package irs
+
+import (
+	"math"
+	"sort"
+)
+
+// Streaming top-k evaluation with MaxScore-style pruning.
+//
+// The exhaustive Eval path materializes a score for every candidate
+// document, and serving layers then keep only the first `limit`
+// entries of the sorted result — the classic "score everything, sort,
+// truncate" shape. EvalTopK inverts it: every shard streams its
+// candidates through a bounded min-heap, and a per-document score
+// *upper bound* — derived from per-term statistics the index maintains
+// incrementally (max within-document tf per posting list, minimum live
+// document length per shard) — lets the shard skip scoring candidates
+// that provably cannot enter the top k. This is the index-side
+// upper-bound discipline of Turtle & Flood's MaxScore, generalized to
+// the operator query language: per-leaf caps propagate through the
+// operator tree by interval arithmetic (sound under #not and negative
+// #wsum weights, where plain monotone maxima are not).
+//
+// Exactness contract: EvalTopK returns *exactly* the first k entries,
+// bit-identical scores included, of the exhaustive ranking under the
+// canonical order (score descending, external id ascending). Pruning
+// only ever skips a document whose upper bound is strictly below the
+// current k-th score; every surviving document is scored by the very
+// same code path Eval uses, so floating-point results cannot diverge.
+// The bounds themselves stay sound under concurrent mutation: max-tf
+// only grows within a shard generation (deletes leave it stale-high,
+// which weakens pruning but never correctness) and min-length only
+// matters as a lower bound; compaction recomputes both exactly
+// (reloads rebuild them from the persisted postings, which may keep
+// them stale-high/-low in the sound direction — see index.go).
+
+// ScoredDoc is one ranked hit of a top-k evaluation.
+type ScoredDoc struct {
+	Doc   DocID
+	Ext   string
+	Score float64
+}
+
+// TopKResult is the outcome of Model.EvalTopK: the k best hits in
+// canonical order plus the pruning counters serving layers report
+// (Scored + Pruned = number of candidate documents).
+type TopKResult struct {
+	Hits   []ScoredDoc
+	Scored int64
+	Pruned int64
+}
+
+// better is the canonical ranking order: higher score first, ties by
+// ascending external id (the OID string), so top-k boundaries are
+// stable and identical to the exhaustive sort in SearchNodeAt.
+func better(a, b ScoredDoc) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Ext < b.Ext
+}
+
+// topKHeap is a bounded min-heap keeping the k best ScoredDocs seen
+// so far; the root is the worst entry kept (the current k-th), whose
+// score is the pruning threshold.
+type topKHeap struct {
+	k       int
+	entries []ScoredDoc
+}
+
+func newTopKHeap(k int) *topKHeap {
+	// Pre-size only up to a sane cap: k is caller-supplied (ultimately
+	// a client limit), and a huge k must not translate into a huge
+	// up-front allocation per shard — append grows the backing array
+	// to the candidates actually kept.
+	c := k
+	if c > 1024 {
+		c = 1024
+	}
+	return &topKHeap{k: k, entries: make([]ScoredDoc, 0, c)}
+}
+
+// threshold returns the current k-th best score; full is false while
+// fewer than k entries are held (no pruning possible yet).
+func (h *topKHeap) threshold() (score float64, full bool) {
+	if len(h.entries) < h.k {
+		return 0, false
+	}
+	return h.entries[0].Score, true
+}
+
+// offer inserts a scored document, evicting the current worst when
+// the heap is full and the newcomer ranks better. ext is fetched
+// lazily — only when the document actually enters the heap.
+func (h *topKHeap) offer(doc DocID, score float64, ext func(DocID) string) {
+	if h.k <= 0 {
+		return
+	}
+	if len(h.entries) < h.k {
+		h.entries = append(h.entries, ScoredDoc{Doc: doc, Ext: ext(doc), Score: score})
+		h.up(len(h.entries) - 1)
+		return
+	}
+	root := &h.entries[0]
+	if score < root.Score {
+		return
+	}
+	e := ScoredDoc{Doc: doc, Ext: ext(doc), Score: score}
+	if !better(e, *root) {
+		return
+	}
+	h.entries[0] = e
+	h.down(0)
+}
+
+func (h *topKHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !better(h.entries[p], h.entries[i]) {
+			break
+		}
+		h.entries[p], h.entries[i] = h.entries[i], h.entries[p]
+		i = p
+	}
+}
+
+func (h *topKHeap) down(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && better(h.entries[worst], h.entries[l]) {
+			worst = l
+		}
+		if r < n && better(h.entries[worst], h.entries[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.entries[i], h.entries[worst] = h.entries[worst], h.entries[i]
+		i = worst
+	}
+}
+
+// mergeTopK folds per-shard top-k lists (already the exact per-shard
+// winners) into the global top k in canonical order.
+func mergeTopK(perShard [][]ScoredDoc, k int) []ScoredDoc {
+	var all []ScoredDoc
+	for _, hs := range perShard {
+		all = append(all, hs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return better(all[i], all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// finishTopK is the shared epilogue of every EvalTopK: merge the
+// per-shard winners and fold the per-shard counters (pruned may be
+// nil for models that never prune).
+func finishTopK(perShard [][]ScoredDoc, scored, pruned []int64, k int) TopKResult {
+	res := TopKResult{Hits: mergeTopK(perShard, k)}
+	for _, n := range scored {
+		res.Scored += n
+	}
+	for _, n := range pruned {
+		res.Pruned += n
+	}
+	return res
+}
+
+// --- interval arithmetic over the operator tree ---------------------
+
+// interval is a closed score interval [lo, hi]. Leaf beliefs of
+// candidate documents always lie inside their leaf interval, and every
+// operator's interval evaluation mirrors the scorer's own sequential
+// float operations, so operator results stay inside the combined
+// interval even at floating-point granularity (correctly rounded
+// +, *, / are monotone in each operand).
+type interval struct{ lo, hi float64 }
+
+func pointIv(v float64) interval { return interval{v, v} }
+
+// mulIv multiplies two intervals with full sign handling (negative
+// values reach the tree through negative #wsum weights).
+func mulIv(a, b interval) interval {
+	p1, p2, p3, p4 := a.lo*b.lo, a.lo*b.hi, a.hi*b.lo, a.hi*b.hi
+	return interval{
+		math.Min(math.Min(p1, p2), math.Min(p3, p4)),
+		math.Max(math.Max(p1, p2), math.Max(p3, p4)),
+	}
+}
+
+// combineInterval evaluates one operator over child intervals,
+// mirroring the combination semantics shared by the inference-net and
+// passage scorers (product #and, complement-product #or, complement
+// #not, mean #sum, weighted mean #wsum with zero-weight fallback to
+// the default belief b, zero-floored #max).
+func combineInterval(kind NodeKind, weights []float64, kids []interval, b float64) interval {
+	switch kind {
+	case NodeAnd:
+		iv := pointIv(1)
+		for _, k := range kids {
+			iv = mulIv(iv, k)
+		}
+		return iv
+	case NodeOr:
+		q := pointIv(1)
+		for _, k := range kids {
+			q = mulIv(q, interval{1 - k.hi, 1 - k.lo})
+		}
+		return interval{1 - q.hi, 1 - q.lo}
+	case NodeNot:
+		return interval{1 - kids[0].hi, 1 - kids[0].lo}
+	case NodeSum:
+		var lo, hi float64
+		for _, k := range kids {
+			lo += k.lo
+			hi += k.hi
+		}
+		m := float64(len(kids))
+		return interval{lo / m, hi / m}
+	case NodeWSum:
+		var lo, hi, w float64
+		for i, k := range kids {
+			if weights[i] >= 0 {
+				lo += weights[i] * k.lo
+				hi += weights[i] * k.hi
+			} else {
+				lo += weights[i] * k.hi
+				hi += weights[i] * k.lo
+			}
+			w += weights[i]
+		}
+		if w == 0 {
+			return pointIv(b)
+		}
+		if w < 0 {
+			return interval{hi / w, lo / w}
+		}
+		return interval{lo / w, hi / w}
+	case NodeMax:
+		// The scorers start from best = 0.0, so the result is floored
+		// at zero even when every child is negative.
+		iv := pointIv(0)
+		for i, k := range kids {
+			if i == 0 {
+				iv = interval{math.Max(0, k.lo), math.Max(0, k.hi)}
+				continue
+			}
+			iv = interval{math.Max(iv.lo, k.lo), math.Max(iv.hi, k.hi)}
+		}
+		return iv
+	}
+	return pointIv(b)
+}
+
+// nodeInterval evaluates the whole subtree in interval arithmetic;
+// leafIv supplies the belief interval of each term/phrase/syn leaf.
+func nodeInterval(n *Node, b float64, leafIv func(*Node) interval) interval {
+	switch n.Kind {
+	case NodeTerm, NodePhrase, NodeSyn:
+		return leafIv(n)
+	default:
+		kids := make([]interval, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = nodeInterval(c, b, leafIv)
+		}
+		return combineInterval(n.Kind, n.Weights, kids, b)
+	}
+}
+
+// --- super-leaf decomposition ---------------------------------------
+
+// maxSuperLeaves caps the per-document evidence bitmask width; wider
+// roots collapse to a single super-leaf (uniform bound, no per-doc
+// discrimination — still exact, just unpruned).
+const maxSuperLeaves = 64
+
+// boundPlan decomposes the query at its root combining operator into
+// "super-leaves" (the root's operand subqueries — the same
+// decomposition Section 4.5.2's derivation schemes use). Per
+// candidate document, each super-leaf either carries evidence (some
+// leaf under it matches the document) and its value lies in the
+// subtree's cap interval, or carries none and evaluates to exactly
+// its all-default base value. A document's score upper bound is the
+// root operator combined over that choice — computed once per
+// distinct evidence bitmask and memoized.
+type boundPlan struct {
+	root      *Node
+	composite bool // combine subs under root.Kind; else subs == {root}
+	subs      []*Node
+	base      []interval // all-default point value per sub
+}
+
+func newBoundPlan(root *Node, b float64) *boundPlan {
+	p := &boundPlan{root: root}
+	switch root.Kind {
+	case NodeAnd, NodeOr, NodeSum, NodeWSum, NodeMax:
+		if len(root.Children) <= maxSuperLeaves {
+			p.composite = true
+			p.subs = root.Children
+		}
+	}
+	if p.subs == nil {
+		p.subs = []*Node{root}
+	}
+	defaultLeaf := func(*Node) interval { return pointIv(b) }
+	p.base = make([]interval, len(p.subs))
+	for i, sub := range p.subs {
+		p.base[i] = nodeInterval(sub, b, defaultLeaf)
+	}
+	return p
+}
+
+// evidenceMasks builds, for one shard, each candidate document's
+// bitmask of super-leaves it carries evidence for. docsOf enumerates
+// the documents a term/phrase/syn leaf matches in the shard — the
+// only part that differs between the tree-structured models. (The
+// vector model builds its mask inline instead: its bits are flat leaf
+// indices, not plan super-leaves, and the map doubles as candidate
+// discovery.)
+func (p *boundPlan) evidenceMasks(docsOf func(leaf *Node, emit func(DocID))) map[DocID]uint64 {
+	masks := make(map[DocID]uint64)
+	for i, sub := range p.subs {
+		bit := uint64(1) << uint(i)
+		for _, leaf := range leavesOf(sub) {
+			docsOf(leaf, func(d DocID) { masks[d] |= bit })
+		}
+	}
+	return masks
+}
+
+// leavesOf collects the term/phrase/syn leaves of a subtree (not
+// descending into phrase/syn children, mirroring the evaluators'
+// leaf granularity).
+func leavesOf(n *Node) []*Node {
+	switch n.Kind {
+	case NodeTerm, NodePhrase, NodeSyn:
+		return []*Node{n}
+	}
+	var out []*Node
+	for _, c := range n.Children {
+		out = append(out, leavesOf(c)...)
+	}
+	return out
+}
+
+// shardBounds is the per-shard pruning state: cap intervals per
+// super-leaf under this shard's term statistics, plus the memoized
+// bound per evidence bitmask.
+type shardBounds struct {
+	plan *boundPlan
+	b    float64
+	full []interval
+	memo map[uint64]float64
+}
+
+func newShardBounds(plan *boundPlan, b float64, leafIv func(*Node) interval) *shardBounds {
+	sb := &shardBounds{
+		plan: plan,
+		b:    b,
+		full: make([]interval, len(plan.subs)),
+		memo: make(map[uint64]float64),
+	}
+	for i, sub := range plan.subs {
+		sb.full[i] = nodeInterval(sub, b, leafIv)
+	}
+	return sb
+}
+
+// bound returns the score upper bound for a document whose evidence
+// bitmask over the super-leaves is mask.
+func (sb *shardBounds) bound(mask uint64) float64 {
+	if v, ok := sb.memo[mask]; ok {
+		return v
+	}
+	var v float64
+	if !sb.plan.composite {
+		v = sb.full[0].hi
+	} else {
+		kids := make([]interval, len(sb.plan.subs))
+		for i := range sb.plan.subs {
+			if mask&(1<<uint(i)) != 0 {
+				kids[i] = sb.full[i]
+			} else {
+				kids[i] = sb.plan.base[i]
+			}
+		}
+		v = combineInterval(sb.plan.root.Kind, sb.plan.root.Weights, kids, sb.b).hi
+	}
+	sb.memo[mask] = v
+	return v
+}
+
+// --- per-shard streaming scan ---------------------------------------
+
+// boundedCand pairs a candidate with its score upper bound.
+type boundedCand struct {
+	d     DocID
+	bound float64
+}
+
+// topkScanShard runs the bound-ordered streaming scan of one shard:
+// candidates are visited in descending bound order, each survivor is
+// scored exactly (scoreOf must be the same code path the exhaustive
+// evaluator uses), and the scan stops — pruning the entire remainder —
+// as soon as the next bound falls strictly below the k-th best score.
+// Strictness matters: a document whose bound *equals* the threshold
+// could still win its tie on external id, so it is scored.
+//
+// When the shard holds at most k candidates (or boundOf is nil)
+// pruning is impossible, so bounds are neither computed nor sorted —
+// every candidate streams straight through the heap. Callers use the
+// same shortcut to skip building their bound state entirely.
+func topkScanShard(k int, ids []DocID, boundOf func(DocID) float64, scoreOf func(DocID) float64, extOf func(DocID) string) (hits []ScoredDoc, scored, pruned int64) {
+	if boundOf == nil || len(ids) <= k {
+		h := newTopKHeap(k)
+		for _, d := range ids {
+			h.offer(d, scoreOf(d), extOf)
+			scored++
+		}
+		return h.entries, scored, 0
+	}
+	cands := make([]boundedCand, len(ids))
+	for i, d := range ids {
+		cands[i] = boundedCand{d: d, bound: boundOf(d)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].bound != cands[j].bound {
+			return cands[i].bound > cands[j].bound
+		}
+		return cands[i].d < cands[j].d
+	})
+	h := newTopKHeap(k)
+	for i := range cands {
+		if th, full := h.threshold(); full && cands[i].bound < th {
+			pruned += int64(len(cands) - i)
+			break
+		}
+		s := scoreOf(cands[i].d)
+		scored++
+		h.offer(cands[i].d, s, extOf)
+	}
+	return h.entries, scored, pruned
+}
+
+// leafMaxTFShard bounds the within-document frequency a term or
+// phrase leaf can attain in shard si: the shard's max-tf bound for a
+// term, and the rarest member's bound for a phrase (a phrase cannot
+// occur more often than any of its members). Shared by the
+// inference-net and vector cap computations.
+func leafMaxTFShard(s *Snapshot, si int, n *Node) int {
+	switch n.Kind {
+	case NodeTerm:
+		return s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(n.Term))
+	case NodePhrase:
+		capTF := 0
+		for i, c := range n.Children {
+			t := s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(c.Term))
+			if i == 0 || t < capTF {
+				capTF = t
+			}
+		}
+		return capTF
+	}
+	return 0
+}
+
+// snapExt adapts Snapshot.ExtID for heap insertion (candidates are
+// live by construction).
+func snapExt(s *Snapshot) func(DocID) string {
+	return func(d DocID) string {
+		ext, _ := s.ExtID(d)
+		return ext
+	}
+}

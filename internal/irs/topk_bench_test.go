@@ -1,0 +1,100 @@
+package irs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/irs/analysis"
+)
+
+// zipfVocab returns a synthetic vocabulary of n terms; buildZipfIndex
+// draws ranks with a strong skew, so low-rank terms are common (low
+// idf, fat posting lists) and high-rank terms rare — the distribution
+// MaxScore pruning exploits in real corpora.
+func zipfVocab(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%03d", i)
+	}
+	return out
+}
+
+// buildZipfIndex populates an index with ndocs documents drawn from a
+// zipf-skewed vocabulary of the given size.
+func buildZipfIndex(shards, ndocs, vocabSize int, seed uint64) *Index {
+	vocab := zipfVocab(vocabSize)
+	ix := NewIndexShards(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)), shards)
+	r := &lcg{s: seed}
+	for i := 0; i < ndocs; i++ {
+		length := 20 + r.intn(120)
+		words := make([]string, 0, length)
+		for j := 0; j < length; j++ {
+			// Cubing a uniform draw skews hard toward rank 0.
+			u := r.intn(vocabSize)
+			k := u * u / vocabSize * u / vocabSize
+			words = append(words, vocab[k])
+		}
+		if _, err := ix.Add(fmt.Sprintf("doc%05d", i), strings.Join(words, " "), nil); err != nil {
+			panic(err)
+		}
+	}
+	return ix
+}
+
+// benchTopKQuery mixes common terms (matched by most documents) with
+// rare ones (matched by few, but carrying most of the score mass) —
+// the typical shape of a free-text query after idf weighting.
+const benchTopKQuery = "#sum(w000 w002 w010 w040 w080 w120 w160 w200)"
+
+var (
+	benchTopKOnce sync.Once
+	benchTopKColl *Collection
+)
+
+func benchTopKCollection() *Collection {
+	benchTopKOnce.Do(func() {
+		benchTopKColl = &Collection{name: "bench", ix: buildZipfIndex(4, 4000, 260, 99), model: InferenceNet{}}
+	})
+	return benchTopKColl
+}
+
+// BenchmarkTopK compares the serving path's exhaustive evaluation
+// (score every candidate, sort, truncate) against the streaming
+// top-k engine at k = 10 and k = 100, per retrieval model. CI logs it
+// next to the serving benchmarks so the latency trajectory of the hot
+// read path accumulates in history.
+func BenchmarkTopK(b *testing.B) {
+	c := benchTopKCollection()
+	snap := c.Snapshot()
+	n, err := ParseQuery(benchTopKQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := []Model{InferenceNet{}, NewVectorSpace(), PassageModel{}}
+	for _, m := range models {
+		c.SetModel(m)
+		if vs, ok := m.(*VectorSpace); ok {
+			vs.docNorms(snap) // warm the norm cache outside the timer
+		}
+		b.Run(m.Name()+"/exhaustive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs := c.SearchNodeAt(snap, n)
+				if len(rs) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+		for _, k := range []int{10, 100} {
+			b.Run(fmt.Sprintf("%s/k=%d", m.Name(), k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rs := c.SearchNodeTopKAt(snap, n, k)
+					if len(rs) != k {
+						b.Fatalf("got %d hits", len(rs))
+					}
+				}
+			})
+		}
+	}
+}

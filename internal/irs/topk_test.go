@@ -1,0 +1,304 @@
+package irs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/irs/analysis"
+)
+
+// topkVocab is a small vocabulary with a few planted topic terms; the
+// zipf-ish draw below makes some terms frequent (low idf, low caps)
+// and some rare (high idf), which is what gives MaxScore bounds their
+// spread.
+var topkVocab = []string{
+	"www", "nii", "sgml", "markup", "video", "audio", "database",
+	"retrieval", "coupling", "document", "passage", "window", "filler",
+	"padding", "object", "oriented", "digital", "library", "query",
+	"ranking",
+}
+
+// lcg is a tiny deterministic generator so the corpus is identical
+// on every run and platform.
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 16
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// buildTopkIndex populates an index with ndocs synthetic documents of
+// varied length and skewed term distribution, then deletes and
+// updates a slice of them so tombstones and stale (over-stated)
+// max-tf bounds are part of every property run.
+func buildTopkIndex(t *testing.T, shards, ndocs int, seed uint64) *Index {
+	t.Helper()
+	ix := NewIndexShards(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)), shards)
+	r := &lcg{s: seed}
+	for i := 0; i < ndocs; i++ {
+		length := 5 + r.intn(60)
+		words := make([]string, 0, length)
+		for j := 0; j < length; j++ {
+			// Skew: favor the front of the vocabulary.
+			k := r.intn(len(topkVocab) * (1 + r.intn(3)))
+			if k >= len(topkVocab) {
+				k = r.intn(len(topkVocab))
+			}
+			words = append(words, topkVocab[k])
+		}
+		// Plant a phrase in some docs so #phrase queries match.
+		if i%5 == 0 {
+			words = append(words, "digital", "library")
+		}
+		if _, err := ix.Add(fmt.Sprintf("doc%03d", i), strings.Join(words, " "), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deletions leave tombstones and stale-high max-tf bounds; updates
+	// renumber documents. Both must not disturb top-k exactness.
+	for i := 0; i < ndocs; i += 7 {
+		if err := ix.Delete(fmt.Sprintf("doc%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 3; i < ndocs; i += 11 {
+		ext := fmt.Sprintf("doc%03d", i)
+		if ix.HasDoc(ext) {
+			if _, err := ix.Update(ext, "www www www nii retrieval", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ix
+}
+
+var topkQueries = []string{
+	"www",
+	"www nii retrieval",
+	"#sum(www nii sgml video audio digital)",
+	"#wsum(3 www 1 nii 0.5 #phrase(digital library))",
+	"#wsum(2 www -1 filler)",
+	"#and(www nii)",
+	"#or(nii #and(sgml markup))",
+	"#max(www nii #phrase(digital library))",
+	"#not(www)",
+	"#and(www #not(nii))",
+	"#syn(www nii)",
+	"#phrase(digital library)",
+	"#sum(#and(www nii) #or(video audio) retrieval)",
+}
+
+// exhaustiveRanking produces the canonical full ranking from Eval.
+func exhaustiveRanking(s *Snapshot, m Model, n *Node) []ScoredDoc {
+	scores := m.Eval(s, n)
+	out := make([]ScoredDoc, 0, len(scores))
+	for d, v := range scores {
+		ext, ok := s.ExtID(d)
+		if !ok {
+			continue
+		}
+		out = append(out, ScoredDoc{Doc: d, Ext: ext, Score: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}
+
+// TestEvalTopKMatchesExhaustive is the acceptance property: for every
+// model, shard count and k, EvalTopK returns exactly the first k
+// entries of the exhaustive ranking — same documents, same order,
+// bit-identical scores.
+func TestEvalTopKMatchesExhaustive(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 7} {
+		ix := buildTopkIndex(t, shards, 90, 42)
+		snap := ix.Snapshot()
+		models := []Model{InferenceNet{}, NewVectorSpace(), Boolean{}, PassageModel{}}
+		for _, m := range models {
+			for _, q := range topkQueries {
+				n, err := ParseQuery(q)
+				if err != nil {
+					t.Fatalf("parse %q: %v", q, err)
+				}
+				full := exhaustiveRanking(snap, m, n)
+				for _, k := range []int{1, 2, 3, 5, 10, 17, 1000} {
+					res := m.EvalTopK(snap, n, k)
+					want := full
+					if len(want) > k {
+						want = want[:k]
+					}
+					if len(res.Hits) != len(want) {
+						t.Fatalf("%s shards=%d %q k=%d: got %d hits, want %d",
+							m.Name(), shards, q, k, len(res.Hits), len(want))
+					}
+					for i := range want {
+						got := res.Hits[i]
+						if got.Ext != want[i].Ext || got.Score != want[i].Score {
+							t.Fatalf("%s shards=%d %q k=%d rank %d: got (%s, %v), want (%s, %v)",
+								m.Name(), shards, q, k, i, got.Ext, got.Score, want[i].Ext, want[i].Score)
+						}
+					}
+					if res.Scored < int64(len(res.Hits)) {
+						t.Fatalf("%s %q k=%d: scored %d < returned %d", m.Name(), q, k, res.Scored, len(res.Hits))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalTopKPrunes ensures the machinery is not vacuous: on a
+// skewed bag-of-words query with small k, a real fraction of the
+// candidates must be skipped without scoring.
+func TestEvalTopKPrunes(t *testing.T) {
+	ix := buildTopkIndex(t, 3, 300, 7)
+	snap := ix.Snapshot()
+	n, err := ParseQuery("#sum(www nii sgml video audio digital retrieval)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Model{InferenceNet{}, NewVectorSpace(), PassageModel{}} {
+		res := m.EvalTopK(snap, n, 5)
+		if res.Pruned == 0 {
+			t.Errorf("%s: top-5 over %d candidates pruned nothing", m.Name(), res.Scored+res.Pruned)
+		}
+	}
+}
+
+// TestEvalTopKStaleBoundsSound deletes the documents with the
+// heaviest term frequencies (leaving their stale-high max-tf bounds
+// behind) and verifies top-k remains exact.
+func TestEvalTopKStaleBoundsSound(t *testing.T) {
+	ix := NewIndex(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)))
+	ix.Add("heavy", strings.Repeat("www ", 50)+"nii", nil)
+	for i := 0; i < 20; i++ {
+		ix.Add(fmt.Sprintf("d%02d", i), "www nii filler padding content", nil)
+	}
+	if err := ix.Delete("heavy"); err != nil {
+		t.Fatal(err)
+	}
+	snap := ix.Snapshot()
+	// The live max tf of "www" is 1, but the maintained bound is 50.
+	if got := snap.termMaxTFShard(0, "www"); got != 50 {
+		t.Fatalf("stale bound = %d, want 50 (stale-high by design)", got)
+	}
+	n, _ := ParseQuery("#sum(www nii)")
+	for _, m := range []Model{InferenceNet{}, NewVectorSpace(), PassageModel{}} {
+		full := exhaustiveRanking(snap, m, n)
+		res := m.EvalTopK(snap, n, 3)
+		for i := range res.Hits {
+			if res.Hits[i].Ext != full[i].Ext || res.Hits[i].Score != full[i].Score {
+				t.Fatalf("%s: rank %d diverged under stale bounds", m.Name(), i)
+			}
+		}
+	}
+	// Compaction recomputes the bound exactly.
+	ix.Compact()
+	snap = ix.Snapshot()
+	if got := snap.termMaxTFShard(0, "www"); got != 1 {
+		t.Fatalf("post-compact bound = %d, want 1", got)
+	}
+}
+
+// TestTopKHeapTieBreak exercises the heap's canonical order directly:
+// equal scores keep the smallest external ids.
+func TestTopKHeapTieBreak(t *testing.T) {
+	h := newTopKHeap(3)
+	ext := map[DocID]string{1: "e", 2: "a", 3: "c", 4: "b", 5: "d"}
+	extOf := func(d DocID) string { return ext[d] }
+	for _, d := range []DocID{1, 2, 3, 4, 5} {
+		h.offer(d, 1.0, extOf)
+	}
+	got := mergeTopK([][]ScoredDoc{h.entries}, 3)
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if got[i].Ext != w {
+			t.Fatalf("tie-break rank %d = %q, want %q (full: %v)", i, got[i].Ext, w, got)
+		}
+	}
+}
+
+// TestIntervalCombineSoundness spot-checks the interval operators
+// against direct evaluation on grids of operand values.
+func TestIntervalCombineSoundness(t *testing.T) {
+	vals := []float64{0, 0.1, 0.4, 0.7, 1}
+	within := func(v float64, iv interval) bool { return v >= iv.lo && v <= iv.hi }
+	kids := []interval{{0.1, 0.7}, {0.4, 1}}
+	for _, a := range vals {
+		if a < 0.1 || a > 0.7 {
+			continue
+		}
+		for _, b := range vals {
+			if b < 0.4 || b > 1 {
+				continue
+			}
+			if v := a * b; !within(v, combineInterval(NodeAnd, nil, kids, 0.4)) {
+				t.Errorf("#and(%v,%v)=%v outside interval", a, b, v)
+			}
+			if v := 1 - (1-a)*(1-b); !within(v, combineInterval(NodeOr, nil, kids, 0.4)) {
+				t.Errorf("#or(%v,%v)=%v outside interval", a, b, v)
+			}
+			if v := (a + b) / 2; !within(v, combineInterval(NodeSum, nil, kids, 0.4)) {
+				t.Errorf("#sum(%v,%v)=%v outside interval", a, b, v)
+			}
+			w := []float64{2, -1}
+			if v := (2*a - b) / 1; !within(v, combineInterval(NodeWSum, w, kids, 0.4)) {
+				t.Errorf("#wsum(2 %v -1 %v)=%v outside interval", a, b, v)
+			}
+			if v := math.Max(0, math.Max(a, b)); !within(v, combineInterval(NodeMax, nil, kids, 0.4)) {
+				t.Errorf("#max(%v,%v)=%v outside interval", a, b, v)
+			}
+		}
+	}
+}
+
+// TestInferenceNetExplicitZeroBelief is the regression test for the
+// DefaultBelief zero-value conflation: an explicit 0.0 belief must be
+// honored, not silently replaced by 0.4.
+func TestInferenceNetExplicitZeroBelief(t *testing.T) {
+	ix := NewIndex(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)))
+	ix.Add("both", "www nii", nil)
+	ix.Add("onlywww", "www filler", nil)
+	snap := ix.Snapshot()
+	n, _ := ParseQuery("#sum(www nii)")
+
+	zero := InferenceNet{DefaultBelief: Belief(0)}
+	if got := zero.defaultBelief(); got != 0 {
+		t.Fatalf("explicit zero belief resolved to %v", got)
+	}
+	if got := (InferenceNet{}).defaultBelief(); got != 0.4 {
+		t.Fatalf("unset belief resolved to %v, want 0.4", got)
+	}
+	// The passage model uses the same pointer convention.
+	if got := (PassageModel{DefaultBelief: Belief(0)}).defaultBelief(); got != 0 {
+		t.Fatalf("passage explicit zero belief resolved to %v", got)
+	}
+	if got := (PassageModel{}).defaultBelief(); got != 0.4 {
+		t.Fatalf("passage unset belief resolved to %v, want 0.4", got)
+	}
+	s := zero.Eval(snap, n)
+	var only DocID
+	for d := range s {
+		if ext, _ := snap.ExtID(d); ext == "onlywww" {
+			only = d
+		}
+	}
+	// With belief 0, the missing "nii" evidence contributes exactly 0
+	// to the mean — under the old conflation it contributed 0.4/2.
+	def := InferenceNet{}.Eval(snap, n)
+	if s[only] >= def[only] {
+		t.Errorf("explicit zero belief did not lower the score: zero=%v default=%v", s[only], def[only])
+	}
+	if s[only] <= 0 {
+		t.Errorf("score with zero belief should still carry www evidence: %v", s[only])
+	}
+	// Top-k stays exact under a non-default belief too.
+	full := exhaustiveRanking(snap, zero, n)
+	res := zero.EvalTopK(snap, n, 1)
+	if len(res.Hits) != 1 || res.Hits[0].Ext != full[0].Ext || res.Hits[0].Score != full[0].Score {
+		t.Errorf("top-1 under zero belief diverged: %v vs %v", res.Hits, full[:1])
+	}
+}

@@ -27,6 +27,10 @@ type VectorSpace struct {
 	mu       sync.Mutex
 	normsVer uint64
 	norms    map[DocID]float64
+	// minNorms[si] is the smallest live document norm of shard si for
+	// the cached version — the denominator bound MaxScore pruning
+	// divides per-term numerator caps by.
+	minNorms []float64
 }
 
 // NewVectorSpace returns a vector-space model instance. Instances
@@ -36,11 +40,20 @@ func NewVectorSpace() *VectorSpace { return &VectorSpace{} }
 // Name implements Model.
 func (m *VectorSpace) Name() string { return "vector" }
 
-// Eval implements Model.
-func (m *VectorSpace) Eval(s *Snapshot, root *Node) map[DocID]float64 {
-	if root == nil {
-		return nil
-	}
+// vectorQuery is the shared per-query state of Eval and EvalTopK:
+// flattened leaves, their per-shard term frequencies, query weights
+// and idfs accumulated in leaf order (deterministic and independent
+// of the shard count).
+type vectorQuery struct {
+	leaves []weightedLeaf
+	stats  []*termStat
+	qws    []float64
+	idfs   []float64
+	qn     float64
+	any    bool
+}
+
+func (m *VectorSpace) prepare(s *Snapshot, root *Node) *vectorQuery {
 	leaves := flattenLeaves(root, 1.0)
 	if len(leaves) == 0 {
 		return nil
@@ -50,9 +63,9 @@ func (m *VectorSpace) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 
 	// Gather per-leaf, per-shard term frequencies in parallel; each
 	// goroutine fills disjoint slots.
-	stats := make([]*termStat, len(leaves))
-	for i := range stats {
-		stats[i] = newTermStat(nsh)
+	q := &vectorQuery{leaves: leaves, stats: make([]*termStat, len(leaves))}
+	for i := range q.stats {
+		q.stats[i] = newTermStat(nsh)
 	}
 	s.parShards(func(si int) {
 		for li, lf := range leaves {
@@ -62,48 +75,60 @@ func (m *VectorSpace) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 				for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(lf.node.Term)) {
 					tf[p.Doc] = p.TF()
 				}
-				stats[li].tf[si] = tf
+				q.stats[li].tf[si] = tf
 			case NodePhrase:
-				stats[li].tf[si] = phraseStatShard(s, si, lf.node)
+				q.stats[li].tf[si] = phraseStatShard(s, si, lf.node)
 			default:
-				stats[li].tf[si] = nil
+				q.stats[li].tf[si] = nil
 			}
 		}
 	})
 	// Query weights accumulate in leaf order — deterministic and
 	// shard-count-independent.
 	var qnorm float64
-	qws := make([]float64, len(leaves))
-	idfs := make([]float64, len(leaves))
-	any := false
+	q.qws = make([]float64, len(leaves))
+	q.idfs = make([]float64, len(leaves))
 	for li, lf := range leaves {
-		stats[li].sumDF()
-		if stats[li].df == 0 {
+		q.stats[li].sumDF()
+		if q.stats[li].df == 0 {
 			continue
 		}
-		any = true
-		idfs[li] = math.Log(1 + n/float64(stats[li].df))
-		qws[li] = lf.weight * idfs[li]
-		qnorm += qws[li] * qws[li]
+		q.any = true
+		q.idfs[li] = math.Log(1 + n/float64(q.stats[li].df))
+		q.qws[li] = lf.weight * q.idfs[li]
+		qnorm += q.qws[li] * q.qws[li]
 	}
-	if !any {
+	q.qn = math.Sqrt(qnorm)
+	if q.qn == 0 {
+		q.qn = 1
+	}
+	return q
+}
+
+// Eval implements Model.
+func (m *VectorSpace) Eval(s *Snapshot, root *Node) map[DocID]float64 {
+	if root == nil {
+		return nil
+	}
+	q := m.prepare(s, root)
+	if q == nil {
+		return nil
+	}
+	if !q.any {
 		return make(map[DocID]float64)
 	}
-	qn := math.Sqrt(qnorm)
-	if qn == 0 {
-		qn = 1
-	}
-	norms := m.docNorms(s)
+	norms, _ := m.docNorms(s)
+	nsh := s.ShardCount()
 	perShard := make([]map[DocID]float64, nsh)
 	s.parShards(func(si int) {
 		scores := make(map[DocID]float64)
-		for li := range leaves {
-			if stats[li].df == 0 {
+		for li := range q.leaves {
+			if q.stats[li].df == 0 {
 				continue
 			}
-			for d, tf := range stats[li].tf[si] {
-				dw := (1 + math.Log(float64(tf))) * idfs[li]
-				scores[d] += qws[li] * dw
+			for d, tf := range q.stats[li].tf[si] {
+				dw := (1 + math.Log(float64(tf))) * q.idfs[li]
+				scores[d] += q.qws[li] * dw
 			}
 		}
 		for d := range scores {
@@ -111,11 +136,114 @@ func (m *VectorSpace) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 			if dn == 0 {
 				dn = 1
 			}
-			scores[d] /= qn * dn
+			scores[d] /= q.qn * dn
 		}
 		perShard[si] = scores
 	})
 	return mergeShardScores(perShard)
+}
+
+// EvalTopK implements Model. The cosine score is a weighted sum over
+// query leaves divided by the document norm, so the classic MaxScore
+// bound applies directly: per shard, each leaf's contribution is
+// capped by its query weight times the maximum document weight the
+// shard's max-tf bound admits, and a candidate's numerator cap —
+// summed over the leaves it actually matches — divided by the shard's
+// minimum live document norm bounds its score. Candidates stream
+// through a bounded heap in descending bound order; survivors are
+// scored with the same leaf-order accumulation Eval uses.
+func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
+	if root == nil || k <= 0 {
+		return TopKResult{}
+	}
+	q := m.prepare(s, root)
+	if q == nil || !q.any {
+		return TopKResult{}
+	}
+	norms, minNorms := m.docNorms(s)
+	nsh := s.ShardCount()
+	perShard := make([][]ScoredDoc, nsh)
+	scored := make([]int64, nsh)
+	pruned := make([]int64, nsh)
+	ext := snapExt(s)
+	useMask := len(q.leaves) <= maxSuperLeaves
+	s.parShards(func(si int) {
+		// Candidate discovery doubles as evidence-mask construction.
+		masks := make(map[DocID]uint64)
+		for li := range q.leaves {
+			bit := uint64(1) << uint(li%maxSuperLeaves)
+			for d := range q.stats[li].tf[si] {
+				masks[d] |= bit
+			}
+		}
+		ids := make([]DocID, 0, len(masks))
+		for d := range masks {
+			ids = append(ids, d)
+		}
+		var boundOf func(DocID) float64
+		minNorm := 0.0
+		if si < len(minNorms) {
+			minNorm = minNorms[si]
+		}
+		if len(ids) > k && useMask && minNorm > 0 {
+			// Per-leaf contribution caps in this shard. A negative
+			// query weight (negative #wsum weight) caps at tf = 1,
+			// where the negative contribution is largest.
+			caps := make([]float64, len(q.leaves))
+			for li := range q.leaves {
+				if q.stats[li].df == 0 {
+					continue
+				}
+				capTF := leafMaxTFShard(s, si, q.leaves[li].node)
+				if capTF == 0 {
+					continue
+				}
+				if q.qws[li] >= 0 {
+					caps[li] = q.qws[li] * ((1 + math.Log(float64(capTF))) * q.idfs[li])
+				} else {
+					caps[li] = q.qws[li] * q.idfs[li]
+				}
+			}
+			memo := make(map[uint64]float64)
+			boundOf = func(d DocID) float64 {
+				mask := masks[d]
+				if v, ok := memo[mask]; ok {
+					return v
+				}
+				num := 0.0
+				for li := range q.leaves {
+					if mask&(1<<uint(li)) != 0 {
+						num += caps[li]
+					}
+				}
+				v := 0.0
+				if num > 0 {
+					v = num / (q.qn * minNorm)
+				}
+				memo[mask] = v
+				return v
+			}
+		}
+		scoreOf := func(d DocID) float64 {
+			var sum float64
+			for li := range q.leaves {
+				if q.stats[li].df == 0 {
+					continue
+				}
+				if tf, ok := q.stats[li].tf[si][d]; ok {
+					dw := (1 + math.Log(float64(tf))) * q.idfs[li]
+					sum += q.qws[li] * dw
+				}
+			}
+			dn := norms[d]
+			if dn == 0 {
+				dn = 1
+			}
+			return sum / (q.qn * dn)
+		}
+		perShard[si], scored[si], pruned[si] = topkScanShard(k, ids, boundOf, scoreOf, ext)
+	})
+	return finishTopK(perShard, scored, pruned, k)
 }
 
 type weightedLeaf struct {
@@ -153,19 +281,19 @@ func flattenLeaves(n *Node, w float64) []weightedLeaf {
 	}
 }
 
-// docNorms returns the cached full document norms, rebuilding them
-// when the snapshot reflects a newer index state than the cache.
-// The rebuild runs in two parallel passes: per-shard live document
-// frequencies are folded into global ones, then every shard
-// accumulates its own documents' norms over its dictionary in
-// sorted-term order (so the floating-point sums are deterministic
-// and identical for any shard count).
-func (m *VectorSpace) docNorms(s *Snapshot) map[DocID]float64 {
+// docNorms returns the cached full document norms (plus the per-shard
+// minimum live norm), rebuilding them when the snapshot reflects a
+// newer index state than the cache. The rebuild runs in two parallel
+// passes: per-shard live document frequencies are folded into global
+// ones, then every shard accumulates its own documents' norms over
+// its dictionary in sorted-term order (so the floating-point sums are
+// deterministic and identical for any shard count).
+func (m *VectorSpace) docNorms(s *Snapshot) (map[DocID]float64, []float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	v := s.Version()
-	if m.norms != nil && m.normsVer == v {
-		return m.norms
+	if m.norms != nil && m.normsVer == v && len(m.minNorms) == s.ShardCount() {
+		return m.norms, m.minNorms
 	}
 	nsh := s.ShardCount()
 	liveTerms := make([][]termPostings, nsh)
@@ -193,6 +321,7 @@ func (m *VectorSpace) docNorms(s *Snapshot) map[DocID]float64 {
 	}
 	n := float64(s.DocCount())
 	perShard := make([]map[DocID]float64, nsh)
+	minNorms := make([]float64, nsh)
 	s.parShards(func(si int) {
 		acc := make(map[DocID]float64)
 		for _, tp := range liveTerms[si] {
@@ -202,12 +331,19 @@ func (m *VectorSpace) docNorms(s *Snapshot) map[DocID]float64 {
 				acc[p.Doc] += dw * dw
 			}
 		}
+		min := 0.0
 		for d, sum := range acc {
-			acc[d] = math.Sqrt(sum)
+			norm := math.Sqrt(sum)
+			acc[d] = norm
+			if min == 0 || norm < min {
+				min = norm
+			}
 		}
 		perShard[si] = acc
+		minNorms[si] = min
 	})
 	m.norms = mergeShardScores(perShard)
+	m.minNorms = minNorms
 	m.normsVer = v
-	return m.norms
+	return m.norms, m.minNorms
 }

@@ -13,13 +13,47 @@ import (
 // (see core.Coupling.Epoch / core.Collection.Epoch). A mutation
 // therefore never requires walking the cache — entries cached under
 // the old epoch become unreachable and are evicted by LRU order.
+//
+// kbucket is the top-k component for searches: requests with a limit
+// evaluate (and cache) the full k-bucket the limit rounds up to, so
+// nearby limits share one streaming top-k evaluation instead of
+// fragmenting the cache per distinct limit. 0 means unlimited (the
+// exhaustive result).
 type cacheKey struct {
 	kind     string // "query" or "search"
 	coll     string // collection name; empty for VQL queries
 	strategy string
 	query    string
 	epoch    uint64
+	kbucket  int
 }
+
+// kBucket rounds a client limit up to its cache bucket: 0 (no limit)
+// stays 0, anything else rounds up to the next power of two, floored
+// at minKBucket so tiny limits still share entries. Limits beyond
+// maxKBucket degrade to the unlimited (exhaustive) path — the result
+// is identical (the response is still truncated to the limit) and a
+// hostile huge limit can neither overflow the doubling loop nor size
+// a heap allocation.
+func kBucket(limit int) int {
+	if limit <= 0 || limit > maxKBucket {
+		return 0
+	}
+	b := minKBucket
+	for b < limit {
+		b <<= 1
+	}
+	return b
+}
+
+// minKBucket is the smallest top-k evaluation size the server asks
+// the engine for; limits below it are served from that bucket.
+// maxKBucket is the largest: above it, exhaustive evaluation is at
+// least as cheap as a near-corpus-sized heap.
+const (
+	minKBucket = 16
+	maxKBucket = 1 << 16
+)
 
 // queryCache is an LRU over cacheKey with an optional TTL. A capacity
 // of 0 disables it (every get misses, every put is dropped); a TTL of

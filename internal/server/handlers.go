@@ -77,7 +77,6 @@ func parseStrategy(name string) (docirs.Strategy, error) {
 	return docirs.StrategyAuto, fmt.Errorf("unknown strategy %q (want auto, independent or irs-first)", name)
 }
 
-
 func parseTextMode(name string) (int, error) {
 	switch name {
 	case "", "full":
@@ -122,6 +121,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			avgGroup = float64(cs.GroupedOps) / float64(cs.GroupCommits)
 		}
 		live, dead := ix.TombstoneStats()
+		tkQueries, tkScored, tkPruned := col.IRS().TopKStats()
+		pruneRate := 0.0
+		if tkScored+tkPruned > 0 {
+			pruneRate = float64(tkPruned) / float64(tkScored+tkPruned)
+		}
 		colls[name] = map[string]any{
 			"docs":             col.DocCount(),
 			"policy":           col.Policy().String(),
@@ -138,6 +142,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"shards":           ix.ShardCount(),
 			"snapshots":        ix.SnapshotCount(),
 			"shard_bytes":      ix.ShardSizes(),
+			// Top-k engine metrics: how many queries went through the
+			// streaming path and how many candidate documents the
+			// MaxScore bounds let it skip scoring entirely.
+			"topk": map[string]any{
+				"queries":           tkQueries,
+				"candidates_scored": tkScored,
+				"candidates_pruned": tkPruned,
+				"prune_rate":        pruneRate,
+			},
 			// Ingest-pipeline metrics: queue state, group-commit
 			// shape, where flush time goes (analysis outside the
 			// commit lock vs the lock-holding merge), and index
@@ -568,16 +581,34 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.qps.record()
 	s.stats.searches.Add(1)
-	key := cacheKey{kind: "search", coll: name, query: q, epoch: col.Epoch()}
+	// The limit is pushed down into the IRS instead of truncating a
+	// fully evaluated ranking: the engine streams candidates through
+	// bounded per-shard heaps and prunes those whose score upper bound
+	// cannot reach the k-th best. The cache stores the full k-bucket
+	// result, so nearby limits under the same epoch share one
+	// evaluation and slice their prefix from it.
+	bucket := kBucket(limit)
+	key := cacheKey{kind: "search", coll: name, query: q, epoch: col.Epoch(), kbucket: bucket}
 	var hits []searchHit
 	cached := false
 	if v, ok := s.cache.get(key); ok {
 		hits = v.([]searchHit)
 		cached = true
 		s.stats.cacheHits.Add(1)
+	} else if v, ok := s.cacheGetFull(key); ok {
+		// A cached exhaustive result serves any limit — its prefix is
+		// exactly what the top-k engine would return.
+		hits = v
+		cached = true
+		s.stats.cacheHits.Add(1)
 	} else {
 		s.stats.cacheMisses.Add(1)
-		results, err := s.sys.Search(name, q)
+		var results []docirs.SearchResult
+		if bucket > 0 {
+			results, err = s.sys.SearchTopK(name, q, bucket)
+		} else {
+			results, err = s.sys.Search(name, q)
+		}
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "search: %v", err)
 			return
@@ -599,6 +630,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		"cached":     cached,
 		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// cacheGetFull retries a bucketed search-cache miss against the
+// unlimited entry (kbucket 0) of the same (collection, query, epoch):
+// the exhaustive ranking's prefix answers every limit.
+func (s *Server) cacheGetFull(key cacheKey) ([]searchHit, bool) {
+	if key.kbucket == 0 {
+		return nil, false
+	}
+	key.kbucket = 0
+	v, ok := s.cache.get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.([]searchHit), true
 }
 
 // queryResult is the cacheable part of a query response.
