@@ -8,8 +8,9 @@ import (
 
 // experimentRunners maps experiment ids to their eval runners. The
 // ids match DESIGN.md's per-experiment index and EXPERIMENTS.md.
-// shards parameterizes the sharding experiment (S1); 0 selects
-// GOMAXPROCS.
+// shards parameterizes the sharded-engine experiments (S1/S3/S4); 0
+// selects GOMAXPROCS (S4 floors it at 4 so the cross-shard scheduler
+// has shards to skip).
 func experimentRunners(shards int) map[string]runner {
 	return map[string]runner{
 		"S1": {"Sharded vs single-shard IRS engine (parallel query evaluation)", func(w io.Writer) error {
@@ -22,6 +23,12 @@ func experimentRunners(shards int) map[string]runner {
 		}},
 		"S3": {"Streaming top-k vs exhaustive evaluation (MaxScore pruning)", func(w io.Writer) error {
 			_, err := eval.RunS3(w, shards)
+			return err
+		}},
+		"S4": {"Cross-shard top-k threshold sharing vs per-shard-only pruning", func(w io.Writer) error {
+			// RunS4 errors when its ranking-equality gate trips, so a
+			// divergence fails the run (and CI) instead of logging.
+			_, err := eval.RunS4(w, shards)
 			return err
 		}},
 		"F1": {"Figure 1: coupling architectures", func(w io.Writer) error {

@@ -86,8 +86,9 @@ func execLine(sys *docirs.System, raw string, out io.Writer) bool {
 		fmt.Fprintf(out, "pipeline: policy %s, pending %d, group commits %d, analyze %.2fms, commit %.2fms, flush errors %d\n",
 			coll.Policy(), coll.PendingOps(), s.GroupCommits,
 			float64(s.AnalyzeNanos)/1e6, float64(s.CommitNanos)/1e6, s.FlushErrors)
-		tq, ts, tp := coll.IRS().TopKStats()
-		fmt.Fprintf(out, "topk: %d queries, %d candidates scored, %d pruned\n", tq, ts, tp)
+		tk := coll.IRS().TopKStats()
+		fmt.Fprintf(out, "topk: %d queries, %d candidates scored, %d pruned, %d shards skipped\n",
+			tk.Queries, tk.Scored, tk.Pruned, tk.ShardsSkipped)
 	case strings.HasPrefix(line, ".drain "):
 		name := strings.TrimSpace(strings.TrimPrefix(line, ".drain "))
 		coll, err := sys.Collection(name)

@@ -486,3 +486,32 @@ func TestRunS3Shape(t *testing.T) {
 		t.Error("table missing")
 	}
 }
+
+// TestRunS4Shape is the CI gate for cross-shard threshold sharing
+// (ISSUE 5 acceptance): rankings bit-identical to the exhaustive
+// prefix with sharing on, candidates scored strictly below the
+// per-shard-only baseline at k=10, and at least one whole shard scan
+// skipped by the shared threshold at >= 4 shards.
+func TestRunS4Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunS4(&buf, 4)
+	if err != nil {
+		t.Fatal(err) // includes the in-run ranking-equality gate
+	}
+	if !res.RankingsIdentical {
+		t.Error("top-k rankings differ from the exhaustive prefix")
+	}
+	if res.SharedScored >= res.BaselineScored {
+		t.Errorf("threshold sharing scored %d candidates, not strictly below the per-shard baseline %d",
+			res.SharedScored, res.BaselineScored)
+	}
+	if res.ShardsSkipped == 0 {
+		t.Error("no shard scan skipped by the shared threshold at 4 shards")
+	}
+	if res.BaselineTime <= 0 || res.SharedTime <= 0 {
+		t.Errorf("missing timings: %+v", res)
+	}
+	if !strings.Contains(buf.String(), "EXP-S4") {
+		t.Error("table missing")
+	}
+}

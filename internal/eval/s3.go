@@ -118,7 +118,7 @@ func RunS3(w io.Writer, shards int) (*S3Result, error) {
 	// Latency: exhaustive vs top-k under the default inference net.
 	coll.SetModel(irs.InferenceNet{})
 	const rounds = 30
-	q0, s0, p0 := coll.TopKStats()
+	tk0 := coll.TopKStats()
 	if res.Exhaustive, err = timeIt(func() error {
 		for r := 0; r < rounds; r++ {
 			for _, q := range s3Queries {
@@ -149,9 +149,9 @@ func RunS3(w io.Writer, shards int) (*S3Result, error) {
 	if res.Top100, err = topkLoad(100); err != nil {
 		return nil, err
 	}
-	q1, s1, p1 := coll.TopKStats()
-	res.Scored = s1 - s0
-	res.Pruned = p1 - p0
+	tk1 := coll.TopKStats()
+	res.Scored = tk1.Scored - tk0.Scored
+	res.Pruned = tk1.Pruned - tk0.Pruned
 	if res.Scored+res.Pruned > 0 {
 		res.PruneRate = float64(res.Pruned) / float64(res.Scored+res.Pruned)
 	}
@@ -210,6 +210,6 @@ func RunS3(w io.Writer, shards int) (*S3Result, error) {
 	fmt.Fprintf(w, "top-k rankings bit-identical to exhaustive prefix (all 4 models, k in {10,100}): %v\n",
 		res.RankingsIdentical)
 	fmt.Fprintf(w, "candidates scored %d, pruned %d (prune rate %.1f%%) over %d top-k queries\n\n",
-		res.Scored, res.Pruned, 100*res.PruneRate, q1-q0)
+		res.Scored, res.Pruned, 100*res.PruneRate, tk1.Queries-tk0.Queries)
 	return res, nil
 }

@@ -45,26 +45,20 @@ func (Boolean) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 // k under the canonical order are simply the k smallest external ids
 // of the match set; each shard streams its matches through a bounded
 // heap and the shard winners merge. Set construction is the scoring,
-// so nothing is pruned — the saving over Eval is the avoided full
-// materialization and sort.
+// so there are no usable bounds (boundOf nil) and nothing is pruned —
+// the saving over Eval is the avoided full materialization and sort.
 func (Boolean) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 	if root == nil || k <= 0 {
 		return TopKResult{}
 	}
-	nsh := s.ShardCount()
-	perShard := make([][]ScoredDoc, nsh)
-	scored := make([]int64, nsh)
-	ext := snapExt(s)
-	s.parShards(func(si int) {
+	return runTopK(s, k, func(si int) shardTask {
 		set := booleanEvalShard(s, si, root)
-		h := newTopKHeap(k)
+		ids := make([]DocID, 0, len(set))
 		for d := range set {
-			h.offer(d, 1.0, ext)
+			ids = append(ids, d)
 		}
-		perShard[si] = h.entries
-		scored[si] = int64(len(set))
-	})
-	return finishTopK(perShard, scored, nil, k)
+		return shardTask{ids: ids, scoreOf: func(DocID) float64 { return 1.0 }}
+	}, snapExt(s))
 }
 
 func booleanEvalShard(s *Snapshot, si int, n *Node) map[DocID]bool {

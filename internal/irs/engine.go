@@ -221,12 +221,13 @@ type Collection struct {
 	modelGen uint64 // bumped by SetModel; folded into serving-layer epochs
 
 	// Top-k evaluation counters (serving-layer statistics): queries
-	// answered through EvalTopK, candidates actually scored, and
-	// candidates skipped because their score upper bound could not
-	// reach the k-th best.
+	// answered through EvalTopK, candidates actually scored, candidates
+	// skipped because their score upper bound could not reach the k-th
+	// best, and whole shards skipped by the cross-shard threshold.
 	topkQueries atomic.Int64
 	topkScored  atomic.Int64
 	topkPruned  atomic.Int64
+	topkSkipped atomic.Int64
 }
 
 // Name returns the collection name.
@@ -368,6 +369,7 @@ func (c *Collection) SearchNodeTopKAt(snap *Snapshot, n *Node, k int) []Result {
 	c.topkQueries.Add(1)
 	c.topkScored.Add(res.Scored)
 	c.topkPruned.Add(res.Pruned)
+	c.topkSkipped.Add(res.ShardsSkipped)
 	out := make([]Result, len(res.Hits))
 	for i, h := range res.Hits {
 		out[i] = Result{ExtID: h.Ext, Score: h.Score}
@@ -375,11 +377,26 @@ func (c *Collection) SearchNodeTopKAt(snap *Snapshot, n *Node, k int) []Result {
 	return out
 }
 
-// TopKStats reports the collection's top-k evaluation counters:
-// queries served through the streaming engine, candidates scored and
-// candidates pruned by the score upper bounds.
-func (c *Collection) TopKStats() (queries, scored, pruned int64) {
-	return c.topkQueries.Load(), c.topkScored.Load(), c.topkPruned.Load()
+// TopKStats aggregates a collection's top-k evaluation counters:
+// queries served through the streaming engine, candidates scored,
+// candidates pruned by the score upper bounds, and shards whose
+// remaining scan was skipped wholesale by the cross-shard threshold
+// (zero with sharing off or single-shard indexes).
+type TopKStats struct {
+	Queries       int64
+	Scored        int64
+	Pruned        int64
+	ShardsSkipped int64
+}
+
+// TopKStats reports the collection's top-k evaluation counters.
+func (c *Collection) TopKStats() TopKStats {
+	return TopKStats{
+		Queries:       c.topkQueries.Load(),
+		Scored:        c.topkScored.Load(),
+		Pruned:        c.topkPruned.Load(),
+		ShardsSkipped: c.topkSkipped.Load(),
+	}
 }
 
 // Batch groups document mutations into one atomic commit (see

@@ -106,6 +106,15 @@ func shardIndex(extID string, n int) int {
 	return int(fnv32a(extID) % uint32(n))
 }
 
+// ShardForExtID returns the shard a document registered under extID
+// is (or would be) placed in by an index of the given shard count.
+// Placement is a pure function of the external id, stable across
+// processes and persistence cycles; operational tooling and
+// experiments use it to reason about (or construct) shard skew.
+func ShardForExtID(extID string, shards int) int {
+	return shardIndex(extID, clampShards(shards))
+}
+
 // globalID composes the externally visible DocID from a shard-local
 // id. With one shard this degenerates to the dense ascending ids of
 // the unsharded index.
@@ -165,6 +174,12 @@ type Index struct {
 	sizeMu    sync.Mutex
 	sizeVer   uint64
 	sizeCache []int64
+
+	// staleMu/staleVer/staleCache memoize BoundsStaleness the same way
+	// (an O(postings) walk per index version).
+	staleMu    sync.Mutex
+	staleVer   uint64
+	staleCache float64
 }
 
 // NewIndex returns an empty single-shard index using the given
@@ -726,6 +741,68 @@ func (ix *Index) ShardSizes() []int64 {
 	ix.sizeVer = v
 	ix.sizeCache = out
 	return append([]int64(nil), out...)
+}
+
+// BoundsStaleness gauges how loose the maintained per-term max-tf
+// bounds have become: 0 when every bound equals its term's true live
+// maximum within-document frequency, approaching 1 as deletions leave
+// stale-high bounds behind (the bounds stay sound — they only prune
+// less). Computed as 1 − Σ(true live max tf) / Σ(bound) over terms
+// with live postings; 0 for an empty index. Compact, Reshard and
+// policy-triggered background compactions reset it to 0 by
+// recomputing every bound exactly. The O(postings) walk is memoized
+// per index version, so /stats polling of an unchanged index is
+// cheap.
+func (ix *Index) BoundsStaleness() float64 {
+	// Bounds only go stale through deletions: adds maintain maxTF
+	// exactly, rebuilds recompute it, and a stale-high bound restored
+	// from disk implies the file carried the tombstones that made it
+	// stale. So with zero tombstones the gauge is 0 without any walk —
+	// the steady-ingest case a polling dashboard hits every second.
+	if ix.deadCount.Load() == 0 {
+		return 0
+	}
+	ix.staleMu.Lock()
+	defer ix.staleMu.Unlock()
+	// As in ShardSizes, the version is read before the scan: a racing
+	// mutation at worst re-computes on the next call.
+	v := ix.version.Load()
+	if ix.staleVer == v {
+		return ix.staleCache
+	}
+	// Capture the shard slice and walk each shard under its own read
+	// lock only: holding commitMu across the whole walk would stall
+	// batch commits for the scan's duration, and a rebuild racing the
+	// walk merely leaves it reading the old generation — fine for a
+	// gauge (the version bump makes the next call recompute).
+	ix.commitMu.RLock()
+	shards := ix.shards
+	ix.commitMu.RUnlock()
+	var boundSum, liveSum int64
+	for _, sh := range shards {
+		sh.mu.RLock()
+		for _, pl := range sh.dict {
+			if pl.df <= 0 {
+				continue
+			}
+			liveMax := 0
+			for _, p := range pl.postings {
+				if tf := p.TF(); tf > liveMax && !sh.isDeleted(uint32(int(p.Doc)/len(shards))) {
+					liveMax = tf
+				}
+			}
+			boundSum += int64(pl.maxTF)
+			liveSum += int64(liveMax)
+		}
+		sh.mu.RUnlock()
+	}
+	st := 0.0
+	if boundSum > 0 {
+		st = 1 - float64(liveSum)/float64(boundSum)
+	}
+	ix.staleVer = v
+	ix.staleCache = st
+	return st
 }
 
 // Compact rebuilds the index without tombstones, renumbering

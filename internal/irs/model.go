@@ -98,11 +98,10 @@ func (m InferenceNet) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 // bound combines per-leaf belief caps — computed from the shard's
 // incrementally maintained max-tf and min-document-length bounds, the
 // leaf's exact global df and the corpus statistics — through the
-// operator tree by interval arithmetic; candidates stream through a
-// bounded heap in descending bound order and the remainder is pruned
-// once the bound falls below the k-th best score. Survivors are
-// scored by the same belief walk Eval uses, so the returned prefix is
-// bit-identical to the exhaustive ranking.
+// operator tree by interval arithmetic; runTopK then drives the
+// two-phase, threshold-sharing scan over the bounded candidates.
+// Survivors are scored by the same belief walk Eval uses, so the
+// returned prefix is bit-identical to the exhaustive ranking.
 func (m InferenceNet) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 	if root == nil || k <= 0 {
 		return TopKResult{}
@@ -110,13 +109,11 @@ func (m InferenceNet) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 	ctx := newEvalContext(s, root)
 	b := m.defaultBelief()
 	plan := newBoundPlan(root, b)
-	nsh := s.ShardCount()
-	perShard := make([][]ScoredDoc, nsh)
-	scored := make([]int64, nsh)
-	pruned := make([]int64, nsh)
-	ext := snapExt(s)
-	s.parShards(func(si int) {
-		var boundOf func(DocID) float64
+	return runTopK(s, k, func(si int) shardTask {
+		t := shardTask{
+			ids:     ctx.candidates[si],
+			scoreOf: func(d DocID) float64 { return m.belief(ctx, root, d, b) },
+		}
 		if len(ctx.candidates[si]) > k {
 			sb := newShardBounds(plan, b, func(leaf *Node) interval {
 				return m.leafCap(ctx, s, si, leaf, b)
@@ -128,12 +125,10 @@ func (m InferenceNet) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 					}
 				}
 			})
-			boundOf = func(d DocID) float64 { return sb.bound(masks[d]) }
+			t.boundOf = func(d DocID) float64 { return sb.bound(masks[d]) }
 		}
-		perShard[si], scored[si], pruned[si] = topkScanShard(k, ctx.candidates[si], boundOf,
-			func(d DocID) float64 { return m.belief(ctx, root, d, b) }, ext)
-	})
-	return finishTopK(perShard, scored, pruned, k)
+		return t
+	}, snapExt(s))
 }
 
 // leafCap returns the belief interval of one leaf for documents of

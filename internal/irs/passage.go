@@ -133,13 +133,11 @@ func (m PassageModel) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 	}
 	b := m.defaultBelief()
 	plan := newBoundPlan(root, b)
-	nsh := s.ShardCount()
-	perShard := make([][]ScoredDoc, nsh)
-	scored := make([]int64, nsh)
-	pruned := make([]int64, nsh)
-	ext := snapExt(s)
-	s.parShards(func(si int) {
-		var boundOf func(DocID) float64
+	return runTopK(s, k, func(si int) shardTask {
+		t := shardTask{
+			ids:     candidates[si],
+			scoreOf: func(d DocID) float64 { return m.bestPassage(root, infos, si, d) },
+		}
 		if len(candidates[si]) > k {
 			sb := newShardBounds(plan, b, func(leaf *Node) interval {
 				return m.passageLeafCap(s, si, infos, leaf, b)
@@ -155,12 +153,10 @@ func (m PassageModel) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 			})
 			// bestPassage floors at zero (best starts at 0.0), so the
 			// tree bound must too.
-			boundOf = func(d DocID) float64 { return math.Max(0, sb.bound(masks[d])) }
+			t.boundOf = func(d DocID) float64 { return math.Max(0, sb.bound(masks[d])) }
 		}
-		perShard[si], scored[si], pruned[si] = topkScanShard(k, candidates[si], boundOf,
-			func(d DocID) float64 { return m.bestPassage(root, infos, si, d) }, ext)
-	})
-	return finishTopK(perShard, scored, pruned, k)
+		return t
+	}, snapExt(s))
 }
 
 // leafTermNames lists the raw terms a leaf draws counts from.

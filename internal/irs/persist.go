@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,6 +38,19 @@ import (
 // minimum live document length is never persisted: it is always
 // recomputed from the document table.
 //
+// After the last shard an optional trailer persists the collection's
+// background auto-compaction policy:
+//
+//	tag "ACPL" | ratio float64 bits u64 | min tombstones u32
+//
+// The trailer is only written when the policy is armed, which keeps
+// the extension v3-compatible in both directions: files written
+// before the trailer existed (or with the policy off) simply end at
+// the last shard, and a reader hitting clean EOF leaves the policy
+// off. Loading a file with the trailer re-arms the policy, so a
+// restarted engine resumes tombstone-ratio-triggered compaction
+// without the serving layer re-configuring it.
+//
 // Strings are u32 length + bytes. Tombstoned documents are written
 // too so local ids stay stable across a save/load cycle; Compact
 // before saving to shed them.
@@ -46,6 +60,10 @@ const (
 	persistVersionV1 = 1
 	persistVersionV2 = 2
 	persistVersion   = 3
+
+	// autoCompactTag introduces the optional auto-compaction policy
+	// trailer after the last shard.
+	autoCompactTag = "ACPL"
 )
 
 // saveTo writes the collection to path atomically (write to a temp
@@ -216,6 +234,20 @@ func writeCollection(w io.Writer, c *Collection) error {
 			}
 		}
 	}
+	// Auto-compaction policy trailer (see the format comment): written
+	// only when the policy is armed, so policy-off files stay
+	// byte-identical to the pre-trailer format.
+	if ratio, min := c.ix.AutoCompact(); ratio > 0 {
+		if _, err := io.WriteString(w, autoCompactTag); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(ratio)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(min)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -264,7 +296,41 @@ func readCollection(r io.Reader, name string) (*Collection, error) {
 	default:
 		return nil, fmt.Errorf("unsupported version %d", version)
 	}
+	if err := readAutoCompactTrailer(r, ix); err != nil {
+		return nil, err
+	}
 	return &Collection{name: name, ix: ix, model: model}, nil
+}
+
+// readAutoCompactTrailer reads the optional policy trailer and re-arms
+// the index's background compaction. Clean EOF — every file written
+// before the trailer existed, and every file saved with the policy
+// off — leaves the policy disabled.
+func readAutoCompactTrailer(r io.Reader, ix *Index) error {
+	tag := make([]byte, len(autoCompactTag))
+	if _, err := io.ReadFull(r, tag); err != nil {
+		if err == io.EOF {
+			return nil
+		}
+		return fmt.Errorf("auto-compact trailer: %w", err)
+	}
+	if string(tag) != autoCompactTag {
+		return fmt.Errorf("bad trailer tag %q", tag)
+	}
+	var ratioBits uint64
+	if err := binary.Read(r, binary.LittleEndian, &ratioBits); err != nil {
+		return fmt.Errorf("auto-compact trailer: %w", err)
+	}
+	var min uint32
+	if err := binary.Read(r, binary.LittleEndian, &min); err != nil {
+		return fmt.Errorf("auto-compact trailer: %w", err)
+	}
+	ratio := math.Float64frombits(ratioBits)
+	if math.IsNaN(ratio) || ratio < 0 || ratio > 1 {
+		return fmt.Errorf("auto-compact trailer: ratio %v out of range", ratio)
+	}
+	ix.SetAutoCompact(ratio, int(min))
+	return nil
 }
 
 // readShardInto deserializes one shard body into shard si of ix

@@ -2,7 +2,10 @@ package irs
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Streaming top-k evaluation with MaxScore-style pruning.
@@ -21,12 +24,24 @@ import (
 // operator tree by interval arithmetic (sound under #not and negative
 // #wsum weights, where plain monotone maxima are not).
 //
+// Shards do not prune in isolation: every evaluation shares one
+// cross-shard threshold (sharedThreshold) that each shard's bounded
+// heap raises as its local k-th score improves and prunes against,
+// so a hot shard's high k-th score terminates cold shards early. A
+// two-phase scheduler (runTopK) makes the sharing effective: phase 1
+// seeds every shard with its highest-upper-bound candidates to warm
+// the threshold, phase 2 finishes the scans in descending
+// shard-upper-bound order, skipping shards whose best remaining bound
+// already falls below the shared threshold.
+//
 // Exactness contract: EvalTopK returns *exactly* the first k entries,
 // bit-identical scores included, of the exhaustive ranking under the
 // canonical order (score descending, external id ascending). Pruning
 // only ever skips a document whose upper bound is strictly below the
-// current k-th score; every surviving document is scored by the very
-// same code path Eval uses, so floating-point results cannot diverge.
+// current k-th score — locally the shard's own, globally a proven
+// lower bound on the global k-th (k real scores at or above it exist
+// somewhere); every surviving document is scored by the very same
+// code path Eval uses, so floating-point results cannot diverge.
 // The bounds themselves stay sound under concurrent mutation: max-tf
 // only grows within a shard generation (deletes leave it stale-high,
 // which weakens pruning but never correctness) and min-length only
@@ -43,11 +58,15 @@ type ScoredDoc struct {
 
 // TopKResult is the outcome of Model.EvalTopK: the k best hits in
 // canonical order plus the pruning counters serving layers report
-// (Scored + Pruned = number of candidate documents).
+// (Scored + Pruned = number of candidate documents). ShardsSkipped
+// counts shards whose entire phase-2 remainder was discarded by the
+// cross-shard threshold alone — shards a per-shard-only scan would
+// still have walked (see runTopK).
 type TopKResult struct {
-	Hits   []ScoredDoc
-	Scored int64
-	Pruned int64
+	Hits          []ScoredDoc
+	Scored        int64
+	Pruned        int64
+	ShardsSkipped int64
 }
 
 // better is the canonical ranking order: higher score first, ties by
@@ -155,20 +174,6 @@ func mergeTopK(perShard [][]ScoredDoc, k int) []ScoredDoc {
 		all = all[:k]
 	}
 	return all
-}
-
-// finishTopK is the shared epilogue of every EvalTopK: merge the
-// per-shard winners and fold the per-shard counters (pruned may be
-// nil for models that never prune).
-func finishTopK(perShard [][]ScoredDoc, scored, pruned []int64, k int) TopKResult {
-	res := TopKResult{Hits: mergeTopK(perShard, k)}
-	for _, n := range scored {
-		res.Scored += n
-	}
-	for _, n := range pruned {
-		res.Pruned += n
-	}
-	return res
 }
 
 // --- interval arithmetic over the operator tree ---------------------
@@ -395,6 +400,71 @@ func (sb *shardBounds) bound(mask uint64) float64 {
 	return v
 }
 
+// --- cross-shard threshold sharing ----------------------------------
+
+// topkSharingOff disables the cross-shard threshold (and with it the
+// two-phase scheduler) when set, reproducing the per-shard-only
+// pruning of the earlier engine. It exists for A/B measurement
+// (EXP-S4) and for property tests that compare both modes; serving
+// code never touches it.
+var topkSharingOff atomic.Bool
+
+// SetTopKThresholdSharing toggles cross-shard top-k threshold sharing
+// (on by default). Off reproduces the per-shard-only baseline: every
+// shard prunes against its own k-th score only. Rankings are
+// bit-identical either way — the toggle trades work, not results.
+func SetTopKThresholdSharing(on bool) { topkSharingOff.Store(!on) }
+
+// TopKThresholdSharing reports whether cross-shard threshold sharing
+// is enabled.
+func TopKThresholdSharing() bool { return !topkSharingOff.Load() }
+
+// sharedThreshold is the cross-shard pruning state of one top-k
+// evaluation: the best k-th score any shard's bounded heap has
+// reached so far, stored as atomic float bits and raised by monotone
+// CAS. The value is always a *lower bound on the global k-th best
+// score* — a shard holding k scored documents at or above t proves at
+// least k documents score ≥ t globally — so any candidate whose score
+// upper bound is strictly below it can be discarded by every shard,
+// not just the one that raised it. A nil *sharedThreshold disables
+// sharing (single-shard evaluations and the A/B baseline).
+type sharedThreshold struct {
+	bits atomic.Uint64 // Float64bits; -Inf = no full heap yet
+}
+
+func newSharedThreshold() *sharedThreshold {
+	st := &sharedThreshold{}
+	st.bits.Store(math.Float64bits(math.Inf(-1)))
+	return st
+}
+
+// get returns the current shared threshold; ok is false while no
+// shard has filled its heap yet (or sharing is disabled).
+func (st *sharedThreshold) get() (float64, bool) {
+	if st == nil {
+		return 0, false
+	}
+	v := math.Float64frombits(st.bits.Load())
+	return v, !math.IsInf(v, -1)
+}
+
+// raise lifts the threshold to v if v improves it (monotone CAS loop;
+// concurrent raises settle on the maximum).
+func (st *sharedThreshold) raise(v float64) {
+	if st == nil {
+		return
+	}
+	for {
+		old := st.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if st.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // --- per-shard streaming scan ---------------------------------------
 
 // boundedCand pairs a candidate with its score upper bound.
@@ -403,48 +473,247 @@ type boundedCand struct {
 	bound float64
 }
 
-// topkScanShard runs the bound-ordered streaming scan of one shard:
-// candidates are visited in descending bound order, each survivor is
-// scored exactly (scoreOf must be the same code path the exhaustive
-// evaluator uses), and the scan stops — pruning the entire remainder —
-// as soon as the next bound falls strictly below the k-th best score.
-// Strictness matters: a document whose bound *equals* the threshold
-// could still win its tie on external id, so it is scored.
+// shardTask is what a model contributes per shard: the candidate
+// documents, the exact scorer (the very same code path the exhaustive
+// evaluator uses) and an optional score upper bound. boundOf nil means
+// pruning is impossible in this shard (no usable bound state, or at
+// most k candidates) — every candidate is scored.
+type shardTask struct {
+	ids     []DocID
+	boundOf func(DocID) float64
+	scoreOf func(DocID) float64
+}
+
+// shardScan is the resumable streaming scan of one shard. Candidates
+// are visited in descending bound order, each survivor is scored
+// exactly, and the scan stops — pruning the entire remainder — as
+// soon as the next bound falls strictly below the effective
+// threshold: the worse of nothing, the local heap's k-th score, and
+// the shared cross-shard threshold. Strictness matters: a document
+// whose bound *equals* the threshold could still win its tie on
+// external id, so it is scored.
 //
-// When the shard holds at most k candidates (or boundOf is nil)
-// pruning is impossible, so bounds are neither computed nor sorted —
-// every candidate streams straight through the heap. Callers use the
-// same shortcut to skip building their bound state entirely.
-func topkScanShard(k int, ids []DocID, boundOf func(DocID) float64, scoreOf func(DocID) float64, extOf func(DocID) string) (hits []ScoredDoc, scored, pruned int64) {
-	if boundOf == nil || len(ids) <= k {
-		h := newTopKHeap(k)
-		for _, d := range ids {
-			h.offer(d, scoreOf(d), extOf)
-			scored++
+// The scan runs in two phases (see runTopK): seed scores at most the
+// k highest-bound candidates, finish consumes the remainder under the
+// warmed shared threshold. Splitting changes which documents are
+// scored, never which are returned: pruning only ever discards
+// documents provably outside the global top k.
+type shardScan struct {
+	k       int
+	task    shardTask
+	ext     func(DocID) string
+	shared  *sharedThreshold
+	h       *topKHeap
+	cands   []boundedCand // sorted by descending bound; nil = unbounded
+	next    int           // scan position within cands
+	seedEnd int           // next at the end of phase 1
+	scored  int64
+	pruned  int64
+	skipped bool // whole remainder discarded by the shared threshold alone
+}
+
+func newShardScan(k int, t shardTask, ext func(DocID) string, shared *sharedThreshold) *shardScan {
+	sc := &shardScan{k: k, task: t, ext: ext, shared: shared, h: newTopKHeap(k)}
+	if t.boundOf != nil && len(t.ids) > k {
+		sc.cands = make([]boundedCand, len(t.ids))
+		for i, d := range t.ids {
+			sc.cands[i] = boundedCand{d: d, bound: t.boundOf(d)}
 		}
-		return h.entries, scored, 0
+		sort.Slice(sc.cands, func(i, j int) bool {
+			if sc.cands[i].bound != sc.cands[j].bound {
+				return sc.cands[i].bound > sc.cands[j].bound
+			}
+			return sc.cands[i].d < sc.cands[j].d
+		})
 	}
-	cands := make([]boundedCand, len(ids))
-	for i, d := range ids {
-		cands[i] = boundedCand{d: d, bound: boundOf(d)}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].bound != cands[j].bound {
-			return cands[i].bound > cands[j].bound
+	return sc
+}
+
+// offer scores d into the local heap and, once the heap is full,
+// publishes its k-th score to the shared threshold — every heap entry
+// is a real document score, so the raise is always a sound global
+// lower bound.
+func (sc *shardScan) offer(d DocID, score float64) {
+	sc.scored++
+	sc.h.offer(d, score, sc.ext)
+	if sc.shared != nil {
+		if th, full := sc.h.threshold(); full {
+			sc.shared.raise(th)
 		}
-		return cands[i].d < cands[j].d
+	}
+}
+
+// effective returns the strongest pruning threshold currently
+// available to this shard: the max of its own full heap's k-th score
+// and the shared cross-shard threshold.
+func (sc *shardScan) effective() (float64, bool) {
+	th, full := sc.h.threshold()
+	sv, sok := sc.shared.get()
+	switch {
+	case full && sok:
+		return math.Max(th, sv), true
+	case full:
+		return th, true
+	case sok:
+		return sv, true
+	}
+	return 0, false
+}
+
+// seed is phase 1: warm the thresholds cheaply. Unbounded shards are
+// consumed whole (they must score everything anyway, and doing it now
+// contributes their k-th scores to the shared threshold before any
+// bounded remainder is walked); bounded shards score exactly their
+// min(k, n) highest-bound candidates — the candidates a per-shard-only
+// scan would score unconditionally too, so the seed never does extra
+// work.
+func (sc *shardScan) seed() {
+	if sc.cands == nil {
+		for _, d := range sc.task.ids {
+			sc.offer(d, sc.task.scoreOf(d))
+		}
+		return
+	}
+	for sc.next < len(sc.cands) && sc.next < sc.k {
+		d := sc.cands[sc.next].d
+		sc.next++
+		sc.offer(d, sc.task.scoreOf(d))
+	}
+	sc.seedEnd = sc.next
+}
+
+// remaining reports how many candidates phase 2 still has to consider.
+func (sc *shardScan) remaining() int { return len(sc.cands) - sc.next }
+
+// pruneRemainder discards everything from next on. When phase 2 has
+// not scored a single candidate of this shard yet, the whole phase-2
+// remainder was retired without touching a posting — attributed to
+// the *shared* threshold (TopKStats.ShardsSkipped) only when the
+// local one alone would not have sufficed; that difference is exactly
+// the cross-shard win.
+func (sc *shardScan) pruneRemainder(bound float64) {
+	if sc.next == sc.seedEnd {
+		lth, lfull := sc.h.threshold()
+		sc.skipped = !lfull || bound >= lth
+	}
+	sc.pruned += int64(sc.remaining())
+	sc.next = len(sc.cands)
+}
+
+// skipAll is the phase-2 launch check: if the shard's best remaining
+// bound is already strictly below the effective threshold, the
+// remainder is discarded before a scan goroutine is even spawned.
+func (sc *shardScan) skipAll() bool {
+	if sc.remaining() == 0 {
+		return false
+	}
+	b := sc.cands[sc.next].bound
+	eff, ok := sc.effective()
+	if !ok || b >= eff {
+		return false
+	}
+	sc.pruneRemainder(b)
+	return true
+}
+
+// finish is phase 2: consume the bounded remainder, re-checking the
+// effective threshold before every candidate so a raise from a hotter
+// shard terminates this one mid-scan (on the very first candidate,
+// that still counts as a whole-shard skip — the launch check and the
+// first loop iteration differ only in which goroutine ran them).
+func (sc *shardScan) finish() {
+	for sc.next < len(sc.cands) {
+		b := sc.cands[sc.next].bound
+		if eff, ok := sc.effective(); ok && b < eff {
+			sc.pruneRemainder(b)
+			return
+		}
+		d := sc.cands[sc.next].d
+		sc.next++
+		sc.offer(d, sc.task.scoreOf(d))
+	}
+}
+
+// runTopK is the shared evaluation driver behind every model's
+// EvalTopK: it builds one shardScan per shard (prep runs fan-out, so
+// bound construction and sorting parallelize), then schedules the
+// scans in two phases.
+//
+// Phase 1 (parallel) seeds every shard: each scores at most its k
+// highest-upper-bound candidates, filling its bounded heap and
+// raising the shared threshold to the best k-th score seen anywhere.
+//
+// Phase 2 visits the bounded remainders in descending
+// best-remaining-bound order — hottest shard first, so its raises
+// land before colder shards commit to work. A shard whose best
+// remaining bound is already below the warmed threshold is skipped
+// wholesale (counted in ShardsSkipped when the shared threshold alone
+// justified it); the rest finish concurrently, each re-checking the
+// shared threshold per candidate.
+//
+// Sharing is disabled (nil threshold) for single-shard snapshots and
+// when SetTopKThresholdSharing(false) selects the per-shard-only
+// baseline; both phases then collapse into one independent scan per
+// shard with unchanged per-shard work.
+func runTopK(s *Snapshot, k int, prep func(si int) shardTask, ext func(DocID) string) TopKResult {
+	nsh := s.ShardCount()
+	var shared *sharedThreshold
+	if nsh > 1 && TopKThresholdSharing() {
+		shared = newSharedThreshold()
+	}
+	scans := make([]*shardScan, nsh)
+	s.parShards(func(si int) {
+		scans[si] = newShardScan(k, prep(si), ext, shared)
+		scans[si].seed()
+		if shared == nil {
+			scans[si].finish()
+		}
 	})
-	h := newTopKHeap(k)
-	for i := range cands {
-		if th, full := h.threshold(); full && cands[i].bound < th {
-			pruned += int64(len(cands) - i)
-			break
+	var res TopKResult
+	if shared != nil {
+		order := make([]int, 0, nsh)
+		for si, sc := range scans {
+			if sc.remaining() > 0 {
+				order = append(order, si)
+			}
 		}
-		s := scoreOf(cands[i].d)
-		scored++
-		h.offer(cands[i].d, s, extOf)
+		sort.Slice(order, func(i, j int) bool {
+			a, b := scans[order[i]], scans[order[j]]
+			if a.cands[a.next].bound != b.cands[b.next].bound {
+				return a.cands[a.next].bound > b.cands[b.next].bound
+			}
+			return order[i] < order[j]
+		})
+		inline := runtime.GOMAXPROCS(0) == 1
+		var wg sync.WaitGroup
+		for _, si := range order {
+			sc := scans[si]
+			if sc.skipAll() {
+				continue
+			}
+			if inline {
+				sc.finish()
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc.finish()
+			}()
+		}
+		wg.Wait()
 	}
-	return h.entries, scored, pruned
+	perShard := make([][]ScoredDoc, nsh)
+	for si, sc := range scans {
+		perShard[si] = sc.h.entries
+		res.Scored += sc.scored
+		res.Pruned += sc.pruned
+		if sc.skipped {
+			res.ShardsSkipped++
+		}
+	}
+	res.Hits = mergeTopK(perShard, k)
+	return res
 }
 
 // leafMaxTFShard bounds the within-document frequency a term or

@@ -51,6 +51,9 @@ const benchTopKQuery = "#sum(w000 w002 w010 w040 w080 w120 w160 w200)"
 var (
 	benchTopKOnce sync.Once
 	benchTopKColl *Collection
+
+	benchTopKSkewOnce sync.Once
+	benchTopKSkewColl *Collection
 )
 
 func benchTopKCollection() *Collection {
@@ -58,6 +61,28 @@ func benchTopKCollection() *Collection {
 		benchTopKColl = &Collection{name: "bench", ix: buildZipfIndex(4, 4000, 260, 99), model: InferenceNet{}}
 	})
 	return benchTopKColl
+}
+
+// benchTopKSkewCollection is the zipf corpus plus a hot-topic block
+// pinned (via the placement hash) to shard 0 — the shard-skew profile
+// cross-shard threshold sharing exploits.
+func benchTopKSkewCollection() *Collection {
+	benchTopKSkewOnce.Do(func() {
+		ix := buildZipfIndex(4, 4000, 260, 99)
+		hot := strings.Repeat("w000 w040 w120 w200 ", 10)
+		for i, added := 0, 0; added < 64; i++ {
+			name := fmt.Sprintf("hot%05d", i)
+			if ShardForExtID(name, 4) != 0 {
+				continue
+			}
+			if _, err := ix.Add(name, hot, nil); err != nil {
+				panic(err)
+			}
+			added++
+		}
+		benchTopKSkewColl = &Collection{name: "benchskew", ix: ix, model: InferenceNet{}}
+	})
+	return benchTopKSkewColl
 }
 
 // BenchmarkTopK compares the serving path's exhaustive evaluation
@@ -91,6 +116,40 @@ func BenchmarkTopK(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					rs := c.SearchNodeTopKAt(snap, n, k)
 					if len(rs) != k {
+						b.Fatalf("got %d hits", len(rs))
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTopKGlobal measures cross-shard threshold sharing against
+// the per-shard-only baseline on the skewed corpus (hot shard 0), for
+// the cheap-scorer (inference net) and expensive-scorer (passage)
+// profiles at k = 10. CI logs it next to BenchmarkTopK so the gain of
+// the two-phase scheduler accumulates in history alongside the base
+// engine's trajectory.
+func BenchmarkTopKGlobal(b *testing.B) {
+	c := benchTopKSkewCollection()
+	snap := c.Snapshot()
+	n, err := ParseQuery(benchTopKQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer SetTopKThresholdSharing(true)
+	for _, m := range []Model{InferenceNet{}, PassageModel{}} {
+		c.SetModel(m)
+		for _, sharing := range []bool{false, true} {
+			name := fmt.Sprintf("%s/per-shard", m.Name())
+			if sharing {
+				name = fmt.Sprintf("%s/shared", m.Name())
+			}
+			b.Run(name, func(b *testing.B) {
+				SetTopKThresholdSharing(sharing)
+				for i := 0; i < b.N; i++ {
+					rs := c.SearchNodeTopKAt(snap, n, 10)
+					if len(rs) != 10 {
 						b.Fatalf("got %d hits", len(rs))
 					}
 				}

@@ -109,10 +109,14 @@ func exhaustiveRanking(s *Snapshot, m Model, n *Node) []ScoredDoc {
 }
 
 // TestEvalTopKMatchesExhaustive is the acceptance property: for every
-// model, shard count and k, EvalTopK returns exactly the first k
-// entries of the exhaustive ranking — same documents, same order,
-// bit-identical scores.
+// model, shard count, k and threshold-sharing mode, EvalTopK returns
+// exactly the first k entries of the exhaustive ranking — same
+// documents, same order, bit-identical scores. Running both sharing
+// modes also checks that cross-shard pruning never scores *more* than
+// the per-shard-only baseline: the shared threshold only ever
+// dominates the local one.
 func TestEvalTopKMatchesExhaustive(t *testing.T) {
+	defer SetTopKThresholdSharing(true)
 	for _, shards := range []int{1, 2, 3, 7} {
 		ix := buildTopkIndex(t, shards, 90, 42)
 		snap := ix.Snapshot()
@@ -125,24 +129,37 @@ func TestEvalTopKMatchesExhaustive(t *testing.T) {
 				}
 				full := exhaustiveRanking(snap, m, n)
 				for _, k := range []int{1, 2, 3, 5, 10, 17, 1000} {
-					res := m.EvalTopK(snap, n, k)
-					want := full
-					if len(want) > k {
-						want = want[:k]
-					}
-					if len(res.Hits) != len(want) {
-						t.Fatalf("%s shards=%d %q k=%d: got %d hits, want %d",
-							m.Name(), shards, q, k, len(res.Hits), len(want))
-					}
-					for i := range want {
-						got := res.Hits[i]
-						if got.Ext != want[i].Ext || got.Score != want[i].Score {
-							t.Fatalf("%s shards=%d %q k=%d rank %d: got (%s, %v), want (%s, %v)",
-								m.Name(), shards, q, k, i, got.Ext, got.Score, want[i].Ext, want[i].Score)
+					var baseScored int64
+					for _, sharing := range []bool{false, true} {
+						SetTopKThresholdSharing(sharing)
+						res := m.EvalTopK(snap, n, k)
+						want := full
+						if len(want) > k {
+							want = want[:k]
 						}
-					}
-					if res.Scored < int64(len(res.Hits)) {
-						t.Fatalf("%s %q k=%d: scored %d < returned %d", m.Name(), q, k, res.Scored, len(res.Hits))
+						if len(res.Hits) != len(want) {
+							t.Fatalf("%s shards=%d %q k=%d sharing=%v: got %d hits, want %d",
+								m.Name(), shards, q, k, sharing, len(res.Hits), len(want))
+						}
+						for i := range want {
+							got := res.Hits[i]
+							if got.Ext != want[i].Ext || got.Score != want[i].Score {
+								t.Fatalf("%s shards=%d %q k=%d sharing=%v rank %d: got (%s, %v), want (%s, %v)",
+									m.Name(), shards, q, k, sharing, i, got.Ext, got.Score, want[i].Ext, want[i].Score)
+							}
+						}
+						if res.Scored < int64(len(res.Hits)) {
+							t.Fatalf("%s %q k=%d: scored %d < returned %d", m.Name(), q, k, res.Scored, len(res.Hits))
+						}
+						if !sharing {
+							baseScored = res.Scored
+							if res.ShardsSkipped != 0 {
+								t.Fatalf("%s %q k=%d: sharing off but ShardsSkipped=%d", m.Name(), q, k, res.ShardsSkipped)
+							}
+						} else if res.Scored > baseScored {
+							t.Fatalf("%s shards=%d %q k=%d: sharing scored %d > per-shard baseline %d",
+								m.Name(), shards, q, k, res.Scored, baseScored)
+						}
 					}
 				}
 			}
@@ -200,6 +217,78 @@ func TestEvalTopKStaleBoundsSound(t *testing.T) {
 	snap = ix.Snapshot()
 	if got := snap.termMaxTFShard(0, "www"); got != 1 {
 		t.Fatalf("post-compact bound = %d, want 1", got)
+	}
+}
+
+// TestAutoCompactTightensBounds is the stale-bound-decay regression
+// test: per-term max-tf bounds only ever grow within a shard
+// generation, so a delete-heavy collection prunes ever less — until a
+// compaction recomputes them. The *policy-triggered background*
+// compaction (not just a manual Compact) must tighten the bounds
+// exactly and reset the BoundsStaleness gauge, and Reshard must do
+// the same.
+func TestAutoCompactTightensBounds(t *testing.T) {
+	ix := NewIndex(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)))
+	ix.Add("heavy", strings.Repeat("www ", 50)+"nii", nil)
+	for i := 0; i < 60; i++ {
+		ix.Add(fmt.Sprintf("d%02d", i), "www nii filler", nil)
+	}
+	if st := ix.BoundsStaleness(); st != 0 {
+		t.Fatalf("staleness of an add-only index = %v, want 0", st)
+	}
+	if err := ix.Delete("heavy"); err != nil {
+		t.Fatal(err)
+	}
+	// The live max tf of "www" is now 1 but the maintained bound is
+	// still 50 — sound, but visibly stale.
+	if got := ix.Snapshot().termMaxTFShard(0, "www"); got != 50 {
+		t.Fatalf("pre-compact bound = %d, want stale 50", got)
+	}
+	if st := ix.BoundsStaleness(); st <= 0 {
+		t.Fatalf("staleness after stale-making delete = %v, want > 0", st)
+	}
+	// Arm the policy and trip it with one more tombstone: dead=2 of 62
+	// exceeds ratio 0.02 with the floor at 1.
+	ix.SetAutoCompact(0.02, 1)
+	if err := ix.Delete("d00"); err != nil {
+		t.Fatal(err)
+	}
+	ix.WaitCompaction()
+	if n := ix.Compactions(); n == 0 {
+		t.Fatal("tombstone-ratio policy did not trigger a compaction")
+	}
+	if got := ix.Snapshot().termMaxTFShard(0, "www"); got != 1 {
+		t.Fatalf("post-auto-compact bound = %d, want exact 1", got)
+	}
+	if st := ix.BoundsStaleness(); st != 0 {
+		t.Fatalf("staleness after auto-compact = %v, want 0", st)
+	}
+
+	// Reshard recomputes bounds exactly too (fresh run: Reshard resets
+	// the tombstone counters the policy watches).
+	ix2 := NewIndex(analysis.NewAnalyzer(analysis.WithoutStemming(), analysis.WithStopwords(nil)))
+	ix2.Add("heavy", strings.Repeat("nii ", 40)+"www", nil)
+	for i := 0; i < 10; i++ {
+		ix2.Add(fmt.Sprintf("d%02d", i), "nii www filler", nil)
+	}
+	if err := ix2.Delete("heavy"); err != nil {
+		t.Fatal(err)
+	}
+	ix2.Reshard(3)
+	found := false
+	snap := ix2.Snapshot()
+	for si := 0; si < snap.ShardCount(); si++ {
+		if b := snap.termMaxTFShard(si, "nii"); b > 1 {
+			t.Fatalf("post-Reshard bound in shard %d = %d, want <= 1", si, b)
+		} else if b == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no shard carries the live nii bound after Reshard")
+	}
+	if st := ix2.BoundsStaleness(); st != 0 {
+		t.Fatalf("staleness after Reshard = %v, want 0", st)
 	}
 }
 

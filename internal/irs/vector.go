@@ -149,9 +149,10 @@ func (m *VectorSpace) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 // capped by its query weight times the maximum document weight the
 // shard's max-tf bound admits, and a candidate's numerator cap —
 // summed over the leaves it actually matches — divided by the shard's
-// minimum live document norm bounds its score. Candidates stream
-// through a bounded heap in descending bound order; survivors are
-// scored with the same leaf-order accumulation Eval uses.
+// minimum live document norm bounds its score. runTopK drives the
+// two-phase, threshold-sharing scan over the bounded candidates;
+// survivors are scored with the same leaf-order accumulation Eval
+// uses.
 func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 	if root == nil || k <= 0 {
 		return TopKResult{}
@@ -161,13 +162,8 @@ func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 		return TopKResult{}
 	}
 	norms, minNorms := m.docNorms(s)
-	nsh := s.ShardCount()
-	perShard := make([][]ScoredDoc, nsh)
-	scored := make([]int64, nsh)
-	pruned := make([]int64, nsh)
-	ext := snapExt(s)
 	useMask := len(q.leaves) <= maxSuperLeaves
-	s.parShards(func(si int) {
+	return runTopK(s, k, func(si int) shardTask {
 		// Candidate discovery doubles as evidence-mask construction.
 		masks := make(map[DocID]uint64)
 		for li := range q.leaves {
@@ -241,9 +237,8 @@ func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 			}
 			return sum / (q.qn * dn)
 		}
-		perShard[si], scored[si], pruned[si] = topkScanShard(k, ids, boundOf, scoreOf, ext)
-	})
-	return finishTopK(perShard, scored, pruned, k)
+		return shardTask{ids: ids, boundOf: boundOf, scoreOf: scoreOf}
+	}, snapExt(s))
 }
 
 type weightedLeaf struct {

@@ -121,10 +121,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			avgGroup = float64(cs.GroupedOps) / float64(cs.GroupCommits)
 		}
 		live, dead := ix.TombstoneStats()
-		tkQueries, tkScored, tkPruned := col.IRS().TopKStats()
+		tk := col.IRS().TopKStats()
 		pruneRate := 0.0
-		if tkScored+tkPruned > 0 {
-			pruneRate = float64(tkPruned) / float64(tkScored+tkPruned)
+		if tk.Scored+tk.Pruned > 0 {
+			pruneRate = float64(tk.Pruned) / float64(tk.Scored+tk.Pruned)
 		}
 		colls[name] = map[string]any{
 			"docs":             col.DocCount(),
@@ -143,13 +143,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"snapshots":        ix.SnapshotCount(),
 			"shard_bytes":      ix.ShardSizes(),
 			// Top-k engine metrics: how many queries went through the
-			// streaming path and how many candidate documents the
-			// MaxScore bounds let it skip scoring entirely.
+			// streaming path, how many candidate documents the MaxScore
+			// bounds let it skip scoring entirely, how many whole shards
+			// the cross-shard threshold retired without a scan, and how
+			// loose the maintained max-tf bounds have become (0 exact,
+			// →1 as tombstoned heavyweights pile up before compaction).
 			"topk": map[string]any{
-				"queries":           tkQueries,
-				"candidates_scored": tkScored,
-				"candidates_pruned": tkPruned,
+				"queries":           tk.Queries,
+				"candidates_scored": tk.Scored,
+				"candidates_pruned": tk.Pruned,
 				"prune_rate":        pruneRate,
+				"shards_skipped":    tk.ShardsSkipped,
+				"bounds_staleness":  ix.BoundsStaleness(),
 			},
 			// Ingest-pipeline metrics: queue state, group-commit
 			// shape, where flush time goes (analysis outside the
@@ -618,6 +623,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			hits[i] = searchHit{ID: res.ExtID, Score: res.Score}
 		}
 		s.cache.put(key, hits)
+		// A top-k evaluation that came back with fewer than its bucket
+		// hits is provably exhaustive (the engine ran out of matches
+		// before reaching k), so promote it to the unlimited slot too:
+		// larger buckets and limit-0 requests then serve from it via
+		// cacheGetFull instead of re-evaluating. The guard is load-
+		// bearing — a full-bucket result is truncated at k, and parking
+		// it under kbucket 0 would serve it to larger limits as if it
+		// were the complete ranking, silently dropping hits.
+		if bucket > 0 && len(hits) < bucket {
+			full := key
+			full.kbucket = 0
+			s.cache.put(full, hits)
+		}
 	}
 	if limit > 0 && len(hits) > limit {
 		hits = hits[:limit]

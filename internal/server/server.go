@@ -97,10 +97,14 @@ type Server struct {
 // New wraps sys in a service layer. The caller keeps ownership of
 // sys (and closes it after the HTTP server shuts down).
 //
-// Pipeline tuning (AsyncMaxPending, AsyncCoalesce, CompactRatio) is
-// applied to the collections already in sys as well: collection
-// options are not persisted, so collections restored from disk would
-// otherwise run with baked-in defaults and ignore the configuration.
+// Pipeline tuning (AsyncMaxPending, AsyncCoalesce) is applied to the
+// collections already in sys as well: those options are not
+// persisted, so collections restored from disk would otherwise run
+// with baked-in defaults and ignore the configuration. The
+// auto-compaction policy IS persisted per collection (the .irsc
+// trailer re-arms it on load), so CompactRatio only arms collections
+// that came up with no policy of their own — overwriting would undo
+// exactly the per-collection tuning the trailer preserved.
 func New(sys *docirs.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	for _, name := range sys.Collections() {
@@ -109,7 +113,7 @@ func New(sys *docirs.System, cfg Config) *Server {
 			continue
 		}
 		col.ConfigureAsync(cfg.AsyncMaxPending, cfg.AsyncCoalesce)
-		if cfg.CompactRatio > 0 {
+		if ratio, _ := col.IRS().Index().AutoCompact(); ratio == 0 && cfg.CompactRatio > 0 {
 			col.IRS().SetAutoCompact(cfg.CompactRatio, 0)
 		}
 	}

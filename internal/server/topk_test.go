@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"testing"
+
+	docirs "repro"
 )
 
 func TestKBucket(t *testing.T) {
@@ -104,13 +106,103 @@ func TestSearchLimitPushdown(t *testing.T) {
 	if !ok {
 		t.Fatalf("stats missing topk section: %v", coll)
 	}
-	for _, key := range []string{"queries", "candidates_scored", "candidates_pruned", "prune_rate"} {
+	for _, key := range []string{"queries", "candidates_scored", "candidates_pruned", "prune_rate", "shards_skipped", "bounds_staleness"} {
 		if _, ok := topk[key]; !ok {
 			t.Errorf("topk stats missing %q: %v", key, topk)
 		}
 	}
 	if topk["queries"].(float64) < 1 {
 		t.Errorf("topk queries = %v, want >= 1", topk["queries"])
+	}
+}
+
+// TestSearchBucketFallbackExhaustive is the regression test for the
+// limit > len(cached) edge of the k-bucket cache: a bucketed top-k
+// evaluation that returned fewer hits than its bucket is provably
+// exhaustive and must serve every larger limit complete (promoted to
+// the unlimited slot), while a full-bucket result — truncated at k —
+// must never be served for a limit beyond its bucket as if it were
+// the complete ranking.
+func TestSearchBucketFallbackExhaustive(t *testing.T) {
+	_, ts := fixture(t, Config{})
+	seed(t, ts, 5) // 5 matches for "www": any bucket ≥ 16 is exhaustive
+	su := ts.URL + "/collections/collPara/search?q=www"
+
+	cold := mustOK(t, "GET", su+"&limit=3", nil)
+	if cold["cached"] != false || len(cold["results"].([]any)) != 3 {
+		t.Fatalf("cold limit=3: %v", cold)
+	}
+	// limit=40 maps to bucket 64 — a miss there must fall back to the
+	// promoted exhaustive entry and return all 5 hits, complete, not
+	// re-evaluated and not truncated.
+	over := mustOK(t, "GET", su+"&limit=40", nil)
+	if over["cached"] != true {
+		t.Fatalf("limit=40 did not serve from the promoted exhaustive entry: %v", over)
+	}
+	if n := int(over["count"].(float64)); n != 5 {
+		t.Fatalf("limit=40 returned %d hits, want all 5", n)
+	}
+	// The unlimited request itself hits the promoted entry too.
+	full := mustOK(t, "GET", su, nil)
+	if full["cached"] != true || int(full["count"].(float64)) != 5 {
+		t.Fatalf("limit=0 after promotion: %v", full)
+	}
+
+	// Danger direction: with 24 matches, a limit=10 evaluation fills
+	// its 16-bucket exactly — truncated, NOT exhaustive — and must not
+	// be promoted: the limit=20 request below needs 20 hits and would
+	// silently lose 4 if the truncated entry were served as complete.
+	_, ts2 := fixture(t, Config{})
+	seed(t, ts2, 24)
+	su2 := ts2.URL + "/collections/collPara/search?q=www"
+	if out := mustOK(t, "GET", su2+"&limit=10", nil); int(out["count"].(float64)) != 10 {
+		t.Fatalf("limit=10: %v", out)
+	}
+	out := mustOK(t, "GET", su2+"&limit=20", nil)
+	if out["cached"] != false {
+		t.Fatalf("limit=20 served a cached entry despite only a truncated 16-bucket existing: %v", out)
+	}
+	if n := int(out["count"].(float64)); n != 20 {
+		t.Fatalf("limit=20 returned %d hits, want 20", n)
+	}
+}
+
+// TestCompactPolicyPrecedence: a collection that comes up with its
+// own auto-compaction policy (re-armed from the persisted .irsc
+// trailer) must keep it across server.New — the CompactRatio config
+// only arms collections that have none. Regression for the restart
+// path silently overwriting per-collection tuning with the flag
+// default.
+func TestCompactPolicyPrecedence(t *testing.T) {
+	sys, err := docirs.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	mustDTD, err := sys.LoadDTD(testDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.LoadDocument(mustDTD, testDoc(0, "sgml markup")); err != nil {
+		t.Fatal(err)
+	}
+	armed, err := sys.CreateCollection("armed", "ACCESS p FROM p IN PARA;", docirs.CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sys.CreateCollection("plain", "ACCESS p FROM p IN PARA;", docirs.CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stands in for the trailer re-arm a persistent load performs.
+	armed.IRS().SetAutoCompact(0.25, 5)
+
+	New(sys, Config{CompactRatio: 0.5})
+	if ratio, min := armed.IRS().Index().AutoCompact(); ratio != 0.25 || min != 5 {
+		t.Errorf("armed collection's policy overwritten by config: (%v, %d), want (0.25, 5)", ratio, min)
+	}
+	if ratio, _ := plain.IRS().Index().AutoCompact(); ratio != 0.5 {
+		t.Errorf("policy-less collection not armed by config: ratio %v, want 0.5", ratio)
 	}
 }
 
