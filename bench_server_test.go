@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	docirs "repro"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -21,7 +22,7 @@ import (
 // serveFixture builds an HTTP frontend over a loaded system. shards
 // partitions the collection's inverted index (0: one shard, the
 // pre-sharding layout).
-func serveFixture(b *testing.B, cfg server.Config, shards int) *httptest.Server {
+func serveFixture(b testing.TB, cfg server.Config, shards int) *httptest.Server {
 	b.Helper()
 	sys, err := docirs.Open("")
 	if err != nil {
@@ -99,6 +100,70 @@ func BenchmarkServerQueryParallel(b *testing.B) {
 	b.Run("cold", func(b *testing.B) { run(b, server.Config{CacheSize: -1}, benchShards()) })
 	b.Run("warm", func(b *testing.B) { run(b, server.Config{CacheSize: 1024}, benchShards()) })
 	b.Run("cold-1shard", func(b *testing.B) { run(b, server.Config{CacheSize: -1}, 1) })
+	// The obs-off variant of cold: the A/B counterpart for measuring
+	// what the always-on histograms/traces cost on the serving path
+	// (TestObsOverheadBudget asserts the comparison; this subbenchmark
+	// makes it visible in ordinary `go test -bench` output too).
+	b.Run("cold-obs-off", func(b *testing.B) {
+		obs.SetEnabled(false)
+		defer obs.SetEnabled(true)
+		run(b, server.Config{CacheSize: -1}, benchShards())
+	})
+}
+
+// TestObsOverheadBudget measures what the observability layer costs
+// on the serving query path: interleaved min-of-3 A/B of the cold
+// query loop with obs recording on vs off. The budget is 3%; the
+// assertion allows generous slack because single-run CI timings are
+// noisy — the logged number is the trajectory's signal, the assert is
+// a tripwire for accidentally making recording expensive (e.g. a
+// lock on the hot path).
+func TestObsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark comparison; skipped in -short")
+	}
+	body, _ := json.Marshal(map[string]string{
+		"query": `ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.45;`,
+	})
+	ts := serveFixture(t, server.Config{CacheSize: -1}, benchShards())
+	post := func(tb testing.TB) {
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			tb.Fatalf("query status %d", resp.StatusCode)
+		}
+	}
+	post(t) // warm the coupling's buffered path before timing
+	measure := func() float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				post(b)
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	on, off := -1.0, -1.0
+	defer obs.SetEnabled(true)
+	for i := 0; i < 3; i++ {
+		obs.SetEnabled(true)
+		if v := measure(); on < 0 || v < on {
+			on = v
+		}
+		obs.SetEnabled(false)
+		if v := measure(); off < 0 || v < off {
+			off = v
+		}
+	}
+	obs.SetEnabled(true)
+	pct := (on - off) / off * 100
+	t.Logf("obs overhead on server query path: on=%.0f ns/op off=%.0f ns/op -> %+.2f%% (target <= 3%%)", on, off, pct)
+	if pct > 25 {
+		t.Errorf("obs overhead %.1f%% is far beyond the 3%% budget; recording is on a hot path", pct)
+	}
 }
 
 // BenchmarkServerSearchParallel measures the raw IRS search endpoint

@@ -5,6 +5,12 @@
 //	mmfbench            # run everything
 //	mmfbench -exp F4    # only the Figure 4 derivation table
 //	mmfbench -list      # list experiment ids
+//
+// It also maintains the repo's perf trajectory:
+//
+//	mmfbench -bench-out BENCH_6.json -bench-pr 6     # measure + write snapshot
+//	mmfbench -bench-old BENCH_5.json -bench-new BENCH_6.json          # diff, warn
+//	mmfbench -bench-old BENCH_5.json -bench-new BENCH_6.json -bench-gate  # diff, exit 1 on regression
 package main
 
 import (
@@ -14,13 +20,40 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/eval"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (F1..F4, T1..T8, A1/A2, X1, S1/S2/S3/S4); empty = all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	shards := flag.Int("shards", 0, "shard count for the S1/S3/S4 sharded-engine experiments (0: GOMAXPROCS)")
+	benchOut := flag.String("bench-out", "", "measure the perf snapshot and write it to this file (skips experiments)")
+	benchPR := flag.Int("bench-pr", 0, "PR number stamped into -bench-out")
+	benchOld := flag.String("bench-old", "", "previous BENCH_*.json to diff -bench-new against")
+	benchNew := flag.String("bench-new", "", "new BENCH_*.json for the diff")
+	benchGate := flag.Bool("bench-gate", false, "exit 1 when the bench diff finds a regression (default: warn only)")
 	flag.Parse()
+
+	if *benchOut != "" {
+		rep, err := eval.RunBench(os.Stdout, *benchPR)
+		if err == nil {
+			err = eval.WriteBenchReport(*benchOut, rep)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmfbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
+	}
+	if *benchNew != "" {
+		if err := diffBench(*benchOld, *benchNew, *benchGate); err != nil {
+			fmt.Fprintf(os.Stderr, "mmfbench: bench diff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runners := experimentRunners(*shards)
 	if *list {
@@ -63,4 +96,41 @@ func main() {
 type runner struct {
 	title string
 	run   func(io.Writer) error
+}
+
+// diffBench compares two perf snapshots. A missing -bench-old (first
+// PR to carry a snapshot) validates the new report and warns instead
+// of failing, gated or not — there is nothing to regress against.
+func diffBench(oldPath, newPath string, gate bool) error {
+	newRep, err := eval.LoadBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	if err := eval.ValidateBenchReport(newRep); err != nil {
+		return err
+	}
+	if oldPath == "" {
+		fmt.Printf("no previous bench report; %s validates clean (first point of the trajectory)\n", newPath)
+		return nil
+	}
+	oldRep, err := eval.LoadBenchReport(oldPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("previous bench report %s missing; %s validates clean\n", oldPath, newPath)
+			return nil
+		}
+		return err
+	}
+	regressions := eval.DiffBenchReports(os.Stdout, oldRep, newRep, 0)
+	if len(regressions) == 0 {
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "mmfbench: regression: %s\n", r)
+	}
+	if gate {
+		return fmt.Errorf("%d benchmark(s) regressed", len(regressions))
+	}
+	fmt.Fprintln(os.Stderr, "mmfbench: warn-only (no -bench-gate); not failing")
+	return nil
 }

@@ -32,6 +32,13 @@
 //	curl -s -X POST localhost:8080/documents \
 //	     -d '{"dtd":"mmf","mode":"async","documents":["<MMFDOC>..."]}'   # 202 + watermarks
 //	curl -s -X POST localhost:8080/collections/collPara/drain            # visibility barrier
+//
+// Observability: /metrics serves Prometheus text (latency histograms
+// per endpoint, per collection and per pipeline stage),
+// /debug/slowlog the slowest recent request traces (-slow-query sets
+// the admission threshold), logs are structured (-log-format
+// text|json, -log-level), and -debug-addr exposes net/http/pprof on a
+// separate listener that is never reachable from the service port.
 package main
 
 import (
@@ -39,8 +46,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -51,69 +59,132 @@ import (
 	"repro/internal/server"
 )
 
+// options carries everything run needs; flags fill one in main.
+type options struct {
+	addr      string
+	dbDir     string
+	dtdPath   string
+	dtdName   string
+	shards    int
+	debugAddr string // pprof listener; empty disables
+	logFormat string // "text" or "json"
+	logLevel  string // "debug", "info", "warn" or "error"
+	cfg       server.Config
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	dbDir := flag.String("db", "", "database directory (empty: memory-only)")
-	dtdPath := flag.String("dtd", "", "DTD file to preload (optional)")
-	dtdName := flag.String("dtd-name", "default", "name the preloaded DTD is registered under")
-	maxConcurrent := flag.Int("max-concurrent", 0, "concurrent evaluation bound (0: 4×GOMAXPROCS)")
-	cacheSize := flag.Int("cache-size", 1024, "query cache entries (negative: disable)")
-	cacheTTL := flag.Duration("cache-ttl", 0, "query cache entry lifetime (0: no expiry; epochs still invalidate on mutation)")
-	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "admission wait bound")
-	shards := flag.Int("shards", 0, "index shards for new collections (0: GOMAXPROCS; existing collections keep their shard count)")
-	asyncMaxPending := flag.Int("async-max-pending", 0, "pending-update bound per async collection before ingest sheds 503 (0: 4096; negative: unbounded)")
-	asyncCoalesce := flag.Duration("async-coalesce", 0, "group-commit window of the async ingest flusher (0: 2ms; negative: flush immediately)")
-	compactRatio := flag.Float64("compact-ratio", 0.5, "tombstone ratio that triggers background index compaction (0: disable)")
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&opts.dbDir, "db", "", "database directory (empty: memory-only)")
+	flag.StringVar(&opts.dtdPath, "dtd", "", "DTD file to preload (optional)")
+	flag.StringVar(&opts.dtdName, "dtd-name", "default", "name the preloaded DTD is registered under")
+	flag.IntVar(&opts.shards, "shards", 0, "index shards for new collections (0: GOMAXPROCS; existing collections keep their shard count)")
+	flag.StringVar(&opts.debugAddr, "debug-addr", "", "separate listen address for net/http/pprof (empty: disabled)")
+	flag.StringVar(&opts.logFormat, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&opts.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.IntVar(&opts.cfg.MaxConcurrent, "max-concurrent", 0, "concurrent evaluation bound (0: 4×GOMAXPROCS)")
+	flag.IntVar(&opts.cfg.CacheSize, "cache-size", 1024, "query cache entries (negative: disable)")
+	flag.DurationVar(&opts.cfg.CacheTTL, "cache-ttl", 0, "query cache entry lifetime (0: no expiry; epochs still invalidate on mutation)")
+	flag.DurationVar(&opts.cfg.QueueTimeout, "queue-timeout", 5*time.Second, "admission wait bound")
+	flag.IntVar(&opts.cfg.AsyncMaxPending, "async-max-pending", 0, "pending-update bound per async collection before ingest sheds 503 (0: 4096; negative: unbounded)")
+	flag.DurationVar(&opts.cfg.AsyncCoalesce, "async-coalesce", 0, "group-commit window of the async ingest flusher (0: 2ms; negative: flush immediately)")
+	flag.Float64Var(&opts.cfg.CompactRatio, "compact-ratio", 0.5, "tombstone ratio that triggers background index compaction (0: disable)")
+	flag.DurationVar(&opts.cfg.SlowQueryThreshold, "slow-query", 0, "duration admitting a request trace to /debug/slowlog (0: 250ms; negative: disable)")
+	flag.IntVar(&opts.cfg.SlowLogSize, "slowlog-size", 0, "slow-log ring capacity (0: 128)")
 	flag.Parse()
 
-	if err := run(*addr, *dbDir, *dtdPath, *dtdName, *shards, server.Config{
-		MaxConcurrent:   *maxConcurrent,
-		CacheSize:       *cacheSize,
-		CacheTTL:        *cacheTTL,
-		QueueTimeout:    *queueTimeout,
-		AsyncMaxPending: *asyncMaxPending,
-		AsyncCoalesce:   *asyncCoalesce,
-		CompactRatio:    *compactRatio,
-	}); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "mmfserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbDir, dtdPath, dtdName string, shards int, cfg server.Config) error {
-	sys, err := docirs.Open(dbDir)
+// newLogger builds the structured logger the process logs through.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, ho)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+}
+
+func run(opts options) error {
+	logger, err := newLogger(opts.logFormat, opts.logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+
+	sys, err := docirs.Open(opts.dbDir)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
 
+	shards := opts.shards
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	sys.Engine().SetDefaultShards(shards)
-	log.Printf("index shards for new collections: %d", shards)
 
-	srv := server.New(sys, cfg)
-	if dtdPath != "" {
-		src, err := os.ReadFile(dtdPath)
+	srv := server.New(sys, opts.cfg)
+	if opts.dtdPath != "" {
+		src, err := os.ReadFile(opts.dtdPath)
 		if err != nil {
 			return err
 		}
-		if err := srv.PreloadDTD(dtdName, string(src)); err != nil {
+		if err := srv.PreloadDTD(opts.dtdName, string(src)); err != nil {
 			return err
 		}
-		log.Printf("preloaded DTD %q from %s", dtdName, dtdPath)
+		logger.Info("preloaded DTD", "name", opts.dtdName, "path", opts.dtdPath)
+	}
+
+	// pprof lives on its own listener: profiling endpoints leak heap
+	// contents and must never ride the service port.
+	var debugSrv *http.Server
+	if opts.debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: opts.debugAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", opts.debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+		defer debugSrv.Close()
 	}
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              opts.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("mmfserve listening on %s (db=%q, collections=%v)",
-			addr, dbDir, sys.Collections())
+		logger.Info("mmfserve listening",
+			"addr", opts.addr, "db", opts.dbDir,
+			"shards", shards, "collections", sys.Collections())
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -123,12 +194,45 @@ func run(addr, dbDir, dtdPath, dtdName string, shards int, cfg server.Config) er
 	case err := <-errc:
 		return err
 	case sig := <-stop:
-		log.Printf("received %s, draining", sig)
+		logger.Info("shutdown signal received", "signal", sig.String())
+		drainStart := time.Now()
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			return err
+		shutdownErr := httpSrv.Shutdown(ctx)
+		if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+			return shutdownErr
 		}
+		// Drain every collection's propagation queue before Close so
+		// async updates reach the index, and report the flush health
+		// each collection retires with — a non-empty LastFlushError
+		// here is the difference between "clean exit" and "silently
+		// dropped updates".
+		for _, name := range sys.Collections() {
+			col, err := sys.Collection(name)
+			if err != nil {
+				continue
+			}
+			pending := col.PendingOps()
+			if err := col.Drain(); err != nil {
+				logger.Error("collection drain failed", "collection", name, "err", err)
+			}
+			cs := col.Stats().Snapshot()
+			attrs := []any{
+				"collection", name,
+				"pending_was", pending,
+				"flushes", cs.Flushes,
+				"flush_errors", cs.FlushErrors,
+			}
+			if last := col.LastFlushError(); last != "" {
+				attrs = append(attrs, "last_flush_error", last)
+				logger.Warn("collection drained with flush errors", attrs...)
+			} else {
+				logger.Info("collection drained", attrs...)
+			}
+		}
+		logger.Info("drained",
+			"duration", time.Since(drainStart).String(),
+			"timed_out", errors.Is(shutdownErr, context.DeadlineExceeded))
 		return nil
 	}
 }

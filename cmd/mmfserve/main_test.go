@@ -14,7 +14,8 @@ import (
 )
 
 func TestRunRejectsMissingDTDFile(t *testing.T) {
-	if err := run("127.0.0.1:0", "", filepath.Join(t.TempDir(), "nope.dtd"), "mmf", 0, server.Config{}); err == nil {
+	opts := options{addr: "127.0.0.1:0", dtdPath: filepath.Join(t.TempDir(), "nope.dtd"), dtdName: "mmf"}
+	if err := run(opts); err == nil {
 		t.Fatal("run accepted a missing DTD file")
 	}
 }
@@ -25,8 +26,17 @@ func TestRunRejectsBadDTD(t *testing.T) {
 	if err := os.WriteFile(path, []byte("<!ELEMENT"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", "", path, "mmf", 0, server.Config{}); err == nil {
+	if err := run(options{addr: "127.0.0.1:0", dtdPath: path, dtdName: "mmf"}); err == nil {
 		t.Fatal("run accepted a malformed DTD")
+	}
+}
+
+func TestRunRejectsBadLogFlags(t *testing.T) {
+	if err := run(options{addr: "127.0.0.1:0", logFormat: "yaml"}); err == nil {
+		t.Fatal("run accepted log format yaml")
+	}
+	if err := run(options{addr: "127.0.0.1:0", logLevel: "loud"}); err == nil {
+		t.Fatal("run accepted log level loud")
 	}
 }
 
@@ -43,7 +53,12 @@ func TestRunServesAndDrains(t *testing.T) {
 
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(addr, "", "", "default", 2, server.Config{MaxConcurrent: 2})
+		errc <- run(options{
+			addr:    addr,
+			dtdName: "default",
+			shards:  2,
+			cfg:     server.Config{MaxConcurrent: 2},
+		})
 	}()
 
 	url := fmt.Sprintf("http://%s/healthz", addr)

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/docmodel"
 	"repro/internal/irs"
+	"repro/internal/obs"
 	"repro/internal/oodb"
 	"repro/internal/sgml"
 	"repro/internal/vql"
@@ -295,11 +296,19 @@ func (s *System) Search(collection, irsQuery string) ([]SearchResult, error) {
 // scoring and sorting the whole candidate set. k <= 0 behaves like
 // Search.
 func (s *System) SearchTopK(collection, irsQuery string, k int) ([]SearchResult, error) {
+	return s.SearchTopKTraced(collection, irsQuery, k, nil)
+}
+
+// SearchTopKTraced is SearchTopK carrying a per-request trace context
+// (nil-safe). The serving layer starts a trace per request and passes
+// it down here; every layer below records its stage spans and
+// annotations into it.
+func (s *System) SearchTopKTraced(collection, irsQuery string, k int, tr *obs.Trace) ([]SearchResult, error) {
 	col, err := s.coupling.Collection(collection)
 	if err != nil {
 		return nil, err
 	}
-	ranked, err := col.GetIRSResultTopK(irsQuery, k)
+	ranked, err := col.GetIRSResultTopKTraced(irsQuery, k, tr)
 	if err != nil {
 		return nil, err
 	}

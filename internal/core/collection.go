@@ -12,7 +12,18 @@ import (
 
 	"repro/internal/derive"
 	"repro/internal/irs"
+	"repro/internal/obs"
 	"repro/internal/oodb"
+)
+
+// Stage histograms of the flush pipeline, shared across collections
+// (obs.Default is the process registry /metrics scrapes): analyze
+// runs outside every lock, commit_batch is the index commit-lock
+// hold — the split PR 3 introduced as counters, generalized onto
+// latency distributions.
+var (
+	flushAnalyzeHist = obs.Default.Histogram("mmf_stage_seconds", "stage", "analyze")
+	flushCommitHist  = obs.Default.Histogram("mmf_stage_seconds", "stage", "commit_batch")
 )
 
 // Collection is the runtime face of one COLLECTION object: the
@@ -481,14 +492,22 @@ type RankedValue struct {
 // cannot answer later findIRSValue calls for arbitrary objects).
 // k <= 0 ranks the full result.
 func (col *Collection) GetIRSResultTopK(irsQuery string, k int) ([]RankedValue, error) {
+	return col.GetIRSResultTopKTraced(irsQuery, k, nil)
+}
+
+// GetIRSResultTopKTraced is GetIRSResultTopK carrying a per-request
+// trace context (nil-safe): it annotates result-buffer hit/miss and
+// hands tr down to the IRS evaluator, which records stage spans and
+// pruning attrs.
+func (col *Collection) GetIRSResultTopKTraced(irsQuery string, k int, tr *obs.Trace) ([]RankedValue, error) {
 	node, err := irs.ParseQuery(irsQuery)
 	if err != nil {
 		return nil, err
 	}
-	return col.getIRSResultNodeTopK(node, k)
+	return col.getIRSResultNodeTopK(node, k, tr)
 }
 
-func (col *Collection) getIRSResultNodeTopK(node *irs.Node, k int) ([]RankedValue, error) {
+func (col *Collection) getIRSResultNodeTopK(node *irs.Node, k int, tr *obs.Trace) ([]RankedValue, error) {
 	if k <= 0 {
 		// Unlimited: this is the exhaustive result, so it goes through
 		// (and populates) the buffered path like GetIRSResult.
@@ -505,10 +524,12 @@ func (col *Collection) getIRSResultNodeTopK(node *irs.Node, k int) ([]RankedValu
 		return nil, err
 	}
 	if buffered != nil {
+		tr.Attr("result_buffer", "hit")
 		return rankScores(buffered, k), nil
 	}
+	tr.Attr("result_buffer", "miss")
 	snap := col.irsColl.Snapshot()
-	results := col.irsColl.SearchNodeTopKAt(snap, node, k)
+	results := col.irsColl.SearchNodeTopKTracedAt(snap, node, k, tr)
 	out := make([]RankedValue, 0, len(results))
 	for _, r := range results {
 		oid, err := oodb.ParseOID(r.ExtID)
@@ -765,6 +786,8 @@ func (col *Collection) Flush() error {
 		return nil
 	}
 	col.stats.Flushes.Add(1)
+	tr := obs.StartTrace("flush", col.name)
+	defer tr.Finish(obs.SharedSlowLog)
 	var staged []stagedOp
 	for _, op := range ops {
 		ext := op.oid.String()
@@ -804,7 +827,11 @@ func (col *Collection) Flush() error {
 
 	start := time.Now()
 	col.analyzeStaged(staged)
-	col.stats.AnalyzeNanos.Add(int64(time.Since(start)))
+	analyzeTook := time.Since(start)
+	col.stats.AnalyzeNanos.Add(int64(analyzeTook))
+	flushAnalyzeHist.Observe(analyzeTook)
+	tr.Span("analyze", analyzeTook)
+	tr.Attr("staged", len(staged))
 
 	applied := 0
 	start = time.Now()
@@ -840,7 +867,11 @@ func (col *Collection) Flush() error {
 		}
 		return nil
 	})
-	col.stats.CommitNanos.Add(int64(time.Since(start)))
+	commitTook := time.Since(start)
+	col.stats.CommitNanos.Add(int64(commitTook))
+	flushCommitHist.Observe(commitTook)
+	tr.Span("commit_batch", commitTook)
+	tr.Attr("applied", applied)
 	// Invalidate even on error: the batch has no rollback, so any
 	// operations applied before the failure are committed and buffered
 	// results may already be stale.

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func syntheticReport(pr int, topkNs float64) *BenchReport {
+	return &BenchReport{
+		PR: pr, GoVersion: "go1.24.0", GOMAXPROCS: 4,
+		Benchmarks: map[string]BenchResult{
+			"search_topk10":   {N: 1000, NsPerOp: topkNs, BytesPerOp: 100, AllocsPerOp: 3},
+			"search_buffered": {N: 100000, NsPerOp: 2000, BytesPerOp: 1328, AllocsPerOp: 6},
+		},
+		TopK: TopKRates{Queries: 1000, Scored: 5000, Pruned: 5000, PruneRate: 0.5},
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := syntheticReport(6, 50_000)
+	if err := WriteBenchReport(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PR != 6 || got.Benchmarks["search_topk10"].NsPerOp != 50_000 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	if err := ValidateBenchReport(got); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+}
+
+func TestBenchReportValidation(t *testing.T) {
+	rep := syntheticReport(6, 1000)
+	rep.PR = 0
+	if err := ValidateBenchReport(rep); err == nil {
+		t.Error("accepted pr=0")
+	}
+	rep = syntheticReport(6, 1000)
+	rep.Benchmarks = nil
+	if err := ValidateBenchReport(rep); err == nil {
+		t.Error("accepted empty benchmark set")
+	}
+	rep = syntheticReport(6, 0)
+	if err := ValidateBenchReport(rep); err == nil {
+		t.Error("accepted zero ns/op")
+	}
+	rep = syntheticReport(6, 1000)
+	rep.TopK.Queries = 0
+	if err := ValidateBenchReport(rep); err == nil {
+		t.Error("accepted empty topk rates")
+	}
+}
+
+func TestDiffBenchReportsFlagsRegressions(t *testing.T) {
+	old := syntheticReport(5, 50_000)
+	var buf strings.Builder
+
+	// Within tolerance: +20% is noise, not a regression.
+	if regs := DiffBenchReports(&buf, old, syntheticReport(6, 60_000), 0); len(regs) != 0 {
+		t.Fatalf("+20%% flagged as regression: %v", regs)
+	}
+	// Beyond tolerance: +100% must trip.
+	regs := DiffBenchReports(&buf, old, syntheticReport(6, 100_000), 0)
+	if len(regs) != 1 || !strings.Contains(regs[0], "search_topk10") {
+		t.Fatalf("+100%% not flagged: %v", regs)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("diff output does not mark the regression:\n%s", buf.String())
+	}
+	// A benchmark that is new in this PR is reported, never flagged.
+	newRep := syntheticReport(6, 50_000)
+	newRep.Benchmarks["brand_new"] = BenchResult{N: 10, NsPerOp: 1}
+	if regs := DiffBenchReports(&buf, old, newRep, 0); len(regs) != 0 {
+		t.Fatalf("new benchmark flagged: %v", regs)
+	}
+}
+
+// TestCommittedBenchReportValid keeps the committed perf snapshot
+// loadable: the next PR's regression gate diffs against this file, so
+// a malformed or empty BENCH_6.json would silently disable the gate.
+func TestCommittedBenchReportValid(t *testing.T) {
+	rep, err := LoadBenchReport("../../BENCH_6.json")
+	if err != nil {
+		t.Fatalf("committed bench report unreadable: %v", err)
+	}
+	if err := ValidateBenchReport(rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PR != 6 {
+		t.Fatalf("committed report carries pr=%d, want 6", rep.PR)
+	}
+	if len(rep.StageLatency) == 0 {
+		t.Fatal("committed report has no stage latency summaries")
+	}
+	if rep.TopK.PruneRate <= 0 {
+		t.Fatal("committed report shows no MaxScore pruning; the benchmark query stopped engaging the pruning path")
+	}
+}

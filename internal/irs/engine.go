@@ -11,8 +11,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/irs/analysis"
+	"repro/internal/obs"
 )
 
 // Engine manages named collections — the unit of retrieval context
@@ -362,7 +364,30 @@ func (c *Collection) SearchTopK(query string, k int) ([]Result, error) {
 // SearchNodeTopKAt evaluates a pre-parsed query against a previously
 // acquired snapshot, returning the k best results (see SearchTopK).
 func (c *Collection) SearchNodeTopKAt(snap *Snapshot, n *Node, k int) []Result {
+	return c.SearchNodeTopKTracedAt(snap, n, k, nil)
+}
+
+// Stage histograms of the top-k scheduler, shared across collections
+// (obs.Default is the process registry /metrics scrapes). Package
+// vars so the hot path skips the registry map on every query.
+var (
+	topkSeedHist   = obs.Default.Histogram("mmf_stage_seconds", "stage", "topk_seed")
+	topkFinishHist = obs.Default.Histogram("mmf_stage_seconds", "stage", "topk_finish")
+	topkMergeHist  = obs.Default.Histogram("mmf_stage_seconds", "stage", "topk_merge")
+)
+
+// SearchNodeTopKTracedAt is SearchNodeTopKAt carrying a per-request
+// trace context (nil is a valid no-op trace): the scheduler's phase
+// timings become stage spans, and the pruning outcome (candidates
+// scored and pruned, shards skipped by the cross-shard threshold)
+// becomes trace annotations. Phase durations are also recorded onto
+// the obs stage histograms regardless of tracing, so /metrics sees
+// every evaluation. In per-shard-only mode (single shard, or sharing
+// toggled off) seed and finish collapse into one parallel pass whose
+// whole duration is attributed to the seed stage.
+func (c *Collection) SearchNodeTopKTracedAt(snap *Snapshot, n *Node, k int, tr *obs.Trace) []Result {
 	if k <= 0 {
+		defer tr.StartSpan("exhaustive")()
 		return c.SearchNodeAt(snap, n)
 	}
 	res := c.Model().EvalTopK(snap, n, k)
@@ -370,6 +395,22 @@ func (c *Collection) SearchNodeTopKAt(snap *Snapshot, n *Node, k int) []Result {
 	c.topkScored.Add(res.Scored)
 	c.topkPruned.Add(res.Pruned)
 	c.topkSkipped.Add(res.ShardsSkipped)
+	if obs.Enabled() {
+		topkSeedHist.ObserveNanos(res.SeedNanos)
+		topkFinishHist.ObserveNanos(res.FinishNanos)
+		topkMergeHist.ObserveNanos(res.MergeNanos)
+	}
+	if tr != nil {
+		merge := time.Duration(res.MergeNanos)
+		finish := time.Duration(res.FinishNanos)
+		tr.SpanEnded("topk_seed", time.Duration(res.SeedNanos), finish+merge)
+		tr.SpanEnded("topk_finish", finish, merge)
+		tr.SpanEnded("topk_merge", merge, 0)
+		tr.Attr("shards", snap.ShardCount())
+		tr.Attr("shards_skipped", res.ShardsSkipped)
+		tr.Attr("candidates_scored", res.Scored)
+		tr.Attr("candidates_pruned", res.Pruned)
+	}
 	out := make([]Result, len(res.Hits))
 	for i, h := range res.Hits {
 		out[i] = Result{ExtID: h.Ext, Score: h.Score}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Streaming top-k evaluation with MaxScore-style pruning.
@@ -61,12 +62,19 @@ type ScoredDoc struct {
 // (Scored + Pruned = number of candidate documents). ShardsSkipped
 // counts shards whose entire phase-2 remainder was discarded by the
 // cross-shard threshold alone — shards a per-shard-only scan would
-// still have walked (see runTopK).
+// still have walked (see runTopK). The three phase timers attribute
+// the evaluation's wall time to the scheduler's stages — prep+seed
+// (bound construction and threshold warming), finish (bounded
+// remainder scans) and merge (folding per-shard winners) — and feed
+// the obs stage histograms and per-request trace spans.
 type TopKResult struct {
 	Hits          []ScoredDoc
 	Scored        int64
 	Pruned        int64
 	ShardsSkipped int64
+	SeedNanos     int64
+	FinishNanos   int64
+	MergeNanos    int64
 }
 
 // better is the canonical ranking order: higher score first, ties by
@@ -661,6 +669,7 @@ func runTopK(s *Snapshot, k int, prep func(si int) shardTask, ext func(DocID) st
 	if nsh > 1 && TopKThresholdSharing() {
 		shared = newSharedThreshold()
 	}
+	t0 := time.Now()
 	scans := make([]*shardScan, nsh)
 	s.parShards(func(si int) {
 		scans[si] = newShardScan(k, prep(si), ext, shared)
@@ -670,6 +679,8 @@ func runTopK(s *Snapshot, k int, prep func(si int) shardTask, ext func(DocID) st
 		}
 	})
 	var res TopKResult
+	t1 := time.Now()
+	res.SeedNanos = t1.Sub(t0).Nanoseconds()
 	if shared != nil {
 		order := make([]int, 0, nsh)
 		for si, sc := range scans {
@@ -703,6 +714,8 @@ func runTopK(s *Snapshot, k int, prep func(si int) shardTask, ext func(DocID) st
 		}
 		wg.Wait()
 	}
+	t2 := time.Now()
+	res.FinishNanos = t2.Sub(t1).Nanoseconds()
 	perShard := make([][]ScoredDoc, nsh)
 	for si, sc := range scans {
 		perShard[si] = sc.h.entries
@@ -713,6 +726,7 @@ func runTopK(s *Snapshot, k int, prep func(si int) shardTask, ext func(DocID) st
 		}
 	}
 	res.Hits = mergeTopK(perShard, k)
+	res.MergeNanos = time.Since(t2).Nanoseconds()
 	return res
 }
 

@@ -1,0 +1,31 @@
+// Package obs is the repro's dependency-free observability layer:
+// lock-free HDR-style latency histograms, an atomic sliding-window
+// rate counter, a metric registry with Prometheus text exposition,
+// lightweight per-request traces with stage spans, and a
+// ring-buffered slow-query log.
+//
+// The paper's OODBMS–IRS coupling lives or dies on where time goes at
+// the seam — analysis vs. commit, bound-pruned scoring vs. merge —
+// so every layer records into this package: the IRS top-k scheduler
+// times its seed/finish/merge phases, the coupling's flush pipeline
+// times its analyze/commit stages, and the serving layer times every
+// endpoint per collection. All primitives are safe for concurrent
+// use and cheap enough to stay on by default (a handful of atomic
+// operations per record); SetEnabled(false) turns every record into
+// a near-free no-op for A/B overhead measurement.
+package obs
+
+import "sync/atomic"
+
+// disabled flips every recording primitive into a no-op. Stored
+// inverted so the zero value means "enabled".
+var disabled atomic.Bool
+
+// SetEnabled toggles all obs recording globally (on by default).
+// Reads (snapshots, exposition) keep working either way; only new
+// observations are dropped while disabled. Exists for overhead A/B
+// measurement — serving code never turns it off.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Enabled reports whether recording is active.
+func Enabled() bool { return !disabled.Load() }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4): histograms as
+// cumulative `le` ladders in seconds, counters and gauges as scalar
+// samples. The internal log-linear buckets are folded onto a fixed
+// exposition ladder so a scrape stays a few KB regardless of how
+// many nanosecond-resolution buckets are populated; an observation
+// can surface at most one ladder step above its true value (see
+// HistSnapshot.CumulativeAtMost).
+
+// promLadder is the `le` ladder in seconds.
+var promLadder = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// WritePrometheus renders every metric of the registry in the
+// Prometheus text format. Series are sorted so output is stable for
+// golden tests and diff-friendly scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	counts := make([]*Counter, 0, len(r.counts))
+	for _, c := range r.counts {
+		counts = append(counts, c)
+	}
+	gauges := make([]*gaugeFn, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(hists, func(i, j int) bool {
+		if hists[i].name != hists[j].name {
+			return hists[i].name < hists[j].name
+		}
+		return hists[i].labels < hists[j].labels
+	})
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].name != counts[j].name {
+			return counts[i].name < counts[j].name
+		}
+		return counts[i].labels < counts[j].labels
+	})
+	sort.Slice(gauges, func(i, j int) bool {
+		if gauges[i].name != gauges[j].name {
+			return gauges[i].name < gauges[j].name
+		}
+		return gauges[i].labels < gauges[j].labels
+	})
+
+	lastType := ""
+	for _, h := range hists {
+		if h.name != lastType {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+			lastType = h.name
+		}
+		s := h.Snapshot()
+		for _, le := range promLadder {
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+				h.name, labelPrefix(h.labels), formatLE(le),
+				s.CumulativeAtMost(int64(le*1e9)))
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, labelPrefix(h.labels), s.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", h.name, labelSuffix(h.labels), formatFloat(float64(s.SumNS)/1e9))
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, labelSuffix(h.labels), s.Count)
+	}
+	lastType = ""
+	for _, c := range counts {
+		if c.name != lastType {
+			fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+			lastType = c.name
+		}
+		fmt.Fprintf(w, "%s%s %d\n", c.name, labelSuffix(c.labels), c.Value())
+	}
+	lastType = ""
+	for _, g := range gauges {
+		if g.name != lastType {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+			lastType = g.name
+		}
+		fmt.Fprintf(w, "%s%s %s\n", g.name, labelSuffix(g.labels), formatFloat(g.fn()))
+	}
+}
+
+// labelPrefix renders labels for joining with further labels
+// (`k="v",` or empty).
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// labelSuffix renders a complete label block (`{k="v"}` or empty).
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatLE renders a ladder bound the way Prometheus clients do
+// (shortest float representation).
+func formatLE(le float64) string { return strconv.FormatFloat(le, 'g', -1, 64) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

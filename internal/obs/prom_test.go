@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The minimal exposition parser these tests validate with lives in
+// promparse.go (non-test file, so the serving layer's endpoint tests
+// can import it too).
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "endpoint", "search")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	h2 := r.Histogram("test_latency_seconds", "endpoint", "query")
+	h2.Observe(3 * time.Second)
+	r.Counter("test_requests_total", "kind", "search").Add(42)
+	r.Gauge("test_inflight", func() float64 { return 7 })
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+
+	samples, types, err := ParsePrometheusText(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if types["test_latency_seconds"] != "histogram" ||
+		types["test_requests_total"] != "counter" ||
+		types["test_inflight"] != "gauge" {
+		t.Fatalf("types = %v", types)
+	}
+	if err := ValidatePromHistograms(samples, types); err != nil {
+		t.Fatalf("histogram invariants: %v\n%s", err, text)
+	}
+	var sawCounter, sawGauge, sawP100ms bool
+	for _, s := range samples {
+		switch s.Name {
+		case "test_requests_total":
+			sawCounter = true
+			if s.Value != 42 || s.Labels["kind"] != "search" {
+				t.Errorf("counter sample %+v", s)
+			}
+		case "test_inflight":
+			sawGauge = true
+			if s.Value != 7 {
+				t.Errorf("gauge sample %+v", s)
+			}
+		case "test_latency_seconds_bucket":
+			// 100 observations of 1..100ms: the le=0.1 bucket must hold
+			// nearly all of them — folding the log-linear buckets onto
+			// the ladder can defer observations within 1/subCount
+			// (12.5%) of the bound to the next step, never more.
+			if s.Labels["endpoint"] == "search" && s.Labels["le"] == "0.1" {
+				sawP100ms = true
+				if s.Value < 87 {
+					t.Errorf("le=0.1 cumulative = %v, want >= 87", s.Value)
+				}
+			}
+		}
+	}
+	if !sawCounter || !sawGauge || !sawP100ms {
+		t.Fatalf("missing expected samples (counter=%v gauge=%v bucket=%v)\n%s",
+			sawCounter, sawGauge, sawP100ms, text)
+	}
+}
+
+func TestRegistryGetOrCreateAndUnregister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("m", "k", "v")
+	b := r.Histogram("m", "k", "v")
+	if a != b {
+		t.Fatal("same series returned distinct histograms")
+	}
+	if c := r.Histogram("m", "k", "w"); c == a {
+		t.Fatal("distinct label sets shared a histogram")
+	}
+	a.Observe(time.Millisecond)
+	if s, ok := r.HistogramSnapshot("m", "k", "v"); !ok || s.Count != 1 {
+		t.Fatalf("snapshot lookup failed: ok=%v", ok)
+	}
+	r.Unregister("m")
+	if _, ok := r.HistogramSnapshot("m", "k", "v"); ok {
+		t.Fatal("unregister left the series behind")
+	}
+	if got := len(r.Summaries()); got != 0 {
+		t.Fatalf("summaries after unregister: %d", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "q", "a\"b\\c\nd").Add(1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if _, _, err := ParsePrometheusText(b.String()); err != nil {
+		t.Fatalf("escaped label broke the format: %v\n%s", err, b.String())
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Minimal Prometheus text-format (0.0.4) parser: enough to validate
+// /metrics output — `# TYPE name kind` declarations and
+// `name{labels} value` samples, with the histogram format invariants
+// checked by ValidatePromHistograms. It exists for the test suites of
+// this package and the serving layer (a scrape endpoint that only a
+// real Prometheus ever parses is an endpoint whose format rots);
+// nothing in the serving path uses it.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+var promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+var promLabelRe = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+
+// ParsePrometheusText parses exposition text, returning the samples
+// and the TYPE of every declared metric. Malformed lines are errors —
+// that is the point of a validation parser.
+func ParsePrometheusText(text string) (samples []PromSample, types map[string]string, err error) {
+	types = make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, nil, fmt.Errorf("malformed TYPE line %q", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, nil, fmt.Errorf("unknown metric type in %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return nil, nil, fmt.Errorf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil && m[4] != "+Inf" && m[4] != "-Inf" && m[4] != "NaN" {
+			return nil, nil, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		labels := make(map[string]string)
+		if m[3] != "" {
+			rest := m[3]
+			for _, lm := range promLabelRe.FindAllStringSubmatch(rest, -1) {
+				labels[lm[1]] = lm[2]
+			}
+		}
+		samples = append(samples, PromSample{Name: m[1], Labels: labels, Value: v})
+	}
+	return samples, types, sc.Err()
+}
+
+// ValidatePromHistograms checks every declared histogram for the
+// format invariants: a cumulative non-decreasing `le` ladder ending
+// at +Inf, and matching _count and _sum series.
+func ValidatePromHistograms(samples []PromSample, types map[string]string) error {
+	type series struct {
+		lastLE    float64
+		lastCount float64
+		infCount  float64
+		hasInf    bool
+		count     float64
+		hasCount  bool
+		hasSum    bool
+	}
+	bySeries := make(map[string]*series)
+	keyOf := func(name string, labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		// Sort-free canonical key: few labels, join after insertion
+		// sort.
+		for i := 1; i < len(parts); i++ {
+			for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+				parts[j], parts[j-1] = parts[j-1], parts[j]
+			}
+		}
+		return name + "{" + strings.Join(parts, ",") + "}"
+	}
+	get := func(k string) *series {
+		s := bySeries[k]
+		if s == nil {
+			s = &series{lastLE: -1}
+			bySeries[k] = s
+		}
+		return s
+	}
+	for _, sm := range samples {
+		for base, typ := range types {
+			if typ != "histogram" {
+				continue
+			}
+			switch sm.Name {
+			case base + "_bucket":
+				s := get(keyOf(base, sm.Labels))
+				le := sm.Labels["le"]
+				if le == "" {
+					return fmt.Errorf("%s bucket without le label", base)
+				}
+				if le == "+Inf" {
+					s.hasInf = true
+					s.infCount = sm.Value
+					continue
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("%s bad le %q", base, le)
+				}
+				if bound <= s.lastLE {
+					return fmt.Errorf("%s le ladder not increasing at %v", base, bound)
+				}
+				if sm.Value < s.lastCount {
+					return fmt.Errorf("%s cumulative count decreased at le=%v", base, bound)
+				}
+				s.lastLE, s.lastCount = bound, sm.Value
+			case base + "_count":
+				s := get(keyOf(base, sm.Labels))
+				s.hasCount = true
+				s.count = sm.Value
+			case base + "_sum":
+				get(keyOf(base, sm.Labels)).hasSum = true
+			}
+		}
+	}
+	for key, s := range bySeries {
+		if !s.hasInf {
+			return fmt.Errorf("%s missing +Inf bucket", key)
+		}
+		if !s.hasCount || !s.hasSum {
+			return fmt.Errorf("%s missing _count or _sum", key)
+		}
+		if s.infCount != s.count {
+			return fmt.Errorf("%s +Inf bucket %v != count %v", key, s.infCount, s.count)
+		}
+		if s.lastCount > s.infCount {
+			return fmt.Errorf("%s finite bucket exceeds +Inf", key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Rate measures events per second over a sliding window of
+// per-second buckets, entirely with atomics. Each bucket packs the
+// unix second it was last used into the high bits of one word and
+// the event count into the low bits, so the "new second resets the
+// bucket" transition is a single CAS — no lock, no lost counts.
+type Rate struct {
+	buckets [rateBuckets]atomic.Uint64
+}
+
+const (
+	rateBuckets = 64
+	rateSpan    = 10 // seconds averaged by PerSecond
+
+	// Bucket word layout: [ second : 40 bits | count : 24 bits ].
+	// 24 bits cap a bucket at ~16.7M events/second — beyond the
+	// serving layer's reach — and 40 bits of unix seconds run out
+	// in the year 36812.
+	rateCountBits = 24
+	rateCountMask = (1 << rateCountBits) - 1
+)
+
+// NewRate returns a rate window.
+func NewRate() *Rate { return &Rate{} }
+
+// Record counts one event in the current second's bucket.
+func (r *Rate) Record() {
+	if r == nil || disabled.Load() {
+		return
+	}
+	now := uint64(time.Now().Unix())
+	b := &r.buckets[now%rateBuckets]
+	for {
+		old := b.Load()
+		var next uint64
+		if old>>rateCountBits == now {
+			if old&rateCountMask == rateCountMask {
+				return // saturated; drop rather than corrupt the second
+			}
+			next = old + 1
+		} else {
+			next = now<<rateCountBits | 1
+		}
+		if b.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// PerSecond returns events/second averaged over the last rateSpan
+// full seconds (the current, partially filled second is excluded).
+func (r *Rate) PerSecond() float64 {
+	if r == nil {
+		return 0
+	}
+	now := uint64(time.Now().Unix())
+	var sum uint64
+	for sec := now - rateSpan; sec < now; sec++ {
+		v := r.buckets[sec%rateBuckets].Load()
+		if v>>rateCountBits == sec {
+			sum += v & rateCountMask
+		}
+	}
+	return float64(sum) / rateSpan
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone event counter.
+type Counter struct {
+	name   string
+	labels string
+	v      atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil || disabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// gaugeFn is a registered read-on-scrape scalar.
+type gaugeFn struct {
+	name   string
+	labels string
+	fn     func() float64
+}
+
+// Registry holds named metrics for exposition. Metrics are created on
+// first use and live for the process lifetime (the expvar model);
+// a histogram or counter handle, once obtained, records without any
+// registry involvement.
+type Registry struct {
+	mu     sync.RWMutex
+	hists  map[string]*Histogram
+	counts map[string]*Counter
+	gauges map[string]*gaugeFn
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:  make(map[string]*Histogram),
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*gaugeFn),
+	}
+}
+
+// Default is the process-wide registry every layer records into (the
+// same role prometheus' default registerer or expvar's global map
+// play); the serving layer exposes it at /metrics.
+var Default = NewRegistry()
+
+// canonLabels renders k,v pairs canonically: sorted by key,
+// `k1="v1",k2="v2"`. Panics on an odd pair count (a programming
+// error, caught by any test that touches the call site).
+func canonLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: labels must be key,value pairs")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", p.k, escapeLabel(p.v))
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format
+// (backslash, double quote, newline).
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func metricKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// Histogram returns the histogram registered under name and the
+// given label pairs, creating it on first use.
+func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram {
+	labels := canonLabels(labelPairs)
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	h := r.hists[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[key]; h == nil {
+		h = &Histogram{name: name, labels: labels}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// HistogramSnapshot returns the snapshot of a registered histogram;
+// ok is false when no such histogram exists yet.
+func (r *Registry) HistogramSnapshot(name string, labelPairs ...string) (HistSnapshot, bool) {
+	key := metricKey(name, canonLabels(labelPairs))
+	r.mu.RLock()
+	h := r.hists[key]
+	r.mu.RUnlock()
+	if h == nil {
+		return HistSnapshot{}, false
+	}
+	return h.Snapshot(), true
+}
+
+// Counter returns the counter registered under name and the given
+// label pairs, creating it on first use.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	labels := canonLabels(labelPairs)
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	c := r.counts[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counts[key]; c == nil {
+		c = &Counter{name: name, labels: labels}
+		r.counts[key] = c
+	}
+	return c
+}
+
+// Gauge registers a read-on-scrape scalar under name and the given
+// label pairs. Re-registering the same series replaces the function
+// (tests rebuild servers; the freshest closure wins).
+func (r *Registry) Gauge(name string, fn func() float64, labelPairs ...string) {
+	labels := canonLabels(labelPairs)
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	r.gauges[key] = &gaugeFn{name: name, labels: labels, fn: fn}
+	r.mu.Unlock()
+}
+
+// Unregister drops every series of the metric name (all label sets).
+// Collection teardown uses it so dropped tenants stop appearing in
+// /metrics.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for key, h := range r.hists {
+		if h.name == name {
+			delete(r.hists, key)
+		}
+	}
+	for key, c := range r.counts {
+		if c.name == name {
+			delete(r.counts, key)
+		}
+	}
+	for key, g := range r.gauges {
+		if g.name == name {
+			delete(r.gauges, key)
+		}
+	}
+}
+
+// Summaries digests every histogram series of the registry into the
+// fixed quantile summary, keyed by the full series name
+// (`name{labels}`) — the /stats latency section and BENCH_*.json
+// both consume this.
+func (r *Registry) Summaries() map[string]Summary {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]Summary, len(r.hists))
+	for key, h := range r.hists {
+		out[key] = h.Snapshot().Summary()
+	}
+	return out
+}

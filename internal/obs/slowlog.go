@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is a finished trace as kept by the slow log and
+// rendered by /debug/slowlog.
+type TraceRecord struct {
+	Op         string    `json:"op"`
+	Detail     string    `json:"detail"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      []Span    `json:"spans"`
+	Attrs      []Attr    `json:"attrs,omitempty"`
+
+	durNS int64
+	seq   uint64 // admission order, for deterministic tie-breaks
+}
+
+// SlowLog is a ring buffer of the most recent traces that crossed a
+// duration threshold. The ring bounds memory under a flood of slow
+// requests; Slowest re-ranks what the ring retained, so the log
+// answers "what were the slowest recent traces" rather than "the
+// slowest ever".
+type SlowLog struct {
+	thresholdNS atomic.Int64
+	recorded    atomic.Int64 // traces admitted since process start
+	seq         atomic.Uint64
+
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+	n    int // live entries (≤ len(ring))
+}
+
+// NewSlowLog returns a slow log keeping the last capacity traces at
+// or above threshold. threshold <= 0 disables admission.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &SlowLog{ring: make([]TraceRecord, capacity)}
+	l.thresholdNS.Store(int64(threshold))
+	return l
+}
+
+// SharedSlowLog is the process-wide slow log: request traces from
+// the serving layer and flush traces from the coupling's ingest
+// pipeline land here, and /debug/slowlog serves it. Disabled
+// (threshold 0) until a serving layer configures it.
+var SharedSlowLog = NewSlowLog(128, 0)
+
+// Configure resizes the ring and sets the admission threshold
+// (existing entries are dropped on resize).
+func (l *SlowLog) Configure(capacity int, threshold time.Duration) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l.mu.Lock()
+	if capacity != len(l.ring) {
+		l.ring = make([]TraceRecord, capacity)
+		l.next, l.n = 0, 0
+	}
+	l.mu.Unlock()
+	l.thresholdNS.Store(int64(threshold))
+}
+
+// SetThreshold adjusts the admission threshold; <= 0 disables.
+func (l *SlowLog) SetThreshold(d time.Duration) { l.thresholdNS.Store(int64(d)) }
+
+// Threshold returns the current admission threshold.
+func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.thresholdNS.Load()) }
+
+// Capacity returns the ring size.
+func (l *SlowLog) Capacity() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Len returns the number of retained traces.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Recorded returns how many traces crossed the threshold since
+// process start (retained or since overwritten).
+func (l *SlowLog) Recorded() int64 { return l.recorded.Load() }
+
+// offer admits a finished trace if it crossed the threshold.
+func (l *SlowLog) offer(t *Trace, total time.Duration) {
+	if l == nil || t == nil {
+		return
+	}
+	th := l.thresholdNS.Load()
+	if th <= 0 || int64(total) < th {
+		return
+	}
+	l.recorded.Add(1)
+	t.mu.Lock()
+	rec := TraceRecord{
+		Op:         t.op,
+		Detail:     t.detail,
+		Start:      t.start,
+		DurationMS: float64(total) / 1e6,
+		Spans:      append([]Span(nil), t.spans...),
+		Attrs:      append([]Attr(nil), t.attrs...),
+		durNS:      int64(total),
+		seq:        l.seq.Add(1),
+	}
+	t.mu.Unlock()
+	l.mu.Lock()
+	l.ring[l.next] = rec
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Slowest returns up to n retained traces, slowest first (ties by
+// admission order, newest first — the more recent trace is the more
+// actionable one).
+func (l *SlowLog) Slowest(n int) []TraceRecord {
+	l.mu.Lock()
+	out := make([]TraceRecord, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.ring[i])
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].durNS != out[j].durNS {
+			return out[i].durNS > out[j].durNS
+		}
+		return out[i].seq > out[j].seq
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// record builds a finished trace of a known duration and offers it.
+func offerTrace(l *SlowLog, op string, d time.Duration) {
+	t := &Trace{op: op, detail: op, start: time.Now().Add(-d)}
+	t.Span("stage", d/2)
+	t.Attr("k", 1)
+	l.offer(t, d)
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(8, 10*time.Millisecond)
+	offerTrace(l, "fast", 5*time.Millisecond)
+	offerTrace(l, "slow", 20*time.Millisecond)
+	if got := l.Len(); got != 1 {
+		t.Fatalf("len = %d, want 1 (threshold must reject the fast trace)", got)
+	}
+	recs := l.Slowest(10)
+	if len(recs) != 1 || recs[0].Op != "slow" {
+		t.Fatalf("slowest = %+v", recs)
+	}
+	if len(recs[0].Spans) != 1 || recs[0].Spans[0].Name != "stage" {
+		t.Fatalf("spans not preserved: %+v", recs[0].Spans)
+	}
+	l.SetThreshold(0)
+	offerTrace(l, "slow2", 20*time.Millisecond)
+	if got := l.Len(); got != 1 {
+		t.Fatalf("threshold 0 admitted a trace (len %d)", got)
+	}
+}
+
+// TestSlowLogRingOverflow overfills the ring and checks that exactly
+// capacity entries survive — the most recent ones — and that Slowest
+// ranks them by duration.
+func TestSlowLogRingOverflow(t *testing.T) {
+	const capacity = 4
+	l := NewSlowLog(capacity, time.Millisecond)
+	for i := 1; i <= 10; i++ {
+		offerTrace(l, fmt.Sprintf("t%d", i), time.Duration(i)*10*time.Millisecond)
+	}
+	if got := l.Len(); got != capacity {
+		t.Fatalf("len = %d, want %d", got, capacity)
+	}
+	if got := l.Recorded(); got != 10 {
+		t.Fatalf("recorded = %d, want 10", got)
+	}
+	recs := l.Slowest(0)
+	if len(recs) != capacity {
+		t.Fatalf("slowest returned %d", len(recs))
+	}
+	// The ring keeps the last 4 offers (t7..t10); sorted by duration
+	// descending that is t10, t9, t8, t7.
+	want := []string{"t10", "t9", "t8", "t7"}
+	for i, w := range want {
+		if recs[i].Op != w {
+			t.Errorf("slowest[%d] = %s, want %s", i, recs[i].Op, w)
+		}
+	}
+	if top := l.Slowest(2); len(top) != 2 || top[0].Op != "t10" {
+		t.Errorf("Slowest(2) = %+v", top)
+	}
+}
+
+func TestSlowLogConfigureResize(t *testing.T) {
+	l := NewSlowLog(2, time.Millisecond)
+	offerTrace(l, "a", 5*time.Millisecond)
+	l.Configure(8, 2*time.Millisecond)
+	if l.Len() != 0 || l.Capacity() != 8 {
+		t.Fatalf("resize kept entries: len=%d cap=%d", l.Len(), l.Capacity())
+	}
+	if l.Threshold() != 2*time.Millisecond {
+		t.Fatalf("threshold = %v", l.Threshold())
+	}
+}
+
+// TestSlowLogConcurrent races offers against readers (run with
+// -race).
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(16, time.Nanosecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				offerTrace(l, fmt.Sprintf("w%d", w), time.Duration(i+1)*time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			l.Slowest(8)
+			l.Len()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := l.Recorded(); got != 2000 {
+		t.Fatalf("recorded = %d, want 2000", got)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	end := tr.StartSpan("x")
+	end()
+	tr.Span("y", time.Millisecond)
+	tr.Attr("k", "v")
+	if d := tr.Finish(SharedSlowLog); d != 0 {
+		t.Fatalf("nil trace finished with %v", d)
+	}
+	SetEnabled(false)
+	defer SetEnabled(true)
+	if tr := StartTrace("op", "detail"); tr != nil {
+		t.Fatal("StartTrace allocated while disabled")
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one recorded stage of a trace: where in the request the
+// stage started (offset from the trace start) and how long it took.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+}
+
+// Attr is one key/value annotation on a trace (shards visited,
+// candidates pruned, cache hit/miss, ...).
+type Attr struct {
+	Key string `json:"key"`
+	Val any    `json:"val"`
+}
+
+// Trace is a lightweight per-request trace context: an operation, a
+// detail string (query text, collection), stage spans and
+// annotations. Layers receive a *Trace and record into it; every
+// method is nil-receiver safe, so call sites pass traces
+// unconditionally and untraced paths cost one nil check.
+type Trace struct {
+	op     string
+	detail string
+	start  time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	attrs []Attr
+}
+
+// StartTrace begins a trace; it returns nil (a valid no-op trace)
+// while recording is disabled.
+func StartTrace(op, detail string) *Trace {
+	if disabled.Load() {
+		return nil
+	}
+	return &Trace{op: op, detail: detail, start: time.Now()}
+}
+
+// StartSpan opens a stage span; the returned func closes it.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		t.addSpan(name, t0.Sub(t.start), time.Since(t0))
+	}
+}
+
+// Span records a stage that was measured externally: it ran for d
+// and ended now.
+func (t *Trace) Span(name string, d time.Duration) { t.SpanEnded(name, d, 0) }
+
+// SpanEnded records a stage that ran for d and ended endedAgo before
+// now — the shape for back-to-back stages reported after the fact
+// (the top-k scheduler reports seed/finish/merge once the evaluation
+// returns).
+func (t *Trace) SpanEnded(name string, d, endedAgo time.Duration) {
+	if t == nil {
+		return
+	}
+	start := time.Since(t.start) - endedAgo - d
+	if start < 0 {
+		start = 0
+	}
+	t.addSpan(name, start, d)
+}
+
+func (t *Trace) addSpan(name string, start, d time.Duration) {
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Name:    name,
+		StartMS: float64(start) / 1e6,
+		DurMS:   float64(d) / 1e6,
+	})
+	t.mu.Unlock()
+}
+
+// SetDetail replaces the trace's detail string. Admission layers
+// start the trace before the request body is parsed; the handler
+// fills in the query text once it has it.
+func (t *Trace) SetDetail(detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.detail = detail
+	t.mu.Unlock()
+}
+
+// Attr annotates the trace.
+func (t *Trace) Attr(key string, val any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.attrs = append(t.attrs, Attr{Key: key, Val: val})
+	t.mu.Unlock()
+}
+
+// Finish closes the trace, offers it to log (usually SharedSlowLog)
+// when its total duration reaches the log's threshold, and returns
+// the total.
+func (t *Trace) Finish(log *SlowLog) time.Duration {
+	if t == nil {
+		return 0
+	}
+	total := time.Since(t.start)
+	log.offer(t, total)
+	return total
+}

@@ -6,33 +6,38 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	docirs "repro"
 	"repro/internal/core"
 	"repro/internal/derive"
 	"repro/internal/irs"
+	"repro/internal/obs"
 )
 
 // routes wires the endpoint table. Query-evaluation and ingest
-// endpoints go through the admission layer; cheap metadata endpoints
-// (healthz, stats, listings) bypass it so they stay responsive under
-// saturation.
+// endpoints go through the admission layer (which also wraps them in
+// the per-endpoint latency histogram and request trace); cheap
+// metadata endpoints (healthz, stats, metrics, listings) bypass it so
+// they stay responsive under saturation.
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
 	s.mux.HandleFunc("POST /dtds", s.handleLoadDTD)
-	s.mux.HandleFunc("POST /documents", s.admitted(s.handleIngest))
-	s.mux.HandleFunc("DELETE /documents/{oid}", s.admitted(s.handleDeleteDocument))
-	s.mux.HandleFunc("PUT /documents/{oid}/text", s.admitted(s.handleSetText))
+	s.mux.HandleFunc("POST /documents", s.admitted("ingest", s.handleIngest))
+	s.mux.HandleFunc("DELETE /documents/{oid}", s.admitted("delete_document", s.handleDeleteDocument))
+	s.mux.HandleFunc("PUT /documents/{oid}/text", s.admitted("set_text", s.handleSetText))
 	s.mux.HandleFunc("GET /collections", s.handleListCollections)
-	s.mux.HandleFunc("POST /collections", s.admitted(s.handleCreateCollection))
-	s.mux.HandleFunc("DELETE /collections/{name}", s.admitted(s.handleDropCollection))
-	s.mux.HandleFunc("POST /collections/{name}/flush", s.admitted(s.handleFlush))
-	s.mux.HandleFunc("POST /collections/{name}/drain", s.admitted(s.handleDrain))
-	s.mux.HandleFunc("POST /collections/{name}/feedback", s.admitted(s.handleFeedback))
-	s.mux.HandleFunc("GET /collections/{name}/search", s.admitted(s.handleSearch))
-	s.mux.HandleFunc("POST /query", s.admitted(s.handleQuery))
+	s.mux.HandleFunc("POST /collections", s.admitted("create_collection", s.handleCreateCollection))
+	s.mux.HandleFunc("DELETE /collections/{name}", s.admitted("drop_collection", s.handleDropCollection))
+	s.mux.HandleFunc("POST /collections/{name}/flush", s.admitted("flush", s.handleFlush))
+	s.mux.HandleFunc("POST /collections/{name}/drain", s.admitted("drain", s.handleDrain))
+	s.mux.HandleFunc("POST /collections/{name}/feedback", s.admitted("feedback", s.handleFeedback))
+	s.mux.HandleFunc("GET /collections/{name}/search", s.admitted("search", s.handleSearch))
+	s.mux.HandleFunc("POST /query", s.admitted("query", s.handleQuery))
 }
 
 // --- helpers -------------------------------------------------------
@@ -182,7 +187,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"epoch":          s.sys.Epoch(),
-		"qps":            s.qps.rate(),
+		"qps":            s.qps.PerSecond(),
 		"queries":        s.stats.queries.Load(),
 		"searches":       s.stats.searches.Load(),
 		"ingests":        s.stats.ingests.Load(),
@@ -207,6 +212,96 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"propagation_backlog": backlog,
 		"collections":         colls,
+		// Latency distributions of every histogram series the process
+		// records (request endpoints, top-k phases, flush stages),
+		// digested to fixed quantiles. /metrics carries the full
+		// bucketed form of the same series.
+		"latency": obs.Default.Summaries(),
+		"slowlog": map[string]any{
+			"threshold_ms": float64(obs.SharedSlowLog.Threshold()) / 1e6,
+			"capacity":     obs.SharedSlowLog.Capacity(),
+			"retained":     obs.SharedSlowLog.Len(),
+			"recorded":     obs.SharedSlowLog.Recorded(),
+		},
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition (format 0.0.4):
+// the service counters and read-on-scrape gauges rendered directly
+// from this server's state, then every histogram/counter series of
+// the process-wide obs registry. Writing the server's own scalars
+// inline (instead of registering gauge closures) keeps multiple
+// Server instances in one process — the test suite's normal shape —
+// from fighting over registry slots.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	counter := func(name, help string, pairs ...any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i := 0; i+2 < len(pairs); i += 3 {
+			fmt.Fprintf(&b, "%s{%s=%q} %d\n", name, pairs[i], pairs[i+1], pairs[i+2])
+		}
+	}
+	counter("mmf_requests_total", "Requests served by kind.",
+		"kind", "query", s.stats.queries.Load(),
+		"kind", "search", s.stats.searches.Load(),
+		"kind", "ingest", s.stats.ingests.Load(),
+		"kind", "edit", s.stats.edits.Load(),
+		"kind", "drain", s.stats.drains.Load())
+	counter("mmf_request_errors_total", "Requests answered with an error body.",
+		"kind", "all", s.stats.errored.Load())
+	counter("mmf_admission_rejected_total", "Admission rejections (503).",
+		"kind", "all", s.stats.rejected.Load())
+	counter("mmf_cache_events_total", "Query-cache lookups by outcome.",
+		"outcome", "hit", s.stats.cacheHits.Load(),
+		"outcome", "miss", s.stats.cacheMisses.Load())
+	counter("mmf_async_ingest_total", "Async-mode ingest outcomes.",
+		"outcome", "accepted", s.stats.asyncIngests.Load(),
+		"outcome", "backpressured", s.stats.backpressured.Load())
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	gauge("mmf_inflight_requests", "Currently admitted requests.",
+		float64(s.stats.inflight.Load()))
+	gauge("mmf_requests_per_second", "Request rate over the trailing window.",
+		s.qps.PerSecond())
+	gauge("mmf_cache_entries", "Query-cache entries resident.",
+		float64(s.cache.len()))
+	gauge("mmf_uptime_seconds", "Seconds since the server started.",
+		time.Since(s.start).Seconds())
+	backlog := int64(0)
+	for _, name := range s.sys.Collections() {
+		if col, err := s.sys.Collection(name); err == nil {
+			backlog += int64(col.PendingOps())
+		}
+	}
+	gauge("mmf_propagation_backlog", "Pending propagation ops across collections.",
+		float64(backlog))
+	obs.Default.WritePrometheus(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// handleSlowlog serves the N slowest retained request/flush traces
+// (default 32, ?n= to adjust), slowest first, each with its stage
+// spans and annotations.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			s.fail(w, http.StatusBadRequest, "bad n %q", q)
+			return
+		}
+		n = v
+	}
+	traces := obs.SharedSlowLog.Slowest(n)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_ms": float64(obs.SharedSlowLog.Threshold()) / 1e6,
+		"capacity":     obs.SharedSlowLog.Capacity(),
+		"recorded":     obs.SharedSlowLog.Recorded(),
+		"count":        len(traces),
+		"traces":       traces,
 	})
 }
 
@@ -284,6 +379,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "documents must be non-empty")
 		return
 	}
+	tr := trFrom(r)
+	tr.SetDetail(fmt.Sprintf("dtd=%s docs=%d mode=%s", req.DTD, len(req.Documents), req.Mode))
+	tr.Attr("documents", len(req.Documents))
+	tr.Attr("async", async)
 	if len(req.Documents) > s.cfg.MaxBatch {
 		s.fail(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Documents), s.cfg.MaxBatch)
 		return
@@ -584,8 +683,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	s.qps.record()
+	s.qps.Record()
 	s.stats.searches.Add(1)
+	tr := trFrom(r)
+	tr.SetDetail(q)
+	tr.Attr("collection", name)
+	defer func() {
+		if obs.Enabled() {
+			obs.Default.Histogram("mmf_collection_request_seconds",
+				"collection", name).Observe(time.Since(start))
+		}
+	}()
 	// The limit is pushed down into the IRS instead of truncating a
 	// fully evaluated ranking: the engine streams candidates through
 	// bounded per-shard heaps and prunes those whose score upper bound
@@ -610,7 +718,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.stats.cacheMisses.Add(1)
 		var results []docirs.SearchResult
 		if bucket > 0 {
-			results, err = s.sys.SearchTopK(name, q, bucket)
+			results, err = s.sys.SearchTopKTraced(name, q, bucket, tr)
 		} else {
 			results, err = s.sys.Search(name, q)
 		}
@@ -636,6 +744,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			full.kbucket = 0
 			s.cache.put(full, hits)
 		}
+	}
+	if cached {
+		tr.Attr("cache", "hit")
+	} else {
+		tr.Attr("cache", "miss")
 	}
 	if limit > 0 && len(hits) > limit {
 		hits = hits[:limit]
@@ -703,8 +816,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	s.qps.record()
+	s.qps.Record()
 	s.stats.queries.Add(1)
+	tr := trFrom(r)
+	tr.SetDetail(req.Query)
+	tr.Attr("strategy", strategy.String())
 	key := cacheKey{kind: "query", strategy: strategy.String(), query: req.Query, epoch: s.sys.Epoch()}
 	var res *queryResult
 	cached := false
@@ -728,6 +844,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			res.Rows[i] = cells
 		}
 		s.cache.put(key, res)
+	}
+	if cached {
+		tr.Attr("cache", "hit")
+	} else {
+		tr.Attr("cache", "miss")
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"columns":    res.Columns,

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// getText fetches a URL and returns the raw body (the /metrics
+// exposition is text, not JSON).
+func getText(t testing.TB, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	return string(raw)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := fixture(t, Config{})
+	seed(t, ts, 4)
+	// One limited search (top-k path, records stage histograms) and
+	// one query, so both request kinds have latency samples.
+	mustOK(t, "GET", ts.URL+"/collections/collPara/search?q=www&limit=2", nil)
+	mustOK(t, "POST", ts.URL+"/query", map[string]any{
+		"query": `ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.45;`,
+	})
+
+	text := getText(t, ts.URL+"/metrics")
+	samples, types, err := obs.ParsePrometheusText(text)
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition text: %v\n%s", err, text)
+	}
+	if err := obs.ValidatePromHistograms(samples, types); err != nil {
+		t.Fatalf("histogram invariants: %v\n%s", err, text)
+	}
+	if types["mmf_requests_total"] != "counter" ||
+		types["mmf_inflight_requests"] != "gauge" ||
+		types["mmf_http_request_seconds"] != "histogram" {
+		t.Fatalf("missing TYPE declarations: %v", types)
+	}
+
+	var searchReq, searchCount, stageSeed float64
+	for _, sm := range samples {
+		switch sm.Name {
+		case "mmf_requests_total":
+			if sm.Labels["kind"] == "search" {
+				searchReq = sm.Value
+			}
+		case "mmf_http_request_seconds_count":
+			if sm.Labels["endpoint"] == "search" {
+				searchCount = sm.Value
+			}
+		case "mmf_stage_seconds_count":
+			if sm.Labels["stage"] == "topk_seed" {
+				stageSeed = sm.Value
+			}
+		}
+	}
+	if searchReq < 1 {
+		t.Errorf("mmf_requests_total{kind=search} = %v, want >= 1", searchReq)
+	}
+	if searchCount < 1 {
+		t.Errorf("mmf_http_request_seconds{endpoint=search} count = %v, want >= 1", searchCount)
+	}
+	if stageSeed < 1 {
+		t.Errorf("mmf_stage_seconds{stage=topk_seed} count = %v, want >= 1", stageSeed)
+	}
+}
+
+func TestSlowlogEndpoint(t *testing.T) {
+	// A one-nanosecond threshold admits every trace, so the endpoints
+	// exercised below must show up.
+	_, ts := fixture(t, Config{SlowQueryThreshold: time.Nanosecond, SlowLogSize: 16})
+	seed(t, ts, 2)
+	mustOK(t, "GET", ts.URL+"/collections/collPara/search?q=www&limit=2", nil)
+
+	out := mustOK(t, "GET", ts.URL+"/debug/slowlog", nil)
+	if out["count"].(float64) < 1 {
+		t.Fatalf("slowlog retained no traces: %v", out)
+	}
+	traces := out["traces"].([]any)
+	var sawSearch bool
+	for _, v := range traces {
+		rec := v.(map[string]any)
+		if rec["op"] == "search" {
+			sawSearch = true
+			spans := rec["spans"].([]any)
+			names := map[string]bool{}
+			for _, sp := range spans {
+				names[sp.(map[string]any)["name"].(string)] = true
+			}
+			for _, want := range []string{"queue_wait", "topk_seed", "topk_merge"} {
+				if !names[want] {
+					t.Errorf("search trace missing %q span: %v", want, names)
+				}
+			}
+			attrs := map[string]any{}
+			for _, a := range rec["attrs"].([]any) {
+				am := a.(map[string]any)
+				attrs[am["key"].(string)] = am["val"]
+			}
+			if attrs["collection"] != "collPara" {
+				t.Errorf("search trace attrs = %v, want collection=collPara", attrs)
+			}
+			if attrs["cache"] != "miss" && attrs["cache"] != "hit" {
+				t.Errorf("search trace has no cache attr: %v", attrs)
+			}
+		}
+	}
+	if !sawSearch {
+		t.Fatalf("no search trace in slowlog: %v", out)
+	}
+
+	// ?n= bounds the response.
+	one := mustOK(t, "GET", ts.URL+"/debug/slowlog?n=1", nil)
+	if got := len(one["traces"].([]any)); got != 1 {
+		t.Fatalf("slowlog?n=1 returned %d traces", got)
+	}
+	if status, _ := call(t, "GET", ts.URL+"/debug/slowlog?n=zero", nil); status != http.StatusBadRequest {
+		t.Fatalf("bad n answered %d, want 400", status)
+	}
+}
+
+func TestStatsLatencySection(t *testing.T) {
+	_, ts := fixture(t, Config{})
+	seed(t, ts, 2)
+	mustOK(t, "GET", ts.URL+"/collections/collPara/search?q=www&limit=2", nil)
+	stats := mustOK(t, "GET", ts.URL+"/stats", nil)
+	lat, ok := stats["latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no latency section: %v", stats)
+	}
+	series, ok := lat[`mmf_http_request_seconds{endpoint="search"}`].(map[string]any)
+	if !ok {
+		t.Fatalf("latency section missing search endpoint: %v", lat)
+	}
+	if series["count"].(float64) < 1 {
+		t.Fatalf("search latency summary empty: %v", series)
+	}
+	if _, ok := stats["slowlog"].(map[string]any); !ok {
+		t.Fatalf("stats has no slowlog section: %v", stats)
+	}
+}

@@ -20,12 +20,14 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	docirs "repro"
+	"repro/internal/obs"
 )
 
 // Config tunes the service layer. The zero value selects sensible
@@ -58,6 +60,12 @@ type Config struct {
 	// CompactRatio enables tombstone-ratio-triggered background index
 	// compaction for collections created through the API; 0 disables.
 	CompactRatio float64
+	// SlowQueryThreshold is the duration at which a request trace is
+	// admitted to the process slow log (/debug/slowlog). Default:
+	// 250ms; negative disables the slow log.
+	SlowQueryThreshold time.Duration
+	// SlowLogSize is the slow log's ring capacity. Default: 128.
+	SlowLogSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +83,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024
 	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = 250 * time.Millisecond
+	} else if c.SlowQueryThreshold < 0 {
+		c.SlowQueryThreshold = 0 // obs treats 0 as "admit nothing"
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 128
+	}
 	return c
 }
 
@@ -86,7 +102,7 @@ type Server struct {
 	cache *queryCache
 	mux   *http.ServeMux
 	stats counters
-	qps   *rateWindow
+	qps   *obs.Rate
 	start time.Time
 
 	// dtds names loaded DTDs so ingest requests can reference them.
@@ -122,10 +138,14 @@ func New(sys *docirs.System, cfg Config) *Server {
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 		cache: newQueryCache(cfg.CacheSize, cfg.CacheTTL),
-		qps:   newRateWindow(),
+		qps:   obs.NewRate(),
 		start: time.Now(),
 		dtds:  make(map[string]*docirs.DTD),
 	}
+	// The slow log is process-global (traces from the coupling's flush
+	// pipeline land in it too); the serving layer owns its tuning, the
+	// way http.DefaultServeMux is owned by whoever serves it.
+	obs.SharedSlowLog.Configure(cfg.SlowLogSize, cfg.SlowQueryThreshold)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -164,14 +184,40 @@ func (s *Server) release() {
 	<-s.sem
 }
 
-// admitted wraps an evaluation handler with the admission layer.
-func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+// traceCtxKey carries the request trace through the handler chain.
+type traceCtxKey struct{}
+
+// trFrom returns the request's trace context; nil (a valid no-op
+// trace) for untraced requests.
+func trFrom(r *http.Request) *obs.Trace {
+	tr, _ := r.Context().Value(traceCtxKey{}).(*obs.Trace)
+	return tr
+}
+
+// admitted wraps an evaluation handler with the admission layer plus
+// the observability envelope: a per-endpoint latency histogram, a
+// request trace (queue wait recorded as its first span) offered to
+// the slow log on finish, and the endpoint's share of the QPS window.
+func (s *Server) admitted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := obs.Default.Histogram("mmf_http_request_seconds", "endpoint", endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		tr := obs.StartTrace(endpoint, r.URL.Path)
 		if !s.acquire(r) {
+			tr.Attr("rejected", true)
+			tr.Finish(obs.SharedSlowLog)
 			writeError(w, http.StatusServiceUnavailable, "server overloaded: no evaluation slot available")
 			return
 		}
-		defer s.release()
+		tr.Span("queue_wait", time.Since(t0))
+		defer func() {
+			s.release()
+			hist.Observe(time.Since(t0))
+			tr.Finish(obs.SharedSlowLog)
+		}()
+		if tr != nil {
+			r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tr))
+		}
 		h(w, r)
 	}
 }

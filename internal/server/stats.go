@@ -1,13 +1,14 @@
 package server
 
 import (
-	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // counters holds the expvar-style service counters; every field is
-// maintained with atomic operations and published by /stats.
+// maintained with atomic operations and published by /stats and
+// /metrics. Latency distributions live in the process-wide obs
+// registry (internal/obs), not here — the hand-rolled sliding-window
+// rate bucketing this file used to carry is obs.Rate now.
 type counters struct {
 	queries     atomic.Int64 // VQL query evaluations served
 	searches    atomic.Int64 // raw IRS searches served
@@ -22,49 +23,4 @@ type counters struct {
 	asyncIngests  atomic.Int64 // documents accepted in async-ingest mode
 	backpressured atomic.Int64 // async ingests shed because a pending queue was full
 	drains        atomic.Int64 // explicit drain requests served
-}
-
-// rateWindow measures request rate over a sliding window of
-// per-second buckets (a cheap stand-in for a metrics library, which
-// the container deliberately does without).
-type rateWindow struct {
-	mu      sync.Mutex
-	buckets [ratesBuckets]int64
-	stamps  [ratesBuckets]int64 // unix second each bucket last counted
-}
-
-const (
-	ratesBuckets = 64
-	rateSpan     = 10 // seconds averaged by rate()
-)
-
-func newRateWindow() *rateWindow { return &rateWindow{} }
-
-// record counts one event in the current second's bucket.
-func (w *rateWindow) record() {
-	now := time.Now().Unix()
-	i := now % ratesBuckets
-	w.mu.Lock()
-	if w.stamps[i] != now {
-		w.stamps[i] = now
-		w.buckets[i] = 0
-	}
-	w.buckets[i]++
-	w.mu.Unlock()
-}
-
-// rate returns events/second averaged over the last rateSpan full
-// seconds (the current, partially filled second is excluded).
-func (w *rateWindow) rate() float64 {
-	now := time.Now().Unix()
-	var sum int64
-	w.mu.Lock()
-	for sec := now - rateSpan; sec < now; sec++ {
-		i := sec % ratesBuckets
-		if w.stamps[i] == sec {
-			sum += w.buckets[i]
-		}
-	}
-	w.mu.Unlock()
-	return float64(sum) / rateSpan
 }
