@@ -8,9 +8,9 @@ import (
 
 // experimentRunners maps experiment ids to their eval runners. The
 // ids match DESIGN.md's per-experiment index and EXPERIMENTS.md.
-// shards parameterizes the sharded-engine experiments (S1/S3/S4); 0
-// selects GOMAXPROCS (S4 floors it at 4 so the cross-shard scheduler
-// has shards to skip).
+// shards parameterizes the sharded-engine experiments (S1/S3/S4/S5);
+// 0 selects GOMAXPROCS (S4/S5 floor it at 4 so the cross-shard
+// scheduler has shards to skip).
 func experimentRunners(shards int) map[string]runner {
 	return map[string]runner{
 		"S1": {"Sharded vs single-shard IRS engine (parallel query evaluation)", func(w io.Writer) error {
@@ -29,6 +29,12 @@ func experimentRunners(shards int) map[string]runner {
 			// RunS4 errors when its ranking-equality gate trips, so a
 			// divergence fails the run (and CI) instead of logging.
 			_, err := eval.RunS4(w, shards)
+			return err
+		}},
+		"S5": {"Block-max posting cursors over compressed blocks vs whole-list bounds", func(w io.Writer) error {
+			// RunS5 errors when its exactness, block-skip or compression
+			// gate trips, so any of them failing fails the run (and CI).
+			_, err := eval.RunS5(w, shards)
 			return err
 		}},
 		"F1": {"Figure 1: coupling architectures", func(w io.Writer) error {

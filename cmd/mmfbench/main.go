@@ -25,9 +25,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (F1..F4, T1..T8, A1/A2, X1, S1/S2/S3/S4); empty = all")
+	exp := flag.String("exp", "", "experiment id (F1..F4, T1..T8, A1/A2, X1, S1..S5); empty = all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	shards := flag.Int("shards", 0, "shard count for the S1/S3/S4 sharded-engine experiments (0: GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "shard count for the S1/S3/S4/S5 sharded-engine experiments (0: GOMAXPROCS)")
 	benchOut := flag.String("bench-out", "", "measure the perf snapshot and write it to this file (skips experiments)")
 	benchPR := flag.Int("bench-pr", 0, "PR number stamped into -bench-out")
 	benchOld := flag.String("bench-old", "", "previous BENCH_*.json to diff -bench-new against")

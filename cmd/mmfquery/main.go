@@ -87,8 +87,10 @@ func execLine(sys *docirs.System, raw string, out io.Writer) bool {
 			coll.Policy(), coll.PendingOps(), s.GroupCommits,
 			float64(s.AnalyzeNanos)/1e6, float64(s.CommitNanos)/1e6, s.FlushErrors)
 		tk := coll.IRS().TopKStats()
-		fmt.Fprintf(out, "topk: %d queries, %d candidates scored, %d pruned, %d shards skipped\n",
-			tk.Queries, tk.Scored, tk.Pruned, tk.ShardsSkipped)
+		fmt.Fprintf(out, "topk: %d queries, %d candidates scored, %d pruned, %d shards skipped, %d blocks skipped, %d postings decoded\n",
+			tk.Queries, tk.Scored, tk.Pruned, tk.ShardsSkipped, tk.BlocksSkipped, tk.PostingsDecoded)
+		fmt.Fprintf(out, "storage: %d bytes compressed, %.2fx vs flat postings\n",
+			coll.IRS().SizeBytes(), coll.IRS().CompressionRatio())
 	case strings.HasPrefix(line, ".drain "):
 		name := strings.TrimSpace(strings.TrimPrefix(line, ".drain "))
 		coll, err := sys.Collection(name)

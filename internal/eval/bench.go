@@ -11,9 +11,16 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/irs"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
+
+// benchHotDocs is the size of the planted hot-shard block in
+// RunBench's corpus. Big enough that the hot terms seal at least one
+// compressed block per posting list (codec.BlockSize = 128 docs) in
+// shard 0.
+const benchHotDocs = 150
 
 // BenchReport is the machine-readable perf snapshot one PR commits as
 // BENCH_<pr>.json. Successive reports form the repo's perf
@@ -55,6 +62,11 @@ type TopKRates struct {
 	PruneRate     float64 `json:"prune_rate"`
 	ShardsSkipped int64   `json:"shards_skipped"`
 	SkippedPerQ   float64 `json:"shards_skipped_per_query"`
+	// Block-max counters: compressed posting blocks whose payloads
+	// stayed unexpanded through evaluations vs postings whose payloads
+	// were decoded for scoring.
+	BlocksSkipped   int64 `json:"blocks_skipped"`
+	PostingsDecoded int64 `json:"postings_decoded"`
 }
 
 func benchResult(r testing.BenchmarkResult) BenchResult {
@@ -90,6 +102,25 @@ func RunBench(w io.Writer, pr int) (*BenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Shard skew is what the cross-shard threshold exploits (without
+	// it BENCH reports shards_skipped = 0 and the two-phase scheduler
+	// idles): plant a hot-topic block whose external ids all hash into
+	// shard 0, like EXP-S4/S5. The ids are synthetic OIDs far beyond
+	// the corpus range so the result mapping still parses them, and
+	// the block is large enough (> codec.BlockSize postings per hot
+	// term) for the hot shard's posting lists to seal compressed
+	// blocks, exercising block-max skipping too.
+	hotText := strings.Repeat("www nii codec video highway ", 8)
+	for i, added := uint64(0), 0; added < benchHotDocs; i++ {
+		name := fmt.Sprintf("oid%d", 1<<40+i)
+		if irs.ShardForExtID(name, shards) != 0 {
+			continue
+		}
+		if err := col.IRS().AddDocument(name, hotText, nil); err != nil {
+			return nil, err
+		}
+		added++
+	}
 
 	rep := &BenchReport{
 		PR:         pr,
@@ -118,10 +149,12 @@ func RunBench(w io.Writer, pr int) (*BenchReport, error) {
 	}
 	tk1 := col.IRS().TopKStats()
 	rep.TopK = TopKRates{
-		Queries:       tk1.Queries - tk0.Queries,
-		Scored:        tk1.Scored - tk0.Scored,
-		Pruned:        tk1.Pruned - tk0.Pruned,
-		ShardsSkipped: tk1.ShardsSkipped - tk0.ShardsSkipped,
+		Queries:         tk1.Queries - tk0.Queries,
+		Scored:          tk1.Scored - tk0.Scored,
+		Pruned:          tk1.Pruned - tk0.Pruned,
+		ShardsSkipped:   tk1.ShardsSkipped - tk0.ShardsSkipped,
+		BlocksSkipped:   tk1.BlocksSkipped - tk0.BlocksSkipped,
+		PostingsDecoded: tk1.PostingsDecoded - tk0.PostingsDecoded,
 	}
 	if n := rep.TopK.Scored + rep.TopK.Pruned; n > 0 {
 		rep.TopK.PruneRate = float64(rep.TopK.Pruned) / float64(n)
@@ -195,6 +228,8 @@ func RunBench(w io.Writer, pr int) (*BenchReport, error) {
 	}
 	fmt.Fprintf(w, "  topk: prune_rate=%.3f shards_skipped/query=%.2f (%d queries)\n",
 		rep.TopK.PruneRate, rep.TopK.SkippedPerQ, rep.TopK.Queries)
+	fmt.Fprintf(w, "  blockmax: blocks_skipped=%d postings_decoded=%d\n",
+		rep.TopK.BlocksSkipped, rep.TopK.PostingsDecoded)
 	fmt.Fprintf(w, "  obs overhead on topk path: %+.2f%% (target <= 3%%)\n", rep.ObsOverheadPct)
 	return rep, nil
 }

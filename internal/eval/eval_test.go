@@ -515,3 +515,30 @@ func TestRunS4Shape(t *testing.T) {
 		t.Error("table missing")
 	}
 }
+
+func TestRunS5Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunS5(&buf, 4)
+	if err != nil {
+		t.Fatal(err) // includes the exactness, block-skip and compression gates
+	}
+	if !res.RankingsIdentical {
+		t.Error("top-k rankings differ from the exhaustive prefix")
+	}
+	if res.BlocksSkipped == 0 {
+		t.Error("no compressed block left undecoded by block-max bounds")
+	}
+	if res.BlockMaxDecoded >= res.BaselineDecoded {
+		t.Errorf("block-max decoded %d posting payloads, not below the whole-list baseline %d",
+			res.BlockMaxDecoded, res.BaselineDecoded)
+	}
+	if res.CompressionRatio < 3 {
+		t.Errorf("compression ratio %.2fx below the 3x gate", res.CompressionRatio)
+	}
+	if res.BaselineTime <= 0 || res.BlockMaxTime <= 0 {
+		t.Errorf("missing timings: %+v", res)
+	}
+	if !strings.Contains(buf.String(), "EXP-S5") {
+		t.Error("table missing")
+	}
+}

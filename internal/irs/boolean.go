@@ -64,9 +64,10 @@ func (Boolean) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 func booleanEvalShard(s *Snapshot, si int, n *Node) map[DocID]bool {
 	switch n.Kind {
 	case NodeTerm:
-		set := make(map[DocID]bool)
-		for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(n.Term)) {
-			set[p.Doc] = true
+		lv := s.leafViewShard(si, s.analyzer.AnalyzeTerm(n.Term))
+		set := make(map[DocID]bool, len(lv.live))
+		for _, d := range lv.live {
+			set[d] = true
 		}
 		return set
 	case NodePhrase:
@@ -77,6 +78,9 @@ func booleanEvalShard(s *Snapshot, si int, n *Node) map[DocID]bool {
 		}
 		return set
 	case NodeAnd:
+		if set, ok := booleanAndTermsShard(s, si, n); ok {
+			return set
+		}
 		var acc map[DocID]bool
 		for _, c := range n.Children {
 			sub := booleanEvalShard(s, si, c)
@@ -110,4 +114,56 @@ func booleanEvalShard(s *Snapshot, si int, n *Node) map[DocID]bool {
 		return out
 	}
 	return nil
+}
+
+// booleanAndTermsShard intersects an all-term conjunction by
+// leapfrogging block cursors: each round the first cursor's document
+// is probed in the others via skipTo, whose block-metadata binary
+// search jumps whole compressed blocks without expanding their
+// frequency or position bytes. Returns ok=false when any child is not
+// a plain term, falling back to the generic set evaluation.
+func booleanAndTermsShard(s *Snapshot, si int, n *Node) (map[DocID]bool, bool) {
+	if len(n.Children) == 0 {
+		return nil, false
+	}
+	for _, c := range n.Children {
+		if c.Kind != NodeTerm {
+			return nil, false
+		}
+	}
+	set := make(map[DocID]bool)
+	cursors := make([]*termCursor, len(n.Children))
+	for i, c := range n.Children {
+		cursors[i] = s.leafViewShard(si, s.analyzer.AnalyzeTerm(c.Term)).newCursor()
+		if !cursors[i].valid() {
+			return set, true
+		}
+	}
+	for {
+		d := cursors[0].doc()
+		max := d
+		aligned := true
+		for i := 1; i < len(cursors); i++ {
+			cursors[i].skipTo(d)
+			if !cursors[i].valid() {
+				return set, true
+			}
+			if cursors[i].doc() > max {
+				max = cursors[i].doc()
+				aligned = false
+			}
+		}
+		if !aligned {
+			cursors[0].skipTo(max)
+			if !cursors[0].valid() {
+				return set, true
+			}
+			continue
+		}
+		set[d] = true
+		cursors[0].next()
+		if !cursors[0].valid() {
+			return set, true
+		}
+	}
 }

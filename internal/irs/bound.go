@@ -1,0 +1,242 @@
+package irs
+
+import "math"
+
+// Compiled block-max bounds. The per-candidate bound of the baseline
+// (whole-list) mode re-derives every leaf's belief cap from scratch on
+// each probe — a dictionary lookup, a containment search and the
+// belief float expression per leaf per candidate. Block storage makes
+// almost all of that hoistable: a leaf's cap belief depends only on
+// its block's MaxTF (the shard-minimum document length and the leaf's
+// idf are evaluation constants), so the interval every block can
+// contribute is computable once per (leaf, block) — ~1/BlockSize of
+// the candidate count — and bound construction degenerates into
+// membership resolution plus the operator fold. Membership itself is
+// amortized O(1): shard candidates are probed in ascending DocID
+// order (newShardScan walks ctx.candidates[si], which newEvalContext
+// sorts), so a merge-join cursor over each leaf's doc streams replaces
+// the per-probe binary searches.
+//
+// The compiled closures compute bit-for-bit the same intervals as the
+// generic nodeBoundAt walk: leaves yield either the default-belief
+// point interval or the exact expression the per-candidate path used,
+// and every operator folds its children in the same sequential order.
+
+// leafProbe resolves ascending membership probes against one leafView
+// without binary searches: the block/offset/tail cursors only ever
+// move forward. Out-of-order probes (none today — newShardScan is the
+// only caller and it ascends) fall back to the view's full lookup.
+type leafProbe struct {
+	lv         *leafView
+	bi, pi, ti int
+	last       uint32
+}
+
+// blockAt returns the index of the block containing the local doc id
+// (len(blocks) for the tail); ok is false when the leaf has no
+// posting for it.
+func (p *leafProbe) blockAt(local uint32) (int, bool) {
+	lv := p.lv
+	if local < p.last {
+		return lv.findBlock(local) // defensive: out-of-order probe
+	}
+	p.last = local
+	for p.bi < len(lv.blocks) {
+		bv := &lv.blocks[p.bi]
+		if bv.bl.LastDoc < local {
+			p.bi++
+			p.pi = 0
+			continue
+		}
+		docs := bv.docs
+		for p.pi < len(docs) && docs[p.pi] < local {
+			p.pi++
+		}
+		if p.pi < len(docs) && docs[p.pi] == local {
+			return p.bi, true
+		}
+		return 0, false
+	}
+	n := len(lv.s.shards)
+	for p.ti < len(lv.tail) && uint32(int(lv.tail[p.ti].Doc)/n) < local {
+		p.ti++
+	}
+	if p.ti < len(lv.tail) && uint32(int(lv.tail[p.ti].Doc)/n) == local {
+		return len(lv.blocks), true
+	}
+	return 0, false
+}
+
+// find is the slow-path lookup shared with leafView.find, returning
+// only the block index.
+func (lv *leafView) findBlock(local uint32) (int, bool) {
+	bi, _, ok := lv.find(local)
+	return bi, ok
+}
+
+// boundFn evaluates a candidate's score interval; compiled once per
+// (evaluation, shard).
+type boundFn func(DocID) interval
+
+// compileBoundAt builds the operator fold over compiled leaf
+// functions, mirroring nodeBoundAt case for case (identical float
+// sequences, no per-candidate tree dispatch on maps).
+func compileBoundAt(n *Node, b float64, leafFn func(*Node) boundFn) boundFn {
+	switch n.Kind {
+	case NodeTerm, NodePhrase, NodeSyn:
+		return leafFn(n)
+	}
+	kids := make([]boundFn, len(n.Children))
+	for i, c := range n.Children {
+		kids[i] = compileBoundAt(c, b, leafFn)
+	}
+	switch n.Kind {
+	case NodeAnd:
+		return func(d DocID) interval {
+			iv := pointIv(1)
+			for _, kf := range kids {
+				iv = mulIv(iv, kf(d))
+			}
+			return iv
+		}
+	case NodeOr:
+		return func(d DocID) interval {
+			q := pointIv(1)
+			for _, kf := range kids {
+				k := kf(d)
+				q = mulIv(q, interval{1 - k.hi, 1 - k.lo})
+			}
+			return interval{1 - q.hi, 1 - q.lo}
+		}
+	case NodeNot:
+		return func(d DocID) interval {
+			k := kids[0](d)
+			return interval{1 - k.hi, 1 - k.lo}
+		}
+	case NodeSum:
+		m := float64(len(n.Children))
+		return func(d DocID) interval {
+			var lo, hi float64
+			for _, kf := range kids {
+				k := kf(d)
+				lo += k.lo
+				hi += k.hi
+			}
+			return interval{lo / m, hi / m}
+		}
+	case NodeWSum:
+		weights := n.Weights
+		return func(d DocID) interval {
+			var lo, hi, w float64
+			for i, kf := range kids {
+				k := kf(d)
+				if weights[i] >= 0 {
+					lo += weights[i] * k.lo
+					hi += weights[i] * k.hi
+				} else {
+					lo += weights[i] * k.hi
+					hi += weights[i] * k.lo
+				}
+				w += weights[i]
+			}
+			if w == 0 {
+				return pointIv(b)
+			}
+			if w < 0 {
+				return interval{hi / w, lo / w}
+			}
+			return interval{lo / w, hi / w}
+		}
+	case NodeMax:
+		return func(d DocID) interval {
+			iv := pointIv(0)
+			for i, kf := range kids {
+				k := kf(d)
+				if i == 0 {
+					iv = interval{math.Max(0, k.lo), math.Max(0, k.hi)}
+					continue
+				}
+				iv = interval{math.Max(iv.lo, k.lo), math.Max(iv.hi, k.hi)}
+			}
+			return iv
+		}
+	}
+	dflt := pointIv(b)
+	return func(DocID) interval { return dflt }
+}
+
+// compileInfBound builds the inference net's compiled per-shard bound.
+// Every leaf resolves its statistics once (instead of a map lookup per
+// candidate), term leaves precompute the belief interval each block
+// can contribute from its MaxTF metadata (the shard-minimum length,
+// avgdl and the leaf idf are evaluation constants, so the interval is
+// a pure function of the block), and membership runs through ascending
+// leafProbes. The intervals are computed by the very expressions the
+// per-candidate path evaluates, in the same order, so the compiled
+// bound is bit-identical to nodeBoundAt over capTFAt(…, blockmax).
+func (m InferenceNet) compileInfBound(ctx *evalContext, root *Node, b float64, si int, dl, avg float64, idf map[*termStat]float64) boundFn {
+	nsh := len(ctx.s.shards)
+	dflt := pointIv(b)
+	return compileBoundAt(root, b, func(leaf *Node) boundFn {
+		st := ctx.leafStat(leaf)
+		if st == nil || st.df == 0 {
+			return func(DocID) interval { return dflt }
+		}
+		w := idf[st]
+		ivOf := func(capTF int) interval {
+			if capTF == 0 {
+				return dflt
+			}
+			// Mirrors termBelief exactly (see EvalTopK's per-candidate
+			// bound): same expression, same operand order.
+			ti := float64(capTF) / (float64(capTF) + 0.5 + 1.5*dl/avg)
+			return interval{b, b + (1-b)*ti*w}
+		}
+		switch {
+		case st.views != nil:
+			lv := st.views[si]
+			// One interval per block plus the tail's, indexed by what
+			// leafProbe.blockAt returns.
+			ivs := make([]interval, len(lv.blocks)+1)
+			for bi := range lv.blocks {
+				ivs[bi] = ivOf(int(lv.blocks[bi].bl.MaxTF))
+			}
+			ivs[len(lv.blocks)] = ivOf(lv.tailMaxTF)
+			p := leafProbe{lv: lv}
+			return func(d DocID) interval {
+				bi, ok := p.blockAt(uint32(int(d) / nsh))
+				if !ok {
+					return dflt
+				}
+				return ivs[bi]
+			}
+		case st.members != nil:
+			mvs := st.members[si]
+			probes := make([]leafProbe, len(mvs))
+			for i := range mvs {
+				probes[i] = leafProbe{lv: mvs[i]}
+			}
+			return func(d DocID) interval {
+				local := uint32(int(d) / nsh)
+				sum := 0
+				for i := range probes {
+					if bi, ok := probes[i].blockAt(local); ok {
+						mv := probes[i].lv
+						if bi == len(mv.blocks) {
+							sum += mv.tailMaxTF
+						} else {
+							sum += int(mv.blocks[bi].bl.MaxTF)
+						}
+					}
+				}
+				return ivOf(sum)
+			}
+		default:
+			tfm := st.tf[si]
+			if tfm == nil {
+				return func(DocID) interval { return dflt }
+			}
+			return func(d DocID) interval { return ivOf(tfm[d]) }
+		}
+	})
+}

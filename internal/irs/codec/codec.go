@@ -1,0 +1,234 @@
+// Package codec implements the block storage format behind the IRS
+// posting lists: document-ordered blocks of up to BlockSize postings,
+// doc IDs delta-encoded + varint, term frequencies varint, and
+// positions delta+varint per document, with per-block metadata (first
+// and last doc ID, max within-block tf) kept alongside so top-k
+// evaluation can skip whole blocks without decoding them.
+//
+// Delta arithmetic is modular (uint32 wraparound), so Encode→Decode
+// round-trips exactly for arbitrary input sequences — including
+// non-ascending ones — which keeps the codec honest under fuzzing.
+// The engine itself only ever encodes strictly ascending local doc
+// IDs and ascending position lists.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockSize is the number of postings a full block holds. Posting
+// lists buffer appends in an uncompressed tail and seal it into a
+// block each time it reaches this size.
+const BlockSize = 128
+
+// MaxBlockPostings caps the posting count a decoded block may claim;
+// it exists to bound allocations when reading untrusted bytes (the
+// engine never exceeds BlockSize).
+const MaxBlockPostings = 1 << 16
+
+// MaxTFLimit caps a single term frequency read from untrusted bytes.
+const MaxTFLimit = 1 << 26
+
+// ErrCorrupt reports a malformed block stream.
+var ErrCorrupt = errors.New("codec: corrupt block")
+
+// Block is one sealed run of postings for a single term. Docs, TFs
+// and Pos are independent byte streams so doc IDs can be decoded for
+// candidate discovery without touching frequencies or positions.
+//
+// A Block is immutable after Encode; readers share it freely.
+type Block struct {
+	FirstDoc uint32 // first (local) doc ID in the block
+	LastDoc  uint32 // last (local) doc ID in the block
+	MaxTF    uint32 // max term frequency within the block
+	N        int    // number of postings
+
+	Docs []byte // doc IDs: first absolute, then gaps, uvarint
+	TFs  []byte // term frequencies, uvarint
+	Pos  []byte // per doc: first position absolute, then gaps, uvarint
+}
+
+// Encode seals docs[i] with positions[i] (tf = len(positions[i]))
+// into a Block. len(docs) must equal len(positions) and be ≥ 1.
+func Encode(docs []uint32, positions [][]uint32) Block {
+	if len(docs) == 0 || len(docs) != len(positions) {
+		panic(fmt.Sprintf("codec: Encode(%d docs, %d position lists)", len(docs), len(positions)))
+	}
+	b := Block{
+		FirstDoc: docs[0],
+		LastDoc:  docs[len(docs)-1],
+		N:        len(docs),
+	}
+	b.Docs = make([]byte, 0, len(docs)+binary.MaxVarintLen32)
+	prev := uint32(0)
+	for i, d := range docs {
+		if i == 0 {
+			b.Docs = binary.AppendUvarint(b.Docs, uint64(d))
+		} else {
+			b.Docs = binary.AppendUvarint(b.Docs, uint64(d-prev))
+		}
+		prev = d
+	}
+	b.TFs = make([]byte, 0, len(docs))
+	npos := 0
+	for _, ps := range positions {
+		tf := uint32(len(ps))
+		b.TFs = binary.AppendUvarint(b.TFs, uint64(tf))
+		if tf > b.MaxTF {
+			b.MaxTF = tf
+		}
+		npos += len(ps)
+	}
+	b.Pos = make([]byte, 0, npos+len(docs))
+	for _, ps := range positions {
+		pp := uint32(0)
+		for i, p := range ps {
+			if i == 0 {
+				b.Pos = binary.AppendUvarint(b.Pos, uint64(p))
+			} else {
+				b.Pos = binary.AppendUvarint(b.Pos, uint64(p-pp))
+			}
+			pp = p
+		}
+	}
+	return b
+}
+
+// uvarint32 reads one uvarint that must fit uint32.
+func uvarint32(buf []byte) (uint32, int, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 || v > 0xFFFFFFFF {
+		return 0, 0, ErrCorrupt
+	}
+	return uint32(v), n, nil
+}
+
+// DecodeDocs appends the block's doc IDs to dst and returns it.
+func (b *Block) DecodeDocs(dst []uint32) ([]uint32, error) {
+	if b.N < 0 || b.N > MaxBlockPostings {
+		return dst, ErrCorrupt
+	}
+	buf := b.Docs
+	prev := uint32(0)
+	for i := 0; i < b.N; i++ {
+		v, n, err := uvarint32(buf)
+		if err != nil {
+			return dst, err
+		}
+		buf = buf[n:]
+		if i == 0 {
+			prev = v
+		} else {
+			prev += v
+		}
+		dst = append(dst, prev)
+	}
+	if len(buf) != 0 {
+		return dst, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// DecodeTFs appends the block's term frequencies to dst and returns
+// it.
+func (b *Block) DecodeTFs(dst []uint32) ([]uint32, error) {
+	if b.N < 0 || b.N > MaxBlockPostings {
+		return dst, ErrCorrupt
+	}
+	buf := b.TFs
+	for i := 0; i < b.N; i++ {
+		v, n, err := uvarint32(buf)
+		if err != nil || v > MaxTFLimit {
+			return dst, ErrCorrupt
+		}
+		buf = buf[n:]
+		dst = append(dst, v)
+	}
+	if len(buf) != 0 {
+		return dst, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// DecodePositions decodes every document's position list. tfs must
+// be the block's decoded term frequencies (it determines how many
+// positions belong to each document). The returned lists share one
+// flat backing array.
+func (b *Block) DecodePositions(tfs []uint32) ([][]uint32, error) {
+	if len(tfs) != b.N {
+		return nil, ErrCorrupt
+	}
+	total := 0
+	for _, tf := range tfs {
+		if tf > MaxTFLimit {
+			return nil, ErrCorrupt
+		}
+		total += int(tf)
+	}
+	flat := make([]uint32, 0, total)
+	out := make([][]uint32, b.N)
+	buf := b.Pos
+	for i, tf := range tfs {
+		start := len(flat)
+		prev := uint32(0)
+		for j := uint32(0); j < tf; j++ {
+			v, n, err := uvarint32(buf)
+			if err != nil {
+				return nil, err
+			}
+			buf = buf[n:]
+			if j == 0 {
+				prev = v
+			} else {
+				prev += v
+			}
+			flat = append(flat, prev)
+		}
+		out[i] = flat[start:len(flat):len(flat)]
+	}
+	if len(buf) != 0 {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// SizeBytes reports the compressed in-memory footprint of the block:
+// the three byte streams plus the fixed metadata.
+func (b *Block) SizeBytes() int {
+	return len(b.Docs) + len(b.TFs) + len(b.Pos) + 16
+}
+
+// Validate fully decodes the block and checks that the metadata
+// (FirstDoc, LastDoc, MaxTF, N) matches the streams. Used by the
+// persistence layer after reading untrusted bytes.
+func (b *Block) Validate() error {
+	if b.N <= 0 || b.N > MaxBlockPostings {
+		return ErrCorrupt
+	}
+	docs, err := b.DecodeDocs(nil)
+	if err != nil {
+		return err
+	}
+	if docs[0] != b.FirstDoc || docs[len(docs)-1] != b.LastDoc {
+		return ErrCorrupt
+	}
+	tfs, err := b.DecodeTFs(nil)
+	if err != nil {
+		return err
+	}
+	maxTF := uint32(0)
+	for _, tf := range tfs {
+		if tf > maxTF {
+			maxTF = tf
+		}
+	}
+	if maxTF != b.MaxTF {
+		return ErrCorrupt
+	}
+	if _, err := b.DecodePositions(tfs); err != nil {
+		return err
+	}
+	return nil
+}

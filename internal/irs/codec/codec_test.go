@@ -1,0 +1,113 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+)
+
+func roundTrip(t *testing.T, docs []uint32, positions [][]uint32) Block {
+	t.Helper()
+	b := Encode(docs, positions)
+	if b.N != len(docs) || b.FirstDoc != docs[0] || b.LastDoc != docs[len(docs)-1] {
+		t.Fatalf("metadata mismatch: %+v for %v", b, docs)
+	}
+	gotDocs, err := b.DecodeDocs(nil)
+	if err != nil {
+		t.Fatalf("DecodeDocs: %v", err)
+	}
+	if !reflect.DeepEqual(gotDocs, docs) {
+		t.Fatalf("docs: got %v want %v", gotDocs, docs)
+	}
+	tfs, err := b.DecodeTFs(nil)
+	if err != nil {
+		t.Fatalf("DecodeTFs: %v", err)
+	}
+	for i, tf := range tfs {
+		if int(tf) != len(positions[i]) {
+			t.Fatalf("tf[%d]: got %d want %d", i, tf, len(positions[i]))
+		}
+	}
+	gotPos, err := b.DecodePositions(tfs)
+	if err != nil {
+		t.Fatalf("DecodePositions: %v", err)
+	}
+	for i := range positions {
+		if len(positions[i]) == 0 && len(gotPos[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(gotPos[i], positions[i]) {
+			t.Fatalf("positions[%d]: got %v want %v", i, gotPos[i], positions[i])
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return b
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	docs := []uint32{3, 7, 8, 100, 1 << 20}
+	positions := [][]uint32{
+		{0, 1, 2},
+		{5},
+		{9, 4000},
+		{},
+		{1, 2, 3, 4, 5, 6, 7},
+	}
+	b := roundTrip(t, docs, positions)
+	if b.MaxTF != 7 {
+		t.Fatalf("MaxTF: got %d want 7", b.MaxTF)
+	}
+}
+
+func TestRoundTripSingleDoc(t *testing.T) {
+	roundTrip(t, []uint32{0}, [][]uint32{{0}})
+	roundTrip(t, []uint32{0xFFFFFFFF}, [][]uint32{nil})
+}
+
+func TestRoundTripPathologicalGaps(t *testing.T) {
+	// Maximal doc and position gaps, plus non-ascending sequences
+	// (wraparound deltas must still round-trip exactly).
+	roundTrip(t, []uint32{0, 0xFFFFFFFF}, [][]uint32{{0xFFFFFFFF}, {0xFFFFFFFF, 0, 0xFFFFFFFF}})
+	roundTrip(t, []uint32{10, 3, 10, 2}, [][]uint32{{7, 1}, {}, {5, 5, 5}, {0}})
+}
+
+func TestRoundTripFullBlock(t *testing.T) {
+	docs := make([]uint32, BlockSize)
+	positions := make([][]uint32, BlockSize)
+	for i := range docs {
+		docs[i] = uint32(i * 3)
+		positions[i] = []uint32{uint32(i), uint32(i + 100)}
+	}
+	b := roundTrip(t, docs, positions)
+	if b.SizeBytes() >= 8*BlockSize+4*2*BlockSize {
+		t.Fatalf("compressed block (%d bytes) not smaller than flat representation", b.SizeBytes())
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	b := Encode([]uint32{1, 2, 3}, [][]uint32{{1}, {2}, {3}})
+	for _, bad := range []Block{
+		{N: 3, Docs: b.Docs[:1], TFs: b.TFs, Pos: b.Pos},
+		{N: 4, Docs: b.Docs, TFs: b.TFs, Pos: b.Pos},
+		{N: 2, Docs: b.Docs, TFs: b.TFs, Pos: b.Pos}, // trailing bytes
+		{N: MaxBlockPostings + 1},
+		{N: -1},
+	} {
+		if _, err := bad.DecodeDocs(nil); err == nil {
+			if _, err := bad.DecodeTFs(nil); err == nil {
+				t.Fatalf("corrupt block %+v decoded cleanly", bad)
+			}
+		}
+	}
+	bad := b
+	bad.MaxTF = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted wrong MaxTF")
+	}
+	bad = b
+	bad.LastDoc = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted wrong LastDoc")
+	}
+}

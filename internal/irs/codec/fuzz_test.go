@@ -1,0 +1,101 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzBlockRoundTrip derives an arbitrary posting run from the fuzz
+// input and checks Encode→Decode is the exact identity. Deltas are
+// modular, so even non-ascending doc IDs and positions (which the
+// engine never produces) must round-trip bit-for-bit.
+func FuzzBlockRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 1, 5})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{255, 3, 255, 0, 128, 7, 2, 9, 9})
+	f.Add([]byte{1, 7, 1, 2, 3, 4, 5, 6, 7, 200, 1, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var docs []uint32
+		var positions [][]uint32
+		doc := uint32(0)
+		for len(data) >= 2 && len(docs) < BlockSize {
+			// Wide gaps via byte-cubing so single-byte inputs reach
+			// pathological multi-byte varint territory.
+			doc += uint32(data[0]) * uint32(data[0]) * uint32(data[0])
+			tf := int(data[1] % 9)
+			data = data[2:]
+			ps := make([]uint32, 0, tf)
+			pos := uint32(0)
+			for j := 0; j < tf && len(data) > 0; j++ {
+				pos += uint32(data[0]) << (data[0] % 17)
+				ps = append(ps, pos)
+				data = data[1:]
+			}
+			docs = append(docs, doc)
+			positions = append(positions, ps)
+		}
+		if len(docs) == 0 {
+			return
+		}
+		b := Encode(docs, positions)
+		gotDocs, err := b.DecodeDocs(nil)
+		if err != nil {
+			t.Fatalf("DecodeDocs: %v", err)
+		}
+		if !reflect.DeepEqual(gotDocs, docs) {
+			t.Fatalf("docs: got %v want %v", gotDocs, docs)
+		}
+		tfs, err := b.DecodeTFs(nil)
+		if err != nil {
+			t.Fatalf("DecodeTFs: %v", err)
+		}
+		gotPos, err := b.DecodePositions(tfs)
+		if err != nil {
+			t.Fatalf("DecodePositions: %v", err)
+		}
+		for i := range positions {
+			if int(tfs[i]) != len(positions[i]) {
+				t.Fatalf("tf[%d]: got %d want %d", i, tfs[i], len(positions[i]))
+			}
+			if len(positions[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(gotPos[i], positions[i]) {
+				t.Fatalf("positions[%d]: got %v want %v", i, gotPos[i], positions[i])
+			}
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	})
+}
+
+// FuzzBlockDecode throws arbitrary bytes at the decoders as if they
+// came from a hostile .irsc file: they must return an error or a
+// consistent result, never panic or over-allocate.
+func FuzzBlockDecode(f *testing.F) {
+	f.Add(uint16(3), []byte{1, 1, 1}, []byte{1, 1, 1}, []byte{0, 0, 0})
+	f.Add(uint16(1), []byte{200}, []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, n uint16, docs, tfs, pos []byte) {
+		b := Block{N: int(n), Docs: docs, TFs: tfs, Pos: pos}
+		if ds, err := b.DecodeDocs(nil); err == nil {
+			if len(ds) != b.N {
+				t.Fatalf("DecodeDocs returned %d docs for N=%d", len(ds), b.N)
+			}
+		}
+		if ts, err := b.DecodeTFs(nil); err == nil {
+			if len(ts) != b.N {
+				t.Fatalf("DecodeTFs returned %d tfs for N=%d", len(ts), b.N)
+			}
+			if ps, err := b.DecodePositions(ts); err == nil {
+				for i, tf := range ts {
+					if len(ps[i]) != int(tf) {
+						t.Fatalf("positions[%d] has %d entries, tf %d", i, len(ps[i]), tf)
+					}
+				}
+			}
+		}
+		_ = b.Validate()
+		_ = b.SizeBytes()
+	})
+}

@@ -1,0 +1,310 @@
+package irs
+
+import (
+	"sort"
+
+	"repro/internal/irs/codec"
+)
+
+// This file is the read side of the block storage: leafView wraps one
+// term's captured posting list in one shard with lazy per-block
+// payload decoding, and termCursor walks it document-at-a-time with
+// block-level skipping (next / skipTo / blockMaxTF — the Block-Max
+// WAND cursor interface).
+//
+// Doc-id streams are decoded eagerly at view construction: candidate
+// discovery, document frequencies and liveness filtering all need
+// them, and they are the cheapest stream. Term frequencies and
+// positions decode lazily, a whole block at a time, only when a
+// document in that block is actually scored — so when the refined
+// block-max bound rules a block's documents out, its tf and position
+// bytes are never touched. TopKStats.BlocksSkipped counts blocks
+// whose payloads stayed compressed through an evaluation;
+// PostingsDecoded counts the postings whose payloads were expanded.
+
+// blockView is one sealed block plus its decode state.
+type blockView struct {
+	bl   *codec.Block
+	docs []uint32   // local doc ids, decoded at construction
+	tfs  []uint32   // lazy: decoded on first score in this block
+	poss [][]uint32 // lazy: decoded on first position use in this block
+}
+
+// leafView is one (shard, term) posting list prepared for evaluation.
+// It is used by exactly one goroutine at a time (per-shard evaluation
+// state), so lazy decoding needs no synchronization; the aggregate
+// decode counters are read after evaluation completes.
+type leafView struct {
+	s         *Snapshot
+	si        int
+	maxTF     int // whole-list live-tf upper bound (termMaxTFShard)
+	blocks    []blockView
+	tail      []Posting
+	tailMaxTF int
+	live      []DocID // live global doc ids, ascending
+}
+
+// leafViewShard builds the view of an already-normalized term in one
+// shard. Blocks wholly past the snapshot's doc horizon are dropped
+// (they can only hold post-acquisition documents) and never counted
+// in the decode stats. Always returns a non-nil view; a term missing
+// from the shard dictionary yields an empty one.
+func (s *Snapshot) leafViewShard(si int, term string) *leafView {
+	ss := &s.shards[si]
+	v := ss.view(term)
+	lv := &leafView{s: s, si: si, maxTF: v.maxTF}
+	n := len(s.shards)
+	for bi := range v.blocks {
+		bl := &v.blocks[bi]
+		if !ss.blockInHorizon(bl) {
+			break
+		}
+		docs, err := bl.DecodeDocs(make([]uint32, 0, bl.N))
+		if err != nil {
+			continue
+		}
+		lv.blocks = append(lv.blocks, blockView{bl: bl, docs: docs})
+		for _, local := range docs {
+			if id := globalID(local, si, n); s.live(id) {
+				lv.live = append(lv.live, id)
+			}
+		}
+	}
+	lv.tail = v.tail
+	for _, p := range v.tail {
+		if tf := p.TF(); tf > lv.tailMaxTF {
+			lv.tailMaxTF = tf
+		}
+		if s.live(p.Doc) {
+			lv.live = append(lv.live, p.Doc)
+		}
+	}
+	return lv
+}
+
+// find locates the local doc id: the containing block index (or
+// len(blocks) for the tail) and the offset within it.
+func (lv *leafView) find(local uint32) (bi, i int, ok bool) {
+	bi = sort.Search(len(lv.blocks), func(j int) bool {
+		return lv.blocks[j].bl.LastDoc >= local
+	})
+	if bi < len(lv.blocks) {
+		bv := &lv.blocks[bi]
+		i = sort.Search(len(bv.docs), func(j int) bool { return bv.docs[j] >= local })
+		if i < len(bv.docs) && bv.docs[i] == local {
+			return bi, i, true
+		}
+		return 0, 0, false
+	}
+	n := len(lv.s.shards)
+	i = sort.Search(len(lv.tail), func(j int) bool {
+		return uint32(int(lv.tail[j].Doc)/n) >= local
+	})
+	if i < len(lv.tail) && uint32(int(lv.tail[i].Doc)/n) == local {
+		return len(lv.blocks), i, true
+	}
+	return 0, 0, false
+}
+
+// decodeTFs expands a block's frequency stream (idempotent).
+func (bv *blockView) decodeTFs() {
+	if bv.tfs != nil {
+		return
+	}
+	tfs, err := bv.bl.DecodeTFs(make([]uint32, 0, bv.bl.N))
+	if err != nil {
+		tfs = make([]uint32, len(bv.docs)) // validated at load; unreachable
+	}
+	bv.tfs = tfs
+}
+
+// decodePositions expands a block's position stream (idempotent).
+func (bv *blockView) decodePositions() {
+	if bv.poss != nil {
+		return
+	}
+	bv.decodeTFs()
+	poss, err := bv.bl.DecodePositions(bv.tfs)
+	if err != nil {
+		poss = make([][]uint32, len(bv.docs))
+	}
+	bv.poss = poss
+}
+
+// tfOf returns the term frequency of d in this leaf (0 when absent),
+// decoding the containing block's frequencies on first use.
+func (lv *leafView) tfOf(d DocID) int {
+	local := uint32(int(d) / len(lv.s.shards))
+	bi, i, ok := lv.find(local)
+	if !ok {
+		return 0
+	}
+	if bi == len(lv.blocks) {
+		return lv.tail[i].TF()
+	}
+	bv := &lv.blocks[bi]
+	bv.decodeTFs()
+	return int(bv.tfs[i])
+}
+
+// positionsOf returns the ascending positions of d in this leaf (nil
+// when absent), decoding the containing block's positions on first
+// use.
+func (lv *leafView) positionsOf(d DocID) []uint32 {
+	local := uint32(int(d) / len(lv.s.shards))
+	bi, i, ok := lv.find(local)
+	if !ok {
+		return nil
+	}
+	if bi == len(lv.blocks) {
+		return lv.tail[i].Positions
+	}
+	bv := &lv.blocks[bi]
+	bv.decodePositions()
+	return bv.poss[i]
+}
+
+// contains reports whether d has a posting in this leaf.
+func (lv *leafView) contains(d DocID) bool {
+	_, _, ok := lv.find(uint32(int(d) / len(lv.s.shards)))
+	return ok
+}
+
+// blockOf returns the index of the block containing d (len(blocks)
+// for the tail); ok is false when d has no posting in this leaf.
+func (lv *leafView) blockOf(d DocID) (int, bool) {
+	bi, _, ok := lv.find(uint32(int(d) / len(lv.s.shards)))
+	return bi, ok
+}
+
+// blockMaxTFOf returns the max within-block term frequency of the
+// block containing d — the refinement Block-Max pruning substitutes
+// for the whole-list maxTF bound. Reads only metadata, never decodes.
+// 0 when d is not in the leaf.
+func (lv *leafView) blockMaxTFOf(d DocID) int {
+	local := uint32(int(d) / len(lv.s.shards))
+	bi, _, ok := lv.find(local)
+	if !ok {
+		return 0
+	}
+	if bi == len(lv.blocks) {
+		return lv.tailMaxTF
+	}
+	return int(lv.blocks[bi].bl.MaxTF)
+}
+
+// decodeStats reports how evaluation treated the view's blocks: how
+// many kept their payload compressed end-to-end (skipped) and how
+// many postings had payloads expanded (decoded). The uncompressed
+// tail is excluded from both counts.
+func (lv *leafView) decodeStats() (blocksSkipped, postingsDecoded int64) {
+	for i := range lv.blocks {
+		if lv.blocks[i].tfs == nil {
+			blocksSkipped++
+		} else {
+			postingsDecoded += int64(len(lv.blocks[i].docs))
+		}
+	}
+	return blocksSkipped, postingsDecoded
+}
+
+// termCursor iterates a leafView's live postings in ascending DocID
+// order: the document-at-a-time cursor API over block storage.
+// skipTo seeks with a binary search over block boundaries, so
+// advancing past whole blocks never touches their payload bytes.
+type termCursor struct {
+	v   *leafView
+	bi  int // current block; len(v.blocks) = tail
+	pi  int // next offset within the current block (or tail)
+	cur DocID
+	ok  bool
+}
+
+// newCursor returns a cursor positioned on the leaf's first live
+// posting.
+func (lv *leafView) newCursor() *termCursor {
+	c := &termCursor{v: lv}
+	c.advance()
+	return c
+}
+
+// doc returns the current document; valid() reports whether the
+// cursor is positioned on one.
+func (c *termCursor) doc() DocID  { return c.cur }
+func (c *termCursor) valid() bool { return c.ok }
+
+// advance moves to the next live posting at or after (c.bi, c.pi).
+func (c *termCursor) advance() {
+	n := len(c.v.s.shards)
+	for c.bi < len(c.v.blocks) {
+		bv := &c.v.blocks[c.bi]
+		for c.pi < len(bv.docs) {
+			id := globalID(bv.docs[c.pi], c.v.si, n)
+			c.pi++
+			if c.v.s.live(id) {
+				c.cur, c.ok = id, true
+				return
+			}
+		}
+		c.bi++
+		c.pi = 0
+	}
+	for c.pi < len(c.v.tail) {
+		p := c.v.tail[c.pi]
+		c.pi++
+		if c.v.s.live(p.Doc) {
+			c.cur, c.ok = p.Doc, true
+			return
+		}
+	}
+	c.ok = false
+}
+
+// next moves to the following live posting.
+func (c *termCursor) next() { c.advance() }
+
+// skipTo positions the cursor on the first live posting with DocID ≥
+// d, skipping whole blocks by their LastDoc metadata. A cursor
+// already at or past d does not move.
+func (c *termCursor) skipTo(d DocID) {
+	if !c.ok || c.cur >= d {
+		return
+	}
+	local := uint32(int(d) / len(c.v.s.shards))
+	bi := sort.Search(len(c.v.blocks), func(j int) bool {
+		return c.v.blocks[j].bl.LastDoc >= local
+	})
+	if bi > c.bi {
+		c.bi, c.pi = bi, 0
+	}
+	if c.bi < len(c.v.blocks) {
+		bv := &c.v.blocks[c.bi]
+		i := sort.Search(len(bv.docs), func(j int) bool { return bv.docs[j] >= local })
+		if i > c.pi {
+			c.pi = i
+		}
+	} else {
+		i := sort.Search(len(c.v.tail), func(j int) bool { return c.v.tail[j].Doc >= d })
+		if i > c.pi {
+			c.pi = i
+		}
+	}
+	c.advance()
+}
+
+// blockMaxTF returns the max term frequency of the current block —
+// the cursor-local score ceiling Block-Max evaluation compares with
+// the global threshold before deciding to decode.
+func (c *termCursor) blockMaxTF() int {
+	if c.bi < len(c.v.blocks) {
+		return int(c.v.blocks[c.bi].bl.MaxTF)
+	}
+	return c.v.tailMaxTF
+}
+
+// tf returns the current posting's term frequency (payload decode of
+// the current block).
+func (c *termCursor) tf() int { return c.v.tfOf(c.cur) }
+
+// positions returns the current posting's positions.
+func (c *termCursor) positions() []uint32 { return c.v.positionsOf(c.cur) }

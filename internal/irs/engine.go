@@ -226,10 +226,12 @@ type Collection struct {
 	// answered through EvalTopK, candidates actually scored, candidates
 	// skipped because their score upper bound could not reach the k-th
 	// best, and whole shards skipped by the cross-shard threshold.
-	topkQueries atomic.Int64
-	topkScored  atomic.Int64
-	topkPruned  atomic.Int64
-	topkSkipped atomic.Int64
+	topkQueries       atomic.Int64
+	topkScored        atomic.Int64
+	topkPruned        atomic.Int64
+	topkSkipped       atomic.Int64
+	topkBlocksSkipped atomic.Int64
+	topkDecoded       atomic.Int64
 }
 
 // Name returns the collection name.
@@ -301,8 +303,13 @@ func (c *Collection) HasDoc(extID string) bool { return c.ix.HasDoc(extID) }
 // DocCount returns the number of live documents.
 func (c *Collection) DocCount() int { return c.ix.DocCount() }
 
-// SizeBytes estimates the inverted-file size.
+// SizeBytes estimates the inverted-file size (block-compressed form).
 func (c *Collection) SizeBytes() int64 { return c.ix.SizeBytes() }
+
+// CompressionRatio reports how much smaller the block-compressed
+// posting storage is than the flat-posting representation would be
+// (1 for an empty index).
+func (c *Collection) CompressionRatio() float64 { return c.ix.CompressionRatio() }
 
 // Search parses and evaluates query, returning results sorted by
 // descending score (ties broken by ExtID for determinism).
@@ -395,6 +402,8 @@ func (c *Collection) SearchNodeTopKTracedAt(snap *Snapshot, n *Node, k int, tr *
 	c.topkScored.Add(res.Scored)
 	c.topkPruned.Add(res.Pruned)
 	c.topkSkipped.Add(res.ShardsSkipped)
+	c.topkBlocksSkipped.Add(res.BlocksSkipped)
+	c.topkDecoded.Add(res.PostingsDecoded)
 	if obs.Enabled() {
 		topkSeedHist.ObserveNanos(res.SeedNanos)
 		topkFinishHist.ObserveNanos(res.FinishNanos)
@@ -410,6 +419,8 @@ func (c *Collection) SearchNodeTopKTracedAt(snap *Snapshot, n *Node, k int, tr *
 		tr.Attr("shards_skipped", res.ShardsSkipped)
 		tr.Attr("candidates_scored", res.Scored)
 		tr.Attr("candidates_pruned", res.Pruned)
+		tr.Attr("blocks_skipped", res.BlocksSkipped)
+		tr.Attr("postings_decoded", res.PostingsDecoded)
 	}
 	out := make([]Result, len(res.Hits))
 	for i, h := range res.Hits {
@@ -420,23 +431,29 @@ func (c *Collection) SearchNodeTopKTracedAt(snap *Snapshot, n *Node, k int, tr *
 
 // TopKStats aggregates a collection's top-k evaluation counters:
 // queries served through the streaming engine, candidates scored,
-// candidates pruned by the score upper bounds, and shards whose
+// candidates pruned by the score upper bounds, shards whose
 // remaining scan was skipped wholesale by the cross-shard threshold
-// (zero with sharing off or single-shard indexes).
+// (zero with sharing off or single-shard indexes), compressed posting
+// blocks whose payloads stayed unexpanded through an evaluation, and
+// postings whose payloads were decoded (see TopKResult).
 type TopKStats struct {
-	Queries       int64
-	Scored        int64
-	Pruned        int64
-	ShardsSkipped int64
+	Queries         int64
+	Scored          int64
+	Pruned          int64
+	ShardsSkipped   int64
+	BlocksSkipped   int64
+	PostingsDecoded int64
 }
 
 // TopKStats reports the collection's top-k evaluation counters.
 func (c *Collection) TopKStats() TopKStats {
 	return TopKStats{
-		Queries:       c.topkQueries.Load(),
-		Scored:        c.topkScored.Load(),
-		Pruned:        c.topkPruned.Load(),
-		ShardsSkipped: c.topkSkipped.Load(),
+		Queries:         c.topkQueries.Load(),
+		Scored:          c.topkScored.Load(),
+		Pruned:          c.topkPruned.Load(),
+		ShardsSkipped:   c.topkSkipped.Load(),
+		BlocksSkipped:   c.topkBlocksSkipped.Load(),
+		PostingsDecoded: c.topkDecoded.Load(),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/irs/analysis"
+	"repro/internal/irs/codec"
 )
 
 // Posting records the occurrences of a term in one document.
@@ -18,8 +19,20 @@ type Posting struct {
 // TF returns the within-document term frequency.
 func (p Posting) TF() int { return len(p.Positions) }
 
-// postingList is the per-term entry of a shard dictionary. Postings
-// are kept sorted by DocID; deleted documents are filtered on read.
+// postingList is the per-term entry of a shard dictionary: a run of
+// sealed, immutable delta+varint blocks (codec.Block, local doc ids
+// ascending) followed by an uncompressed tail buffer that absorbs
+// appends and is sealed into a block each time it reaches
+// codec.BlockSize postings. Postings are kept sorted by DocID across
+// blocks and tail; deleted documents are filtered on read.
+//
+// Snapshot discipline: readers capture the blocks and tail slice
+// headers under the shard lock. Sealed blocks are never mutated;
+// appends write beyond every captured header's length; and seal()
+// replaces the tail with a nil slice (fresh backing array on the next
+// append) instead of truncating it, so a captured tail header keeps
+// reading the postings it saw. The snapshot's doc-count horizon hides
+// post-capture documents either way.
 //
 // maxTF is the term's score upper-bound statistic: the largest
 // within-document frequency any live posting has carried. It is
@@ -29,11 +42,76 @@ func (p Posting) TF() int { return len(p.Positions) }
 // file's postings (tombstoned ones included) and keeps a stored v3
 // bound when higher, so a reloaded bound can stay stale-high until
 // the next compaction. Top-k evaluation derives per-term score caps
-// from it (MaxScore-style pruning, see topk.go).
+// from it — and, per block, from the block's own MaxTF metadata
+// (Block-Max-MaxScore-style pruning, see topk.go and cursor.go).
 type postingList struct {
-	postings []Posting
-	df       int // live document frequency (excludes tombstoned docs)
-	maxTF    int // upper bound on live within-document tf
+	blocks   []codec.Block // sealed runs, local doc ids, immutable
+	tail     []Posting     // uncompressed append buffer (global DocIDs)
+	count    int           // total postings across blocks + tail
+	posCount int64         // total positions across blocks + tail
+	df       int           // live document frequency (excludes tombstoned docs)
+	maxTF    int           // upper bound on live within-document tf
+}
+
+// appendPosting adds one posting (ascending DocID order is the
+// caller's invariant) and seals the tail into a block when it fills.
+// Caller holds the shard write lock.
+func (pl *postingList) appendPosting(id DocID, positions []uint32, nsh int) {
+	pl.tail = append(pl.tail, Posting{Doc: id, Positions: positions})
+	pl.count++
+	pl.posCount += int64(len(positions))
+	if len(pl.tail) >= codec.BlockSize {
+		pl.seal(nsh)
+	}
+}
+
+// compactSealMin is the smallest tail run Compact/Reshard seal into a
+// block: under it, a block's fixed header costs more bytes than
+// delta+varint compression saves over the flat form.
+const compactSealMin = 4
+
+// seal encodes the tail into a block. The tail is reset to nil — not
+// truncated — so slice headers captured by snapshots keep reading the
+// backing array they saw.
+func (pl *postingList) seal(nsh int) {
+	docs := make([]uint32, len(pl.tail))
+	poss := make([][]uint32, len(pl.tail))
+	for i, p := range pl.tail {
+		docs[i] = uint32(int(p.Doc) / nsh)
+		poss[i] = p.Positions
+	}
+	pl.blocks = append(pl.blocks, codec.Encode(docs, poss))
+	pl.tail = nil
+}
+
+// forEach materializes every posting in order (blocks first, then
+// tail), decoding block payloads; fn receives global DocIDs
+// reconstructed from si/nsh. Block-decoded position slices are
+// freshly allocated; tail positions are the index-owned originals.
+// Decode errors cannot occur on engine-built blocks and persisted
+// blocks are validated at load, so a corrupt block is skipped.
+func (pl *postingList) forEach(si, nsh int, fn func(p Posting)) {
+	var docs, tfs []uint32
+	for bi := range pl.blocks {
+		bl := &pl.blocks[bi]
+		var err error
+		if docs, err = bl.DecodeDocs(docs[:0]); err != nil {
+			continue
+		}
+		if tfs, err = bl.DecodeTFs(tfs[:0]); err != nil {
+			continue
+		}
+		poss, err := bl.DecodePositions(tfs)
+		if err != nil {
+			continue
+		}
+		for i, local := range docs {
+			fn(Posting{Doc: globalID(local, si, nsh), Positions: poss[i]})
+		}
+	}
+	for _, p := range pl.tail {
+		fn(p)
+	}
 }
 
 // docInfo is the per-document metadata record. terms is the forward
@@ -174,6 +252,7 @@ type Index struct {
 	sizeMu    sync.Mutex
 	sizeVer   uint64
 	sizeCache []int64
+	flatCache []int64 // flat-equivalent sizes (CompressionRatio numerator)
 
 	// staleMu/staleVer/staleCache memoize BoundsStaleness the same way
 	// (an O(postings) walk per index version).
@@ -320,7 +399,7 @@ func (ix *Index) addAnalyzedLocked(sh *shard, si int, d *AnalyzedDoc) DocID {
 			pl = &postingList{}
 			sh.dict[term] = pl
 		}
-		pl.postings = append(pl.postings, Posting{Doc: id, Positions: d.positions[i]})
+		pl.appendPosting(id, d.positions[i], len(ix.shards))
 		pl.df++
 		if tf := len(d.positions[i]); tf > pl.maxTF {
 			pl.maxTF = tf
@@ -511,15 +590,15 @@ func (ix *Index) postingsRaw(term string) []Posting {
 	ix.commitMu.RLock()
 	defer ix.commitMu.RUnlock()
 	var out []Posting
-	for _, sh := range ix.shards {
+	for si, sh := range ix.shards {
 		sh.mu.RLock()
 		if pl := sh.dict[term]; pl != nil {
-			for _, p := range pl.postings {
+			pl.forEach(si, len(ix.shards), func(p Posting) {
 				local := uint32(int(p.Doc) / len(ix.shards))
 				if !sh.isDeleted(local) {
 					out = append(out, p)
 				}
-			}
+			})
 		}
 		sh.mu.RUnlock()
 	}
@@ -699,11 +778,11 @@ func (ix *Index) TermCount() int {
 	return len(seen)
 }
 
-// SizeBytes estimates the memory footprint of the inverted file:
-// dictionary strings plus one 4-byte doc id and 4 bytes per position
-// slot per posting. Retained slice capacity counts — tombstoned
-// postings and over-allocated position arrays take space until
-// Compact reclaims them, matching in-memory reality.
+// SizeBytes reports the in-memory footprint of the inverted file:
+// dictionary strings plus the compressed byte streams of every sealed
+// block and the flat representation of the (≤ codec.BlockSize-sized)
+// uncompressed tails. Tombstoned postings take space until Compact
+// reclaims them, matching in-memory reality.
 func (ix *Index) SizeBytes() int64 {
 	var n int64
 	for _, s := range ix.ShardSizes() {
@@ -712,35 +791,76 @@ func (ix *Index) SizeBytes() int64 {
 	return n
 }
 
+// flatSizeBytes is what SizeBytes would report if every posting were
+// stored uncompressed (8 bytes per posting plus 4 per position) — the
+// pre-block representation, kept as the numerator of
+// CompressionRatio.
+func (pl *postingList) flatSizeBytes(term string) int64 {
+	return int64(len(term)) + 8 + 8*int64(pl.count) + 4*pl.posCount
+}
+
+func (pl *postingList) sizeBytes(term string) int64 {
+	n := int64(len(term)) + 8
+	for bi := range pl.blocks {
+		n += int64(pl.blocks[bi].SizeBytes())
+	}
+	n += 8 * int64(cap(pl.tail))
+	for _, p := range pl.tail {
+		n += 4 * int64(cap(p.Positions))
+	}
+	return n
+}
+
 // ShardSizes returns the SizeBytes contribution of each shard
 // (serving-layer statistics). The walk is memoized per index
 // version, so repeated polling of an unchanged index is cheap.
 func (ix *Index) ShardSizes() []int64 {
+	sizes, _ := ix.shardSizes()
+	return sizes
+}
+
+// CompressionRatio reports how much smaller the block-compressed
+// posting storage is than the flat Posting representation it
+// replaced: flat bytes / actual bytes, ≥ 1 in practice, 1 for an
+// empty index.
+func (ix *Index) CompressionRatio() float64 {
+	sizes, flat := ix.shardSizes()
+	var n, f int64
+	for si := range sizes {
+		n += sizes[si]
+		f += flat[si]
+	}
+	if n == 0 {
+		return 1
+	}
+	return float64(f) / float64(n)
+}
+
+func (ix *Index) shardSizes() (sizes, flat []int64) {
 	ix.sizeMu.Lock()
 	defer ix.sizeMu.Unlock()
 	// The version is read before the scan: a mutation racing the scan
 	// at worst re-computes on the next call.
 	v := ix.version.Load()
 	if ix.sizeCache != nil && ix.sizeVer == v {
-		return append([]int64(nil), ix.sizeCache...)
+		return append([]int64(nil), ix.sizeCache...), append([]int64(nil), ix.flatCache...)
 	}
 	ix.commitMu.RLock()
 	out := make([]int64, len(ix.shards))
+	fout := make([]int64, len(ix.shards))
 	for si, sh := range ix.shards {
 		sh.mu.RLock()
 		for term, pl := range sh.dict {
-			out[si] += int64(len(term)) + 8
-			out[si] += 8 * int64(cap(pl.postings))
-			for _, p := range pl.postings {
-				out[si] += 4 * int64(cap(p.Positions))
-			}
+			out[si] += pl.sizeBytes(term)
+			fout[si] += pl.flatSizeBytes(term)
 		}
 		sh.mu.RUnlock()
 	}
 	ix.commitMu.RUnlock()
 	ix.sizeVer = v
 	ix.sizeCache = out
-	return append([]int64(nil), out...)
+	ix.flatCache = fout
+	return append([]int64(nil), out...), append([]int64(nil), fout...)
 }
 
 // BoundsStaleness gauges how loose the maintained per-term max-tf
@@ -779,14 +899,36 @@ func (ix *Index) BoundsStaleness() float64 {
 	shards := ix.shards
 	ix.commitMu.RUnlock()
 	var boundSum, liveSum int64
+	var docs, tfs []uint32
 	for _, sh := range shards {
 		sh.mu.RLock()
 		for _, pl := range sh.dict {
 			if pl.df <= 0 {
 				continue
 			}
+			// The walk needs doc ids and frequencies only, so blocks
+			// decode two of their three streams — positions stay
+			// compressed.
 			liveMax := 0
-			for _, p := range pl.postings {
+			for bi := range pl.blocks {
+				bl := &pl.blocks[bi]
+				var err error
+				if docs, err = bl.DecodeDocs(docs[:0]); err != nil {
+					continue
+				}
+				if tfs, err = bl.DecodeTFs(tfs[:0]); err != nil {
+					continue
+				}
+				if int(bl.MaxTF) <= liveMax {
+					continue
+				}
+				for i, local := range docs {
+					if tf := int(tfs[i]); tf > liveMax && !sh.isDeleted(local) {
+						liveMax = tf
+					}
+				}
+			}
+			for _, p := range pl.tail {
 				if tf := p.TF(); tf > liveMax && !sh.isDeleted(uint32(int(p.Doc)/len(shards))) {
 					liveMax = tf
 				}
@@ -806,9 +948,10 @@ func (ix *Index) BoundsStaleness() float64 {
 }
 
 // Compact rebuilds the index without tombstones, renumbering
-// documents densely and trimming posting and position slices to
-// exact size (incremental adds over-allocate; the trim is where
-// SizeBytes visibly drops). External ids are preserved. Both manual
+// documents densely and sealing every posting run — including the
+// sub-block remainder incremental appends leave as a flat tail —
+// into compressed blocks (the reseal is where SizeBytes visibly
+// drops). External ids are preserved. Both manual
 // and policy-triggered compactions run through here and count toward
 // Compactions().
 func (ix *Index) Compact() {
@@ -873,37 +1016,51 @@ func (ix *Index) rebuild(n int) {
 		tsh.liveDocs++
 		tsh.totalLen += int64(d.length)
 	}
-	// Pass 2: re-bucket live postings, copying position slices
-	// tightly so retained capacity is reclaimed.
-	for _, sh := range ix.shards {
+	// Pass 2: decode and re-bucket live postings per target shard,
+	// copying position slices tightly so retained capacity is
+	// reclaimed, then re-encode each term's run into fresh blocks.
+	collected := make([]map[string][]Posting, n)
+	for i := range collected {
+		collected[i] = make(map[string][]Posting)
+	}
+	for si, sh := range ix.shards {
 		for term, pl := range sh.dict {
-			for _, p := range pl.postings {
+			pl.forEach(si, oldN, func(p Posting) {
 				nid, ok := remap[p.Doc]
 				if !ok {
-					continue
-				}
-				tsh := newShards[int(nid)%n]
-				npl := tsh.dict[term]
-				if npl == nil {
-					npl = &postingList{}
-					tsh.dict[term] = npl
+					return
 				}
 				positions := make([]uint32, len(p.Positions))
 				copy(positions, p.Positions)
-				npl.postings = append(npl.postings, Posting{Doc: nid, Positions: positions})
-				npl.df++
-				// Only live postings reach the rebuilt shards, so the
-				// bound tightens back to the exact live maximum.
-				if len(positions) > npl.maxTF {
-					npl.maxTF = len(positions)
-				}
-			}
+				tsi := int(nid) % n
+				collected[tsi][term] = append(collected[tsi][term], Posting{Doc: nid, Positions: positions})
+			})
 		}
 	}
-	for _, sh := range newShards {
-		for _, pl := range sh.dict {
-			sort.Slice(pl.postings, func(i, j int) bool { return pl.postings[i].Doc < pl.postings[j].Doc })
-			pl.postings = append(make([]Posting, 0, len(pl.postings)), pl.postings...)
+	for tsi, terms := range collected {
+		tsh := newShards[tsi]
+		for term, ps := range terms {
+			sort.Slice(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc })
+			// Only live postings reach the rebuilt shards, so df is the
+			// run length and the bound tightens back to the exact live
+			// maximum.
+			npl := &postingList{df: len(ps)}
+			for _, p := range ps {
+				npl.appendPosting(p.Doc, p.Positions, n)
+				if tf := len(p.Positions); tf > npl.maxTF {
+					npl.maxTF = tf
+				}
+			}
+			// Compaction reseals the remainder incremental appends left
+			// as a flat tail into a final short block (the codec accepts
+			// any 1..BlockSize run), so a compacted list is delta+varint
+			// compressed end to end; later appends simply start a fresh
+			// tail after it. Very short runs stay flat — below a few
+			// postings the fixed block header outweighs the savings.
+			if len(npl.tail) >= compactSealMin {
+				npl.seal(n)
+			}
+			tsh.dict[term] = npl
 		}
 	}
 	ix.shards = newShards

@@ -95,72 +95,79 @@ func (m InferenceNet) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 }
 
 // EvalTopK implements Model. Per shard, every candidate's score upper
-// bound combines per-leaf belief caps — computed from the shard's
-// incrementally maintained max-tf and min-document-length bounds, the
-// leaf's exact global df and the corpus statistics — through the
-// operator tree by interval arithmetic; runTopK then drives the
-// two-phase, threshold-sharing scan over the bounded candidates.
-// Survivors are scored by the same belief walk Eval uses, so the
-// returned prefix is bit-identical to the exhaustive ranking.
+// bound combines per-leaf belief caps through the operator tree by
+// interval arithmetic. A leaf's cap for candidate d is computed from
+// the max tf of d's *containing block* (Block-Max-MaxScore; pure
+// block metadata, no payload decode), the shard's minimum live
+// document length, the leaf's exact global df and the corpus
+// statistics; leaves without evidence for d contribute exactly the
+// default belief. runTopK then drives the two-phase,
+// threshold-sharing scan over the bounded candidates — when a
+// block's refined bound keeps every one of its documents below the
+// shared threshold, the block's frequency and position bytes are
+// never expanded. Survivors are scored by the same belief walk Eval
+// uses, so the returned prefix is bit-identical to the exhaustive
+// ranking.
 func (m InferenceNet) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 	if root == nil || k <= 0 {
 		return TopKResult{}
 	}
 	ctx := newEvalContext(s, root)
 	b := m.defaultBelief()
-	plan := newBoundPlan(root, b)
+	// idf per leaf stat, hoisted out of the per-candidate bound (the
+	// logs are the expensive part of the belief cap).
+	idf := make(map[*termStat]float64)
+	for _, leaf := range leavesOf(root) {
+		if st := ctx.leafStat(leaf); st != nil && st.df > 0 {
+			if _, ok := idf[st]; !ok {
+				idf[st] = math.Log((float64(ctx.n)+0.5)/float64(st.df)) / math.Log(float64(ctx.n)+1)
+			}
+		}
+	}
+	blockmax := TopKBlockMax()
 	return runTopK(s, k, func(si int) shardTask {
 		t := shardTask{
 			ids:     ctx.candidates[si],
 			scoreOf: func(d DocID) float64 { return m.belief(ctx, root, d, b) },
 		}
 		if len(ctx.candidates[si]) > k {
-			sb := newShardBounds(plan, b, func(leaf *Node) interval {
-				return m.leafCap(ctx, s, si, leaf, b)
-			})
-			masks := plan.evidenceMasks(func(leaf *Node, emit func(DocID)) {
-				if st := ctx.leafStat(leaf); st != nil {
-					for d := range st.tf[si] {
-						emit(d)
-					}
+			dl := float64(s.minDocLenShard(si))
+			avg := ctx.avgdl
+			if avg == 0 {
+				avg = 1
+			}
+			if blockmax {
+				// Block-max mode compiles the bound once per shard:
+				// per-block intervals are precomputed from block MaxTF
+				// metadata and candidates (probed in ascending order by
+				// newShardScan) resolve by merge-join instead of binary
+				// search. Bit-identical to the closure below with
+				// capTFAt(…, true).
+				bf := m.compileInfBound(ctx, root, b, si, dl, avg, idf)
+				t.boundOf = func(d DocID) float64 { return bf(d).hi }
+			} else {
+				t.boundOf = func(d DocID) float64 {
+					return nodeBoundAt(root, b, d, func(leaf *Node, d DocID) interval {
+						st := ctx.leafStat(leaf)
+						if st == nil || st.df == 0 {
+							return pointIv(b)
+						}
+						capTF := st.capTFAt(si, d, blockmax)
+						if capTF == 0 {
+							return pointIv(b)
+						}
+						// Mirrors termBelief exactly, so a document that
+						// actually attains (capTF, minLen) computes the
+						// identical float value.
+						ti := float64(capTF) / (float64(capTF) + 0.5 + 1.5*dl/avg)
+						return interval{b, b + (1-b)*ti*idf[st]}
+					}).hi
 				}
-			})
-			t.boundOf = func(d DocID) float64 { return sb.bound(masks[d]) }
+			}
+			t.stats = func() (int64, int64) { return ctx.decodeStats(si) }
 		}
 		return t
 	}, snapExt(s))
-}
-
-// leafCap returns the belief interval of one leaf for documents of
-// shard si: [b, cap] where cap is the belief of a hypothetical
-// document carrying the shard's maximum possible tf at the shard's
-// minimum live length — an upper bound because the belief formula is
-// increasing in tf and decreasing in dl. Leaves without evidence in
-// the shard (or with zero global df) contribute exactly b.
-func (m InferenceNet) leafCap(ctx *evalContext, s *Snapshot, si int, leaf *Node, b float64) interval {
-	st := ctx.leafStat(leaf)
-	capTF := leafMaxTFShard(s, si, leaf)
-	if leaf.Kind == NodeSyn {
-		// Synonym counts sum over members.
-		for _, c := range leaf.Children {
-			if c.Kind == NodeTerm {
-				capTF += s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(c.Term))
-			}
-		}
-	}
-	if st == nil || st.df == 0 || capTF == 0 {
-		return pointIv(b)
-	}
-	dl := float64(s.minDocLenShard(si))
-	avg := ctx.avgdl
-	if avg == 0 {
-		avg = 1
-	}
-	// Mirrors termBelief exactly, so a document that actually attains
-	// (capTF, minLen) computes the identical float value.
-	t := float64(capTF) / (float64(capTF) + 0.5 + 1.5*dl/avg)
-	i := math.Log((float64(ctx.n)+0.5)/float64(st.df)) / math.Log(float64(ctx.n)+1)
-	return interval{b, b + (1-b)*t*i}
 }
 
 // leafStat resolves a leaf node to the statistics the context
@@ -246,39 +253,87 @@ func (m InferenceNet) termBelief(ctx *evalContext, st *termStat, d DocID, b floa
 }
 
 // termStat is the evidence a leaf (term, phrase or synonym group)
-// contributes: per-shard per-document frequencies and the global
-// document frequency.
+// contributes. Term leaves are backed by one leafView per shard
+// (block storage, payload decode deferred until a document is
+// actually scored); synonym groups hold their members' views plus the
+// merged live-document union; phrases keep eager per-shard frequency
+// maps (positional intersection has to decode positions up front
+// anyway, and the exact tf makes a tighter bound than any block
+// maximum). Exactly one of views / members / tf is set.
 type termStat struct {
-	tf []map[DocID]int // indexed by shard
-	df int             // summed across shards
-}
-
-func newTermStat(nshards int) *termStat {
-	return &termStat{tf: make([]map[DocID]int, nshards)}
+	df      int           // live document frequency, summed across shards
+	views   []*leafView   // term: per-shard view
+	members [][]*leafView // syn: per-shard member views
+	union   [][]DocID     // syn: per-shard distinct live docs, ascending
+	tf      []map[DocID]int
 }
 
 // tfOf looks up the within-document frequency of d (whose evidence
-// lives in d's shard).
+// lives in d's shard), decoding d's block payload on first use.
 func (st *termStat) tfOf(s *Snapshot, d DocID) (int, bool) {
-	m := st.tf[s.shardOf(d)]
-	if m == nil {
-		return 0, false
+	si := s.shardOf(d)
+	switch {
+	case st.views != nil:
+		tf := st.views[si].tfOf(d)
+		return tf, tf > 0
+	case st.members != nil:
+		tf := 0
+		for _, lv := range st.members[si] {
+			tf += lv.tfOf(d)
+		}
+		return tf, tf > 0
+	default:
+		m := st.tf[si]
+		if m == nil {
+			return 0, false
+		}
+		v, ok := m[d]
+		return v, ok
 	}
-	v, ok := m[d]
-	return v, ok
 }
 
-// sumDF folds the per-shard frequencies into the global df.
-func (st *termStat) sumDF() {
-	st.df = 0
-	for _, m := range st.tf {
-		st.df += len(m)
+// capTFAt bounds the within-document frequency the leaf can attain at
+// document d — 0 when d carries no evidence for it. With blockmax set
+// the bound is the max tf of d's containing block (pure metadata, no
+// payload decode); otherwise it falls back to the whole-list bound,
+// reproducing the flat-posting engine's pruning. Phrases return their
+// exact frequency (tighter than either, and already computed).
+func (st *termStat) capTFAt(si int, d DocID, blockmax bool) int {
+	switch {
+	case st.views != nil:
+		lv := st.views[si]
+		if blockmax {
+			return lv.blockMaxTFOf(d)
+		}
+		if lv.contains(d) {
+			return lv.maxTF
+		}
+		return 0
+	case st.members != nil:
+		sum := 0
+		for _, lv := range st.members[si] {
+			if blockmax {
+				sum += lv.blockMaxTFOf(d)
+			} else if lv.contains(d) {
+				sum += lv.maxTF
+			}
+		}
+		return sum
+	default:
+		if m := st.tf[si]; m != nil {
+			return m[d]
+		}
+		return 0
 	}
 }
 
 // evalContext gathers leaf statistics once per query evaluation.
 // Gathering fans out across shards; the per-shard candidate lists
-// drive the parallel scoring pass.
+// drive the parallel scoring pass. Candidate discovery decodes only
+// the doc-id streams of the touched posting lists — frequencies and
+// positions of term leaves stay compressed until a document is
+// scored, which is what TopKResult's BlocksSkipped/PostingsDecoded
+// counters measure via the per-shard view registry.
 type evalContext struct {
 	s           *Snapshot
 	n           int
@@ -287,6 +342,7 @@ type evalContext struct {
 	termStats   map[string]*termStat
 	phraseStats map[*Node]*termStat
 	synStats    map[*Node]*termStat
+	views       [][]*leafView // per shard: term + syn-member views
 }
 
 func newEvalContext(s *Snapshot, root *Node) *evalContext {
@@ -299,6 +355,7 @@ func newEvalContext(s *Snapshot, root *Node) *evalContext {
 		termStats:   make(map[string]*termStat),
 		phraseStats: make(map[*Node]*termStat),
 		synStats:    make(map[*Node]*termStat),
+		views:       make([][]*leafView, nsh),
 	}
 	// Collect the distinct leaves first so the per-shard gather can
 	// fill disjoint slots without synchronization.
@@ -311,13 +368,16 @@ func newEvalContext(s *Snapshot, root *Node) *evalContext {
 			if _, ok := ctx.termStats[n.Term]; ok {
 				return
 			}
-			ctx.termStats[n.Term] = newTermStat(nsh)
+			ctx.termStats[n.Term] = &termStat{views: make([]*leafView, nsh)}
 			termLeaves = append(termLeaves, n.Term)
 		case NodePhrase:
-			ctx.phraseStats[n] = newTermStat(nsh)
+			ctx.phraseStats[n] = &termStat{tf: make([]map[DocID]int, nsh)}
 			phraseLeaves = append(phraseLeaves, n)
 		case NodeSyn:
-			ctx.synStats[n] = newTermStat(nsh)
+			ctx.synStats[n] = &termStat{
+				members: make([][]*leafView, nsh),
+				union:   make([][]DocID, nsh),
+			}
 			synLeaves = append(synLeaves, n)
 		default:
 			for _, c := range n.Children {
@@ -329,12 +389,12 @@ func newEvalContext(s *Snapshot, root *Node) *evalContext {
 	s.parShards(func(si int) {
 		cands := make(map[DocID]bool)
 		for _, raw := range termLeaves {
-			tf := make(map[DocID]int)
-			for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(raw)) {
-				tf[p.Doc] = p.TF()
-				cands[p.Doc] = true
+			lv := s.leafViewShard(si, s.analyzer.AnalyzeTerm(raw))
+			ctx.termStats[raw].views[si] = lv
+			ctx.registerView(si, lv)
+			for _, d := range lv.live {
+				cands[d] = true
 			}
-			ctx.termStats[raw].tf[si] = tf
 		}
 		for _, n := range phraseLeaves {
 			tf := phraseStatShard(s, si, n)
@@ -344,17 +404,26 @@ func newEvalContext(s *Snapshot, root *Node) *evalContext {
 			ctx.phraseStats[n].tf[si] = tf
 		}
 		for _, n := range synLeaves {
-			tf := make(map[DocID]int)
+			st := ctx.synStats[n]
+			seen := make(map[DocID]bool)
 			for _, c := range n.Children {
 				if c.Kind != NodeTerm {
 					continue
 				}
-				for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(c.Term)) {
-					tf[p.Doc] += p.TF()
-					cands[p.Doc] = true
+				lv := s.leafViewShard(si, s.analyzer.AnalyzeTerm(c.Term))
+				st.members[si] = append(st.members[si], lv)
+				ctx.registerView(si, lv)
+				for _, d := range lv.live {
+					seen[d] = true
+					cands[d] = true
 				}
 			}
-			ctx.synStats[n].tf[si] = tf
+			u := make([]DocID, 0, len(seen))
+			for d := range seen {
+				u = append(u, d)
+			}
+			sort.Slice(u, func(i, j int) bool { return u[i] < u[j] })
+			st.union[si] = u
 		}
 		ids := make([]DocID, 0, len(cands))
 		for d := range cands {
@@ -364,39 +433,89 @@ func newEvalContext(s *Snapshot, root *Node) *evalContext {
 		ctx.candidates[si] = ids
 	})
 	for _, st := range ctx.termStats {
-		st.sumDF()
+		for _, lv := range st.views {
+			st.df += len(lv.live)
+		}
 	}
 	for _, st := range ctx.phraseStats {
-		st.sumDF()
+		for _, m := range st.tf {
+			st.df += len(m)
+		}
 	}
 	for _, st := range ctx.synStats {
-		st.sumDF()
+		for _, u := range st.union {
+			st.df += len(u)
+		}
 	}
 	return ctx
+}
+
+// registerView records a view in the per-shard decode-stats registry.
+// The gather fan-out runs one goroutine per shard and each goroutine
+// appends only to its own shard's pre-allocated slot, so no
+// synchronization is needed.
+func (ctx *evalContext) registerView(si int, lv *leafView) {
+	ctx.views[si] = append(ctx.views[si], lv)
+}
+
+// decodeStats folds one shard's view decode counters; called by
+// runTopK after every scan goroutine has finished.
+func (ctx *evalContext) decodeStats(si int) (blocksSkipped, postingsDecoded int64) {
+	for _, lv := range ctx.views[si] {
+		bs, pd := lv.decodeStats()
+		blocksSkipped += bs
+		postingsDecoded += pd
+	}
+	return blocksSkipped, postingsDecoded
 }
 
 // phraseStatShard computes per-document frequencies of an
 // exact-adjacency phrase within one shard using positional
 // intersection (a document's positions live entirely in its shard).
+// Member posting lists are walked through block cursors with
+// leapfrog skipTo — whole blocks of a rarer member's gaps are skipped
+// by metadata — and positions are decoded only for documents that
+// survive the doc-level intersection.
 func phraseStatShard(s *Snapshot, si int, n *Node) map[DocID]int {
 	tf := make(map[DocID]int)
 	if len(n.Children) == 0 {
 		return tf
 	}
-	// Positions per document per term of the phrase.
-	perTerm := make([]map[DocID][]uint32, len(n.Children))
+	views := make([]*leafView, len(n.Children))
+	cursors := make([]*termCursor, len(n.Children))
 	for i, c := range n.Children {
-		perTerm[i] = make(map[DocID][]uint32)
-		for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(c.Term)) {
-			perTerm[i][p.Doc] = p.Positions
+		views[i] = s.leafViewShard(si, s.analyzer.AnalyzeTerm(c.Term))
+		cursors[i] = views[i].newCursor()
+		if !cursors[i].valid() {
+			return tf
 		}
 	}
-	for d, first := range perTerm[0] {
+	for {
+		d := cursors[0].doc()
+		max := d
+		aligned := true
+		for i := 1; i < len(cursors); i++ {
+			cursors[i].skipTo(d)
+			if !cursors[i].valid() {
+				return tf
+			}
+			if cursors[i].doc() > max {
+				max = cursors[i].doc()
+				aligned = false
+			}
+		}
+		if !aligned {
+			cursors[0].skipTo(max)
+			if !cursors[0].valid() {
+				return tf
+			}
+			continue
+		}
 		count := 0
-		for _, start := range first {
+		for _, start := range views[0].positionsOf(d) {
 			ok := true
-			for i := 1; i < len(perTerm); i++ {
-				if !containsPos(perTerm[i][d], start+uint32(i)) {
+			for i := 1; i < len(views); i++ {
+				if !containsPos(views[i].positionsOf(d), start+uint32(i)) {
 					ok = false
 					break
 				}
@@ -408,8 +527,11 @@ func phraseStatShard(s *Snapshot, si int, n *Node) map[DocID]int {
 		if count > 0 {
 			tf[d] = count
 		}
+		cursors[0].next()
+		if !cursors[0].valid() {
+			return tf
+		}
 	}
-	return tf
 }
 
 func containsPos(positions []uint32, want uint32) bool {

@@ -51,9 +51,11 @@ func (m PassageModel) defaultBelief() float64 {
 	return *m.DefaultBelief
 }
 
-// preparePassage gathers per-term positional postings (partitioned by
+// preparePassage gathers per-term posting views (partitioned by
 // shard), per-shard candidate lists and corpus idfs — the shared
-// front half of Eval and EvalTopK.
+// front half of Eval and EvalTopK. Candidate discovery decodes only
+// doc-id streams; a document's positions are expanded block-by-block
+// when a window actually slides over it.
 func (m PassageModel) preparePassage(s *Snapshot, root *Node) (map[string]*termInfo, [][]DocID) {
 	terms := root.Terms()
 	if len(terms) == 0 {
@@ -63,18 +65,17 @@ func (m PassageModel) preparePassage(s *Snapshot, root *Node) (map[string]*termI
 	n := s.DocCount()
 	infos := make(map[string]*termInfo, len(terms))
 	for _, t := range terms {
-		infos[t] = &termInfo{postings: make([]map[DocID][]uint32, nsh)}
+		infos[t] = &termInfo{views: make([]*leafView, nsh)}
 	}
 	candidates := make([][]DocID, nsh)
 	s.parShards(func(si int) {
 		cands := make(map[DocID]bool)
 		for _, t := range terms {
-			mp := make(map[DocID][]uint32)
-			for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(t)) {
-				mp[p.Doc] = p.Positions
-				cands[p.Doc] = true
+			lv := s.leafViewShard(si, s.analyzer.AnalyzeTerm(t))
+			infos[t].views[si] = lv
+			for _, d := range lv.live {
+				cands[d] = true
 			}
-			infos[t].postings[si] = mp
 		}
 		ids := make([]DocID, 0, len(cands))
 		for d := range cands {
@@ -84,14 +85,25 @@ func (m PassageModel) preparePassage(s *Snapshot, root *Node) (map[string]*termI
 	})
 	for _, ti := range infos {
 		df := 0
-		for _, mp := range ti.postings {
-			df += len(mp)
+		for _, lv := range ti.views {
+			df += len(lv.live)
 		}
 		if df > 0 {
 			ti.idf = math.Log((float64(n)+0.5)/float64(df)) / math.Log(float64(n)+1)
 		}
 	}
 	return infos, candidates
+}
+
+// passageDecodeStats folds one shard's decode counters over every
+// term view.
+func passageDecodeStats(infos map[string]*termInfo, si int) (blocksSkipped, postingsDecoded int64) {
+	for _, ti := range infos {
+		bs, pd := ti.views[si].decodeStats()
+		blocksSkipped += bs
+		postingsDecoded += pd
+	}
+	return blocksSkipped, postingsDecoded
 }
 
 // Eval implements Model.
@@ -119,10 +131,11 @@ func (m PassageModel) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 // the four paradigms (a sliding window over every query-term
 // occurrence per document), so skipping unpromising candidates pays
 // the most here: no window of a document can beat the operator tree
-// evaluated with every leaf at its shard-level count cap (window
-// counts are bounded by document tf, which the index's max-tf bound
-// dominates), so the same interval-arithmetic super-leaf bound used
-// by the inference net prunes documents before any window slides.
+// evaluated with every leaf at its count cap (window counts are
+// bounded by document tf). Caps are refined per candidate from the
+// max tf of the candidate's containing block (Block-Max-MaxScore), so
+// a pruned document's position blocks are never decoded before any
+// window slides.
 func (m PassageModel) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 	if root == nil || k <= 0 {
 		return TopKResult{}
@@ -132,58 +145,52 @@ func (m PassageModel) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 		return TopKResult{}
 	}
 	b := m.defaultBelief()
-	plan := newBoundPlan(root, b)
+	blockmax := TopKBlockMax()
 	return runTopK(s, k, func(si int) shardTask {
 		t := shardTask{
 			ids:     candidates[si],
 			scoreOf: func(d DocID) float64 { return m.bestPassage(root, infos, si, d) },
 		}
 		if len(candidates[si]) > k {
-			sb := newShardBounds(plan, b, func(leaf *Node) interval {
-				return m.passageLeafCap(s, si, infos, leaf, b)
-			})
-			masks := plan.evidenceMasks(func(leaf *Node, emit func(DocID)) {
-				for _, t := range leafTermNames(leaf) {
-					if ti := infos[t]; ti != nil {
-						for d := range ti.postings[si] {
-							emit(d)
-						}
-					}
-				}
-			})
 			// bestPassage floors at zero (best starts at 0.0), so the
 			// tree bound must too.
-			t.boundOf = func(d DocID) float64 { return math.Max(0, sb.bound(masks[d])) }
+			t.boundOf = func(d DocID) float64 {
+				return math.Max(0, nodeBoundAt(root, b, d, func(leaf *Node, d DocID) interval {
+					return m.passageLeafCap(si, infos, leaf, d, blockmax)
+				}).hi)
+			}
+			t.stats = func() (int64, int64) { return passageDecodeStats(infos, si) }
 		}
 		return t
 	}, snapExt(s))
 }
 
-// leafTermNames lists the raw terms a leaf draws counts from.
-func leafTermNames(leaf *Node) []string {
-	if leaf.Kind == NodeTerm {
-		return []string{leaf.Term}
-	}
-	out := make([]string, 0, len(leaf.Children))
-	for _, c := range leaf.Children {
-		if c.Kind == NodeTerm {
-			out = append(out, c.Term)
-		}
-	}
-	return out
-}
-
-// passageLeafCap bounds a leaf's within-window belief for documents
-// of shard si. Window counts cannot exceed document counts, which the
-// shard's max-tf bound dominates; combine sums member counts for
+// passageLeafCap bounds a leaf's within-window belief for candidate d
+// in shard si. Window counts cannot exceed document counts, which the
+// max tf of d's containing block dominates (whole-list bound when
+// block refinement is toggled off); combine sums member counts for
 // phrase/syn leaves under the rarest member's idf, so the cap mirrors
 // exactly that computation at the summed tf bound.
-func (m PassageModel) passageLeafCap(s *Snapshot, si int, infos map[string]*termInfo, leaf *Node, b float64) interval {
+func (m PassageModel) passageLeafCap(si int, infos map[string]*termInfo, leaf *Node, d DocID, blockmax bool) interval {
+	b := m.defaultBelief()
+	capOf := func(ti *termInfo) int {
+		lv := ti.views[si]
+		if blockmax {
+			return lv.blockMaxTFOf(d)
+		}
+		if lv.contains(d) {
+			return lv.maxTF
+		}
+		return 0
+	}
 	switch leaf.Kind {
 	case NodeTerm:
 		ti := infos[leaf.Term]
-		capTF := s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(leaf.Term))
-		if ti == nil || capTF == 0 {
+		if ti == nil {
+			return pointIv(b)
+		}
+		capTF := capOf(ti)
+		if capTF == 0 {
 			return pointIv(b)
 		}
 		return interval{b, m.termBelief(ti, capTF)}
@@ -194,8 +201,12 @@ func (m PassageModel) passageLeafCap(s *Snapshot, si int, infos map[string]*term
 			if c.Kind != NodeTerm {
 				continue
 			}
-			capTF += s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(c.Term))
-			if cti := infos[c.Term]; cti != nil && (ti == nil || cti.idf > ti.idf) {
+			cti := infos[c.Term]
+			if cti == nil {
+				continue
+			}
+			capTF += capOf(cti)
+			if ti == nil || cti.idf > ti.idf {
 				ti = cti
 			}
 		}
@@ -207,11 +218,11 @@ func (m PassageModel) passageLeafCap(s *Snapshot, si int, infos map[string]*term
 	return pointIv(b)
 }
 
-// termInfo carries per-term postings (positions, partitioned by
-// shard) and idf for passage evaluation.
+// termInfo carries per-term posting views (partitioned by shard) and
+// idf for passage evaluation.
 type termInfo struct {
-	postings []map[DocID][]uint32 // indexed by shard
-	idf      float64
+	views []*leafView // indexed by shard
+	idf   float64
 }
 
 // event is one query-term occurrence in a document.
@@ -225,7 +236,7 @@ type event struct {
 func (m PassageModel) bestPassage(root *Node, infos map[string]*termInfo, si int, d DocID) float64 {
 	var events []event
 	for term, ti := range infos {
-		for _, pos := range ti.postings[si][d] {
+		for _, pos := range ti.views[si].positionsOf(d) {
 			events = append(events, event{pos: pos, term: term})
 		}
 	}

@@ -9,34 +9,54 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/irs/codec"
 )
 
 // Binary collection file format (little endian).
 //
-// Version 3 (written by this code) is the sharded layout with the
-// top-k bounds section:
+// Version 4 (written by this code) persists posting lists in the
+// in-memory block-compressed form — sealed delta+varint blocks are
+// written verbatim, so saving never decompresses them and loading
+// never re-encodes:
 //
-//	magic "IRSC" | version u32 = 3 | model name string
+//	magic "IRSC" | version u32 = 4 | model name string
 //	shard count u32
 //	  per shard:
 //	    doc count u32
 //	      per doc: extID string | length u32 | deleted u8 |
 //	               meta count u32 | (key string, value string)*
 //	    term count u32
-//	      per term: term string | max tf u32 | posting count u32 |
-//	                (local doc u32, position count u32, positions u32*)*
+//	      per term: term string | max tf u32 | block count u32 |
+//	        per block: posting count u32 | first doc u32 | last doc u32 |
+//	                   block max tf u32 |
+//	                   doc stream  (u32 length + bytes) |
+//	                   tf stream   (u32 length + bytes) |
+//	                   pos stream  (u32 length + bytes)
+//
+// Block streams are the codec package's delta+varint encodings (local
+// doc IDs and per-document positions gap-encoded, frequencies plain
+// uvarint). The uncompressed in-memory tail is sealed into trailing
+// (possibly short) blocks at save time, so a file is always purely
+// blocks; the reader fully decodes each block once to rebuild the
+// derived statistics (df, tf bounds, forward index) and validate the
+// metadata against the streams, then keeps the compressed form.
 //
 // The per-term "max tf" is the incrementally maintained score
 // upper-bound statistic of topk.go; persisting it preserves the exact
-// in-memory bound state across a save/load cycle. Version 2 is the
-// same layout without the max-tf field, version 1 the pre-sharding
+// in-memory bound state across a save/load cycle. Version 3 is the
+// flat-posting sharded layout with the same max-tf field
+// (per term: term | max tf u32 | posting count u32 |
+// (local doc u32, position count u32, positions u32*)*), version 2
+// that layout without the max-tf field, version 1 the pre-sharding
 // layout (exactly a version-2 file with an implicit single shard and
-// no shard-count field); NewEngineAt still reads both, rebuilding the
-// bounds from the postings on load (which in fact tightens them —
-// loaded bounds are always max'ed with the computed ones, so a stale
-// or corrupted stored bound can never under-state). The per-shard
-// minimum live document length is never persisted: it is always
-// recomputed from the document table.
+// no shard-count field). NewEngineAt still reads all three, migrating
+// flat postings into blocks on load and rebuilding the bounds from
+// the postings (which in fact tightens them — loaded bounds are
+// always max'ed with the computed ones, so a stale or corrupted
+// stored bound can never under-state). The per-shard minimum live
+// document length is never persisted: it is always recomputed from
+// the document table.
 //
 // After the last shard an optional trailer persists the collection's
 // background auto-compaction policy:
@@ -59,7 +79,8 @@ const (
 	persistMagic     = "IRSC"
 	persistVersionV1 = 1
 	persistVersionV2 = 2
-	persistVersion   = 3
+	persistVersionV3 = 3
+	persistVersion   = 4
 
 	// autoCompactTag introduces the optional auto-compaction policy
 	// trailer after the last shard.
@@ -188,48 +209,91 @@ func writeCollection(w io.Writer, c *Collection) error {
 				}
 			}
 		}
-		// termsShard returns raw headers captured after acquisition;
-		// cap postings to documents inside the snapshot so the file
-		// never references a doc beyond its own table. Tombstoned
-		// postings are written (as in v1) — Compact sheds them.
-		terms := snap.termsShard(si)
-		filtered := make([]termPostings, 0, len(terms))
-		for _, tp := range terms {
-			ps := make([]Posting, 0, len(tp.ps))
-			for _, p := range tp.ps {
+		// termsShardRaw returns raw block headers captured after
+		// acquisition; cap storage to documents inside the snapshot's
+		// doc table so the file never references a doc beyond it.
+		// Blocks wholly inside the horizon are written verbatim —
+		// save never expands their streams. A block straddling the
+		// horizon and the uncompressed tail are filtered and
+		// re-encoded into trailing blocks. Tombstoned postings are
+		// written (as in v1) — Compact sheds them.
+		type diskTerm struct {
+			term   string
+			maxTF  int
+			blocks []codec.Block
+		}
+		raws := snap.termsShardRaw(si)
+		terms := make([]diskTerm, 0, len(raws))
+		for _, tr := range raws {
+			dt := diskTerm{term: tr.term, maxTF: tr.maxTF}
+			var spill []Posting // in-horizon postings needing re-encoding
+			for bi := range tr.v.blocks {
+				bl := &tr.v.blocks[bi]
+				if int(bl.FirstDoc) >= ss.docsLen {
+					break // doc-ordered: everything after is past the horizon
+				}
+				if int(bl.LastDoc) < ss.docsLen {
+					dt.blocks = append(dt.blocks, *bl)
+					continue
+				}
+				// Straddling block (sealed after acquisition): keep
+				// the in-horizon prefix.
+				docs, err := bl.DecodeDocs(nil)
+				if err != nil {
+					continue
+				}
+				tfs, err := bl.DecodeTFs(nil)
+				if err != nil {
+					continue
+				}
+				poss, err := bl.DecodePositions(tfs)
+				if err != nil {
+					continue
+				}
+				for i, local := range docs {
+					if int(local) >= ss.docsLen {
+						break
+					}
+					spill = append(spill, Posting{Doc: globalID(local, si, nsh), Positions: poss[i]})
+				}
+				break
+			}
+			for _, p := range tr.v.tail {
 				if int(p.Doc)/nsh < ss.docsLen {
-					ps = append(ps, p)
+					spill = append(spill, p)
 				}
 			}
-			if len(ps) > 0 {
-				filtered = append(filtered, termPostings{term: tp.term, ps: ps})
+			for start := 0; start < len(spill); start += codec.BlockSize {
+				end := min(start+codec.BlockSize, len(spill))
+				chunk := spill[start:end]
+				docs := make([]uint32, len(chunk))
+				poss := make([][]uint32, len(chunk))
+				for i, p := range chunk {
+					docs[i] = uint32(int(p.Doc) / nsh)
+					poss[i] = p.Positions
+				}
+				dt.blocks = append(dt.blocks, codec.Encode(docs, poss))
+			}
+			if len(dt.blocks) > 0 {
+				terms = append(terms, dt)
 			}
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(filtered))); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(terms))); err != nil {
 			return err
 		}
-		for _, tp := range filtered {
-			if err := writeString(w, tp.term); err != nil {
+		for _, dt := range terms {
+			if err := writeString(w, dt.term); err != nil {
 				return err
 			}
-			if err := binary.Write(w, binary.LittleEndian, uint32(tp.maxTF)); err != nil {
+			if err := binary.Write(w, binary.LittleEndian, uint32(dt.maxTF)); err != nil {
 				return err
 			}
-			if err := binary.Write(w, binary.LittleEndian, uint32(len(tp.ps))); err != nil {
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(dt.blocks))); err != nil {
 				return err
 			}
-			for _, p := range tp.ps {
-				local := uint32(int(p.Doc) / nsh)
-				if err := binary.Write(w, binary.LittleEndian, local); err != nil {
+			for bi := range dt.blocks {
+				if err := writeBlock(w, &dt.blocks[bi]); err != nil {
 					return err
-				}
-				if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Positions))); err != nil {
-					return err
-				}
-				for _, pos := range p.Positions {
-					if err := binary.Write(w, binary.LittleEndian, pos); err != nil {
-						return err
-					}
 				}
 			}
 		}
@@ -279,7 +343,7 @@ func readCollection(r io.Reader, name string) (*Collection, error) {
 		if err := readShardInto(r, ix, 0, version); err != nil {
 			return nil, err
 		}
-	case persistVersionV2, persistVersion:
+	case persistVersionV2, persistVersionV3, persistVersion:
 		var shardCount uint32
 		if err := binary.Read(r, binary.LittleEndian, &shardCount); err != nil {
 			return nil, err
@@ -333,9 +397,61 @@ func readAutoCompactTrailer(r io.Reader, ix *Index) error {
 	return nil
 }
 
+// writeBlock serializes one sealed block: fixed metadata, then the
+// three length-prefixed compressed streams, verbatim.
+func writeBlock(w io.Writer, bl *codec.Block) error {
+	for _, v := range []uint32{uint32(bl.N), bl.FirstDoc, bl.LastDoc, bl.MaxTF} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, stream := range [][]byte{bl.Docs, bl.TFs, bl.Pos} {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(stream))); err != nil {
+			return err
+		}
+		if _, err := w.Write(stream); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBlock deserializes one block's metadata and streams. The caller
+// validates the streams against the metadata (codec.Block.Validate)
+// before trusting them.
+func readBlock(r io.Reader) (codec.Block, error) {
+	var n, first, last, maxTF uint32
+	for _, p := range []*uint32{&n, &first, &last, &maxTF} {
+		if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+			return codec.Block{}, err
+		}
+	}
+	if n == 0 || n > codec.MaxBlockPostings {
+		return codec.Block{}, fmt.Errorf("block posting count %d exceeds sanity bound", n)
+	}
+	bl := codec.Block{FirstDoc: first, LastDoc: last, MaxTF: maxTF, N: int(n)}
+	for _, stream := range []*[]byte{&bl.Docs, &bl.TFs, &bl.Pos} {
+		var sz uint32
+		if err := binary.Read(r, binary.LittleEndian, &sz); err != nil {
+			return codec.Block{}, err
+		}
+		if sz > 1<<28 {
+			return codec.Block{}, fmt.Errorf("block stream length %d exceeds sanity bound", sz)
+		}
+		buf := make([]byte, sz)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return codec.Block{}, err
+		}
+		*stream = buf
+	}
+	return bl, nil
+}
+
 // readShardInto deserializes one shard body into shard si of ix
 // (which must be freshly constructed; no locking). version selects
-// whether the per-term bounds section is present (v3); older files
+// the posting layout: v4 reads compressed blocks verbatim (validating
+// each against its metadata), v1–v3 read flat postings and migrate
+// them into blocks; v3+ carry the per-term bounds field, older files
 // rebuild the bounds from the postings.
 func readShardInto(r io.Reader, ix *Index, si int, version uint32) error {
 	sh := ix.shards[si]
@@ -396,54 +512,105 @@ func readShardInto(r io.Reader, ix *Index, si int, version uint32) error {
 	if err := binary.Read(r, binary.LittleEndian, &termCount); err != nil {
 		return err
 	}
+	var docs, tfs []uint32
 	for i := uint32(0); i < termCount; i++ {
 		term, err := readString(r)
 		if err != nil {
 			return err
 		}
 		var storedMaxTF uint32
-		if version >= persistVersion {
+		if version >= persistVersionV3 {
 			if err := binary.Read(r, binary.LittleEndian, &storedMaxTF); err != nil {
 				return err
 			}
 		}
-		var postingCount uint32
-		if err := binary.Read(r, binary.LittleEndian, &postingCount); err != nil {
-			return err
-		}
-		pl := &postingList{postings: make([]Posting, postingCount), maxTF: int(storedMaxTF)}
-		for j := uint32(0); j < postingCount; j++ {
-			var local, posCount uint32
-			if err := binary.Read(r, binary.LittleEndian, &local); err != nil {
+		pl := &postingList{maxTF: int(storedMaxTF)}
+		if version >= persistVersion {
+			// v4: compressed blocks, kept verbatim. Each block is fully
+			// decoded once to validate its metadata and rebuild the
+			// derived state (df, tf bound, forward index) that is never
+			// stored on disk.
+			var blockCount uint32
+			if err := binary.Read(r, binary.LittleEndian, &blockCount); err != nil {
 				return err
 			}
-			if err := binary.Read(r, binary.LittleEndian, &posCount); err != nil {
-				return err
+			if blockCount > 1<<24 {
+				return fmt.Errorf("block count %d exceeds sanity bound", blockCount)
 			}
-			if posCount > 1<<26 {
-				return fmt.Errorf("position count %d exceeds sanity bound", posCount)
-			}
-			positions := make([]uint32, posCount)
-			for k := range positions {
-				if err := binary.Read(r, binary.LittleEndian, &positions[k]); err != nil {
+			pl.blocks = make([]codec.Block, 0, blockCount)
+			for bi := uint32(0); bi < blockCount; bi++ {
+				bl, err := readBlock(r)
+				if err != nil {
 					return err
 				}
+				if err := bl.Validate(); err != nil {
+					return fmt.Errorf("term %q block %d: %w", term, bi, err)
+				}
+				if docs, err = bl.DecodeDocs(docs[:0]); err != nil {
+					return err
+				}
+				if tfs, err = bl.DecodeTFs(tfs[:0]); err != nil {
+					return err
+				}
+				for j, local := range docs {
+					if int(local) >= len(sh.docs) {
+						return fmt.Errorf("posting references doc %d beyond table", local)
+					}
+					if !sh.isDeleted(local) {
+						pl.df++
+					}
+					// A v4 file's stored bound is max'ed with the computed
+					// one so a corrupted or stale value can never
+					// under-state.
+					if int(tfs[j]) > pl.maxTF {
+						pl.maxTF = int(tfs[j])
+					}
+					pl.posCount += int64(tfs[j])
+					// Rebuild the forward index (not stored on disk).
+					sh.docs[local].terms = append(sh.docs[local].terms, term)
+				}
+				pl.count += bl.N
+				pl.blocks = append(pl.blocks, bl)
 			}
-			if int(local) >= len(sh.docs) {
-				return fmt.Errorf("posting references doc %d beyond table", local)
+		} else {
+			// v1–v3: flat postings, migrated into blocks on load.
+			var postingCount uint32
+			if err := binary.Read(r, binary.LittleEndian, &postingCount); err != nil {
+				return err
 			}
-			pl.postings[j] = Posting{Doc: globalID(local, si, nsh), Positions: positions}
-			if !sh.isDeleted(local) {
-				pl.df++
+			for j := uint32(0); j < postingCount; j++ {
+				var local, posCount uint32
+				if err := binary.Read(r, binary.LittleEndian, &local); err != nil {
+					return err
+				}
+				if err := binary.Read(r, binary.LittleEndian, &posCount); err != nil {
+					return err
+				}
+				if posCount > 1<<26 {
+					return fmt.Errorf("position count %d exceeds sanity bound", posCount)
+				}
+				positions := make([]uint32, posCount)
+				for k := range positions {
+					if err := binary.Read(r, binary.LittleEndian, &positions[k]); err != nil {
+						return err
+					}
+				}
+				if int(local) >= len(sh.docs) {
+					return fmt.Errorf("posting references doc %d beyond table", local)
+				}
+				pl.appendPosting(globalID(local, si, nsh), positions, nsh)
+				if !sh.isDeleted(local) {
+					pl.df++
+				}
+				// Rebuild the tf bound from the postings (v1/v2 files carry
+				// none; a v3 file's stored bound is max'ed in so a corrupted
+				// or stale value can never under-state).
+				if len(positions) > pl.maxTF {
+					pl.maxTF = len(positions)
+				}
+				// Rebuild the forward index (not stored on disk).
+				sh.docs[local].terms = append(sh.docs[local].terms, term)
 			}
-			// Rebuild the tf bound from the postings (v1/v2 files carry
-			// none; a v3 file's stored bound is max'ed in so a corrupted
-			// or stale value can never under-state).
-			if len(positions) > pl.maxTF {
-				pl.maxTF = len(positions)
-			}
-			// Rebuild the forward index (not stored on disk).
-			sh.docs[local].terms = append(sh.docs[local].terms, term)
 		}
 		sh.dict[term] = pl
 	}

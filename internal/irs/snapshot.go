@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/irs/analysis"
+	"repro/internal/irs/codec"
 )
 
 // Snapshot is an immutable point-in-time read view of an Index.
@@ -189,24 +190,75 @@ func (s *Snapshot) DocID(extID string) (DocID, bool) {
 	return 0, false
 }
 
-// postingsShard returns the live postings of an already-normalized
-// term within one shard, ascending by DocID. The shard lock is held
-// only for the dictionary lookup; filtering runs lock-free against
-// captured state.
-func (s *Snapshot) postingsShard(si int, term string) []Posting {
-	ss := &s.shards[si]
+// plView is a captured posting-list header: the sealed blocks and
+// the uncompressed tail a snapshot saw under the shard lock. Sealed
+// blocks are immutable; the tail's backing array is never truncated
+// (seal replaces it), so decoding and filtering run lock-free.
+type plView struct {
+	blocks []codec.Block
+	tail   []Posting
+	maxTF  int
+}
+
+// view captures the posting-list header of an already-normalized
+// term; the shard lock is held only for the dictionary lookup and
+// header copy.
+func (ss *snapShard) view(term string) plView {
 	ss.sh.mu.RLock()
-	pl := ss.dict[term]
-	var ps []Posting
-	if pl != nil {
-		ps = pl.postings
+	var v plView
+	if pl := ss.dict[term]; pl != nil {
+		v = plView{blocks: pl.blocks, tail: pl.tail, maxTF: pl.maxTF}
 	}
 	ss.sh.mu.RUnlock()
-	if len(ps) == 0 {
+	return v
+}
+
+// blockInHorizon reports whether the block can contain documents the
+// snapshot sees. Blocks are doc-ordered, so the first block starting
+// at or past the captured doc-count high-water mark ends the walk.
+func (ss *snapShard) blockInHorizon(bl *codec.Block) bool {
+	return int(bl.FirstDoc) < ss.docsLen
+}
+
+// postingsShard returns the live postings of an already-normalized
+// term within one shard, ascending by DocID. The shard lock is held
+// only for the dictionary lookup; decoding and filtering run
+// lock-free against captured state. Decode errors cannot occur on
+// engine-built blocks and persisted blocks are validated at load, so
+// a corrupt block is skipped.
+func (s *Snapshot) postingsShard(si int, term string) []Posting {
+	ss := &s.shards[si]
+	v := ss.view(term)
+	if len(v.blocks) == 0 && len(v.tail) == 0 {
 		return nil
 	}
-	out := make([]Posting, 0, len(ps))
-	for _, p := range ps {
+	n := len(s.shards)
+	var out []Posting
+	var docs, tfs []uint32
+	for bi := range v.blocks {
+		bl := &v.blocks[bi]
+		if !ss.blockInHorizon(bl) {
+			break
+		}
+		var err error
+		if docs, err = bl.DecodeDocs(docs[:0]); err != nil {
+			continue
+		}
+		if tfs, err = bl.DecodeTFs(tfs[:0]); err != nil {
+			continue
+		}
+		poss, err := bl.DecodePositions(tfs)
+		if err != nil {
+			continue
+		}
+		for i, local := range docs {
+			id := globalID(local, si, n)
+			if s.live(id) {
+				out = append(out, Posting{Doc: id, Positions: poss[i]})
+			}
+		}
+	}
+	for _, p := range v.tail {
 		if s.live(p.Doc) {
 			out = append(out, p)
 		}
@@ -241,18 +293,29 @@ func (s *Snapshot) DF(term string) int {
 }
 
 // dfShardRaw counts one shard's live postings of an already-
-// normalized term without materializing them.
+// normalized term, decoding only the blocks' doc-id streams.
 func (s *Snapshot) dfShardRaw(si int, term string) int {
 	ss := &s.shards[si]
-	ss.sh.mu.RLock()
-	pl := ss.dict[term]
-	var ps []Posting
-	if pl != nil {
-		ps = pl.postings
-	}
-	ss.sh.mu.RUnlock()
+	v := ss.view(term)
+	n := len(s.shards)
 	df := 0
-	for _, p := range ps {
+	var docs []uint32
+	for bi := range v.blocks {
+		bl := &v.blocks[bi]
+		if !ss.blockInHorizon(bl) {
+			break
+		}
+		var err error
+		if docs, err = bl.DecodeDocs(docs[:0]); err != nil {
+			continue
+		}
+		for _, local := range docs {
+			if s.live(globalID(local, si, n)) {
+				df++
+			}
+		}
+	}
+	for _, p := range v.tail {
 		if s.live(p.Doc) {
 			df++
 		}
@@ -310,40 +373,94 @@ func (s *Snapshot) LiveDocIDs() []DocID {
 	return out
 }
 
-// termPostings pairs a dictionary term with its raw posting-list
-// header and maintained tf bound; postings still need live filtering
-// against the snapshot.
-type termPostings struct {
-	term  string
-	ps    []Posting
-	maxTF int
+// termCounts pairs a dictionary term with its live (doc, tf) pairs in
+// one shard, ascending by DocID. Positions stay compressed — the only
+// dictionary-wide consumer (vector-space document norms) never needs
+// them.
+type termCounts struct {
+	term string
+	docs []DocID
+	tfs  []int32
 }
 
-// termsShard returns one shard's dictionary sorted by term, with raw
-// posting headers. The shard lock is held only while the headers are
-// copied. Callers iterate terms in sorted order so floating-point
-// accumulation (e.g. document norms) is deterministic and
-// independent of the shard count.
-func (s *Snapshot) termsShard(si int) []termPostings {
+// termsShard returns one shard's dictionary sorted by term, with live
+// (doc, tf) pairs. The shard lock is held only while posting-list
+// headers are copied; decoding runs lock-free. Callers iterate terms
+// in sorted order so floating-point accumulation (e.g. document
+// norms) is deterministic and independent of the shard count.
+func (s *Snapshot) termsShard(si int) []termCounts {
 	ss := &s.shards[si]
 	ss.sh.mu.RLock()
-	out := make([]termPostings, 0, len(ss.dict))
+	views := make([]struct {
+		term string
+		v    plView
+	}, 0, len(ss.dict))
 	for t, pl := range ss.dict {
-		out = append(out, termPostings{term: t, ps: pl.postings, maxTF: pl.maxTF})
+		views = append(views, struct {
+			term string
+			v    plView
+		}{t, plView{blocks: pl.blocks, tail: pl.tail, maxTF: pl.maxTF}})
 	}
 	ss.sh.mu.RUnlock()
+	n := len(s.shards)
+	out := make([]termCounts, 0, len(views))
+	var docs, tfs []uint32
+	for _, tv := range views {
+		tc := termCounts{term: tv.term}
+		for bi := range tv.v.blocks {
+			bl := &tv.v.blocks[bi]
+			if !ss.blockInHorizon(bl) {
+				break
+			}
+			var err error
+			if docs, err = bl.DecodeDocs(docs[:0]); err != nil {
+				continue
+			}
+			if tfs, err = bl.DecodeTFs(tfs[:0]); err != nil {
+				continue
+			}
+			for i, local := range docs {
+				id := globalID(local, si, n)
+				if s.live(id) {
+					tc.docs = append(tc.docs, id)
+					tc.tfs = append(tc.tfs, int32(tfs[i]))
+				}
+			}
+		}
+		for _, p := range tv.v.tail {
+			if s.live(p.Doc) {
+				tc.docs = append(tc.docs, p.Doc)
+				tc.tfs = append(tc.tfs, int32(p.TF()))
+			}
+		}
+		if len(tc.docs) > 0 {
+			out = append(out, tc)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].term < out[j].term })
 	return out
 }
 
-// filterLive drops postings that are not live in the snapshot.
-func (s *Snapshot) filterLive(ps []Posting) []Posting {
-	out := make([]Posting, 0, len(ps))
-	for _, p := range ps {
-		if s.live(p.Doc) {
-			out = append(out, p)
-		}
+// termRaw is one term's captured storage — sealed blocks plus tail —
+// handed to the persistence layer so in-horizon blocks can be written
+// to disk verbatim, without a decode/re-encode round trip.
+type termRaw struct {
+	term  string
+	v     plView
+	maxTF int
+}
+
+// termsShardRaw returns one shard's dictionary sorted by term with
+// raw posting-list headers (persistence only).
+func (s *Snapshot) termsShardRaw(si int) []termRaw {
+	ss := &s.shards[si]
+	ss.sh.mu.RLock()
+	out := make([]termRaw, 0, len(ss.dict))
+	for t, pl := range ss.dict {
+		out = append(out, termRaw{term: t, v: plView{blocks: pl.blocks, tail: pl.tail}, maxTF: pl.maxTF})
 	}
+	ss.sh.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].term < out[j].term })
 	return out
 }
 

@@ -67,14 +67,22 @@ type ScoredDoc struct {
 // (bound construction and threshold warming), finish (bounded
 // remainder scans) and merge (folding per-shard winners) — and feed
 // the obs stage histograms and per-request trace spans.
+// BlocksSkipped and PostingsDecoded report the block-storage
+// counters (see cursor.go): blocks whose compressed tf/position
+// payloads were never expanded during the evaluation, and postings
+// whose payloads were. Both cover only evaluations where pruning was
+// possible (a shardTask with bounds attached); exhaustive fallbacks
+// decode everything and report zero.
 type TopKResult struct {
-	Hits          []ScoredDoc
-	Scored        int64
-	Pruned        int64
-	ShardsSkipped int64
-	SeedNanos     int64
-	FinishNanos   int64
-	MergeNanos    int64
+	Hits            []ScoredDoc
+	Scored          int64
+	Pruned          int64
+	ShardsSkipped   int64
+	BlocksSkipped   int64
+	PostingsDecoded int64
+	SeedNanos       int64
+	FinishNanos     int64
+	MergeNanos      int64
 }
 
 // better is the canonical ranking order: higher score first, ties by
@@ -270,80 +278,75 @@ func combineInterval(kind NodeKind, weights []float64, kids []interval, b float6
 	return pointIv(b)
 }
 
-// nodeInterval evaluates the whole subtree in interval arithmetic;
-// leafIv supplies the belief interval of each term/phrase/syn leaf.
-func nodeInterval(n *Node, b float64, leafIv func(*Node) interval) interval {
+// nodeBoundAt evaluates the subtree's score interval for one
+// candidate document. It folds each operator's children in the same
+// sequential order as combineInterval (identical float results) but
+// without allocating per-node child slices — it runs once per
+// candidate, which is the hot path of bound construction. leafIv
+// supplies each leaf's belief interval at d, typically refined from
+// the max tf of d's containing block (Block-Max-MaxScore).
+func nodeBoundAt(n *Node, b float64, d DocID, leafIv func(*Node, DocID) interval) interval {
 	switch n.Kind {
 	case NodeTerm, NodePhrase, NodeSyn:
-		return leafIv(n)
-	default:
-		kids := make([]interval, len(n.Children))
+		return leafIv(n, d)
+	case NodeAnd:
+		iv := pointIv(1)
+		for _, c := range n.Children {
+			iv = mulIv(iv, nodeBoundAt(c, b, d, leafIv))
+		}
+		return iv
+	case NodeOr:
+		q := pointIv(1)
+		for _, c := range n.Children {
+			k := nodeBoundAt(c, b, d, leafIv)
+			q = mulIv(q, interval{1 - k.hi, 1 - k.lo})
+		}
+		return interval{1 - q.hi, 1 - q.lo}
+	case NodeNot:
+		k := nodeBoundAt(n.Children[0], b, d, leafIv)
+		return interval{1 - k.hi, 1 - k.lo}
+	case NodeSum:
+		var lo, hi float64
+		for _, c := range n.Children {
+			k := nodeBoundAt(c, b, d, leafIv)
+			lo += k.lo
+			hi += k.hi
+		}
+		m := float64(len(n.Children))
+		return interval{lo / m, hi / m}
+	case NodeWSum:
+		var lo, hi, w float64
 		for i, c := range n.Children {
-			kids[i] = nodeInterval(c, b, leafIv)
+			k := nodeBoundAt(c, b, d, leafIv)
+			if n.Weights[i] >= 0 {
+				lo += n.Weights[i] * k.lo
+				hi += n.Weights[i] * k.hi
+			} else {
+				lo += n.Weights[i] * k.hi
+				hi += n.Weights[i] * k.lo
+			}
+			w += n.Weights[i]
 		}
-		return combineInterval(n.Kind, n.Weights, kids, b)
-	}
-}
-
-// --- super-leaf decomposition ---------------------------------------
-
-// maxSuperLeaves caps the per-document evidence bitmask width; wider
-// roots collapse to a single super-leaf (uniform bound, no per-doc
-// discrimination — still exact, just unpruned).
-const maxSuperLeaves = 64
-
-// boundPlan decomposes the query at its root combining operator into
-// "super-leaves" (the root's operand subqueries — the same
-// decomposition Section 4.5.2's derivation schemes use). Per
-// candidate document, each super-leaf either carries evidence (some
-// leaf under it matches the document) and its value lies in the
-// subtree's cap interval, or carries none and evaluates to exactly
-// its all-default base value. A document's score upper bound is the
-// root operator combined over that choice — computed once per
-// distinct evidence bitmask and memoized.
-type boundPlan struct {
-	root      *Node
-	composite bool // combine subs under root.Kind; else subs == {root}
-	subs      []*Node
-	base      []interval // all-default point value per sub
-}
-
-func newBoundPlan(root *Node, b float64) *boundPlan {
-	p := &boundPlan{root: root}
-	switch root.Kind {
-	case NodeAnd, NodeOr, NodeSum, NodeWSum, NodeMax:
-		if len(root.Children) <= maxSuperLeaves {
-			p.composite = true
-			p.subs = root.Children
+		if w == 0 {
+			return pointIv(b)
 		}
-	}
-	if p.subs == nil {
-		p.subs = []*Node{root}
-	}
-	defaultLeaf := func(*Node) interval { return pointIv(b) }
-	p.base = make([]interval, len(p.subs))
-	for i, sub := range p.subs {
-		p.base[i] = nodeInterval(sub, b, defaultLeaf)
-	}
-	return p
-}
-
-// evidenceMasks builds, for one shard, each candidate document's
-// bitmask of super-leaves it carries evidence for. docsOf enumerates
-// the documents a term/phrase/syn leaf matches in the shard — the
-// only part that differs between the tree-structured models. (The
-// vector model builds its mask inline instead: its bits are flat leaf
-// indices, not plan super-leaves, and the map doubles as candidate
-// discovery.)
-func (p *boundPlan) evidenceMasks(docsOf func(leaf *Node, emit func(DocID))) map[DocID]uint64 {
-	masks := make(map[DocID]uint64)
-	for i, sub := range p.subs {
-		bit := uint64(1) << uint(i)
-		for _, leaf := range leavesOf(sub) {
-			docsOf(leaf, func(d DocID) { masks[d] |= bit })
+		if w < 0 {
+			return interval{hi / w, lo / w}
 		}
+		return interval{lo / w, hi / w}
+	case NodeMax:
+		iv := pointIv(0)
+		for i, c := range n.Children {
+			k := nodeBoundAt(c, b, d, leafIv)
+			if i == 0 {
+				iv = interval{math.Max(0, k.lo), math.Max(0, k.hi)}
+				continue
+			}
+			iv = interval{math.Max(iv.lo, k.lo), math.Max(iv.hi, k.hi)}
+		}
+		return iv
 	}
-	return masks
+	return pointIv(b)
 }
 
 // leavesOf collects the term/phrase/syn leaves of a subtree (not
@@ -359,53 +362,6 @@ func leavesOf(n *Node) []*Node {
 		out = append(out, leavesOf(c)...)
 	}
 	return out
-}
-
-// shardBounds is the per-shard pruning state: cap intervals per
-// super-leaf under this shard's term statistics, plus the memoized
-// bound per evidence bitmask.
-type shardBounds struct {
-	plan *boundPlan
-	b    float64
-	full []interval
-	memo map[uint64]float64
-}
-
-func newShardBounds(plan *boundPlan, b float64, leafIv func(*Node) interval) *shardBounds {
-	sb := &shardBounds{
-		plan: plan,
-		b:    b,
-		full: make([]interval, len(plan.subs)),
-		memo: make(map[uint64]float64),
-	}
-	for i, sub := range plan.subs {
-		sb.full[i] = nodeInterval(sub, b, leafIv)
-	}
-	return sb
-}
-
-// bound returns the score upper bound for a document whose evidence
-// bitmask over the super-leaves is mask.
-func (sb *shardBounds) bound(mask uint64) float64 {
-	if v, ok := sb.memo[mask]; ok {
-		return v
-	}
-	var v float64
-	if !sb.plan.composite {
-		v = sb.full[0].hi
-	} else {
-		kids := make([]interval, len(sb.plan.subs))
-		for i := range sb.plan.subs {
-			if mask&(1<<uint(i)) != 0 {
-				kids[i] = sb.full[i]
-			} else {
-				kids[i] = sb.plan.base[i]
-			}
-		}
-		v = combineInterval(sb.plan.root.Kind, sb.plan.root.Weights, kids, sb.b).hi
-	}
-	sb.memo[mask] = v
-	return v
 }
 
 // --- cross-shard threshold sharing ----------------------------------
@@ -426,6 +382,22 @@ func SetTopKThresholdSharing(on bool) { topkSharingOff.Store(!on) }
 // TopKThresholdSharing reports whether cross-shard threshold sharing
 // is enabled.
 func TopKThresholdSharing() bool { return !topkSharingOff.Load() }
+
+// topkBlockMaxOff disables block-level bound refinement when set:
+// per-candidate bounds fall back to the whole-list maxTF statistics
+// (the flat-posting engine's pruning), which is what EXP-S5 and
+// BenchmarkTopKBlockMax measure against. Storage stays block
+// compressed either way.
+var topkBlockMaxOff atomic.Bool
+
+// SetTopKBlockMax toggles block-max bound refinement (on by default).
+// Off reproduces the whole-list-bound baseline. Rankings are
+// bit-identical either way — like threshold sharing, the toggle
+// trades work, not results.
+func SetTopKBlockMax(on bool) { topkBlockMaxOff.Store(!on) }
+
+// TopKBlockMax reports whether block-max bound refinement is enabled.
+func TopKBlockMax() bool { return !topkBlockMaxOff.Load() }
 
 // sharedThreshold is the cross-shard pruning state of one top-k
 // evaluation: the best k-th score any shard's bounded heap has
@@ -485,11 +457,15 @@ type boundedCand struct {
 // documents, the exact scorer (the very same code path the exhaustive
 // evaluator uses) and an optional score upper bound. boundOf nil means
 // pruning is impossible in this shard (no usable bound state, or at
-// most k candidates) — every candidate is scored.
+// most k candidates) — every candidate is scored. stats, when set,
+// reports the shard's block decode counters once the evaluation is
+// done (models attach it only alongside boundOf: the counters measure
+// what pruning saved).
 type shardTask struct {
 	ids     []DocID
 	boundOf func(DocID) float64
 	scoreOf func(DocID) float64
+	stats   func() (blocksSkipped, postingsDecoded int64)
 }
 
 // shardScan is the resumable streaming scan of one shard. Candidates
@@ -724,32 +700,18 @@ func runTopK(s *Snapshot, k int, prep func(si int) shardTask, ext func(DocID) st
 		if sc.skipped {
 			res.ShardsSkipped++
 		}
+		// Decode counters are folded here, after every scan goroutine
+		// has finished, so the lazily-mutated view state is read
+		// race-free.
+		if sc.task.stats != nil && sc.task.boundOf != nil {
+			bs, pd := sc.task.stats()
+			res.BlocksSkipped += bs
+			res.PostingsDecoded += pd
+		}
 	}
 	res.Hits = mergeTopK(perShard, k)
 	res.MergeNanos = time.Since(t2).Nanoseconds()
 	return res
-}
-
-// leafMaxTFShard bounds the within-document frequency a term or
-// phrase leaf can attain in shard si: the shard's max-tf bound for a
-// term, and the rarest member's bound for a phrase (a phrase cannot
-// occur more often than any of its members). Shared by the
-// inference-net and vector cap computations.
-func leafMaxTFShard(s *Snapshot, si int, n *Node) int {
-	switch n.Kind {
-	case NodeTerm:
-		return s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(n.Term))
-	case NodePhrase:
-		capTF := 0
-		for i, c := range n.Children {
-			t := s.termMaxTFShard(si, s.analyzer.AnalyzeTerm(c.Term))
-			if i == 0 || t < capTF {
-				capTF = t
-			}
-		}
-		return capTF
-	}
-	return 0
 }
 
 // snapExt adapts Snapshot.ExtID for heap insertion (candidates are

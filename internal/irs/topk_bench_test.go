@@ -54,6 +54,9 @@ var (
 
 	benchTopKSkewOnce sync.Once
 	benchTopKSkewColl *Collection
+
+	benchTopKBMOnce sync.Once
+	benchTopKBMColl *Collection
 )
 
 func benchTopKCollection() *Collection {
@@ -83,6 +86,33 @@ func benchTopKSkewCollection() *Collection {
 		benchTopKSkewColl = &Collection{name: "benchskew", ix: ix, model: InferenceNet{}}
 	})
 	return benchTopKSkewColl
+}
+
+// benchTopKBlockMaxCollection is the skew corpus tuned for block-max
+// pruning and compacted so every posting run is sealed: the hot
+// documents are padded to corpus-typical length (otherwise the
+// baseline's document-length term discriminates just as well) and
+// their hot-term tf ramps far above the corpus blocks' own max-tf —
+// the list-bound/block-bound gap block-max evaluation exploits.
+func benchTopKBlockMaxCollection() *Collection {
+	benchTopKBMOnce.Do(func() {
+		ix := buildZipfIndex(4, 4000, 260, 99)
+		pad := strings.Repeat("p00 p01 p02 p03 p04 p05 p06 p07 p08 p09 ", 10)
+		for i, added := 0, 0; added < 256; i++ {
+			name := fmt.Sprintf("hot%05d", i)
+			if ShardForExtID(name, 4) != 0 {
+				continue
+			}
+			hot := strings.Repeat("w000 w040 w120 w200 ", 10+added%11) + pad
+			if _, err := ix.Add(name, hot, nil); err != nil {
+				panic(err)
+			}
+			added++
+		}
+		ix.Compact()
+		benchTopKBMColl = &Collection{name: "benchblockmax", ix: ix, model: InferenceNet{}}
+	})
+	return benchTopKBMColl
 }
 
 // BenchmarkTopK compares the serving path's exhaustive evaluation
@@ -147,6 +177,40 @@ func BenchmarkTopKGlobal(b *testing.B) {
 			}
 			b.Run(name, func(b *testing.B) {
 				SetTopKThresholdSharing(sharing)
+				for i := 0; i < b.N; i++ {
+					rs := c.SearchNodeTopKAt(snap, n, 10)
+					if len(rs) != 10 {
+						b.Fatalf("got %d hits", len(rs))
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTopKBlockMax measures block-max bound refinement against
+// the whole-list-bound baseline on the compacted skew corpus, for the
+// cheap-scorer (inference net) and expensive-scorer (passage)
+// profiles at k = 10. CI logs it next to BenchmarkTopKGlobal so the
+// intra-list skipping gain accumulates in history alongside the
+// cross-shard scheduler's.
+func BenchmarkTopKBlockMax(b *testing.B) {
+	c := benchTopKBlockMaxCollection()
+	snap := c.Snapshot()
+	n, err := ParseQuery(benchTopKQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer SetTopKBlockMax(true)
+	for _, m := range []Model{InferenceNet{}, PassageModel{}} {
+		c.SetModel(m)
+		for _, blockmax := range []bool{false, true} {
+			name := fmt.Sprintf("%s/whole-list", m.Name())
+			if blockmax {
+				name = fmt.Sprintf("%s/block-max", m.Name())
+			}
+			b.Run(name, func(b *testing.B) {
+				SetTopKBlockMax(blockmax)
 				for i := 0; i < b.N; i++ {
 					rs := c.SearchNodeTopKAt(snap, n, 10)
 					if len(rs) != 10 {

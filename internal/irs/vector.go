@@ -41,12 +41,16 @@ func NewVectorSpace() *VectorSpace { return &VectorSpace{} }
 func (m *VectorSpace) Name() string { return "vector" }
 
 // vectorQuery is the shared per-query state of Eval and EvalTopK:
-// flattened leaves, their per-shard term frequencies, query weights
-// and idfs accumulated in leaf order (deterministic and independent
-// of the shard count).
+// flattened leaves, their per-shard posting views, query weights and
+// idfs accumulated in leaf order (deterministic and independent of
+// the shard count). Term leaves stay block-compressed — frequencies
+// decode per block when a document is scored; phrase leaves carry
+// eager per-shard frequency maps (positional intersection decodes up
+// front anyway).
 type vectorQuery struct {
 	leaves []weightedLeaf
 	stats  []*termStat
+	views  [][]*leafView // per shard: distinct term-leaf views (decode stats)
 	qws    []float64
 	idfs   []float64
 	qn     float64
@@ -61,25 +65,35 @@ func (m *VectorSpace) prepare(s *Snapshot, root *Node) *vectorQuery {
 	nsh := s.ShardCount()
 	n := float64(s.DocCount())
 
-	// Gather per-leaf, per-shard term frequencies in parallel; each
-	// goroutine fills disjoint slots.
-	q := &vectorQuery{leaves: leaves, stats: make([]*termStat, len(leaves))}
-	for i := range q.stats {
-		q.stats[i] = newTermStat(nsh)
+	// Gather per-leaf, per-shard evidence in parallel; each goroutine
+	// fills disjoint slots.
+	q := &vectorQuery{
+		leaves: leaves,
+		stats:  make([]*termStat, len(leaves)),
+		views:  make([][]*leafView, nsh),
+	}
+	for li, lf := range leaves {
+		if lf.node.Kind == NodeTerm {
+			q.stats[li] = &termStat{views: make([]*leafView, nsh)}
+		} else {
+			q.stats[li] = &termStat{tf: make([]map[DocID]int, nsh)}
+		}
 	}
 	s.parShards(func(si int) {
+		seen := make(map[string]*leafView)
 		for li, lf := range leaves {
 			switch lf.node.Kind {
 			case NodeTerm:
-				tf := make(map[DocID]int)
-				for _, p := range s.postingsShard(si, s.analyzer.AnalyzeTerm(lf.node.Term)) {
-					tf[p.Doc] = p.TF()
+				term := s.analyzer.AnalyzeTerm(lf.node.Term)
+				lv := seen[term]
+				if lv == nil {
+					lv = s.leafViewShard(si, term)
+					seen[term] = lv
+					q.views[si] = append(q.views[si], lv)
 				}
-				q.stats[li].tf[si] = tf
+				q.stats[li].views[si] = lv
 			case NodePhrase:
 				q.stats[li].tf[si] = phraseStatShard(s, si, lf.node)
-			default:
-				q.stats[li].tf[si] = nil
 			}
 		}
 	})
@@ -89,12 +103,21 @@ func (m *VectorSpace) prepare(s *Snapshot, root *Node) *vectorQuery {
 	q.qws = make([]float64, len(leaves))
 	q.idfs = make([]float64, len(leaves))
 	for li, lf := range leaves {
-		q.stats[li].sumDF()
-		if q.stats[li].df == 0 {
+		st := q.stats[li]
+		if st.views != nil {
+			for _, lv := range st.views {
+				st.df += len(lv.live)
+			}
+		} else {
+			for _, m := range st.tf {
+				st.df += len(m)
+			}
+		}
+		if st.df == 0 {
 			continue
 		}
 		q.any = true
-		q.idfs[li] = math.Log(1 + n/float64(q.stats[li].df))
+		q.idfs[li] = math.Log(1 + n/float64(st.df))
 		q.qws[li] = lf.weight * q.idfs[li]
 		qnorm += q.qws[li] * q.qws[li]
 	}
@@ -103,6 +126,16 @@ func (m *VectorSpace) prepare(s *Snapshot, root *Node) *vectorQuery {
 		q.qn = 1
 	}
 	return q
+}
+
+// leafTF returns leaf li's within-document frequency for d in shard
+// si (0 when absent), decoding d's block payload on first use.
+func (q *vectorQuery) leafTF(li, si int, d DocID) int {
+	st := q.stats[li]
+	if st.views != nil {
+		return st.views[si].tfOf(d)
+	}
+	return st.tf[si][d]
 }
 
 // Eval implements Model.
@@ -123,12 +156,21 @@ func (m *VectorSpace) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 	s.parShards(func(si int) {
 		scores := make(map[DocID]float64)
 		for li := range q.leaves {
-			if q.stats[li].df == 0 {
+			st := q.stats[li]
+			if st.df == 0 {
 				continue
 			}
-			for d, tf := range q.stats[li].tf[si] {
-				dw := (1 + math.Log(float64(tf))) * q.idfs[li]
-				scores[d] += q.qws[li] * dw
+			if st.views != nil {
+				lv := st.views[si]
+				for _, d := range lv.live {
+					dw := (1 + math.Log(float64(lv.tfOf(d)))) * q.idfs[li]
+					scores[d] += q.qws[li] * dw
+				}
+			} else {
+				for d, tf := range st.tf[si] {
+					dw := (1 + math.Log(float64(tf))) * q.idfs[li]
+					scores[d] += q.qws[li] * dw
+				}
 			}
 		}
 		for d := range scores {
@@ -145,14 +187,18 @@ func (m *VectorSpace) Eval(s *Snapshot, root *Node) map[DocID]float64 {
 
 // EvalTopK implements Model. The cosine score is a weighted sum over
 // query leaves divided by the document norm, so the classic MaxScore
-// bound applies directly: per shard, each leaf's contribution is
-// capped by its query weight times the maximum document weight the
-// shard's max-tf bound admits, and a candidate's numerator cap —
-// summed over the leaves it actually matches — divided by the shard's
-// minimum live document norm bounds its score. runTopK drives the
-// two-phase, threshold-sharing scan over the bounded candidates;
-// survivors are scored with the same leaf-order accumulation Eval
-// uses.
+// bound applies directly — refined per candidate Block-Max style: a
+// term leaf's contribution is capped by its query weight times the
+// maximum document weight admitted by the max tf of the candidate's
+// containing block (pure block metadata; per-block caps are
+// precomputed so the per-candidate walk does no logarithms), and a
+// candidate's numerator cap — summed over the leaves it actually
+// matches — divided by the shard's minimum live document norm bounds
+// its score. runTopK drives the two-phase, threshold-sharing scan
+// over the bounded candidates; survivors are scored with the same
+// leaf-order accumulation Eval uses, so blocks whose documents all
+// bound below the shared threshold never have their frequency bytes
+// expanded.
 func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 	if root == nil || k <= 0 {
 		return TopKResult{}
@@ -162,71 +208,34 @@ func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 		return TopKResult{}
 	}
 	norms, minNorms := m.docNorms(s)
-	useMask := len(q.leaves) <= maxSuperLeaves
+	blockmax := TopKBlockMax()
 	return runTopK(s, k, func(si int) shardTask {
-		// Candidate discovery doubles as evidence-mask construction.
-		masks := make(map[DocID]uint64)
+		cands := make(map[DocID]bool)
 		for li := range q.leaves {
-			bit := uint64(1) << uint(li%maxSuperLeaves)
-			for d := range q.stats[li].tf[si] {
-				masks[d] |= bit
+			st := q.stats[li]
+			if st.views != nil {
+				for _, d := range st.views[si].live {
+					cands[d] = true
+				}
+			} else {
+				for d := range st.tf[si] {
+					cands[d] = true
+				}
 			}
 		}
-		ids := make([]DocID, 0, len(masks))
-		for d := range masks {
+		ids := make([]DocID, 0, len(cands))
+		for d := range cands {
 			ids = append(ids, d)
 		}
-		var boundOf func(DocID) float64
-		minNorm := 0.0
-		if si < len(minNorms) {
-			minNorm = minNorms[si]
-		}
-		if len(ids) > k && useMask && minNorm > 0 {
-			// Per-leaf contribution caps in this shard. A negative
-			// query weight (negative #wsum weight) caps at tf = 1,
-			// where the negative contribution is largest.
-			caps := make([]float64, len(q.leaves))
-			for li := range q.leaves {
-				if q.stats[li].df == 0 {
-					continue
-				}
-				capTF := leafMaxTFShard(s, si, q.leaves[li].node)
-				if capTF == 0 {
-					continue
-				}
-				if q.qws[li] >= 0 {
-					caps[li] = q.qws[li] * ((1 + math.Log(float64(capTF))) * q.idfs[li])
-				} else {
-					caps[li] = q.qws[li] * q.idfs[li]
-				}
-			}
-			memo := make(map[uint64]float64)
-			boundOf = func(d DocID) float64 {
-				mask := masks[d]
-				if v, ok := memo[mask]; ok {
-					return v
-				}
-				num := 0.0
-				for li := range q.leaves {
-					if mask&(1<<uint(li)) != 0 {
-						num += caps[li]
-					}
-				}
-				v := 0.0
-				if num > 0 {
-					v = num / (q.qn * minNorm)
-				}
-				memo[mask] = v
-				return v
-			}
-		}
-		scoreOf := func(d DocID) float64 {
+		t := shardTask{ids: ids}
+		t.scoreOf = func(d DocID) float64 {
 			var sum float64
 			for li := range q.leaves {
-				if q.stats[li].df == 0 {
+				st := q.stats[li]
+				if st.df == 0 {
 					continue
 				}
-				if tf, ok := q.stats[li].tf[si][d]; ok {
+				if tf := q.leafTF(li, si, d); tf > 0 {
 					dw := (1 + math.Log(float64(tf))) * q.idfs[li]
 					sum += q.qws[li] * dw
 				}
@@ -237,8 +246,97 @@ func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 			}
 			return sum / (q.qn * dn)
 		}
-		return shardTask{ids: ids, boundOf: boundOf, scoreOf: scoreOf}
+		minNorm := 0.0
+		if si < len(minNorms) {
+			minNorm = minNorms[si]
+		}
+		if len(ids) > k && minNorm > 0 {
+			// Precompute every term leaf's contribution cap per block
+			// (plus tail and whole-list fallbacks) so the per-candidate
+			// bound is a metadata lookup, not a logarithm. A negative
+			// query weight (negative #wsum weight) caps at tf = 1,
+			// where the negative contribution is largest.
+			caps := make([]leafBlockCaps, len(q.leaves))
+			for li := range q.leaves {
+				st := q.stats[li]
+				if st.df == 0 || st.views == nil {
+					continue
+				}
+				lv := st.views[si]
+				lc := leafBlockCaps{blocks: make([]float64, len(lv.blocks))}
+				for bi := range lv.blocks {
+					lc.blocks[bi] = q.capContrib(li, int(lv.blocks[bi].bl.MaxTF))
+				}
+				lc.tail = q.capContrib(li, lv.tailMaxTF)
+				lc.list = q.capContrib(li, lv.maxTF)
+				caps[li] = lc
+			}
+			t.boundOf = func(d DocID) float64 {
+				num := 0.0
+				for li := range q.leaves {
+					st := q.stats[li]
+					if st.df == 0 {
+						continue
+					}
+					if st.views != nil {
+						lv := st.views[si]
+						if blockmax {
+							bi, ok := lv.blockOf(d)
+							if !ok {
+								continue
+							}
+							if bi < len(lv.blocks) {
+								num += caps[li].blocks[bi]
+							} else {
+								num += caps[li].tail
+							}
+						} else if lv.contains(d) {
+							num += caps[li].list
+						}
+					} else if tf := st.tf[si][d]; tf > 0 {
+						// Phrase frequency is exact and already
+						// computed — the tightest sound cap.
+						num += q.capContrib(li, tf)
+					}
+				}
+				if num <= 0 {
+					return 0
+				}
+				return num / (q.qn * minNorm)
+			}
+			t.stats = func() (blocksSkipped, postingsDecoded int64) {
+				for _, lv := range q.views[si] {
+					bs, pd := lv.decodeStats()
+					blocksSkipped += bs
+					postingsDecoded += pd
+				}
+				return blocksSkipped, postingsDecoded
+			}
+		}
+		return t
 	}, snapExt(s))
+}
+
+// leafBlockCaps is one term leaf's precomputed per-block contribution
+// ceilings in one shard.
+type leafBlockCaps struct {
+	blocks []float64
+	tail   float64
+	list   float64
+}
+
+// capContrib is leaf li's largest possible numerator contribution for
+// a document whose tf is bounded by capTF — the exact expression
+// shape scoring uses, evaluated at the cap (or at tf = 1 for negative
+// weights, where the negative contribution is largest).
+func (q *vectorQuery) capContrib(li, capTF int) float64 {
+	if capTF == 0 {
+		return 0
+	}
+	if q.qws[li] >= 0 {
+		return q.qws[li] * ((1 + math.Log(float64(capTF))) * q.idfs[li])
+	}
+	return q.qws[li] * q.idfs[li]
 }
 
 type weightedLeaf struct {
@@ -282,7 +380,9 @@ func flattenLeaves(n *Node, w float64) []weightedLeaf {
 // passes: per-shard live document frequencies are folded into global
 // ones, then every shard accumulates its own documents' norms over
 // its dictionary in sorted-term order (so the floating-point sums are
-// deterministic and identical for any shard count).
+// deterministic and identical for any shard count). The dictionary
+// walk decodes doc and frequency streams only — positions stay
+// compressed.
 func (m *VectorSpace) docNorms(s *Snapshot) (map[DocID]float64, []float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -291,21 +391,15 @@ func (m *VectorSpace) docNorms(s *Snapshot) (map[DocID]float64, []float64) {
 		return m.norms, m.minNorms
 	}
 	nsh := s.ShardCount()
-	liveTerms := make([][]termPostings, nsh)
+	liveTerms := make([][]termCounts, nsh)
 	dfs := make([]map[string]int, nsh)
 	s.parShards(func(si int) {
-		tps := s.termsShard(si)
-		out := make([]termPostings, 0, len(tps))
-		df := make(map[string]int, len(tps))
-		for _, tp := range tps {
-			live := s.filterLive(tp.ps)
-			if len(live) == 0 {
-				continue
-			}
-			out = append(out, termPostings{term: tp.term, ps: live})
-			df[tp.term] = len(live)
+		tcs := s.termsShard(si)
+		df := make(map[string]int, len(tcs))
+		for _, tc := range tcs {
+			df[tc.term] = len(tc.docs)
 		}
-		liveTerms[si] = out
+		liveTerms[si] = tcs
 		dfs[si] = df
 	})
 	globalDF := make(map[string]int)
@@ -319,11 +413,11 @@ func (m *VectorSpace) docNorms(s *Snapshot) (map[DocID]float64, []float64) {
 	minNorms := make([]float64, nsh)
 	s.parShards(func(si int) {
 		acc := make(map[DocID]float64)
-		for _, tp := range liveTerms[si] {
-			idf := math.Log(1 + n/float64(globalDF[tp.term]))
-			for _, p := range tp.ps {
-				dw := (1 + math.Log(float64(p.TF()))) * idf
-				acc[p.Doc] += dw * dw
+		for _, tc := range liveTerms[si] {
+			idf := math.Log(1 + n/float64(globalDF[tc.term]))
+			for i, d := range tc.docs {
+				dw := (1 + math.Log(float64(tc.tfs[i]))) * idf
+				acc[d] += dw * dw
 			}
 		}
 		min := 0.0

@@ -132,33 +132,38 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			pruneRate = float64(tk.Pruned) / float64(tk.Scored+tk.Pruned)
 		}
 		colls[name] = map[string]any{
-			"docs":             col.DocCount(),
-			"policy":           col.Policy().String(),
-			"epoch":            col.Epoch(),
-			"pending_ops":      pending,
-			"buffered_queries": col.BufferedQueries(),
-			"irs_searches":     cs.IRSSearches,
-			"buffer_hits":      cs.BufferHits,
-			"buffer_misses":    cs.BufferMisses,
-			"ops_logged":       cs.OpsLogged,
-			"ops_applied":      cs.OpsApplied,
-			"flushes":          cs.Flushes,
-			"indexed":          cs.Indexed,
-			"shards":           ix.ShardCount(),
-			"snapshots":        ix.SnapshotCount(),
-			"shard_bytes":      ix.ShardSizes(),
+			"docs":              col.DocCount(),
+			"policy":            col.Policy().String(),
+			"epoch":             col.Epoch(),
+			"pending_ops":       pending,
+			"buffered_queries":  col.BufferedQueries(),
+			"irs_searches":      cs.IRSSearches,
+			"buffer_hits":       cs.BufferHits,
+			"buffer_misses":     cs.BufferMisses,
+			"ops_logged":        cs.OpsLogged,
+			"ops_applied":       cs.OpsApplied,
+			"flushes":           cs.Flushes,
+			"indexed":           cs.Indexed,
+			"shards":            ix.ShardCount(),
+			"snapshots":         ix.SnapshotCount(),
+			"shard_bytes":       ix.ShardSizes(),
+			"compression_ratio": ix.CompressionRatio(),
 			// Top-k engine metrics: how many queries went through the
 			// streaming path, how many candidate documents the MaxScore
 			// bounds let it skip scoring entirely, how many whole shards
-			// the cross-shard threshold retired without a scan, and how
-			// loose the maintained max-tf bounds have become (0 exact,
-			// →1 as tombstoned heavyweights pile up before compaction).
+			// the cross-shard threshold retired without a scan, how many
+			// compressed posting blocks kept their payloads unexpanded
+			// (vs postings decoded), and how loose the maintained max-tf
+			// bounds have become (0 exact, →1 as tombstoned heavyweights
+			// pile up before compaction).
 			"topk": map[string]any{
 				"queries":           tk.Queries,
 				"candidates_scored": tk.Scored,
 				"candidates_pruned": tk.Pruned,
 				"prune_rate":        pruneRate,
 				"shards_skipped":    tk.ShardsSkipped,
+				"blocks_skipped":    tk.BlocksSkipped,
+				"postings_decoded":  tk.PostingsDecoded,
 				"bounds_staleness":  ix.BoundsStaleness(),
 			},
 			// Ingest-pipeline metrics: queue state, group-commit
