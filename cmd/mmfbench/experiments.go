@@ -8,8 +8,8 @@ import (
 
 // experimentRunners maps experiment ids to their eval runners. The
 // ids match DESIGN.md's per-experiment index and EXPERIMENTS.md.
-// shards parameterizes the sharded-engine experiments (S1/S3/S4/S5);
-// 0 selects GOMAXPROCS (S4/S5 floor it at 4 so the cross-shard
+// shards parameterizes the sharded-engine experiments (S1/S3..S6);
+// 0 selects GOMAXPROCS (S4..S6 floor it at 4 so the cross-shard
 // scheduler has shards to skip).
 func experimentRunners(shards int) map[string]runner {
 	return map[string]runner{
@@ -35,6 +35,12 @@ func experimentRunners(shards int) map[string]runner {
 			// RunS5 errors when its exactness, block-skip or compression
 			// gate trips, so any of them failing fails the run (and CI).
 			_, err := eval.RunS5(w, shards)
+			return err
+		}},
+		"S6": {"Zero-copy mmap serving vs heap load of the .irsc v5 layout", func(w io.Writer) error {
+			// RunS6 errors when its cold-open, steady-state, residency or
+			// ranking-equality gate trips, so any failure fails CI.
+			_, err := eval.RunS6(w, shards)
 			return err
 		}},
 		"F1": {"Figure 1: coupling architectures", func(w io.Writer) error {

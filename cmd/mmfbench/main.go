@@ -25,18 +25,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (F1..F4, T1..T8, A1/A2, X1, S1..S5); empty = all")
+	exp := flag.String("exp", "", "experiment id (F1..F4, T1..T8, A1/A2, X1, S1..S6); empty = all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	shards := flag.Int("shards", 0, "shard count for the S1/S3/S4/S5 sharded-engine experiments (0: GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "shard count for the S1/S3..S6 sharded-engine experiments (0: GOMAXPROCS)")
 	benchOut := flag.String("bench-out", "", "measure the perf snapshot and write it to this file (skips experiments)")
 	benchPR := flag.Int("bench-pr", 0, "PR number stamped into -bench-out")
 	benchOld := flag.String("bench-old", "", "previous BENCH_*.json to diff -bench-new against")
 	benchNew := flag.String("bench-new", "", "new BENCH_*.json for the diff")
 	benchGate := flag.Bool("bench-gate", false, "exit 1 when the bench diff finds a regression (default: warn only)")
+	benchMmap := flag.Bool("mmap", false, "include the mmap serving numbers (cold open A/B, search_topk10_mapped) in -bench-out")
 	flag.Parse()
 
 	if *benchOut != "" {
 		rep, err := eval.RunBench(os.Stdout, *benchPR)
+		if err == nil && *benchMmap {
+			err = eval.AddMappedBench(os.Stdout, rep)
+		}
 		if err == nil {
 			err = eval.WriteBenchReport(*benchOut, rep)
 		}

@@ -25,20 +25,21 @@ func main() {
 	textMode := flag.Int("textmode", docirs.ModeFullText, "getText mode (0=full,1=abstract,2=own)")
 	policy := flag.String("policy", "on-query", "propagation policy for a newly created -collection (on-query, immediate, manual, async)")
 	shards := flag.Int("shards", 0, "index shards for a newly created -collection (0: engine default; existing collections keep theirs)")
+	mmap := flag.Bool("mmap", false, "open existing .irsc collections memory-mapped while loading (appends overlay in memory and fold on save)")
 	flag.Parse()
 
 	if *dbDir == "" || *dtdPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mmfload -db DIR -dtd FILE [-collection NAME [-spec QUERY] [-policy P] [-shards N]] doc.sgm...")
+		fmt.Fprintln(os.Stderr, "usage: mmfload -db DIR -dtd FILE [-collection NAME [-spec QUERY] [-policy P] [-shards N]] [-mmap] doc.sgm...")
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *dtdPath, *collName, *spec, *policy, *textMode, *shards, flag.Args()); err != nil {
+	if err := run(*dbDir, *dtdPath, *collName, *spec, *policy, *textMode, *shards, *mmap, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "mmfload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbDir, dtdPath, collName, spec, policy string, textMode, shards int, files []string) error {
-	sys, err := docirs.Open(dbDir)
+func run(dbDir, dtdPath, collName, spec, policy string, textMode, shards int, mmap bool, files []string) error {
+	sys, err := docirs.OpenWith(dbDir, docirs.OpenOptions{MappedIRS: mmap})
 	if err != nil {
 		return err
 	}

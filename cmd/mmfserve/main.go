@@ -66,6 +66,7 @@ type options struct {
 	dtdPath   string
 	dtdName   string
 	shards    int
+	mmap      bool
 	debugAddr string // pprof listener; empty disables
 	logFormat string // "text" or "json"
 	logLevel  string // "debug", "info", "warn" or "error"
@@ -79,6 +80,7 @@ func main() {
 	flag.StringVar(&opts.dtdPath, "dtd", "", "DTD file to preload (optional)")
 	flag.StringVar(&opts.dtdName, "dtd-name", "default", "name the preloaded DTD is registered under")
 	flag.IntVar(&opts.shards, "shards", 0, "index shards for new collections (0: GOMAXPROCS; existing collections keep their shard count)")
+	flag.BoolVar(&opts.mmap, "mmap", false, "serve persisted .irsc collections from read-only memory mappings instead of heap (O(1) open, heap tracks working set; /stats reports heap_bytes vs mapped_bytes)")
 	flag.StringVar(&opts.debugAddr, "debug-addr", "", "separate listen address for net/http/pprof (empty: disabled)")
 	flag.StringVar(&opts.logFormat, "log-format", "text", "log output format: text or json")
 	flag.StringVar(&opts.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
@@ -131,7 +133,7 @@ func run(opts options) error {
 	}
 	slog.SetDefault(logger)
 
-	sys, err := docirs.Open(opts.dbDir)
+	sys, err := docirs.OpenWith(opts.dbDir, docirs.OpenOptions{MappedIRS: opts.mmap})
 	if err != nil {
 		return err
 	}
@@ -183,7 +185,7 @@ func run(opts options) error {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("mmfserve listening",
-			"addr", opts.addr, "db", opts.dbDir,
+			"addr", opts.addr, "db", opts.dbDir, "mmap", opts.mmap,
 			"shards", shards, "collections", sys.Collections())
 		errc <- httpSrv.ListenAndServe()
 	}()

@@ -115,10 +115,25 @@ type System struct {
 	coupling *core.Coupling
 }
 
+// OpenOptions configures Open/OpenWith beyond the storage directory.
+type OpenOptions struct {
+	// MappedIRS serves persisted IRS collections from read-only memory
+	// mappings instead of loading posting data onto the heap (see
+	// irs.Options.Mapped): open cost and heap footprint track the
+	// dictionary/document tables, not the postings. Ignored in memory
+	// mode. Rankings are identical either way.
+	MappedIRS bool
+}
+
 // Open assembles a system. With dir == "" everything lives in
 // memory; otherwise the database persists under dir (WAL + snapshot)
 // and IRS collections under dir/irs.
 func Open(dir string) (*System, error) {
+	return OpenWith(dir, OpenOptions{})
+}
+
+// OpenWith assembles a system with explicit options.
+func OpenWith(dir string, opts OpenOptions) (*System, error) {
 	var (
 		db     *oodb.DB
 		engine *irs.Engine
@@ -135,7 +150,7 @@ func Open(dir string) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		engine, err = irs.NewEngineAt(filepath.Join(dir, "irs"))
+		engine, err = irs.NewEngineAt(filepath.Join(dir, "irs"), irs.Options{Mapped: opts.MappedIRS})
 		if err != nil {
 			db.Close()
 			return nil, err
@@ -143,11 +158,13 @@ func Open(dir string) (*System, error) {
 	}
 	store, err := docmodel.Open(db)
 	if err != nil {
+		engine.Close()
 		db.Close()
 		return nil, err
 	}
 	coupling, err := core.New(store, engine)
 	if err != nil {
+		engine.Close()
 		db.Close()
 		return nil, err
 	}
@@ -167,6 +184,12 @@ func (s *System) Close() error {
 		errs = append(errs, err)
 	}
 	if err := s.engine.Save(); err != nil {
+		errs = append(errs, err)
+	}
+	// After the save (which folds any mapped-plus-overlay state into
+	// fresh v5 files), release the collections' file mappings. The
+	// coupling is already closed, so no queries are in flight.
+	if err := s.engine.Close(); err != nil {
 		errs = append(errs, err)
 	}
 	if err := s.db.Checkpoint(); err != nil && err != oodb.ErrClosed {

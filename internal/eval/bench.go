@@ -44,6 +44,24 @@ type BenchReport struct {
 	// layer enabled on the top-k search path, as a percentage
 	// (A/B with obs.SetEnabled(false); target ≤ 3).
 	ObsOverheadPct float64 `json:"obs_overhead_pct"`
+	// Mapped carries the mmap serving numbers (AddMappedBench); nil in
+	// reports taken before the v5 zero-copy path existed, so diffs
+	// against old snapshots keep working.
+	Mapped *MappedBench `json:"mapped,omitempty"`
+}
+
+// MappedBench is the perf snapshot of the v5 mmap serving path: cold
+// open of one persisted collection on the heap vs mapped, plus the
+// residency split the mapped open reports. The steady-state mapped
+// search cost rides in Benchmarks["search_topk10_mapped"] so the
+// regular diff tolerance applies to it.
+type MappedBench struct {
+	FileBytes    int64   `json:"file_bytes"`
+	OpenHeapNs   float64 `json:"open_heap_ns"`
+	OpenMappedNs float64 `json:"open_mapped_ns"`
+	OpenSpeedup  float64 `json:"open_speedup"`
+	MappedBytes  int64   `json:"mapped_bytes"`
+	HeapBytes    int64   `json:"heap_bytes"`
 }
 
 // BenchResult is one benchmark's steady-state cost.
@@ -232,6 +250,122 @@ func RunBench(w io.Writer, pr int) (*BenchReport, error) {
 		rep.TopK.BlocksSkipped, rep.TopK.PostingsDecoded)
 	fmt.Fprintf(w, "  obs overhead on topk path: %+.2f%% (target <= 3%%)\n", rep.ObsOverheadPct)
 	return rep, nil
+}
+
+// AddMappedBench extends a report with the mmap serving numbers: it
+// persists one sharded collection (same hot-block shape as RunBench's
+// corpus, sealed by Compact), A/Bs the cold open heap vs mapped with
+// testing.Benchmark, and measures steady-state top-k search over the
+// mapping as Benchmarks["search_topk10_mapped"] so the regular
+// regression tolerance covers the zero-copy decode path.
+func AddMappedBench(w io.Writer, rep *BenchReport) error {
+	dir, err := os.MkdirTemp("", "bench-mapped-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 2 {
+		shards = 2
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Docs = 400
+	corpus := workload.Generate(cfg)
+	build, err := irs.NewEngineAt(dir)
+	if err != nil {
+		return err
+	}
+	coll, err := build.CreateCollectionShards("bench", nil, shards)
+	if err != nil {
+		return err
+	}
+	for i := range corpus.Docs {
+		if err := coll.AddDocument(corpus.Docs[i].Name, corpus.Docs[i].SGML, nil); err != nil {
+			return err
+		}
+	}
+	hotText := strings.Repeat("www nii codec video highway ", 8)
+	for i, added := uint64(0), 0; added < benchHotDocs; i++ {
+		name := fmt.Sprintf("oid%d", 1<<40+i)
+		if irs.ShardForExtID(name, shards) != 0 {
+			continue
+		}
+		if err := coll.AddDocument(name, hotText, nil); err != nil {
+			return err
+		}
+		added++
+	}
+	coll.Index().Compact()
+	if err := build.Save(); err != nil {
+		return err
+	}
+	st, err := os.Stat(dir + "/bench.irsc")
+	if err != nil {
+		return err
+	}
+
+	// Cold open A/B. Each iteration opens and closes the engine; the
+	// OS page cache is warm after the first, so the numbers compare
+	// parse work (full posting decode vs section tables only).
+	var benchErr error
+	openBench := func(mapped bool) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := irs.NewEngineAt(dir, irs.Options{Mapped: mapped})
+				if err != nil {
+					benchErr = err
+					return
+				}
+				if err := e.Close(); err != nil {
+					benchErr = err
+					return
+				}
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	mb := &MappedBench{FileBytes: st.Size()}
+	mb.OpenHeapNs = openBench(false)
+	mb.OpenMappedNs = openBench(true)
+	if benchErr != nil {
+		return benchErr
+	}
+	if mb.OpenMappedNs > 0 {
+		mb.OpenSpeedup = mb.OpenHeapNs / mb.OpenMappedNs
+	}
+
+	eng, err := irs.NewEngineAt(dir, irs.Options{Mapped: true})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	mc, err := eng.Collection("bench")
+	if err != nil {
+		return err
+	}
+	mb.MappedBytes = mc.Index().MappedBytes()
+	mb.HeapBytes = mc.Index().HeapBytes()
+	rep.Benchmarks["search_topk10_mapped"] = benchResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mc.SearchTopK("#sum(www nii sgml video codec highway)", 10); err != nil {
+				benchErr = err
+				return
+			}
+		}
+	}))
+	if benchErr != nil {
+		return benchErr
+	}
+	rep.Mapped = mb
+
+	r := rep.Benchmarks["search_topk10_mapped"]
+	fmt.Fprintf(w, "  %-18s %12.0f ns/op %10d B/op %8d allocs/op\n",
+		"search_topk10_mapped", r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	fmt.Fprintf(w, "  mapped: open heap=%.0fns mapped=%.0fns (%.1fx), %d/%d bytes mapped/heap of a %d-byte file\n",
+		mb.OpenHeapNs, mb.OpenMappedNs, mb.OpenSpeedup, mb.MappedBytes, mb.HeapBytes, mb.FileBytes)
+	return nil
 }
 
 // measureObsOverhead interleaves short obs-on and obs-off runs of the

@@ -542,3 +542,29 @@ func TestRunS5Shape(t *testing.T) {
 		t.Error("table missing")
 	}
 }
+
+func TestRunS6Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunS6(&buf, 4)
+	if err != nil {
+		t.Fatal(err) // includes the cold-open, steady-state, equality and residency gates
+	}
+	if !res.RankingsIdentical {
+		t.Error("heap and mapped rankings diverge")
+	}
+	if res.OpenSpeedup < 10 {
+		t.Errorf("mapped cold open only %.1fx faster than heap, want >= 10x", res.OpenSpeedup)
+	}
+	if res.MappedBytes <= 0 {
+		t.Errorf("mapped collection reports %d mapped bytes, want > 0", res.MappedBytes)
+	}
+	if res.FileBytes <= 4096 {
+		t.Errorf("v5 file only %d bytes, smaller than one page", res.FileBytes)
+	}
+	if res.HeapSearch <= 0 || res.MappedSearch <= 0 {
+		t.Errorf("missing timings: %+v", res)
+	}
+	if !strings.Contains(buf.String(), "EXP-S6") {
+		t.Error("table missing")
+	}
+}

@@ -30,6 +30,7 @@ type Engine struct {
 	colls     map[string]*Collection
 	dir       string
 	defShards int
+	mapped    bool
 }
 
 // Options configures an Engine.
@@ -38,6 +39,15 @@ type Options struct {
 	// collections (values < 1 select one shard). Collections loaded
 	// from disk keep their persisted shard count.
 	Shards int
+
+	// Mapped serves v5 collection files from read-only memory mappings
+	// instead of loading posting blocks onto the heap (see OpenMapped):
+	// open time and heap footprint become proportional to the tables,
+	// and the OS page cache keeps only the working set resident. Rank
+	// output is identical either way. Call Close on the engine when
+	// done so the mappings are released. Pre-v5 files still load on
+	// heap (and are served mapped after their next Save rewrites them).
+	Mapped bool
 }
 
 // NewEngine returns a memory-only engine.
@@ -63,8 +73,9 @@ func NewEngineAt(dir string, opts ...Options) (*Engine, error) {
 		if ent.IsDir() || !strings.HasSuffix(ent.Name(), collExt) {
 			continue
 		}
-		c, err := loadCollection(filepath.Join(dir, ent.Name()))
+		c, err := loadCollectionMode(filepath.Join(dir, ent.Name()), e.mapped)
 		if err != nil {
+			e.closeColls()
 			return nil, err
 		}
 		e.colls[c.name] = c
@@ -77,7 +88,31 @@ func (e *Engine) applyOptions(opts []Options) {
 		if o.Shards > 0 {
 			e.defShards = o.Shards
 		}
+		if o.Mapped {
+			e.mapped = true
+		}
 	}
+}
+
+// closeColls releases every collection's file mapping (no-ops for
+// heap collections), keeping the first error.
+func (e *Engine) closeColls() error {
+	var first error
+	for _, c := range e.colls {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close releases the file mappings of a mapped engine's collections.
+// Heap-only engines need not call it (it is a cheap no-op). The caller
+// must ensure no queries are in flight — see Index.Close.
+func (e *Engine) Close() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closeColls()
 }
 
 // DefaultShards returns the shard count used for new collections.
@@ -172,13 +207,17 @@ func (e *Engine) DropCollection(name string) error {
 	if _, ok := e.colls[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchCollection, name)
 	}
+	c := e.colls[name]
 	delete(e.colls, name)
 	if e.dir != "" {
 		if err := os.Remove(filepath.Join(e.dir, name+collExt)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("irs: drop collection file: %w", err)
 		}
 	}
-	return nil
+	// Release a mapped collection's file mapping (the unlinked inode
+	// lives until then). In-flight queries against an old snapshot are
+	// the caller's responsibility, as with Close.
+	return c.Close()
 }
 
 // Collections returns the names of all collections, sorted.

@@ -51,6 +51,13 @@ type postingList struct {
 	posCount int64         // total positions across blocks + tail
 	df       int           // live document frequency (excludes tombstoned docs)
 	maxTF    int           // upper bound on live within-document tf
+	// mapped counts the leading blocks whose streams alias the
+	// collection's read-only file mapping (v5 mapped load). Appends
+	// only ever seal new blocks after them, so the mapped prefix is
+	// stable; Compact/Reshard build fresh heap lists (mapped 0), and a
+	// Save writes mapped streams back out verbatim — that is the fold
+	// of mapped base plus in-memory overlay into one file.
+	mapped int
 }
 
 // appendPosting adds one posting (ascending DocID order is the
@@ -148,6 +155,16 @@ type shard struct {
 	// Adds lower it, deletions leave it (stale-low is still a sound
 	// lower bound); Compact/Reshard and load recompute it exactly.
 	minLen int
+	// Mapped forward index (v5 mapped load only): instead of
+	// materializing every document's term list on the heap, docs loaded
+	// from the file keep terms nil and decode their list on demand from
+	// the mapped blob via fwdDocTerms. All four fields are set once at
+	// load and never mutated, so they are read lock-free; documents
+	// added after load carry heap term lists as usual.
+	fwdTerms []string // this shard's dictionary terms, sorted (file order)
+	fwdOffs  []byte   // (fwdDocs+1) little-endian u32 offsets into fwdBlob
+	fwdBlob  []byte   // uvarint term-index lists, one segment per doc
+	fwdDocs  int      // number of documents covered by the mapped blob
 }
 
 func newShard() *shard {
@@ -155,6 +172,20 @@ func newShard() *shard {
 		dict:  make(map[string]*postingList),
 		byExt: make(map[string]uint32),
 	}
+}
+
+// docTerms returns a document's distinct terms: the heap forward list
+// when the doc carries one, else (docs loaded mapped) a decode from
+// the mapped forward-index blob. Caller holds the shard lock for heap
+// lists; the mapped fields need none (immutable after load).
+func (sh *shard) docTerms(local int) []string {
+	if local < 0 || local >= len(sh.docs) {
+		return nil
+	}
+	if t := sh.docs[local].terms; t != nil {
+		return t
+	}
+	return sh.fwdDocTerms(local)
 }
 
 func (sh *shard) isDeleted(local uint32) bool {
@@ -249,10 +280,16 @@ type Index struct {
 
 	// sizeMu/sizeVer/sizeCache memoize ShardSizes (an O(dictionary)
 	// walk) so polling /stats does not rescan an unchanged index.
-	sizeMu    sync.Mutex
-	sizeVer   uint64
-	sizeCache []int64
-	flatCache []int64 // flat-equivalent sizes (CompressionRatio numerator)
+	sizeMu      sync.Mutex
+	sizeVer     uint64
+	sizeCache   []int64
+	flatCache   []int64 // flat-equivalent sizes (CompressionRatio numerator)
+	mappedCache int64   // bytes of the total that alias the file mapping
+
+	// mapFile is the read-only file mapping backing a mapped (v5)
+	// load; nil for heap-resident indexes. Posting streams and the
+	// forward-index blob alias it, so it is released only by Close.
+	mapFile *mappedFile
 
 	// staleMu/staleVer/staleCache memoize BoundsStaleness the same way
 	// (an O(postings) walk per index version).
@@ -455,7 +492,7 @@ func (ix *Index) deleteLocked(sh *shard, extID string) error {
 	delete(sh.byExt, extID)
 	// The forward index makes df maintenance proportional to the
 	// document's own term count.
-	for _, term := range sh.docs[local].terms {
+	for _, term := range sh.docTerms(int(local)) {
 		if pl := sh.dict[term]; pl != nil {
 			pl.df--
 		}
@@ -799,24 +836,53 @@ func (pl *postingList) flatSizeBytes(term string) int64 {
 	return int64(len(term)) + 8 + 8*int64(pl.count) + 4*pl.posCount
 }
 
-func (pl *postingList) sizeBytes(term string) int64 {
+// sizeBytes reports a posting list's total footprint and, of that,
+// the bytes whose streams alias the collection's file mapping rather
+// than the Go heap (the leading pl.mapped blocks' streams; their
+// 16-byte metadata headers are heap-resident Block structs).
+func (pl *postingList) sizeBytes(term string) (total, mapped int64) {
 	n := int64(len(term)) + 8
 	for bi := range pl.blocks {
-		n += int64(pl.blocks[bi].SizeBytes())
+		sz := int64(pl.blocks[bi].SizeBytes())
+		n += sz
+		if bi < pl.mapped {
+			mapped += sz - 16
+		}
 	}
 	n += 8 * int64(cap(pl.tail))
 	for _, p := range pl.tail {
 		n += 4 * int64(cap(p.Positions))
 	}
-	return n
+	return n, mapped
 }
 
 // ShardSizes returns the SizeBytes contribution of each shard
 // (serving-layer statistics). The walk is memoized per index
 // version, so repeated polling of an unchanged index is cheap.
 func (ix *Index) ShardSizes() []int64 {
-	sizes, _ := ix.shardSizes()
+	sizes, _, _ := ix.shardSizes()
 	return sizes
+}
+
+// MappedBytes reports how many of SizeBytes' bytes live in the
+// read-only file mapping instead of the Go heap: 0 for heap-resident
+// indexes, and shrinking toward 0 on a mapped index as compactions
+// fold mapped blocks into heap storage.
+func (ix *Index) MappedBytes() int64 {
+	_, _, mapped := ix.shardSizes()
+	return mapped
+}
+
+// HeapBytes is SizeBytes minus MappedBytes: the part of the inverted
+// file that actually occupies Go heap. Capacity planning for mapped
+// serving should watch this (plus the OS page cache), not SizeBytes.
+func (ix *Index) HeapBytes() int64 {
+	sizes, _, mapped := ix.shardSizes()
+	var n int64
+	for _, s := range sizes {
+		n += s
+	}
+	return n - mapped
 }
 
 // CompressionRatio reports how much smaller the block-compressed
@@ -824,7 +890,7 @@ func (ix *Index) ShardSizes() []int64 {
 // replaced: flat bytes / actual bytes, ≥ 1 in practice, 1 for an
 // empty index.
 func (ix *Index) CompressionRatio() float64 {
-	sizes, flat := ix.shardSizes()
+	sizes, flat, _ := ix.shardSizes()
 	var n, f int64
 	for si := range sizes {
 		n += sizes[si]
@@ -836,22 +902,25 @@ func (ix *Index) CompressionRatio() float64 {
 	return float64(f) / float64(n)
 }
 
-func (ix *Index) shardSizes() (sizes, flat []int64) {
+func (ix *Index) shardSizes() (sizes, flat []int64, mapped int64) {
 	ix.sizeMu.Lock()
 	defer ix.sizeMu.Unlock()
 	// The version is read before the scan: a mutation racing the scan
 	// at worst re-computes on the next call.
 	v := ix.version.Load()
 	if ix.sizeCache != nil && ix.sizeVer == v {
-		return append([]int64(nil), ix.sizeCache...), append([]int64(nil), ix.flatCache...)
+		return append([]int64(nil), ix.sizeCache...), append([]int64(nil), ix.flatCache...), ix.mappedCache
 	}
 	ix.commitMu.RLock()
 	out := make([]int64, len(ix.shards))
 	fout := make([]int64, len(ix.shards))
+	var mout int64
 	for si, sh := range ix.shards {
 		sh.mu.RLock()
 		for term, pl := range sh.dict {
-			out[si] += pl.sizeBytes(term)
+			sz, msz := pl.sizeBytes(term)
+			out[si] += sz
+			mout += msz
 			fout[si] += pl.flatSizeBytes(term)
 		}
 		sh.mu.RUnlock()
@@ -860,7 +929,8 @@ func (ix *Index) shardSizes() (sizes, flat []int64) {
 	ix.sizeVer = v
 	ix.sizeCache = out
 	ix.flatCache = fout
-	return append([]int64(nil), out...), append([]int64(nil), fout...)
+	ix.mappedCache = mout
+	return append([]int64(nil), out...), append([]int64(nil), fout...), mout
 }
 
 // BoundsStaleness gauges how loose the maintained per-term max-tf
@@ -1001,6 +1071,14 @@ func (ix *Index) rebuild(n int) {
 	remap := make(map[DocID]DocID, len(lives))
 	for _, ld := range lives {
 		d := ix.shards[ld.si].docs[ld.local]
+		// Docs loaded mapped carry no heap term list; materialize it
+		// from the old shard's mapped forward index now, because the
+		// rebuilt shards have no mapped blob for docTerms to fall back
+		// on. (The decoded terms are heap strings — nothing in the new
+		// shards aliases the mapping.)
+		if d.terms == nil {
+			d.terms = ix.shards[ld.si].fwdDocTerms(int(ld.local))
+		}
 		tsi := shardIndex(d.extID, n)
 		tsh := newShards[tsi]
 		local := uint32(len(tsh.docs))
@@ -1089,3 +1167,17 @@ func (ix *Index) Clear() {
 // index. Retrieval models use it to invalidate derived caches
 // (e.g. document norms).
 func (ix *Index) Version() uint64 { return ix.version.Load() }
+
+// Close releases the file mapping behind a mapped (v5) load, first
+// waiting out any background compaction. It is a no-op for
+// heap-resident indexes and safe to call more than once, but the
+// caller must ensure no queries or snapshots are still in flight —
+// posting blocks alias the mapping, and touching one after Close
+// faults. The serving layer tears down in that order: stop accepting
+// requests, drain, then Close.
+func (ix *Index) Close() error {
+	ix.WaitCompaction()
+	mf := ix.mapFile
+	ix.mapFile = nil
+	return mf.Close()
+}

@@ -1,0 +1,255 @@
+package irs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// mappedTestQueries cross every evaluation path (term, weighted sum,
+// phrase, boolean structure, negation) so the zero-copy decode route
+// is exercised by each model.
+var mappedTestQueries = []string{
+	"www nii sgml",
+	"#sum(www nii video codec markup)",
+	"#wsum(3 www 2 nii 1 codec)",
+	"#and(www #or(nii sgml))",
+	"#and(www #not(video))",
+	"#phrase(www nii)",
+	"#or(markup #and(gopher telnet))",
+}
+
+var mappedTestModels = []Model{InferenceNet{}, NewVectorSpace(), Boolean{}, PassageModel{Window: 6}}
+
+// assertRankingsEqual compares heap vs mapped rankings exactly —
+// struct equality, so scores must match bit for bit — under every
+// model, exhaustively and at two top-k depths.
+func assertRankingsEqual(t *testing.T, hc, mc *Collection, stage string) {
+	t.Helper()
+	for _, model := range mappedTestModels {
+		hc.SetModel(model)
+		mc.SetModel(model)
+		for _, q := range mappedTestQueries {
+			hf, err := hc.Search(q)
+			if err != nil {
+				t.Fatalf("%s: heap %s %q: %v", stage, model.Name(), q, err)
+			}
+			mf, err := mc.Search(q)
+			if err != nil {
+				t.Fatalf("%s: mapped %s %q: %v", stage, model.Name(), q, err)
+			}
+			if len(hf) != len(mf) {
+				t.Fatalf("%s: %s %q: %d heap vs %d mapped results", stage, model.Name(), q, len(hf), len(mf))
+			}
+			for i := range hf {
+				if hf[i] != mf[i] {
+					t.Fatalf("%s: %s %q rank %d: heap %v vs mapped %v", stage, model.Name(), q, i, hf[i], mf[i])
+				}
+			}
+			for _, k := range []int{3, 10} {
+				ht, err := hc.SearchTopK(q, k)
+				if err != nil {
+					t.Fatalf("%s: heap topk %s %q: %v", stage, model.Name(), q, err)
+				}
+				mt, err := mc.SearchTopK(q, k)
+				if err != nil {
+					t.Fatalf("%s: mapped topk %s %q: %v", stage, model.Name(), q, err)
+				}
+				if len(ht) != len(mt) {
+					t.Fatalf("%s: %s %q k=%d: %d heap vs %d mapped", stage, model.Name(), q, k, len(ht), len(mt))
+				}
+				for i := range ht {
+					if ht[i] != mt[i] {
+						t.Fatalf("%s: %s %q k=%d rank %d: heap %v vs mapped %v",
+							stage, model.Name(), q, k, i, ht[i], mt[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// mappedRandomOps drives one collection through a random add/update/
+// delete/compact interleaving. Both residencies replay the same seed,
+// so the mapped overlay must stay observably identical to the heap
+// index at every point.
+func mappedRandomOps(t *testing.T, c *Collection, rng *rand.Rand, ops int) {
+	t.Helper()
+	words := []string{"www", "nii", "sgml", "video", "codec", "markup", "gopher", "telnet", "library", "highway"}
+	text := func() string {
+		s := ""
+		for j := 0; j < 2+rng.Intn(12); j++ {
+			s += words[rng.Intn(len(words))] + " "
+		}
+		return s
+	}
+	for i := 0; i < ops; i++ {
+		id := fmt.Sprintf("d%d", rng.Intn(120))
+		switch {
+		case rng.Intn(20) == 0:
+			c.Index().Compact()
+		case !c.HasDoc(id):
+			if err := c.AddDocument(id, text(), map[string]string{"oid": id}); err != nil {
+				t.Fatal(err)
+			}
+		case rng.Intn(3) == 0:
+			if err := c.DeleteDocument(id); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := c.UpdateDocument(id, text(), map[string]string{"oid": id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestMappedHeapEquivalenceProperty: for both shard counts, a
+// randomly built collection saved as v5 must answer identically when
+// reopened on the heap and memory-mapped — after the fresh load,
+// after identical random mutations overlaid on both (mutating mapped
+// blocks via the in-memory tail), after Compact folds the mapping out
+// of the live index, and after saving the mapped engine and reopening
+// the folded file mapped again. Runs race-enabled in CI.
+func TestMappedHeapEquivalenceProperty(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(911 + shards)))
+			dir := t.TempDir()
+			build, err := NewEngineAt(dir, Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := build.CreateCollection("prop", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Enough docs over a small vocabulary that posting lists seal
+			// compressed blocks, so the mapped path serves real block
+			// decodes, not just tails.
+			for i := 0; i < 400; i++ {
+				id := fmt.Sprintf("seed%d", i)
+				if err := c.AddDocument(id, fmt.Sprintf("www nii base%d codec video ", i%17), nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mappedRandomOps(t, c, rng, 200)
+			if err := build.Save(); err != nil {
+				t.Fatal(err)
+			}
+
+			heapEng, err := NewEngineAt(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapEng, err := NewEngineAt(dir, Options{Mapped: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := mapEng.Close(); err != nil {
+					t.Errorf("close mapped engine: %v", err)
+				}
+			}()
+			hc, err := heapEng.Collection("prop")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc, err := mapEng.Collection("prop")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got := mc.Index().MappedBytes(); got <= 0 {
+				t.Errorf("mapped collection MappedBytes = %d, want > 0", got)
+			}
+			if got := hc.Index().MappedBytes(); got != 0 {
+				t.Errorf("heap collection MappedBytes = %d, want 0", got)
+			}
+			assertRankingsEqual(t, hc, mc, "fresh load")
+
+			// Same random mutations against both residencies: the mapped
+			// collection layers them as in-memory tails over mapped blocks
+			// and must keep matching the all-heap index exactly.
+			seed := rng.Int63()
+			mappedRandomOps(t, hc, rand.New(rand.NewSource(seed)), 150)
+			mappedRandomOps(t, mc, rand.New(rand.NewSource(seed)), 150)
+			assertRankingsEqual(t, hc, mc, "mutation overlay")
+
+			// Compact rebuilds both into heap postings (the mapped blocks
+			// fold out of the live index; the mapping itself stays open
+			// until Close).
+			hc.Index().Compact()
+			mc.Index().Compact()
+			assertRankingsEqual(t, hc, mc, "post-compact")
+
+			// Saving the mapped engine writes overlay + mapped base into
+			// one fresh v5 file; reopening it mapped must reproduce the
+			// heap engine's live state.
+			if err := mapEng.Save(); err != nil {
+				t.Fatal(err)
+			}
+			reEng, err := NewEngineAt(dir, Options{Mapped: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := reEng.Close(); err != nil {
+					t.Errorf("close reopened engine: %v", err)
+				}
+			}()
+			rc, err := reEng.Collection("prop")
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRankingsEqual(t, hc, rc, "save/reopen fold")
+		})
+	}
+}
+
+// TestMappedPreV5FallsBackToHeap: a legacy (pre-v5) file opened with
+// Mapped still loads — on the heap, reporting no mapped bytes — and
+// migrates to v5 on the next save, after which the mapping engages.
+func TestMappedPreV5FallsBackToHeap(t *testing.T) {
+	dir := t.TempDir()
+	writeV1File(t, dir+"/legacy"+collExt)
+	e, err := NewEngineAt(dir, Options{Mapped: true})
+	if err != nil {
+		t.Fatalf("v1 file rejected under Mapped: %v", err)
+	}
+	c, err := e.Collection("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Index().MappedBytes(); got != 0 {
+		t.Errorf("pre-v5 load MappedBytes = %d, want 0 (heap fallback)", got)
+	}
+	if got := c.DocCount(); got != 5 {
+		t.Errorf("pre-v5 DocCount = %d, want 5", got)
+	}
+	if err := e.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngineAt(dir, Options{Mapped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	c2, err := e2.Collection("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Index().MappedBytes(); got <= 0 {
+		t.Errorf("post-migration MappedBytes = %d, want > 0", got)
+	}
+	rs, err := c2.Search("structured text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Error("migrated mapped collection answers nothing")
+	}
+}

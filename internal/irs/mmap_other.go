@@ -1,0 +1,29 @@
+//go:build !unix
+
+package irs
+
+import "os"
+
+// mappedFile fallback for platforms without syscall.Mmap: the file is
+// read into the heap once. The mapped load path behaves identically
+// minus the off-heap residency (Close then has nothing to release), so
+// OpenMapped stays portable.
+type mappedFile struct {
+	data   []byte
+	mapped bool
+}
+
+func openMappedFile(path string) (*mappedFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &mappedFile{data: data}, nil
+}
+
+func (m *mappedFile) Close() error {
+	if m != nil {
+		m.data = nil
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+//go:build unix
+
+package irs
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mappedFile is a read-only memory mapping of a collection file. The
+// v5 reader aliases posting-block streams and the forward-index blob
+// straight into data, so the mapping must outlive every structure
+// built from it — Index.Close is the release point.
+type mappedFile struct {
+	data   []byte
+	mapped bool // false for empty files (nothing to unmap)
+}
+
+// openMappedFile maps path read-only, shared — the OS page cache backs
+// the bytes and evicts cold blocks for free.
+func openMappedFile(path string) (*mappedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &mappedFile{}, nil
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	return &mappedFile{data: data, mapped: true}, nil
+}
+
+// Close unmaps the file. The caller must guarantee no reads against
+// the mapping remain in flight — touching an aliased block afterwards
+// faults.
+func (m *mappedFile) Close() error {
+	if m == nil || !m.mapped {
+		return nil
+	}
+	data := m.data
+	m.data, m.mapped = nil, false
+	if err := syscall.Munmap(data); err != nil {
+		return fmt.Errorf("munmap: %w", err)
+	}
+	return nil
+}

@@ -1,23 +1,26 @@
 package irs
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"repro/internal/irs/codec"
 )
 
 // Binary collection file format (little endian).
 //
-// Version 4 (written by this code) persists posting lists in the
-// in-memory block-compressed form — sealed delta+varint blocks are
-// written verbatim, so saving never decompresses them and loading
+// Version 5 — the page-aligned, mmap-servable layout — is what this
+// code writes; its format and writer/reader live in persist_v5.go.
+// This file keeps the save plumbing and the legacy stream readers for
+// versions 1–4, which load heap-resident and migrate to v5 on the
+// next Save.
+//
+// Version 4 persists posting lists in the in-memory block-compressed
+// form — sealed delta+varint blocks are written verbatim, so loading
 // never re-encodes:
 //
 //	magic "IRSC" | version u32 = 4 | model name string
@@ -36,11 +39,11 @@ import (
 //
 // Block streams are the codec package's delta+varint encodings (local
 // doc IDs and per-document positions gap-encoded, frequencies plain
-// uvarint). The uncompressed in-memory tail is sealed into trailing
-// (possibly short) blocks at save time, so a file is always purely
-// blocks; the reader fully decodes each block once to rebuild the
-// derived statistics (df, tf bounds, forward index) and validate the
-// metadata against the streams, then keeps the compressed form.
+// uvarint). A file is always purely blocks; the v4 reader fully
+// decodes each block once to rebuild the derived statistics (df, tf
+// bounds, forward index) and validate the metadata against the
+// streams, then keeps the compressed form. (v5 stores those derived
+// statistics explicitly, which is what makes its open O(tables).)
 //
 // The per-term "max tf" is the incrementally maintained score
 // upper-bound statistic of topk.go; persisting it preserves the exact
@@ -80,7 +83,8 @@ const (
 	persistVersionV1 = 1
 	persistVersionV2 = 2
 	persistVersionV3 = 3
-	persistVersion   = 4
+	persistVersionV4 = 4
+	persistVersion   = 5
 
 	// autoCompactTag introduces the optional auto-compaction policy
 	// trailer after the last shard.
@@ -95,11 +99,7 @@ func (c *Collection) saveTo(path string) error {
 		return fmt.Errorf("irs: save collection: %w", err)
 	}
 	tmpName := tmp.Name()
-	w := bufio.NewWriter(tmp)
-	err = writeCollection(w, c)
-	if err == nil {
-		err = w.Flush()
-	}
+	err = writeCollectionV5(tmp, c)
 	if err == nil {
 		err = tmp.Sync()
 	}
@@ -118,26 +118,7 @@ func (c *Collection) saveTo(path string) error {
 }
 
 func loadCollection(path string) (*Collection, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("irs: load collection: %w", err)
-	}
-	defer f.Close()
-	name := filepath.Base(path)
-	name = name[:len(name)-len(collExt)]
-	c, err := readCollection(bufio.NewReader(f), name)
-	if err != nil {
-		return nil, fmt.Errorf("irs: load collection %q: %w", name, err)
-	}
-	return c, nil
-}
-
-func writeString(w io.Writer, s string) error {
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
-		return err
-	}
-	_, err := io.WriteString(w, s)
-	return err
+	return loadCollectionMode(path, false)
 }
 
 func readString(r io.Reader) (string, error) {
@@ -153,166 +134,6 @@ func readString(r io.Reader) (string, error) {
 		return "", err
 	}
 	return string(buf), nil
-}
-
-// writeCollection serializes a consistent snapshot of the
-// collection, so Save can run while writers proceed.
-func writeCollection(w io.Writer, c *Collection) error {
-	snap := c.ix.Snapshot()
-	if _, err := io.WriteString(w, persistMagic); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(persistVersion)); err != nil {
-		return err
-	}
-	if err := writeString(w, c.Model().Name()); err != nil {
-		return err
-	}
-	nsh := snap.ShardCount()
-	if err := binary.Write(w, binary.LittleEndian, uint32(nsh)); err != nil {
-		return err
-	}
-	for si := 0; si < nsh; si++ {
-		ss := &snap.shards[si]
-		if err := binary.Write(w, binary.LittleEndian, uint32(ss.docsLen)); err != nil {
-			return err
-		}
-		for local := 0; local < ss.docsLen; local++ {
-			d := &ss.docs[local]
-			if err := writeString(w, d.extID); err != nil {
-				return err
-			}
-			if err := binary.Write(w, binary.LittleEndian, uint32(d.length)); err != nil {
-				return err
-			}
-			del := uint8(0)
-			if ss.isDeleted(local) {
-				del = 1
-			}
-			if err := binary.Write(w, binary.LittleEndian, del); err != nil {
-				return err
-			}
-			if err := binary.Write(w, binary.LittleEndian, uint32(len(d.meta))); err != nil {
-				return err
-			}
-			keys := make([]string, 0, len(d.meta))
-			for k := range d.meta {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				if err := writeString(w, k); err != nil {
-					return err
-				}
-				if err := writeString(w, d.meta[k]); err != nil {
-					return err
-				}
-			}
-		}
-		// termsShardRaw returns raw block headers captured after
-		// acquisition; cap storage to documents inside the snapshot's
-		// doc table so the file never references a doc beyond it.
-		// Blocks wholly inside the horizon are written verbatim —
-		// save never expands their streams. A block straddling the
-		// horizon and the uncompressed tail are filtered and
-		// re-encoded into trailing blocks. Tombstoned postings are
-		// written (as in v1) — Compact sheds them.
-		type diskTerm struct {
-			term   string
-			maxTF  int
-			blocks []codec.Block
-		}
-		raws := snap.termsShardRaw(si)
-		terms := make([]diskTerm, 0, len(raws))
-		for _, tr := range raws {
-			dt := diskTerm{term: tr.term, maxTF: tr.maxTF}
-			var spill []Posting // in-horizon postings needing re-encoding
-			for bi := range tr.v.blocks {
-				bl := &tr.v.blocks[bi]
-				if int(bl.FirstDoc) >= ss.docsLen {
-					break // doc-ordered: everything after is past the horizon
-				}
-				if int(bl.LastDoc) < ss.docsLen {
-					dt.blocks = append(dt.blocks, *bl)
-					continue
-				}
-				// Straddling block (sealed after acquisition): keep
-				// the in-horizon prefix.
-				docs, err := bl.DecodeDocs(nil)
-				if err != nil {
-					continue
-				}
-				tfs, err := bl.DecodeTFs(nil)
-				if err != nil {
-					continue
-				}
-				poss, err := bl.DecodePositions(tfs)
-				if err != nil {
-					continue
-				}
-				for i, local := range docs {
-					if int(local) >= ss.docsLen {
-						break
-					}
-					spill = append(spill, Posting{Doc: globalID(local, si, nsh), Positions: poss[i]})
-				}
-				break
-			}
-			for _, p := range tr.v.tail {
-				if int(p.Doc)/nsh < ss.docsLen {
-					spill = append(spill, p)
-				}
-			}
-			for start := 0; start < len(spill); start += codec.BlockSize {
-				end := min(start+codec.BlockSize, len(spill))
-				chunk := spill[start:end]
-				docs := make([]uint32, len(chunk))
-				poss := make([][]uint32, len(chunk))
-				for i, p := range chunk {
-					docs[i] = uint32(int(p.Doc) / nsh)
-					poss[i] = p.Positions
-				}
-				dt.blocks = append(dt.blocks, codec.Encode(docs, poss))
-			}
-			if len(dt.blocks) > 0 {
-				terms = append(terms, dt)
-			}
-		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(terms))); err != nil {
-			return err
-		}
-		for _, dt := range terms {
-			if err := writeString(w, dt.term); err != nil {
-				return err
-			}
-			if err := binary.Write(w, binary.LittleEndian, uint32(dt.maxTF)); err != nil {
-				return err
-			}
-			if err := binary.Write(w, binary.LittleEndian, uint32(len(dt.blocks))); err != nil {
-				return err
-			}
-			for bi := range dt.blocks {
-				if err := writeBlock(w, &dt.blocks[bi]); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	// Auto-compaction policy trailer (see the format comment): written
-	// only when the policy is armed, so policy-off files stay
-	// byte-identical to the pre-trailer format.
-	if ratio, min := c.ix.AutoCompact(); ratio > 0 {
-		if _, err := io.WriteString(w, autoCompactTag); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(ratio)); err != nil {
-			return err
-		}
-		if err := binary.Write(w, binary.LittleEndian, uint32(min)); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func readCollection(r io.Reader, name string) (*Collection, error) {
@@ -343,7 +164,7 @@ func readCollection(r io.Reader, name string) (*Collection, error) {
 		if err := readShardInto(r, ix, 0, version); err != nil {
 			return nil, err
 		}
-	case persistVersionV2, persistVersionV3, persistVersion:
+	case persistVersionV2, persistVersionV3, persistVersionV4:
 		var shardCount uint32
 		if err := binary.Read(r, binary.LittleEndian, &shardCount); err != nil {
 			return nil, err
@@ -394,25 +215,6 @@ func readAutoCompactTrailer(r io.Reader, ix *Index) error {
 		return fmt.Errorf("auto-compact trailer: ratio %v out of range", ratio)
 	}
 	ix.SetAutoCompact(ratio, int(min))
-	return nil
-}
-
-// writeBlock serializes one sealed block: fixed metadata, then the
-// three length-prefixed compressed streams, verbatim.
-func writeBlock(w io.Writer, bl *codec.Block) error {
-	for _, v := range []uint32{uint32(bl.N), bl.FirstDoc, bl.LastDoc, bl.MaxTF} {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	for _, stream := range [][]byte{bl.Docs, bl.TFs, bl.Pos} {
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(stream))); err != nil {
-			return err
-		}
-		if _, err := w.Write(stream); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 
@@ -525,7 +327,7 @@ func readShardInto(r io.Reader, ix *Index, si int, version uint32) error {
 			}
 		}
 		pl := &postingList{maxTF: int(storedMaxTF)}
-		if version >= persistVersion {
+		if version >= persistVersionV4 {
 			// v4: compressed blocks, kept verbatim. Each block is fully
 			// decoded once to validate its metadata and rebuild the
 			// derived state (df, tf bound, forward index) that is never

@@ -1,0 +1,833 @@
+package irs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/irs/codec"
+)
+
+// Version 5 collection file layout (little endian) — the mmap-friendly
+// page-aligned format. Where v4 is one sequential stream that must be
+// parsed (and every block decoded) front to back, v5 splits the file
+// into independently addressable sections behind a fixed-offset table,
+// each section starting on a page boundary:
+//
+//	header (offset 0):
+//	  magic "IRSC" | version u32 = 5 | section count u32 | page size u32
+//	  section table: per section { offset u64, length u64 }
+//	sections, in file order, each zero-padded to a pageAlign boundary:
+//	  META: model name string | shard count u32 |
+//	        auto-compact armed u8 [| ratio f64 bits u64 | min u32]
+//	  DOCS: per shard: doc count u32, then per doc
+//	        extID string | length u32 | deleted u8 |
+//	        meta count u32 | (key string, value string)*  (keys sorted)
+//	  FWD:  per shard: doc count u32 | blob length u32 |
+//	        (doc count + 1) offsets u32 | blob
+//	        (per-doc blob segment: uvarint term count, then uvarint
+//	        indexes into the shard's DICT term order)
+//	  DICT: per shard: term count u32, then per term
+//	        term string | df u32 | max tf u32 | posting count u32 |
+//	        position count u64 | block count u32, then per block
+//	        { n u32 | first doc u32 | last doc u32 | block max tf u32 |
+//	          doc/tf/pos stream lengths u32×3 | blob offset u64 }
+//	  BLOB: every block's three streams (docs | tfs | positions),
+//	        concatenated in DICT order; DICT offsets are relative to
+//	        the section start.
+//
+// The derived statistics the v4 reader recomputed by decoding every
+// block — per-term df, posting and position counts, and the forward
+// index (each document's distinct terms) — are stored explicitly, so a
+// v5 load parses tables but never touches a posting payload: open time
+// is proportional to the dictionary and document tables, not to the
+// postings. The per-term max tf is the live upper-bound statistic at
+// save time (adds only raise it, and rebuilds recompute it before
+// saving), so trusting it without a decode keeps every pruning bound
+// sound.
+//
+// The heap load path (NewEngineAt default) copies each block's streams
+// into fresh heap slices and validates them against their metadata,
+// exactly as the v4 reader did. The mapped path (OpenMapped /
+// Options.Mapped) instead aliases streams and the forward-index blob
+// directly into a read-only shared mapping — zero copies, heap
+// proportional to the tables — and decodes varints from the mapped
+// bytes on demand at query time; the OS page cache decides which
+// blocks stay resident. Mutations overlay normally: appends go to the
+// in-memory tail and seal into new heap blocks after the mapped
+// prefix, deletions flip tombstone bits, and the next Save (or a
+// Compact) folds overlay and mapped blocks into ordinary storage.
+// Index.Close releases the mapping once the last reader is done.
+//
+// v1–v4 files load through the legacy stream reader (heap only) and
+// migrate to v5 on the next Save.
+
+const (
+	// pageAlign is the section alignment: every section begins on a
+	// 4 KiB boundary, so mapped posting streams never share a page with
+	// mutable-at-rest table bytes and section starts are page-cache
+	// friendly.
+	pageAlign = 4096
+
+	// v5HeaderSize is the fixed prefix before the section table: magic,
+	// version, section count, page size (4 bytes each).
+	v5HeaderSize = 16
+
+	// Section-table slots, in file order.
+	v5SecMeta = 0
+	v5SecDocs = 1
+	v5SecFwd  = 2
+	v5SecDict = 3
+	v5SecBlob = 4
+
+	v5SectionCount = 5
+)
+
+var zeroPage [pageAlign]byte
+
+// countingWriter tracks the byte offset of a buffered writer and
+// carries a sticky error, so the section writers read linearly instead
+// of threading an error through every field.
+type countingWriter struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) writeBytes(p []byte) {
+	if cw.err != nil {
+		return
+	}
+	m, err := cw.w.Write(p)
+	cw.n += int64(m)
+	cw.err = err
+}
+
+func (cw *countingWriter) u8(v uint8) { cw.writeBytes([]byte{v}) }
+
+func (cw *countingWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	cw.writeBytes(b[:])
+}
+
+func (cw *countingWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	cw.writeBytes(b[:])
+}
+
+func (cw *countingWriter) str(s string) {
+	cw.u32(uint32(len(s)))
+	if cw.err != nil {
+		return
+	}
+	m, err := io.WriteString(cw.w, s)
+	cw.n += int64(m)
+	cw.err = err
+}
+
+// padTo writes zeros up to the next multiple of align.
+func (cw *countingWriter) padTo(align int64) {
+	if cw.err != nil {
+		return
+	}
+	if rem := cw.n % align; rem != 0 {
+		cw.writeBytes(zeroPage[:align-rem])
+	}
+}
+
+// writeCollectionV5 serializes a consistent snapshot of the collection
+// in the v5 layout. It takes the temp *os.File directly (not an
+// io.Writer) because the section table is back-patched with WriteAt
+// once section offsets are known.
+func writeCollectionV5(f *os.File, c *Collection) error {
+	snap := c.ix.Snapshot()
+	nsh := snap.ShardCount()
+
+	// Plan every shard before writing a byte: the horizon-capped
+	// dictionary (sealed in-horizon blocks verbatim; a straddling block
+	// and the uncompressed tail filtered and re-encoded into trailing
+	// spill blocks, as in the v4 writer), the forward index encoded
+	// against the sorted term order, and the exact per-term df of the
+	// file being written, counted from the live forward lists so the
+	// reader never has to decode a block to rebuild it.
+	type diskTerm struct {
+		term     string
+		maxTF    int
+		count    int
+		posCount int64
+		blocks   []codec.Block
+	}
+	type shardPlan struct {
+		terms   []diskTerm
+		df      []uint32
+		fwdOffs []uint32
+		fwdBlob []byte
+	}
+	plans := make([]shardPlan, nsh)
+	var tfbuf []uint32
+	for si := 0; si < nsh; si++ {
+		ss := &snap.shards[si]
+		raws := snap.termsShardRaw(si)
+		p := &plans[si]
+		p.terms = make([]diskTerm, 0, len(raws))
+		tidx := make(map[string]int, len(raws))
+		for _, tr := range raws {
+			dt := diskTerm{term: tr.term, maxTF: tr.maxTF}
+			var spill []Posting // in-horizon postings needing re-encoding
+			for bi := range tr.v.blocks {
+				bl := &tr.v.blocks[bi]
+				if int(bl.FirstDoc) >= ss.docsLen {
+					break // doc-ordered: everything after is past the horizon
+				}
+				if int(bl.LastDoc) < ss.docsLen {
+					dt.blocks = append(dt.blocks, *bl)
+					// The stored position count must describe the file, not
+					// the live list (which may have grown since acquisition);
+					// the frequency stream alone sums to it.
+					var err error
+					if tfbuf, err = bl.DecodeTFs(tfbuf[:0]); err == nil {
+						for _, tf := range tfbuf {
+							dt.posCount += int64(tf)
+						}
+					}
+					continue
+				}
+				// Straddling block (sealed after acquisition): keep the
+				// in-horizon prefix.
+				docs, err := bl.DecodeDocs(nil)
+				if err != nil {
+					continue
+				}
+				tfs, err := bl.DecodeTFs(nil)
+				if err != nil {
+					continue
+				}
+				poss, err := bl.DecodePositions(tfs)
+				if err != nil {
+					continue
+				}
+				for i, local := range docs {
+					if int(local) >= ss.docsLen {
+						break
+					}
+					spill = append(spill, Posting{Doc: globalID(local, si, nsh), Positions: poss[i]})
+				}
+				break
+			}
+			for _, pp := range tr.v.tail {
+				if int(pp.Doc)/nsh < ss.docsLen {
+					spill = append(spill, pp)
+				}
+			}
+			for _, pp := range spill {
+				dt.posCount += int64(len(pp.Positions))
+			}
+			for start := 0; start < len(spill); start += codec.BlockSize {
+				end := min(start+codec.BlockSize, len(spill))
+				chunk := spill[start:end]
+				docs := make([]uint32, len(chunk))
+				poss := make([][]uint32, len(chunk))
+				for i, pp := range chunk {
+					docs[i] = uint32(int(pp.Doc) / nsh)
+					poss[i] = pp.Positions
+				}
+				dt.blocks = append(dt.blocks, codec.Encode(docs, poss))
+			}
+			if len(dt.blocks) == 0 {
+				continue
+			}
+			for bi := range dt.blocks {
+				dt.count += dt.blocks[bi].N
+			}
+			tidx[dt.term] = len(p.terms)
+			p.terms = append(p.terms, dt)
+		}
+		// Forward pass: per-document term indexes into the sorted
+		// dictionary above. A term absent from the written dictionary
+		// (all postings past the horizon) is dropped from the document's
+		// list too, and df counts live in-horizon documents through the
+		// same filter, so forward index and stored df always agree with
+		// the file's postings.
+		p.df = make([]uint32, len(p.terms))
+		p.fwdOffs = make([]uint32, 0, ss.docsLen+1)
+		for local := 0; local < ss.docsLen; local++ {
+			p.fwdOffs = append(p.fwdOffs, uint32(len(p.fwdBlob)))
+			terms := ss.docTerms(local)
+			live := !ss.isDeleted(local)
+			idxs := make([]int, 0, len(terms))
+			for _, t := range terms {
+				if ti, ok := tidx[t]; ok {
+					idxs = append(idxs, ti)
+				}
+			}
+			p.fwdBlob = binary.AppendUvarint(p.fwdBlob, uint64(len(idxs)))
+			for _, ti := range idxs {
+				p.fwdBlob = binary.AppendUvarint(p.fwdBlob, uint64(ti))
+				if live {
+					p.df[ti]++
+				}
+			}
+		}
+		p.fwdOffs = append(p.fwdOffs, uint32(len(p.fwdBlob)))
+		if int64(len(p.fwdBlob)) > math.MaxUint32 {
+			return fmt.Errorf("forward index blob too large (%d bytes)", len(p.fwdBlob))
+		}
+	}
+
+	cw := &countingWriter{w: bufio.NewWriterSize(f, 1<<16)}
+	cw.writeBytes([]byte(persistMagic))
+	cw.u32(persistVersion)
+	cw.u32(v5SectionCount)
+	cw.u32(pageAlign)
+	cw.writeBytes(make([]byte, v5SectionCount*16)) // table, patched below
+
+	var offs, lens [v5SectionCount]int64
+	begin := func(sec int) {
+		cw.padTo(pageAlign)
+		offs[sec] = cw.n
+	}
+	end := func(sec int) { lens[sec] = cw.n - offs[sec] }
+
+	begin(v5SecMeta)
+	cw.str(c.Model().Name())
+	cw.u32(uint32(nsh))
+	if ratio, minT := c.ix.AutoCompact(); ratio > 0 {
+		cw.u8(1)
+		cw.u64(math.Float64bits(ratio))
+		cw.u32(uint32(minT))
+	} else {
+		cw.u8(0)
+	}
+	end(v5SecMeta)
+
+	begin(v5SecDocs)
+	for si := 0; si < nsh; si++ {
+		ss := &snap.shards[si]
+		cw.u32(uint32(ss.docsLen))
+		for local := 0; local < ss.docsLen; local++ {
+			d := &ss.docs[local]
+			cw.str(d.extID)
+			cw.u32(uint32(d.length))
+			if ss.isDeleted(local) {
+				cw.u8(1)
+			} else {
+				cw.u8(0)
+			}
+			cw.u32(uint32(len(d.meta)))
+			keys := make([]string, 0, len(d.meta))
+			for k := range d.meta {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				cw.str(k)
+				cw.str(d.meta[k])
+			}
+		}
+	}
+	end(v5SecDocs)
+
+	begin(v5SecFwd)
+	for si := range plans {
+		p := &plans[si]
+		cw.u32(uint32(len(p.fwdOffs) - 1))
+		cw.u32(uint32(len(p.fwdBlob)))
+		for _, off := range p.fwdOffs {
+			cw.u32(off)
+		}
+		cw.writeBytes(p.fwdBlob)
+	}
+	end(v5SecFwd)
+
+	begin(v5SecDict)
+	var blobOff uint64
+	for si := range plans {
+		p := &plans[si]
+		cw.u32(uint32(len(p.terms)))
+		for ti := range p.terms {
+			dt := &p.terms[ti]
+			cw.str(dt.term)
+			cw.u32(p.df[ti])
+			cw.u32(uint32(dt.maxTF))
+			cw.u32(uint32(dt.count))
+			cw.u64(uint64(dt.posCount))
+			cw.u32(uint32(len(dt.blocks)))
+			for bi := range dt.blocks {
+				bl := &dt.blocks[bi]
+				cw.u32(uint32(bl.N))
+				cw.u32(bl.FirstDoc)
+				cw.u32(bl.LastDoc)
+				cw.u32(bl.MaxTF)
+				cw.u32(uint32(len(bl.Docs)))
+				cw.u32(uint32(len(bl.TFs)))
+				cw.u32(uint32(len(bl.Pos)))
+				cw.u64(blobOff)
+				blobOff += uint64(len(bl.Docs) + len(bl.TFs) + len(bl.Pos))
+			}
+		}
+	}
+	end(v5SecDict)
+
+	begin(v5SecBlob)
+	for si := range plans {
+		p := &plans[si]
+		for ti := range p.terms {
+			for bi := range p.terms[ti].blocks {
+				bl := &p.terms[ti].blocks[bi]
+				cw.writeBytes(bl.Docs)
+				cw.writeBytes(bl.TFs)
+				cw.writeBytes(bl.Pos)
+			}
+		}
+	}
+	end(v5SecBlob)
+
+	if cw.err != nil {
+		return cw.err
+	}
+	if err := cw.w.Flush(); err != nil {
+		return err
+	}
+	table := make([]byte, v5SectionCount*16)
+	for i := range offs {
+		binary.LittleEndian.PutUint64(table[i*16:], uint64(offs[i]))
+		binary.LittleEndian.PutUint64(table[i*16+8:], uint64(lens[i]))
+	}
+	_, err := f.WriteAt(table, v5HeaderSize)
+	return err
+}
+
+// byteCursor is a bounds-checked sequential reader over one section's
+// byte slice with a sticky error: a failed read zeroes out and every
+// later read no-ops, so parse loops stay linear. Count fields are
+// sanity-guarded against the section length before driving loops or
+// allocations.
+type byteCursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (c *byteCursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+// bytes returns the next n bytes as a capacity-clipped subslice (no
+// copy — in mapped mode these alias the mapping).
+func (c *byteCursor) bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(c.data)-c.off {
+		c.fail("truncated (need %d bytes at offset %d of %d)", n, c.off, len(c.data))
+		return nil
+	}
+	b := c.data[c.off : c.off+n : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *byteCursor) u8() uint8 {
+	b := c.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *byteCursor) u32() uint32 {
+	b := c.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *byteCursor) u64() uint64 {
+	b := c.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *byteCursor) str() string {
+	n := c.u32()
+	if n > 1<<28 {
+		c.fail("string length %d exceeds sanity bound", n)
+		return ""
+	}
+	return string(c.bytes(int(n)))
+}
+
+// guardCount rejects a count field that could not possibly fit the
+// section (every counted record takes at least one byte), bounding
+// allocations and loops on corrupt input.
+func (c *byteCursor) guardCount(n int, what string) {
+	if n < 0 || n > len(c.data) {
+		c.fail("%s count %d exceeds section size %d", what, n, len(c.data))
+	}
+}
+
+// readCollectionV5 parses a v5 file held in data. With mf == nil
+// (heap mode) block streams are copied out and validated and the
+// forward index is materialized per document; with mf != nil (mapped
+// mode) streams and the forward blob alias data — which then must be
+// mf's mapping — validation is deferred to on-demand decode, and the
+// index takes ownership of mf (released by Index.Close).
+func readCollectionV5(data []byte, name string, mf *mappedFile) (*Collection, error) {
+	alias := mf != nil
+	if len(data) < v5HeaderSize+v5SectionCount*16 {
+		return nil, fmt.Errorf("v5 header truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != persistMagic {
+		return nil, fmt.Errorf("bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != persistVersion {
+		return nil, fmt.Errorf("unsupported version %d", v)
+	}
+	if sc := binary.LittleEndian.Uint32(data[8:]); sc < v5SectionCount {
+		return nil, fmt.Errorf("section count %d below required %d", sc, v5SectionCount)
+	}
+	var secs [v5SectionCount][]byte
+	for i := range secs {
+		off := binary.LittleEndian.Uint64(data[v5HeaderSize+i*16:])
+		ln := binary.LittleEndian.Uint64(data[v5HeaderSize+i*16+8:])
+		if off > uint64(len(data)) || ln > uint64(len(data))-off {
+			return nil, fmt.Errorf("section %d out of bounds (offset %d, length %d)", i, off, ln)
+		}
+		secs[i] = data[off : off+ln : off+ln]
+	}
+
+	// META.
+	meta := &byteCursor{data: secs[v5SecMeta]}
+	modelName := meta.str()
+	shardCount := int(meta.u32())
+	acplArmed := meta.u8()
+	var acplRatio float64
+	var acplMin int
+	if acplArmed == 1 {
+		acplRatio = math.Float64frombits(meta.u64())
+		acplMin = int(meta.u32())
+	} else if acplArmed != 0 && meta.err == nil {
+		meta.fail("bad auto-compact flag %d", acplArmed)
+	}
+	if meta.err != nil {
+		return nil, fmt.Errorf("META: %w", meta.err)
+	}
+	model, err := ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	if shardCount < 1 || shardCount > maxShards {
+		return nil, fmt.Errorf("shard count %d exceeds sanity bound", shardCount)
+	}
+	if acplArmed == 1 && (math.IsNaN(acplRatio) || acplRatio < 0 || acplRatio > 1) {
+		return nil, fmt.Errorf("auto-compact ratio %v out of range", acplRatio)
+	}
+	ix := NewIndexShards(nil, shardCount)
+
+	// DOCS: the document tables, with the same derived-state rebuild
+	// (byExt, live counts, min length) as the legacy reader.
+	docsC := &byteCursor{data: secs[v5SecDocs]}
+	for si := 0; si < shardCount; si++ {
+		sh := ix.shards[si]
+		docCount := int(docsC.u32())
+		docsC.guardCount(docCount, "doc")
+		if docsC.err != nil {
+			return nil, fmt.Errorf("DOCS: %w", docsC.err)
+		}
+		sh.docs = make([]docInfo, docCount)
+		sh.deleted = make([]uint64, (docCount+63)/64)
+		for local := range sh.docs {
+			d := &sh.docs[local]
+			d.extID = docsC.str()
+			d.length = int(docsC.u32())
+			del := docsC.u8()
+			metaCount := int(docsC.u32())
+			docsC.guardCount(metaCount, "meta")
+			if docsC.err != nil {
+				return nil, fmt.Errorf("DOCS: %w", docsC.err)
+			}
+			if metaCount > 0 {
+				d.meta = make(map[string]string, metaCount)
+				for j := 0; j < metaCount; j++ {
+					k := docsC.str()
+					d.meta[k] = docsC.str()
+				}
+			}
+			if del != 0 {
+				sh.setDeleted(uint32(local))
+				ix.deadCount.Add(1)
+			} else {
+				ix.liveCount.Add(1)
+				sh.byExt[d.extID] = uint32(local)
+				if sh.liveDocs == 0 || d.length < sh.minLen {
+					sh.minLen = d.length
+				}
+				sh.liveDocs++
+				sh.totalLen += int64(d.length)
+			}
+		}
+	}
+	if docsC.err != nil {
+		return nil, fmt.Errorf("DOCS: %w", docsC.err)
+	}
+
+	// DICT + BLOB: posting lists with stored statistics — no decode.
+	blob := secs[v5SecBlob]
+	dictC := &byteCursor{data: secs[v5SecDict]}
+	fwdTerms := make([][]string, shardCount)
+	for si := 0; si < shardCount; si++ {
+		sh := ix.shards[si]
+		termCount := int(dictC.u32())
+		dictC.guardCount(termCount, "term")
+		if dictC.err != nil {
+			return nil, fmt.Errorf("DICT: %w", dictC.err)
+		}
+		names := make([]string, 0, termCount)
+		for i := 0; i < termCount; i++ {
+			term := dictC.str()
+			df := dictC.u32()
+			maxTF := dictC.u32()
+			count := dictC.u32()
+			posCount := dictC.u64()
+			blockCount := int(dictC.u32())
+			dictC.guardCount(blockCount, "block")
+			if dictC.err != nil {
+				return nil, fmt.Errorf("DICT: %w", dictC.err)
+			}
+			pl := &postingList{
+				df:       int(df),
+				maxTF:    int(maxTF),
+				count:    int(count),
+				posCount: int64(posCount),
+				blocks:   make([]codec.Block, 0, blockCount),
+			}
+			for bi := 0; bi < blockCount; bi++ {
+				n := dictC.u32()
+				first := dictC.u32()
+				last := dictC.u32()
+				bmax := dictC.u32()
+				dl := int(dictC.u32())
+				tl := int(dictC.u32())
+				pln := int(dictC.u32())
+				boff := dictC.u64()
+				if dictC.err != nil {
+					return nil, fmt.Errorf("DICT: %w", dictC.err)
+				}
+				if n == 0 || n > codec.MaxBlockPostings {
+					return nil, fmt.Errorf("term %q block %d: posting count %d exceeds sanity bound", term, bi, n)
+				}
+				if dl > 1<<28 || tl > 1<<28 || pln > 1<<28 {
+					return nil, fmt.Errorf("term %q block %d: stream length exceeds sanity bound", term, bi)
+				}
+				total := dl + tl + pln
+				if boff > uint64(len(blob)) || uint64(total) > uint64(len(blob))-boff {
+					return nil, fmt.Errorf("term %q block %d: streams out of bounds", term, bi)
+				}
+				var streams []byte
+				if alias {
+					streams = blob[boff : int(boff)+total : int(boff)+total]
+				} else {
+					streams = make([]byte, total)
+					copy(streams, blob[boff:int(boff)+total])
+				}
+				bl := codec.Block{
+					N:        int(n),
+					FirstDoc: first,
+					LastDoc:  last,
+					MaxTF:    bmax,
+					Docs:     streams[:dl:dl],
+					TFs:      streams[dl : dl+tl : dl+tl],
+					Pos:      streams[dl+tl : total : total],
+				}
+				if !alias {
+					if err := bl.Validate(); err != nil {
+						return nil, fmt.Errorf("term %q block %d: %w", term, bi, err)
+					}
+				}
+				pl.blocks = append(pl.blocks, bl)
+			}
+			if alias {
+				pl.mapped = len(pl.blocks)
+			}
+			sh.dict[term] = pl
+			names = append(names, term)
+		}
+		fwdTerms[si] = names
+	}
+	if dictC.err != nil {
+		return nil, fmt.Errorf("DICT: %w", dictC.err)
+	}
+
+	// FWD: in heap mode, materialize each document's term list (sharing
+	// the dictionary's string objects); in mapped mode, keep the offsets
+	// and blob aliased and decode per document on demand (docTerms).
+	fwdC := &byteCursor{data: secs[v5SecFwd]}
+	for si := 0; si < shardCount; si++ {
+		sh := ix.shards[si]
+		docCount := int(fwdC.u32())
+		blobLen := int(fwdC.u32())
+		if fwdC.err == nil && docCount != len(sh.docs) {
+			fwdC.fail("forward index covers %d docs, document table has %d", docCount, len(sh.docs))
+		}
+		offsBytes := fwdC.bytes((docCount + 1) * 4)
+		fblob := fwdC.bytes(blobLen)
+		if fwdC.err != nil {
+			return nil, fmt.Errorf("FWD: %w", fwdC.err)
+		}
+		if alias {
+			sh.fwdTerms = fwdTerms[si]
+			sh.fwdOffs = offsBytes
+			sh.fwdBlob = fblob
+			sh.fwdDocs = docCount
+			continue
+		}
+		names := fwdTerms[si]
+		for local := 0; local < docCount; local++ {
+			start := int(binary.LittleEndian.Uint32(offsBytes[local*4:]))
+			end := int(binary.LittleEndian.Uint32(offsBytes[(local+1)*4:]))
+			if start > end || end > len(fblob) {
+				return nil, fmt.Errorf("FWD: doc %d segment out of bounds", local)
+			}
+			terms, err := decodeFwdTermList(fblob[start:end], names)
+			if err != nil {
+				return nil, fmt.Errorf("FWD: doc %d: %w", local, err)
+			}
+			sh.docs[local].terms = terms
+		}
+	}
+
+	if acplArmed == 1 {
+		ix.SetAutoCompact(acplRatio, acplMin)
+	}
+	if alias {
+		ix.mapFile = mf
+	}
+	return &Collection{name: name, ix: ix, model: model}, nil
+}
+
+// decodeFwdTermList expands one document's forward-index segment
+// (uvarint count + uvarint indexes) against the shard's term names.
+func decodeFwdTermList(seg []byte, names []string) ([]string, error) {
+	count, n := binary.Uvarint(seg)
+	if n <= 0 {
+		return nil, fmt.Errorf("bad forward term count")
+	}
+	seg = seg[n:]
+	if count == 0 {
+		return nil, nil
+	}
+	if count > uint64(len(seg)) {
+		return nil, fmt.Errorf("forward term count %d exceeds segment", count)
+	}
+	out := make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		idx, n := binary.Uvarint(seg)
+		if n <= 0 || idx >= uint64(len(names)) {
+			return nil, fmt.Errorf("bad forward term reference")
+		}
+		seg = seg[n:]
+		out = append(out, names[idx])
+	}
+	return out, nil
+}
+
+// fwdDocTerms decodes one document's term list from the mapped
+// forward-index blob. The fwd fields are only ever set while the shard
+// is being constructed at load and never mutated afterwards, so this
+// needs no lock; malformed segments (impossible on files this code
+// wrote) yield nil, which deleteLocked treats as an empty list.
+func (sh *shard) fwdDocTerms(local int) []string {
+	if local < 0 || local >= sh.fwdDocs {
+		return nil
+	}
+	start := int(binary.LittleEndian.Uint32(sh.fwdOffs[local*4:]))
+	end := int(binary.LittleEndian.Uint32(sh.fwdOffs[(local+1)*4:]))
+	if start > end || end > len(sh.fwdBlob) {
+		return nil
+	}
+	terms, err := decodeFwdTermList(sh.fwdBlob[start:end], sh.fwdTerms)
+	if err != nil {
+		return nil
+	}
+	return terms
+}
+
+// loadCollectionMode opens a collection file, dispatching on the
+// header: v5 files parse from a byte slice — the whole file in heap,
+// or a read-only mapping when mapped is true — while v1–v4 files go
+// through the legacy stream reader (always heap; the next Save
+// migrates them to v5). A pre-v5 file requested mapped simply loads on
+// heap.
+func loadCollectionMode(path string, mapped bool) (*Collection, error) {
+	name := strings.TrimSuffix(filepath.Base(path), collExt)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("irs: load collection: %w", err)
+	}
+	var hdr [8]byte
+	if n, _ := io.ReadFull(f, hdr[:]); n == 8 &&
+		string(hdr[:4]) == persistMagic &&
+		binary.LittleEndian.Uint32(hdr[4:]) >= persistVersion {
+		f.Close()
+		if mapped {
+			mf, err := openMappedFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("irs: load collection %q: %w", name, err)
+			}
+			c, err := readCollectionV5(mf.data, name, mf)
+			if err != nil {
+				mf.Close()
+				return nil, fmt.Errorf("irs: load collection %q: %w", name, err)
+			}
+			return c, nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("irs: load collection %q: %w", name, err)
+		}
+		c, err := readCollectionV5(data, name, nil)
+		if err != nil {
+			return nil, fmt.Errorf("irs: load collection %q: %w", name, err)
+		}
+		return c, nil
+	}
+	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("irs: load collection %q: %w", name, err)
+	}
+	c, err := readCollection(bufio.NewReader(f), name)
+	if err != nil {
+		return nil, fmt.Errorf("irs: load collection %q: %w", name, err)
+	}
+	return c, nil
+}
+
+// OpenMapped opens a single collection file memory-mapped: posting
+// blocks and the forward index serve directly from a read-only shared
+// mapping of the file, so open time and heap footprint are
+// proportional to the document and dictionary tables, never to the
+// postings, and the OS page cache keeps only the working set resident.
+// Mutations work normally (in-memory overlay over the mapped sealed
+// blocks; the next Save or Compact folds them). Call Close on the
+// returned collection after the last query to release the mapping.
+// Pre-v5 files load on heap and are mapped from the next Save on.
+func OpenMapped(path string) (*Collection, error) {
+	return loadCollectionMode(path, true)
+}
+
+// Close releases the collection file mapping backing a mapped
+// collection (no-op for heap collections). See Index.Close.
+func (c *Collection) Close() error { return c.ix.Close() }

@@ -49,6 +49,22 @@ func (ss *snapShard) isDeleted(local int) bool {
 	return ss.deleted[local/64]&(1<<(uint(local)%64)) != 0
 }
 
+// docTerms returns a captured document's distinct terms: the heap
+// forward list when the captured docInfo carries one, else a decode
+// from the captured shard's mapped forward-index blob. The fallback
+// stays valid even after a concurrent Compact/Reshard swaps the live
+// shard set — ss.sh is the shard object captured at acquisition, and
+// its mapped fields are immutable after load.
+func (ss *snapShard) docTerms(local int) []string {
+	if local < 0 || local >= len(ss.docs) {
+		return nil
+	}
+	if t := ss.docs[local].terms; t != nil {
+		return t
+	}
+	return ss.sh.fwdDocTerms(local)
+}
+
 // Snapshot acquires a consistent read view. Acquisition holds the
 // commit lock shared and captures each shard under its own read
 // lock, so the view is atomic with respect to every batch commit

@@ -2,6 +2,7 @@ package irs
 
 import (
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -227,6 +228,12 @@ func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 		for d := range cands {
 			ids = append(ids, d)
 		}
+		// Ascending order lets the compiled bound below resolve
+		// membership with forward-only merge-join probes instead of a
+		// binary search per (leaf, candidate). Rankings are unaffected:
+		// the scan sorts by bound with an ascending-DocID tie-break, so
+		// its order never depends on the order ids arrive in.
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		t := shardTask{ids: ids}
 		t.scoreOf = func(d DocID) float64 {
 			var sum float64
@@ -256,7 +263,13 @@ func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 			// bound is a metadata lookup, not a logarithm. A negative
 			// query weight (negative #wsum weight) caps at tf = 1,
 			// where the negative contribution is largest.
+			// Each term leaf also gets an ascending merge-join probe
+			// (the compiled-bound pattern of compileInfBound): because
+			// ids are sorted, membership resolution walks each leaf's
+			// doc streams forward exactly once per shard instead of
+			// binary-searching per candidate.
 			caps := make([]leafBlockCaps, len(q.leaves))
+			probes := make([]leafProbe, len(q.leaves))
 			for li := range q.leaves {
 				st := q.stats[li]
 				if st.df == 0 || st.views == nil {
@@ -270,7 +283,9 @@ func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 				lc.tail = q.capContrib(li, lv.tailMaxTF)
 				lc.list = q.capContrib(li, lv.maxTF)
 				caps[li] = lc
+				probes[li] = leafProbe{lv: lv}
 			}
+			nsh := len(s.shards)
 			t.boundOf = func(d DocID) float64 {
 				num := 0.0
 				for li := range q.leaves {
@@ -279,18 +294,17 @@ func (m *VectorSpace) EvalTopK(s *Snapshot, root *Node, k int) TopKResult {
 						continue
 					}
 					if st.views != nil {
-						lv := st.views[si]
+						bi, ok := probes[li].blockAt(uint32(int(d) / nsh))
+						if !ok {
+							continue
+						}
 						if blockmax {
-							bi, ok := lv.blockOf(d)
-							if !ok {
-								continue
-							}
-							if bi < len(lv.blocks) {
+							if bi < len(probes[li].lv.blocks) {
 								num += caps[li].blocks[bi]
 							} else {
 								num += caps[li].tail
 							}
-						} else if lv.contains(d) {
+						} else {
 							num += caps[li].list
 						}
 					} else if tf := st.tf[si][d]; tf > 0 {

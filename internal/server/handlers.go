@@ -148,6 +148,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"snapshots":         ix.SnapshotCount(),
 			"shard_bytes":       ix.ShardSizes(),
 			"compression_ratio": ix.CompressionRatio(),
+			// shard_bytes totals split by residency: heap_bytes is what
+			// the inverted file actually costs in Go heap, mapped_bytes
+			// the part served from the read-only .irsc mapping (0 for
+			// heap-loaded collections). Capacity planning for mapped
+			// serving watches heap_bytes; the OS page cache owns the
+			// rest.
+			"heap_bytes":   ix.HeapBytes(),
+			"mapped_bytes": ix.MappedBytes(),
 			// Top-k engine metrics: how many queries went through the
 			// streaming path, how many candidate documents the MaxScore
 			// bounds let it skip scoring entirely, how many whole shards
