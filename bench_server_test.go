@@ -60,7 +60,9 @@ func benchShards() int { return runtime.GOMAXPROCS(0) }
 // BenchmarkServerQueryParallel measures serving throughput of the
 // mixed VQL query under parallel clients — cold (cache disabled, so
 // every request evaluates) against warm (epoch-keyed cache on; every
-// repeat is a hit). Future PRs track QPS and the cold/warm gap here.
+// repeat is a hit), the warm variant under both cache policies since
+// a single-key hit loop is the fast path both must serve equally
+// well. CI logs QPS for the cold/warm gap and the policy trajectory.
 func BenchmarkServerQueryParallel(b *testing.B) {
 	body, _ := json.Marshal(map[string]string{
 		"query": `ACCESS p FROM p IN PARA WHERE p -> getIRSValue(collPara, 'www') > 0.45;`,
@@ -98,7 +100,12 @@ func BenchmarkServerQueryParallel(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
 	}
 	b.Run("cold", func(b *testing.B) { run(b, server.Config{CacheSize: -1}, benchShards()) })
-	b.Run("warm", func(b *testing.B) { run(b, server.Config{CacheSize: 1024}, benchShards()) })
+	b.Run("warm-2q", func(b *testing.B) {
+		run(b, server.Config{CacheSize: 1024, CachePolicy: server.CachePolicy2Q}, benchShards())
+	})
+	b.Run("warm-lru", func(b *testing.B) {
+		run(b, server.Config{CacheSize: 1024, CachePolicy: server.CachePolicyLRU}, benchShards())
+	})
 	b.Run("cold-1shard", func(b *testing.B) { run(b, server.Config{CacheSize: -1}, 1) })
 	// The obs-off variant of cold: the A/B counterpart for measuring
 	// what the always-on histograms/traces cost on the serving path

@@ -43,6 +43,12 @@ func experimentRunners(shards int) map[string]runner {
 			_, err := eval.RunS6(w, shards)
 			return err
 		}},
+		"S7": {"Adaptive serving: cost-aware 2Q query cache + load-adaptive ingest coalescing", func(w io.Writer) error {
+			// RunS7 errors when its scored-reduction, throughput or
+			// ranking-equality gate trips, so any failure fails CI.
+			_, err := eval.RunS7(w)
+			return err
+		}},
 		"F1": {"Figure 1: coupling architectures", func(w io.Writer) error {
 			_, err := eval.RunF1(w)
 			return err

@@ -73,20 +73,32 @@ type Collection struct {
 
 	// Async-ingest machinery (PropagateAsync): the background flusher
 	// and its tuning, all guarded by mu (ConfigureAsync may retune at
-	// runtime).
-	flusher         *flusher
-	asyncMaxPending int           // backlog bound; <=0 unbounded
-	asyncCoalesce   time.Duration // group-commit window
+	// runtime). asyncCoalesce == 0 selects the adaptive controller:
+	// the flusher moves its group-commit window inside
+	// [asyncCoalesceMin, asyncCoalesceMax] with observed arrival rate
+	// and queue depth. Positive pins a fixed window; adaptive state
+	// lives in coalesceNanos (atomic: read by /stats off the lock).
+	flusher          *flusher
+	asyncMaxPending  int           // backlog bound; <=0 unbounded
+	asyncCoalesce    time.Duration // fixed window; 0 = adaptive
+	asyncAdaptive    bool          // coalesce window under controller
+	asyncCoalesceMin time.Duration // adaptive floor (idle latency)
+	asyncCoalesceMax time.Duration // adaptive ceiling (burst batching)
+	coalesceNanos    atomic.Int64  // current effective window
 
 	errMu        sync.Mutex
 	lastFlushErr string
 }
 
 // Default async-ingest tuning (see Options.AsyncMaxPending /
-// Options.AsyncCoalesce).
+// Options.AsyncCoalesce). The adaptive window bounds span the old
+// fixed 2ms constant: an idle collection flushes after 250µs (8×
+// lower added latency than the fixed window), a bursty one widens to
+// 8ms for 4× larger group commits.
 const (
-	defaultAsyncMaxPending = 4096
-	defaultAsyncCoalesce   = 2 * time.Millisecond
+	defaultAsyncMaxPending  = 4096
+	defaultAsyncCoalesceMin = 250 * time.Microsecond
+	defaultAsyncCoalesceMax = 8 * time.Millisecond
 )
 
 // Stats counts coupling activity; every field is maintained with

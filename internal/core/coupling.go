@@ -271,9 +271,18 @@ type Options struct {
 	AsyncMaxPending int
 	// AsyncCoalesce is the background flusher's group-commit window:
 	// after the first pending update it waits this long for more
-	// before flushing them as one batch. 0 selects the default (2ms);
+	// before flushing them as one batch. 0 (the default) makes the
+	// window adaptive — the flusher moves it inside
+	// [AsyncCoalesceMin, AsyncCoalesceMax] with observed arrival rate
+	// and queue depth, short when idle for latency, wide under burst
+	// for larger group commits. Positive pins a fixed window;
 	// negative flushes immediately.
 	AsyncCoalesce time.Duration
+	// AsyncCoalesceMin/Max bound the adaptive coalescing window. 0
+	// selects the defaults (250µs / 8ms). Ignored while AsyncCoalesce
+	// pins a fixed window.
+	AsyncCoalesceMin time.Duration
+	AsyncCoalesceMax time.Duration
 	// AutoCompactRatio enables tombstone-ratio-triggered background
 	// compaction of the collection's index: when more than this
 	// fraction of documents are tombstones, the index rebuilds itself
@@ -339,6 +348,7 @@ func (c *Coupling) CreateCollection(name, specQuery string, opts Options) (*Coll
 	}
 	col := newCollection(c, oid, name, specQuery, opts.TextMode, irsColl, deriver, opts.Policy)
 	col.textFn = opts.TextFunc
+	col.setAsyncBounds(opts.AsyncCoalesceMin, opts.AsyncCoalesceMax)
 	col.setAsyncTuning(opts.AsyncMaxPending, opts.AsyncCoalesce)
 	if opts.AutoCompactRatio > 0 {
 		irsColl.SetAutoCompact(opts.AutoCompactRatio, opts.AutoCompactMin)

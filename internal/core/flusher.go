@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // flusher is the per-collection background propagation worker behind
 // PropagateAsync. The update hook logs operations and kicks the
@@ -9,41 +13,57 @@ import "time"
 // pipeline — the log's cancellation rules (Section 4.6) then collapse
 // redundant work and the whole group commits as a single index batch.
 //
+// The window is either pinned (a positive AsyncCoalesce) or adaptive:
+// after every flush the controller re-targets it inside
+// [asyncCoalesceMin, asyncCoalesceMax] from the observed arrival rate
+// (EWMA of ops logged per second) and the pending-queue depth. An
+// idle collection converges on the floor — a lone update waits
+// microseconds, not the full window — while a burst drives the window
+// toward the ceiling, where each flush amortizes over a larger group
+// commit and the log's cancellation rules see more collapsible work.
+//
 // The flusher owns no data: everything flows through Collection.Flush,
 // which serializes with query-forced and manual flushes, so a query
 // issued while the flusher lags simply forces the flush itself
 // (PropagateOnQuery semantics) and correctness never depends on the
 // flusher's pace.
 type flusher struct {
-	col      *Collection
-	coalesce time.Duration
-	kick     chan struct{} // capacity 1: pending-work flag
-	stop     chan struct{}
-	done     chan struct{}
+	col  *Collection
+	kick chan struct{} // capacity 1: pending-work flag
+	stop chan struct{}
+	done chan struct{}
+
+	// Adaptive-controller state, touched only by the loop goroutine.
+	ewmaRate float64 // smoothed ops logged per second
+	lastOps  int64   // OpsLogged at the previous adapt step
+	lastAt   time.Time
 }
 
-func newFlusher(col *Collection, coalesce time.Duration) *flusher {
+func newFlusher(col *Collection) *flusher {
 	f := &flusher{
-		col:      col,
-		coalesce: coalesce,
-		kick:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		col:    col,
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		lastAt: time.Now(),
 	}
+	f.lastOps = col.stats.OpsLogged.Load()
 	go f.loop()
 	return f
 }
 
 func (f *flusher) loop() {
 	defer close(f.done)
+	hist := obs.Default.Histogram("mmf_coalesce_window_seconds", "collection", f.col.name)
 	for {
 		select {
 		case <-f.stop:
 			return
 		case <-f.kick:
 		}
-		if f.coalesce > 0 {
-			t := time.NewTimer(f.coalesce)
+		if w := f.col.CoalesceWindow(); w > 0 {
+			hist.Observe(w)
+			t := time.NewTimer(w)
 			select {
 			case <-f.stop:
 				t.Stop()
@@ -53,6 +73,7 @@ func (f *flusher) loop() {
 			}
 		}
 		f.flush()
+		f.adapt()
 	}
 }
 
@@ -64,6 +85,80 @@ func (f *flusher) flush() {
 	if err := f.col.Flush(); err != nil {
 		f.col.noteFlushError(err)
 	}
+}
+
+// Adaptive-controller tuning. rateFull is the arrival rate (ops/s)
+// at which the window saturates at its ceiling; depth saturates it
+// at half the backlog bound (a queue past half full wants the widest
+// batches the latency budget allows, well before backpressure).
+// rateTau smooths the rate estimate; shorter than a burst, longer
+// than one flush interval.
+const (
+	coalesceRateFull  = 5000.0
+	coalesceDepthFrac = 0.5
+	coalesceRateTau   = 100 * time.Millisecond
+)
+
+// adapt advances the rate estimate and moves the coalescing window
+// one controller step after a flush.
+func (f *flusher) adapt() {
+	col := f.col
+	col.mu.RLock()
+	adaptive := col.asyncAdaptive
+	min, max := col.asyncCoalesceMin, col.asyncCoalesceMax
+	depthCap := col.asyncMaxPending
+	col.mu.RUnlock()
+	if !adaptive {
+		return
+	}
+	now := time.Now()
+	dt := now.Sub(f.lastAt)
+	if dt <= 0 {
+		dt = time.Nanosecond
+	}
+	ops := col.stats.OpsLogged.Load()
+	inst := float64(ops-f.lastOps) / dt.Seconds()
+	// EWMA with a time-proportional gain: back-to-back flushes barely
+	// move the estimate, a long-idle gap mostly replaces it.
+	alpha := float64(dt) / float64(dt+coalesceRateTau)
+	f.ewmaRate += alpha * (inst - f.ewmaRate)
+	f.lastOps, f.lastAt = ops, now
+	next := adaptCoalesceWindow(time.Duration(col.coalesceNanos.Load()),
+		f.ewmaRate, col.PendingOps(), depthCap, min, max)
+	col.coalesceNanos.Store(int64(next))
+}
+
+// adaptCoalesceWindow is one step of the window controller, pure so
+// tests can drive it deterministically. Load is the larger of the
+// rate and queue-depth signals, each clamped to [0, 1]; the target
+// window interpolates [min, max] linearly on load, and the returned
+// window moves halfway from prev toward it — geometric convergence
+// (under constant load the window reaches the target's neighborhood
+// in a handful of flushes) without slamming the window around on a
+// single out-of-character flush.
+func adaptCoalesceWindow(prev time.Duration, rate float64, depth, depthCap int, min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	load := rate / coalesceRateFull
+	if depthCap > 0 {
+		if d := float64(depth) / (coalesceDepthFrac * float64(depthCap)); d > load {
+			load = d
+		}
+	}
+	if load < 0 {
+		load = 0
+	} else if load > 1 {
+		load = 1
+	}
+	target := float64(min) + load*float64(max-min)
+	next := time.Duration(float64(prev) + (target-float64(prev))/2)
+	if next < min {
+		next = min
+	} else if next > max {
+		next = max
+	}
+	return next
 }
 
 // shutdown stops the loop and waits for any in-flight flush to
@@ -78,7 +173,7 @@ func (col *Collection) startFlusher() {
 	col.mu.Lock()
 	defer col.mu.Unlock()
 	if col.flusher == nil {
-		col.flusher = newFlusher(col, col.asyncCoalesce)
+		col.flusher = newFlusher(col)
 	}
 }
 
@@ -95,8 +190,10 @@ func (col *Collection) stopFlusher() {
 	}
 }
 
-// setAsyncTuning normalizes and stores the async-ingest tuning (0
-// selects the defaults; negative disables the bound / window). The
+// setAsyncTuning normalizes and stores the async-ingest tuning. For
+// maxPending, 0 selects the default and negative unbounds the queue.
+// For coalesce, 0 selects the adaptive controller (the default),
+// positive pins that fixed window, negative flushes immediately. The
 // caller holds col.mu, or the collection is not yet published.
 func (col *Collection) setAsyncTuning(maxPending int, coalesce time.Duration) {
 	switch {
@@ -107,13 +204,46 @@ func (col *Collection) setAsyncTuning(maxPending int, coalesce time.Duration) {
 	default:
 		col.asyncMaxPending = maxPending
 	}
+	if col.asyncCoalesceMin == 0 {
+		col.asyncCoalesceMin = defaultAsyncCoalesceMin
+	}
+	if col.asyncCoalesceMax == 0 {
+		col.asyncCoalesceMax = defaultAsyncCoalesceMax
+	}
 	switch {
 	case coalesce == 0:
-		col.asyncCoalesce = defaultAsyncCoalesce
-	case coalesce < 0:
+		col.asyncAdaptive = true
 		col.asyncCoalesce = 0
+		col.coalesceNanos.Store(int64(col.asyncCoalesceMin))
+	case coalesce < 0:
+		col.asyncAdaptive = false
+		col.asyncCoalesce = 0
+		col.coalesceNanos.Store(0)
 	default:
+		col.asyncAdaptive = false
 		col.asyncCoalesce = coalesce
+		col.coalesceNanos.Store(int64(coalesce))
+	}
+}
+
+// setAsyncBounds normalizes and stores the adaptive window's bounds
+// (0 selects the defaults; min is clamped non-negative, max to at
+// least min). Caller holds col.mu or owns the unpublished collection.
+func (col *Collection) setAsyncBounds(min, max time.Duration) {
+	if min <= 0 {
+		min = defaultAsyncCoalesceMin
+	}
+	if max <= 0 {
+		max = defaultAsyncCoalesceMax
+	}
+	if max < min {
+		max = min
+	}
+	col.asyncCoalesceMin, col.asyncCoalesceMax = min, max
+	if col.asyncAdaptive {
+		// Re-seed inside the new bounds; the controller takes it from
+		// there.
+		col.coalesceNanos.Store(int64(min))
 	}
 }
 
@@ -132,6 +262,46 @@ func (col *Collection) ConfigureAsync(maxPending int, coalesce time.Duration) {
 		col.startFlusher()
 		col.kickFlusher() // re-cover anything logged across the swap
 	}
+}
+
+// ConfigureAsyncBounds retunes the adaptive coalescing window's
+// [min, max] bounds (0 selects the defaults, 250µs/8ms). No effect
+// on a collection pinned to a fixed window until it is switched back
+// to adaptive via ConfigureAsync(_, 0).
+func (col *Collection) ConfigureAsyncBounds(min, max time.Duration) {
+	col.mu.Lock()
+	col.setAsyncBounds(min, max)
+	col.mu.Unlock()
+}
+
+// CoalesceWindow returns the group-commit window the background
+// flusher currently waits out: the controller's latest output under
+// the adaptive default, the pinned value under a fixed override, 0
+// when flushing immediately.
+func (col *Collection) CoalesceWindow() time.Duration {
+	return time.Duration(col.coalesceNanos.Load())
+}
+
+// CoalesceAdaptive reports whether the coalescing window is under
+// the adaptive controller (vs pinned or immediate).
+func (col *Collection) CoalesceAdaptive() bool {
+	col.mu.RLock()
+	defer col.mu.RUnlock()
+	return col.asyncAdaptive
+}
+
+// CoalesceMin returns the adaptive window floor.
+func (col *Collection) CoalesceMin() time.Duration {
+	col.mu.RLock()
+	defer col.mu.RUnlock()
+	return col.asyncCoalesceMin
+}
+
+// CoalesceMax returns the adaptive window ceiling.
+func (col *Collection) CoalesceMax() time.Duration {
+	col.mu.RLock()
+	defer col.mu.RUnlock()
+	return col.asyncCoalesceMax
 }
 
 // kickFlusher signals pending work to the background flusher

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/irs"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -48,6 +50,23 @@ type BenchReport struct {
 	// reports taken before the v5 zero-copy path existed, so diffs
 	// against old snapshots keep working.
 	Mapped *MappedBench `json:"mapped,omitempty"`
+	// Serving carries the adaptive-serving numbers (AddServingBench):
+	// query-cache hit rate per policy and the 2Q cache's discarded
+	// rebuild cost over a fixed zipfian stream, plus the adaptive
+	// coalescing window observed under an ingest burst. Nil in reports
+	// taken before the cost-aware cache existed.
+	Serving *ServingBench `json:"serving,omitempty"`
+}
+
+// ServingBench is the perf snapshot of the adaptive serving layer.
+// The hit rates are deterministic (fixed stream, fixed corpus); the
+// evicted cost is measured rebuild seconds and so carries timing
+// noise — it is trajectory signal, not a gate.
+type ServingBench struct {
+	CacheRequests           int                `json:"cache_requests"`
+	CacheHitRate            map[string]float64 `json:"cache_hit_rate"`
+	CacheEvictedCostSeconds float64            `json:"cache_evicted_cost_seconds"`
+	CoalesceWindowMs        float64            `json:"coalesce_window_ms"`
 }
 
 // MappedBench is the perf snapshot of the v5 mmap serving path: cold
@@ -365,6 +384,100 @@ func AddMappedBench(w io.Writer, rep *BenchReport) error {
 		"search_topk10_mapped", r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	fmt.Fprintf(w, "  mapped: open heap=%.0fns mapped=%.0fns (%.1fx), %d/%d bytes mapped/heap of a %d-byte file\n",
 		mb.OpenHeapNs, mb.OpenMappedNs, mb.OpenSpeedup, mb.MappedBytes, mb.HeapBytes, mb.FileBytes)
+	return nil
+}
+
+// AddServingBench extends a report with the adaptive-serving numbers:
+// one short zipfian query stream against each cache policy at a small
+// entry budget (EXP-S7's workload shape, scaled down), and one async
+// ingest burst whose adaptive coalescing window is sampled at peak.
+func AddServingBench(w io.Writer, rep *BenchReport) error {
+	sb := &ServingBench{
+		CacheRequests: 2000,
+		CacheHitRate:  make(map[string]float64),
+	}
+	cfg := workload.DefaultConfig()
+	corpus := workload.Generate(cfg)
+	pool := s7QueryPoolGen(cfg.Vocabulary)
+	rng := rand.New(rand.NewSource(97))
+	zipf := rand.NewZipf(rng, s7ZipfS, 1.0, uint64(len(pool)-1))
+	stream := make([]int, sb.CacheRequests)
+	for i := range stream {
+		stream[i] = int(zipf.Uint64())
+	}
+	for _, policy := range []string{server.CachePolicyLRU, server.CachePolicy2Q} {
+		s, err := s7Open(server.Config{CacheSize: s7CacheBudget, CachePolicy: policy})
+		if err != nil {
+			return err
+		}
+		err = func() error {
+			defer s.close()
+			if err := s7Seed(s, corpus, ""); err != nil {
+				return err
+			}
+			for _, idx := range stream {
+				if _, err := s7Call(s.ts, "GET", s7SearchPath(pool[idx], s7K), nil); err != nil {
+					return err
+				}
+			}
+			cm := s.srv.CacheMetrics()
+			hits := cm.HitsMain + cm.HitsProbation
+			if total := hits + cm.MissesCold + cm.MissesExpired; total > 0 {
+				sb.CacheHitRate[policy] = float64(hits) / float64(total)
+			}
+			if policy == server.CachePolicy2Q {
+				sb.CacheEvictedCostSeconds = cm.EvictedCost
+			}
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+
+	// Adaptive coalescing window at peak: post one async burst and
+	// sample /stats before draining (after a drain the controller
+	// decays back toward the floor, which would be the boring number).
+	s, err := s7Open(server.Config{})
+	if err != nil {
+		return err
+	}
+	defer s.close()
+	if _, err := s7Call(s.ts, "POST", "/dtds", map[string]any{"name": "mmf", "dtd": workload.MMFDTD}); err != nil {
+		return err
+	}
+	if _, err := s7Call(s.ts, "POST", "/collections", map[string]any{
+		"name": "collPara", "spec": "ACCESS p FROM p IN PARA;", "policy": "async",
+	}); err != nil {
+		return err
+	}
+	docs := make([]string, len(corpus.Docs))
+	for i := range corpus.Docs {
+		docs[i] = corpus.Docs[i].SGML
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s7Call(s.ts, "POST", "/documents", map[string]any{
+			"dtd": "mmf", "documents": docs, "mode": "async",
+		}); err != nil {
+			return err
+		}
+	}
+	out, err := s7Call(s.ts, "GET", "/stats", nil)
+	if err != nil {
+		return err
+	}
+	colls, _ := out["collections"].(map[string]any)
+	coll, _ := colls["collPara"].(map[string]any)
+	pipeline, _ := coll["pipeline"].(map[string]any)
+	sb.CoalesceWindowMs, _ = pipeline["coalesce_window_ms"].(float64)
+	if _, err := s7Call(s.ts, "POST", "/collections/collPara/drain", nil); err != nil {
+		return err
+	}
+
+	rep.Serving = sb
+	fmt.Fprintf(w, "  serving: cache hit rate lru=%.3f 2q=%.3f (zipfian x%d, %d-entry budget), 2q evicted-cost %.3fs, burst coalesce window %.3fms\n",
+		sb.CacheHitRate[server.CachePolicyLRU], sb.CacheHitRate[server.CachePolicy2Q],
+		sb.CacheRequests, s7CacheBudget, sb.CacheEvictedCostSeconds, sb.CoalesceWindowMs)
 	return nil
 }
 

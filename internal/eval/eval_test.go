@@ -568,3 +568,32 @@ func TestRunS6Shape(t *testing.T) {
 		t.Error("table missing")
 	}
 }
+
+func TestRunS7Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunS7(&buf)
+	if err != nil {
+		t.Fatal(err) // includes the scored-reduction, throughput and equality gates
+	}
+	if !res.CacheRankingsSame || !res.CoalesceRankingsSame {
+		t.Errorf("rankings diverge: cache same=%v coalesce same=%v",
+			res.CacheRankingsSame, res.CoalesceRankingsSame)
+	}
+	if res.ScoredRatio > 0.8 {
+		t.Errorf("2q scored %.1f%% of lru's candidates, want <= 80%%", 100*res.ScoredRatio)
+	}
+	// 2q may trade raw hit rate for scored reduction (it prefers
+	// keeping expensive entries), so only sanity-check the rates.
+	if res.HitRateLRU <= 0 || res.HitRate2Q <= 0 || res.HitRateLRU >= 1 || res.HitRate2Q >= 1 {
+		t.Errorf("hit rates out of range: lru=%.3f 2q=%.3f", res.HitRateLRU, res.HitRate2Q)
+	}
+	if res.ScoredLRU <= 0 || res.Scored2Q <= 0 {
+		t.Errorf("scored counters empty: %+v", res)
+	}
+	if res.FixedElapsed <= 0 || res.AdaptiveElapsed <= 0 {
+		t.Errorf("missing ingest timings: %+v", res)
+	}
+	if !strings.Contains(buf.String(), "EXP-S7") {
+		t.Error("table missing")
+	}
+}

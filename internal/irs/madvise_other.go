@@ -1,0 +1,9 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd && !dragonfly
+
+package irs
+
+// No-op paging advice for platforms without a usable madvise (plus
+// windows' plain file-read path). See madvise_unix.go.
+
+func adviseRandom(b []byte)   {}
+func adviseWillNeed(b []byte) {}

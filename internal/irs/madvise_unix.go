@@ -1,0 +1,36 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package irs
+
+import "syscall"
+
+// Paging advice for mapped collections. Narrower build tags than
+// mmap_unix.go: syscall.Madvise and the MADV_* constants are missing
+// on some unix platforms (solaris, aix), where the fallback no-ops —
+// the hints are purely advisory, so serving is correct either way.
+//
+// Errors are dropped by design. The v5 layout starts every section
+// on a pageAlign boundary inside a page-aligned mapping, so the
+// kernel's start-address alignment requirement holds; if a future
+// layout change broke that, madvise would answer EINVAL and the open
+// path must not care.
+
+// adviseRandom tells the kernel the span will be touched in random
+// order: posting-block streams (the BLOB section) are entered at
+// dictionary-directed offsets, so sequential readahead would only
+// drag in neighbouring queries' blocks.
+func adviseRandom(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Madvise(b, syscall.MADV_RANDOM)
+	}
+}
+
+// adviseWillNeed asks for asynchronous pre-fault of the span: the
+// dictionary and document tables are walked eagerly at open and on
+// every query's term lookups, so paying their page faults up front —
+// off the first queries' critical path — is the point of mapped mode.
+func adviseWillNeed(b []byte) {
+	if len(b) > 0 {
+		_ = syscall.Madvise(b, syscall.MADV_WILLNEED)
+	}
+}

@@ -508,6 +508,16 @@ func readCollectionV5(data []byte, name string, mf *mappedFile) (*Collection, er
 		}
 		secs[i] = data[off : off+ln : off+ln]
 	}
+	if alias {
+		// Paging advice for the mapping (no-op off unix): posting
+		// blocks are entered at random dictionary-directed offsets, so
+		// defeat sequential readahead there; the dictionary and
+		// document tables are decoded eagerly below, so start faulting
+		// them in now.
+		adviseRandom(secs[v5SecBlob])
+		adviseWillNeed(secs[v5SecDict])
+		adviseWillNeed(secs[v5SecDocs])
+	}
 
 	// META.
 	meta := &byteCursor{data: secs[v5SecMeta]}

@@ -106,6 +106,36 @@ func (t *Trace) Attr(key string, val any) {
 	t.mu.Unlock()
 }
 
+// Int64Attr returns the most recent annotation recorded under key,
+// coerced to int64. Layers that measure work (the top-k engine
+// records candidates_scored) annotate the request trace; layers that
+// act on the measurement (the query cache's cost model) read it back
+// through this accessor instead of growing cross-package result
+// structs. The second return is false when the key was never
+// recorded or holds a non-integer value.
+func (t *Trace) Int64Attr(key string) (int64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.attrs) - 1; i >= 0; i-- {
+		if t.attrs[i].Key != key {
+			continue
+		}
+		switch v := t.attrs[i].Val.(type) {
+		case int:
+			return int64(v), true
+		case int64:
+			return v, true
+		case uint64:
+			return int64(v), true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
 // Finish closes the trace, offers it to log (usually SharedSlowLog)
 // when its total duration reaches the log's threshold, and returns
 // the total.

@@ -146,7 +146,7 @@ func TestStatsPipelineMetrics(t *testing.T) {
 func TestCacheTTL(t *testing.T) {
 	c := newQueryCache(8, 40*time.Millisecond)
 	k := cacheKey{kind: "search", coll: "c", query: "q"}
-	c.put(k, 1)
+	c.put(k, 1, 1)
 	if v, ok := c.get(k); !ok || v != 1 {
 		t.Fatalf("fresh entry missing: %v %v", v, ok)
 	}
@@ -159,7 +159,7 @@ func TestCacheTTL(t *testing.T) {
 	}
 	// TTL 0 never expires.
 	c2 := newQueryCache(8, 0)
-	c2.put(k, 2)
+	c2.put(k, 2, 1)
 	time.Sleep(10 * time.Millisecond)
 	if _, ok := c2.get(k); !ok {
 		t.Fatal("no-TTL entry expired")

@@ -12,7 +12,8 @@ import (
 // searches, both of which advance whenever the update log advances
 // (see core.Coupling.Epoch / core.Collection.Epoch). A mutation
 // therefore never requires walking the cache — entries cached under
-// the old epoch become unreachable and are evicted by LRU order.
+// the old epoch become unreachable and age out under eviction
+// pressure or TTL.
 //
 // kbucket is the top-k component for searches: requests with a limit
 // evaluate (and cache) the full k-bucket the limit rounds up to, so
@@ -55,6 +56,76 @@ const (
 	maxKBucket = 1 << 16
 )
 
+// queryCacher is the policy-independent contract of the query cache.
+// Both implementations (recency LRU, cost-aware 2Q) share it so the
+// serving layer can swap policies at runtime (Server.SetCachePolicy)
+// for A/B comparison without touching the handlers. put carries the
+// measured rebuild cost of the entry (seconds × candidates scored,
+// captured from the miss-path trace); the LRU ignores it beyond
+// accounting.
+type queryCacher interface {
+	get(k cacheKey) (any, bool)
+	put(k cacheKey, v any, cost float64)
+	len() int
+	purge()
+	metrics() CacheMetrics
+}
+
+// CacheMetrics is a point-in-time snapshot of one cache's internal
+// accounting, published by /stats, /metrics and Server.CacheMetrics.
+// Hits and misses are split by reason: a probation hit is a 2Q entry
+// proving reuse before promotion (always 0 for the LRU, which has a
+// single segment), an expired miss found the key but past its TTL.
+type CacheMetrics struct {
+	Policy        string `json:"policy"`
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+	HitsMain      int64  `json:"hits_main"`
+	HitsProbation int64  `json:"hits_probation"`
+	MissesCold    int64  `json:"misses_cold"`
+	MissesExpired int64  `json:"misses_expired"`
+	// Promotions counts probation→main promotions, GhostReadmits
+	// re-admissions of recently evicted keys straight into the main
+	// segment, AdmissionRejects probationary entries dropped without
+	// ever being re-referenced (the one-shot scans 2Q exists to keep
+	// out of the main segment). All three are 0 for the LRU.
+	Promotions       int64   `json:"promotions"`
+	GhostReadmits    int64   `json:"ghost_readmits"`
+	AdmissionRejects int64   `json:"admission_rejections"`
+	Evictions        int64   `json:"evictions"`
+	EvictedCost      float64 `json:"evicted_cost"`
+	SweptExpired     int64   `json:"swept_expired"`
+}
+
+// cacheCounters is the mutable accounting shared by both cache
+// implementations; all fields are guarded by the owning cache's mu.
+type cacheCounters struct {
+	hitsMain, hitsProbation     int64
+	missesCold, missesExpired   int64
+	promotions, ghostReadmits   int64
+	admissionRejects, evictions int64
+	evictedCost                 float64
+	sweptExpired                int64
+}
+
+func (m *cacheCounters) snapshot(policy string, entries, capacity int) CacheMetrics {
+	return CacheMetrics{
+		Policy: policy, Entries: entries, Capacity: capacity,
+		HitsMain: m.hitsMain, HitsProbation: m.hitsProbation,
+		MissesCold: m.missesCold, MissesExpired: m.missesExpired,
+		Promotions: m.promotions, GhostReadmits: m.ghostReadmits,
+		AdmissionRejects: m.admissionRejects, Evictions: m.evictions,
+		EvictedCost: m.evictedCost, SweptExpired: m.sweptExpired,
+	}
+}
+
+// sweepBudget bounds how many resident entries one put examines for
+// TTL expiry. The sweep walks a persistent cursor, so a full pass
+// over a cache of C entries completes every C/sweepBudget puts —
+// cold expired entries are reclaimed by ongoing write traffic alone,
+// without ever being read again.
+const sweepBudget = 8
+
 // queryCache is an LRU over cacheKey with an optional TTL. A capacity
 // of 0 disables it (every get misses, every put is dropped); a TTL of
 // 0 never expires (epochs already invalidate on mutation — the TTL
@@ -64,13 +135,17 @@ type queryCache struct {
 	mu    sync.Mutex
 	cap   int
 	ttl   time.Duration
+	now   func() time.Time
 	ll    *list.List // front = most recently used
 	items map[cacheKey]*list.Element
+	sweep *list.Element // TTL-sweep cursor; nil restarts from the back
+	m     cacheCounters
 }
 
 type cacheEntry struct {
 	key     cacheKey
 	val     any
+	cost    float64
 	expires time.Time // zero: never
 }
 
@@ -78,6 +153,7 @@ func newQueryCache(capacity int, ttl time.Duration) *queryCache {
 	return &queryCache{
 		cap:   capacity,
 		ttl:   ttl,
+		now:   time.Now,
 		ll:    list.New(),
 		items: make(map[cacheKey]*list.Element),
 	}
@@ -93,60 +169,88 @@ func (c *queryCache) get(k cacheKey) (any, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[k]
 	if !ok {
+		c.m.missesCold++
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
-	if !e.expires.IsZero() && time.Now().After(e.expires) {
-		c.ll.Remove(el)
-		delete(c.items, k)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.remove(el)
+		c.m.missesExpired++
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
+	c.m.hitsMain++
 	return e.val, true
 }
 
 // put stores v under k, evicting the least recently used entry when
-// over capacity.
-func (c *queryCache) put(k cacheKey, v any) {
+// over capacity. cost is recorded so evicted-cost accounting stays
+// comparable with the cost-aware policy; it does not influence LRU
+// eviction order.
+func (c *queryCache) put(k cacheKey, v any, cost float64) {
 	if c.cap <= 0 {
 		return
 	}
 	var expires time.Time
 	if c.ttl > 0 {
-		expires = time.Now().Add(c.ttl)
+		expires = c.now().Add(c.ttl)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.sweepExpired()
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		e.val = v
+		e.cost = cost
 		e.expires = expires
 		return
 	}
-	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v, expires: expires})
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v, cost: cost, expires: expires})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		c.remove(oldest)
+		c.m.evictions++
+		c.m.evictedCost += e.cost
 	}
-	// Sweep expired entries off the LRU tail so an idle burst's
-	// memory is released by later traffic, not only by capacity
-	// pressure. Expired entries that were used recently (and thus sit
-	// nearer the front) fall out on their own get or a later sweep.
-	if c.ttl > 0 {
-		now := time.Now()
-		for el := c.ll.Back(); el != nil; {
-			e := el.Value.(*cacheEntry)
-			if e.expires.IsZero() || now.Before(e.expires) {
-				break
-			}
-			prev := el.Prev()
-			c.ll.Remove(el)
-			delete(c.items, e.key)
-			el = prev
+}
+
+// remove unlinks el, stepping the sweep cursor off it first so the
+// cursor never dangles into a removed element.
+func (c *queryCache) remove(el *list.Element) {
+	if c.sweep == el {
+		c.sweep = el.Prev()
+	}
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*cacheEntry).key)
+}
+
+// sweepExpired advances the TTL cursor up to sweepBudget entries from
+// the LRU tail toward the front, reclaiming expired entries it
+// passes. Piggybacked on every put: an idle burst's memory is
+// released by later write traffic even when the expired keys are
+// never requested again (they used to be evicted only on access,
+// pinning their result slices until capacity pressure reached them).
+// Caller holds c.mu.
+func (c *queryCache) sweepExpired() {
+	if c.ttl <= 0 {
+		return
+	}
+	now := c.now()
+	el := c.sweep
+	if el == nil {
+		el = c.ll.Back()
+	}
+	for i := 0; i < sweepBudget && el != nil; i++ {
+		prev := el.Prev()
+		if e := el.Value.(*cacheEntry); !e.expires.IsZero() && now.After(e.expires) {
+			c.remove(el)
+			c.m.sweptExpired++
 		}
+		el = prev
 	}
+	c.sweep = el // nil at the front: next sweep restarts from the back
 }
 
 // len returns the number of live entries.
@@ -162,4 +266,11 @@ func (c *queryCache) purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[cacheKey]*list.Element)
+	c.sweep = nil
+}
+
+func (c *queryCache) metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.snapshot(CachePolicyLRU, c.ll.Len(), c.cap)
 }

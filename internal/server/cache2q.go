@@ -1,0 +1,318 @@
+package server
+
+import (
+	"container/heap"
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Cache policy names accepted by Config.CachePolicy and
+// Server.SetCachePolicy.
+const (
+	CachePolicyLRU = "lru"
+	CachePolicy2Q  = "2q"
+)
+
+// costCache is the cost-aware 2Q cache: admission through a
+// probationary FIFO, a ghost list of recently evicted keys, and a
+// main segment ranked by frequency-and-cost-weighted value (GDSF)
+// instead of pure recency.
+//
+// The structure answers the two ways the plain LRU loses at serving
+// scale. One-shot scans — crawler traffic, epoch churn minting a new
+// key per mutation — enter the probationary FIFO and leave through
+// its tail without ever touching the main segment, so they cannot
+// flush the hot set. And among hot entries, eviction prefers to keep
+// what is expensive to rebuild: each entry carries the measured cost
+// of its miss-path evaluation (stage latency × candidates scored,
+// from the request trace), and the victim is always the lowest
+// priority = inflation + freq × cost. The inflation term is GDSF
+// aging: it rises to each victim's priority, so entries that stopped
+// being referenced eventually fall below fresh admissions no matter
+// how expensive they once were.
+//
+// A key re-referenced shortly after leaving probation (or main) is
+// remembered by the ghost list — key only, no value — and readmitted
+// directly into the main segment: that second reference within the
+// ghost horizon is 2Q's evidence of genuine reuse.
+type costCache struct {
+	mu  sync.Mutex
+	cap int // total value-carrying entries (probation + main)
+	ttl time.Duration
+	now func() time.Time
+
+	probCap  int // probationary FIFO budget (~cap/4)
+	mainCap  int // main segment budget (cap - probCap)
+	ghostCap int // remembered evicted keys (~cap, ARC-style), values long gone
+
+	prob     *list.List // FIFO of *costEntry; front = newest
+	probIdx  map[cacheKey]*list.Element
+	ghost    *list.List // FIFO of cacheKey; front = newest
+	ghostIdx map[cacheKey]*list.Element
+	main     costHeap // min-heap on prio: root = next victim
+	mainIdx  map[cacheKey]*costEntry
+
+	// inflation is the GDSF aging floor: the priority of the last
+	// main-segment victim. New and re-scored priorities build on it,
+	// so long-unreferenced entries age out relative to fresh traffic.
+	inflation float64
+
+	probSweep *list.Element // TTL cursor over probation
+	mainSweep int           // TTL cursor over the main heap slice
+
+	m cacheCounters
+}
+
+type costEntry struct {
+	key     cacheKey
+	val     any
+	cost    float64
+	freq    int64
+	prio    float64 // inflation + freq × cost, frozen at last touch
+	idx     int     // heap index in main; -1 while in probation
+	expires time.Time
+}
+
+// costHeap is a min-heap of main-segment entries by priority.
+type costHeap []*costEntry
+
+func (h costHeap) Len() int           { return len(h) }
+func (h costHeap) Less(i, j int) bool { return h[i].prio < h[j].prio }
+func (h costHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *costHeap) Push(x any)        { e := x.(*costEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *costHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+func newCostCache(capacity int, ttl time.Duration) *costCache {
+	probCap := capacity / 4
+	if probCap < 1 {
+		probCap = 1
+	}
+	mainCap := capacity - probCap
+	if mainCap < 1 {
+		mainCap = 1
+	}
+	// Ghost keys are ~100 bytes each (no result values), so one full
+	// extra capacity of history — the ARC sizing — costs next to
+	// nothing. Longer horizons measure worse on zipfian streams: they
+	// readmit tail queries straight into the main segment on their
+	// second-ever reference, churning out genuinely hot entries.
+	ghostCap := capacity
+	if ghostCap < 2 {
+		ghostCap = 2
+	}
+	return &costCache{
+		cap: capacity, ttl: ttl, now: time.Now,
+		probCap: probCap, mainCap: mainCap, ghostCap: ghostCap,
+		prob: list.New(), probIdx: make(map[cacheKey]*list.Element),
+		ghost: list.New(), ghostIdx: make(map[cacheKey]*list.Element),
+		mainIdx: make(map[cacheKey]*costEntry),
+	}
+}
+
+func (c *costCache) get(k cacheKey) (any, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	if e, ok := c.mainIdx[k]; ok {
+		if expired(e, now) {
+			c.removeMain(e)
+			c.m.missesExpired++
+			return nil, false
+		}
+		e.freq++
+		e.prio = c.inflation + float64(e.freq)*e.cost
+		heap.Fix(&c.main, e.idx)
+		c.m.hitsMain++
+		return e.val, true
+	}
+	if el, ok := c.probIdx[k]; ok {
+		e := el.Value.(*costEntry)
+		if expired(e, now) {
+			c.removeProb(el)
+			c.m.missesExpired++
+			return nil, false
+		}
+		// First re-reference: the entry earned its way out of
+		// probation into the cost-ranked main segment.
+		c.removeProb(el)
+		e.freq++
+		c.admitMain(e)
+		c.m.promotions++
+		c.m.hitsProbation++
+		return e.val, true
+	}
+	c.m.missesCold++
+	return nil, false
+}
+
+func (c *costCache) put(k cacheKey, v any, cost float64) {
+	if c.cap <= 0 {
+		return
+	}
+	if cost <= 0 {
+		cost = 1e-9 // degrade to frequency-only ranking, never 0
+	}
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.sweepExpired()
+	if e, ok := c.mainIdx[k]; ok {
+		e.val, e.cost, e.expires = v, cost, expires
+		e.prio = c.inflation + float64(e.freq)*e.cost
+		heap.Fix(&c.main, e.idx)
+		return
+	}
+	if el, ok := c.probIdx[k]; ok {
+		e := el.Value.(*costEntry)
+		e.val, e.cost, e.expires = v, cost, expires
+		return
+	}
+	e := &costEntry{key: k, val: v, cost: cost, freq: 1, idx: -1, expires: expires}
+	if gel, ok := c.ghostIdx[k]; ok {
+		// Second reference within the ghost horizon: skip probation,
+		// this key has proven reuse.
+		c.ghost.Remove(gel)
+		delete(c.ghostIdx, k)
+		e.freq = 2
+		c.admitMain(e)
+		c.m.ghostReadmits++
+		return
+	}
+	c.probIdx[k] = c.prob.PushFront(e)
+	for c.prob.Len() > c.probCap {
+		tail := c.prob.Back()
+		dead := tail.Value.(*costEntry)
+		c.removeProb(tail)
+		// Never re-referenced while on probation: the value is
+		// dropped (admission to the main segment rejected) and only
+		// the key is remembered in the ghost list.
+		c.remember(dead.key)
+		c.m.admissionRejects++
+		c.m.evictedCost += dead.cost
+	}
+}
+
+// admitMain inserts e into the main segment, evicting the lowest
+// priority entries while over budget and raising the aging floor to
+// each victim's priority. Caller holds c.mu.
+func (c *costCache) admitMain(e *costEntry) {
+	e.prio = c.inflation + float64(e.freq)*e.cost
+	heap.Push(&c.main, e)
+	c.mainIdx[e.key] = e
+	for len(c.main) > c.mainCap {
+		victim := heap.Pop(&c.main).(*costEntry)
+		delete(c.mainIdx, victim.key)
+		c.inflation = victim.prio
+		c.remember(victim.key)
+		c.m.evictions++
+		c.m.evictedCost += victim.cost
+	}
+}
+
+// remember pushes a key onto the ghost list, trimming to ghostCap.
+func (c *costCache) remember(k cacheKey) {
+	if _, ok := c.ghostIdx[k]; ok {
+		return
+	}
+	c.ghostIdx[k] = c.ghost.PushFront(k)
+	for c.ghost.Len() > c.ghostCap {
+		tail := c.ghost.Back()
+		delete(c.ghostIdx, tail.Value.(cacheKey))
+		c.ghost.Remove(tail)
+	}
+}
+
+func (c *costCache) removeProb(el *list.Element) {
+	if c.probSweep == el {
+		c.probSweep = el.Prev()
+	}
+	c.prob.Remove(el)
+	delete(c.probIdx, el.Value.(*costEntry).key)
+}
+
+func (c *costCache) removeMain(e *costEntry) {
+	heap.Remove(&c.main, e.idx)
+	delete(c.mainIdx, e.key)
+}
+
+func expired(e *costEntry, now time.Time) bool {
+	return !e.expires.IsZero() && now.After(e.expires)
+}
+
+// sweepExpired reclaims TTL-expired entries from both segments under
+// a fixed probe budget, piggybacked on every put (see
+// queryCache.sweepExpired for why: expired cold keys must release
+// their values without ever being read again). Probation is walked
+// with a persistent cursor from the tail; the main heap's slice is
+// scanned round-robin by index. Caller holds c.mu.
+func (c *costCache) sweepExpired() {
+	if c.ttl <= 0 {
+		return
+	}
+	now := c.now()
+	budget := sweepBudget
+	el := c.probSweep
+	if el == nil {
+		el = c.prob.Back()
+	}
+	for ; budget > 0 && el != nil; budget-- {
+		prev := el.Prev()
+		if e := el.Value.(*costEntry); expired(e, now) {
+			c.removeProb(el)
+			c.m.sweptExpired++
+		}
+		el = prev
+	}
+	c.probSweep = el
+	for ; budget > 0 && len(c.main) > 0; budget-- {
+		if c.mainSweep >= len(c.main) {
+			c.mainSweep = 0
+		}
+		if e := c.main[c.mainSweep]; expired(e, now) {
+			c.removeMain(e) // heap.Remove refills the slot; re-examine it
+			c.m.sweptExpired++
+		} else {
+			c.mainSweep++
+		}
+	}
+}
+
+func (c *costCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prob.Len() + len(c.main)
+}
+
+func (c *costCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prob.Init()
+	c.probIdx = make(map[cacheKey]*list.Element)
+	c.ghost.Init()
+	c.ghostIdx = make(map[cacheKey]*list.Element)
+	c.main = nil
+	c.mainIdx = make(map[cacheKey]*costEntry)
+	c.inflation = 0
+	c.probSweep, c.mainSweep = nil, 0
+}
+
+func (c *costCache) metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.snapshot(CachePolicy2Q, c.prob.Len()+len(c.main), c.cap)
+}

@@ -179,21 +179,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			// commit lock vs the lock-holding merge), and index
 			// hygiene.
 			"pipeline": map[string]any{
-				"queue_depth":       pending,
-				"queue_capacity":    col.AsyncMaxPending(),
-				"ingest_watermark":  col.Watermark(),
-				"applied_watermark": col.AppliedWatermark(),
-				"async_flushes":     cs.AsyncFlushes,
-				"group_commits":     cs.GroupCommits,
-				"avg_group_size":    avgGroup,
-				"analyze_ms":        float64(cs.AnalyzeNanos) / 1e6,
-				"commit_ms":         float64(cs.CommitNanos) / 1e6,
-				"flush_errors":      cs.FlushErrors,
-				"last_flush_error":  col.LastFlushError(),
-				"compactions":       ix.Compactions(),
-				"tombstones":        dead,
-				"live_docs":         live,
-				"tombstone_ratio":   ix.TombstoneRatio(),
+				"queue_depth":    pending,
+				"queue_capacity": col.AsyncMaxPending(),
+				// The group-commit window the background flusher is
+				// currently waiting out. Under the adaptive controller
+				// it moves inside [coalesce_min_ms, coalesce_max_ms]
+				// with arrival rate and queue depth; a fixed
+				// -async-coalesce override pins it.
+				"coalesce_window_ms": float64(col.CoalesceWindow()) / 1e6,
+				"coalesce_adaptive":  col.CoalesceAdaptive(),
+				"coalesce_min_ms":    float64(col.CoalesceMin()) / 1e6,
+				"coalesce_max_ms":    float64(col.CoalesceMax()) / 1e6,
+				"ingest_watermark":   col.Watermark(),
+				"applied_watermark":  col.AppliedWatermark(),
+				"async_flushes":      cs.AsyncFlushes,
+				"group_commits":      cs.GroupCommits,
+				"avg_group_size":     avgGroup,
+				"analyze_ms":         float64(cs.AnalyzeNanos) / 1e6,
+				"commit_ms":          float64(cs.CommitNanos) / 1e6,
+				"flush_errors":       cs.FlushErrors,
+				"last_flush_error":   col.LastFlushError(),
+				"compactions":        ix.Compactions(),
+				"tombstones":         dead,
+				"live_docs":          live,
+				"tombstone_ratio":    ix.TombstoneRatio(),
 			},
 		}
 	}
@@ -206,13 +215,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"ingests":        s.stats.ingests.Load(),
 		"edits":          s.stats.edits.Load(),
 		"errors":         s.stats.errored.Load(),
-		"cache": map[string]any{
-			"hits":     hits,
-			"misses":   misses,
-			"hit_rate": hitRate,
-			"entries":  s.cache.len(),
-			"capacity": s.cfg.CacheSize,
-		},
+		// Server-level hits/misses/hit_rate aggregate across policy
+		// swaps; the nested by-reason block resets with SetCachePolicy
+		// (it belongs to the live cache instance).
+		"cache": func() map[string]any {
+			cm := s.CacheMetrics()
+			return map[string]any{
+				"hits":     hits,
+				"misses":   misses,
+				"hit_rate": hitRate,
+				"entries":  cm.Entries,
+				"capacity": s.cfg.CacheSize,
+				"policy":   cm.Policy,
+				"by_reason": map[string]any{
+					"hits_main":            cm.HitsMain,
+					"hits_probation":       cm.HitsProbation,
+					"misses_cold":          cm.MissesCold,
+					"misses_expired":       cm.MissesExpired,
+					"promotions":           cm.Promotions,
+					"ghost_readmits":       cm.GhostReadmits,
+					"admission_rejections": cm.AdmissionRejects,
+					"evictions":            cm.Evictions,
+					"evicted_cost":         cm.EvictedCost,
+					"swept_expired":        cm.SweptExpired,
+				},
+			}
+		}(),
 		"admission": map[string]any{
 			"inflight":       s.stats.inflight.Load(),
 			"max_concurrent": s.cfg.MaxConcurrent,
@@ -267,6 +295,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("mmf_cache_events_total", "Query-cache lookups by outcome.",
 		"outcome", "hit", s.stats.cacheHits.Load(),
 		"outcome", "miss", s.stats.cacheMisses.Load())
+	cm := s.CacheMetrics()
+	counter("mmf_cache_policy_events_total", "Live cache's events by reason (resets on SetCachePolicy).",
+		"event", "hit_main", cm.HitsMain,
+		"event", "hit_probation", cm.HitsProbation,
+		"event", "miss_cold", cm.MissesCold,
+		"event", "miss_expired", cm.MissesExpired,
+		"event", "promotion", cm.Promotions,
+		"event", "ghost_readmit", cm.GhostReadmits,
+		"event", "admission_reject", cm.AdmissionRejects,
+		"event", "eviction", cm.Evictions,
+		"event", "swept_expired", cm.SweptExpired)
 	counter("mmf_async_ingest_total", "Async-mode ingest outcomes.",
 		"outcome", "accepted", s.stats.asyncIngests.Load(),
 		"outcome", "backpressured", s.stats.backpressured.Load())
@@ -279,13 +318,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("mmf_requests_per_second", "Request rate over the trailing window.",
 		s.qps.PerSecond())
 	gauge("mmf_cache_entries", "Query-cache entries resident.",
-		float64(s.cache.len()))
+		float64(cm.Entries))
+	gauge("mmf_cache_evicted_cost_seconds", "Summed rebuild cost of entries whose values were dropped.",
+		cm.EvictedCost)
 	gauge("mmf_uptime_seconds", "Seconds since the server started.",
 		time.Since(s.start).Seconds())
 	backlog := int64(0)
+	fmt.Fprintf(&b, "# HELP mmf_coalesce_window_seconds Current group-commit coalescing window per collection.\n"+
+		"# TYPE mmf_coalesce_window_seconds gauge\n")
 	for _, name := range s.sys.Collections() {
 		if col, err := s.sys.Collection(name); err == nil {
 			backlog += int64(col.PendingOps())
+			fmt.Fprintf(&b, "mmf_coalesce_window_seconds{collection=%q} %s\n",
+				name, strconv.FormatFloat(col.CoalesceWindow().Seconds(), 'g', -1, 64))
 		}
 	}
 	gauge("mmf_propagation_backlog", "Pending propagation ops across collections.",
@@ -532,6 +577,8 @@ func (s *Server) handleCreateCollection(w http.ResponseWriter, r *http.Request) 
 	opts := docirs.CollectionOptions{
 		AsyncMaxPending:  s.cfg.AsyncMaxPending,
 		AsyncCoalesce:    s.cfg.AsyncCoalesce,
+		AsyncCoalesceMin: s.cfg.AsyncCoalesceMin,
+		AsyncCoalesceMax: s.cfg.AsyncCoalesceMax,
 		AutoCompactRatio: s.cfg.CompactRatio,
 	}
 	var err error
@@ -590,7 +637,7 @@ func (s *Server) handleDropCollection(w http.ResponseWriter, r *http.Request) {
 	// A same-name recreate restarts the per-collection epoch near
 	// zero, so search entries keyed under the old collection could
 	// collide with it; drop everything.
-	s.cache.purge()
+	s.qcache().purge()
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
 }
 
@@ -715,13 +762,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// evaluation and slice their prefix from it.
 	bucket := kBucket(limit)
 	key := cacheKey{kind: "search", coll: name, query: q, epoch: col.Epoch(), kbucket: bucket}
+	cache := s.qcache()
 	var hits []searchHit
 	cached := false
-	if v, ok := s.cache.get(key); ok {
+	if v, ok := cache.get(key); ok {
 		hits = v.([]searchHit)
 		cached = true
 		s.stats.cacheHits.Add(1)
-	} else if v, ok := s.cacheGetFull(key); ok {
+	} else if v, ok := s.cacheGetFull(cache, key); ok {
 		// A cached exhaustive result serves any limit — its prefix is
 		// exactly what the top-k engine would return.
 		hits = v
@@ -729,6 +777,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.stats.cacheHits.Add(1)
 	} else {
 		s.stats.cacheMisses.Add(1)
+		evalStart := time.Now()
 		var results []docirs.SearchResult
 		if bucket > 0 {
 			results, err = s.sys.SearchTopKTraced(name, q, bucket, tr)
@@ -743,7 +792,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		for i, res := range results {
 			hits[i] = searchHit{ID: res.ExtID, Score: res.Score}
 		}
-		s.cache.put(key, hits)
+		// The measured rebuild cost of this entry: evaluation latency
+		// weighted by how many candidates the engine had to score (the
+		// top-k path annotates the request trace). The +1 keeps pure
+		// latency in play when the attr is absent — exhaustive
+		// evaluations and untraced (obs-disabled) requests degrade to
+		// latency-only cost rather than zero.
+		scored, _ := tr.Int64Attr("candidates_scored")
+		cost := time.Since(evalStart).Seconds() * float64(scored+1)
+		cache.put(key, hits, cost)
 		// A top-k evaluation that came back with fewer than its bucket
 		// hits is provably exhaustive (the engine ran out of matches
 		// before reaching k), so promote it to the unlimited slot too:
@@ -755,7 +812,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if bucket > 0 && len(hits) < bucket {
 			full := key
 			full.kbucket = 0
-			s.cache.put(full, hits)
+			cache.put(full, hits, cost)
 		}
 	}
 	if cached {
@@ -778,13 +835,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 // cacheGetFull retries a bucketed search-cache miss against the
 // unlimited entry (kbucket 0) of the same (collection, query, epoch):
-// the exhaustive ranking's prefix answers every limit.
-func (s *Server) cacheGetFull(key cacheKey) ([]searchHit, bool) {
+// the exhaustive ranking's prefix answers every limit. It operates on
+// the cache the caller already loaded so one request never straddles
+// a concurrent policy swap.
+func (s *Server) cacheGetFull(cache queryCacher, key cacheKey) ([]searchHit, bool) {
 	if key.kbucket == 0 {
 		return nil, false
 	}
 	key.kbucket = 0
-	v, ok := s.cache.get(key)
+	v, ok := cache.get(key)
 	if !ok {
 		return nil, false
 	}
@@ -835,14 +894,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr.SetDetail(req.Query)
 	tr.Attr("strategy", strategy.String())
 	key := cacheKey{kind: "query", strategy: strategy.String(), query: req.Query, epoch: s.sys.Epoch()}
+	cache := s.qcache()
 	var res *queryResult
 	cached := false
-	if v, ok := s.cache.get(key); ok {
+	if v, ok := cache.get(key); ok {
 		res = v.(*queryResult)
 		cached = true
 		s.stats.cacheHits.Add(1)
 	} else {
 		s.stats.cacheMisses.Add(1)
+		evalStart := time.Now()
 		rs, err := s.sys.QueryWithStrategy(req.Query, strategy)
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "query: %v", err)
@@ -856,7 +917,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			res.Rows[i] = cells
 		}
-		s.cache.put(key, res)
+		// VQL evaluation carries no candidates-scored annotation;
+		// rebuild cost degrades to the measured latency.
+		cache.put(key, res, time.Since(evalStart).Seconds())
 	}
 	if cached {
 		tr.Attr("cache", "hit")

@@ -21,9 +21,11 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	docirs "repro"
@@ -46,6 +48,12 @@ type Config struct {
 	// CacheTTL bounds the age of query-cache entries; 0 never
 	// expires (the epoch key already invalidates on mutation).
 	CacheTTL time.Duration
+	// CachePolicy selects the query-cache replacement policy:
+	// CachePolicy2Q (default) is the cost-aware 2Q cache (probationary
+	// admission, ghost readmission, eviction by frequency × measured
+	// rebuild cost); CachePolicyLRU the plain recency LRU kept as the
+	// A/B baseline. Swappable at runtime via SetCachePolicy.
+	CachePolicy string
 	// MaxBatch bounds the number of documents accepted by one ingest
 	// request. Default: 1024.
 	MaxBatch int
@@ -54,9 +62,17 @@ type Config struct {
 	// 0 selects the coupling default (4096); negative unbounded.
 	AsyncMaxPending int
 	// AsyncCoalesce is the background flusher's group-commit window
-	// for async-policy collections. 0 selects the coupling default
-	// (2ms); negative flushes immediately.
+	// for async-policy collections. 0 (the default) lets each
+	// collection adapt its window inside [AsyncCoalesceMin,
+	// AsyncCoalesceMax] from observed arrival rate and queue depth;
+	// positive pins a fixed window (the pre-adaptive behavior);
+	// negative flushes immediately.
 	AsyncCoalesce time.Duration
+	// AsyncCoalesceMin/Max bound the adaptive coalescing window. 0
+	// selects the coupling defaults (250µs / 8ms). Ignored when
+	// AsyncCoalesce pins a fixed window.
+	AsyncCoalesceMin time.Duration
+	AsyncCoalesceMax time.Duration
 	// CompactRatio enables tombstone-ratio-triggered background index
 	// compaction for collections created through the API; 0 disables.
 	CompactRatio float64
@@ -80,6 +96,9 @@ func (c Config) withDefaults() Config {
 	} else if c.CacheSize < 0 {
 		c.CacheSize = 0
 	}
+	if c.CachePolicy == "" {
+		c.CachePolicy = CachePolicy2Q
+	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1024
 	}
@@ -99,7 +118,7 @@ type Server struct {
 	sys   *docirs.System
 	cfg   Config
 	sem   chan struct{}
-	cache *queryCache
+	cache atomic.Pointer[cacheBox]
 	mux   *http.ServeMux
 	stats counters
 	qps   *obs.Rate
@@ -109,6 +128,54 @@ type Server struct {
 	dtdMu sync.RWMutex
 	dtds  map[string]*docirs.DTD
 }
+
+// cacheBox pairs a cache with its policy name behind one pointer so
+// SetCachePolicy can swap both atomically while requests are in
+// flight (the two policies are distinct concrete types, which rules
+// out atomic.Value).
+type cacheBox struct {
+	policy string
+	c      queryCacher
+}
+
+// newCacheFor builds a cache of the named policy.
+func newCacheFor(policy string, size int, ttl time.Duration) (*cacheBox, error) {
+	switch policy {
+	case CachePolicyLRU:
+		return &cacheBox{policy: policy, c: newQueryCache(size, ttl)}, nil
+	case CachePolicy2Q:
+		return &cacheBox{policy: policy, c: newCostCache(size, ttl)}, nil
+	}
+	return nil, fmt.Errorf("unknown cache policy %q (want %q or %q)",
+		policy, CachePolicy2Q, CachePolicyLRU)
+}
+
+// qcache returns the live query cache.
+func (s *Server) qcache() queryCacher { return s.cache.Load().c }
+
+// CachePolicy returns the live cache's policy name.
+func (s *Server) CachePolicy() string { return s.cache.Load().policy }
+
+// SetCachePolicy swaps the query cache for a fresh one of the named
+// policy ("2q" or "lru"). The swap empties the cache — that is the
+// point: it is the A/B lever (bench harnesses flip policies between
+// measurement passes), and a comparison starting from a warm foreign
+// cache would measure the wrong thing. Setting the current policy
+// re-creates the cache too (a cheap purge-with-reset-counters).
+func (s *Server) SetCachePolicy(policy string) error {
+	box, err := newCacheFor(policy, s.cfg.CacheSize, s.cfg.CacheTTL)
+	if err != nil {
+		return err
+	}
+	s.cache.Store(box)
+	return nil
+}
+
+// CacheMetrics snapshots the live cache's internal accounting
+// (hit/miss by reason, promotions, admission rejections, evicted
+// cost). The server-level hit/miss counters in /stats aggregate
+// across policy swaps; these reset with each SetCachePolicy.
+func (s *Server) CacheMetrics() CacheMetrics { return s.qcache().metrics() }
 
 // New wraps sys in a service layer. The caller keeps ownership of
 // sys (and closes it after the HTTP server shuts down).
@@ -128,6 +195,7 @@ func New(sys *docirs.System, cfg Config) *Server {
 		if err != nil {
 			continue
 		}
+		col.ConfigureAsyncBounds(cfg.AsyncCoalesceMin, cfg.AsyncCoalesceMax)
 		col.ConfigureAsync(cfg.AsyncMaxPending, cfg.AsyncCoalesce)
 		if ratio, _ := col.IRS().Index().AutoCompact(); ratio == 0 && cfg.CompactRatio > 0 {
 			col.IRS().SetAutoCompact(cfg.CompactRatio, 0)
@@ -137,11 +205,17 @@ func New(sys *docirs.System, cfg Config) *Server {
 		sys:   sys,
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		cache: newQueryCache(cfg.CacheSize, cfg.CacheTTL),
 		qps:   obs.NewRate(),
 		start: time.Now(),
 		dtds:  make(map[string]*docirs.DTD),
 	}
+	box, err := newCacheFor(cfg.CachePolicy, cfg.CacheSize, cfg.CacheTTL)
+	if err != nil {
+		// New has no error path; an unrecognized policy string falls
+		// back to the default rather than panicking a serving process.
+		box, _ = newCacheFor(CachePolicy2Q, cfg.CacheSize, cfg.CacheTTL)
+	}
+	s.cache.Store(box)
 	// The slow log is process-global (traces from the coupling's flush
 	// pipeline land in it too); the serving layer owns its tuning, the
 	// way http.DefaultServeMux is owned by whoever serves it.

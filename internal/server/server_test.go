@@ -294,12 +294,12 @@ func TestAdmissionRejectsWhenSaturated(t *testing.T) {
 func TestLRUCache(t *testing.T) {
 	c := newQueryCache(2, 0)
 	k := func(q string) cacheKey { return cacheKey{kind: "query", query: q} }
-	c.put(k("a"), 1)
-	c.put(k("b"), 2)
+	c.put(k("a"), 1, 1)
+	c.put(k("b"), 2, 1)
 	if _, ok := c.get(k("a")); !ok {
 		t.Fatal("a evicted too early")
 	}
-	c.put(k("c"), 3) // evicts b (least recently used after the get of a)
+	c.put(k("c"), 3, 1) // evicts b (least recently used after the get of a)
 	if _, ok := c.get(k("b")); ok {
 		t.Fatal("b should have been evicted")
 	}
@@ -310,13 +310,13 @@ func TestLRUCache(t *testing.T) {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
 	// Epoch difference misses.
-	c.put(cacheKey{kind: "query", query: "a", epoch: 1}, 9)
+	c.put(cacheKey{kind: "query", query: "a", epoch: 1}, 9, 1)
 	if v, _ := c.get(cacheKey{kind: "query", query: "a", epoch: 1}); v != 9 {
 		t.Fatal("epoch-qualified entry lost")
 	}
 
 	disabled := newQueryCache(0, 0)
-	disabled.put(k("a"), 1)
+	disabled.put(k("a"), 1, 1)
 	if _, ok := disabled.get(k("a")); ok {
 		t.Fatal("disabled cache served an entry")
 	}
