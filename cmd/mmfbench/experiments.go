@@ -49,6 +49,12 @@ func experimentRunners(shards int) map[string]runner {
 			_, err := eval.RunS7(w)
 			return err
 		}},
+		"S8": {"Durable ingest: WAL fsync-policy overhead + crash recovery by snapshot and replay", func(w io.Writer) error {
+			// RunS8 errors when its overhead, ranking-equality,
+			// replay-floor or serving-surface gate trips.
+			_, err := eval.RunS8(w)
+			return err
+		}},
 		"F1": {"Figure 1: coupling architectures", func(w io.Writer) error {
 			_, err := eval.RunF1(w)
 			return err

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (F1..F4, T1..T8, A1/A2, X1, S1..S7); empty = all")
+	exp := flag.String("exp", "", "experiment id (F1..F4, T1..T8, A1/A2, X1, S1..S8); empty = all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	shards := flag.Int("shards", 0, "shard count for the S1/S3..S6 sharded-engine experiments (0: GOMAXPROCS)")
 	benchOut := flag.String("bench-out", "", "measure the perf snapshot and write it to this file (skips experiments)")
@@ -43,6 +43,9 @@ func main() {
 		}
 		if err == nil {
 			err = eval.AddServingBench(os.Stdout, rep)
+		}
+		if err == nil {
+			err = eval.AddDurabilityBench(os.Stdout, rep)
 		}
 		if err == nil {
 			err = eval.WriteBenchReport(*benchOut, rep)

@@ -10,7 +10,7 @@ import (
 // index and every runner must produce a non-empty table.
 func TestExperimentRunnersComplete(t *testing.T) {
 	runners := experimentRunners(0)
-	want := []string{"F1", "F2", "F3", "F4", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "A1", "A2", "X1", "S1", "S2", "S3", "S4", "S5", "S6", "S7"}
+	want := []string{"F1", "F2", "F3", "F4", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "A1", "A2", "X1", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"}
 	if len(runners) != len(want) {
 		t.Errorf("registry has %d runners, want %d", len(runners), len(want))
 	}

@@ -26,24 +26,31 @@ func main() {
 	policy := flag.String("policy", "on-query", "propagation policy for a newly created -collection (on-query, immediate, manual, async)")
 	shards := flag.Int("shards", 0, "index shards for a newly created -collection (0: engine default; existing collections keep theirs)")
 	mmap := flag.Bool("mmap", false, "open existing .irsc collections memory-mapped while loading (appends overlay in memory and fold on save)")
+	noWAL := flag.Bool("no-wal", false, "disable the per-collection IRS write-ahead log for this load")
+	walFsync := flag.String("wal-fsync", "", "WAL fsync policy: group (default), always or off")
 	flag.Parse()
 
 	if *dbDir == "" || *dtdPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mmfload -db DIR -dtd FILE [-collection NAME [-spec QUERY] [-policy P] [-shards N]] [-mmap] doc.sgm...")
+		fmt.Fprintln(os.Stderr, "usage: mmfload -db DIR -dtd FILE [-collection NAME [-spec QUERY] [-policy P] [-shards N]] [-mmap] [-no-wal] [-wal-fsync P] doc.sgm...")
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *dtdPath, *collName, *spec, *policy, *textMode, *shards, *mmap, flag.Args()); err != nil {
+	opts := docirs.OpenOptions{MappedIRS: *mmap, NoWAL: *noWAL, WALFsync: *walFsync}
+	if err := run(*dbDir, *dtdPath, *collName, *spec, *policy, *textMode, *shards, opts, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "mmfload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbDir, dtdPath, collName, spec, policy string, textMode, shards int, mmap bool, files []string) error {
-	sys, err := docirs.OpenWith(dbDir, docirs.OpenOptions{MappedIRS: mmap})
+func run(dbDir, dtdPath, collName, spec, policy string, textMode, shards int, opts docirs.OpenOptions, files []string) error {
+	sys, err := docirs.OpenWith(dbDir, opts)
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
+	for _, rep := range sys.RecoveryReports() {
+		fmt.Printf("wal recovery: collection %s replayed %d of %d records (watermark %d)\n",
+			rep.Collection, rep.Replayed, rep.Records, rep.Watermark)
+	}
 	if shards > 0 {
 		sys.Engine().SetDefaultShards(shards)
 	}

@@ -35,11 +35,11 @@ func TestLoadAndReindexFlow(t *testing.T) {
 		`<MMFDOC><LOGBOOK>l<DOCTITLE>t2<ABSTRACT>a<PARA>the nii paragraph</MMFDOC>`)
 
 	// First run: creates the collection under the async policy.
-	if err := run(dbDir, dtdPath, "collPara", "ACCESS p FROM p IN PARA;", "async", 0, 2, false, []string{doc1}); err != nil {
+	if err := run(dbDir, dtdPath, "collPara", "ACCESS p FROM p IN PARA;", "async", 0, 2, docirs.OpenOptions{}, []string{doc1}); err != nil {
 		t.Fatal(err)
 	}
 	// Second run: appends a document and reindexes.
-	if err := run(dbDir, dtdPath, "collPara", "", "", 0, 0, true, []string{doc2}); err != nil {
+	if err := run(dbDir, dtdPath, "collPara", "", "", 0, 0, docirs.OpenOptions{MappedIRS: true}, []string{doc2}); err != nil {
 		t.Fatal(err)
 	}
 	sys, err := docirs.Open(dbDir)
@@ -72,19 +72,19 @@ func TestLoadAndReindexFlow(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	dtdPath := write(t, dir, "mmf.dtd", testDTD)
-	if err := run(filepath.Join(dir, "db1"), filepath.Join(dir, "missing.dtd"), "", "", "", 0, 0, false, []string{"x"}); err == nil {
+	if err := run(filepath.Join(dir, "db1"), filepath.Join(dir, "missing.dtd"), "", "", "", 0, 0, docirs.OpenOptions{}, []string{"x"}); err == nil {
 		t.Error("missing DTD accepted")
 	}
-	if err := run(filepath.Join(dir, "db2"), dtdPath, "", "", "", 0, 0, false, []string{filepath.Join(dir, "missing.sgm")}); err == nil {
+	if err := run(filepath.Join(dir, "db2"), dtdPath, "", "", "", 0, 0, docirs.OpenOptions{}, []string{filepath.Join(dir, "missing.sgm")}); err == nil {
 		t.Error("missing document accepted")
 	}
 	bad := write(t, dir, "bad.sgm", "<WRONG>")
-	if err := run(filepath.Join(dir, "db3"), dtdPath, "", "", "", 0, 0, false, []string{bad}); err == nil {
+	if err := run(filepath.Join(dir, "db3"), dtdPath, "", "", "", 0, 0, docirs.OpenOptions{}, []string{bad}); err == nil {
 		t.Error("invalid document accepted")
 	}
 	good := write(t, dir, "good.sgm",
 		`<MMFDOC><LOGBOOK>l<DOCTITLE>t<ABSTRACT>a<PARA>p</MMFDOC>`)
-	if err := run(filepath.Join(dir, "db4"), dtdPath, "c", "ACCESS p FROM p IN PARA;", "never", 0, 0, false, []string{good}); err == nil {
+	if err := run(filepath.Join(dir, "db4"), dtdPath, "c", "ACCESS p FROM p IN PARA;", "never", 0, 0, docirs.OpenOptions{}, []string{good}); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }

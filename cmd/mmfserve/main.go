@@ -75,6 +75,9 @@ type options struct {
 	dtdName   string
 	shards    int
 	mmap      bool
+	noWAL     bool
+	walDir    string
+	walFsync  string
 	debugAddr string // pprof listener; empty disables
 	logFormat string // "text" or "json"
 	logLevel  string // "debug", "info", "warn" or "error"
@@ -89,6 +92,9 @@ func main() {
 	flag.StringVar(&opts.dtdName, "dtd-name", "default", "name the preloaded DTD is registered under")
 	flag.IntVar(&opts.shards, "shards", 0, "index shards for new collections (0: GOMAXPROCS; existing collections keep their shard count)")
 	flag.BoolVar(&opts.mmap, "mmap", false, "serve persisted .irsc collections from read-only memory mappings instead of heap (O(1) open, heap tracks working set; /stats reports heap_bytes vs mapped_bytes)")
+	flag.BoolVar(&opts.noWAL, "no-wal", false, "disable the per-collection IRS write-ahead log (persistent mode only; acknowledged updates since the last snapshot are then lost on crash)")
+	flag.StringVar(&opts.walDir, "wal-dir", "", "directory for collection WALs (empty: alongside the .irsc snapshots under <db>/irs)")
+	flag.StringVar(&opts.walFsync, "wal-fsync", "", "WAL fsync policy: group (default; one fsync covers a commit group, riding the coalescing window), always or off")
 	flag.StringVar(&opts.debugAddr, "debug-addr", "", "separate listen address for net/http/pprof (empty: disabled)")
 	flag.StringVar(&opts.logFormat, "log-format", "text", "log output format: text or json")
 	flag.StringVar(&opts.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
@@ -151,11 +157,26 @@ func run(opts options) error {
 			opts.cfg.CachePolicy, server.CachePolicy2Q, server.CachePolicyLRU)
 	}
 
-	sys, err := docirs.OpenWith(opts.dbDir, docirs.OpenOptions{MappedIRS: opts.mmap})
+	sys, err := docirs.OpenWith(opts.dbDir, docirs.OpenOptions{
+		MappedIRS: opts.mmap,
+		NoWAL:     opts.noWAL,
+		WALDir:    opts.walDir,
+		WALFsync:  opts.walFsync,
+	})
 	if err != nil {
 		return err
 	}
 	defer sys.Close()
+
+	// A non-empty recovery report means the previous process did not
+	// shut down cleanly; say what replay restored on top of the
+	// snapshots before serving anything.
+	for _, rep := range sys.RecoveryReports() {
+		logger.Warn("wal recovery",
+			"collection", rep.Collection, "records", rep.Records,
+			"replayed", rep.Replayed, "watermark", rep.Watermark,
+			"torn_bytes", rep.TornBytes, "uncommitted", rep.Uncommitted)
+	}
 
 	shards := opts.shards
 	if shards <= 0 {

@@ -39,6 +39,7 @@ import (
 	"repro/internal/oodb"
 	"repro/internal/sgml"
 	"repro/internal/vql"
+	"repro/internal/wal"
 )
 
 // Re-exported types so applications program against one package.
@@ -64,6 +65,9 @@ type (
 	// FeedbackOptions tunes Rocchio-style query expansion
 	// (Collection.IRS().ExpandQuery).
 	FeedbackOptions = irs.FeedbackOptions
+	// RecoveryReport summarizes one collection's WAL crash recovery
+	// (System.RecoveryReports).
+	RecoveryReport = irs.RecoveryReport
 )
 
 // Propagation policies (Section 4.6; PropagateAsync adds the
@@ -123,6 +127,23 @@ type OpenOptions struct {
 	// dictionary/document tables, not the postings. Ignored in memory
 	// mode. Rankings are identical either way.
 	MappedIRS bool
+
+	// NoWAL disables the per-collection IRS write-ahead log. Persistent
+	// systems carry one by default: every propagation flush is logged
+	// and fsynced (per WALFsync) before it commits, and open replays the
+	// committed log tail onto the last snapshot — acknowledged updates
+	// survive a crash. Ignored in memory mode.
+	NoWAL bool
+
+	// WALDir overrides where collection logs live (default: alongside
+	// the IRS snapshots under dir/irs).
+	WALDir string
+
+	// WALFsync selects the log's fsync policy: "group" (default —
+	// fsyncs ride the ingest coalescing window, one sync covers a
+	// commit group), "always" (fsync every append) or "off" (leave
+	// durability to the OS page cache).
+	WALFsync string
 }
 
 // Open assembles a system. With dir == "" everything lives in
@@ -150,7 +171,17 @@ func OpenWith(dir string, opts OpenOptions) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		engine, err = irs.NewEngineAt(filepath.Join(dir, "irs"), irs.Options{Mapped: opts.MappedIRS})
+		fsync, perr := wal.ParseSyncPolicy(opts.WALFsync)
+		if perr != nil {
+			db.Close()
+			return nil, perr
+		}
+		engine, err = irs.NewEngineAt(filepath.Join(dir, "irs"), irs.Options{
+			Mapped:   opts.MappedIRS,
+			WAL:      !opts.NoWAL,
+			WALDir:   opts.WALDir,
+			WALFsync: fsync,
+		})
 		if err != nil {
 			db.Close()
 			return nil, err
@@ -348,6 +379,15 @@ func (s *System) Text(oid OID, mode int) string { return s.store.Text(oid, mode)
 
 // Collections returns all collection names, sorted.
 func (s *System) Collections() []string { return s.coupling.Collections() }
+
+// RecoveryReports returns what this system's open recovered from
+// collection write-ahead logs — empty when every log was clean (the
+// common case after an orderly shutdown). Serving layers log these at
+// startup so an operator sees that a crash happened and what replay
+// restored.
+func (s *System) RecoveryReports() []RecoveryReport {
+	return s.engine.RecoveryReports()
+}
 
 // Epoch returns the coupling-wide change counter: it advances on
 // every committed document mutation, collection lifecycle change,

@@ -88,6 +88,14 @@ type Collection struct {
 
 	errMu        sync.Mutex
 	lastFlushErr string
+
+	// degraded flips when the write-ahead log refuses an append or
+	// fsync: the index must not run ahead of the durable log, so the
+	// collection stops propagating (reads keep serving the last
+	// committed state) until Reindex rotates a fresh log or the process
+	// restarts. degradedReason rides under errMu.
+	degraded       atomic.Bool
+	degradedReason string
 }
 
 // Default async-ingest tuning (see Options.AsyncMaxPending /
@@ -104,23 +112,24 @@ const (
 // Stats counts coupling activity; every field is maintained with
 // atomic increments and read via Snapshot.
 type Stats struct {
-	IRSSearches   atomic.Int64 // queries actually evaluated by the IRS
-	BufferHits    atomic.Int64
-	BufferMisses  atomic.Int64
-	Derivations   atomic.Int64 // deriveIRSValue invocations
-	DefaultValues atomic.Int64 // represented but unscored objects
-	OpsLogged     atomic.Int64
-	OpsCancelled  atomic.Int64 // ops removed by log cancellation
-	OpsApplied    atomic.Int64
-	Flushes       atomic.Int64
-	ForcedFlushes atomic.Int64 // flushes forced by a pending query
-	Indexed       atomic.Int64
-	FlushErrors   atomic.Int64 // flushes that failed on a path with no caller to report to
-	AsyncFlushes  atomic.Int64 // flushes initiated by the background flusher
-	GroupCommits  atomic.Int64 // commit batches that applied at least one op
-	GroupedOps    atomic.Int64 // ops across those batches (avg = group size)
-	AnalyzeNanos  atomic.Int64 // time in the parallel analyze stage (no locks held)
-	CommitNanos   atomic.Int64 // time inside the index commit batch (commit lock held)
+	IRSSearches     atomic.Int64 // queries actually evaluated by the IRS
+	BufferHits      atomic.Int64
+	BufferMisses    atomic.Int64
+	Derivations     atomic.Int64 // deriveIRSValue invocations
+	DefaultValues   atomic.Int64 // represented but unscored objects
+	OpsLogged       atomic.Int64
+	OpsCancelled    atomic.Int64 // ops removed by log cancellation
+	OpsApplied      atomic.Int64
+	Flushes         atomic.Int64
+	ForcedFlushes   atomic.Int64 // flushes forced by a pending query
+	Indexed         atomic.Int64
+	FlushErrors     atomic.Int64 // flushes that failed on a path with no caller to report to
+	FlushRecoveries atomic.Int64 // failed commit batches reconverged by WAL reapply
+	AsyncFlushes    atomic.Int64 // flushes initiated by the background flusher
+	GroupCommits    atomic.Int64 // commit batches that applied at least one op
+	GroupedOps      atomic.Int64 // ops across those batches (avg = group size)
+	AnalyzeNanos    atomic.Int64 // time in the parallel analyze stage (no locks held)
+	CommitNanos     atomic.Int64 // time inside the index commit batch (commit lock held)
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -129,7 +138,8 @@ type StatsSnapshot struct {
 	Derivations, DefaultValues            int64
 	OpsLogged, OpsCancelled, OpsApplied   int64
 	Flushes, ForcedFlushes, Indexed       int64
-	FlushErrors, AsyncFlushes             int64
+	FlushErrors, FlushRecoveries          int64
+	AsyncFlushes                          int64
 	GroupCommits, GroupedOps              int64
 	AnalyzeNanos, CommitNanos             int64
 }
@@ -143,7 +153,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		OpsCancelled: s.OpsCancelled.Load(), OpsApplied: s.OpsApplied.Load(),
 		Flushes: s.Flushes.Load(), ForcedFlushes: s.ForcedFlushes.Load(),
 		Indexed: s.Indexed.Load(), FlushErrors: s.FlushErrors.Load(),
-		AsyncFlushes: s.AsyncFlushes.Load(), GroupCommits: s.GroupCommits.Load(),
+		FlushRecoveries: s.FlushRecoveries.Load(),
+		AsyncFlushes:    s.AsyncFlushes.Load(), GroupCommits: s.GroupCommits.Load(),
 		GroupedOps: s.GroupedOps.Load(), AnalyzeNanos: s.AnalyzeNanos.Load(),
 		CommitNanos: s.CommitNanos.Load(),
 	}
@@ -164,6 +175,14 @@ func newCollection(c *Coupling, oid oodb.OID, name, specQuery string, textMode i
 	}
 	col.setAsyncTuning(0, 0)
 	col.buffer = newResultBuffer(col)
+	// When the engine attached a write-ahead log, ride the group fsync
+	// on this collection's commit-coalescing window and surface failed
+	// background fsyncs as degradation (satisfying write-ahead: the
+	// index never runs ahead of the durable log).
+	irsColl.SetWALGroupWindow(col.CoalesceWindow)
+	irsColl.SetWALSyncErrorHook(func(err error) {
+		col.setDegraded(fmt.Errorf("core: wal group fsync for %q: %w", name, err))
+	})
 	return col
 }
 
@@ -385,9 +404,21 @@ func (col *Collection) Reindex() (added, updated, removed int, err error) {
 	}
 	_, _, seq := col.log.drain() // everything is fresh; pending ops are moot
 	col.storeApplied(seq)
+	// The rebuilt state bypassed the log (direct index writes), so the
+	// old log no longer describes a replayable tail: rotate it behind a
+	// barrier at the new watermark. The snapshot that covers this state
+	// is the next Save — until then recovery replays an empty tail onto
+	// the previous snapshot, which a fresh Reindex reconverges.
+	if err := col.irsColl.WALReset(seq); err != nil {
+		err = fmt.Errorf("core: wal reset for %q: %w", col.name, err)
+		col.setDegraded(err)
+		return added, updated, removed, err
+	}
 	// A full resynchronization recovers anything a failed flush
-	// dropped; the drain barrier is sound again.
+	// dropped; the drain barrier is sound again, and a successfully
+	// rotated log lifts WAL degradation.
 	col.lostOps.Store(false)
+	col.clearDegraded()
 	col.buffer.invalidate()
 	col.bumpEpoch()
 	return added, updated, removed, nil
@@ -438,7 +469,10 @@ func (col *Collection) GetIRSResult(irsQuery string) (map[oodb.OID]float64, erro
 // in from elsewhere) the fully unpropagated one — never a
 // half-applied blend.
 func (col *Collection) beginIRSRead(key string, offerBack bool) (scores map[oodb.OID]float64, useBuffer bool, gen uint64, err error) {
-	if col.Policy() != PropagateImmediately && col.log.pending() {
+	if col.Policy() != PropagateImmediately && col.log.pending() && !col.degraded.Load() {
+		// A degraded collection serves reads from the last committed
+		// state instead of failing them — propagation is what the WAL
+		// failure forbids, not retrieval.
 		col.stats.ForcedFlushes.Add(1)
 		if err := col.Flush(); err != nil {
 			return nil, false, 0, err
@@ -744,6 +778,11 @@ func (col *Collection) onUpdate(u oodb.Update) {
 	if logged {
 		col.bumpEpoch()
 	}
+	if col.degraded.Load() {
+		// Updates keep accumulating in the log for recovery to drain;
+		// flushing them is what degradation forbids.
+		return
+	}
 	switch col.Policy() {
 	case PropagateImmediately:
 		if col.log.pending() {
@@ -790,6 +829,11 @@ type stagedOp struct {
 // flush. Whole pipelines are serialized per collection (flushMu),
 // which is what lets Drain guarantee completed propagation.
 func (col *Collection) Flush() error {
+	if err := col.degradedErr(); err != nil {
+		// Pending ops stay in the log — nothing is drained while
+		// degraded, so recovery (Reindex or restart) still sees them.
+		return err
+	}
 	col.flushMu.Lock()
 	defer col.flushMu.Unlock()
 	ops, hadCreates, seq := col.log.drain()
@@ -845,6 +889,35 @@ func (col *Collection) Flush() error {
 	tr.Span("analyze", analyzeTook)
 	tr.Attr("staged", len(staged))
 
+	// Write-ahead: the batch reaches the log (and, under the always
+	// policy, the disk) before any of it reaches the index. A refused
+	// append degrades the collection instead of committing unlogged
+	// state — the drained ops are preserved only in memory then, so
+	// the degradation is loud (Drain fails) rather than silent.
+	var walOps []irs.WALOp
+	if col.irsColl.WALEnabled() {
+		walOps = make([]irs.WALOp, 0, len(staged))
+		for i := range staged {
+			op := &staged[i]
+			switch op.kind {
+			case pendingCreate:
+				walOps = append(walOps, irs.WALOp{Kind: irs.WALAdd, Doc: op.analyzed})
+			case pendingModify:
+				walOps = append(walOps, irs.WALOp{Kind: irs.WALUpdate, Doc: op.analyzed})
+			case pendingDelete:
+				walOps = append(walOps, irs.WALOp{Kind: irs.WALDelete, ExtID: op.ext})
+			}
+		}
+		start = time.Now()
+		if werr := col.irsColl.WALAppend(walOps, seq); werr != nil {
+			werr = fmt.Errorf("core: wal append for %q: %w", col.name, werr)
+			col.lostOps.Store(true)
+			col.setDegraded(werr)
+			return werr
+		}
+		tr.Span("wal_append", time.Since(start))
+	}
+
 	applied := 0
 	start = time.Now()
 	err := col.irsColl.Batch(func(b *irs.Batch) error {
@@ -884,6 +957,19 @@ func (col *Collection) Flush() error {
 	flushCommitHist.Observe(commitTook)
 	tr.Span("commit_batch", commitTook)
 	tr.Attr("applied", applied)
+	if err != nil && walOps != nil {
+		// Every op in the failed batch is already durable in the log, so
+		// the group is recoverable: reapply it idempotently (ops the
+		// batch landed before failing re-apply onto the same state) and
+		// the index converges on exactly the state replay would rebuild.
+		// This is what turns ErrUpdatesLost from terminal into rare.
+		if rerr := col.irsColl.WALReapply(walOps); rerr == nil {
+			col.stats.FlushRecoveries.Add(1)
+			tr.Attr("wal_reapplied", len(walOps))
+			applied = len(walOps)
+			err = nil
+		}
+	}
 	// Invalidate even on error: the batch has no rollback, so any
 	// operations applied before the failure are committed and buffered
 	// results may already be stale.
@@ -985,6 +1071,14 @@ func (col *Collection) Drain() error {
 	if err := col.Flush(); err != nil {
 		return err
 	}
+	// Drain doubles as the durability barrier: under the group fsync
+	// policy flushed records may still sit in the OS cache, so force
+	// them down before declaring the log drained.
+	if err := col.irsColl.WALSync(); err != nil {
+		err = fmt.Errorf("core: wal sync for %q: %w", col.name, err)
+		col.setDegraded(err)
+		return err
+	}
 	if col.lostOps.Load() {
 		return fmt.Errorf("%w (last error: %s)", ErrUpdatesLost, col.LastFlushError())
 	}
@@ -1009,6 +1103,54 @@ func (col *Collection) LastFlushError() string {
 	col.errMu.Lock()
 	defer col.errMu.Unlock()
 	return col.lastFlushErr
+}
+
+// ErrDegraded reports that the collection is read-only because its
+// write-ahead log refused an append or fsync: committing unlogged
+// operations would break the write-ahead invariant, so propagation is
+// parked until Reindex rotates a fresh log or the process restarts.
+var ErrDegraded = errors.New("core: collection degraded (wal failure); serving reads only — Reindex or restart to recover")
+
+// Degraded reports whether the collection is in WAL-degraded
+// read-only mode, and why.
+func (col *Collection) Degraded() (bool, string) {
+	if !col.degraded.Load() {
+		return false, ""
+	}
+	col.errMu.Lock()
+	defer col.errMu.Unlock()
+	return true, col.degradedReason
+}
+
+func (col *Collection) degradedErr() error {
+	if !col.degraded.Load() {
+		return nil
+	}
+	col.errMu.Lock()
+	reason := col.degradedReason
+	col.errMu.Unlock()
+	return fmt.Errorf("%w: %s", ErrDegraded, reason)
+}
+
+// setDegraded parks the collection read-only and records why; the
+// failure also lands on the FlushErrors/LastFlushError surface so
+// existing monitoring sees it without new wiring.
+func (col *Collection) setDegraded(err error) {
+	col.noteFlushError(err)
+	col.errMu.Lock()
+	col.degradedReason = err.Error()
+	col.errMu.Unlock()
+	col.degraded.Store(true)
+}
+
+func (col *Collection) clearDegraded() {
+	if !col.degraded.Load() {
+		return
+	}
+	col.degraded.Store(false)
+	col.errMu.Lock()
+	col.degradedReason = ""
+	col.errMu.Unlock()
 }
 
 // AsyncMaxPending returns the configured pending-queue bound (<=0:

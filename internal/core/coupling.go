@@ -422,6 +422,13 @@ func (c *Coupling) restore() error {
 		col := newCollection(c, oid, name, attrs["specQuery"].Str,
 			int(attrs["textMode"].Int), irsColl, deriver,
 			PropagationPolicy(attrs["policy"].Int))
+		// Resume the ingest sequence behind the WAL's recovered
+		// watermark so post-restart operations log after the replayed
+		// ones.
+		if w := irsColl.WALWatermark(); w > 0 {
+			col.log.seed(w)
+			col.applied.Store(w)
+		}
 		if col.policy == PropagateAsync {
 			col.startFlusher()
 		}

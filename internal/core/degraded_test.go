@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/docmodel"
+	"repro/internal/irs"
+	"repro/internal/oodb"
+	"repro/internal/sgml"
+	"repro/internal/wal"
+)
+
+// newWALFixture assembles a coupling over a persistent, WAL-carrying
+// IRS engine — the configuration where a log failure must flip the
+// collection into degraded (read-only) mode instead of silently
+// acknowledging undurable writes.
+func newWALFixture(t *testing.T) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := oodb.Open(filepath.Join(dir, "db"), oodb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	store, err := docmodel.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := irs.NewEngineAt(filepath.Join(dir, "irs"), irs.Options{WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { engine.Close() })
+	coupling, err := New(store, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sgml.ParseDTD(testDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LoadDTD(d); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{t: t, store: store, engine: engine, coupling: coupling, dtd: d}
+}
+
+// TestWALFailureDegradesCollection: a failed WAL append surfaces
+// through the flush-error counters and flips the collection to
+// serving reads only; Reindex (which rotates the log) recovers it.
+func TestWALFailureDegradesCollection(t *testing.T) {
+	fx := newWALFixture(t)
+	fx.addDoc("1994", "webdoc", "the www paragraph")
+	col := fx.paraColl(Options{Policy: PropagateManually})
+	if !col.IRS().WALEnabled() {
+		t.Fatal("fixture collection carries no WAL")
+	}
+
+	// Queries work while healthy.
+	if _, err := col.GetIRSResult("www"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Break the log, then try to flush a pending update through it.
+	boom := fmt.Errorf("injected wal failure")
+	wal.SetHook(func(event string) error {
+		if event == "wal.append.post" {
+			return boom
+		}
+		return nil
+	})
+	defer wal.SetHook(nil)
+
+	fx.addDoc("1995", "niidoc", "the nii paragraph")
+	err := col.Flush()
+	if err == nil {
+		t.Fatal("flush over a broken WAL succeeded")
+	}
+	if deg, reason := col.Degraded(); !deg || reason == "" {
+		t.Fatalf("collection not degraded after WAL failure (deg=%v reason=%q)", deg, reason)
+	}
+	s := col.Stats().Snapshot()
+	if s.FlushErrors == 0 {
+		t.Errorf("FlushErrors = 0, want > 0")
+	}
+	if col.LastFlushError() == "" {
+		t.Error("LastFlushError empty after WAL failure")
+	}
+	// The degradation is loud, not silent: the drained batch never
+	// committed, so a durability barrier must refuse to succeed.
+	if err := col.Drain(); err == nil {
+		t.Error("drain over a degraded collection succeeded")
+	}
+
+	// Updates arriving while degraded accumulate in the log (recovery
+	// drains them), but flushing them is refused with the sentinel.
+	fx.addDoc("1996", "giidoc", "the gii paragraph")
+	if col.PendingOps() == 0 {
+		t.Error("updates while degraded not retained in the log")
+	}
+	if err := col.Flush(); !errors.Is(err, ErrDegraded) {
+		t.Errorf("degraded flush error = %v, want ErrDegraded", err)
+	}
+	// ...but keeps serving reads from the committed state (which does
+	// not include the unflushed nii doc).
+	res, err := col.GetIRSResult("www")
+	if err != nil {
+		t.Fatalf("degraded read failed: %v", err)
+	}
+	if len(res) != 1 {
+		t.Errorf("degraded read = %v, want 1 hit", res)
+	}
+	if res, err := col.GetIRSResult("nii"); err != nil || len(res) != 0 {
+		t.Errorf("unflushed doc visible while degraded: %v, %v", res, err)
+	}
+
+	// Heal the log and recover via Reindex: it rebuilds the index from
+	// the database and rotates the WAL behind a fresh barrier.
+	wal.SetHook(nil)
+	if _, _, _, err := col.Reindex(); err != nil {
+		t.Fatalf("recovery reindex failed: %v", err)
+	}
+	if deg, _ := col.Degraded(); deg {
+		t.Error("collection still degraded after reindex")
+	}
+	if err := col.Flush(); err != nil {
+		t.Errorf("post-recovery flush failed: %v", err)
+	}
+	for _, term := range []string{"nii", "gii"} {
+		res, err := col.GetIRSResult(term)
+		if err != nil || len(res) != 1 {
+			t.Errorf("post-recovery %s read = %v, %v (want 1 hit)", term, res, err)
+		}
+	}
+}

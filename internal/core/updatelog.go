@@ -159,6 +159,18 @@ func (l *updateLog) lastSeq() uint64 {
 	return l.seq
 }
 
+// seed advances the sequence counter to at least seq. The coupling
+// calls it on restart with the watermark recovered from the WAL, so
+// operations accepted after recovery sequence strictly after the
+// replayed ones.
+func (l *updateLog) seed(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.seq {
+		l.seq = seq
+	}
+}
+
 // drain atomically empties the log, returning the surviving
 // operations in first-logged order, whether creations were among them
 // (the flusher re-runs the specification query in that case), and the

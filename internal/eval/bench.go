@@ -10,7 +10,9 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
+	docirs "repro"
 	"repro/internal/core"
 	"repro/internal/irs"
 	"repro/internal/obs"
@@ -56,6 +58,30 @@ type BenchReport struct {
 	// coalescing window observed under an ingest burst. Nil in reports
 	// taken before the cost-aware cache existed.
 	Serving *ServingBench `json:"serving,omitempty"`
+	// Durability carries the write-ahead-log numbers
+	// (AddDurabilityBench): synchronous per-document ingest under each
+	// fsync policy, the log's size/append/fsync shape, and the cost of
+	// recovering by replay. Nil in reports taken before the WAL
+	// existed.
+	Durability *DurabilityBench `json:"durability,omitempty"`
+}
+
+// DurabilityBench is the perf snapshot of the durable ingest path: a
+// fixed corpus committed document by document under each WAL fsync
+// policy, and a crash image of the group run recovered by replay
+// alone. Elapsed numbers carry timing noise — trajectory signal, not
+// gates (EXP-S8 gates the overhead with slack).
+type DurabilityBench struct {
+	Docs          int     `json:"docs"`
+	SyncOffMs     float64 `json:"sync_ingest_off_ms"`
+	SyncGroupMs   float64 `json:"sync_ingest_group_ms"`
+	SyncAlwaysMs  float64 `json:"sync_ingest_always_ms"`
+	GroupOverhead float64 `json:"group_overhead"` // group/off elapsed ratio
+	WALBytes      int64   `json:"wal_bytes"`
+	WALAppends    int64   `json:"wal_appends"`
+	WALFsyncs     int64   `json:"wal_fsyncs"`
+	RecoveredOps  int     `json:"recovered_ops"`
+	RecoveryMs    float64 `json:"recovery_ms"` // crash-image open incl. replay
 }
 
 // ServingBench is the perf snapshot of the adaptive serving layer.
@@ -478,6 +504,73 @@ func AddServingBench(w io.Writer, rep *BenchReport) error {
 	fmt.Fprintf(w, "  serving: cache hit rate lru=%.3f 2q=%.3f (zipfian x%d, %d-entry budget), 2q evicted-cost %.3fs, burst coalesce window %.3fms\n",
 		sb.CacheHitRate[server.CachePolicyLRU], sb.CacheHitRate[server.CachePolicy2Q],
 		sb.CacheRequests, s7CacheBudget, sb.CacheEvictedCostSeconds, sb.CoalesceWindowMs)
+	return nil
+}
+
+// AddDurabilityBench extends a report with the durable-ingest
+// numbers: EXP-S8's synchronous phase at reduced scale (per-document
+// commits under each fsync policy), plus the wall clock of recovering
+// the group run's crash image by replaying its log.
+func AddDurabilityBench(w io.Writer, rep *BenchReport) error {
+	root, err := os.MkdirTemp("", "bench-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	cfg := workload.DefaultConfig()
+	cfg.Docs = 120
+	corpus := workload.Generate(cfg)
+	db := &DurabilityBench{Docs: len(corpus.Docs)}
+	crash := root + "/crash"
+
+	variants := []struct {
+		name   string
+		noWAL  bool
+		fsync  string
+		copyTo string
+		out    *float64
+	}{
+		{"off", true, "", "", &db.SyncOffMs},
+		{"group", false, "group", crash, &db.SyncGroupMs},
+		{"always", false, "always", "", &db.SyncAlwaysMs},
+	}
+	for _, v := range variants {
+		out, err := s8Ingest(root+"/"+v.name, corpus, false, v.noWAL, v.fsync, v.copyTo)
+		if err != nil {
+			return err
+		}
+		*v.out = float64(out.elapsed.Microseconds()) / 1000
+		if v.name == "group" {
+			db.WALBytes = out.stats.Bytes
+			db.WALAppends = out.stats.Appends
+			db.WALFsyncs = out.stats.Syncs
+		}
+	}
+	if db.SyncOffMs > 0 {
+		db.GroupOverhead = db.SyncGroupMs / db.SyncOffMs
+	}
+
+	// Recovery: reopen the crash image like a restarted server —
+	// replay is the whole open cost here, the image predates any
+	// snapshot.
+	start := time.Now()
+	sys, err := docirs.OpenWith(crash, docirs.OpenOptions{})
+	if err != nil {
+		return err
+	}
+	db.RecoveryMs = float64(time.Since(start).Microseconds()) / 1000
+	for _, r := range sys.RecoveryReports() {
+		db.RecoveredOps += r.Replayed
+	}
+	if err := sys.Close(); err != nil {
+		return err
+	}
+
+	rep.Durability = db
+	fmt.Fprintf(w, "  durability: sync ingest off=%.0fms group=%.0fms (%.2fx) always=%.0fms; wal %dB/%d appends/%d fsyncs; recovery replayed %d ops in %.0fms\n",
+		db.SyncOffMs, db.SyncGroupMs, db.GroupOverhead, db.SyncAlwaysMs,
+		db.WALBytes, db.WALAppends, db.WALFsyncs, db.RecoveredOps, db.RecoveryMs)
 	return nil
 }
 

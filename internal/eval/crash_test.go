@@ -1,0 +1,248 @@
+package eval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	docirs "repro"
+	"repro/internal/irs"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// TestCrashRecoveryKillPoints simulates a crash at every WAL and
+// snapshot write boundary and verifies the recovered index is
+// bit-identical to a never-crashed reference at the same flush
+// boundary.
+//
+// Mechanics: a reference run executes an ingest script (loads, edits,
+// deletes, a mid-run engine.Save) over a WAL-carrying persistent
+// system and fingerprints the rankings — four retrieval models times
+// a set of probe queries, scores compared by exact float bits — at
+// every commit watermark. A second, identical run installs the wal
+// fault hook and copies the entire live directory at each fired
+// event: mid-append (a genuinely torn record — the log write is split
+// around the hook), post-append, post-fsync, between snapshot write
+// and rename, and around log rotation. Each copy is then opened like
+// a restarted server — heap and memory-mapped — and must recover to
+// exactly one of the reference fingerprints, keyed by the watermark
+// its log replay restored.
+func TestCrashRecoveryKillPoints(t *testing.T) {
+	base := t.TempDir()
+
+	// Reference: the fingerprints a crash-free system exhibits at each
+	// flush boundary.
+	refs := runCrashScript(t, filepath.Join(base, "ref"), nil)
+
+	// Capture run: same script, copying the live state at every
+	// fault-hook event.
+	live := filepath.Join(base, "live")
+	capRoot := filepath.Join(base, "captures")
+	if err := os.MkdirAll(capRoot, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var captures []string
+	seen := map[string]int{}
+	wal.SetHook(func(event string) error {
+		seen[event]++
+		dst := filepath.Join(capRoot, fmt.Sprintf("%s-%02d", strings.ReplaceAll(event, ".", "_"), seen[event]))
+		copyTree(t, live, dst)
+		captures = append(captures, dst)
+		return nil
+	})
+	defer wal.SetHook(nil)
+	liveRefs := runCrashScript(t, live, nil)
+	wal.SetHook(nil)
+
+	// Both runs are deterministic: their reference fingerprints agree.
+	if len(liveRefs) != len(refs) {
+		t.Fatalf("runs diverged: %d vs %d flush boundaries", len(liveRefs), len(refs))
+	}
+	for w, fp := range refs {
+		if liveRefs[w] != fp {
+			t.Fatalf("runs diverged at watermark %d", w)
+		}
+	}
+	if len(captures) == 0 {
+		t.Fatal("fault hook never fired")
+	}
+	for _, event := range []string{
+		"wal.append.mid", "wal.append.post", "wal.sync.post",
+		"wal.rotate.tmp", "wal.rotate.renamed",
+		"snapshot.written", "snapshot.renamed",
+	} {
+		if seen[event] == 0 {
+			t.Errorf("kill point %q never exercised", event)
+		}
+	}
+
+	// Every capture recovers — heap and mapped — onto a reference
+	// flush boundary, bit for bit.
+	tornSeen := false
+	for _, dir := range captures {
+		mappedDir := dir + "-m"
+		copyTree(t, dir, mappedDir)
+		if verifyCrashCapture(t, dir, refs, false) {
+			tornSeen = true
+		}
+		verifyCrashCapture(t, mappedDir, refs, true)
+	}
+	// The mid-append kill points must have produced at least one
+	// genuinely torn log tail — otherwise the injection is not testing
+	// what it claims to.
+	if !tornSeen {
+		t.Error("no capture recovered through a torn WAL tail")
+	}
+}
+
+// runCrashScript executes the deterministic ingest script against a
+// persistent system at dir (WAL on, fsync=always so every append is
+// its own durability point) and returns the ranking fingerprint at
+// every commit watermark, 0 included (the empty collection a crash
+// before the first commit recovers to).
+func runCrashScript(t *testing.T, dir string, _ any) map[uint64]string {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Docs = 12
+	corpus := workload.Generate(cfg)
+
+	sys, err := docirs.OpenWith(dir, docirs.OpenOptions{WALFsync: "always"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtd, err := sys.LoadDTD(workload.MMFDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sys.CreateCollection("collPara", "ACCESS p FROM p IN PARA;",
+		docirs.CollectionOptions{Policy: docirs.PropagateManually})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := map[uint64]string{0: crashFingerprint(t, col.IRS())}
+	mark := func() {
+		t.Helper()
+		if err := col.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		refs[col.Watermark()] = crashFingerprint(t, col.IRS())
+	}
+
+	var docs []docirs.OID
+	next := 0
+	for batch := 0; batch < 4; batch++ {
+		for k := 0; k < 3; k++ {
+			oid, err := sys.LoadDocument(dtd, corpus.Docs[next].SGML)
+			if err != nil {
+				t.Fatal(err)
+			}
+			docs = append(docs, oid)
+			next++
+		}
+		mark()
+		if batch == 1 {
+			// Mid-script snapshot: exercises the snapshot write/rename
+			// and log-rotation kill points with live data on both sides.
+			if err := sys.Engine().Save(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Edit two paragraphs of the first document.
+	paras := crashParas(t, sys, docs[0])
+	if len(paras) < 2 {
+		t.Fatalf("document has %d paragraphs, want >= 2", len(paras))
+	}
+	for i, text := range []string{"the revised www crash paragraph", "an internet recovery paragraph"} {
+		// SetText targets the paragraph's text leaf, not the element.
+		kids := sys.Store().Children(paras[i])
+		if len(kids) == 0 {
+			t.Fatalf("paragraph %v has no text leaf", paras[i])
+		}
+		if err := sys.SetText(kids[0], text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mark()
+	// Delete a whole document.
+	if err := sys.DeleteDocument(docs[5]); err != nil {
+		t.Fatal(err)
+	}
+	mark()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return refs
+}
+
+// verifyCrashCapture restarts a captured directory and checks the
+// recovered rankings match the reference at the recovered watermark.
+// Reports whether recovery went through a torn log tail.
+func verifyCrashCapture(t *testing.T, dir string, refs map[uint64]string, mapped bool) bool {
+	t.Helper()
+	sys, err := docirs.OpenWith(dir, docirs.OpenOptions{MappedIRS: mapped})
+	if err != nil {
+		t.Fatalf("%s (mapped=%v): reopen: %v", filepath.Base(dir), mapped, err)
+	}
+	defer sys.Close()
+	col, err := sys.Collection("collPara")
+	if err != nil {
+		t.Fatalf("%s (mapped=%v): collection lost: %v", filepath.Base(dir), mapped, err)
+	}
+	w := col.IRS().WALWatermark()
+	want, ok := refs[w]
+	if !ok {
+		t.Fatalf("%s (mapped=%v): recovered watermark %d is not a flush boundary", filepath.Base(dir), mapped, w)
+	}
+	if got := crashFingerprint(t, col.IRS()); got != want {
+		t.Errorf("%s (mapped=%v): recovered rankings diverge from reference at watermark %d", filepath.Base(dir), mapped, w)
+	}
+	torn := false
+	for _, rep := range sys.RecoveryReports() {
+		if rep.TornBytes > 0 {
+			torn = true
+		}
+	}
+	return torn
+}
+
+// crashFingerprint is EXP-S8's ranking fingerprint (every model ×
+// every probe query, exact score bits) with test-failure plumbing.
+func crashFingerprint(t *testing.T, col *irs.Collection) string {
+	t.Helper()
+	fp, err := s8Fingerprint(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// crashParas walks a document tree for its PARA objects.
+func crashParas(t *testing.T, sys *docirs.System, doc docirs.OID) []docirs.OID {
+	t.Helper()
+	var out []docirs.OID
+	var walk func(oid docirs.OID)
+	walk = func(oid docirs.OID) {
+		if sys.Store().TypeOf(oid) == "PARA" {
+			out = append(out, oid)
+			return
+		}
+		for _, k := range sys.Store().Children(oid) {
+			walk(k)
+		}
+	}
+	walk(doc)
+	return out
+}
+
+// copyTree clones a directory of plain files (the shape both the
+// oodb and irs persistence layers write).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := copyDirAll(src, dst); err != nil {
+		t.Fatal(err)
+	}
+}

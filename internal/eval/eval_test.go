@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 // Every experiment must run green and reproduce the paper's SHAPE
@@ -594,6 +595,38 @@ func TestRunS7Shape(t *testing.T) {
 		t.Errorf("missing ingest timings: %+v", res)
 	}
 	if !strings.Contains(buf.String(), "EXP-S7") {
+		t.Error("table missing")
+	}
+}
+
+func TestRunS8Shape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunS8(&buf)
+	if err != nil {
+		t.Fatal(err) // includes the overhead, ranking-equality, replay-floor and serving-surface gates
+	}
+	if !res.RankingsSame || !res.RecoveredSame {
+		t.Errorf("rankings diverge: variants same=%v recovered same=%v",
+			res.RankingsSame, res.RecoveredSame)
+	}
+	if res.RecoveredOps < 4000 {
+		t.Errorf("recovery replayed %d ops, want >= 4000", res.RecoveredOps)
+	}
+	if res.WALBytes <= 0 || res.WALAppends <= 0 || res.WALFsyncs <= 0 {
+		t.Errorf("wal counters empty: bytes=%d appends=%d fsyncs=%d",
+			res.WALBytes, res.WALAppends, res.WALFsyncs)
+	}
+	for _, m := range []map[string]time.Duration{res.Sync, res.Async} {
+		for _, name := range []string{"off", "group", "always"} {
+			if m[name] <= 0 {
+				t.Errorf("missing %s ingest timing", name)
+			}
+		}
+	}
+	if !res.StatsWAL || !res.MetricsWAL {
+		t.Errorf("serving surface incomplete: stats=%v metrics=%v", res.StatsWAL, res.MetricsWAL)
+	}
+	if !strings.Contains(buf.String(), "EXP-S8") {
 		t.Error("table missing")
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/irs/analysis"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Engine manages named collections — the unit of retrieval context
@@ -31,6 +32,11 @@ type Engine struct {
 	dir       string
 	defShards int
 	mapped    bool
+
+	walOn    bool
+	walDir   string
+	walFsync wal.SyncPolicy
+	recovery []RecoveryReport
 }
 
 // Options configures an Engine.
@@ -48,6 +54,21 @@ type Options struct {
 	// done so the mappings are released. Pre-v5 files still load on
 	// heap (and are served mapped after their next Save rewrites them).
 	Mapped bool
+
+	// WAL attaches a per-collection write-ahead log to persistent
+	// engines: flush batches append analyzed-op records before the
+	// commit, open replays the committed log tail onto the snapshot, and
+	// Save rotates each log behind a barrier. Memory-only engines ignore
+	// it.
+	WAL bool
+
+	// WALDir overrides where the .wal files live (default: the engine
+	// directory, next to the .irsc snapshots).
+	WALDir string
+
+	// WALFsync selects when log appends reach the disk (default
+	// SyncGroup: one fsync per commit-coalescing window).
+	WALFsync wal.SyncPolicy
 }
 
 // NewEngine returns a memory-only engine.
@@ -80,7 +101,56 @@ func NewEngineAt(dir string, opts ...Options) (*Engine, error) {
 		}
 		e.colls[c.name] = c
 	}
+	if e.walOn {
+		for _, c := range e.colls {
+			if err := e.attachWAL(c); err != nil {
+				e.closeColls()
+				return nil, err
+			}
+		}
+	}
 	return e, nil
+}
+
+// attachWAL opens (recovering and replaying) the collection's log.
+// Called with e.mu held or before the engine is published.
+func (e *Engine) attachWAL(c *Collection) error {
+	lg, rec, err := wal.Open(filepath.Join(e.walDir, c.name+walExt), wal.Options{
+		Name: c.name,
+		Sync: e.walFsync,
+	})
+	if err != nil {
+		return err
+	}
+	replayed, err := c.replayWAL(rec.Records)
+	if err != nil {
+		lg.Close()
+		return err
+	}
+	c.wl = lg
+	if len(rec.Records) > 0 || rec.TornBytes > 0 || rec.Uncommitted > 0 {
+		report := RecoveryReport{
+			Collection:  c.name,
+			Records:     len(rec.Records),
+			Replayed:    replayed,
+			TornBytes:   rec.TornBytes,
+			Uncommitted: rec.Uncommitted,
+			Watermark:   rec.Watermark,
+			Epoch:       rec.Epoch,
+		}
+		c.walRecovered = &report
+		e.recovery = append(e.recovery, report)
+	}
+	return nil
+}
+
+// RecoveryReports returns what each collection's open recovered from
+// its write-ahead log, in open order; empty when every log was empty
+// (clean shutdown) or the engine carries no WAL.
+func (e *Engine) RecoveryReports() []RecoveryReport {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]RecoveryReport(nil), e.recovery...)
 }
 
 func (e *Engine) applyOptions(opts []Options) {
@@ -90,6 +160,21 @@ func (e *Engine) applyOptions(opts []Options) {
 		}
 		if o.Mapped {
 			e.mapped = true
+		}
+		if o.WAL && e.dir != "" {
+			e.walOn = true
+			e.walDir = e.dir
+			if o.WALDir != "" {
+				e.walDir = o.WALDir
+			}
+			e.walFsync = o.WALFsync
+		}
+	}
+	if e.walOn {
+		if err := os.MkdirAll(e.walDir, 0o755); err != nil {
+			// Surface through the first attach; MkdirAll failing here
+			// almost always means wal.Open fails identically.
+			e.walDir = e.dir
 		}
 	}
 }
@@ -131,7 +216,10 @@ func (e *Engine) SetDefaultShards(n int) {
 	e.mu.Unlock()
 }
 
-const collExt = ".irsc"
+const (
+	collExt = ".irsc"
+	walExt  = ".wal"
+)
 
 // ErrBadCollectionName rejects names that cannot serve as file names
 // in the persistent engine.
@@ -184,6 +272,14 @@ func (e *Engine) CreateCollectionShards(name string, model Model, shards int) (*
 		ix:    NewIndexShards(analysis.NewAnalyzer(), shards),
 		model: model,
 	}
+	if e.walOn {
+		// An existing log under this name is an orphan: the collection
+		// crashed before its first snapshot. Attaching replays it into
+		// the fresh index, so create-then-replay recovers it.
+		if err := e.attachWAL(c); err != nil {
+			return nil, err
+		}
+	}
 	e.colls[name] = c
 	return c, nil
 }
@@ -209,6 +305,15 @@ func (e *Engine) DropCollection(name string) error {
 	}
 	c := e.colls[name]
 	delete(e.colls, name)
+	if c.wl != nil {
+		c.closeWAL()
+		// Remove the log before the snapshot: a crash between the two
+		// must not leave an orphan log that a later collection of the
+		// same name would replay.
+		if err := os.Remove(filepath.Join(e.walDir, name+walExt)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("irs: drop collection wal: %w", err)
+		}
+	}
 	if e.dir != "" {
 		if err := os.Remove(filepath.Join(e.dir, name+collExt)); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("irs: drop collection file: %w", err)
@@ -244,6 +349,11 @@ func (e *Engine) Save() error {
 		if err := c.saveTo(filepath.Join(e.dir, name+collExt)); err != nil {
 			return err
 		}
+		// The snapshot covers everything the log held; truncate it
+		// behind a barrier so recovery replays only post-save operations.
+		if err := c.rotateWAL(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -271,6 +381,11 @@ type Collection struct {
 	topkSkipped       atomic.Int64
 	topkBlocksSkipped atomic.Int64
 	topkDecoded       atomic.Int64
+
+	// wl is the collection's write-ahead log (nil when the engine runs
+	// without one); walRecovered is what this process's open replayed.
+	wl           *wal.Log
+	walRecovered *RecoveryReport
 }
 
 // Name returns the collection name.

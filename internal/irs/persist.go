@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/irs/codec"
+	"repro/internal/wal"
 )
 
 // Binary collection file format (little endian).
@@ -106,6 +107,11 @@ func (c *Collection) saveTo(path string) error {
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		// Kill-point boundary for crash-recovery tests: the snapshot is
+		// durable in its temp file but not yet visible under path.
+		err = wal.Fire("snapshot.written")
+	}
 	if err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("irs: save collection %q: %w", c.name, err)
@@ -114,7 +120,10 @@ func (c *Collection) saveTo(path string) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("irs: save collection %q: %w", c.name, err)
 	}
-	return nil
+	// Boundary between the snapshot landing and the log rotating behind
+	// it (Engine.Save): recovery must tolerate a new snapshot with the
+	// old, now-redundant log.
+	return wal.Fire("snapshot.renamed")
 }
 
 func loadCollection(path string) (*Collection, error) {

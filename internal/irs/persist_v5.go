@@ -838,6 +838,13 @@ func OpenMapped(path string) (*Collection, error) {
 	return loadCollectionMode(path, true)
 }
 
-// Close releases the collection file mapping backing a mapped
-// collection (no-op for heap collections). See Index.Close.
-func (c *Collection) Close() error { return c.ix.Close() }
+// Close syncs and closes the collection's write-ahead log (when it
+// carries one) and releases the collection file mapping backing a
+// mapped collection (no-op for heap collections). See Index.Close.
+func (c *Collection) Close() error {
+	werr := c.closeWAL()
+	if err := c.ix.Close(); err != nil {
+		return err
+	}
+	return werr
+}

@@ -1,0 +1,355 @@
+package irs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// The coupling layer spells WAL operation kinds in wal's vocabulary
+// so its flush pipeline can build records without importing wal
+// directly.
+type WALOpKind = wal.Type
+
+// WAL operation kinds a flush batch logs.
+const (
+	WALAdd    = wal.TypeAdd
+	WALUpdate = wal.TypeUpdate
+	WALDelete = wal.TypeDelete
+)
+
+// WALOp is one logged index operation: an analyzed document for
+// add/update, an external id for delete.
+type WALOp struct {
+	Kind  WALOpKind
+	ExtID string       // delete only
+	Doc   *AnalyzedDoc // add/update only
+}
+
+// RecoveryReport summarizes one collection's crash recovery: what the
+// log contributed on top of the last snapshot and what had to be
+// discarded from its tail.
+type RecoveryReport struct {
+	Collection string `json:"collection"`
+	// Records is the committed record count recovered from the log
+	// (operations + commit/barrier markers); Replayed counts the
+	// operations actually applied onto the snapshot.
+	Records  int `json:"records"`
+	Replayed int `json:"replayed"`
+	// TornBytes and Uncommitted describe the discarded tail: torn bytes
+	// from an interrupted write, intact records no commit covered.
+	TornBytes   int64  `json:"torn_bytes,omitempty"`
+	Uncommitted int    `json:"uncommitted,omitempty"`
+	Watermark   uint64 `json:"watermark"`
+	Epoch       uint64 `json:"epoch"`
+}
+
+// WALEnabled reports whether the collection carries a write-ahead log.
+func (c *Collection) WALEnabled() bool { return c.wl != nil }
+
+// WALAppend logs one flush batch — the ops followed by a commit
+// record carrying the batch's ingest watermark — and applies the
+// log's fsync policy. A nil-WAL collection accepts silently, so the
+// coupling calls this unconditionally.
+func (c *Collection) WALAppend(ops []WALOp, watermark uint64) error {
+	if c.wl == nil {
+		return nil
+	}
+	recs := make([]wal.Record, 0, len(ops)+1)
+	for _, op := range ops {
+		r := wal.Record{Type: op.Kind, Watermark: watermark}
+		if op.Kind == WALDelete {
+			r.Payload = []byte(op.ExtID)
+		} else {
+			r.Payload = encodeAnalyzedDoc(op.Doc)
+		}
+		recs = append(recs, r)
+	}
+	recs = append(recs, wal.Record{Type: wal.TypeCommit, Watermark: watermark})
+	return c.wl.Append(recs)
+}
+
+// WALReapply applies a just-logged batch directly, mirroring the
+// commit batch's semantics op for op (adds skip existing docs,
+// updates and deletes skip missing ones). The coupling calls it when
+// the commit batch failed partway: every op is already durable in the
+// log, and reapplying idempotently converges the index on the same
+// state the batch would have produced — which is also the state
+// replay reconstructs after a crash.
+func (c *Collection) WALReapply(ops []WALOp) error {
+	for _, op := range ops {
+		switch op.Kind {
+		case WALAdd:
+			if c.ix.HasDoc(op.Doc.extID) {
+				continue
+			}
+			if _, err := c.ix.AddAnalyzed(op.Doc); err != nil {
+				return err
+			}
+		case WALUpdate:
+			if !c.ix.HasDoc(op.Doc.extID) {
+				continue
+			}
+			if _, err := c.ix.UpdateAnalyzed(op.Doc); err != nil {
+				return err
+			}
+		case WALDelete:
+			if !c.ix.HasDoc(op.ExtID) {
+				continue
+			}
+			if err := c.ix.Delete(op.ExtID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WALSync forces unsynced log appends to disk — the durability
+// barrier behind Drain and shutdown.
+func (c *Collection) WALSync() error {
+	if c.wl == nil {
+		return nil
+	}
+	return c.wl.Sync()
+}
+
+// WALStats snapshots the log (ok=false without a WAL).
+func (c *Collection) WALStats() (wal.Stats, bool) {
+	if c.wl == nil {
+		return wal.Stats{}, false
+	}
+	return c.wl.Stats(), true
+}
+
+// WALWatermark returns the last committed ingest watermark in the
+// log; the coupling seeds its update sequence from it on restart so
+// post-recovery operations sequence after the replayed ones.
+func (c *Collection) WALWatermark() uint64 {
+	if c.wl == nil {
+		return 0
+	}
+	return c.wl.Watermark()
+}
+
+// WALRecovery returns what this collection's open recovered
+// (ok=false without a WAL or when nothing preceded the open).
+func (c *Collection) WALRecovery() (RecoveryReport, bool) {
+	if c.wl == nil || c.walRecovered == nil {
+		return RecoveryReport{}, false
+	}
+	return *c.walRecovered, true
+}
+
+// SetWALGroupWindow wires the group-fsync batching window — the
+// coupling points it at the collection's adaptive commit-coalescing
+// window so one fsync covers a coalesced flush group.
+func (c *Collection) SetWALGroupWindow(fn func() time.Duration) {
+	if c.wl != nil {
+		c.wl.SetWindow(fn)
+	}
+}
+
+// SetWALSyncErrorHook observes failed background group fsyncs (the
+// coupling flips the collection into degraded mode from here).
+func (c *Collection) SetWALSyncErrorHook(fn func(error)) {
+	if c.wl != nil {
+		c.wl.SetOnSyncError(fn)
+	}
+}
+
+// WALReset rotates the log behind a barrier at watermark — called
+// after the index state covering the log was rebuilt or snapshotted
+// by other means (Reindex, bulk IndexObjects + Save).
+func (c *Collection) WALReset(watermark uint64) error {
+	if c.wl == nil {
+		return nil
+	}
+	return c.wl.Rotate(watermark)
+}
+
+// rotateWAL truncates the log behind a barrier after a successful
+// snapshot save, keeping the current watermark.
+func (c *Collection) rotateWAL() error {
+	if c.wl == nil {
+		return nil
+	}
+	return c.wl.Rotate(c.wl.Watermark())
+}
+
+// closeWAL closes the log (nil-safe; idempotent).
+func (c *Collection) closeWAL() error {
+	if c.wl == nil {
+		return nil
+	}
+	return c.wl.Close()
+}
+
+// replayWAL applies recovered records onto the freshly loaded
+// snapshot. Replay is idempotent against the snapshot state — an add
+// whose document already made it into the snapshot re-applies as an
+// update, an update of a missing document applies as an add, a delete
+// of a missing document is a no-op — so any committed log prefix
+// lands on the exact state the live system had at that flush
+// boundary. Runs single-threaded at open, before the collection is
+// published.
+func (c *Collection) replayWAL(recs []wal.Record) (int, error) {
+	applied := 0
+	for _, r := range recs {
+		switch r.Type {
+		case wal.TypeAdd, wal.TypeUpdate:
+			d, err := decodeAnalyzedDoc(r.Payload)
+			if err != nil {
+				return applied, fmt.Errorf("irs: wal replay %q seq %d: %w", c.name, r.Seq, err)
+			}
+			if c.ix.HasDoc(d.extID) {
+				_, err = c.ix.UpdateAnalyzed(d)
+			} else {
+				_, err = c.ix.AddAnalyzed(d)
+			}
+			if err != nil {
+				return applied, fmt.Errorf("irs: wal replay %q seq %d: %w", c.name, r.Seq, err)
+			}
+			applied++
+		case wal.TypeDelete:
+			ext := string(r.Payload)
+			if c.ix.HasDoc(ext) {
+				if err := c.ix.Delete(ext); err != nil {
+					return applied, fmt.Errorf("irs: wal replay %q seq %d: %w", c.name, r.Seq, err)
+				}
+			}
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// encodeAnalyzedDoc serializes an analyzed document as the payload of
+// an add/update record: varint-framed strings and delta-varint
+// positions, the same basic dialect the posting blocks use.
+func encodeAnalyzedDoc(d *AnalyzedDoc) []byte {
+	buf := make([]byte, 0, 64+16*len(d.terms))
+	buf = appendUvarintStr(buf, d.extID)
+	buf = binary.AppendUvarint(buf, uint64(d.length))
+	buf = binary.AppendUvarint(buf, uint64(len(d.meta)))
+	for k, v := range d.meta {
+		buf = appendUvarintStr(buf, k)
+		buf = appendUvarintStr(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(d.terms)))
+	for i, term := range d.terms {
+		buf = appendUvarintStr(buf, term)
+		pos := d.positions[i]
+		buf = binary.AppendUvarint(buf, uint64(len(pos)))
+		prev := uint32(0)
+		for _, p := range pos {
+			buf = binary.AppendUvarint(buf, uint64(p-prev))
+			prev = p
+		}
+	}
+	return buf
+}
+
+// decodeAnalyzedDoc is encodeAnalyzedDoc's inverse, validating every
+// bound (record payloads are CRC-protected, but a codec bug must not
+// become an allocation bomb).
+func decodeAnalyzedDoc(buf []byte) (*AnalyzedDoc, error) {
+	d := &AnalyzedDoc{}
+	var err error
+	if d.extID, buf, err = cutUvarintStr(buf); err != nil {
+		return nil, err
+	}
+	length, buf, err := cutUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	d.length = int(length)
+	nmeta, buf, err := cutUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if nmeta > uint64(len(buf)) {
+		return nil, errDocTruncated
+	}
+	if nmeta > 0 {
+		d.meta = make(map[string]string, nmeta)
+	}
+	for i := uint64(0); i < nmeta; i++ {
+		var k, v string
+		if k, buf, err = cutUvarintStr(buf); err != nil {
+			return nil, err
+		}
+		if v, buf, err = cutUvarintStr(buf); err != nil {
+			return nil, err
+		}
+		d.meta[k] = v
+	}
+	nterms, buf, err := cutUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if nterms > uint64(len(buf)) {
+		return nil, errDocTruncated
+	}
+	d.terms = make([]string, 0, nterms)
+	d.positions = make([][]uint32, 0, nterms)
+	for i := uint64(0); i < nterms; i++ {
+		var term string
+		if term, buf, err = cutUvarintStr(buf); err != nil {
+			return nil, err
+		}
+		npos, rest, err := cutUvarint(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = rest
+		if npos > uint64(len(buf)) {
+			return nil, errDocTruncated
+		}
+		pos := make([]uint32, 0, npos)
+		prev := uint32(0)
+		for j := uint64(0); j < npos; j++ {
+			delta, rest, err := cutUvarint(buf)
+			if err != nil {
+				return nil, err
+			}
+			buf = rest
+			prev += uint32(delta)
+			pos = append(pos, prev)
+		}
+		d.terms = append(d.terms, term)
+		d.positions = append(d.positions, pos)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("irs: analyzed-doc payload has %d trailing bytes", len(buf))
+	}
+	return d, nil
+}
+
+var errDocTruncated = fmt.Errorf("irs: truncated analyzed-doc payload")
+
+func appendUvarintStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func cutUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, errDocTruncated
+	}
+	return v, buf[n:], nil
+}
+
+func cutUvarintStr(buf []byte) (string, []byte, error) {
+	n, buf, err := cutUvarint(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(buf)) {
+		return "", nil, errDocTruncated
+	}
+	return string(buf[:n]), buf[n:], nil
+}

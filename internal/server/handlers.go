@@ -127,6 +127,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		live, dead := ix.TombstoneStats()
 		tk := col.IRS().TopKStats()
+		degraded, degradedReason := col.Degraded()
+		// Durability metrics: the write-ahead log behind this
+		// collection's ingest path (enabled=false in memory mode or
+		// with -no-wal). recovered_* appear only when this process's
+		// open found a non-empty log to replay — evidence of a crash.
+		walBlock := map[string]any{"enabled": false}
+		if ws, ok := col.IRS().WALStats(); ok {
+			walBlock = map[string]any{
+				"enabled":   true,
+				"policy":    ws.Policy,
+				"seq":       ws.Seq,
+				"epoch":     ws.Epoch,
+				"watermark": ws.Watermark,
+				"bytes":     ws.Bytes,
+				"appends":   ws.Appends,
+				"fsyncs":    ws.Syncs,
+				"failed":    ws.Failed,
+			}
+			if !ws.LastSync.IsZero() {
+				walBlock["last_fsync_unix_ms"] = ws.LastSync.UnixMilli()
+			}
+			if rep, ok := col.IRS().WALRecovery(); ok {
+				walBlock["recovered_records"] = rep.Records
+				walBlock["recovered_replayed"] = rep.Replayed
+				walBlock["recovered_torn_bytes"] = rep.TornBytes
+				walBlock["recovered_uncommitted"] = rep.Uncommitted
+			}
+		}
 		pruneRate := 0.0
 		if tk.Scored+tk.Pruned > 0 {
 			pruneRate = float64(tk.Pruned) / float64(tk.Scored+tk.Pruned)
@@ -198,12 +226,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				"analyze_ms":         float64(cs.AnalyzeNanos) / 1e6,
 				"commit_ms":          float64(cs.CommitNanos) / 1e6,
 				"flush_errors":       cs.FlushErrors,
+				"flush_recoveries":   cs.FlushRecoveries,
 				"last_flush_error":   col.LastFlushError(),
+				"degraded":           degraded,
+				"degraded_reason":    degradedReason,
 				"compactions":        ix.Compactions(),
 				"tombstones":         dead,
 				"live_docs":          live,
 				"tombstone_ratio":    ix.TombstoneRatio(),
 			},
+			"wal": walBlock,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -453,6 +485,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// force pending flushes), so shedding happens before any
 		// document is stored.
 		for _, col := range asyncColls {
+			// A degraded collection (WAL failure) can't durably log new
+			// operations; shed before storing anything, like backpressure.
+			if deg, reason := col.Degraded(); deg {
+				s.stats.backpressured.Add(1)
+				s.fail(w, http.StatusServiceUnavailable,
+					"collection %q degraded: %s", col.Name(), reason)
+				return
+			}
 			if col.AsyncBacklogFull() {
 				s.stats.backpressured.Add(1)
 				w.Header().Set("Retry-After", "1")

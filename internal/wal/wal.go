@@ -1,0 +1,620 @@
+// Package wal implements the per-collection write-ahead log behind
+// the IRS engine's durability story: a sequenced, CRC-checksummed
+// record stream of analyzed index operations, group-commit fsync, and
+// torn-tail recovery. A collection's durable state is its last .irsc
+// snapshot plus the committed prefix of its log; Save rotates the log
+// behind a barrier record so the log only ever covers the tail since
+// the last snapshot.
+//
+// Record framing (little-endian):
+//
+//	len   u32   body length
+//	crc   u32   CRC-32C (Castagnoli) over the body
+//	body:
+//	  seq       u64   strictly increasing per log
+//	  epoch     u64   bumped by every barrier (rotation)
+//	  watermark u64   coupling ingest watermark the record belongs to
+//	  type      u8    add | update | delete | commit | barrier
+//	  payload   ...   type-specific (encoded analyzed doc, ext id)
+//
+// A flush appends its operation records followed by one commit record
+// carrying the drained watermark; Open discards both torn bytes and
+// any valid-but-uncommitted suffix, so replay always reconstructs an
+// exact flush boundary. The epoch + watermark pair in every record is
+// deliberately the shape a replica-streaming feed needs: epoch bumps
+// tell a follower its snapshot went stale, watermarks give it
+// read-your-writes barriers.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Type tags one record.
+type Type uint8
+
+// Record types. Add/Update/Delete carry index operations; Commit
+// closes one flush batch; Barrier opens a fresh log epoch after a
+// snapshot (rotation) and is its own commit boundary.
+const (
+	TypeAdd Type = iota + 1
+	TypeUpdate
+	TypeDelete
+	TypeCommit
+	TypeBarrier
+)
+
+// String names a record type for reports and logs.
+func (t Type) String() string {
+	switch t {
+	case TypeAdd:
+		return "add"
+	case TypeUpdate:
+		return "update"
+	case TypeDelete:
+		return "delete"
+	case TypeCommit:
+		return "commit"
+	case TypeBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Record is one log entry. Append assigns Seq and Epoch; callers fill
+// Type, Watermark and Payload.
+type Record struct {
+	Seq       uint64
+	Epoch     uint64
+	Watermark uint64
+	Type      Type
+	Payload   []byte
+}
+
+// SyncPolicy selects when appended records reach the disk.
+type SyncPolicy uint8
+
+const (
+	// SyncGroup batches fsyncs: an append arms a timer for the group
+	// window (the adaptive commit-coalescing window when the collection
+	// provides one) and one fsync covers every append inside it.
+	SyncGroup SyncPolicy = iota
+	// SyncAlways fsyncs inside every Append.
+	SyncAlways
+	// SyncOff never fsyncs on its own; only explicit Sync/Rotate/Close
+	// reach the disk (the OS still writes back eventually).
+	SyncOff
+)
+
+// String renders the policy the way flags and /stats spell it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	}
+	return "group"
+}
+
+// ParseSyncPolicy is String's inverse; "" selects SyncGroup.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "group":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return SyncGroup, fmt.Errorf("unknown wal fsync policy %q (want always, group or off)", s)
+}
+
+const (
+	frameHeader = 8             // len u32 + crc u32
+	bodyFixed   = 8 + 8 + 8 + 1 // seq + epoch + watermark + type
+	// maxBody bounds one record body; a longer length prefix is treated
+	// as a torn tail rather than an attempted 4GiB allocation.
+	maxBody = 1 << 28
+	// defaultGroupWindow is the fsync batching window when no provider
+	// is wired (standalone logs, tests).
+	defaultGroupWindow = 2 * time.Millisecond
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// appendRecord frames one record onto buf.
+func appendRecord(buf []byte, r Record) []byte {
+	body := make([]byte, bodyFixed+len(r.Payload))
+	binary.LittleEndian.PutUint64(body[0:], r.Seq)
+	binary.LittleEndian.PutUint64(body[8:], r.Epoch)
+	binary.LittleEndian.PutUint64(body[16:], r.Watermark)
+	body[24] = byte(r.Type)
+	copy(body[25:], r.Payload)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
+	return append(append(buf, hdr[:]...), body...)
+}
+
+// decodeRecord parses the record at the head of data, returning it
+// and the framed size. Any inconsistency — short frame, implausible
+// length, checksum mismatch, unknown type — reads as a torn tail.
+func decodeRecord(data []byte) (Record, int, bool) {
+	if len(data) < frameHeader {
+		return Record{}, 0, false
+	}
+	n := binary.LittleEndian.Uint32(data[0:])
+	if n < bodyFixed || n > maxBody || len(data) < frameHeader+int(n) {
+		return Record{}, 0, false
+	}
+	body := data[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[4:]) {
+		return Record{}, 0, false
+	}
+	r := Record{
+		Seq:       binary.LittleEndian.Uint64(body[0:]),
+		Epoch:     binary.LittleEndian.Uint64(body[8:]),
+		Watermark: binary.LittleEndian.Uint64(body[16:]),
+		Type:      Type(body[24]),
+	}
+	if r.Type < TypeAdd || r.Type > TypeBarrier {
+		return Record{}, 0, false
+	}
+	if n := int(n) - bodyFixed; n > 0 {
+		r.Payload = append([]byte(nil), body[bodyFixed:]...)
+	}
+	return r, frameHeader + int(n), true
+}
+
+// scanResult is what Open learns from the bytes on disk.
+type scanResult struct {
+	committed    []Record // records up to and including the last commit/barrier
+	committedLen int64    // byte length of that prefix
+	uncommitted  int      // valid records past it (discarded with the torn tail)
+	tornBytes    int64    // bytes past the last valid record
+}
+
+// scan walks data, validating frames and sequence continuity, and
+// splits it into the committed prefix, a valid-but-uncommitted middle
+// and the torn tail.
+func scan(data []byte) scanResult {
+	var (
+		res  scanResult
+		off  int64
+		recs []Record
+		last uint64
+		seen bool
+	)
+	for int(off) < len(data) {
+		r, n, ok := decodeRecord(data[off:])
+		if !ok {
+			break
+		}
+		if seen && r.Seq != last+1 {
+			break
+		}
+		seen, last = true, r.Seq
+		off += int64(n)
+		recs = append(recs, r)
+		if r.Type == TypeCommit || r.Type == TypeBarrier {
+			res.committed = recs[:len(recs):len(recs)]
+			res.committedLen = off
+		}
+	}
+	res.uncommitted = len(recs) - len(res.committed)
+	res.tornBytes = int64(len(data)) - off
+	return res
+}
+
+// Recovery reports what Open found and discarded.
+type Recovery struct {
+	// Records is the committed prefix, in append order; replay these.
+	Records []Record
+	// TornBytes counts bytes dropped from the tail (partial frame,
+	// checksum mismatch, garbage).
+	TornBytes int64
+	// Uncommitted counts intact records dropped because no commit or
+	// barrier followed them — a flush that never finished appending.
+	Uncommitted int
+	// Watermark and Epoch are the recovered positions (zero on a fresh
+	// or empty log).
+	Watermark uint64
+	Epoch     uint64
+}
+
+// Options configures Open.
+type Options struct {
+	// Name labels the log's metrics series (defaults to the file name).
+	Name string
+	// Sync is the fsync policy.
+	Sync SyncPolicy
+	// Window provides the group-fsync batching window; the core layer
+	// wires the collection's adaptive coalescing window here. Nil or
+	// non-positive values fall back to 2ms.
+	Window func() time.Duration
+	// OnSyncError observes a failed background group fsync (called
+	// without the log lock). Appends after such a failure also fail.
+	OnSyncError func(error)
+}
+
+// Log is an append-only record log bound to one file.
+type Log struct {
+	mu          sync.Mutex
+	f           *os.File
+	path        string
+	policy      SyncPolicy
+	window      func() time.Duration
+	onSyncError func(error)
+
+	seq       uint64
+	epoch     uint64
+	watermark uint64
+	size      int64
+	appends   int64
+	syncs     int64
+	lastSync  time.Time
+	dirty     bool
+	timerOn   bool
+	closed    bool
+	// failed is the sticky write/fsync error: once a write tears or a
+	// sync fails, the tail is suspect and further appends are refused
+	// until Rotate lays down a fresh log.
+	failed error
+
+	fsyncHist *obs.Histogram
+	bytesCtr  *obs.Counter
+}
+
+// Open opens (creating if absent) the log at path, recovering the
+// committed record prefix and truncating everything after it.
+func Open(path string, opts Options) (*Log, Recovery, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, Recovery{}, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	res := scan(data)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if int64(len(data)) > res.committedLen {
+		if err := f.Truncate(res.committedLen); err != nil {
+			f.Close()
+			return nil, Recovery{}, fmt.Errorf("wal: truncate %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(res.committedLen, 0); err != nil {
+		f.Close()
+		return nil, Recovery{}, err
+	}
+	name := opts.Name
+	if name == "" {
+		name = filepath.Base(path)
+	}
+	l := &Log{
+		f:           f,
+		path:        path,
+		policy:      opts.Sync,
+		window:      opts.Window,
+		onSyncError: opts.OnSyncError,
+		size:        res.committedLen,
+		fsyncHist:   obs.Default.Histogram("mmf_wal_fsync_seconds", "collection", name),
+		bytesCtr:    obs.Default.Counter("mmf_wal_bytes_total", "collection", name),
+	}
+	rec := Recovery{
+		Records:     res.committed,
+		TornBytes:   res.tornBytes,
+		Uncommitted: res.uncommitted,
+	}
+	for _, r := range res.committed {
+		l.seq, l.epoch = r.Seq, r.Epoch
+		if r.Type == TypeCommit || r.Type == TypeBarrier {
+			l.watermark = r.Watermark
+		}
+	}
+	rec.Watermark, rec.Epoch = l.watermark, l.epoch
+	return l, rec, nil
+}
+
+// SetWindow installs the group-fsync window provider (the core layer
+// binds the collection's adaptive coalescing window after attach).
+func (l *Log) SetWindow(fn func() time.Duration) {
+	l.mu.Lock()
+	l.window = fn
+	l.mu.Unlock()
+}
+
+// SetOnSyncError installs the background-fsync failure observer.
+func (l *Log) SetOnSyncError(fn func(error)) {
+	l.mu.Lock()
+	l.onSyncError = fn
+	l.mu.Unlock()
+}
+
+// Append frames recs onto the log in one write, assigning sequence
+// numbers and the current epoch in place, and applies the fsync
+// policy. The batch should end with a commit record: recovery
+// discards appended records that no commit covers.
+func (l *Log) Append(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return fmt.Errorf("wal: log failed: %w", l.failed)
+	}
+	var buf []byte
+	for i := range recs {
+		l.seq++
+		recs[i].Seq = l.seq
+		recs[i].Epoch = l.epoch
+		buf = appendRecord(buf, recs[i])
+	}
+	if err := l.write(buf); err != nil {
+		l.failed = err
+		return err
+	}
+	for i := range recs {
+		if t := recs[i].Type; (t == TypeCommit || t == TypeBarrier) && recs[i].Watermark > l.watermark {
+			l.watermark = recs[i].Watermark
+		}
+	}
+	l.appends++
+	l.dirty = true
+	l.bytesCtr.Add(int64(len(buf)))
+	switch l.policy {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			l.failed = err
+			return err
+		}
+	case SyncGroup:
+		l.armTimer()
+	}
+	return Fire("wal.append.post")
+}
+
+// write lands buf at the tail. With a fault hook installed the write
+// is split in half around a hook event, so kill-point tests capture
+// genuinely torn records; without one it is a single write.
+func (l *Log) write(buf []byte) error {
+	if hookInstalled() && len(buf) > 1 {
+		half := len(buf) / 2
+		if _, err := l.f.Write(buf[:half]); err != nil {
+			return err
+		}
+		if err := Fire("wal.append.mid"); err != nil {
+			return err
+		}
+		if _, err := l.f.Write(buf[half:]); err != nil {
+			return err
+		}
+	} else if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	l.size += int64(len(buf))
+	return nil
+}
+
+func (l *Log) armTimer() {
+	if l.timerOn {
+		return
+	}
+	l.timerOn = true
+	d := defaultGroupWindow
+	if l.window != nil {
+		if w := l.window(); w > 0 {
+			d = w
+		}
+	}
+	time.AfterFunc(d, l.groupSync)
+}
+
+// groupSync is the deferred fsync closing one group window.
+func (l *Log) groupSync() {
+	l.mu.Lock()
+	l.timerOn = false
+	if l.closed || !l.dirty || l.failed != nil {
+		l.mu.Unlock()
+		return
+	}
+	err := l.syncLocked()
+	var cb func(error)
+	if err != nil {
+		l.failed = err
+		cb = l.onSyncError
+	}
+	l.mu.Unlock()
+	if err != nil && cb != nil {
+		cb(err)
+	}
+}
+
+func (l *Log) syncLocked() error {
+	start := time.Now()
+	err := l.f.Sync()
+	l.fsyncHist.Since(start)
+	if err == nil {
+		err = Fire("wal.sync.post")
+	}
+	if err != nil {
+		return err
+	}
+	l.dirty = false
+	l.syncs++
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces any unsynced appends to disk (drain barriers, shutdown).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return fmt.Errorf("wal: log failed: %w", l.failed)
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		l.failed = err
+		return err
+	}
+	return nil
+}
+
+// Rotate atomically replaces the log with a fresh one holding a
+// single barrier record at the next epoch, carrying watermark. Called
+// after the covered state was snapshotted durably; the barrier is the
+// signal a future replica stream uses to re-seed from the snapshot.
+// A successful rotation also clears a sticky write failure — the
+// suspect tail is gone.
+func (l *Log) Rotate(watermark uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), ".wal-*")
+	if err != nil {
+		return err
+	}
+	rec := Record{Seq: l.seq + 1, Epoch: l.epoch + 1, Watermark: watermark, Type: TypeBarrier}
+	buf := appendRecord(nil, rec)
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := Fire("wal.rotate.tmp"); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		return fail(err)
+	}
+	// tmp's handle now refers to the file living at path; it becomes
+	// the append handle, positioned at its end.
+	old := l.f
+	l.f = tmp
+	old.Close()
+	l.seq, l.epoch, l.watermark = rec.Seq, rec.Epoch, watermark
+	l.size = int64(len(buf))
+	l.dirty = false
+	l.failed = nil
+	return Fire("wal.rotate.renamed")
+}
+
+// Close syncs outstanding appends (unless the log already failed) and
+// closes the file. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.dirty && l.failed == nil {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats is a point-in-time snapshot of the log's position and I/O
+// counters.
+type Stats struct {
+	Seq       uint64
+	Epoch     uint64
+	Watermark uint64
+	Bytes     int64 // current file size
+	Appends   int64
+	Syncs     int64
+	LastSync  time.Time // zero until the first fsync
+	Policy    string
+	Failed    string // sticky failure, "" when healthy
+}
+
+// Stats snapshots the log.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Seq:       l.seq,
+		Epoch:     l.epoch,
+		Watermark: l.watermark,
+		Bytes:     l.size,
+		Appends:   l.appends,
+		Syncs:     l.syncs,
+		LastSync:  l.lastSync,
+		Policy:    l.policy.String(),
+	}
+	if l.failed != nil {
+		st.Failed = l.failed.Error()
+	}
+	return st
+}
+
+// Watermark returns the last committed watermark.
+func (l *Log) Watermark() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.watermark
+}
+
+// hook is the process-wide fault-injection point for crash-recovery
+// tests: it fires at every durability boundary (mid/post append, post
+// fsync, rotate and snapshot steps) and a non-nil return aborts the
+// operation. Nil in production; atomic so tests can install and clear
+// it race-free around live logs.
+var hook atomic.Pointer[func(string) error]
+
+// SetHook installs (or, with nil, clears) the fault-injection hook.
+func SetHook(fn func(event string) error) {
+	if fn == nil {
+		hook.Store(nil)
+		return
+	}
+	hook.Store(&fn)
+}
+
+func hookInstalled() bool { return hook.Load() != nil }
+
+// Fire invokes the fault hook with event; a no-op returning nil when
+// no hook is installed. The irs persistence layer fires it around
+// snapshot writes so kill-point tests cover mid-Save states too.
+func Fire(event string) error {
+	if fn := hook.Load(); fn != nil {
+		return (*fn)(event)
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, path string, opts Options) (*Log, Recovery) {
+	t.Helper()
+	l, rec, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, rec
+}
+
+// batch builds one flush-shaped record group: ops then a commit.
+func batch(watermark uint64, payloads ...string) []Record {
+	recs := make([]Record, 0, len(payloads)+1)
+	for _, p := range payloads {
+		recs = append(recs, Record{Type: TypeAdd, Watermark: watermark, Payload: []byte(p)})
+	}
+	return append(recs, Record{Type: TypeCommit, Watermark: watermark})
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	l, rec := openT(t, path, Options{Sync: SyncAlways})
+	if len(rec.Records) != 0 || rec.Watermark != 0 {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	if err := l.Append(batch(3, "alpha", "beta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(batch(5, "gamma")); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Seq != 5 || st.Watermark != 5 || st.Syncs != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := openT(t, path, Options{})
+	defer l2.Close()
+	if len(rec2.Records) != 5 || rec2.Watermark != 5 || rec2.TornBytes != 0 || rec2.Uncommitted != 0 {
+		t.Fatalf("recovered %+v", rec2)
+	}
+	wantTypes := []Type{TypeAdd, TypeAdd, TypeCommit, TypeAdd, TypeCommit}
+	for i, r := range rec2.Records {
+		if r.Type != wantTypes[i] || r.Seq != uint64(i+1) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if got := string(rec2.Records[3].Payload); got != "gamma" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+// TestTornTailRecovery is the core property by construction: every
+// possible truncation of a valid log recovers the longest committed
+// prefix, never a torn or uncommitted record.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.wal")
+	l, _ := openT(t, path, Options{Sync: SyncAlways})
+	for i := uint64(1); i <= 4; i++ {
+		if err := l.Append(batch(i, fmt.Sprintf("doc-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed boundaries of the full file, to check recovery lands
+	// exactly on one.
+	res := scan(full)
+	if len(res.committed) != 8 || res.committedLen != int64(len(full)) {
+		t.Fatalf("scan of full file: %d records, %d/%d bytes", len(res.committed), res.committedLen, len(full))
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		p := filepath.Join(dir, "cut.wal")
+		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, rec := openT(t, p, Options{})
+		// Recovered records must be a prefix of the originals ending in
+		// a commit.
+		if n := len(rec.Records); n > 0 {
+			if rec.Records[n-1].Type != TypeCommit && rec.Records[n-1].Type != TypeBarrier {
+				t.Fatalf("cut %d: recovery ends in %v", cut, rec.Records[n-1].Type)
+			}
+			if n%2 != 0 {
+				t.Fatalf("cut %d: %d records is not a whole batch", cut, n)
+			}
+		}
+		// The file must have been truncated to the committed prefix and
+		// stay appendable.
+		if err := l2.Append(batch(99, "after")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l3, rec3 := openT(t, p, Options{})
+		if got := len(rec3.Records) - len(rec.Records); got != 2 {
+			t.Fatalf("cut %d: reopen lost the post-recovery batch (%d vs %d records)", cut, len(rec3.Records), len(rec.Records))
+		}
+		if rec3.Watermark != 99 {
+			t.Fatalf("cut %d: watermark %d", cut, rec3.Watermark)
+		}
+		l3.Close()
+	}
+}
+
+func TestUncommittedSuffixDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	l, _ := openT(t, path, Options{Sync: SyncAlways})
+	if err := l.Append(batch(1, "kept")); err != nil {
+		t.Fatal(err)
+	}
+	// An op record with no commit after it: a flush that died between
+	// its op and commit appends.
+	if err := l.Append([]Record{{Type: TypeAdd, Watermark: 2, Payload: []byte("dropped")}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, rec := openT(t, path, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 2 || rec.Uncommitted != 1 || rec.Watermark != 1 {
+		t.Fatalf("recovered %+v", rec)
+	}
+	if st := l2.Stats(); st.Seq != 2 {
+		t.Fatalf("seq after recovery = %d, want 2 (uncommitted record truncated)", st.Seq)
+	}
+}
+
+func TestCorruptMiddleStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	l, _ := openT(t, path, Options{Sync: SyncAlways})
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.Append(batch(i, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	data, _ := os.ReadFile(path)
+	// Flip one payload byte in the second batch.
+	mid := len(data) / 2
+	data[mid] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, path, Options{})
+	defer l2.Close()
+	if rec.Watermark >= 3 {
+		t.Fatalf("corruption at byte %d survived: %+v", mid, rec)
+	}
+	if n := len(rec.Records); n > 0 {
+		last := rec.Records[n-1]
+		if last.Type != TypeCommit && last.Type != TypeBarrier {
+			t.Fatalf("recovery ends in %v", last.Type)
+		}
+	}
+}
+
+func TestRotateBumpsEpochAndTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	l, _ := openT(t, path, Options{Sync: SyncAlways})
+	if err := l.Append(batch(7, "a", "b", "c")); err != nil {
+		t.Fatal(err)
+	}
+	grew := l.Stats().Bytes
+	if err := l.Rotate(7); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Epoch != 1 || st.Watermark != 7 || st.Bytes >= grew {
+		t.Fatalf("after rotate: %+v (was %d bytes)", st, grew)
+	}
+	// The log stays appendable after rotation and reopen sees barrier +
+	// the new batch only.
+	if err := l.Append(batch(9, "d")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, rec := openT(t, path, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 3 || rec.Records[0].Type != TypeBarrier || rec.Epoch != 1 || rec.Watermark != 9 {
+		t.Fatalf("recovered %+v", rec)
+	}
+}
+
+func TestGroupSyncCoversWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	l, _ := openT(t, path, Options{Sync: SyncGroup, Window: func() time.Duration { return time.Millisecond }})
+	defer l.Close()
+	for i := uint64(1); i <= 8; i++ {
+		if err := l.Append(batch(i, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := l.Stats()
+		if st.Syncs > 0 {
+			if st.Syncs >= st.Appends {
+				t.Fatalf("group sync did not batch: %d syncs for %d appends", st.Syncs, st.Appends)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group sync never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAppendFailureIsStickyUntilRotate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.wal")
+	l, _ := openT(t, path, Options{Sync: SyncAlways})
+	defer l.Close()
+	if err := l.Append(batch(1, "ok")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	SetHook(func(event string) error {
+		if event == "wal.append.mid" {
+			return boom
+		}
+		return nil
+	})
+	defer SetHook(nil)
+	if err := l.Append(batch(2, "torn")); !errors.Is(err, boom) {
+		t.Fatalf("append error = %v", err)
+	}
+	if st := l.Stats(); st.Failed == "" {
+		t.Fatal("failure not sticky in stats")
+	}
+	SetHook(nil)
+	if err := l.Append(batch(3, "refused")); err == nil {
+		t.Fatal("append after failure succeeded")
+	}
+	// Rotation lays down a fresh log and clears the failure.
+	if err := l.Rotate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(batch(4, "healed")); err != nil {
+		t.Fatalf("append after rotate: %v", err)
+	}
+	if st := l.Stats(); st.Failed != "" {
+		t.Fatalf("failure survived rotate: %q", st.Failed)
+	}
+}
+
+func TestRecordEncodeDecode(t *testing.T) {
+	in := Record{Seq: 42, Epoch: 3, Watermark: 40, Type: TypeUpdate, Payload: []byte("payload bytes")}
+	buf := appendRecord(nil, in)
+	out, n, ok := decodeRecord(buf)
+	if !ok || n != len(buf) {
+		t.Fatalf("decode: ok=%v n=%d/%d", ok, n, len(buf))
+	}
+	if out.Seq != in.Seq || out.Epoch != in.Epoch || out.Watermark != in.Watermark ||
+		out.Type != in.Type || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
